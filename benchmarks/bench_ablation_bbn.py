@@ -1,0 +1,68 @@
+"""Benchmark AB1: red-herring confidence inflation under BBN assessment.
+
+§V.B: 'If argument confidence is assessed mechanically (e.g., through
+BBN modelling), asserting [a rule drawing on an irrelevant premise]
+would artificially raise the assessed confidence.'
+
+The benchmark sweeps the asserted strength of a red-herring link (an
+ISO-9001-certificate premise wired into a product-safety claim) and
+reports the mechanically assessed confidence with and without the
+irrelevant premise — a monotone inflation curve that a proof checker
+would never object to, since the asserted rule is formally unimpeachable.
+"""
+
+from repro.experiments.tables import render_rows
+from repro.logic.bbn import BayesNet, noisy_or_cpt
+
+
+def _confidence_with_red_herring(strength: float) -> float:
+    net = BayesNet()
+    net.add_prior("fault_tree_sound", 0.85)
+    net.add_prior("iso9001_certified", 0.97)  # true, and irrelevant
+    net.add(noisy_or_cpt(
+        "system_safe",
+        ("fault_tree_sound", "iso9001_certified"),
+        (0.80, strength),
+        leak=0.02,
+    ))
+    return net.query(
+        "system_safe",
+        {"fault_tree_sound": True, "iso9001_certified": True},
+    )
+
+
+def _baseline_confidence() -> float:
+    net = BayesNet()
+    net.add_prior("fault_tree_sound", 0.85)
+    net.add(noisy_or_cpt(
+        "system_safe", ("fault_tree_sound",), (0.80,), leak=0.02
+    ))
+    return net.query("system_safe", {"fault_tree_sound": True})
+
+
+def bench_ablation_bbn_inflation(benchmark):
+    strengths = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5]
+
+    def sweep():
+        return [
+            _confidence_with_red_herring(strength)
+            for strength in strengths
+        ]
+
+    inflated = benchmark(sweep)
+    baseline = _baseline_confidence()
+    rows = [{
+        "asserted red-herring strength": strength,
+        "assessed confidence": value,
+        "inflation over baseline": value - baseline,
+    } for strength, value in zip(strengths, inflated)]
+    print()
+    print(render_rows(
+        rows,
+        title=f"BBN confidence inflation (baseline without red herring: "
+              f"{baseline:.3f})",
+    ))
+    # Monotone inflation; zero-strength link adds nothing.
+    assert abs(inflated[0] - baseline) < 1e-9
+    assert all(b >= a for a, b in zip(inflated, inflated[1:]))
+    assert inflated[-1] > baseline + 0.05

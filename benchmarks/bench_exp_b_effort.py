@@ -1,0 +1,28 @@
+"""Benchmark EB: §VI.B — the effort of formalisation.
+
+Runs Experiment B: simulated volunteers formalise informally constructed
+arguments of growing size; the real Rushby translator supplies each
+task's workload (rules + residue).  Reports minutes by expertise group
+and task, the learning-curve ratio, and the expertise gap — the
+confounds §VI.B says a real design must account for.
+"""
+
+from repro.experiments.effort_study import (
+    EffortStudyConfig,
+    run_effort_study,
+)
+
+_CONFIG = EffortStudyConfig(subjects_per_group=12, tasks=5)
+
+
+def bench_exp_b_effort(benchmark):
+    result = benchmark.pedantic(
+        run_effort_study, args=(_CONFIG,), rounds=2, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.expertise_gap_final_task > 1.5
+    assert result.learning_ratio_trained > 1.0
+    assert result.learning_ratio_untrained > 1.0
+    # Formalisation is a real cost relative to informal authoring.
+    assert any(cell.overhead_ratio > 0.5 for cell in result.cells)

@@ -1,0 +1,33 @@
+"""Benchmark EC: §VI.C — restriction of the reading audience.
+
+Runs Experiment C: readers from the six §II.A stakeholder backgrounds
+read the thrust-reverser specimen argument in informal and formalised
+versions.  Reports reading time and comprehension per background x
+version, with the slowdown and comprehension-drop series.
+
+Expected shape: everyone slows on the formalised version; readers
+without logic training slow the most and lose the most comprehension —
+the audience-restriction cost §VI.C is designed to quantify.
+"""
+
+from repro.experiments.audience_study import (
+    AudienceStudyConfig,
+    run_audience_study,
+)
+from repro.experiments.subjects import Background
+
+_CONFIG = AudienceStudyConfig(subjects_per_background=12)
+
+
+def bench_exp_c_audience(benchmark):
+    result = benchmark.pedantic(
+        run_audience_study, args=(_CONFIG,), rounds=2, iterations=1
+    )
+    print()
+    print(result.render())
+    for background in Background:
+        assert result.slowdown(background) > 1.0
+    assert result.slowdown(Background.MANAGER) > \
+        result.slowdown(Background.SOFTWARE_ENGINEER)
+    assert result.comprehension_drop(Background.OPERATOR) > \
+        result.comprehension_drop(Background.SOFTWARE_ENGINEER)

@@ -1,0 +1,32 @@
+"""Benchmark EE: §VI.E — evidence-sufficiency judgments.
+
+Runs Experiment E: assessors judge the impact breadth of doubting each
+evidence item, via graph tracing (GSN paths, ground truth from the real
+impact tracer) versus Rushby-style proof probing (the real what-if
+machinery, executed per item).  Reports time, exact accuracy, and
+inter-assessor agreement per condition.
+
+Expected shape: graph tracing is faster, more accurate, and far more
+consistent across assessors; the boolean probe forces extrapolation
+(and under-reports when redundant evidence masks the removal), which is
+the degree-question gap §VI.E points at.
+"""
+
+from repro.experiments.sufficiency_study import (
+    SufficiencyStudyConfig,
+    run_sufficiency_study,
+)
+
+_CONFIG = SufficiencyStudyConfig(assessors_per_group=10)
+
+
+def bench_exp_e_sufficiency(benchmark):
+    result = benchmark.pedantic(
+        run_sufficiency_study, args=(_CONFIG,), rounds=2, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.graph.exact_accuracy > result.proof.exact_accuracy
+    assert result.graph.agreement > result.proof.agreement
+    assert result.graph.minutes.mean < result.proof.minutes.mean
+    assert len(set(result.ground_truth)) > 1

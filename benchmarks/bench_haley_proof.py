@@ -1,0 +1,84 @@
+"""Benchmark H1: the Haley et al. 11-step outer proof (§III.K).
+
+Measures proof checking of the exact published natural-deduction
+argument, asserts its shape (rules and citations), and measures the
+proof-to-argument generation pipeline Basir et al. propose — including
+the node-count reduction the abstraction pass buys, and the depth
+comparison with a resolution-proof rendering (the style Basir et al.
+avoided because it is 'obscure').
+"""
+
+from repro.formalise.proof_to_argument import (
+    abstract_argument,
+    proof_to_argument,
+    report,
+    resolution_to_argument,
+)
+from repro.logic.natural_deduction import (
+    Rule,
+    check_proof,
+    haley_outer_proof,
+)
+from repro.logic.propositional import parse
+from repro.logic.resolution import FolClause, FolLiteral, prove
+from repro.logic.terms import parse_atom
+
+
+def bench_haley_proof_check(benchmark):
+    proof = haley_outer_proof()
+    assert benchmark(check_proof, proof)
+    assert len(proof) == 11
+    assert proof.conclusion == parse("D -> H")
+    assert [line.rule for line in proof.lines[5:]] == [
+        Rule.DETACH, Rule.DETACH, Rule.SPLIT, Rule.SPLIT,
+        Rule.DETACH, Rule.CONCLUSION,
+    ]
+    print()
+    print(proof)
+
+
+def bench_haley_generation_and_abstraction(benchmark):
+    proof = haley_outer_proof()
+
+    def generate():
+        generated = proof_to_argument(proof, "HR system")
+        return generated, abstract_argument(generated)
+
+    generated, abstracted = benchmark(generate)
+    before = report(generated, "natural-deduction")
+    after = report(abstracted, "abstracted")
+    print()
+    print(before)
+    print(after)
+    assert after.node_count < before.node_count
+
+
+def bench_resolution_rendering_comparison(benchmark):
+    # The same D -> H reasoning, pushed through resolution: Horn clauses
+    # for the Haley premises, refuting ~H given D.
+    clauses = [
+        FolClause.of(FolLiteral(parse_atom("i"), False),
+                     FolLiteral(parse_atom("v"))),
+        FolClause.of(FolLiteral(parse_atom("c"), False),
+                     FolLiteral(parse_atom("h"))),
+        FolClause.of(FolLiteral(parse_atom("y"), False),
+                     FolLiteral(parse_atom("v"))),
+        FolClause.of(FolLiteral(parse_atom("y"), False),
+                     FolLiteral(parse_atom("c"))),
+        FolClause.of(FolLiteral(parse_atom("d"), False),
+                     FolLiteral(parse_atom("y"))),
+        FolClause.of(FolLiteral(parse_atom("d"))),
+    ]
+
+    def run():
+        return prove(clauses, parse_atom("h"))
+
+    proof = benchmark(run)
+    assert proof.found
+    resolution_argument = resolution_to_argument(proof, "HR system")
+    nd_argument = proof_to_argument(haley_outer_proof(), "HR system")
+    print()
+    print(report(nd_argument, "from natural deduction"))
+    print(report(resolution_argument, "from resolution refutation"))
+    print("Basir et al. prefer natural deduction because resolution "
+          "proofs 'can be obscure' (§III.E).")

@@ -1,0 +1,65 @@
+"""Benchmark AB3: Table I sensitivity to single-researcher selection.
+
+The survey concedes 'we might obtain more complete and accurate results
+by querying more databases, considering more results from each, or
+including multiple researchers' (§III.C).  This ablation quantifies the
+concession: rerunning phase one under a seeded single-reviewer error
+model (each relevant paper overlooked with probability *m*; wrongly
+kept papers are not modelled here — phase two filters them, so only
+misses move the final count) and measuring how
+far the unique-result and final-selection counts drift from the
+published 72/54/23/20.
+"""
+
+import random
+
+from repro.experiments.tables import render_rows
+from repro.survey.corpus import build_corpus
+from repro.survey.search import run_searches
+from repro.survey.selection import noisy_phase1, phase2_keep
+
+
+def _sweep():
+    corpus = build_corpus(seed=2014)
+    searches = run_searches(corpus)
+    rows = []
+    for miss_rate in (0.0, 0.05, 0.10, 0.20):
+        uniques = []
+        selected = []
+        for trial in range(20):
+            rng = random.Random(1000 + trial)
+            phase1 = noisy_phase1(
+                searches, rng,
+                miss_rate=miss_rate, false_keep_rate=0.0,
+            )
+            uniques.append(len(phase1.unique))
+            selected.append(sum(
+                1 for paper in phase1.unique if phase2_keep(paper)
+            ))
+        rows.append({
+            "phase-1 miss rate": miss_rate,
+            "mean unique results (paper: 72)":
+                sum(uniques) / len(uniques),
+            "mean final selections (paper: 20)":
+                sum(selected) / len(selected),
+            "min final selections": min(selected),
+        })
+    return rows
+
+
+def bench_survey_sensitivity(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=2, iterations=1)
+    print()
+    print(render_rows(
+        rows,
+        title="Table I under single-researcher selection noise "
+              "(20 trials per point)",
+    ))
+    # Zero-error reproduces the paper exactly.
+    assert rows[0]["mean unique results (paper: 72)"] == 72.0
+    assert rows[0]["mean final selections (paper: 20)"] == 20.0
+    # Counts fall monotonically as the miss rate grows: papers the
+    # reviewer overlooks can cost final selections.
+    uniques = [row["mean unique results (paper: 72)"] for row in rows]
+    assert uniques == sorted(uniques, reverse=True)
+    assert rows[-1]["mean final selections (paper: 20)"] < 20.0

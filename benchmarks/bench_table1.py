@@ -1,0 +1,38 @@
+"""Benchmark T1: regenerate Table I of the paper.
+
+Runs the full survey pipeline — corpus build, eight library searches with
+the first-60 cut-off, two-phase selection — and checks the result
+cell-by-cell against the published Table I:
+
+    Digital library        Safety   Security
+    IEEE Xplore               12        13
+    ACM Digital Library       17         7
+    Springer Link             24         2
+    Google Scholar             8         1
+    Unique (72 total)         54        23
+
+Phase two must yield exactly the twenty selected papers.
+"""
+
+from repro.survey import (
+    SELECTED_PAPERS,
+    TABLE_I,
+    TABLE_I_UNIQUE,
+    render_table_i,
+    run_survey,
+)
+
+
+def bench_table1_pipeline(benchmark):
+    outcome = benchmark.pedantic(
+        run_survey, kwargs={"seed": 2014}, rounds=3, iterations=1
+    )
+    print()
+    print(render_table_i(outcome))
+    assert outcome.matches_published_table()
+    assert outcome.table() == {
+        library: dict(cells) for library, cells in TABLE_I.items()
+    }
+    assert outcome.unique_counts() == dict(TABLE_I_UNIQUE)
+    assert len(outcome.phase2_keys) == 20
+    assert set(outcome.phase2_keys) == {p.key for p in SELECTED_PAPERS}

@@ -1,0 +1,19 @@
+"""Benchmark V0: the whole reproduction, verified in one call.
+
+Runs :func:`repro.paper.verify_reproduction` — every measurable claim of
+the paper re-derived and compared — and prints the full report.  This is
+the headline benchmark: if it passes, Table I, Figure 1, the §III–V
+counts, the Greenwell distribution, the Haley proof, and the detector's
+completeness all agree with the paper.
+"""
+
+from repro.paper import verify_reproduction
+
+
+def bench_verify_reproduction(benchmark):
+    report = benchmark.pedantic(
+        verify_reproduction, rounds=2, iterations=1
+    )
+    print()
+    print(report.render())
+    assert report.ok, report.render()

@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""The lifecycle story: maintain a safety case through change (§II.A).
+
+Def Stan 00-56 requires the case to be developed, maintained, and
+refined through the system's life, incorporating field data.  This
+example walks one maintenance cycle:
+
+1. version 1 of a case, with evidence and mechanically assessed
+   confidence;
+2. a field finding discredits one evidence item — impact tracing shows
+   the blast radius, confidence drops, the what-if probe confirms the
+   top-level proof fails;
+3. engineering responds: a new barrier sub-argument in version 2;
+4. the version diff computes exactly which claims the review board must
+   re-examine, and the restored confidence is measured.
+
+Run: ``python examples/argument_maintenance.py``
+"""
+
+from repro.core import (
+    ArgumentBuilder,
+    AssuranceCase,
+    EvidenceItem,
+    EvidenceKind,
+    SafetyCriterion,
+    claim_confidence,
+    diff_arguments,
+    render_diff,
+)
+from repro.core.impact import evidence_impact
+from repro.formalise.translator import formalise_argument
+
+
+def build_version_one():
+    builder = ArgumentBuilder("pump-case-v1")
+    top = builder.goal(
+        "The infusion pump is acceptably safe for ward use"
+    )
+    strategy = builder.strategy(
+        "Argument over each identified hazard", under=top
+    )
+    overdose = builder.goal(
+        "Hazard H1 (overdose) is acceptably mitigated", under=strategy
+    )
+    builder.solution("Dose-limiter verification report", under=overdose)
+    occlusion = builder.goal(
+        "Hazard H2 (line occlusion) is acceptably mitigated",
+        under=strategy,
+    )
+    builder.solution("Occlusion alarm test campaign", under=occlusion)
+    return builder.build()
+
+
+def main() -> None:
+    argument_v1 = build_version_one()
+    case = AssuranceCase(
+        "pump-case", argument_v1,
+        SafetyCriterion("No hazardous dose event per 1e6 infusions",
+                        "hazardous_dose_rate", 1e-6),
+    )
+    case.add_evidence(
+        EvidenceItem("dl-ver", EvidenceKind.FORMAL_PROOF,
+                     "dose limiter verification", coverage=0.97),
+        cited_by="Sn1",
+    )
+    case.add_evidence(
+        EvidenceItem("oa-test", EvidenceKind.TESTING,
+                     "occlusion alarm campaign", coverage=0.88),
+        cited_by="Sn2",
+    )
+
+    print("=== Version 1 ===")
+    print("integrity:", case.integrity_report().summary())
+    confidence_before = claim_confidence(case, "G1", {
+        "Sn1": True, "Sn2": True,
+    })
+    print(f"mechanically assessed confidence in the top claim: "
+          f"{confidence_before:.3f}")
+    print()
+
+    # --- field data arrives -------------------------------------------
+    print("=== Field finding: occlusion alarm failed to annunciate "
+          "in service ===")
+    case.record_field_finding(
+        "Ward report WR-221: occlusion alarm silent during line kink",
+        affected=["G3"],
+    )
+    impact = evidence_impact(case, "oa-test")
+    print("impact tracing:", impact.summary())
+    affected = case.withdraw_evidence("oa-test", "refuted by WR-221")
+    print("citations withdrawn from:", affected)
+
+    formalisation = formalise_argument(case.argument)
+    formalisation.assent_all()
+    formalisation.retract("Sn2")
+    print("top-level proof still stands without the alarm evidence:",
+          formalisation.check())
+    confidence_after = claim_confidence(case, "G1", {
+        "Sn1": True, "Sn2": False,
+    })
+    print(f"confidence after the finding: {confidence_after:.3f} "
+          f"(was {confidence_before:.3f})")
+    print()
+
+    # --- engineering response: version 2 ------------------------------
+    argument_v2 = build_version_one()
+    argument_v2.replace_node(argument_v2.node("G3").with_text(
+        "Hazard H2 (line occlusion) is acceptably mitigated by "
+        "redundant detection"
+    ))
+    builder_patch = argument_v2  # extend in place
+    from repro.core.nodes import Node, NodeType
+
+    builder_patch.add_node(Node(
+        "G4", NodeType.GOAL,
+        "The pressure-trend monitor detects occlusion independently "
+        "of the alarm",
+    ))
+    builder_patch.supported_by("G3", "G4")
+    builder_patch.add_node(Node(
+        "Sn3", NodeType.SOLUTION,
+        "Pressure-trend monitor qualification tests",
+    ))
+    builder_patch.supported_by("G4", "Sn3")
+
+    print("=== Version 2: diff and review set ===")
+    diff = diff_arguments(argument_v1, argument_v2)
+    print(render_diff(diff, argument_v2))
+
+    case_v2 = AssuranceCase("pump-case-v2", argument_v2, case.criterion)
+    case_v2.add_evidence(
+        EvidenceItem("dl-ver", EvidenceKind.FORMAL_PROOF,
+                     "dose limiter verification", coverage=0.97),
+        cited_by="Sn1",
+    )
+    case_v2.add_evidence(
+        EvidenceItem("oa-test2", EvidenceKind.TESTING,
+                     "re-run occlusion campaign after alarm fix",
+                     coverage=0.92),
+        cited_by="Sn2",
+    )
+    case_v2.add_evidence(
+        EvidenceItem("ptm-qual", EvidenceKind.TESTING,
+                     "pressure-trend monitor qualification",
+                     coverage=0.9),
+        cited_by="Sn3",
+    )
+    confidence_v2 = claim_confidence(case_v2, "G1", {
+        "Sn1": True, "Sn2": True, "Sn3": True,
+    })
+    print(f"confidence with the redundant barrier: {confidence_v2:.3f}")
+    print()
+    print("The cycle §II.A describes: field data -> rationale "
+          "re-examined -> argument")
+    print("changed -> exactly the affected claims re-reviewed.")
+
+
+if __name__ == "__main__":
+    main()

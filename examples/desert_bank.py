@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Figure 1 of the paper: the Desert Bank equivocation, executed.
+
+The program is formally impeccable::
+
+    is_a(desert_bank, bank).
+    adjacent(bank, river).
+    adjacent(X, Y) :- is_a(X, Z), adjacent(Z, Y).
+
+and SLD resolution happily 'proves' ``adjacent(desert_bank, river)``.
+The flaw — 'bank' naming both a financial institution and a riverbank —
+is an *informal* fallacy (equivocation), invisible to any machine that
+processes form rather than meaning (§IV.C).
+
+This script runs the derivation, shows the bindings, runs the formal
+fallacy detector over a propositional rendering (verdict: nothing wrong),
+and then shows what the lexical equivocation heuristic can and cannot do.
+
+Run: ``python examples/desert_bank.py``
+"""
+
+from repro.fallacies.formal_detector import FormalArgument, detect
+from repro.fallacies.informal import (
+    desert_bank_equivocation,
+    homonym_heuristic,
+)
+from repro.logic.prolog import desert_bank_program
+from repro.logic.propositional import parse
+
+
+def main() -> None:
+    program = desert_bank_program()
+    print("=== The program (Figure 1) ===")
+    print(program)
+    print()
+
+    print("=== Query: adjacent(desert_bank, river) ===")
+    solutions = program.solve("adjacent(desert_bank, river)")
+    print(f"derivable: {bool(solutions)} "
+          f"(via {solutions[0].depth} resolution steps)")
+    print()
+
+    print("=== All X adjacent to the river ===")
+    for solution in program.solve("adjacent(X, river)"):
+        print(f"  X = {solution.as_dict()['X']}")
+    print()
+
+    # A propositional rendering of the same reasoning step, submitted to
+    # the formal-fallacy detector: it is VALID.  Formal checking finds
+    # nothing, because there is nothing formally wrong.
+    formal = FormalArgument(
+        premises=(
+            parse("desert_bank_is_a_bank"),
+            parse("banks_are_adjacent_to_rivers"),
+            parse("desert_bank_is_a_bank & banks_are_adjacent_to_rivers "
+                  "-> desert_bank_adjacent_to_river"),
+        ),
+        conclusion=parse("desert_bank_adjacent_to_river"),
+    )
+    print("=== Formal fallacy detector on the formalised step ===")
+    print("verdict:", detect(formal).verdict.value)
+    print()
+
+    witness = desert_bank_equivocation()
+    print("=== Ground truth (what only a human knows) ===")
+    print(witness.explain())
+    print("sound argument:", witness.is_sound)
+    print()
+
+    # What a lexical heuristic can do: flag 'bank' reuse — along with
+    # every harmless reuse of any listed homonym in any argument.
+    from repro.core.argument import Argument, LinkKind
+    from repro.core.nodes import Node, NodeType
+
+    argument = Argument("desert-bank-gsn")
+    argument.add_node(Node(
+        "G1", NodeType.GOAL,
+        "The Desert Bank is adjacent to a river", undeveloped=True,
+    ))
+    argument.add_node(Node(
+        "C1", NodeType.CONTEXT, "Banks are adjacent to rivers"
+    ))
+    argument.add_link("G1", "C1", LinkKind.IN_CONTEXT_OF)
+    flags = homonym_heuristic(argument)
+    print("=== Lexical heuristic flags (noisy, sense-blind) ===")
+    for flag in flags:
+        print(" ", flag)
+
+
+if __name__ == "__main__":
+    main()

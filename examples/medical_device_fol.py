@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Sokolsky, Lee & Heimdahl's multi-sorted FOL exploration (§III.N).
+
+Formalises the logical structure of a medical-device (infusion pump)
+safety argument in multi-sorted first-order logic: sorts for hazards,
+barriers, and operating modes; quantified claims ('every hazard has an
+effective barrier in every mode'); grounding over the finite domains;
+and entailment checking via SAT.
+
+It then demonstrates §III.N's caveat, quoted by the paper: a formalism
+that 'does not capture the meaning of the argument, but only its logical
+structure' validates happily over a deliberately wrong hazard list —
+the machine cannot know the set is incomplete with respect to the world
+(the hasty-generalisation discussion of §V.B).
+
+Run: ``python examples/medical_device_fol.py``
+"""
+
+from repro.logic.fol import (
+    FolAtom,
+    FolImplies,
+    ForAll,
+    Signature,
+    fol_entails,
+    ground,
+)
+from repro.logic.terms import Atom, Const, Var
+
+
+def build_signature(hazards: list[str]) -> Signature:
+    signature = Signature()
+    hazard = signature.declare_sort("Hazard")
+    barrier = signature.declare_sort("Barrier")
+    mode = signature.declare_sort("Mode")
+    for name in hazards:
+        signature.declare_constant(name, hazard)
+    for name in ("dose_limiter", "occlusion_alarm", "battery_monitor"):
+        signature.declare_constant(name, barrier)
+    for name in ("infusing", "standby", "maintenance"):
+        signature.declare_constant(name, mode)
+    signature.declare_predicate("guards", barrier, hazard)
+    signature.declare_predicate("active_in", barrier, mode)
+    signature.declare_predicate("mitigated_in", hazard, mode)
+    return signature
+
+
+def main() -> None:
+    hazards = ["overdose", "air_embolism", "power_loss"]
+    signature = build_signature(hazards)
+
+    h, b, m = Var("H"), Var("B"), Var("M")
+    hazard_sort = next(s for s in signature.sorts if s.name == "Hazard")
+    mode_sort = next(s for s in signature.sorts if s.name == "Mode")
+
+    # Domain facts: which barrier guards which hazard, active in which
+    # modes.  (The argument's premises.)
+    facts = []
+    coverage = {
+        "overdose": "dose_limiter",
+        "air_embolism": "occlusion_alarm",
+        "power_loss": "battery_monitor",
+    }
+    for hazard_name, barrier_name in coverage.items():
+        facts.append(FolAtom(Atom(
+            "guards", (Const(barrier_name), Const(hazard_name))
+        )))
+        for mode_name in ("infusing", "standby", "maintenance"):
+            facts.append(FolAtom(Atom(
+                "active_in", (Const(barrier_name), Const(mode_name))
+            )))
+            # Inference rule, grounded: a guarding barrier active in a
+            # mode mitigates the hazard in that mode.
+            facts.append(FolImplies(
+                FolAtom(Atom("guards", (Const(barrier_name),
+                                        Const(hazard_name)))),
+                FolImplies(
+                    FolAtom(Atom("active_in", (Const(barrier_name),
+                                               Const(mode_name)))),
+                    FolAtom(Atom("mitigated_in", (Const(hazard_name),
+                                                  Const(mode_name)))),
+                ),
+            ))
+
+    # The safety claim: every hazard is mitigated in every mode.
+    claim = ForAll(h, hazard_sort, ForAll(
+        m, mode_sort,
+        FolAtom(Atom("mitigated_in", (h, m))),
+    ))
+
+    print("=== The quantified safety claim ===")
+    print(" ", claim)
+    print()
+    grounded = ground(signature, claim)
+    print("=== Grounded over the finite domains "
+          f"({len(str(grounded))} chars of propositional logic) ===")
+    print()
+
+    holds = fol_entails(signature, facts, claim)
+    print(f"claim entailed by the domain facts: {holds}")
+    assert holds
+    print()
+
+    # §III.N's limit: 'only its logical structure'.  Omit a hazard from
+    # the declared sort entirely — the world has a fourth hazard
+    # (free-flow) the analysis missed — and the formal argument still
+    # validates, because the machine quantifies over the *declared*
+    # set, not the real one.
+    print("=== The structural blind spot ===")
+    incomplete = build_signature(["overdose", "air_embolism"])
+    # Rebuild the fact set for the reduced signature.
+    facts_small = []
+    for hazard_name, barrier_name in list(coverage.items())[:2]:
+        facts_small.append(FolAtom(Atom(
+            "guards", (Const(barrier_name), Const(hazard_name))
+        )))
+        for mode_name in ("infusing", "standby", "maintenance"):
+            facts_small.append(FolAtom(Atom(
+                "active_in", (Const(barrier_name), Const(mode_name))
+            )))
+            facts_small.append(FolImplies(
+                FolAtom(Atom("guards", (Const(barrier_name),
+                                        Const(hazard_name)))),
+                FolImplies(
+                    FolAtom(Atom("active_in", (Const(barrier_name),
+                                               Const(mode_name)))),
+                    FolAtom(Atom("mitigated_in", (Const(hazard_name),
+                                                  Const(mode_name)))),
+                ),
+            ))
+    hazard_small = next(
+        s for s in incomplete.sorts if s.name == "Hazard"
+    )
+    mode_small = next(s for s in incomplete.sorts if s.name == "Mode")
+    claim_small = ForAll(h, hazard_small, ForAll(
+        m, mode_small, FolAtom(Atom("mitigated_in", (h, m))),
+    ))
+    still_holds = fol_entails(incomplete, facts_small, claim_small)
+    print(f"with free-flow and power-loss missing from the hazard "
+          f"sort, the 'all hazards mitigated' claim still validates: "
+          f"{still_holds}")
+    assert still_holds
+    print()
+    print("'A proof checker cannot know whether a set used in a formal,")
+    print(" deductive argument is complete with respect to the real")
+    print(" world entity it models.' (§V.B)")
+
+
+if __name__ == "__main__":
+    main()

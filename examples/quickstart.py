@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Quickstart: build, validate, render, and formalise an assurance case.
+
+Covers the core loop a safety engineer runs daily:
+
+1. sketch a GSN argument with the fluent builder,
+2. check well-formedness (the formal-syntax sense of 'formal', §II.B.1),
+3. attach evidence and record lifecycle events,
+4. render the argument for different readers (tree / table / prose),
+5. formalise it Rushby-style and machine-check the top-level claim.
+
+Run: ``python examples/quickstart.py``
+"""
+
+from repro.core import (
+    ArgumentBuilder,
+    AssuranceCase,
+    EvidenceItem,
+    EvidenceKind,
+    SafetyCriterion,
+)
+from repro.core.impact import evidence_impact
+from repro.formalise.translator import formalise_argument
+from repro.notation import render_prose, render_table, render_tree
+
+
+def main() -> None:
+    # 1. Sketch the argument top-down.
+    builder = ArgumentBuilder("autonomous-shuttle")
+    top = builder.goal(
+        "The autonomous shuttle is acceptably safe for campus operation"
+    )
+    builder.context(
+        "Operating domain: 25 km/h limit, segregated campus roads",
+        under=top,
+    )
+    strategy = builder.strategy(
+        "Argument over each identified hazard", under=top
+    )
+    builder.justification(
+        "Hazard identification workshop held per the safety plan",
+        under=strategy,
+    )
+    pedestrians = builder.goal(
+        "Hazard H1 (pedestrian strike) is acceptably mitigated",
+        under=strategy,
+    )
+    builder.solution("Pedestrian detection test campaign", under=pedestrians)
+    runaway = builder.goal(
+        "Hazard H2 (runaway vehicle) is acceptably mitigated",
+        under=strategy,
+    )
+    builder.solution("Independent brake channel FMEA", under=runaway)
+
+    # 2. Build — well-formedness is checked on the way out.
+    argument = builder.build()
+    print("=== ASCII tree ===")
+    print(render_tree(argument))
+
+    # 3. Wrap it in a case with evidence and lifecycle history.
+    case = AssuranceCase(
+        "shuttle-case",
+        argument,
+        SafetyCriterion(
+            "No injury-accident more often than once per million km",
+            "injury_accident_rate",
+            1e-6,
+        ),
+    )
+    case.add_evidence(
+        EvidenceItem("tc-ped", EvidenceKind.TESTING,
+                     "600-scenario pedestrian detection campaign",
+                     coverage=0.83),
+        cited_by="Sn1",
+    )
+    case.add_evidence(
+        EvidenceItem("fmea-brake", EvidenceKind.FAULT_TREE_ANALYSIS,
+                     "brake channel FMEA rev C", coverage=0.95),
+        cited_by="Sn2",
+    )
+    case.record_decision(
+        "Residual risk for H1 accepted at committee #4",
+        affected=["G2"],
+    )
+    print("=== Integrity ===")
+    print(case.integrity_report().summary())
+
+    # 4. Alternative renderings for different stakeholders (§II.A).
+    print()
+    print("=== Table (review checklist view) ===")
+    print(render_table(argument))
+    print("=== Prose (for the non-graphically inclined [32]) ===")
+    print(render_prose(argument))
+
+    # 5. Rushby-style formalisation + mechanical check (§III.M).
+    formalisation = formalise_argument(argument)
+    formalisation.assent_all()
+    print("=== Formalisation ===")
+    print(formalisation.summary())
+    print("top-level claim machine-checks:", formalisation.check())
+    print("load-bearing evidence:", formalisation.load_bearing_evidence())
+
+    # What does doubting the pedestrian campaign touch? (§VI.E)
+    impact = evidence_impact(case, "tc-ped")
+    print("impact of doubting 'tc-ped':", impact.summary())
+
+
+if __name__ == "__main__":
+    main()

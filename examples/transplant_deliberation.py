@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Tolchinsky et al.'s deliberation dialogues (§III.O), worked.
+
+An on-line decision aid for a safety-critical action: a transplant team
+deliberates over an organ offer.  Arguments are exchanged in a dialogue
+game; the tool maintains the argumentation framework and reports, under
+sceptical (grounded) semantics, whether the action is currently
+endorsed.  Unresolved conflicts leave the action unendorsed — the
+conservative behaviour a safety-critical aid must have.
+
+Run: ``python examples/transplant_deliberation.py``
+"""
+
+from repro.formalise.deliberation import (
+    DefeasibleArgument,
+    DeliberationDialogue,
+    transplant_scenario,
+)
+
+
+def main() -> None:
+    print("=== The worked scenario from the paper's domain ===")
+    dialogue = transplant_scenario()
+    print(dialogue.transcript())
+
+    print("=== A deliberation that (correctly) stalls ===")
+    stalled = DeliberationDialogue("administer(r, penicillin)")
+    stalled.play(
+        "allergist",
+        DefeasibleArgument.of(
+            "allergy", "unsafe(administer(r, penicillin))",
+            "recorded_allergy(r, penicillin)",
+            note="records show a penicillin allergy",
+        ),
+        against="proposal",
+    )
+    stalled.play(
+        "registrar",
+        DefeasibleArgument.of(
+            "stale_record", "unreliable(allergy)",
+            "record_age(r, years20)",
+            note="the record is twenty years old",
+        ),
+        against="allergy",
+    )
+    stalled.play(
+        "allergist",
+        DefeasibleArgument.of(
+            "recent_reaction", "unreliable(stale_record)",
+            "observed_rash(r, last_admission)",
+            note="a rash was observed on the last admission",
+        ),
+        against="stale_record",
+    )
+    print(stalled.transcript())
+    print("open challenges the team must answer:",
+          stalled.open_challenges())
+    print()
+    print("Grounded semantics is sceptical: while a contraindication "
+          "stands undefeated,")
+    print("the tool refuses to endorse the action — the conservative "
+          "default a")
+    print("safety-critical decision aid needs.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Brunel & Cazin's formally verified safety argumentation (§III.G).
+
+Builds the KAOS goal model for a UAV detect-and-avoid function, with each
+goal formalised in LTL (the top-level claim is the paper's example: an
+intrusion never leads to collision before separation is restored).  Then:
+
+1. mechanically validates every refinement over seeded encounter traces
+   ('automatic validation of the argumentation'),
+2. shows the *flawed* model variant — missing its domain property —
+   being caught with concrete counterexample traces, and the full model
+   closing the hole,
+3. derives the GSN argument whose structure mirrors the goal model.
+
+Run: ``python examples/uav_detect_and_avoid.py``
+"""
+
+import random
+
+from repro.formalise.kaos import (
+    flawed_uav_model,
+    kaos_to_argument,
+    uav_model,
+    uav_traces,
+)
+from repro.notation import render_tree
+
+
+def main() -> None:
+    model = uav_model()
+    print("=== Goal model ===")
+    for goal in model.goals():
+        formal = f"  [LTL: {goal.formal}]" if goal.formal else ""
+        print(f"  {goal.name} ({goal.category.value}){formal}")
+    print()
+
+    nominal = uav_traces(random.Random(1), count=100, fault_rate=0.0)
+    print("=== Validation over 100 nominal encounter traces ===")
+    print(model.validate(nominal).summary())
+    print()
+
+    stressed = uav_traces(random.Random(2), count=100, fault_rate=0.4)
+    print("=== Validation over 100 stressed traces "
+          "(late detection + onset collision) ===")
+    print("full model:  ", model.validate(stressed).summary())
+
+    flawed = flawed_uav_model()
+    flawed_report = flawed.validate(stressed)
+    print("flawed model:", flawed_report.summary())
+    for counterexample in flawed_report.counterexamples[:3]:
+        print("  e.g.", counterexample)
+    print()
+    print("The ClosureDynamics domain property is what closes the "
+          "refinement hole —")
+    print("exactly the kind of dependency the formal semantics makes "
+          "checkable.")
+    print()
+
+    print("=== Derived GSN argument (structure mirrors the model) ===")
+    print(render_tree(kaos_to_argument(model)))
+    print()
+    print("Brunel & Cazin's own caveat (§III.G): presentation must "
+          "convince 'a certification")
+    print("authority', 'not a specialist of temporal logic'.  See "
+          "experiments/audience_study.")
+
+
+if __name__ == "__main__":
+    main()

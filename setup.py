@@ -1,0 +1,10 @@
+"""Shim for environments without the ``wheel`` package.
+
+The offline sandbox lacks ``wheel``, which breaks PEP 660 editable
+installs; ``pip install -e . --no-use-pep517 --no-build-isolation`` goes
+through this file instead.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,82 @@
+"""repro — a reproduction of Graydon, 'Formal Assurance Arguments: A
+Solution In Search of a Problem?' (DSN 2015).
+
+The library implements every system the paper reasons about:
+
+* :mod:`repro.core` — the assurance-case model (GSN, CAE via
+  :mod:`repro.notation`, Toulmin, evidence, patterns, views, queries);
+* :mod:`repro.logic` — the formal substrates (propositional + SAT,
+  natural deduction, sequents, resolution, mini-Prolog, multi-sorted FOL,
+  LTL, Event Calculus, BBN confidence, syllogisms);
+* :mod:`repro.fallacies` — the formal/informal fallacy taxonomy, the
+  mechanical formal-fallacy detector, and the fallacy injector;
+* :mod:`repro.formalise` — the surveyed formalisation proposals as
+  working translators (Rushby, Basir/Denney, Brunel & Cazin, Haley et
+  al., Tun et al.);
+* :mod:`repro.survey` — the systematic literature survey pipeline that
+  regenerates Table I;
+* :mod:`repro.experiments` — the five §VI studies on simulated subjects.
+
+Quickstart::
+
+    from repro import ArgumentBuilder, desert_bank_program
+
+    builder = ArgumentBuilder("demo")
+    top = builder.goal("The system is acceptably safe")
+    strategy = builder.strategy("Argument over identified hazards",
+                                under=top)
+    hazard = builder.goal("Hazard H1 is mitigated", under=strategy)
+    builder.solution("Fault tree analysis FTA-1", under=hazard)
+    argument = builder.build()
+
+    # ... and the paper's Figure 1:
+    program = desert_bank_program()
+    assert program.provable("adjacent(desert_bank, river)")   # formally valid
+    # ... yet false in the world: 'bank' equivocates.  (§IV.C)
+"""
+
+from .core import (
+    Argument,
+    ArgumentBuilder,
+    AssuranceCase,
+    EvidenceItem,
+    EvidenceKind,
+    LinkKind,
+    Node,
+    NodeType,
+    SafetyCriterion,
+    check,
+    is_well_formed,
+)
+from .paper import ReproductionReport, verify_reproduction
+from .logic import (
+    ProofBuilder,
+    check_proof,
+    desert_bank_program,
+    entails,
+    haley_outer_proof,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Argument",
+    "ArgumentBuilder",
+    "AssuranceCase",
+    "EvidenceItem",
+    "EvidenceKind",
+    "LinkKind",
+    "Node",
+    "NodeType",
+    "SafetyCriterion",
+    "check",
+    "is_well_formed",
+    "ProofBuilder",
+    "check_proof",
+    "desert_bank_program",
+    "entails",
+    "haley_outer_proof",
+    "ReproductionReport",
+    "verify_reproduction",
+    "__version__",
+]

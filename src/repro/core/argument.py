@@ -1,0 +1,397 @@
+"""The assurance-argument graph.
+
+Denney & Pai formalise a partial safety case argument structure as a tuple
+``⟨N, l, t, →⟩`` — nodes, a type-labelling function, a content function,
+and a connector relation (§III.I).  :class:`Argument` realises exactly that
+structure, with the connector relation split into GSN's two arrows:
+
+* **SupportedBy** (``→`` solid arrow): inferential/evidential support;
+* **InContextOf** (``⇢`` hollow arrow): contextual attachment.
+
+The class offers the graph services every other layer consumes: traversal,
+root/leaf discovery, cycle detection, path tracing (the 'tracing a path in
+a graph' that §VI.E says graphical notations are thought to ease), subtree
+extraction, and structural statistics.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Sequence
+
+from .nodes import Node, NodeType
+
+__all__ = ["LinkKind", "Link", "Argument", "ArgumentError"]
+
+
+class LinkKind(enum.Enum):
+    """The two GSN connector kinds."""
+
+    SUPPORTED_BY = "supported_by"
+    IN_CONTEXT_OF = "in_context_of"
+
+
+@dataclass(frozen=True, slots=True)
+class Link:
+    """A directed connector from ``source`` to ``target`` (identifiers)."""
+
+    source: str
+    target: str
+    kind: LinkKind
+
+    def __str__(self) -> str:
+        arrow = "->" if self.kind is LinkKind.SUPPORTED_BY else "~>"
+        return f"{self.source} {arrow} {self.target}"
+
+
+class ArgumentError(ValueError):
+    """Raised for structural violations (unknown nodes, duplicates, etc.)."""
+
+
+class Argument:
+    """A mutable assurance-argument graph.
+
+    Mutation is restricted to ``add_node``/``add_link``/``remove_*`` so the
+    internal indices stay consistent.  Equality compares node sets and link
+    sets (used by the notation round-trip property tests).
+    """
+
+    def __init__(self, name: str = "argument") -> None:
+        self.name = name
+        self._nodes: dict[str, Node] = {}
+        self._links: list[Link] = []
+        self._out: dict[str, list[Link]] = {}
+        self._in: dict[str, list[Link]] = {}
+
+    # -- construction ---------------------------------------------------
+
+    def add_node(self, node: Node) -> Node:
+        """Add a node; identifiers must be unique."""
+        if node.identifier in self._nodes:
+            raise ArgumentError(
+                f"duplicate node identifier {node.identifier!r}"
+            )
+        self._nodes[node.identifier] = node
+        self._out.setdefault(node.identifier, [])
+        self._in.setdefault(node.identifier, [])
+        return node
+
+    def add_link(
+        self, source: str, target: str, kind: LinkKind
+    ) -> Link:
+        """Connect two existing nodes; parallel duplicate links are rejected."""
+        if source not in self._nodes:
+            raise ArgumentError(f"unknown source node {source!r}")
+        if target not in self._nodes:
+            raise ArgumentError(f"unknown target node {target!r}")
+        if source == target:
+            raise ArgumentError(f"self-link on {source!r}")
+        link = Link(source, target, kind)
+        if link in self._links:
+            raise ArgumentError(f"duplicate link {link}")
+        self._links.append(link)
+        self._out[source].append(link)
+        self._in[target].append(link)
+        return link
+
+    def supported_by(self, source: str, target: str) -> Link:
+        """Shorthand for a SupportedBy connector."""
+        return self.add_link(source, target, LinkKind.SUPPORTED_BY)
+
+    def in_context_of(self, source: str, target: str) -> Link:
+        """Shorthand for an InContextOf connector."""
+        return self.add_link(source, target, LinkKind.IN_CONTEXT_OF)
+
+    def replace_node(self, node: Node) -> None:
+        """Swap in a new node object under an existing identifier."""
+        if node.identifier not in self._nodes:
+            raise ArgumentError(f"unknown node {node.identifier!r}")
+        self._nodes[node.identifier] = node
+
+    def remove_link(self, link: Link) -> None:
+        """Remove one connector."""
+        try:
+            self._links.remove(link)
+        except ValueError:
+            raise ArgumentError(f"no such link {link}") from None
+        self._out[link.source].remove(link)
+        self._in[link.target].remove(link)
+
+    def remove_node(self, identifier: str) -> None:
+        """Remove a node and every connector touching it."""
+        if identifier not in self._nodes:
+            raise ArgumentError(f"unknown node {identifier!r}")
+        for link in list(self._out[identifier]) + list(self._in[identifier]):
+            if link in self._links:
+                self.remove_link(link)
+        del self._nodes[identifier]
+        del self._out[identifier]
+        del self._in[identifier]
+
+    # -- lookup -----------------------------------------------------------
+
+    def node(self, identifier: str) -> Node:
+        """Fetch a node by identifier."""
+        try:
+            return self._nodes[identifier]
+        except KeyError:
+            raise ArgumentError(f"unknown node {identifier!r}") from None
+
+    def __contains__(self, identifier: str) -> bool:
+        return identifier in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def nodes(self) -> list[Node]:
+        """All nodes, in insertion order."""
+        return list(self._nodes.values())
+
+    @property
+    def links(self) -> list[Link]:
+        """All links, in insertion order."""
+        return list(self._links)
+
+    def nodes_of_type(self, node_type: NodeType) -> list[Node]:
+        """All nodes of one kind."""
+        return [n for n in self._nodes.values() if n.node_type is node_type]
+
+    @property
+    def goals(self) -> list[Node]:
+        return self.nodes_of_type(NodeType.GOAL)
+
+    @property
+    def strategies(self) -> list[Node]:
+        return self.nodes_of_type(NodeType.STRATEGY)
+
+    @property
+    def solutions(self) -> list[Node]:
+        return self.nodes_of_type(NodeType.SOLUTION)
+
+    # -- structure ---------------------------------------------------------
+
+    def children(
+        self, identifier: str, kind: LinkKind | None = None
+    ) -> list[Node]:
+        """Targets of outgoing links (optionally of one kind)."""
+        return [
+            self._nodes[link.target]
+            for link in self._out.get(identifier, [])
+            if kind is None or link.kind is kind
+        ]
+
+    def parents(
+        self, identifier: str, kind: LinkKind | None = None
+    ) -> list[Node]:
+        """Sources of incoming links (optionally of one kind)."""
+        return [
+            self._nodes[link.source]
+            for link in self._in.get(identifier, [])
+            if kind is None or link.kind is kind
+        ]
+
+    def supporters(self, identifier: str) -> list[Node]:
+        """Nodes this node cites as support (SupportedBy targets)."""
+        return self.children(identifier, LinkKind.SUPPORTED_BY)
+
+    def context_of(self, identifier: str) -> list[Node]:
+        """Contextual nodes attached to this node."""
+        return self.children(identifier, LinkKind.IN_CONTEXT_OF)
+
+    def roots(self) -> list[Node]:
+        """Nodes with no incoming SupportedBy link and claim-like type.
+
+        A well-formed safety argument has exactly one root goal; fragments
+        under construction may have several.
+        """
+        supported = {
+            link.target
+            for link in self._links
+            if link.kind is LinkKind.SUPPORTED_BY
+        }
+        return [
+            node
+            for node in self._nodes.values()
+            if node.node_type.is_claim_like
+            and node.identifier not in supported
+        ]
+
+    def leaves(self) -> list[Node]:
+        """Claim-like or strategy nodes with no outgoing SupportedBy link."""
+        return [
+            node
+            for node in self._nodes.values()
+            if node.node_type in (
+                NodeType.GOAL, NodeType.STRATEGY, NodeType.AWAY_GOAL
+            )
+            and not self.supporters(node.identifier)
+        ]
+
+    def walk(
+        self, start: str, kind: LinkKind | None = None
+    ) -> Iterator[Node]:
+        """Depth-first pre-order walk of the support graph from ``start``."""
+        seen: set[str] = set()
+        stack = [start]
+        while stack:
+            identifier = stack.pop()
+            if identifier in seen:
+                continue
+            seen.add(identifier)
+            node = self.node(identifier)
+            yield node
+            targets = [
+                link.target
+                for link in self._out.get(identifier, [])
+                if kind is None or link.kind is kind
+            ]
+            stack.extend(reversed(targets))
+
+    def subtree(self, start: str) -> "Argument":
+        """A new argument containing everything reachable from ``start``."""
+        fragment = Argument(name=f"{self.name}/{start}")
+        members = {node.identifier for node in self.walk(start)}
+        for identifier in members:
+            fragment.add_node(self._nodes[identifier])
+        for link in self._links:
+            if link.source in members and link.target in members:
+                fragment.add_link(link.source, link.target, link.kind)
+        return fragment
+
+    def find_cycle(self) -> list[str] | None:
+        """A SupportedBy cycle as a node-identifier list, or None.
+
+        Cyclic support is the graph form of *begging the question*: a claim
+        ultimately cited in its own support.
+        """
+        colour: dict[str, int] = {}  # 0 unvisited, 1 in-progress, 2 done
+        parent: dict[str, str] = {}
+
+        def visit(identifier: str) -> list[str] | None:
+            colour[identifier] = 1
+            for link in self._out.get(identifier, []):
+                if link.kind is not LinkKind.SUPPORTED_BY:
+                    continue
+                target = link.target
+                if colour.get(target, 0) == 1:
+                    # Reconstruct the cycle.
+                    cycle = [target, identifier]
+                    current = identifier
+                    while parent.get(current) and current != target:
+                        current = parent[current]
+                        cycle.append(current)
+                        if current == target:
+                            break
+                    cycle.reverse()
+                    return cycle
+                if colour.get(target, 0) == 0:
+                    parent[target] = identifier
+                    found = visit(target)
+                    if found:
+                        return found
+            colour[identifier] = 2
+            return None
+
+        for identifier in self._nodes:
+            if colour.get(identifier, 0) == 0:
+                found = visit(identifier)
+                if found:
+                    return found
+        return None
+
+    def paths_to_root(self, identifier: str) -> list[list[str]]:
+        """All SupportedBy paths from a node up to any root.
+
+        This is the traversal an assessor performs when judging evidence
+        sufficiency with a graphical notation (§VI.E): from an item of
+        evidence, trace every chain of claims it ultimately supports.
+        """
+        self.node(identifier)
+        paths: list[list[str]] = []
+
+        def climb(current: str, trail: list[str]) -> None:
+            incoming = [
+                link.source
+                for link in self._in.get(current, [])
+                if link.kind is LinkKind.SUPPORTED_BY
+            ]
+            if not incoming:
+                paths.append(list(trail))
+                return
+            for source in incoming:
+                if source in trail:
+                    continue  # defensive: cyclic arguments
+                trail.append(source)
+                climb(source, trail)
+                trail.pop()
+
+        climb(identifier, [identifier])
+        return paths
+
+    def depth(self) -> int:
+        """Longest SupportedBy path length from any root, in nodes."""
+        roots = self.roots()
+        if not roots:
+            return 0
+        best = 0
+        for root in roots:
+            best = max(best, self._depth_from(root.identifier, set()))
+        return best
+
+    def _depth_from(self, identifier: str, seen: set[str]) -> int:
+        if identifier in seen:
+            return 0
+        seen = seen | {identifier}
+        supports = self.supporters(identifier)
+        if not supports:
+            return 1
+        return 1 + max(
+            self._depth_from(child.identifier, seen) for child in supports
+        )
+
+    def statistics(self) -> dict[str, int]:
+        """Node/link counts by kind plus depth — used by the benchmarks."""
+        stats: dict[str, int] = {
+            f"{node_type.value}_count": len(self.nodes_of_type(node_type))
+            for node_type in NodeType
+        }
+        stats["node_count"] = len(self._nodes)
+        stats["link_count"] = len(self._links)
+        stats["supported_by_count"] = sum(
+            1 for link in self._links if link.kind is LinkKind.SUPPORTED_BY
+        )
+        stats["in_context_of_count"] = sum(
+            1 for link in self._links if link.kind is LinkKind.IN_CONTEXT_OF
+        )
+        stats["depth"] = self.depth()
+        return stats
+
+    # -- comparison ---------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Argument):
+            return NotImplemented
+        return (
+            set(self._nodes.values()) == set(other._nodes.values())
+            and set(self._links) == set(other._links)
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - mutable; not hashed
+        raise TypeError("Argument is mutable and unhashable")
+
+    def copy(self, name: str | None = None) -> "Argument":
+        """A structural copy (node objects are shared; they are frozen)."""
+        duplicate = Argument(name=name or self.name)
+        for node in self._nodes.values():
+            duplicate.add_node(node)
+        for link in self._links:
+            duplicate.add_link(link.source, link.target, link.kind)
+        return duplicate
+
+    def __str__(self) -> str:
+        lines = [f"Argument {self.name!r}:"]
+        lines.extend(f"  {node}" for node in self._nodes.values())
+        lines.extend(f"  {link}" for link in self._links)
+        return "\n".join(lines)

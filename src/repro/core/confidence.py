@@ -1,0 +1,221 @@
+"""Mechanical argument-confidence assessment via Bayesian networks.
+
+Ref [34] of the paper ('Uncertainty and confidence in safety logic')
+surveys mechanisms for quantifying argument confidence; §V.B warns that
+if confidence is 'assessed mechanically (e.g., through BBN modelling)',
+an asserted rule over an irrelevant premise 'would artificially raise
+the assessed confidence'.
+
+This module builds that assessor so the warning can be measured:
+
+* :func:`confidence_network` — compile a GSN argument into a boolean
+  Bayesian network: each solution becomes an evidence node whose prior
+  reflects its registry attributes (coverage, tool trust, age); each
+  supported claim becomes a noisy-OR/AND combination of its support;
+* :func:`claim_confidence` — posterior confidence in any claim given
+  which evidence is accepted;
+* :func:`confidence_report` — per-claim posteriors for a whole case.
+
+The semantics mirror :mod:`repro.formalise.translator`: sub-claims
+combine conjunctively (a noisy-AND via De Morgan on noisy-OR), parallel
+evidence under one claim combines disjunctively (noisy-OR) — redundant
+evidence raises confidence, missing legs lower it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..logic.bbn import BayesNet, Cpt, noisy_or_cpt
+from .argument import Argument
+from .case import AssuranceCase
+from .evidence import EvidenceItem
+from .nodes import NodeType
+
+__all__ = [
+    "ConfidenceModel",
+    "confidence_network",
+    "claim_confidence",
+    "confidence_report",
+    "evidence_prior",
+]
+
+#: Probability a support step's inference itself is sound (the 'warrant
+#: strength' default).  Deliberately below 1: inference steps carry
+#: residual doubt even when every leg holds.
+DEFAULT_STEP_STRENGTH = 0.95
+#: Leak: confidence in a claim with no accepted support.
+DEFAULT_LEAK = 0.02
+
+
+def evidence_prior(item: EvidenceItem) -> float:
+    """Prior that an evidence artefact actually establishes its point.
+
+    Scales with coverage, discounts untrusted tools and stale data —
+    the attributes Def Stan 00-56's sufficiency talk revolves around.
+    """
+    prior = 0.35 + 0.6 * item.coverage
+    if not item.trusted_tool:
+        prior *= 0.8
+    if item.age_days > 365:
+        prior *= 0.85
+    return max(0.01, min(0.99, prior))
+
+
+@dataclass
+class ConfidenceModel:
+    """A compiled confidence network for one argument/case."""
+
+    network: BayesNet
+    claim_variables: dict[str, str]     # node id -> BBN variable
+    evidence_variables: dict[str, str]  # solution id -> BBN variable
+
+    def confidence(
+        self,
+        node_id: str,
+        accepted_evidence: Mapping[str, bool] | None = None,
+    ) -> float:
+        """Posterior confidence in a claim.
+
+        ``accepted_evidence`` maps solution identifiers to acceptance;
+        unmentioned evidence stays at its prior.
+        """
+        variable = self.claim_variables[node_id]
+        evidence = {
+            self.evidence_variables[solution_id]: value
+            for solution_id, value in (accepted_evidence or {}).items()
+        }
+        return self.network.query(variable, evidence)
+
+
+def _variable_name(prefix: str, identifier: str) -> str:
+    return f"{prefix}_{identifier.lower().replace('-', '_')}"
+
+
+def confidence_network(argument: Argument) -> ConfidenceModel:
+    """Compile an argument into a confidence BBN.
+
+    Claims are added in reverse-topological order (support first).  A
+    claim with both sub-claims and evidence treats the sub-claims as
+    jointly necessary and the evidence items as independent alternative
+    boosts, matching the formalisation semantics.
+    """
+    network = BayesNet()
+    claim_variables: dict[str, str] = {}
+    evidence_variables: dict[str, str] = {}
+
+    for node in argument.nodes:
+        if node.node_type is NodeType.SOLUTION:
+            variable = _variable_name("ev", node.identifier)
+            evidence_variables[node.identifier] = variable
+            network.add_prior(variable, 0.9)
+
+    ordered: list[str] = []
+    visited: set[str] = set()
+
+    def post_order(identifier: str) -> None:
+        if identifier in visited:
+            return
+        visited.add(identifier)
+        for child in argument.supporters(identifier):
+            post_order(child.identifier)
+        node = argument.node(identifier)
+        if node.node_type in (NodeType.GOAL, NodeType.STRATEGY,
+                              NodeType.AWAY_GOAL):
+            ordered.append(identifier)
+
+    for root in argument.roots():
+        post_order(root.identifier)
+    # Cover claim nodes not reachable from a root (fragments).
+    for node in argument.nodes:
+        if node.node_type in (NodeType.GOAL, NodeType.STRATEGY,
+                              NodeType.AWAY_GOAL):
+            post_order(node.identifier)
+
+    for identifier in ordered:
+        variable = _variable_name("cl", identifier)
+        claim_variables[identifier] = variable
+        supporters = argument.supporters(identifier)
+        claim_parents = [
+            claim_variables[c.identifier]
+            for c in supporters
+            if c.identifier in claim_variables
+        ]
+        evidence_parents = [
+            evidence_variables[c.identifier]
+            for c in supporters
+            if c.identifier in evidence_variables
+        ]
+        if not claim_parents and not evidence_parents:
+            # Undeveloped claim: only the leak speaks for it.
+            network.add_prior(variable, DEFAULT_LEAK)
+            continue
+        if claim_parents:
+            # Noisy-AND over sub-claims (all legs needed), with evidence
+            # folded in as additional required legs.
+            parents = tuple(claim_parents + evidence_parents)
+            table: dict[tuple[bool, ...], float] = {}
+            import itertools
+
+            for row in itertools.product((False, True),
+                                         repeat=len(parents)):
+                if all(row):
+                    table[row] = DEFAULT_STEP_STRENGTH
+                else:
+                    missing = sum(1 for bit in row if not bit)
+                    table[row] = max(
+                        DEFAULT_LEAK,
+                        DEFAULT_STEP_STRENGTH * (0.3 ** missing),
+                    )
+            network.add(Cpt(variable, parents, table))
+        else:
+            # Pure evidence: alternatives, noisy-OR.
+            network.add(noisy_or_cpt(
+                variable,
+                tuple(evidence_parents),
+                tuple(DEFAULT_STEP_STRENGTH
+                      for _ in evidence_parents),
+                leak=DEFAULT_LEAK,
+            ))
+    return ConfidenceModel(network, claim_variables, evidence_variables)
+
+
+def _case_model(case: AssuranceCase) -> ConfidenceModel:
+    """A model whose evidence priors come from the case's registry."""
+    model = confidence_network(case.argument)
+    # Rebuild with evidence priors from registry attributes; claim CPTs
+    # carry over unchanged (BayesNet has no in-place update by design).
+    network = BayesNet()
+    for solution_id, variable in model.evidence_variables.items():
+        items = case.citations(solution_id)
+        if items:
+            prior = max(evidence_prior(item) for item in items)
+        else:
+            prior = 0.3  # uncited solution: weak by default
+        network.add_prior(variable, prior)
+    for variable in model.network.variables:
+        if variable.startswith("ev_"):
+            continue
+        network.add(model.network.cpt(variable))
+    return ConfidenceModel(
+        network, model.claim_variables, model.evidence_variables
+    )
+
+
+def claim_confidence(
+    case: AssuranceCase,
+    node_id: str,
+    accepted_evidence: Mapping[str, bool] | None = None,
+) -> float:
+    """Posterior confidence in one claim of a case."""
+    return _case_model(case).confidence(node_id, accepted_evidence)
+
+
+def confidence_report(case: AssuranceCase) -> dict[str, float]:
+    """Posterior confidence for every claim, keyed by node identifier."""
+    model = _case_model(case)
+    return {
+        node_id: model.confidence(node_id)
+        for node_id in model.claim_variables
+    }

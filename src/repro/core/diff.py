@@ -1,0 +1,173 @@
+"""Argument diffing across versions — the maintenance view.
+
+Def Stan 00-56 requires the safety case to be maintained 'through the
+life of the contract' (§II.A); the readers the paper enumerates include
+'developers making changes to existing systems' and 'operators changing
+operating procedures'.  Their question is always the same: *what changed
+in the argument, and which claims should we re-review?*
+
+This module answers it mechanically:
+
+* :func:`diff_arguments` — structural diff between two argument
+  versions: added/removed/retexted nodes, added/removed links, fold
+  state ignored;
+* :class:`ArgumentDiff.review_set` — the claims a reviewer must
+  re-examine: every changed node plus everything upstream of a change
+  (computed with the same path tracing §VI.E's graph condition uses);
+* :func:`render_diff` — a human-readable change summary for the change
+  board minutes the standard wants recorded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from .argument import Argument, Link
+from .impact import claims_affected_by
+from .nodes import Node
+
+__all__ = ["NodeChange", "ArgumentDiff", "diff_arguments", "render_diff"]
+
+
+@dataclass(frozen=True)
+class NodeChange:
+    """One modified node: same identifier, different content."""
+
+    identifier: str
+    before: Node
+    after: Node
+
+    @property
+    def text_changed(self) -> bool:
+        return self.before.text != self.after.text
+
+    @property
+    def kind_changed(self) -> bool:
+        return self.before.node_type is not self.after.node_type
+
+    def __str__(self) -> str:
+        parts = []
+        if self.kind_changed:
+            parts.append(
+                f"kind {self.before.node_type.value} -> "
+                f"{self.after.node_type.value}"
+            )
+        if self.text_changed:
+            parts.append(
+                f"text {self.before.text!r} -> {self.after.text!r}"
+            )
+        if self.before.undeveloped != self.after.undeveloped:
+            parts.append(
+                "now undeveloped" if self.after.undeveloped
+                else "now developed"
+            )
+        if self.before.metadata != self.after.metadata:
+            parts.append("metadata changed")
+        return f"{self.identifier}: {'; '.join(parts) or 'unchanged?'}"
+
+
+@dataclass(frozen=True)
+class ArgumentDiff:
+    """The full structural difference between two versions."""
+
+    added_nodes: tuple[Node, ...]
+    removed_nodes: tuple[Node, ...]
+    changed_nodes: tuple[NodeChange, ...]
+    added_links: tuple[Link, ...]
+    removed_links: tuple[Link, ...]
+
+    @property
+    def is_empty(self) -> bool:
+        return not (
+            self.added_nodes or self.removed_nodes or self.changed_nodes
+            or self.added_links or self.removed_links
+        )
+
+    def touched_identifiers(self) -> set[str]:
+        """Every node identifier involved in some change."""
+        touched: set[str] = set()
+        touched.update(n.identifier for n in self.added_nodes)
+        touched.update(n.identifier for n in self.removed_nodes)
+        touched.update(c.identifier for c in self.changed_nodes)
+        for link in self.added_links + self.removed_links:
+            touched.add(link.source)
+            touched.add(link.target)
+        return touched
+
+    def review_set(self, after: Argument) -> set[str]:
+        """Claims a reviewer must re-examine in the new version.
+
+        Every touched node still present, plus every claim upstream of a
+        touched node — the support of those claims is not what it was
+        when they were last reviewed.
+        """
+        review: set[str] = set()
+        for identifier in self.touched_identifiers():
+            if identifier not in after:
+                continue
+            node = after.node(identifier)
+            if node.node_type.is_claim_like:
+                review.add(identifier)
+            for claim in claims_affected_by(after, identifier):
+                review.add(claim.identifier)
+        return review
+
+
+def diff_arguments(before: Argument, after: Argument) -> ArgumentDiff:
+    """Structural diff from ``before`` to ``after``."""
+    before_nodes = {n.identifier: n for n in before.nodes}
+    after_nodes = {n.identifier: n for n in after.nodes}
+    added = tuple(
+        after_nodes[i] for i in sorted(
+            set(after_nodes) - set(before_nodes)
+        )
+    )
+    removed = tuple(
+        before_nodes[i] for i in sorted(
+            set(before_nodes) - set(after_nodes)
+        )
+    )
+    changed = tuple(
+        NodeChange(i, before_nodes[i], after_nodes[i])
+        for i in sorted(set(before_nodes) & set(after_nodes))
+        if before_nodes[i] != after_nodes[i]
+    )
+    before_links = set(before.links)
+    after_links = set(after.links)
+    added_links = tuple(sorted(
+        after_links - before_links, key=str
+    ))
+    removed_links = tuple(sorted(
+        before_links - after_links, key=str
+    ))
+    return ArgumentDiff(added, removed, changed, added_links,
+                        removed_links)
+
+
+def render_diff(diff: ArgumentDiff, after: Argument) -> str:
+    """A change-board-ready summary of the diff."""
+    if diff.is_empty:
+        return "No structural changes.\n"
+    lines: list[str] = ["ARGUMENT CHANGES", ""]
+    if diff.added_nodes:
+        lines.append("Added nodes:")
+        lines.extend(f"  + {node}" for node in diff.added_nodes)
+    if diff.removed_nodes:
+        lines.append("Removed nodes:")
+        lines.extend(f"  - {node}" for node in diff.removed_nodes)
+    if diff.changed_nodes:
+        lines.append("Modified nodes:")
+        lines.extend(f"  ~ {change}" for change in diff.changed_nodes)
+    if diff.added_links:
+        lines.append("Added links:")
+        lines.extend(f"  + {link}" for link in diff.added_links)
+    if diff.removed_links:
+        lines.append("Removed links:")
+        lines.extend(f"  - {link}" for link in diff.removed_links)
+    review = sorted(diff.review_set(after))
+    lines.append("")
+    lines.append(
+        f"Claims to re-review ({len(review)}): {', '.join(review)}"
+    )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,173 @@
+"""Evidence items and the evidence registry.
+
+An assurance case comprises 'evidence and a structured assurance argument
+explaining how that evidence supports an assurance claim' (§I).  Evidence
+objects model the artefacts GSN solutions cite: test results, analyses,
+proofs, field data, review records.  Def Stan 00-56 requires evidence
+'commensurate with the potential risk posed by the system' and 'relevant
+data from the use of the system' (§II.A); the registry therefore carries
+the attributes sufficiency judgments need — kind, provenance, coverage,
+age — which the §VI.E experiment manipulates.
+
+The paper's §V.B example of a *wrong reasons* fallacy — asserting
+``wcet(task_1, 250)`` 'because of unit test results' — is representable
+directly: an :class:`EvidenceItem` of kind ``TESTING`` cited for a claim
+that needs kind ``TIMING_ANALYSIS``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+__all__ = [
+    "EvidenceKind",
+    "EvidenceItem",
+    "EvidenceRegistry",
+    "EvidenceError",
+    "APPROPRIATE_KINDS",
+]
+
+
+class EvidenceKind(enum.Enum):
+    """Kinds of evidence artefact commonly cited by assurance arguments."""
+
+    TESTING = "testing"
+    FORMAL_PROOF = "formal_proof"
+    TIMING_ANALYSIS = "timing_analysis"
+    FAULT_TREE_ANALYSIS = "fault_tree_analysis"
+    HAZARD_ANALYSIS = "hazard_analysis"
+    CODE_REVIEW = "code_review"
+    FIELD_DATA = "field_data"
+    SIMULATION = "simulation"
+    EXPERT_JUDGEMENT = "expert_judgement"
+    PROCESS_AUDIT = "process_audit"
+
+
+#: Which evidence kinds are appropriate for which claim topics.  Used by
+#: the informal-fallacy machinery: citing an inappropriate kind is the
+#: 'wrong reasons' fallacy — invisible to formal checking (§V.B) but
+#: encoded here as domain knowledge a human reviewer would apply.
+APPROPRIATE_KINDS: Mapping[str, frozenset[EvidenceKind]] = {
+    "timing": frozenset({
+        EvidenceKind.TIMING_ANALYSIS, EvidenceKind.SIMULATION,
+    }),
+    "functional": frozenset({
+        EvidenceKind.TESTING, EvidenceKind.FORMAL_PROOF,
+        EvidenceKind.CODE_REVIEW, EvidenceKind.SIMULATION,
+    }),
+    "hazard": frozenset({
+        EvidenceKind.HAZARD_ANALYSIS, EvidenceKind.FAULT_TREE_ANALYSIS,
+        EvidenceKind.FIELD_DATA,
+    }),
+    "process": frozenset({
+        EvidenceKind.PROCESS_AUDIT, EvidenceKind.EXPERT_JUDGEMENT,
+    }),
+    "reliability": frozenset({
+        EvidenceKind.FIELD_DATA, EvidenceKind.TESTING,
+        EvidenceKind.FAULT_TREE_ANALYSIS,
+    }),
+}
+
+
+class EvidenceError(ValueError):
+    """Raised for registry misuse (duplicate or unknown identifiers)."""
+
+
+@dataclass(frozen=True)
+class EvidenceItem:
+    """One item of evidence.
+
+    ``coverage`` in [0, 1] abstracts how much of the relevant behaviour the
+    artefact examined (statement coverage, scenario coverage, operating
+    hours normalised, ...).  ``age_days`` supports the standard's concern
+    that in-service data stay current.  ``trusted_tool`` records whether a
+    qualified tool produced the artefact — the knob Rushby's proof-evidence
+    discussion turns on.
+    """
+
+    identifier: str
+    kind: EvidenceKind
+    description: str
+    coverage: float = 1.0
+    age_days: int = 0
+    trusted_tool: bool = True
+    topic: str = "functional"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.coverage <= 1.0:
+            raise EvidenceError(
+                f"coverage {self.coverage} out of [0, 1] for "
+                f"{self.identifier!r}"
+            )
+        if self.age_days < 0:
+            raise EvidenceError("age_days must be non-negative")
+
+    def appropriate_for(self, topic: str) -> bool:
+        """Is this evidence kind appropriate for claims about ``topic``?
+
+        Unknown topics default to True: the registry cannot rule on topics
+        it has no domain knowledge for, which is precisely the boundary
+        between what machines and human reviewers can check.
+        """
+        kinds = APPROPRIATE_KINDS.get(topic)
+        if kinds is None:
+            return True
+        return self.kind in kinds
+
+    def __str__(self) -> str:
+        return f"{self.identifier} [{self.kind.value}] {self.description!r}"
+
+
+class EvidenceRegistry:
+    """All evidence items of a case, keyed by identifier."""
+
+    def __init__(self, items: Iterable[EvidenceItem] = ()) -> None:
+        self._items: dict[str, EvidenceItem] = {}
+        for item in items:
+            self.add(item)
+
+    def add(self, item: EvidenceItem) -> EvidenceItem:
+        """Register an item; identifiers must be unique."""
+        if item.identifier in self._items:
+            raise EvidenceError(
+                f"duplicate evidence identifier {item.identifier!r}"
+            )
+        self._items[item.identifier] = item
+        return item
+
+    def get(self, identifier: str) -> EvidenceItem:
+        """Fetch an item by identifier."""
+        try:
+            return self._items[identifier]
+        except KeyError:
+            raise EvidenceError(
+                f"unknown evidence {identifier!r}"
+            ) from None
+
+    def __contains__(self, identifier: str) -> bool:
+        return identifier in self._items
+
+    def __iter__(self) -> Iterator[EvidenceItem]:
+        return iter(self._items.values())
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def of_kind(self, kind: EvidenceKind) -> list[EvidenceItem]:
+        """All items of one kind."""
+        return [item for item in self._items.values() if item.kind is kind]
+
+    def stale(self, max_age_days: int) -> list[EvidenceItem]:
+        """Items older than the given age — candidates for refresh."""
+        return [
+            item
+            for item in self._items.values()
+            if item.age_days > max_age_days
+        ]
+
+    def weakest(self, count: int = 5) -> list[EvidenceItem]:
+        """Lowest-coverage items, ascending (sufficiency review order)."""
+        ranked = sorted(self._items.values(), key=lambda i: i.coverage)
+        return ranked[:count]

@@ -1,0 +1,184 @@
+"""Hierarchical safety cases ('hicases').
+
+Denney, Pai & Whiteside's hicases let readers 'collapse or expand parts of
+arguments on screen' (§III.I); the paper records that formalised syntax's
+one uncontested benefit was 'that it enabled the creation of their display
+and editing tools'.  This module provides that machinery:
+
+* :class:`HiView` — a fold state over an argument: a set of folded node
+  identifiers whose support subtrees are hidden;
+* fold/unfold/toggle operations with well-formedness of the visible
+  fragment preserved (folding replaces a subtree with a summary marker,
+  never leaves dangling links);
+* :meth:`HiView.visible_argument` — the abstracted argument a reader sees,
+  with folded nodes marked undeveloped (the natural GSN rendering of
+  'detail elided');
+* :func:`auto_fold_to_depth` — the 'smaller, abstract argument structure'
+  reviewers are claimed to prefer evaluating (§III.I), produced by folding
+  everything below a depth threshold.
+
+The audience experiment (§VI.C) uses views at several fold depths as its
+reading-burden treatments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable
+
+from .argument import Argument, LinkKind
+from .nodes import Node, NodeType
+
+__all__ = ["HiView", "auto_fold_to_depth", "FoldError"]
+
+
+class FoldError(ValueError):
+    """Raised for fold operations on unknown or unfoldable nodes."""
+
+
+class HiView:
+    """A hierarchical view over an argument.
+
+    The underlying argument is never modified; the view tracks which
+    goal/strategy nodes are folded and materialises the visible fragment
+    on demand.
+    """
+
+    def __init__(self, argument: Argument) -> None:
+        self._argument = argument
+        self._folded: set[str] = set()
+
+    @property
+    def argument(self) -> Argument:
+        """The full underlying argument."""
+        return self._argument
+
+    @property
+    def folded(self) -> frozenset[str]:
+        """Currently folded node identifiers."""
+        return frozenset(self._folded)
+
+    def can_fold(self, identifier: str) -> bool:
+        """Only goals and strategies with support can fold."""
+        node = self._argument.node(identifier)
+        if node.node_type not in (NodeType.GOAL, NodeType.STRATEGY):
+            return False
+        return bool(self._argument.supporters(identifier))
+
+    def fold(self, identifier: str) -> None:
+        """Hide the support subtree below a node."""
+        if not self.can_fold(identifier):
+            raise FoldError(
+                f"node {identifier!r} cannot be folded"
+            )
+        self._folded.add(identifier)
+
+    def unfold(self, identifier: str) -> None:
+        """Reveal a previously folded subtree."""
+        self._folded.discard(identifier)
+
+    def toggle(self, identifier: str) -> bool:
+        """Flip fold state; returns True when now folded."""
+        if identifier in self._folded:
+            self.unfold(identifier)
+            return False
+        self.fold(identifier)
+        return True
+
+    def unfold_all(self) -> None:
+        """Reveal everything."""
+        self._folded.clear()
+
+    def hidden_nodes(self) -> set[str]:
+        """Identifiers hidden by the current fold state.
+
+        A node is hidden when every path from a root to it passes through
+        the *support subtree* of a folded node (the folded node itself
+        stays visible as the summary marker).  Context attached to hidden
+        nodes is hidden with them.
+        """
+        hidden: set[str] = set()
+        for folded_id in self._folded:
+            for child in self._argument.supporters(folded_id):
+                for node in self._argument.walk(child.identifier):
+                    hidden.add(node.identifier)
+        # Keep anything still reachable outside the folded subtrees.
+        visible_roots = [
+            r.identifier
+            for r in self._argument.roots()
+            if r.identifier not in hidden
+        ]
+        reachable: set[str] = set()
+        for root in visible_roots:
+            stack = [root]
+            while stack:
+                current = stack.pop()
+                if current in reachable:
+                    continue
+                reachable.add(current)
+                if current in self._folded:
+                    # Context still shows on the folded node itself.
+                    for ctx in self._argument.context_of(current):
+                        reachable.add(ctx.identifier)
+                    continue
+                for link in self._argument.links:
+                    if link.source == current:
+                        stack.append(link.target)
+        return {
+            node.identifier
+            for node in self._argument.nodes
+            if node.identifier not in reachable
+        }
+
+    def visible_argument(self) -> Argument:
+        """The abstracted argument the reader currently sees.
+
+        Folded goals/strategies are re-marked ``undeveloped`` so the
+        rendering shows the conventional 'detail elided' diamond.
+        """
+        hidden = self.hidden_nodes()
+        view = Argument(name=f"{self._argument.name}(view)")
+        for node in self._argument.nodes:
+            if node.identifier in hidden:
+                continue
+            if node.identifier in self._folded:
+                view.add_node(replace(node, undeveloped=True))
+            else:
+                view.add_node(node)
+        for link in self._argument.links:
+            if link.source in hidden or link.target in hidden:
+                continue
+            if link.source in self._folded and \
+                    link.kind is LinkKind.SUPPORTED_BY:
+                continue
+            view.add_link(link.source, link.target, link.kind)
+        return view
+
+    def visible_size(self) -> int:
+        """Node count of the current view (a reading-burden proxy)."""
+        return len(self._argument.nodes) - len(self.hidden_nodes())
+
+
+def auto_fold_to_depth(argument: Argument, depth: int) -> HiView:
+    """Fold every goal/strategy deeper than ``depth`` support levels.
+
+    Depth 1 keeps only the root and its immediate support; larger depths
+    reveal progressively more.  Returns the configured view.
+    """
+    if depth < 1:
+        raise FoldError("depth must be at least 1")
+    view = HiView(argument)
+    levels: dict[str, int] = {}
+    for root in argument.roots():
+        stack = [(root.identifier, 1)]
+        while stack:
+            identifier, level = stack.pop()
+            if identifier in levels and levels[identifier] <= level:
+                continue
+            levels[identifier] = level
+            for child in argument.supporters(identifier):
+                stack.append((child.identifier, level + 1))
+    for identifier, level in levels.items():
+        if level == depth and view.can_fold(identifier):
+            view.fold(identifier)
+    return view

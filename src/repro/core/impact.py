@@ -1,0 +1,126 @@
+"""Change-impact tracing across an assurance case.
+
+Assurance arguments are 'a tool for managing safety through the life of a
+system' (§I): when evidence is withdrawn, an assumption falls, or a
+component changes, maintainers must find every claim whose support is now
+suspect.  Graphical notations are 'thought to ease this task by reducing
+it to tracing a path in a graph' (§VI.E) — this module is that tracing,
+made mechanical:
+
+* :func:`claims_affected_by` — all claims upstream of a changed node;
+* :func:`evidence_impact` — for an evidence item in a case, the solutions
+  citing it and every goal those solutions transitively support;
+* :func:`assumption_scope` — goals whose support rests on an assumption;
+* :class:`ImpactReport` — a summary suitable for a change review board.
+
+The §VI.E experiment compares assessors using this graph tracing against
+assessors using Rushby-style proof probing
+(:func:`repro.logic.entailment.premises_used`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from .argument import Argument, LinkKind
+from .case import AssuranceCase
+from .nodes import Node, NodeType
+
+__all__ = [
+    "ImpactReport",
+    "claims_affected_by",
+    "evidence_impact",
+    "assumption_scope",
+]
+
+
+@dataclass(frozen=True)
+class ImpactReport:
+    """The blast radius of one change."""
+
+    changed: str
+    affected_claims: tuple[str, ...]
+    affected_solutions: tuple[str, ...]
+    root_reached: bool
+
+    @property
+    def breadth(self) -> int:
+        """Number of claims whose support is touched."""
+        return len(self.affected_claims)
+
+    def summary(self) -> str:
+        root = " (reaches the top-level claim)" if self.root_reached else ""
+        return (
+            f"change to {self.changed!r} affects "
+            f"{len(self.affected_claims)} claim(s){root}"
+        )
+
+
+def claims_affected_by(argument: Argument, identifier: str) -> list[Node]:
+    """Every goal on a SupportedBy path from ``identifier`` to a root.
+
+    These are the claims whose justification includes the changed node —
+    exactly the set a maintainer must re-examine.
+    """
+    argument.node(identifier)
+    affected: dict[str, Node] = {}
+    for path in argument.paths_to_root(identifier):
+        for node_id in path:
+            node = argument.node(node_id)
+            if node.node_type.is_claim_like and node_id != identifier:
+                affected[node_id] = node
+    return list(affected.values())
+
+
+def evidence_impact(case: AssuranceCase, evidence_id: str) -> ImpactReport:
+    """Impact of withdrawing (or doubting) one evidence item."""
+    case.evidence.get(evidence_id)
+    solutions = case.citing_solutions(evidence_id)
+    claims: dict[str, Node] = {}
+    root_ids = {r.identifier for r in case.argument.roots()}
+    root_reached = False
+    for solution in solutions:
+        for node in claims_affected_by(case.argument, solution):
+            claims[node.identifier] = node
+            if node.identifier in root_ids:
+                root_reached = True
+    return ImpactReport(
+        changed=evidence_id,
+        affected_claims=tuple(sorted(claims)),
+        affected_solutions=tuple(sorted(solutions)),
+        root_reached=root_reached,
+    )
+
+
+def assumption_scope(argument: Argument, assumption_id: str) -> list[Node]:
+    """Goals that (transitively) rest on an assumption.
+
+    The assumption attaches to some node via InContextOf; every claim that
+    the attachment point supports — i.e. upstream of it — inherits the
+    assumption, as does the attachment point's own support subtree (the
+    assumption was in scope when that support was constructed).
+    """
+    node = argument.node(assumption_id)
+    if node.node_type is not NodeType.ASSUMPTION:
+        raise ValueError(
+            f"{assumption_id!r} is a {node.node_type.value}, not an "
+            "assumption"
+        )
+    attachment_points = [
+        link.source
+        for link in argument.links
+        if link.kind is LinkKind.IN_CONTEXT_OF
+        and link.target == assumption_id
+    ]
+    in_scope: dict[str, Node] = {}
+    for point in attachment_points:
+        point_node = argument.node(point)
+        if point_node.node_type.is_claim_like:
+            in_scope[point] = point_node
+        for upstream in claims_affected_by(argument, point):
+            in_scope[upstream.identifier] = upstream
+        for downstream in argument.walk(point, LinkKind.SUPPORTED_BY):
+            if downstream.node_type.is_claim_like:
+                in_scope[downstream.identifier] = downstream
+    return list(in_scope.values())

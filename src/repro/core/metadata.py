@@ -1,0 +1,261 @@
+"""Semantic metadata annotations for argument nodes.
+
+Denney, Naylor & Pai propose that, 'in addition to the descriptive text',
+developers 'associate nodes with metadata' following the grammar
+(§III.H)::
+
+    attribute ::= attributeName param*
+    param     ::= String | Int | Nat | Float | Bool | userDefinedEnum
+
+with user-defined enumerations such as ``element ::= aileron | elevator |
+flaps``.  This module implements that annotation layer:
+
+* :class:`ParamType` — the parameter type algebra, including named
+  enumerations with declared member sets;
+* :class:`AttributeSchema` — a typed attribute declaration;
+* :class:`Ontology` — the set of declared enums and attributes (the
+  'cost of creating the necessary ontologies' the authors acknowledge);
+* :func:`annotate` / :func:`validate_annotations` — attach and check
+  node metadata against an ontology.
+
+The structured query engine over these annotations lives in
+:mod:`repro.core.query`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+from .argument import Argument
+from .nodes import Node
+
+__all__ = [
+    "BaseType",
+    "EnumType",
+    "ParamType",
+    "AttributeSchema",
+    "Ontology",
+    "AnnotationError",
+    "annotate",
+    "validate_annotations",
+    "aviation_ontology",
+]
+
+
+class BaseType(enum.Enum):
+    """The built-in parameter types from the Denney–Naylor–Pai grammar."""
+
+    STRING = "String"
+    INT = "Int"
+    NAT = "Nat"
+    FLOAT = "Float"
+    BOOL = "Bool"
+
+    def accepts(self, value: Any) -> bool:
+        """Dynamic type check for one value."""
+        if self is BaseType.STRING:
+            return isinstance(value, str)
+        if self is BaseType.INT:
+            return isinstance(value, int) and not isinstance(value, bool)
+        if self is BaseType.NAT:
+            return (
+                isinstance(value, int)
+                and not isinstance(value, bool)
+                and value >= 0
+            )
+        if self is BaseType.FLOAT:
+            return isinstance(value, (int, float)) and not isinstance(
+                value, bool
+            )
+        return isinstance(value, bool)
+
+
+@dataclass(frozen=True)
+class EnumType:
+    """A user-defined enumeration, e.g. ``element ::= aileron | elevator``."""
+
+    name: str
+    members: frozenset[str]
+
+    def __post_init__(self) -> None:
+        if not self.members:
+            raise AnnotationError(f"enum {self.name!r} has no members")
+
+    def accepts(self, value: Any) -> bool:
+        return isinstance(value, str) and value in self.members
+
+    def __str__(self) -> str:
+        return f"{self.name} ::= {' | '.join(sorted(self.members))}"
+
+
+ParamType = BaseType | EnumType
+
+
+@dataclass(frozen=True)
+class AttributeSchema:
+    """A declared attribute: name + ordered parameter types."""
+
+    name: str
+    param_types: tuple[ParamType, ...] = ()
+
+    def validate(self, params: Sequence[Any]) -> list[str]:
+        """Problems with a parameter list against this schema (empty=ok)."""
+        problems: list[str] = []
+        if len(params) != len(self.param_types):
+            problems.append(
+                f"attribute {self.name!r} takes {len(self.param_types)} "
+                f"parameter(s), got {len(params)}"
+            )
+            return problems
+        for index, (value, wanted) in enumerate(
+            zip(params, self.param_types)
+        ):
+            if not wanted.accepts(value):
+                label = (
+                    wanted.value
+                    if isinstance(wanted, BaseType)
+                    else wanted.name
+                )
+                problems.append(
+                    f"attribute {self.name!r} parameter {index} "
+                    f"({value!r}) is not a valid {label}"
+                )
+        return problems
+
+    def __str__(self) -> str:
+        types = " ".join(
+            t.value if isinstance(t, BaseType) else t.name
+            for t in self.param_types
+        )
+        return f"{self.name} {types}".strip()
+
+
+class AnnotationError(ValueError):
+    """Raised for ontology or annotation misuse."""
+
+
+class Ontology:
+    """The declared enums and attributes available for annotation."""
+
+    def __init__(self) -> None:
+        self._enums: dict[str, EnumType] = {}
+        self._attributes: dict[str, AttributeSchema] = {}
+
+    def declare_enum(self, name: str, members: Iterable[str]) -> EnumType:
+        """Declare a user-defined enumeration."""
+        if name in self._enums:
+            raise AnnotationError(f"enum {name!r} already declared")
+        enum_type = EnumType(name, frozenset(members))
+        self._enums[name] = enum_type
+        return enum_type
+
+    def enum(self, name: str) -> EnumType:
+        try:
+            return self._enums[name]
+        except KeyError:
+            raise AnnotationError(f"unknown enum {name!r}") from None
+
+    def declare_attribute(
+        self, name: str, *param_types: ParamType
+    ) -> AttributeSchema:
+        """Declare an attribute with its parameter signature."""
+        if name in self._attributes:
+            raise AnnotationError(f"attribute {name!r} already declared")
+        schema = AttributeSchema(name, tuple(param_types))
+        self._attributes[name] = schema
+        return schema
+
+    def attribute(self, name: str) -> AttributeSchema:
+        try:
+            return self._attributes[name]
+        except KeyError:
+            raise AnnotationError(f"unknown attribute {name!r}") from None
+
+    @property
+    def attributes(self) -> list[AttributeSchema]:
+        return list(self._attributes.values())
+
+    @property
+    def enums(self) -> list[EnumType]:
+        return list(self._enums.values())
+
+    def validate(
+        self, annotations: Mapping[str, tuple[Any, ...]]
+    ) -> list[str]:
+        """Problems with an annotation mapping (empty = well-typed)."""
+        problems: list[str] = []
+        for name, params in annotations.items():
+            if name not in self._attributes:
+                problems.append(f"undeclared attribute {name!r}")
+                continue
+            problems.extend(self._attributes[name].validate(params))
+        return problems
+
+
+def annotate(
+    argument: Argument,
+    node_id: str,
+    ontology: Ontology,
+    annotations: Mapping[str, tuple[Any, ...]],
+) -> Node:
+    """Attach validated metadata to a node; returns the updated node.
+
+    Raises :class:`AnnotationError` when the annotations do not type-check
+    against the ontology — the 'type consistency' checking Matsuno and the
+    annotation papers promise.
+    """
+    problems = ontology.validate(annotations)
+    if problems:
+        raise AnnotationError("; ".join(problems))
+    updated = argument.node(node_id).with_metadata(annotations)
+    argument.replace_node(updated)
+    return updated
+
+
+def validate_annotations(
+    argument: Argument, ontology: Ontology
+) -> dict[str, list[str]]:
+    """Check every annotated node; returns node id -> problem list."""
+    report: dict[str, list[str]] = {}
+    for node in argument.nodes:
+        if not node.metadata:
+            continue
+        problems = ontology.validate(node.metadata_dict())
+        if problems:
+            report[node.identifier] = problems
+    return report
+
+
+def aviation_ontology() -> Ontology:
+    """The ontology sketched in the Denney–Naylor–Pai paper (§III.H).
+
+    Declares the ``element`` enumeration from the paper plus the hazard
+    attributes their example query uses: 'traceability to only those
+    hazards whose likelihood of occurrence is remote, and whose severity
+    is catastrophic'.
+    """
+    ontology = Ontology()
+    element = ontology.declare_enum(
+        "element",
+        ("aileron", "elevator", "flaps", "rudder", "spoiler", "trim_tab"),
+    )
+    likelihood = ontology.declare_enum(
+        "likelihood",
+        ("frequent", "probable", "remote", "extremely_remote",
+         "extremely_improbable"),
+    )
+    severity = ontology.declare_enum(
+        "severity",
+        ("catastrophic", "hazardous", "major", "minor", "no_effect"),
+    )
+    ontology.declare_attribute("concerns", element)
+    ontology.declare_attribute("hazard", BaseType.STRING, likelihood,
+                               severity)
+    ontology.declare_attribute("requirement", BaseType.STRING)
+    ontology.declare_attribute("allocated_to", BaseType.STRING)
+    ontology.declare_attribute("verified_by", BaseType.STRING)
+    ontology.declare_attribute("criticality_level", BaseType.NAT)
+    ontology.declare_attribute("reviewed", BaseType.BOOL)
+    return ontology

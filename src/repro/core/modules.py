@@ -1,0 +1,256 @@
+"""Modular GSN: away goals, module registries, and contract checking.
+
+The GSN standard's modular extension lets one argument cite a goal argued
+in another module via an *away goal*; the paper's §II.B cites its syntax
+rules ('solutions cannot be in the context of an away goal').  Beyond the
+single-argument checks in :mod:`repro.core.wellformed`, modularity needs
+*inter-module* bookkeeping, which this module provides:
+
+* :class:`ModuleRegistry` — the set of named argument modules with their
+  declared public goals;
+* :func:`check_away_references` — every away goal resolves to an
+  existing module, names one of its *public* goals, and quotes its text
+  faithfully (stale away-goal text is the modular form of the
+  maintenance hazards §II.A worries about);
+* :func:`composition_order` / cycle detection — modules must compose
+  acyclically, or the system-level case begs the question across module
+  boundaries;
+* :func:`system_argument` — splice modules into one flat argument for
+  whole-system analyses (impact tracing, formalisation) that need to see
+  across boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from .argument import Argument, ArgumentError, LinkKind
+from .nodes import Node, NodeType
+
+__all__ = [
+    "ModuleRegistry",
+    "AwayReferenceProblem",
+    "check_away_references",
+    "composition_order",
+    "system_argument",
+]
+
+
+@dataclass(frozen=True)
+class AwayReferenceProblem:
+    """One broken inter-module reference."""
+
+    module: str
+    away_goal: str
+    kind: str      # 'unknown-module' | 'unknown-goal' | 'not-public'
+                   # | 'stale-text'
+    detail: str
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.kind}] {self.module}:{self.away_goal}: {self.detail}"
+        )
+
+
+class ModuleRegistry:
+    """Named argument modules with declared public interfaces."""
+
+    def __init__(self) -> None:
+        self._modules: dict[str, Argument] = {}
+        self._public: dict[str, set[str]] = {}
+
+    def register(
+        self,
+        name: str,
+        argument: Argument,
+        public_goals: Iterable[str] | None = None,
+    ) -> None:
+        """Add a module; ``public_goals`` defaults to the root goals."""
+        if name in self._modules:
+            raise ArgumentError(f"module {name!r} already registered")
+        self._modules[name] = argument
+        if public_goals is None:
+            public = {root.identifier for root in argument.roots()}
+        else:
+            public = set(public_goals)
+            for goal_id in public:
+                node = argument.node(goal_id)
+                if not node.node_type.is_claim_like:
+                    raise ArgumentError(
+                        f"public interface of {name!r} must be goals; "
+                        f"{goal_id!r} is a {node.node_type.value}"
+                    )
+        self._public[name] = public
+
+    def module(self, name: str) -> Argument:
+        try:
+            return self._modules[name]
+        except KeyError:
+            raise ArgumentError(f"unknown module {name!r}") from None
+
+    def public_goals(self, name: str) -> set[str]:
+        return set(self._public[name])
+
+    @property
+    def names(self) -> list[str]:
+        return list(self._modules)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._modules
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+
+def check_away_references(
+    registry: ModuleRegistry,
+) -> list[AwayReferenceProblem]:
+    """Validate every away goal in every module against the registry.
+
+    An away goal's text must match a public goal of the target module
+    (matched on text because GSN away goals quote the remote claim; an
+    identifier-only match would hide stale quotes).
+    """
+    problems: list[AwayReferenceProblem] = []
+    for name in registry.names:
+        argument = registry.module(name)
+        for away in argument.nodes_of_type(NodeType.AWAY_GOAL):
+            target_name = away.module or ""
+            if target_name not in registry:
+                problems.append(AwayReferenceProblem(
+                    name, away.identifier, "unknown-module",
+                    f"references module {target_name!r} which is not "
+                    "registered",
+                ))
+                continue
+            target = registry.module(target_name)
+            public = registry.public_goals(target_name)
+            matching = [
+                goal_id for goal_id in public
+                if target.node(goal_id).text == away.text
+            ]
+            if matching:
+                continue
+            any_text_match = [
+                node.identifier
+                for node in target.goals
+                if node.text == away.text
+            ]
+            if any_text_match:
+                problems.append(AwayReferenceProblem(
+                    name, away.identifier, "not-public",
+                    f"goal {any_text_match[0]!r} exists in "
+                    f"{target_name!r} but is not on its public "
+                    "interface",
+                ))
+            else:
+                problems.append(AwayReferenceProblem(
+                    name, away.identifier, "stale-text",
+                    f"no public goal of {target_name!r} reads "
+                    f"{away.text!r} (the quoted claim is stale or "
+                    "wrong)",
+                ))
+    return problems
+
+
+def _dependencies(registry: ModuleRegistry, name: str) -> set[str]:
+    argument = registry.module(name)
+    return {
+        away.module
+        for away in argument.nodes_of_type(NodeType.AWAY_GOAL)
+        if away.module
+    }
+
+
+def composition_order(registry: ModuleRegistry) -> list[str]:
+    """Topological order of modules by away-goal dependency.
+
+    Raises :class:`ArgumentError` on a dependency cycle — cross-module
+    circular support, the modular variant of begging the question.
+    """
+    order: list[str] = []
+    state: dict[str, int] = {}  # 0 new, 1 visiting, 2 done
+
+    def visit(name: str, trail: list[str]) -> None:
+        if state.get(name) == 2:
+            return
+        if state.get(name) == 1:
+            cycle = " -> ".join(trail + [name])
+            raise ArgumentError(
+                f"module dependency cycle: {cycle}"
+            )
+        state[name] = 1
+        for dependency in sorted(_dependencies(registry, name)):
+            if dependency in registry:
+                visit(dependency, trail + [name])
+        state[name] = 2
+        order.append(name)
+
+    for name in sorted(registry.names):
+        visit(name, [])
+    return order
+
+
+def system_argument(
+    registry: ModuleRegistry, top_module: str
+) -> Argument:
+    """Splice modules into one argument rooted at ``top_module``.
+
+    Away goals become ordinary links to the referenced public goal; node
+    identifiers are namespaced ``module::id`` to avoid collisions.  The
+    result supports whole-system impact tracing and formalisation.
+    """
+    composition_order(registry)  # raises on cycles
+    spliced = Argument(name=f"system:{top_module}")
+    included: set[str] = set()
+
+    def include(name: str) -> None:
+        if name in included:
+            return
+        included.add(name)
+        argument = registry.module(name)
+        for node in argument.nodes:
+            if node.node_type is NodeType.AWAY_GOAL:
+                continue  # replaced by a cross-module link below
+            spliced.add_node(Node(
+                identifier=f"{name}::{node.identifier}",
+                node_type=node.node_type,
+                text=node.text,
+                undeveloped=node.undeveloped,
+                metadata=node.metadata,
+            ))
+        for dependency in sorted(_dependencies(registry, name)):
+            if dependency in registry:
+                include(dependency)
+
+    include(top_module)
+
+    for name in included:
+        argument = registry.module(name)
+        away_targets: dict[str, str] = {}
+        for away in argument.nodes_of_type(NodeType.AWAY_GOAL):
+            target_name = away.module or ""
+            if target_name not in registry:
+                continue
+            target = registry.module(target_name)
+            for goal_id in registry.public_goals(target_name):
+                if target.node(goal_id).text == away.text:
+                    away_targets[away.identifier] = (
+                        f"{target_name}::{goal_id}"
+                    )
+                    break
+        for link in argument.links:
+            source = away_targets.get(
+                link.source, f"{name}::{link.source}"
+            )
+            target = away_targets.get(
+                link.target, f"{name}::{link.target}"
+            )
+            if source not in spliced or target not in spliced:
+                continue
+            try:
+                spliced.add_link(source, target, link.kind)
+            except ArgumentError:
+                pass  # two modules citing the same public goal
+    return spliced

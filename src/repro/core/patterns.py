@@ -1,0 +1,527 @@
+"""Parameterised, typed GSN argument patterns.
+
+Matsuno & Taguchi give GSN patterns a formal syntax and 'a formal
+mechanism for replacing placeholder text' (§III.L): parameters may be
+integers, strings, or user-defined sets; further limits may be placed on
+values (their example restricts a claimed CPU utilisation to 0–100%); and
+partial instantiations are annotated ``[2/x, /y, "hello"/z]`` — x and z
+instantiated, y not.  Denney & Pai similarly claim formal syntax enables
+'automated instantiation, composition, and transformation-based
+manipulation' (§III.I).
+
+This module implements the full mechanism:
+
+* :class:`ParameterSort` — Int / String / Float / Bool, user-defined sets,
+  numeric range restrictions, and list sorts for multiplicity;
+* :class:`Pattern` — a GSN graph whose node texts contain ``{param}``
+  placeholders, with per-link multiplicity (expand a subtree over a list
+  parameter) and optionality;
+* :class:`Binding` — a (possibly partial) parameter assignment, rendered
+  in Matsuno's ``[v/x, /y]`` annotation style;
+* :meth:`Pattern.instantiate` — type-checked expansion into a concrete
+  :class:`~repro.core.argument.Argument`, raising
+  :class:`InstantiationError` on the misuses type checking is claimed to
+  prevent (§III.L: instantiating 'System X' with 'Railway hazards').
+
+What type checking *cannot* do — notice that a well-typed value is
+meaningless in context — is demonstrated in the tests and drives the
+§VI.D experiment.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Any, Iterable, Mapping, Sequence
+
+from .argument import Argument, LinkKind
+from .nodes import Node, NodeType
+
+__all__ = [
+    "BaseSort",
+    "SetSort",
+    "RangeSort",
+    "ListSort",
+    "ParameterSort",
+    "Parameter",
+    "Binding",
+    "PatternElement",
+    "PatternLink",
+    "Pattern",
+    "InstantiationError",
+    "hazard_avoidance_pattern",
+]
+
+
+class BaseSort(enum.Enum):
+    """Built-in parameter sorts."""
+
+    INT = "Int"
+    STRING = "String"
+    FLOAT = "Float"
+    BOOL = "Bool"
+
+    def accepts(self, value: Any) -> bool:
+        if self is BaseSort.INT:
+            return isinstance(value, int) and not isinstance(value, bool)
+        if self is BaseSort.STRING:
+            return isinstance(value, str)
+        if self is BaseSort.FLOAT:
+            return isinstance(value, (int, float)) and not isinstance(
+                value, bool
+            )
+        return isinstance(value, bool)
+
+    def describe(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class SetSort:
+    """A user-defined finite set sort, e.g. subsystems of an aircraft."""
+
+    name: str
+    members: frozenset[str]
+
+    def accepts(self, value: Any) -> bool:
+        return isinstance(value, str) and value in self.members
+
+    def describe(self) -> str:
+        return f"{self.name}{{{', '.join(sorted(self.members))}}}"
+
+
+@dataclass(frozen=True)
+class RangeSort:
+    """A numeric sort with inclusive bounds — Matsuno's 0–100% example."""
+
+    name: str
+    low: float
+    high: float
+    integral: bool = False
+
+    def accepts(self, value: Any) -> bool:
+        if isinstance(value, bool):
+            return False
+        if self.integral and not isinstance(value, int):
+            return False
+        if not isinstance(value, (int, float)):
+            return False
+        return self.low <= value <= self.high
+
+    def describe(self) -> str:
+        return f"{self.name}[{self.low}..{self.high}]"
+
+
+@dataclass(frozen=True)
+class ListSort:
+    """A list of values of an element sort, for multiplicity expansion."""
+
+    element: "ParameterSort"
+
+    def accepts(self, value: Any) -> bool:
+        return isinstance(value, (list, tuple)) and all(
+            self.element.accepts(v) for v in value
+        )
+
+    def describe(self) -> str:
+        return f"List[{self.element.describe()}]"
+
+
+ParameterSort = BaseSort | SetSort | RangeSort | ListSort
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """A declared pattern parameter."""
+
+    name: str
+    sort: ParameterSort
+    description: str = ""
+
+    def __str__(self) -> str:
+        return f"{self.name}: {self.sort.describe()}"
+
+
+class InstantiationError(ValueError):
+    """Raised when an instantiation violates the pattern's typing rules."""
+
+
+@dataclass(frozen=True)
+class Binding:
+    """A (possibly partial) assignment of values to parameter names."""
+
+    values: tuple[tuple[str, Any], ...] = ()
+
+    @classmethod
+    def of(cls, **values: Any) -> "Binding":
+        return cls(tuple(sorted(values.items())))
+
+    def as_dict(self) -> dict[str, Any]:
+        return dict(self.values)
+
+    def get(self, name: str) -> Any | None:
+        return self.as_dict().get(name)
+
+    def bound_names(self) -> frozenset[str]:
+        return frozenset(name for name, _ in self.values)
+
+    def render(self, parameters: Sequence[Parameter]) -> str:
+        """Matsuno's annotation: ``[2/x, /y, "hello"/z]`` (§III.L).
+
+        Bound parameters show ``value/name``; unbound show ``/name``.
+        """
+        assigned = self.as_dict()
+        parts = []
+        for parameter in parameters:
+            if parameter.name in assigned:
+                value = assigned[parameter.name]
+                shown = f'"{value}"' if isinstance(value, str) else str(value)
+                parts.append(f"{shown}/{parameter.name}")
+            else:
+                parts.append(f"/{parameter.name}")
+        return f"[{', '.join(parts)}]"
+
+
+@dataclass(frozen=True)
+class PatternElement:
+    """A pattern node whose text may contain ``{param}`` placeholders."""
+
+    identifier: str
+    node_type: NodeType
+    template: str
+    undeveloped: bool = False
+
+    def placeholders(self) -> frozenset[str]:
+        """Parameter names referenced by the template."""
+        import string
+
+        names = set()
+        for literal, field_name, _, _ in string.Formatter().parse(
+            self.template
+        ):
+            if field_name:
+                names.add(field_name)
+        return frozenset(names)
+
+    def render(self, values: Mapping[str, Any]) -> str:
+        """Fill the template; missing placeholders raise KeyError."""
+        return self.template.format(**values)
+
+
+@dataclass(frozen=True)
+class PatternLink:
+    """A pattern connector.
+
+    ``expand_over`` names a list-sorted parameter: the target element (and
+    its entire sub-structure) is replicated once per list member, with the
+    ``loop_var`` parameter bound to each member in turn — GSN pattern
+    multiplicity.  ``optional`` marks GSN pattern optionality: the link
+    (and the target subtree, if orphaned) is dropped when
+    ``Binding`` maps ``include_<target>`` to False.
+    """
+
+    source: str
+    target: str
+    kind: LinkKind
+    expand_over: str | None = None
+    loop_var: str | None = None
+    optional: bool = False
+
+    def __post_init__(self) -> None:
+        if (self.expand_over is None) != (self.loop_var is None):
+            raise InstantiationError(
+                "expand_over and loop_var must be given together"
+            )
+
+
+@dataclass
+class Pattern:
+    """A reusable argument pattern: typed parameters + template graph."""
+
+    name: str
+    parameters: list[Parameter] = field(default_factory=list)
+    elements: list[PatternElement] = field(default_factory=list)
+    links: list[PatternLink] = field(default_factory=list)
+
+    def parameter(self, name: str) -> Parameter:
+        for parameter in self.parameters:
+            if parameter.name == name:
+                return parameter
+        raise InstantiationError(
+            f"pattern {self.name!r} has no parameter {name!r}"
+        )
+
+    def element(self, identifier: str) -> PatternElement:
+        for element in self.elements:
+            if element.identifier == identifier:
+                return element
+        raise InstantiationError(
+            f"pattern {self.name!r} has no element {identifier!r}"
+        )
+
+    def validate(self) -> list[str]:
+        """Structural problems with the pattern itself (empty = ok)."""
+        problems: list[str] = []
+        declared = {p.name for p in self.parameters}
+        loop_vars = {
+            link.loop_var for link in self.links if link.loop_var
+        }
+        for element in self.elements:
+            for placeholder in element.placeholders():
+                if placeholder not in declared and placeholder not in \
+                        loop_vars:
+                    problems.append(
+                        f"element {element.identifier!r} references "
+                        f"undeclared parameter {placeholder!r}"
+                    )
+        identifiers = {e.identifier for e in self.elements}
+        if len(identifiers) != len(self.elements):
+            problems.append("duplicate element identifiers")
+        for link in self.links:
+            if link.source not in identifiers:
+                problems.append(f"link source {link.source!r} unknown")
+            if link.target not in identifiers:
+                problems.append(f"link target {link.target!r} unknown")
+            if link.expand_over is not None:
+                if link.expand_over not in declared:
+                    problems.append(
+                        f"multiplicity parameter {link.expand_over!r} "
+                        "undeclared"
+                    )
+                else:
+                    sort = self.parameter(link.expand_over).sort
+                    if not isinstance(sort, ListSort):
+                        problems.append(
+                            f"multiplicity parameter {link.expand_over!r} "
+                            "must have a List sort"
+                        )
+        return problems
+
+    def type_check(self, binding: Binding) -> list[str]:
+        """Typing problems with a binding (empty = well-typed).
+
+        Checks every bound value against its declared sort and flags
+        bindings for undeclared parameters.  Partial bindings are allowed
+        here; :meth:`instantiate` additionally requires totality.
+        """
+        problems: list[str] = []
+        declared = {p.name: p for p in self.parameters}
+        for name, value in binding.values:
+            if name.startswith("include_"):
+                if not isinstance(value, bool):
+                    problems.append(
+                        f"optionality flag {name!r} must be Bool"
+                    )
+                continue
+            parameter = declared.get(name)
+            if parameter is None:
+                problems.append(f"binding for undeclared parameter {name!r}")
+                continue
+            if not parameter.sort.accepts(value):
+                problems.append(
+                    f"value {value!r} for parameter {name!r} is not a "
+                    f"valid {parameter.sort.describe()}"
+                )
+        return problems
+
+    def unbound(self, binding: Binding) -> list[str]:
+        """Declared parameters the binding leaves uninstantiated."""
+        bound = binding.bound_names()
+        return [p.name for p in self.parameters if p.name not in bound]
+
+    def instantiate(
+        self, binding: Binding, argument_name: str | None = None
+    ) -> Argument:
+        """Expand the pattern into a concrete argument.
+
+        Raises :class:`InstantiationError` when the binding is ill-typed
+        or partial (Matsuno's type checking), or when an expansion list is
+        empty for a required multiplicity.
+        """
+        structural = self.validate()
+        if structural:
+            raise InstantiationError(
+                f"pattern {self.name!r} is malformed: "
+                + "; ".join(structural)
+            )
+        typing_problems = self.type_check(binding)
+        if typing_problems:
+            raise InstantiationError("; ".join(typing_problems))
+        missing = self.unbound(binding)
+        if missing:
+            annotation = binding.render(self.parameters)
+            raise InstantiationError(
+                f"partial instantiation {annotation}: "
+                f"unbound parameter(s) {', '.join(missing)}"
+            )
+        values = binding.as_dict()
+        argument = Argument(
+            name=argument_name or f"{self.name}-instance"
+        )
+        # Identify the elements replicated by multiplicity links.
+        expanded_roots = {
+            link.target: link for link in self.links if link.expand_over
+        }
+        # Dropped optional subtrees.
+        dropped: set[str] = {
+            link.target
+            for link in self.links
+            if link.optional and values.get(f"include_{link.target}") is False
+        }
+        dropped = self._closure_under_links(dropped)
+
+        replicated = self._closure_under_links(set(expanded_roots))
+
+        # Instantiate the non-replicated, non-dropped elements.
+        for element in self.elements:
+            if element.identifier in replicated or \
+                    element.identifier in dropped:
+                continue
+            argument.add_node(self._make_node(element, values))
+        for link in self.links:
+            if link.expand_over is not None:
+                continue
+            if link.source in replicated or link.target in replicated:
+                continue
+            if link.source in dropped or link.target in dropped:
+                continue
+            argument.add_link(link.source, link.target, link.kind)
+
+        # Expand multiplicities: clone the target subtree per list member.
+        for target, link in expanded_roots.items():
+            members = values[link.expand_over]
+            if not isinstance(members, (list, tuple)):
+                raise InstantiationError(
+                    f"multiplicity parameter {link.expand_over!r} must be "
+                    "bound to a list"
+                )
+            if not members:
+                raise InstantiationError(
+                    f"multiplicity over {link.expand_over!r} requires a "
+                    "non-empty list"
+                )
+            subtree = self._subtree(target)
+            for index, member in enumerate(members, start=1):
+                loop_values = dict(values)
+                loop_values[link.loop_var] = member
+                rename = {
+                    identifier: f"{identifier}_{index}"
+                    for identifier in subtree
+                }
+                for element_id in subtree:
+                    element = self.element(element_id)
+                    clone = PatternElement(
+                        rename[element_id],
+                        element.node_type,
+                        element.template,
+                        element.undeveloped,
+                    )
+                    argument.add_node(self._make_node(clone, loop_values))
+                argument.add_link(
+                    link.source, rename[target], link.kind
+                )
+                for inner in self.links:
+                    if inner.source in subtree and inner.target in subtree:
+                        argument.add_link(
+                            rename[inner.source],
+                            rename[inner.target],
+                            inner.kind,
+                        )
+        return argument
+
+    def _make_node(
+        self, element: PatternElement, values: Mapping[str, Any]
+    ) -> Node:
+        try:
+            text = element.render(values)
+        except KeyError as missing:
+            raise InstantiationError(
+                f"element {element.identifier!r} needs parameter {missing}"
+            ) from None
+        return Node(
+            identifier=element.identifier,
+            node_type=element.node_type,
+            text=text,
+            undeveloped=element.undeveloped,
+        )
+
+    def _subtree(self, root: str) -> set[str]:
+        """Element identifiers reachable from ``root`` via pattern links."""
+        members = {root}
+        frontier = [root]
+        while frontier:
+            current = frontier.pop()
+            for link in self.links:
+                if link.source == current and link.target not in members:
+                    members.add(link.target)
+                    frontier.append(link.target)
+        return members
+
+    def _closure_under_links(self, roots: set[str]) -> set[str]:
+        closed: set[str] = set()
+        for root in roots:
+            closed.update(self._subtree(root))
+        return closed
+
+
+def hazard_avoidance_pattern() -> Pattern:
+    """The classic 'argument over all identified hazards' GSN pattern.
+
+    Parameters: the system name, the hazard list (multiplicity), and the
+    claimed residual risk bound as a :class:`RangeSort` percentage —
+    Matsuno's 0–100 restriction example.
+    """
+    percent = RangeSort("Percent", 0, 100)
+    pattern = Pattern(
+        name="hazard-avoidance",
+        parameters=[
+            Parameter("system", BaseSort.STRING, "the system under argument"),
+            Parameter(
+                "hazards", ListSort(BaseSort.STRING),
+                "the identified hazards",
+            ),
+            Parameter(
+                "residual_risk", percent,
+                "claimed residual risk bound (percent of budget)",
+            ),
+        ],
+        elements=[
+            PatternElement(
+                "G_top", NodeType.GOAL,
+                "{system} is acceptably safe: residual risk is within "
+                "{residual_risk}% of the risk budget",
+            ),
+            PatternElement(
+                "C_hazards", NodeType.CONTEXT,
+                "Hazards identified for {system}",
+            ),
+            PatternElement(
+                "S_each", NodeType.STRATEGY,
+                "Argument over each identified hazard of {system}",
+            ),
+            PatternElement(
+                "J_complete", NodeType.JUSTIFICATION,
+                "Hazard identification for {system} was performed to the "
+                "applicable standard",
+            ),
+            PatternElement(
+                "G_hazard", NodeType.GOAL,
+                "Hazard '{hazard}' is acceptably managed in {system}",
+            ),
+            PatternElement(
+                "Sn_hazard", NodeType.SOLUTION,
+                "Mitigation evidence for hazard '{hazard}'",
+            ),
+        ],
+        links=[
+            PatternLink("G_top", "C_hazards", LinkKind.IN_CONTEXT_OF),
+            PatternLink("G_top", "S_each", LinkKind.SUPPORTED_BY),
+            PatternLink("S_each", "J_complete", LinkKind.IN_CONTEXT_OF),
+            PatternLink(
+                "S_each", "G_hazard", LinkKind.SUPPORTED_BY,
+                expand_over="hazards", loop_var="hazard",
+            ),
+            PatternLink("G_hazard", "Sn_hazard", LinkKind.SUPPORTED_BY),
+        ],
+    )
+    return pattern

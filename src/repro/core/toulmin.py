@@ -1,0 +1,190 @@
+"""The (extended) Toulmin model of inductive argumentation.
+
+Toulmin's model [33] is the reference point for assurance-argument
+semantics (§II.B): a *claim* rests on *grounds*, licensed by a *warrant*
+which may itself need *backing*; a *qualifier* hedges the claim; a
+*rebuttal* states the conditions under which it fails.
+
+Haley et al.'s *inner arguments* use an extended, nestable Toulmin text
+form (§III.K)::
+
+    given grounds G2: "Valid credentials are given only to HR members"
+    warranted by (
+        given grounds G3: "Credentials are given in person"
+        warranted by G4: "Credential administrators are honest and reliable"
+        thus claim C1: "Credential administration is correct")
+    thus claim P2: "HR credentials provided --> HR member"
+    rebutted by R1: "HR member is dishonest", ...
+
+This module models that form: warrants may be plain statements or whole
+nested sub-arguments, and rebuttals attach to any claim.  A renderer
+produces the given-grounds text layout, and a converter lifts a Toulmin
+argument into GSN (grounds become solutions/sub-goals, warrants become
+strategies with justifications).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Union
+
+from .argument import Argument
+from .builder import ArgumentBuilder
+
+__all__ = [
+    "Statement",
+    "ToulminArgument",
+    "Rebuttal",
+    "render_toulmin",
+    "toulmin_to_gsn",
+    "haley_inner_argument",
+]
+
+
+@dataclass(frozen=True)
+class Statement:
+    """A labelled natural-language statement, e.g. ``G2: "..."``."""
+
+    label: str
+    text: str
+
+    def __str__(self) -> str:
+        return f'{self.label}: "{self.text}"'
+
+
+@dataclass(frozen=True)
+class Rebuttal:
+    """A condition under which the claim fails."""
+
+    statement: Statement
+
+    def __str__(self) -> str:
+        return f"rebutted by {self.statement}"
+
+
+Warrant = Union[Statement, "ToulminArgument"]
+
+
+@dataclass(frozen=True)
+class ToulminArgument:
+    """One (possibly nested) Toulmin argument step.
+
+    ``grounds`` are the facts appealed to; ``warrants`` license the step
+    from grounds to claim and may be nested sub-arguments; ``backing``
+    supports a warrant; ``qualifier`` hedges ('presumably', 'so far as
+    testing shows'); ``rebuttals`` are the defeaters.
+    """
+
+    claim: Statement
+    grounds: tuple[Statement, ...] = ()
+    warrants: tuple[Warrant, ...] = ()
+    backing: tuple[Statement, ...] = ()
+    qualifier: str | None = None
+    rebuttals: tuple[Rebuttal, ...] = ()
+
+    def all_statements(self) -> list[Statement]:
+        """Every statement in the argument, depth-first."""
+        out: list[Statement] = list(self.grounds)
+        for warrant in self.warrants:
+            if isinstance(warrant, ToulminArgument):
+                out.extend(warrant.all_statements())
+                out.append(warrant.claim)
+            else:
+                out.append(warrant)
+        out.extend(self.backing)
+        out.extend(r.statement for r in self.rebuttals)
+        out.append(self.claim)
+        return out
+
+    def depth(self) -> int:
+        """Nesting depth of warrant sub-arguments."""
+        nested = [
+            w.depth() for w in self.warrants
+            if isinstance(w, ToulminArgument)
+        ]
+        return 1 + (max(nested) if nested else 0)
+
+
+def render_toulmin(argument: ToulminArgument, indent: int = 0) -> str:
+    """Render in the Haley et al. given-grounds text layout."""
+    pad = "  " * indent
+    lines: list[str] = []
+    for ground in argument.grounds:
+        lines.append(f"{pad}given grounds {ground}")
+    for warrant in argument.warrants:
+        if isinstance(warrant, ToulminArgument):
+            lines.append(f"{pad}warranted by (")
+            lines.append(render_toulmin(warrant, indent + 1))
+            lines.append(f"{pad})")
+        else:
+            lines.append(f"{pad}warranted by {warrant}")
+    for backing in argument.backing:
+        lines.append(f"{pad}on account of {backing}")
+    qualifier = f", {argument.qualifier}," if argument.qualifier else ""
+    lines.append(f"{pad}thus{qualifier} claim {argument.claim}")
+    for rebuttal in argument.rebuttals:
+        lines.append(f"{pad}{rebuttal}")
+    return "\n".join(lines)
+
+
+def toulmin_to_gsn(argument: ToulminArgument) -> Argument:
+    """Lift a Toulmin argument into a GSN argument.
+
+    Mapping: claim -> goal; grounds -> sub-goals with solutions; statement
+    warrant -> justification on the connecting strategy; nested-argument
+    warrant -> recursively lifted sub-structure; rebuttal -> context noting
+    the defeater (GSN has no first-class rebuttal, a known limitation the
+    assurance literature discusses).
+    """
+    builder = ArgumentBuilder(name=f"toulmin:{argument.claim.label}")
+    _lift(argument, builder, under=None)
+    return builder.build(check=False)
+
+
+def _lift(
+    argument: ToulminArgument, builder: ArgumentBuilder, under: str | None
+) -> str:
+    goal = builder.goal(argument.claim.text, under=under)
+    strategy = builder.strategy(
+        f"Argument from grounds {', '.join(g.label for g in argument.grounds)}"
+        if argument.grounds else "Direct appeal to warrant",
+        under=goal,
+    )
+    for warrant in argument.warrants:
+        if isinstance(warrant, ToulminArgument):
+            _lift(warrant, builder, under=strategy)
+        else:
+            builder.justification(warrant.text, under=strategy)
+    for backing in argument.backing:
+        builder.context(f"Backing: {backing.text}", under=strategy)
+    for ground in argument.grounds:
+        ground_goal = builder.goal(ground.text, under=strategy)
+        builder.solution(
+            f"Record establishing {ground.label}", under=ground_goal
+        )
+    for rebuttal in argument.rebuttals:
+        builder.context(
+            f"Rebuttal condition: {rebuttal.statement.text}", under=goal
+        )
+    return goal
+
+
+def haley_inner_argument() -> ToulminArgument:
+    """The inner argument example from Haley et al. 2008, as cited (§III.K)."""
+    g3 = Statement("G3", "Credentials are given in person")
+    g4 = Statement("G4", "Credential administrators are honest and reliable")
+    c1 = ToulminArgument(
+        claim=Statement("C1", "Credential administration is correct"),
+        grounds=(g3,),
+        warrants=(g4,),
+    )
+    return ToulminArgument(
+        claim=Statement("P2", "HR credentials provided --> HR member"),
+        grounds=(
+            Statement("G2", "Valid credentials are given only to HR members"),
+        ),
+        warrants=(c1,),
+        rebuttals=(
+            Rebuttal(Statement("R1", "HR member is dishonest")),
+        ),
+    )

@@ -1,0 +1,365 @@
+"""GSN well-formedness checking — formalised syntax rules.
+
+This module is the 'specification of syntax' sense of formality the paper
+distinguishes (§II.B.1): rules about which elements may connect to which,
+mechanically checkable without any notion of truth.
+
+Two rule sets are provided:
+
+* :data:`GSN_STANDARD_RULES` — the GSN Community Standard's connection
+  rules as the paper describes them: goals *can* directly support other
+  goals; solutions cannot be in the context of an away goal; contextual
+  elements receive InContextOf links only; solutions do not cite further
+  support; etc.
+* :data:`DENNEY_PAI_RULES` — the variant from Denney & Pai's formalisation
+  which (as the paper notes) asserts ``(n → m) ∧ [l(n) = g] ⇒ l(m) ∈ {s,
+  e, a, j, c}`` — i.e. *goals cannot connect to other goals* — even though
+  'GSN explicitly allows goals to support other goals [30]' (§III.I).  The
+  ablation benchmark shows this formalisation rejecting valid
+  standard-conformant arguments: an object lesson in how a formal rule can
+  be precisely wrong.
+
+Each rule is a small function returning violations; a :class:`RuleSet`
+aggregates them.  This design lets the experiments count *which* rules a
+checker catches and compare checkers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from .argument import Argument, Link, LinkKind
+from .nodes import NodeType, looks_propositional
+
+__all__ = [
+    "Violation",
+    "Rule",
+    "RuleSet",
+    "GSN_STANDARD_RULES",
+    "DENNEY_PAI_RULES",
+    "check",
+    "is_well_formed",
+]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule violation found in an argument."""
+
+    rule: str
+    subject: str  # node identifier or link rendering
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.rule}] {self.subject}: {self.detail}"
+
+
+CheckFunction = Callable[[Argument], list[Violation]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A named well-formedness rule."""
+
+    name: str
+    description: str
+    check: CheckFunction
+
+    def __call__(self, argument: Argument) -> list[Violation]:
+        return self.check(argument)
+
+
+@dataclass(frozen=True)
+class RuleSet:
+    """An ordered collection of rules forming one notion of well-formed."""
+
+    name: str
+    rules: tuple[Rule, ...]
+
+    def check(self, argument: Argument) -> list[Violation]:
+        """All violations of all rules, in rule order."""
+        out: list[Violation] = []
+        for rule in self.rules:
+            out.extend(rule(argument))
+        return out
+
+    def is_well_formed(self, argument: Argument) -> bool:
+        return not self.check(argument)
+
+
+# -- individual rules ------------------------------------------------------
+
+
+def _rule_supported_by_targets(argument: Argument) -> list[Violation]:
+    """SupportedBy may only target goals, strategies, or solutions."""
+    allowed = {
+        NodeType.GOAL, NodeType.STRATEGY, NodeType.SOLUTION,
+        NodeType.AWAY_GOAL,
+    }
+    out = []
+    for link in argument.links:
+        if link.kind is not LinkKind.SUPPORTED_BY:
+            continue
+        target = argument.node(link.target)
+        if target.node_type not in allowed:
+            out.append(Violation(
+                "supported-by-target",
+                str(link),
+                f"SupportedBy cannot target a {target.node_type.value}",
+            ))
+    return out
+
+
+def _rule_supported_by_sources(argument: Argument) -> list[Violation]:
+    """Only goals and strategies may cite support."""
+    allowed = {NodeType.GOAL, NodeType.STRATEGY}
+    out = []
+    for link in argument.links:
+        if link.kind is not LinkKind.SUPPORTED_BY:
+            continue
+        source = argument.node(link.source)
+        if source.node_type not in allowed:
+            out.append(Violation(
+                "supported-by-source",
+                str(link),
+                f"a {source.node_type.value} cannot cite support",
+            ))
+    return out
+
+
+def _rule_context_targets(argument: Argument) -> list[Violation]:
+    """InContextOf may only target context, assumptions, justifications."""
+    out = []
+    for link in argument.links:
+        if link.kind is not LinkKind.IN_CONTEXT_OF:
+            continue
+        target = argument.node(link.target)
+        if not target.node_type.is_contextual:
+            out.append(Violation(
+                "in-context-of-target",
+                str(link),
+                "InContextOf must target context, assumption, or "
+                f"justification, not {target.node_type.value}",
+            ))
+    return out
+
+
+def _rule_context_sources(argument: Argument) -> list[Violation]:
+    """Only goals and strategies carry contextual attachments."""
+    allowed = {NodeType.GOAL, NodeType.STRATEGY, NodeType.AWAY_GOAL}
+    out = []
+    for link in argument.links:
+        if link.kind is not LinkKind.IN_CONTEXT_OF:
+            continue
+        source = argument.node(link.source)
+        if source.node_type not in allowed:
+            out.append(Violation(
+                "in-context-of-source",
+                str(link),
+                f"a {source.node_type.value} cannot attach context",
+            ))
+    return out
+
+
+def _rule_away_goal_no_solution_context(argument: Argument) -> list[Violation]:
+    """'Solutions cannot be in the context of an away goal' (§II.B)."""
+    out = []
+    for link in argument.links:
+        if link.kind is not LinkKind.IN_CONTEXT_OF:
+            continue
+        source = argument.node(link.source)
+        target = argument.node(link.target)
+        if (
+            source.node_type is NodeType.AWAY_GOAL
+            and target.node_type is NodeType.SOLUTION
+        ):
+            out.append(Violation(
+                "away-goal-solution-context",
+                str(link),
+                "solutions cannot be in the context of an away goal",
+            ))
+    return out
+
+
+def _rule_solutions_are_leaves(argument: Argument) -> list[Violation]:
+    """Solutions terminate support chains; they cite nothing further."""
+    out = []
+    for link in argument.links:
+        source = argument.node(link.source)
+        if source.node_type is NodeType.SOLUTION:
+            out.append(Violation(
+                "solution-leaf",
+                str(link),
+                "a solution cannot be the source of any connector",
+            ))
+    return out
+
+
+def _rule_single_root(argument: Argument) -> list[Violation]:
+    """A complete argument has exactly one root goal."""
+    roots = argument.roots()
+    if len(roots) == 1:
+        return []
+    if not roots:
+        return [Violation(
+            "single-root", argument.name, "argument has no root goal"
+        )]
+    names = ", ".join(r.identifier for r in roots)
+    return [Violation(
+        "single-root", argument.name,
+        f"argument has {len(roots)} root goals ({names})",
+    )]
+
+
+def _rule_acyclic(argument: Argument) -> list[Violation]:
+    """The support relation must be acyclic."""
+    cycle = argument.find_cycle()
+    if cycle is None:
+        return []
+    return [Violation(
+        "acyclic", " -> ".join(cycle),
+        "support chain forms a cycle (circular reasoning)",
+    )]
+
+
+def _rule_developed_or_marked(argument: Argument) -> list[Violation]:
+    """Every goal is supported, undeveloped-marked, or an away reference."""
+    out = []
+    for node in argument.goals:
+        if node.undeveloped:
+            continue
+        if argument.supporters(node.identifier):
+            continue
+        out.append(Violation(
+            "undeveloped-unmarked",
+            node.identifier,
+            "goal has no support and is not marked undeveloped",
+        ))
+    return out
+
+
+def _rule_strategies_supported(argument: Argument) -> list[Violation]:
+    """Every strategy leads to at least one sub-goal (or is undeveloped)."""
+    out = []
+    for node in argument.strategies:
+        if node.undeveloped:
+            continue
+        if argument.supporters(node.identifier):
+            continue
+        out.append(Violation(
+            "strategy-unsupported",
+            node.identifier,
+            "strategy has no sub-goals and is not marked undeveloped",
+        ))
+    return out
+
+
+def _rule_goals_propositional(argument: Argument) -> list[Violation]:
+    """Goal text must read as a proposition (Kelly [2]).
+
+    This is the shallow part-of-speech check §II.B.1 describes — it flags
+    Denney-style 'Formal proof that X holds' noun phrases but cannot judge
+    meaning.
+    """
+    out = []
+    for node in argument.goals + argument.nodes_of_type(NodeType.AWAY_GOAL):
+        if not looks_propositional(node.text):
+            out.append(Violation(
+                "goal-not-proposition",
+                node.identifier,
+                f"goal text does not read as a proposition: {node.text!r}",
+            ))
+    return out
+
+
+def _rule_no_goal_to_goal(argument: Argument) -> list[Violation]:
+    """Denney & Pai's rule: goals cannot connect directly to other goals.
+
+    The paper notes this *contradicts* the GSN standard, which explicitly
+    allows goal-to-goal support.  Included only in
+    :data:`DENNEY_PAI_RULES` so the ablation can quantify the damage.
+    """
+    out = []
+    for link in argument.links:
+        if link.kind is not LinkKind.SUPPORTED_BY:
+            continue
+        source = argument.node(link.source)
+        target = argument.node(link.target)
+        if (
+            source.node_type is NodeType.GOAL
+            and target.node_type is NodeType.GOAL
+        ):
+            out.append(Violation(
+                "denney-pai-no-goal-to-goal",
+                str(link),
+                "goal connects directly to another goal "
+                "(rejected by the Denney-Pai formalisation; "
+                "allowed by the GSN standard)",
+            ))
+    return out
+
+
+_STANDARD_RULES: tuple[Rule, ...] = (
+    Rule("supported-by-target",
+         "SupportedBy targets goals, strategies, or solutions",
+         _rule_supported_by_targets),
+    Rule("supported-by-source",
+         "only goals and strategies cite support",
+         _rule_supported_by_sources),
+    Rule("in-context-of-target",
+         "InContextOf targets contextual elements",
+         _rule_context_targets),
+    Rule("in-context-of-source",
+         "only goals and strategies attach context",
+         _rule_context_sources),
+    Rule("away-goal-solution-context",
+         "solutions cannot contextualise away goals",
+         _rule_away_goal_no_solution_context),
+    Rule("solution-leaf",
+         "solutions are terminal",
+         _rule_solutions_are_leaves),
+    Rule("single-root",
+         "exactly one root goal",
+         _rule_single_root),
+    Rule("acyclic",
+         "no circular support",
+         _rule_acyclic),
+    Rule("undeveloped-unmarked",
+         "unsupported goals must be marked undeveloped",
+         _rule_developed_or_marked),
+    Rule("strategy-unsupported",
+         "strategies must lead to sub-goals",
+         _rule_strategies_supported),
+    Rule("goal-not-proposition",
+         "goal text must be a proposition",
+         _rule_goals_propositional),
+)
+
+#: The GSN Community Standard rule set (as characterised in the paper).
+GSN_STANDARD_RULES = RuleSet("gsn-standard", _STANDARD_RULES)
+
+#: Denney & Pai's formalisation: the standard rules *plus* their
+#: goal-to-goal prohibition that the paper flags as an error.
+DENNEY_PAI_RULES = RuleSet(
+    "denney-pai",
+    _STANDARD_RULES + (
+        Rule("denney-pai-no-goal-to-goal",
+             "goals cannot connect to other goals (erroneous formalisation)",
+             _rule_no_goal_to_goal),
+    ),
+)
+
+
+def check(
+    argument: Argument, rules: RuleSet = GSN_STANDARD_RULES
+) -> list[Violation]:
+    """All violations of the given rule set (default: GSN standard)."""
+    return rules.check(argument)
+
+
+def is_well_formed(
+    argument: Argument, rules: RuleSet = GSN_STANDARD_RULES
+) -> bool:
+    """True when the argument violates no rule of the set."""
+    return rules.is_well_formed(argument)

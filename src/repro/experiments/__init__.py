@@ -1,0 +1,104 @@
+"""The five §VI studies, run on simulated subjects.
+
+The paper's conclusion — 'where evidence is lacking, we have sketched
+empirical studies that could provide it' — is implemented here: every
+sketched study is a runnable, seeded experiment whose *harness*
+(materials, conditions, measures, statistics) is exactly as proposed, and
+whose *subjects* are parameterised cognitive models (see
+:mod:`~repro.experiments.subjects` and the substitution table in
+DESIGN.md).
+
+* :mod:`~repro.experiments.review_study` — §VI.A fallacy review
+* :mod:`~repro.experiments.effort_study` — §VI.B formalisation effort
+* :mod:`~repro.experiments.audience_study` — §VI.C reading audience
+* :mod:`~repro.experiments.instantiation_study` — §VI.D patterns
+* :mod:`~repro.experiments.sufficiency_study` — §VI.E sufficiency
+"""
+
+from .agreement_study import (
+    AgreementStudyConfig,
+    AgreementStudyResult,
+    run_agreement_study,
+)
+from .audience_study import (
+    AudienceStudyConfig,
+    AudienceStudyResult,
+    run_audience_study,
+    specimen_argument,
+)
+from .effort_study import (
+    EffortStudyConfig,
+    EffortStudyResult,
+    run_effort_study,
+)
+from .instantiation_study import (
+    InstantiationStudyConfig,
+    InstantiationStudyResult,
+    run_instantiation_study,
+)
+from .review_study import (
+    ReviewStudyConfig,
+    ReviewStudyResult,
+    build_materials,
+    run_review_study,
+)
+from .stats import (
+    Summary,
+    bootstrap_ci,
+    cliffs_delta,
+    cohens_d,
+    cohens_kappa,
+    mann_whitney,
+    mean_pairwise_agreement,
+    summarise,
+)
+from .subjects import (
+    Background,
+    SubjectProfile,
+    sample_pool,
+    sample_subject,
+)
+from .sufficiency_study import (
+    SufficiencyStudyConfig,
+    SufficiencyStudyResult,
+    build_case,
+    run_sufficiency_study,
+)
+from .tables import render_rows
+
+__all__ = [
+    "AgreementStudyConfig",
+    "AgreementStudyResult",
+    "run_agreement_study",
+    "AudienceStudyConfig",
+    "AudienceStudyResult",
+    "run_audience_study",
+    "specimen_argument",
+    "EffortStudyConfig",
+    "EffortStudyResult",
+    "run_effort_study",
+    "InstantiationStudyConfig",
+    "InstantiationStudyResult",
+    "run_instantiation_study",
+    "ReviewStudyConfig",
+    "ReviewStudyResult",
+    "build_materials",
+    "run_review_study",
+    "Summary",
+    "bootstrap_ci",
+    "cliffs_delta",
+    "cohens_d",
+    "cohens_kappa",
+    "mann_whitney",
+    "mean_pairwise_agreement",
+    "summarise",
+    "Background",
+    "SubjectProfile",
+    "sample_pool",
+    "sample_subject",
+    "SufficiencyStudyConfig",
+    "SufficiencyStudyResult",
+    "build_case",
+    "run_sufficiency_study",
+    "render_rows",
+]

@@ -1,0 +1,243 @@
+"""The §V.C reviewer-disagreement study.
+
+§V.C: 'Human reviewers can fail to spot fallacies: Greenwell et al.
+report results from two different reviewers that show that each
+overlooked some fallacies that the other flagged.  (Perfect agreement
+between reviewers is not expected ...)  But it is the efficacy of humans
+at spotting formal fallacies that is at issue in the argument for
+formalisation, and this remains unknown.'
+
+This study simulates exactly that observation and then measures the
+quantity §V.C says is missing:
+
+* two independent reviewers examine a Greenwell-seeded argument;
+  per-instance detection follows the subject models — the outputs are
+  each reviewer's flag set;
+* reported: overlap statistics (each reviewer's unique catches, Jaccard
+  overlap, Cohen's kappa over instance-level flagged/not-flagged) —
+  reproducing the qualitative Greenwell finding that neither reviewer's
+  list contains the other's;
+* the missing number: the same two-reviewer protocol over *formal*
+  fallacies, giving the human formal-miss rate that the §VI.A tool
+  comparison needs as its baseline.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..core.builder import ArgumentBuilder
+from ..fallacies.injector import (
+    InjectionRecord,
+    inject_formal,
+    seed_greenwell_argument,
+)
+from ..fallacies.taxonomy import FormalFallacy
+from .stats import cohens_kappa
+from .subjects import (
+    Background,
+    SubjectProfile,
+    informal_detection_probability,
+    manual_formal_detection_probability,
+    sample_subject,
+)
+from .tables import render_rows
+
+__all__ = [
+    "AgreementStudyConfig",
+    "PairOutcome",
+    "AgreementStudyResult",
+    "run_agreement_study",
+]
+
+_PROPOSITIONAL = (
+    FormalFallacy.BEGGING_THE_QUESTION,
+    FormalFallacy.INCOMPATIBLE_PREMISES,
+    FormalFallacy.PREMISE_CONCLUSION_CONTRADICTION,
+    FormalFallacy.DENYING_THE_ANTECEDENT,
+    FormalFallacy.AFFIRMING_THE_CONSEQUENT,
+)
+
+
+@dataclass(frozen=True)
+class AgreementStudyConfig:
+    """Knobs for the §V.C simulation."""
+
+    reviewer_pairs: int = 8
+    hazards: int = 12
+    formal_instances: int = 12
+    seed: int = 20150627
+
+
+@dataclass(frozen=True)
+class PairOutcome:
+    """One reviewer pair over one material set."""
+
+    flagged_a: int
+    flagged_b: int
+    both: int
+    only_a: int
+    only_b: int
+    kappa: float
+
+    @property
+    def jaccard(self) -> float:
+        union = self.both + self.only_a + self.only_b
+        return self.both / union if union else 1.0
+
+
+@dataclass(frozen=True)
+class AgreementStudyResult:
+    """Aggregates over all pairs, informal vs formal material."""
+
+    informal_pairs: tuple[PairOutcome, ...]
+    formal_pairs: tuple[PairOutcome, ...]
+    formal_instances_per_pair: int
+    informal_instances_per_pair: int
+    formal_union_miss_rate: float
+
+    def _mean(self, outcomes: tuple[PairOutcome, ...],
+              attribute: str) -> float:
+        values = [getattr(o, attribute) for o in outcomes]
+        return sum(values) / len(values)
+
+    def rows(self) -> list[dict[str, object]]:
+        out = []
+        for label, outcomes, instances in (
+            ("informal (Greenwell kinds)", self.informal_pairs,
+             self.informal_instances_per_pair),
+            ("formal (Damer kinds)", self.formal_pairs,
+             self.formal_instances_per_pair),
+        ):
+            out.append({
+                "material": label,
+                "instances": instances,
+                "mean_flagged_each": (
+                    self._mean(outcomes, "flagged_a")
+                    + self._mean(outcomes, "flagged_b")
+                ) / 2,
+                "mean_only_one_reviewer": (
+                    self._mean(outcomes, "only_a")
+                    + self._mean(outcomes, "only_b")
+                ),
+                "mean_jaccard": self._mean(outcomes, "jaccard"),
+                "mean_kappa": self._mean(outcomes, "kappa"),
+            })
+        return out
+
+    def render(self) -> str:
+        table = render_rows(
+            self.rows(),
+            title="§V.C reviewer agreement: two independent reviewers "
+                  "per material set",
+        )
+        footer = (
+            "each reviewer overlooks fallacies the other flags "
+            "(Greenwell's observation);\n"
+            f"two-reviewer union miss rate on FORMAL fallacies: "
+            f"{self.formal_union_miss_rate:.2f} — the §V.C unknown, "
+            "measured\n"
+        )
+        return table + footer
+
+
+def _pair_outcome(
+    detections_a: list[bool], detections_b: list[bool]
+) -> PairOutcome:
+    both = sum(
+        1 for a, b in zip(detections_a, detections_b) if a and b
+    )
+    only_a = sum(
+        1 for a, b in zip(detections_a, detections_b) if a and not b
+    )
+    only_b = sum(
+        1 for a, b in zip(detections_a, detections_b) if b and not a
+    )
+    return PairOutcome(
+        flagged_a=sum(detections_a),
+        flagged_b=sum(detections_b),
+        both=both,
+        only_a=only_a,
+        only_b=only_b,
+        kappa=cohens_kappa(detections_a, detections_b),
+    )
+
+
+def run_agreement_study(
+    config: AgreementStudyConfig | None = None,
+) -> AgreementStudyResult:
+    """Run the §V.C simulation end to end."""
+    config = config or AgreementStudyConfig()
+    rng = random.Random(config.seed)
+
+    informal_outcomes: list[PairOutcome] = []
+    formal_outcomes: list[PairOutcome] = []
+    informal_instances = 0
+    formal_union_misses = 0
+    formal_total = 0
+
+    for pair_index in range(config.reviewer_pairs):
+        reviewer_a = sample_subject(
+            rng, Background.SAFETY_ENGINEER, f"a{pair_index}"
+        )
+        reviewer_b = sample_subject(
+            rng, Background.CERTIFIER, f"b{pair_index}"
+        )
+
+        # Informal material: a Greenwell-seeded argument.
+        builder = ArgumentBuilder(f"agree-{pair_index}")
+        top = builder.goal("The system is acceptably safe")
+        strategy = builder.strategy("Argument over hazards", under=top)
+        for index in range(config.hazards):
+            goal = builder.goal(
+                f"Hazard H{index} is acceptably managed", under=strategy
+            )
+            builder.solution(f"Analysis record {index}", under=goal)
+        argument, records = seed_greenwell_argument(builder.build(), rng)
+        size = len(argument)
+        informal_instances = len(records)
+
+        def detect_informal(subject: SubjectProfile,
+                            record: InjectionRecord) -> bool:
+            probability = informal_detection_probability(
+                subject, record.fallacy, size
+            )
+            return rng.random() < probability
+
+        detections_a = [detect_informal(reviewer_a, r) for r in records]
+        detections_b = [detect_informal(reviewer_b, r) for r in records]
+        informal_outcomes.append(
+            _pair_outcome(detections_a, detections_b)
+        )
+
+        # Formal material: seeded Damer-form argument steps.
+        formal_records = [
+            inject_formal(rng, rng.choice(_PROPOSITIONAL)).records[0]
+            for _ in range(config.formal_instances)
+        ]
+        formal_a = [
+            rng.random() < manual_formal_detection_probability(
+                reviewer_a, record.fallacy, 10
+            )
+            for record in formal_records
+        ]
+        formal_b = [
+            rng.random() < manual_formal_detection_probability(
+                reviewer_b, record.fallacy, 10
+            )
+            for record in formal_records
+        ]
+        formal_outcomes.append(_pair_outcome(formal_a, formal_b))
+        formal_union_misses += sum(
+            1 for a, b in zip(formal_a, formal_b) if not (a or b)
+        )
+        formal_total += len(formal_records)
+
+    return AgreementStudyResult(
+        informal_pairs=tuple(informal_outcomes),
+        formal_pairs=tuple(formal_outcomes),
+        formal_instances_per_pair=config.formal_instances,
+        informal_instances_per_pair=informal_instances,
+        formal_union_miss_rate=formal_union_misses / formal_total,
+    )

@@ -1,0 +1,272 @@
+"""Experiment C: restriction of the reading audience.
+
+§VI.C: 'we could experimentally measure reading speed and comprehension,
+using an informal version of the specimen argument as a control.
+Subjects should be selected from the backgrounds that might be expected
+of an argument reader.'
+
+Design implemented here:
+
+* Materials: one specimen safety argument rendered two ways — the
+  informal control (prose rendering of the GSN argument) and the
+  formalised treatment (the same argument with its Rushby-style formal
+  skeleton inlined, so each claim carries its symbolic form).  Word
+  counts come from the actual renderings.
+* Subjects: pools from all six §II.A stakeholder backgrounds; each
+  subject reads both versions (order effects are outside this model) and
+  answers a fixed battery of comprehension questions.
+* Measures per background x version: mean reading minutes and mean
+  comprehension score, with bootstrap CIs; the slowdown ratio and the
+  comprehension drop quantify the audience restriction.
+
+A questionnaire records each subject's background and training (§VI.C's
+analysis covariate), exposed via the per-subject records.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.argument import Argument
+from ..core.builder import ArgumentBuilder
+from ..formalise.translator import formalise_argument
+from ..notation.prose import render_prose
+from .stats import Summary, summarise
+from .subjects import (
+    Background,
+    SubjectProfile,
+    comprehension_probability,
+    reading_minutes,
+    sample_subject,
+)
+from .tables import render_rows
+
+__all__ = [
+    "AudienceStudyConfig",
+    "AudienceCell",
+    "SubjectRecord",
+    "AudienceStudyResult",
+    "specimen_argument",
+    "run_audience_study",
+]
+
+
+def specimen_argument() -> Argument:
+    """The specimen argument both versions render.
+
+    A compact thrust-reverser case built around the paper's own §II.B
+    example claim: 'the thrust reversers are inhibited when the aircraft
+    is not on the ground'.
+    """
+    builder = ArgumentBuilder("thrust-reverser")
+    top = builder.goal(
+        "The thrust reversers are inhibited when the aircraft is not "
+        "on the ground"
+    )
+    builder.context(
+        "Aircraft type: twin-engine transport; reverser system R2",
+        under=top,
+    )
+    strategy = builder.strategy(
+        "Argument over the inhibit interlock and its monitoring",
+        under=top,
+    )
+    interlock = builder.goal(
+        "The weight-on-wheels interlock blocks reverser deployment "
+        "in flight", under=strategy,
+    )
+    builder.solution(
+        "Interlock logic verification report VR-114", under=interlock
+    )
+    monitor = builder.goal(
+        "The deployment monitor annunciates any uncommanded transit",
+        under=strategy,
+    )
+    builder.solution(
+        "Monitor coverage analysis MC-7", under=monitor
+    )
+    crew = builder.goal(
+        "Crew procedures recover an uncommanded deployment within "
+        "the certified envelope", under=strategy,
+    )
+    builder.solution(
+        "Simulator trial records ST-31", under=crew
+    )
+    return builder.build()
+
+
+def _word_counts(argument: Argument) -> tuple[int, int]:
+    """(informal words, formalised words) from actual renderings."""
+    informal_words = len(render_prose(argument).split())
+    formalisation = formalise_argument(argument)
+    formal_extra = sum(
+        len(str(rule).split()) for rule in
+        formalisation.rules + formalisation.assumed_rules
+    ) + sum(
+        len(str(atom).split()) + 1
+        for atom in formalisation.evidence_atoms.values()
+    )
+    return informal_words, informal_words + formal_extra
+
+
+@dataclass(frozen=True)
+class AudienceStudyConfig:
+    """Knobs for Experiment C."""
+
+    subjects_per_background: int = 12
+    questions: int = 8
+    seed: int = 20150624
+
+
+@dataclass(frozen=True)
+class SubjectRecord:
+    """The questionnaire row for one subject (§VI.C covariates)."""
+
+    identifier: str
+    background: Background
+    formal_methods_training: bool
+    informal_minutes: float
+    formal_minutes: float
+    informal_score: float
+    formal_score: float
+
+
+@dataclass(frozen=True)
+class AudienceCell:
+    """Aggregates for one background x version."""
+
+    background: Background
+    version: str
+    minutes: Summary
+    comprehension: Summary
+
+
+@dataclass(frozen=True)
+class AudienceStudyResult:
+    """All cells plus per-subject records and headline ratios."""
+
+    cells: tuple[AudienceCell, ...]
+    records: tuple[SubjectRecord, ...]
+
+    def rows(self) -> list[dict[str, object]]:
+        return [
+            {
+                "background": cell.background.value,
+                "version": cell.version,
+                "mean_minutes": cell.minutes.mean,
+                "minutes_ci_low": cell.minutes.ci_low,
+                "minutes_ci_high": cell.minutes.ci_high,
+                "mean_comprehension": cell.comprehension.mean,
+                "compr_ci_low": cell.comprehension.ci_low,
+                "compr_ci_high": cell.comprehension.ci_high,
+            }
+            for cell in self.cells
+        ]
+
+    def slowdown(self, background: Background) -> float:
+        informal = next(
+            c for c in self.cells
+            if c.background is background and c.version == "informal"
+        )
+        formal = next(
+            c for c in self.cells
+            if c.background is background and c.version == "formalised"
+        )
+        return formal.minutes.mean / informal.minutes.mean
+
+    def comprehension_drop(self, background: Background) -> float:
+        informal = next(
+            c for c in self.cells
+            if c.background is background and c.version == "informal"
+        )
+        formal = next(
+            c for c in self.cells
+            if c.background is background and c.version == "formalised"
+        )
+        return informal.comprehension.mean - formal.comprehension.mean
+
+    def render(self) -> str:
+        table = render_rows(
+            self.rows(),
+            title="Experiment C: reading speed and comprehension by "
+                  "stakeholder background",
+        )
+        lines = [table]
+        for background in Background:
+            lines.append(
+                f"{background.value}: slowdown x"
+                f"{self.slowdown(background):.2f}, comprehension drop "
+                f"{self.comprehension_drop(background):+.3f}"
+            )
+        return "\n".join(lines) + "\n"
+
+
+def run_audience_study(
+    config: AudienceStudyConfig | None = None,
+) -> AudienceStudyResult:
+    """Run Experiment C end to end."""
+    config = config or AudienceStudyConfig()
+    rng = random.Random(config.seed)
+    argument = specimen_argument()
+    informal_words, formal_words = _word_counts(argument)
+
+    records: list[SubjectRecord] = []
+    for background in Background:
+        for index in range(config.subjects_per_background):
+            subject = sample_subject(
+                rng, background, f"{background.value}-{index:02d}"
+            )
+            informal_minutes = reading_minutes(
+                subject, informal_words, formal=False
+            ) * max(0.6, rng.gauss(1.0, 0.1))
+            formal_minutes = reading_minutes(
+                subject, formal_words, formal=True
+            ) * max(0.6, rng.gauss(1.0, 0.1))
+            informal_correct = sum(
+                1 for _ in range(config.questions)
+                if rng.random() < comprehension_probability(
+                    subject, formal=False
+                )
+            )
+            formal_correct = sum(
+                1 for _ in range(config.questions)
+                if rng.random() < comprehension_probability(
+                    subject, formal=True
+                )
+            )
+            records.append(SubjectRecord(
+                identifier=subject.identifier,
+                background=background,
+                formal_methods_training=subject.formal_methods_training,
+                informal_minutes=informal_minutes,
+                formal_minutes=formal_minutes,
+                informal_score=informal_correct / config.questions,
+                formal_score=formal_correct / config.questions,
+            ))
+
+    cells: list[AudienceCell] = []
+    for background in Background:
+        mine = [r for r in records if r.background is background]
+        cells.append(AudienceCell(
+            background=background,
+            version="informal",
+            minutes=summarise(
+                [r.informal_minutes for r in mine], seed=config.seed
+            ),
+            comprehension=summarise(
+                [r.informal_score for r in mine], seed=config.seed + 1
+            ),
+        ))
+        cells.append(AudienceCell(
+            background=background,
+            version="formalised",
+            minutes=summarise(
+                [r.formal_minutes for r in mine], seed=config.seed + 2
+            ),
+            comprehension=summarise(
+                [r.formal_score for r in mine], seed=config.seed + 3
+            ),
+        ))
+    return AudienceStudyResult(tuple(cells), tuple(records))

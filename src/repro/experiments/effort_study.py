@@ -1,0 +1,258 @@
+"""Experiment B: the effort of formalisation.
+
+§VI.B: three surveyed proposals construct arguments informally first and
+then formalise them [9], [19], [22]; 'this cost could be measured by
+observing volunteers performing the formalisation task and measuring the
+time needed.  (The study design would have to account for learning
+effects and for the impact of formal methods expertise.)'
+
+Design implemented here:
+
+* Materials: hazard-avoidance arguments of increasing size; the actual
+  Rushby translation (:func:`repro.formalise.translator.formalise_argument`)
+  is run on each to obtain the ground-truth formalisation workload
+  (rules to write, residue elements to triage).
+* Subjects: pools with and without formal-methods training.
+* Time model: per-rule authoring time scaled by expertise, plus residue
+  triage time, with an exponential learning curve over successive tasks
+  (both confounds the paper says a real design must control).
+* Measures: minutes by expertise group and task index; the learning
+  ratio (first task vs last); the formalisation overhead relative to the
+  informal authoring baseline.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.builder import ArgumentBuilder
+from ..core.argument import Argument
+from ..formalise.translator import formalise_argument
+from .stats import Summary, summarise
+from .subjects import Background, SubjectProfile, sample_pool
+from .tables import render_rows
+
+__all__ = [
+    "EffortStudyConfig",
+    "EffortCell",
+    "EffortStudyResult",
+    "run_effort_study",
+]
+
+#: Minutes to author one formal rule for a fully trained subject.
+_RULE_MINUTES_TRAINED = 4.0
+#: Multiplier for untrained subjects (must learn the notation as they go).
+_UNTRAINED_MULTIPLIER = 2.8
+#: Minutes to triage one informal-residue element (decide it cannot be
+#: formalised and document why) — Rushby's categories need judgment.
+_RESIDUE_MINUTES = 6.0
+#: Minutes per node to author the *informal* argument (the baseline the
+#: formalisation cost is compared against).
+_INFORMAL_NODE_MINUTES = 3.0
+#: Learning-curve shape: time multiplier = 1 + _LEARNING_GAIN * exp(-k/τ).
+_LEARNING_GAIN = 0.8
+_LEARNING_TAU = 2.5
+
+
+def _task_argument(size_index: int) -> Argument:
+    """A hazard argument whose size grows with the index."""
+    hazards = 4 + 3 * size_index
+    builder = ArgumentBuilder(f"exp-b-task-{size_index}")
+    top = builder.goal("The system is acceptably safe to operate")
+    strategy = builder.strategy(
+        "Argument over each identified hazard", under=top
+    )
+    builder.justification(
+        "Hazard identification performed per the applicable standard",
+        under=strategy,
+    )
+    for index in range(1, hazards + 1):
+        goal = builder.goal(
+            f"Hazard H{index} is acceptably managed", under=strategy
+        )
+        if index % 3 == 0:
+            # Every third hazard claim is probabilistic -> residue.
+            builder.context(
+                f"Residual likelihood of H{index} is below 1e-6 per hour",
+                under=goal,
+            )
+            sub = builder.goal(
+                f"Probability of H{index} occurrence is acceptably low",
+                under=goal,
+            )
+            builder.solution(
+                f"Reliability data review RD-{index}", under=sub
+            )
+        else:
+            builder.solution(
+                f"Mitigation verification record MV-{index}", under=goal
+            )
+    return builder.build()
+
+
+@dataclass(frozen=True)
+class EffortStudyConfig:
+    """Knobs for Experiment B."""
+
+    subjects_per_group: int = 12
+    tasks: int = 5
+    seed: int = 20150623
+
+
+@dataclass(frozen=True)
+class EffortCell:
+    """One (group, task) aggregate."""
+
+    group: str
+    task_index: int
+    argument_nodes: int
+    rules: int
+    residue: int
+    minutes: Summary
+    informal_baseline_minutes: float
+
+    @property
+    def overhead_ratio(self) -> float:
+        """Formalisation minutes relative to informal authoring minutes."""
+        return self.minutes.mean / self.informal_baseline_minutes
+
+
+@dataclass(frozen=True)
+class EffortStudyResult:
+    """All cells plus learning summaries."""
+
+    cells: tuple[EffortCell, ...]
+    learning_ratio_trained: float
+    learning_ratio_untrained: float
+    expertise_gap_final_task: float
+
+    def rows(self) -> list[dict[str, object]]:
+        return [
+            {
+                "group": cell.group,
+                "task": cell.task_index,
+                "nodes": cell.argument_nodes,
+                "rules": cell.rules,
+                "residue": cell.residue,
+                "mean_minutes": cell.minutes.mean,
+                "ci_low": cell.minutes.ci_low,
+                "ci_high": cell.minutes.ci_high,
+                "overhead_vs_informal": cell.overhead_ratio,
+            }
+            for cell in self.cells
+        ]
+
+    def render(self) -> str:
+        table = render_rows(
+            self.rows(),
+            title="Experiment B: effort of formalisation "
+                  "(informal-first then formalise)",
+        )
+        footer = (
+            f"learning ratio (task1/taskN): trained "
+            f"{self.learning_ratio_trained:.2f}, untrained "
+            f"{self.learning_ratio_untrained:.2f}; expertise gap on the "
+            f"final task: x{self.expertise_gap_final_task:.2f}\n"
+        )
+        return table + footer
+
+
+def _formalisation_minutes(
+    subject: SubjectProfile,
+    task_index: int,
+    rules: int,
+    residue: int,
+    rng: random.Random,
+) -> float:
+    expertise = (
+        1.0 if subject.formal_methods_training else _UNTRAINED_MULTIPLIER
+    )
+    learning = 1.0 + _LEARNING_GAIN * math.exp(
+        -task_index / _LEARNING_TAU
+    )
+    noise = max(0.5, rng.gauss(1.0, 0.12))
+    rule_minutes = rules * _RULE_MINUTES_TRAINED * expertise
+    residue_minutes = residue * _RESIDUE_MINUTES * (
+        0.8 + 0.4 * (1.0 - subject.care)
+    )
+    return (rule_minutes + residue_minutes) * learning * noise
+
+
+def run_effort_study(
+    config: EffortStudyConfig | None = None,
+) -> EffortStudyResult:
+    """Run Experiment B end to end."""
+    config = config or EffortStudyConfig()
+    rng = random.Random(config.seed)
+    trained = [
+        s for s in sample_pool(
+            rng, config.subjects_per_group * 2,
+            backgrounds=(Background.SOFTWARE_ENGINEER,),
+        )
+        if s.formal_methods_training
+    ][: config.subjects_per_group]
+    untrained = [
+        s for s in sample_pool(
+            rng, config.subjects_per_group * 3,
+            backgrounds=(Background.MECHANICAL_ENGINEER,
+                         Background.MANAGER),
+        )
+        if not s.formal_methods_training
+    ][: config.subjects_per_group]
+
+    cells: list[EffortCell] = []
+    first_last: dict[str, dict[int, float]] = {"trained": {},
+                                               "untrained": {}}
+    for task_index in range(config.tasks):
+        argument = _task_argument(task_index)
+        formalisation = formalise_argument(argument)
+        rules = len(formalisation.rules)
+        residue = len(formalisation.residue)
+        baseline = len(argument) * _INFORMAL_NODE_MINUTES
+        for group_name, group in (("trained", trained),
+                                  ("untrained", untrained)):
+            minutes = [
+                _formalisation_minutes(
+                    subject, task_index, rules, residue, rng
+                )
+                for subject in group
+            ]
+            summary = summarise(minutes, seed=config.seed + task_index)
+            cells.append(EffortCell(
+                group=group_name,
+                task_index=task_index,
+                argument_nodes=len(argument),
+                rules=rules,
+                residue=residue,
+                minutes=summary,
+                informal_baseline_minutes=baseline,
+            ))
+            first_last[group_name][task_index] = summary.mean
+
+    def _normalised_learning(group: str) -> float:
+        per_task = first_last[group]
+        first = per_task[0]
+        last = per_task[config.tasks - 1]
+        # Normalise by workload so the ratio isolates the learning effect.
+        first_cell = next(
+            c for c in cells if c.group == group and c.task_index == 0
+        )
+        last_cell = next(
+            c for c in cells
+            if c.group == group and c.task_index == config.tasks - 1
+        )
+        first_rate = first / max(1, first_cell.rules)
+        last_rate = last / max(1, last_cell.rules)
+        return first_rate / last_rate
+
+    final_trained = first_last["trained"][config.tasks - 1]
+    final_untrained = first_last["untrained"][config.tasks - 1]
+    return EffortStudyResult(
+        cells=tuple(cells),
+        learning_ratio_trained=_normalised_learning("trained"),
+        learning_ratio_untrained=_normalised_learning("untrained"),
+        expertise_gap_final_task=final_untrained / final_trained,
+    )

@@ -1,0 +1,296 @@
+"""Experiment D: more reliably correct pattern instantiation.
+
+§VI.D: 'we could measure and compare defect rates between volunteers who
+instantiate informal patterns and review them and volunteers that use a
+formalised pattern instantiation tool with parameter checking.  We could
+also measure whether the proposed mechanism speeds up or slows down
+argument creation.'
+
+Design implemented here:
+
+* Materials: the hazard-avoidance pattern of
+  :func:`repro.core.patterns.hazard_avoidance_pattern`, instantiated over
+  tasks of varying hazard-list length.
+* Condition ``informal``: the subject hand-copies the pattern.  Error
+  processes (rates scale with 1-care): omitting a claim, replacing two
+  placeholders standing for the same concept with incompatible text,
+  type/range errors (a residual-risk percentage of 250), and — care-
+  independent — *semantic misuse*: a well-typed but meaningless binding
+  (Matsuno's 'Railway hazards' for 'System X').  A manual review then
+  catches each defect with a care-scaled probability.
+* Condition ``tool``: the same error attempts hit the real
+  :meth:`~repro.core.patterns.Pattern.instantiate` type checker — which
+  is *executed*, not simulated: omissions are partial bindings, type and
+  range errors are sort violations, and both raise
+  :class:`~repro.core.patterns.InstantiationError`, forcing a fix (a time
+  cost).  Incompatible-replacement errors cannot occur at all (one
+  binding fills every occurrence).  Semantic misuse sails through —
+  type checking cannot see meaning.
+* Measures: residual defects per 100 instantiations by category, and
+  creation time, per condition.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..core.patterns import (
+    Binding,
+    InstantiationError,
+    Pattern,
+    hazard_avoidance_pattern,
+)
+from .stats import Summary, summarise
+from .subjects import Background, SubjectProfile, sample_pool
+from .tables import render_rows
+
+__all__ = [
+    "InstantiationStudyConfig",
+    "DefectCounts",
+    "InstantiationOutcome",
+    "InstantiationStudyResult",
+    "run_instantiation_study",
+]
+
+#: Minutes to hand-copy one pattern element informally.
+_COPY_MINUTES_PER_ELEMENT = 1.2
+#: Minutes to enter one binding value in the tool.
+_TOOL_BINDING_MINUTES = 0.6
+#: One-off tool setup minutes per task (loading the pattern, etc.).
+_TOOL_SETUP_MINUTES = 2.0
+#: Minutes to fix one tool-rejected binding.
+_TOOL_FIX_MINUTES = 1.5
+#: Minutes for the manual review pass, per element.
+_REVIEW_MINUTES_PER_ELEMENT = 0.8
+
+#: Base error-attempt rates (scaled by 1 - care where care-dependent).
+_P_OMIT = 0.30
+_P_INCOMPATIBLE = 0.25
+_P_TYPE = 0.20
+_P_SEMANTIC = 0.08  # care-independent: the subject believes it's right
+#: Probability a manual review catches one present defect, times care.
+_REVIEW_CATCH = 0.75
+
+
+@dataclass(frozen=True)
+class InstantiationStudyConfig:
+    """Knobs for Experiment D."""
+
+    subjects_per_group: int = 14
+    tasks: int = 6
+    min_hazards: int = 3
+    max_hazards: int = 9
+    seed: int = 20150625
+
+
+@dataclass
+class DefectCounts:
+    """Residual defects by category."""
+
+    omissions: int = 0
+    incompatible: int = 0
+    type_errors: int = 0
+    semantic: int = 0
+
+    @property
+    def total(self) -> int:
+        return (
+            self.omissions + self.incompatible + self.type_errors
+            + self.semantic
+        )
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "omissions": self.omissions,
+            "incompatible": self.incompatible,
+            "type_errors": self.type_errors,
+            "semantic": self.semantic,
+        }
+
+
+@dataclass(frozen=True)
+class InstantiationOutcome:
+    """One condition's aggregates."""
+
+    condition: str
+    instantiations: int
+    defects: DefectCounts
+    minutes: Summary
+
+    def defects_per_100(self) -> dict[str, float]:
+        scale = 100.0 / self.instantiations
+        return {
+            name: count * scale
+            for name, count in self.defects.as_dict().items()
+        } | {"total": self.defects.total * scale}
+
+
+@dataclass(frozen=True)
+class InstantiationStudyResult:
+    """Both conditions plus the tool-check audit."""
+
+    informal: InstantiationOutcome
+    tool: InstantiationOutcome
+    tool_rejected_every_typing_error: bool
+
+    def rows(self) -> list[dict[str, object]]:
+        out = []
+        for outcome in (self.informal, self.tool):
+            per_100 = outcome.defects_per_100()
+            out.append({
+                "condition": outcome.condition,
+                "mean_minutes": outcome.minutes.mean,
+                "omissions/100": per_100["omissions"],
+                "incompatible/100": per_100["incompatible"],
+                "type_errors/100": per_100["type_errors"],
+                "semantic/100": per_100["semantic"],
+                "total/100": per_100["total"],
+            })
+        return out
+
+    def render(self) -> str:
+        table = render_rows(
+            self.rows(),
+            title="Experiment D: pattern instantiation defect rates "
+                  "(informal+review vs typed tool)",
+        )
+        footer = (
+            "tool rejected every attempted typing error: "
+            f"{self.tool_rejected_every_typing_error}; semantic misuse "
+            "(well-typed, meaningless) survives both conditions\n"
+        )
+        return table + footer
+
+
+def _task_binding(task_index: int, config: InstantiationStudyConfig,
+                  rng: random.Random) -> Binding:
+    span = config.max_hazards - config.min_hazards + 1
+    hazards = config.min_hazards + (task_index % span)
+    names = [f"H{i}-{rng.randrange(100)}" for i in range(hazards)]
+    return Binding.of(
+        system=f"System-{task_index}",
+        hazards=names,
+        residual_risk=rng.randrange(5, 60),
+    )
+
+
+def run_instantiation_study(
+    config: InstantiationStudyConfig | None = None,
+) -> InstantiationStudyResult:
+    """Run Experiment D end to end."""
+    config = config or InstantiationStudyConfig()
+    rng = random.Random(config.seed)
+    pattern = hazard_avoidance_pattern()
+    pool = sample_pool(
+        rng, config.subjects_per_group * 2,
+        backgrounds=(Background.SAFETY_ENGINEER,
+                     Background.SOFTWARE_ENGINEER),
+    )
+    group_informal = pool[: config.subjects_per_group]
+    group_tool = pool[config.subjects_per_group:]
+
+    informal_defects = DefectCounts()
+    informal_minutes: list[float] = []
+    informal_count = 0
+    for subject in group_informal:
+        error_proneness = 1.0 - subject.care
+        for task_index in range(config.tasks):
+            binding = _task_binding(task_index, config, rng)
+            hazards = len(binding.get("hazards"))
+            elements = 4 + 2 * hazards  # matches the pattern expansion
+            minutes = elements * _COPY_MINUTES_PER_ELEMENT
+            attempts = DefectCounts(
+                omissions=int(rng.random() < _P_OMIT * error_proneness),
+                incompatible=int(
+                    rng.random() < _P_INCOMPATIBLE * error_proneness
+                ),
+                type_errors=int(
+                    rng.random() < _P_TYPE * error_proneness
+                ),
+                semantic=int(rng.random() < _P_SEMANTIC),
+            )
+            # Manual review pass: catches non-semantic defects with a
+            # care-scaled probability; semantic misuse looks plausible to
+            # the same person who made it.
+            minutes += elements * _REVIEW_MINUTES_PER_ELEMENT
+            catch = _REVIEW_CATCH * subject.care
+            for name in ("omissions", "incompatible", "type_errors"):
+                present = getattr(attempts, name)
+                if present and rng.random() < catch:
+                    setattr(attempts, name, 0)
+                    minutes += 2.0  # rework
+            informal_defects.omissions += attempts.omissions
+            informal_defects.incompatible += attempts.incompatible
+            informal_defects.type_errors += attempts.type_errors
+            informal_defects.semantic += attempts.semantic
+            informal_minutes.append(minutes)
+            informal_count += 1
+
+    tool_defects = DefectCounts()
+    tool_minutes: list[float] = []
+    tool_count = 0
+    tool_always_rejected = True
+    for subject in group_tool:
+        error_proneness = 1.0 - subject.care
+        for task_index in range(config.tasks):
+            binding = _task_binding(task_index, config, rng)
+            values = binding.as_dict()
+            minutes = _TOOL_SETUP_MINUTES + len(values) * \
+                _TOOL_BINDING_MINUTES
+            # Attempted omission: leave a parameter unbound.
+            if rng.random() < _P_OMIT * error_proneness:
+                partial = Binding.of(
+                    system=values["system"], hazards=values["hazards"]
+                )
+                try:
+                    pattern.instantiate(partial)
+                    tool_always_rejected = False
+                    tool_defects.omissions += 1
+                except InstantiationError:
+                    minutes += _TOOL_FIX_MINUTES
+            # Attempted type/range error: risk percentage out of range.
+            if rng.random() < _P_TYPE * error_proneness:
+                broken = Binding.of(
+                    system=values["system"],
+                    hazards=values["hazards"],
+                    residual_risk=250,
+                )
+                try:
+                    pattern.instantiate(broken)
+                    tool_always_rejected = False
+                    tool_defects.type_errors += 1
+                except InstantiationError:
+                    minutes += _TOOL_FIX_MINUTES
+            # Incompatible replacement cannot happen: one binding fills
+            # every occurrence of a placeholder.
+            # Semantic misuse: well-typed nonsense sails through.
+            if rng.random() < _P_SEMANTIC:
+                nonsense = Binding.of(
+                    system="Railway hazards",  # Matsuno's example misuse
+                    hazards=values["hazards"],
+                    residual_risk=values["residual_risk"],
+                )
+                pattern.instantiate(nonsense)  # type checker accepts it
+                tool_defects.semantic += 1
+            else:
+                pattern.instantiate(Binding.of(**values))
+            tool_minutes.append(minutes)
+            tool_count += 1
+
+    return InstantiationStudyResult(
+        informal=InstantiationOutcome(
+            condition="informal+review",
+            instantiations=informal_count,
+            defects=informal_defects,
+            minutes=summarise(informal_minutes, seed=config.seed),
+        ),
+        tool=InstantiationOutcome(
+            condition="typed_tool",
+            instantiations=tool_count,
+            defects=tool_defects,
+            minutes=summarise(tool_minutes, seed=config.seed + 1),
+        ),
+        tool_rejected_every_typing_error=tool_always_rejected,
+    )

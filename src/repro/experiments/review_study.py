@@ -1,0 +1,345 @@
+"""Experiment A: the ability to automatically identify formal fallacies.
+
+§VI.A: 'one group of volunteers reviews an argument for informal
+fallacies only, the other for both informal and formal fallacies, and the
+experimenters measure time taken.  The number of formal fallacies missed
+in manual review can be counted.'
+
+Design implemented here:
+
+* Materials: seeded GSN arguments, each carrying injected *informal*
+  fallacies (Greenwell kinds) and a set of formalised argument steps,
+  some clean and some carrying injected *formal* fallacies.
+* Condition ``MANUAL_BOTH``: the subject reviews for informal fallacies
+  *and* manually checks every formal step.
+* Condition ``MANUAL_PLUS_TOOL``: the mechanical detector
+  (:func:`repro.fallacies.formal_detector.detect`) — actually executed,
+  not assumed — checks the formal steps; the subject reviews only for
+  informal fallacies.
+* Measures: review time, formal-fallacy miss rate, informal-fallacy miss
+  rate (which no condition improves: the tool is blind to them, §IV.C).
+
+The reported direction matches the paper's analysis: the tool drives the
+formal miss rate to zero and saves checking time, while the informal
+miss rate — covering every kind Greenwell actually observed — is
+untouched.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..core.argument import Argument
+from ..core.builder import ArgumentBuilder
+from ..fallacies.formal_detector import detect
+from ..fallacies.injector import (
+    InjectionRecord,
+    SeededFormalArgument,
+    inject_formal,
+    inject_informal,
+    make_formal_argument,
+)
+from ..fallacies.taxonomy import FormalFallacy, GREENWELL_FINDINGS
+from .stats import Summary, summarise
+from .subjects import (
+    SubjectProfile,
+    informal_detection_probability,
+    manual_formal_detection_probability,
+    reading_minutes,
+    sample_pool,
+)
+from .tables import render_rows
+
+__all__ = [
+    "ReviewStudyConfig",
+    "ReviewMaterials",
+    "ConditionOutcome",
+    "ReviewStudyResult",
+    "build_materials",
+    "run_review_study",
+]
+
+_PROPOSITIONAL_FALLACIES = (
+    FormalFallacy.BEGGING_THE_QUESTION,
+    FormalFallacy.INCOMPATIBLE_PREMISES,
+    FormalFallacy.PREMISE_CONCLUSION_CONTRADICTION,
+    FormalFallacy.DENYING_THE_ANTECEDENT,
+    FormalFallacy.AFFIRMING_THE_CONSEQUENT,
+)
+
+#: Minutes a subject spends manually checking one formal step, scaled by
+#: (2 - logic skill): weak logicians are slower *and* less reliable.
+_MANUAL_STEP_MINUTES = 1.6
+#: Minutes to run the detector over one step and read its report.
+_TOOL_STEP_MINUTES = 0.15
+#: Minutes per node of informal review, scaled by care.
+_INFORMAL_NODE_MINUTES = 0.5
+
+
+@dataclass(frozen=True)
+class ReviewStudyConfig:
+    """Knobs for Experiment A."""
+
+    subjects: int = 24
+    arguments: int = 6
+    hazards_per_argument: int = 8
+    informal_per_argument: int = 4
+    formal_steps: int = 6
+    formal_fallacy_share: float = 0.5
+    seed: int = 20150622
+
+
+@dataclass(frozen=True)
+class ReviewMaterials:
+    """One argument pack: GSN argument + formal steps + ground truth."""
+
+    argument: Argument
+    informal_records: tuple[InjectionRecord, ...]
+    formal_steps: tuple[SeededFormalArgument, ...]
+
+    @property
+    def injected_formal(self) -> int:
+        return sum(len(s.records) for s in self.formal_steps)
+
+    @property
+    def injected_informal(self) -> int:
+        return len(self.informal_records)
+
+
+def _base_argument(name: str, hazards: int) -> Argument:
+    builder = ArgumentBuilder(name)
+    top = builder.goal("The system is acceptably safe to operate")
+    builder.context("Definition of acceptably safe per the safety plan",
+                    under=top)
+    strategy = builder.strategy(
+        "Argument over each identified hazard", under=top
+    )
+    for index in range(1, hazards + 1):
+        goal = builder.goal(
+            f"Hazard H{index} is acceptably managed", under=strategy
+        )
+        builder.solution(
+            f"Mitigation analysis record MA-{index}", under=goal
+        )
+    return builder.build()
+
+
+def build_materials(config: ReviewStudyConfig,
+                    rng: random.Random) -> list[ReviewMaterials]:
+    """Construct the seeded argument packs."""
+    informal_kinds = list(GREENWELL_FINDINGS)
+    packs: list[ReviewMaterials] = []
+    for index in range(config.arguments):
+        argument = _base_argument(f"exp-a-{index}",
+                                  config.hazards_per_argument)
+        records: list[InjectionRecord] = []
+        for _ in range(config.informal_per_argument):
+            kind = rng.choice(informal_kinds)
+            argument, record = inject_informal(argument, kind, rng)
+            records.append(record)
+        steps: list[SeededFormalArgument] = []
+        for _ in range(config.formal_steps):
+            if rng.random() < config.formal_fallacy_share:
+                steps.append(inject_formal(
+                    rng, rng.choice(_PROPOSITIONAL_FALLACIES)
+                ))
+            else:
+                steps.append(SeededFormalArgument(
+                    make_formal_argument(rng, valid=True,
+                                         size=rng.randrange(2, 5)),
+                    (),
+                ))
+        packs.append(ReviewMaterials(argument, tuple(records),
+                                     tuple(steps)))
+    return packs
+
+
+@dataclass(frozen=True)
+class ConditionOutcome:
+    """Aggregate outcome of one condition."""
+
+    condition: str
+    time: Summary
+    formal_injected: int
+    formal_missed: int
+    informal_injected: int
+    informal_missed: int
+
+    @property
+    def formal_miss_rate(self) -> float:
+        if not self.formal_injected:
+            return 0.0
+        return self.formal_missed / self.formal_injected
+
+    @property
+    def informal_miss_rate(self) -> float:
+        if not self.informal_injected:
+            return 0.0
+        return self.informal_missed / self.informal_injected
+
+
+@dataclass(frozen=True)
+class ReviewStudyResult:
+    """Both conditions plus the rendering used by the benchmark."""
+
+    manual_both: ConditionOutcome
+    manual_plus_tool: ConditionOutcome
+    tool_detected_all_injected: bool
+    tool_false_positives: int
+
+    def rows(self) -> list[dict[str, object]]:
+        out = []
+        for outcome in (self.manual_both, self.manual_plus_tool):
+            out.append({
+                "condition": outcome.condition,
+                "mean_minutes": outcome.time.mean,
+                "ci_low": outcome.time.ci_low,
+                "ci_high": outcome.time.ci_high,
+                "formal_miss_rate": outcome.formal_miss_rate,
+                "informal_miss_rate": outcome.informal_miss_rate,
+            })
+        return out
+
+    def render(self) -> str:
+        table = render_rows(
+            self.rows(),
+            title="Experiment A: formal-fallacy review "
+                  "(manual vs manual+tool)",
+        )
+        footer = (
+            f"tool found every injected formal fallacy: "
+            f"{self.tool_detected_all_injected}; "
+            f"tool false positives on clean steps: "
+            f"{self.tool_false_positives}\n"
+        )
+        return table + footer
+
+
+def _informal_review(
+    subject: SubjectProfile,
+    pack: ReviewMaterials,
+    rng: random.Random,
+) -> tuple[float, int]:
+    """Simulate the informal pass; returns (minutes, misses)."""
+    size = len(pack.argument)
+    words = sum(len(n.text.split()) for n in pack.argument.nodes)
+    minutes = reading_minutes(subject, words, formal=False)
+    minutes += size * _INFORMAL_NODE_MINUTES * (0.5 + 0.5 * subject.care)
+    misses = 0
+    for record in pack.informal_records:
+        probability = informal_detection_probability(
+            subject, record.fallacy, size
+        )
+        if rng.random() >= probability:
+            misses += 1
+    return minutes, misses
+
+
+def run_review_study(
+    config: ReviewStudyConfig | None = None,
+) -> ReviewStudyResult:
+    """Run Experiment A end to end (deterministic in the config seed)."""
+    config = config or ReviewStudyConfig()
+    rng = random.Random(config.seed)
+    packs = build_materials(config, rng)
+    pool = sample_pool(rng, config.subjects)
+    half = len(pool) // 2
+    group_manual = pool[:half]
+    group_tool = pool[half:]
+
+    # Pre-run the real detector over every step once: the tool's
+    # performance is measured, not assumed.
+    tool_hits = 0
+    tool_injected = 0
+    tool_false_positives = 0
+    for pack in packs:
+        for step in pack.formal_steps:
+            result = detect(step.argument)
+            injected_kinds = {r.fallacy for r in step.records}
+            tool_injected += len(injected_kinds)
+            tool_hits += len(
+                injected_kinds & set(result.fallacies)
+            )
+            if not step.records and result.findings:
+                tool_false_positives += len(result.findings)
+
+    manual_times: list[float] = []
+    manual_formal_missed = 0
+    manual_informal_missed = 0
+    formal_injected_total = 0
+    informal_injected_total = 0
+    for subject in group_manual:
+        for pack in packs:
+            minutes, informal_misses = _informal_review(
+                subject, pack, rng
+            )
+            size = len(pack.argument)
+            for step in pack.formal_steps:
+                minutes += _MANUAL_STEP_MINUTES * (
+                    2.0 - subject.logic_skill
+                )
+                for record in step.records:
+                    probability = manual_formal_detection_probability(
+                        subject, record.fallacy, size
+                    )
+                    if rng.random() >= probability:
+                        manual_formal_missed += 1
+            manual_times.append(minutes)
+            manual_informal_missed += informal_misses
+            formal_injected_total += sum(
+                len(s.records) for s in pack.formal_steps
+            )
+            informal_injected_total += pack.injected_informal
+
+    tool_times: list[float] = []
+    tool_formal_missed_total = 0
+    tool_informal_missed = 0
+    tool_formal_injected_total = 0
+    tool_informal_injected_total = 0
+    per_pack_tool_misses = {
+        id(pack): sum(len(s.records) for s in pack.formal_steps) -
+        sum(
+            len({r.fallacy for r in s.records} &
+                set(detect(s.argument).fallacies))
+            for s in pack.formal_steps
+        )
+        for pack in packs
+    }
+    for subject in group_tool:
+        for pack in packs:
+            minutes, informal_misses = _informal_review(
+                subject, pack, rng
+            )
+            minutes += _TOOL_STEP_MINUTES * len(pack.formal_steps)
+            tool_times.append(minutes)
+            tool_informal_missed += informal_misses
+            tool_formal_missed_total += per_pack_tool_misses[id(pack)]
+            tool_formal_injected_total += sum(
+                len(s.records) for s in pack.formal_steps
+            )
+            tool_informal_injected_total += pack.injected_informal
+
+    manual = ConditionOutcome(
+        condition="manual_both",
+        time=summarise(manual_times, seed=config.seed),
+        formal_injected=formal_injected_total,
+        formal_missed=manual_formal_missed,
+        informal_injected=informal_injected_total,
+        informal_missed=manual_informal_missed,
+    )
+    tooled = ConditionOutcome(
+        condition="manual_plus_tool",
+        time=summarise(tool_times, seed=config.seed + 1),
+        formal_injected=tool_formal_injected_total,
+        formal_missed=tool_formal_missed_total,
+        informal_injected=tool_informal_injected_total,
+        informal_missed=tool_informal_missed,
+    )
+    return ReviewStudyResult(
+        manual_both=manual,
+        manual_plus_tool=tooled,
+        tool_detected_all_injected=(tool_hits == tool_injected),
+        tool_false_positives=tool_false_positives,
+    )

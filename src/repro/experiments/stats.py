@@ -1,0 +1,177 @@
+"""Statistics for the §VI studies.
+
+Small, audited implementations of the analyses the studies report:
+bootstrap confidence intervals (seeded, deterministic), Mann-Whitney U
+via scipy, Cohen's d and Cliff's delta effect sizes, Cohen's kappa for
+two raters, and mean pairwise agreement for assessor pools (the §VI.E
+'if many assessors report similar values ... if they report very
+different values, at least some must be wrong').
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from scipy import stats as scipy_stats
+
+__all__ = [
+    "Summary",
+    "summarise",
+    "bootstrap_ci",
+    "mann_whitney",
+    "cohens_d",
+    "cliffs_delta",
+    "cohens_kappa",
+    "mean_pairwise_agreement",
+]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Descriptive summary of one sample."""
+
+    n: int
+    mean: float
+    sd: float
+    ci_low: float
+    ci_high: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.n} mean={self.mean:.3f} sd={self.sd:.3f} "
+            f"95% CI [{self.ci_low:.3f}, {self.ci_high:.3f}]"
+        )
+
+
+def summarise(
+    values: Sequence[float], seed: int = 0, resamples: int = 2000
+) -> Summary:
+    """Mean, SD, and a seeded bootstrap 95% CI."""
+    if not values:
+        raise ValueError("empty sample")
+    n = len(values)
+    mean = sum(values) / n
+    variance = sum((v - mean) ** 2 for v in values) / max(1, n - 1)
+    low, high = bootstrap_ci(values, seed=seed, resamples=resamples)
+    return Summary(n, mean, math.sqrt(variance), low, high)
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    seed: int = 0,
+    resamples: int = 2000,
+    alpha: float = 0.05,
+) -> tuple[float, float]:
+    """Percentile bootstrap CI for the mean (deterministic in ``seed``)."""
+    if not values:
+        raise ValueError("empty sample")
+    rng = random.Random(seed)
+    n = len(values)
+    means: list[float] = []
+    for _ in range(resamples):
+        total = 0.0
+        for _ in range(n):
+            total += values[rng.randrange(n)]
+        means.append(total / n)
+    means.sort()
+    low_index = int((alpha / 2) * resamples)
+    high_index = min(resamples - 1, int((1 - alpha / 2) * resamples))
+    return means[low_index], means[high_index]
+
+
+def mann_whitney(
+    left: Sequence[float], right: Sequence[float]
+) -> tuple[float, float]:
+    """Two-sided Mann-Whitney U; returns (statistic, p-value)."""
+    if not left or not right:
+        raise ValueError("both samples must be non-empty")
+    result = scipy_stats.mannwhitneyu(
+        list(left), list(right), alternative="two-sided"
+    )
+    return float(result.statistic), float(result.pvalue)
+
+
+def cohens_d(left: Sequence[float], right: Sequence[float]) -> float:
+    """Cohen's d with pooled SD (positive when left > right)."""
+    n1, n2 = len(left), len(right)
+    if n1 < 2 or n2 < 2:
+        raise ValueError("need at least two observations per group")
+    mean1 = sum(left) / n1
+    mean2 = sum(right) / n2
+    var1 = sum((v - mean1) ** 2 for v in left) / (n1 - 1)
+    var2 = sum((v - mean2) ** 2 for v in right) / (n2 - 1)
+    pooled = math.sqrt(
+        ((n1 - 1) * var1 + (n2 - 1) * var2) / (n1 + n2 - 2)
+    )
+    if pooled == 0:
+        return 0.0
+    return (mean1 - mean2) / pooled
+
+
+def cliffs_delta(left: Sequence[float], right: Sequence[float]) -> float:
+    """Cliff's delta: P(left > right) - P(left < right)."""
+    if not left or not right:
+        raise ValueError("both samples must be non-empty")
+    greater = 0
+    lesser = 0
+    for a in left:
+        for b in right:
+            if a > b:
+                greater += 1
+            elif a < b:
+                lesser += 1
+    return (greater - lesser) / (len(left) * len(right))
+
+
+def cohens_kappa(
+    rater_a: Sequence[object], rater_b: Sequence[object]
+) -> float:
+    """Cohen's kappa for two raters over matched items."""
+    if len(rater_a) != len(rater_b):
+        raise ValueError("raters must judge the same items")
+    if not rater_a:
+        raise ValueError("empty ratings")
+    n = len(rater_a)
+    categories = sorted(
+        set(rater_a) | set(rater_b), key=repr
+    )
+    observed = sum(
+        1 for a, b in zip(rater_a, rater_b) if a == b
+    ) / n
+    expected = 0.0
+    for category in categories:
+        pa = sum(1 for a in rater_a if a == category) / n
+        pb = sum(1 for b in rater_b if b == category) / n
+        expected += pa * pb
+    if expected == 1.0:
+        return 1.0
+    return (observed - expected) / (1.0 - expected)
+
+
+def mean_pairwise_agreement(
+    judgments: Sequence[Sequence[object]],
+) -> float:
+    """Mean exact-match rate over all assessor pairs (matched items).
+
+    ``judgments[k]`` is assessor ``k``'s verdict list.  The §VI.E
+    inter-assessor agreement measure: near 1.0 means assessors converge;
+    low values mean 'at least some must be wrong'.
+    """
+    if len(judgments) < 2:
+        raise ValueError("need at least two assessors")
+    length = len(judgments[0])
+    if any(len(j) != length for j in judgments):
+        raise ValueError("assessors must judge the same items")
+    if length == 0:
+        raise ValueError("no items judged")
+    pair_scores: list[float] = []
+    for i in range(len(judgments)):
+        for j in range(i + 1, len(judgments)):
+            matches = sum(
+                1 for a, b in zip(judgments[i], judgments[j]) if a == b
+            )
+            pair_scores.append(matches / length)
+    return sum(pair_scores) / len(pair_scores)

@@ -1,0 +1,256 @@
+"""Simulated subjects for the §VI experiments.
+
+The paper proposes five human-subject studies but reports no data — and
+an offline reproduction has no humans.  Per the substitution policy in
+DESIGN.md, the studies run on *parameterised cognitive models*: every
+behavioural assumption is an explicit, documented constant below, so the
+experimental harness (conditions, measures, statistics) is fully
+exercised and a future run with real subjects could drop its data into
+the same pipeline.
+
+Model summary (directions follow the paper's own analysis, §V–§VI):
+
+* formal-logic skill varies strongly by background — software engineers
+  'learn symbolic, deductive logics at university; this is not
+  necessarily true of managers, mechanical engineers, or safety
+  assessors' (§VI.C);
+* manual detection of a *formal* fallacy requires applying logic skill
+  steadily across an argument; misses grow with argument size;
+* detection of an *informal* fallacy rides on domain knowledge and care,
+  not logic skill (equivocation is obvious 'to a human' with the domain
+  context, §IV.C);
+* reading formal notation is slower for everyone and much slower for
+  backgrounds without logic training.
+
+All sampling is driven by a caller-supplied :class:`random.Random`.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..fallacies.taxonomy import FormalFallacy, InformalFallacy
+
+__all__ = [
+    "Background",
+    "SubjectProfile",
+    "sample_subject",
+    "sample_pool",
+    "manual_formal_detection_probability",
+    "informal_detection_probability",
+    "reading_minutes",
+    "comprehension_probability",
+    "BACKGROUND_LOGIC_SKILL",
+    "FORMAL_NOTATION_SPEED_PENALTY",
+]
+
+
+class Background(enum.Enum):
+    """Stakeholder backgrounds from §II.A's reader list."""
+
+    SOFTWARE_ENGINEER = "software_engineer"
+    SAFETY_ENGINEER = "safety_engineer"
+    MECHANICAL_ENGINEER = "mechanical_engineer"
+    MANAGER = "manager"
+    CERTIFIER = "certifier"
+    OPERATOR = "operator"
+
+
+#: Mean formal-logic skill per background (0..1).  Software engineers
+#: trained in symbolic logic sit high; managers and operators low.
+BACKGROUND_LOGIC_SKILL: Mapping[Background, float] = {
+    Background.SOFTWARE_ENGINEER: 0.80,
+    Background.SAFETY_ENGINEER: 0.55,
+    Background.MECHANICAL_ENGINEER: 0.40,
+    Background.MANAGER: 0.20,
+    Background.CERTIFIER: 0.50,
+    Background.OPERATOR: 0.25,
+}
+
+#: Mean domain knowledge per background (0..1) — what informal-fallacy
+#: spotting rides on.
+BACKGROUND_DOMAIN_KNOWLEDGE: Mapping[Background, float] = {
+    Background.SOFTWARE_ENGINEER: 0.55,
+    Background.SAFETY_ENGINEER: 0.80,
+    Background.MECHANICAL_ENGINEER: 0.65,
+    Background.MANAGER: 0.45,
+    Background.CERTIFIER: 0.75,
+    Background.OPERATOR: 0.60,
+}
+
+#: Reading-speed multiplier for *formalised* material relative to
+#: natural-language material, by background.  Everyone slows down;
+#: logic-trained readers slow least.
+FORMAL_NOTATION_SPEED_PENALTY: Mapping[Background, float] = {
+    Background.SOFTWARE_ENGINEER: 1.4,
+    Background.SAFETY_ENGINEER: 2.0,
+    Background.MECHANICAL_ENGINEER: 2.6,
+    Background.MANAGER: 3.5,
+    Background.CERTIFIER: 2.2,
+    Background.OPERATOR: 3.0,
+}
+
+#: Base manual-detection difficulty per formal fallacy kind (probability
+#: a perfectly skilled, careful reviewer spots one instance).
+_FORMAL_BASE_DETECTABILITY: Mapping[FormalFallacy, float] = {
+    FormalFallacy.BEGGING_THE_QUESTION: 0.85,
+    FormalFallacy.INCOMPATIBLE_PREMISES: 0.70,
+    FormalFallacy.PREMISE_CONCLUSION_CONTRADICTION: 0.80,
+    FormalFallacy.DENYING_THE_ANTECEDENT: 0.65,
+    FormalFallacy.AFFIRMING_THE_CONSEQUENT: 0.60,
+    FormalFallacy.FALSE_CONVERSION: 0.55,
+    FormalFallacy.UNDISTRIBUTED_MIDDLE: 0.50,
+    FormalFallacy.ILLICIT_DISTRIBUTION: 0.50,
+}
+
+#: Base detectability per informal kind, for a knowledgeable, careful
+#: reviewer.  Omission is hardest (you must know what's missing);
+#: Greenwell's reviewers disagreed with each other, so none of these is 1.
+_INFORMAL_BASE_DETECTABILITY: Mapping[InformalFallacy, float] = {
+    InformalFallacy.DRAWING_WRONG_CONCLUSION: 0.65,
+    InformalFallacy.FALLACIOUS_USE_OF_LANGUAGE: 0.60,
+    InformalFallacy.FALLACY_OF_COMPOSITION: 0.55,
+    InformalFallacy.HASTY_INDUCTIVE_GENERALISATION: 0.60,
+    InformalFallacy.OMISSION_OF_KEY_EVIDENCE: 0.35,
+    InformalFallacy.RED_HERRING: 0.70,
+    InformalFallacy.USING_WRONG_REASONS: 0.55,
+    InformalFallacy.EQUIVOCATION: 0.50,
+    InformalFallacy.ARGUING_FROM_IGNORANCE: 0.55,
+}
+
+#: Natural-language reading rate in words per minute for working review
+#: (slower than leisure reading).
+_BASE_WPM = 110.0
+
+
+@dataclass(frozen=True)
+class SubjectProfile:
+    """One simulated participant."""
+
+    identifier: str
+    background: Background
+    logic_skill: float        # 0..1
+    domain_knowledge: float   # 0..1
+    care: float               # 0..1 thoroughness
+    reading_wpm: float
+    formal_methods_training: bool
+
+    def __post_init__(self) -> None:
+        for name in ("logic_skill", "domain_knowledge", "care"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+def _clamp(value: float, low: float = 0.02, high: float = 0.98) -> float:
+    return max(low, min(high, value))
+
+
+def sample_subject(
+    rng: random.Random,
+    background: Background,
+    identifier: str | None = None,
+) -> SubjectProfile:
+    """Draw one subject around the background's population means."""
+    logic = _clamp(rng.gauss(BACKGROUND_LOGIC_SKILL[background], 0.12))
+    domain = _clamp(
+        rng.gauss(BACKGROUND_DOMAIN_KNOWLEDGE[background], 0.12)
+    )
+    care = _clamp(rng.gauss(0.65, 0.15))
+    wpm = max(50.0, rng.gauss(_BASE_WPM, 20.0))
+    return SubjectProfile(
+        identifier=identifier or f"{background.value}-{rng.randrange(10**6)}",
+        background=background,
+        logic_skill=logic,
+        domain_knowledge=domain,
+        care=care,
+        reading_wpm=wpm,
+        formal_methods_training=logic > 0.6,
+    )
+
+
+def sample_pool(
+    rng: random.Random,
+    size: int,
+    backgrounds: Sequence[Background] | None = None,
+) -> list[SubjectProfile]:
+    """Draw a pool, cycling over the requested backgrounds."""
+    chosen = list(backgrounds or list(Background))
+    return [
+        sample_subject(rng, chosen[index % len(chosen)], f"s{index:03d}")
+        for index in range(size)
+    ]
+
+
+def manual_formal_detection_probability(
+    subject: SubjectProfile,
+    fallacy: FormalFallacy,
+    argument_size: int,
+) -> float:
+    """P(subject spots one formal-fallacy instance during manual review).
+
+    Scales with logic skill and care, and decays with argument size —
+    vigilance across a large argument is the failure mode Rushby's
+    'evaluation of large safety cases requires automated assistance'
+    hypothesis targets.
+    """
+    base = _FORMAL_BASE_DETECTABILITY[fallacy]
+    skill_factor = 0.25 + 0.75 * subject.logic_skill
+    care_factor = 0.5 + 0.5 * subject.care
+    size_factor = 1.0 / (1.0 + max(0, argument_size - 10) / 40.0)
+    return _clamp(base * skill_factor * care_factor * size_factor)
+
+
+def informal_detection_probability(
+    subject: SubjectProfile,
+    fallacy: InformalFallacy,
+    argument_size: int,
+) -> float:
+    """P(subject spots one informal-fallacy instance).
+
+    Rides on domain knowledge and care; logic skill contributes almost
+    nothing (the equivocation in Figure 1 is obvious to anyone who knows
+    what the Desert Bank *is*, regardless of logic training).
+    """
+    base = _INFORMAL_BASE_DETECTABILITY[fallacy]
+    knowledge_factor = 0.3 + 0.7 * subject.domain_knowledge
+    care_factor = 0.5 + 0.5 * subject.care
+    size_factor = 1.0 / (1.0 + max(0, argument_size - 10) / 50.0)
+    return _clamp(base * knowledge_factor * care_factor * size_factor)
+
+
+def reading_minutes(
+    subject: SubjectProfile,
+    word_count: int,
+    formal: bool,
+) -> float:
+    """Minutes to read material of the given length.
+
+    Formal material applies the background's speed penalty (§VI.C's
+    restriction-of-audience effect, as a time cost).
+    """
+    minutes = word_count / subject.reading_wpm
+    if formal:
+        minutes *= FORMAL_NOTATION_SPEED_PENALTY[subject.background]
+    return minutes
+
+
+def comprehension_probability(
+    subject: SubjectProfile,
+    formal: bool,
+) -> float:
+    """P(correctly answering one comprehension question about the text).
+
+    For natural-language arguments comprehension tracks domain knowledge.
+    For formalised arguments it is gated by logic skill: a reader who
+    cannot parse the notation cannot extract the claim, however well they
+    know the domain.
+    """
+    if not formal:
+        return _clamp(0.45 + 0.5 * subject.domain_knowledge)
+    gate = subject.logic_skill ** 1.5
+    return _clamp(0.15 + 0.75 * gate * (0.5 + 0.5 *
+                                        subject.domain_knowledge))

@@ -1,0 +1,330 @@
+"""Experiment E: complication of evidence sufficiency judgments.
+
+§VI.E: judging whether evidence is 'good enough' requires seeing every
+claim the evidence directly and indirectly supports.  'Graphical argument
+notations such as GSN and CAE are thought to ease this task by reducing
+it to tracing a path in a graph.  Rushby proposes instead that developers
+should assess impact by eliminating the corresponding formal premise and
+rerunning the proof checker.'  The proposed measures: time per judgment
+and inter-assessor agreement ('if they report very different values, at
+least some must be wrong').
+
+Design implemented here:
+
+* Materials: a seeded assurance case; the judgment task, per evidence
+  item, is 'how many claims does doubting this evidence touch?'  Ground
+  truth comes from the real graph tracer
+  (:func:`repro.core.impact.evidence_impact`).
+* Condition ``graph_tracing``: the assessor traces paths in the GSN
+  view.  Answer error grows mildly with path fan-out; time grows with
+  the number of paths traced.
+* Condition ``proof_probing``: the assessor runs the real Rushby what-if
+  (:meth:`~repro.formalise.translator.Formalisation.what_if_without` —
+  executed, not simulated) and learns a *boolean*: does the top-level
+  proof still go through?  To produce the graded answer the task needs,
+  they must extrapolate — high variance for low-logic-skill assessors,
+  and systematic underestimation when redundant evidence masks the
+  probe (the proof survives, so the impact 'must be small').  This is
+  the paper's point that Rushby 'does not explain how evidence
+  sufficiency should be judged in cases where an error is likely to be a
+  matter of degree'.
+* Measures: minutes per judgment, exact-answer accuracy, and mean
+  pairwise inter-assessor agreement per condition.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.builder import ArgumentBuilder
+from ..core.case import AssuranceCase, SafetyCriterion
+from ..core.evidence import EvidenceItem, EvidenceKind
+from ..core.impact import evidence_impact
+from ..formalise.translator import Formalisation, formalise_argument
+from .stats import Summary, mean_pairwise_agreement, summarise
+from .subjects import Background, SubjectProfile, sample_pool
+from .tables import render_rows
+
+__all__ = [
+    "SufficiencyStudyConfig",
+    "SufficiencyOutcome",
+    "SufficiencyStudyResult",
+    "build_case",
+    "run_sufficiency_study",
+]
+
+#: Minutes to trace one support path in the graph view.
+_TRACE_MINUTES_PER_PATH = 0.9
+#: Minutes to set up and run one what-if probe (tool interaction).
+_PROBE_MINUTES = 0.5
+#: Minutes spent interpreting a probe outcome into a graded judgment.
+_INTERPRET_MINUTES = 1.8
+
+
+def build_case(seed: int = 7, hazards: int = 6,
+               redundancy: int = 2) -> AssuranceCase:
+    """A seeded case whose evidence items vary in impact breadth.
+
+    ``redundancy`` controls how many hazard claims get a second,
+    independent evidence item — the situation where Rushby's boolean
+    probe under-reports impact (removing one premise leaves the proof
+    standing).
+    """
+    rng = random.Random(seed)
+    builder = ArgumentBuilder(f"exp-e-case-{seed}")
+    top = builder.goal("The system is acceptably safe to operate")
+    strategy = builder.strategy(
+        "Argument over each identified hazard", under=top
+    )
+    solutions: list[tuple[str, str]] = []
+    for index in range(1, hazards + 1):
+        goal = builder.goal(
+            f"Hazard H{index} is acceptably managed", under=strategy
+        )
+        if index % 2 == 0:
+            # Deeper sub-structure: evidence here touches more claims.
+            sub_strategy = builder.strategy(
+                f"Argument over the H{index} mitigation barriers",
+                under=goal,
+            )
+            for barrier in ("detection", "containment"):
+                sub_goal = builder.goal(
+                    f"The H{index} {barrier} barrier performs its "
+                    "function", under=sub_strategy,
+                )
+                solution = builder.solution(
+                    f"{barrier.title()} verification record "
+                    f"{barrier[:2].upper()}-{index}", under=sub_goal,
+                )
+                solutions.append(
+                    (solution, f"ev_{barrier[:2]}_{index}")
+                )
+        else:
+            primary = builder.solution(
+                f"Primary verification record PV-{index}", under=goal
+            )
+            solutions.append((primary, f"ev_pv_{index}"))
+            if index <= redundancy:
+                secondary = builder.solution(
+                    f"Independent field-data review FD-{index}",
+                    under=goal,
+                )
+                solutions.append((secondary, f"ev_fd_{index}"))
+    argument = builder.build()
+    case = AssuranceCase(
+        name=argument.name,
+        argument=argument,
+        criterion=SafetyCriterion(
+            "No hazardous failure condition more often than once per "
+            "1e6 operating hours", "hazardous_failure_rate", 1e-6,
+        ),
+    )
+    kinds = list(EvidenceKind)
+    for solution_id, evidence_id in solutions:
+        case.add_evidence(
+            EvidenceItem(
+                identifier=evidence_id,
+                kind=rng.choice(kinds),
+                description=f"artefact behind {solution_id}",
+                coverage=round(rng.uniform(0.6, 1.0), 2),
+            ),
+            cited_by=solution_id,
+        )
+    return case
+
+
+@dataclass(frozen=True)
+class SufficiencyStudyConfig:
+    """Knobs for Experiment E."""
+
+    assessors_per_group: int = 10
+    hazards: int = 6
+    redundancy: int = 2
+    seed: int = 20150626
+
+
+@dataclass(frozen=True)
+class SufficiencyOutcome:
+    """One condition's aggregates."""
+
+    condition: str
+    minutes: Summary
+    exact_accuracy: float
+    agreement: float
+
+
+@dataclass(frozen=True)
+class SufficiencyStudyResult:
+    """Both conditions plus the ground truth used."""
+
+    graph: SufficiencyOutcome
+    proof: SufficiencyOutcome
+    ground_truth: tuple[int, ...]
+
+    def rows(self) -> list[dict[str, object]]:
+        return [
+            {
+                "condition": outcome.condition,
+                "mean_minutes": outcome.minutes.mean,
+                "ci_low": outcome.minutes.ci_low,
+                "ci_high": outcome.minutes.ci_high,
+                "exact_accuracy": outcome.exact_accuracy,
+                "pairwise_agreement": outcome.agreement,
+            }
+            for outcome in (self.graph, self.proof)
+        ]
+
+    def render(self) -> str:
+        table = render_rows(
+            self.rows(),
+            title="Experiment E: evidence-sufficiency judgments "
+                  "(graph tracing vs proof probing)",
+        )
+        footer = (
+            f"ground-truth impact breadths per evidence item: "
+            f"{list(self.ground_truth)}\n"
+        )
+        return table + footer
+
+
+def _graph_judgment(
+    subject: SubjectProfile,
+    truth: int,
+    paths: int,
+    rng: random.Random,
+) -> tuple[int, float]:
+    """Simulate one graph-tracing judgment: (answer, minutes)."""
+    minutes = paths * _TRACE_MINUTES_PER_PATH * (
+        1.2 - 0.4 * subject.care
+    )
+    # Careful tracing is nearly exact; low care occasionally drops or
+    # double-counts one claim.
+    answer = truth
+    slip_probability = 0.25 * (1.0 - subject.care)
+    if rng.random() < slip_probability:
+        answer = max(0, truth + rng.choice((-1, 1)))
+    return answer, minutes
+
+
+def _proof_judgment(
+    subject: SubjectProfile,
+    truth: int,
+    proof_fails_without: bool,
+    rng: random.Random,
+) -> tuple[int, float]:
+    """Simulate one proof-probing judgment: (answer, minutes).
+
+    The probe outcome (computed by the real checker) tells the assessor
+    whether the top-level proof collapses.  Turning that boolean into a
+    breadth estimate is extrapolation: skilled logicians reason about the
+    rule structure and land near the truth; others guess coarsely, with
+    a systematic pull toward 'small' when the proof survives.
+    """
+    minutes = _PROBE_MINUTES + _INTERPRET_MINUTES * (
+        1.5 - 0.5 * subject.logic_skill
+    )
+    if proof_fails_without:
+        # The probe names no claim set; estimate scales with skill.
+        spread = max(1, round(3 * (1.0 - subject.logic_skill)))
+        answer = max(1, truth + rng.randint(-spread, spread))
+    else:
+        # Proof stands: redundant evidence masks the impact entirely.
+        anchored_low = rng.random() < 0.7
+        answer = 0 if anchored_low else max(
+            0, truth + rng.randint(-1, 1)
+        )
+    return answer, minutes
+
+
+def run_sufficiency_study(
+    config: SufficiencyStudyConfig | None = None,
+) -> SufficiencyStudyResult:
+    """Run Experiment E end to end."""
+    config = config or SufficiencyStudyConfig()
+    rng = random.Random(config.seed)
+    case = build_case(
+        seed=config.seed, hazards=config.hazards,
+        redundancy=config.redundancy,
+    )
+    evidence_ids = sorted(item.identifier for item in case.evidence)
+
+    # Ground truth from the real graph tracer.
+    truths: list[int] = []
+    path_counts: list[int] = []
+    for evidence_id in evidence_ids:
+        impact = evidence_impact(case, evidence_id)
+        truths.append(impact.breadth)
+        paths = 0
+        for solution in impact.affected_solutions:
+            paths += len(case.argument.paths_to_root(solution))
+        path_counts.append(max(1, paths))
+
+    # Real what-if probes via the Rushby formalisation.
+    formalisation = formalise_argument(case.argument)
+    formalisation.assent_all()
+    solution_of = {
+        evidence_id: case.citing_solutions(evidence_id)[0]
+        for evidence_id in evidence_ids
+    }
+    probe_fails: list[bool] = [
+        not formalisation.what_if_without(solution_of[evidence_id])
+        for evidence_id in evidence_ids
+    ]
+
+    pool = sample_pool(
+        rng, config.assessors_per_group * 2,
+        backgrounds=(Background.SAFETY_ENGINEER,
+                     Background.CERTIFIER,
+                     Background.SOFTWARE_ENGINEER),
+    )
+    graph_group = pool[: config.assessors_per_group]
+    proof_group = pool[config.assessors_per_group:]
+
+    graph_minutes: list[float] = []
+    graph_judgments: list[list[int]] = []
+    for subject in graph_group:
+        answers: list[int] = []
+        for truth, paths in zip(truths, path_counts):
+            answer, minutes = _graph_judgment(subject, truth, paths, rng)
+            answers.append(answer)
+            graph_minutes.append(minutes)
+        graph_judgments.append(answers)
+
+    proof_minutes: list[float] = []
+    proof_judgments: list[list[int]] = []
+    for subject in proof_group:
+        answers = []
+        for truth, fails in zip(truths, probe_fails):
+            answer, minutes = _proof_judgment(subject, truth, fails, rng)
+            answers.append(answer)
+            proof_minutes.append(minutes)
+        proof_judgments.append(answers)
+
+    def accuracy(judgments: list[list[int]]) -> float:
+        total = 0
+        hits = 0
+        for answers in judgments:
+            for answer, truth in zip(answers, truths):
+                total += 1
+                hits += int(answer == truth)
+        return hits / total
+
+    graph_outcome = SufficiencyOutcome(
+        condition="graph_tracing",
+        minutes=summarise(graph_minutes, seed=config.seed),
+        exact_accuracy=accuracy(graph_judgments),
+        agreement=mean_pairwise_agreement(graph_judgments),
+    )
+    proof_outcome = SufficiencyOutcome(
+        condition="proof_probing",
+        minutes=summarise(proof_minutes, seed=config.seed + 1),
+        exact_accuracy=accuracy(proof_judgments),
+        agreement=mean_pairwise_agreement(proof_judgments),
+    )
+    return SufficiencyStudyResult(
+        graph=graph_outcome,
+        proof=proof_outcome,
+        ground_truth=tuple(truths),
+    )

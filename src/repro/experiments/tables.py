@@ -1,0 +1,43 @@
+"""Plain-text results tables shared by the §VI studies and benchmarks."""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+__all__ = ["render_rows"]
+
+
+def _format(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_rows(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render dict rows as an aligned text table.
+
+    ``columns`` fixes the column order; by default the first row's key
+    order is used.
+    """
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)\n"
+    keys = list(columns) if columns else list(rows[0].keys())
+    rendered = [[_format(row.get(key, "")) for key in keys] for row in rows]
+    widths = [
+        max(len(key), *(len(r[i]) for r in rendered))
+        for i, key in enumerate(keys)
+    ]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(k.ljust(w) for k, w in zip(keys, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row_cells in rendered:
+        lines.append(
+            "  ".join(c.ljust(w) for c, w in zip(row_cells, widths))
+        )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,77 @@
+"""Fallacy machinery: taxonomy, mechanical detection, and injection.
+
+Implements §IV–V of the paper: Damer's eight formal fallacies with a
+complete mechanical detector, the informal catalogue (including the seven
+kinds Greenwell et al. found in practice, with their published counts),
+executable demonstrations of what formalism cannot catch (the Desert Bank
+of Figure 1), and a seeded injector supplying ground truth to the §VI
+experiments.
+"""
+
+from .formal_detector import (
+    AnalysisResult,
+    Finding,
+    FormalArgument,
+    Verdict,
+    detect,
+    detect_conversion,
+    detect_syllogism,
+)
+from .informal import (
+    EquivocationWitness,
+    HeuristicFlag,
+    desert_bank_equivocation,
+    hasty_generalisation_heuristic,
+    homonym_heuristic,
+    ignorance_heuristic,
+    wrong_reasons_check,
+)
+from .injector import (
+    InjectionRecord,
+    SeededFormalArgument,
+    inject_formal,
+    inject_informal,
+    make_formal_argument,
+    seed_greenwell_argument,
+)
+from .taxonomy import (
+    CATALOGUE,
+    FallacyCategory,
+    FallacyInfo,
+    FormalFallacy,
+    GREENWELL_FINDINGS,
+    InformalFallacy,
+    describe,
+    greenwell_total,
+)
+
+__all__ = [
+    "AnalysisResult",
+    "Finding",
+    "FormalArgument",
+    "Verdict",
+    "detect",
+    "detect_conversion",
+    "detect_syllogism",
+    "EquivocationWitness",
+    "HeuristicFlag",
+    "desert_bank_equivocation",
+    "hasty_generalisation_heuristic",
+    "homonym_heuristic",
+    "ignorance_heuristic",
+    "wrong_reasons_check",
+    "InjectionRecord",
+    "SeededFormalArgument",
+    "inject_formal",
+    "inject_informal",
+    "make_formal_argument",
+    "seed_greenwell_argument",
+    "CATALOGUE",
+    "FallacyCategory",
+    "FallacyInfo",
+    "FormalFallacy",
+    "GREENWELL_FINDINGS",
+    "InformalFallacy",
+    "describe",
+    "greenwell_total",
+]

@@ -1,0 +1,248 @@
+"""Mechanical detection of the formal fallacies.
+
+This is the checker that the surveyed proposals assume: given a formalised
+argument — premises and a conclusion in propositional logic, or a
+categorical syllogism — it finds every *formal* fallacy (§IV.A).  Its
+contract, exercised by property tests and the §VI.A experiment:
+
+* **complete for formal fallacies**: every injected formal fallacy is
+  reported;
+* **blind to informal fallacies**: arguments whose only defect is
+  informal (equivocation, wrong reasons, ...) are passed as VALID — the
+  paper's central point, demonstrated on the Desert Bank in the tests.
+
+Detection strategy: pattern checks identify the *named* invalid forms
+(denying the antecedent, affirming the consequent, false conversion,
+distribution errors); SAT-based semantic checks identify begging the
+question, incompatible premises, and premise/conclusion contradiction;
+and an overall entailment verdict labels any remaining non sequitur.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..logic.entailment import (
+    consistent,
+    entails,
+    equivalent_sat,
+    minimal_inconsistent_subsets,
+)
+from ..logic.propositional import Formula, Implies, Not
+from ..logic.syllogism import (
+    CategoricalProposition,
+    Syllogism,
+    check_syllogism,
+    converse,
+    valid_conversion,
+)
+from .taxonomy import FormalFallacy
+
+__all__ = [
+    "FormalArgument",
+    "Finding",
+    "Verdict",
+    "AnalysisResult",
+    "detect",
+    "detect_syllogism",
+    "detect_conversion",
+]
+
+
+@dataclass(frozen=True)
+class FormalArgument:
+    """A formalised argument step: premises |- conclusion."""
+
+    premises: tuple[Formula, ...]
+    conclusion: Formula
+
+    def __str__(self) -> str:
+        premise_text = "; ".join(str(p) for p in self.premises)
+        return f"{premise_text} |- {self.conclusion}"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One detected formal fallacy."""
+
+    fallacy: FormalFallacy
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.fallacy.value}: {self.detail}"
+
+
+class Verdict(enum.Enum):
+    """Overall classification of a formal argument."""
+
+    VALID = "valid"                 # premises entail the conclusion
+    FALLACIOUS = "fallacious"       # a named formal fallacy was found
+    NON_SEQUITUR = "non_sequitur"   # invalid but matching no named form
+
+
+@dataclass(frozen=True)
+class AnalysisResult:
+    """Verdict plus itemised findings."""
+
+    verdict: Verdict
+    findings: tuple[Finding, ...]
+
+    @property
+    def fallacies(self) -> tuple[FormalFallacy, ...]:
+        return tuple(f.fallacy for f in self.findings)
+
+    def __str__(self) -> str:
+        if not self.findings:
+            return self.verdict.value
+        items = "; ".join(str(f) for f in self.findings)
+        return f"{self.verdict.value} ({items})"
+
+
+def detect(argument: FormalArgument) -> AnalysisResult:
+    """Analyse a propositional argument for formal fallacies.
+
+    Note the deliberate ordering: *named-form* checks run even when the
+    argument is (vacuously) valid — e.g. with incompatible premises
+    everything is entailed, yet the fallacy must still be reported,
+    because a human asserting inconsistent premises has made an error
+    regardless of classical logic's explosion principle.
+    """
+    findings: list[Finding] = []
+    premises = list(argument.premises)
+    conclusion = argument.conclusion
+
+    # Begging the question: the conclusion is (equivalent to) a premise.
+    for index, premise in enumerate(premises):
+        if premise == conclusion or equivalent_sat(premise, conclusion):
+            findings.append(Finding(
+                FormalFallacy.BEGGING_THE_QUESTION,
+                f"premise {index + 1} ({premise}) restates the conclusion",
+            ))
+            break
+
+    # Incompatible premises.
+    if premises and not consistent(premises):
+        cores = minimal_inconsistent_subsets(premises, max_size=3)
+        core_text = (
+            ", ".join(
+                "{" + ", ".join(str(premises[i]) for i in core) + "}"
+                for core in cores[:2]
+            )
+            or "the full premise set"
+        )
+        findings.append(Finding(
+            FormalFallacy.INCOMPATIBLE_PREMISES,
+            f"premises cannot all hold: {core_text}",
+        ))
+
+    # Premise/conclusion contradiction.
+    for index, premise in enumerate(premises):
+        if not consistent([premise, conclusion]):
+            findings.append(Finding(
+                FormalFallacy.PREMISE_CONCLUSION_CONTRADICTION,
+                f"premise {index + 1} ({premise}) contradicts the "
+                f"conclusion ({conclusion})",
+            ))
+            break
+
+    entailed = entails(premises, conclusion) if premises else False
+
+    # The named invalid implication forms only matter when the argument
+    # is not independently valid.
+    if not entailed:
+        findings.extend(_implication_form_fallacies(premises, conclusion))
+
+    if entailed:
+        verdict = Verdict.VALID if not findings else Verdict.FALLACIOUS
+    else:
+        verdict = (
+            Verdict.FALLACIOUS if findings else Verdict.NON_SEQUITUR
+        )
+    return AnalysisResult(verdict, tuple(findings))
+
+
+def _implication_form_fallacies(
+    premises: Sequence[Formula], conclusion: Formula
+) -> list[Finding]:
+    findings: list[Finding] = []
+    premise_set = set(premises)
+    for premise in premises:
+        if not isinstance(premise, Implies):
+            continue
+        antecedent = premise.antecedent
+        consequent = premise.consequent
+        # Denying the antecedent: p -> q, ~p |- ~q.
+        if (
+            _negation_of(antecedent) in premise_set
+            and conclusion == _negation_of(consequent)
+        ):
+            findings.append(Finding(
+                FormalFallacy.DENYING_THE_ANTECEDENT,
+                f"from {premise} and {_negation_of(antecedent)}, "
+                f"concluding {conclusion}",
+            ))
+        # Affirming the consequent: p -> q, q |- p.
+        if consequent in premise_set and conclusion == antecedent:
+            findings.append(Finding(
+                FormalFallacy.AFFIRMING_THE_CONSEQUENT,
+                f"from {premise} and {consequent}, concluding {conclusion}",
+            ))
+    return findings
+
+
+def _negation_of(formula: Formula) -> Formula:
+    if isinstance(formula, Not):
+        return formula.operand
+    return Not(formula)
+
+
+def detect_syllogism(syllogism: Syllogism) -> AnalysisResult:
+    """Analyse a categorical syllogism for the distribution fallacies.
+
+    Only the two Damer-named fallacies yield :class:`Finding` entries;
+    other classical rule violations (exclusive premises, quality
+    mismatches, the existential fallacy) still make the syllogism invalid
+    but are reported through a NON_SEQUITUR verdict because Damer's
+    catalogue gives them no formal-fallacy name.
+    """
+    findings: list[Finding] = []
+    unnamed = 0
+    for violation in check_syllogism(syllogism):
+        if violation.rule == "undistributed middle":
+            findings.append(Finding(
+                FormalFallacy.UNDISTRIBUTED_MIDDLE, violation.detail
+            ))
+        elif violation.rule.startswith("illicit"):
+            findings.append(Finding(
+                FormalFallacy.ILLICIT_DISTRIBUTION, violation.detail
+            ))
+        else:
+            unnamed += 1
+    if findings:
+        verdict = Verdict.FALLACIOUS
+    elif unnamed:
+        verdict = Verdict.NON_SEQUITUR
+    else:
+        verdict = Verdict.VALID
+    return AnalysisResult(verdict, tuple(findings))
+
+
+def detect_conversion(
+    premise: CategoricalProposition,
+    conclusion: CategoricalProposition,
+) -> AnalysisResult:
+    """Check an immediate conversion inference for false conversion."""
+    if conclusion != converse(premise):
+        return AnalysisResult(Verdict.NON_SEQUITUR, (Finding(
+            FormalFallacy.FALSE_CONVERSION,
+            f"{conclusion} is not the converse of {premise}",
+        ),))
+    if valid_conversion(premise):
+        return AnalysisResult(Verdict.VALID, ())
+    return AnalysisResult(Verdict.FALLACIOUS, (Finding(
+        FormalFallacy.FALSE_CONVERSION,
+        f"{premise.form.value}-form propositions do not convert: "
+        f"{premise} does not yield {conclusion}",
+    ),))

@@ -1,0 +1,235 @@
+"""Informal fallacies: representations and (deliberately weak) heuristics.
+
+§IV.C: 'Computers process the form of arguments but not their real-world
+meaning.  Thus, mechanical verification might identify formal fallacies
+but cannot show the absence of informal fallacies.'  This module supplies:
+
+* :func:`desert_bank_equivocation` — the paper's Figure 1 as an analysed
+  object: the formally-derivable conclusion, the two senses of 'bank',
+  and a proof (via the mini-Prolog engine) that formal validation passes;
+* lexical *heuristics* for a few informal fallacies (homonym reuse,
+  hedging vocabulary, absence-of-evidence phrasing).  These are what a
+  tool vendor could actually ship, and their measured precision/recall on
+  seeded corpora is poor *by design of the world, not of the code*: the
+  tests pin down concrete false positives and false negatives for each,
+  giving the paper's §IV.C claim an executable demonstration;
+* :func:`wrong_reasons_check` — the one semi-mechanisable case: with a
+  curated topic/evidence-kind ontology (domain knowledge supplied by
+  humans), inappropriate evidence citations can be flagged.  The catch —
+  the ontology *is* the human judgment, just cached — is discussed in
+  DESIGN.md and measured in the §VI.A experiment.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from ..core.argument import Argument
+from ..core.case import AssuranceCase
+from ..core.evidence import APPROPRIATE_KINDS, EvidenceItem
+from ..logic.prolog import Program, desert_bank_program
+from .taxonomy import InformalFallacy
+
+__all__ = [
+    "EquivocationWitness",
+    "desert_bank_equivocation",
+    "HeuristicFlag",
+    "homonym_heuristic",
+    "hasty_generalisation_heuristic",
+    "ignorance_heuristic",
+    "wrong_reasons_check",
+    "KNOWN_HOMONYMS",
+]
+
+
+@dataclass(frozen=True)
+class EquivocationWitness:
+    """The anatomy of one equivocation, Desert-Bank style."""
+
+    identifier: str
+    sense_a: str
+    sense_b: str
+    formally_derivable: bool
+    real_world_true: bool
+
+    @property
+    def is_sound(self) -> bool:
+        return self.formally_derivable and self.real_world_true
+
+    def explain(self) -> str:
+        return (
+            f"identifier {self.identifier!r} means {self.sense_a!r} in one "
+            f"premise and {self.sense_b!r} in another; the derivation is "
+            f"{'valid' if self.formally_derivable else 'invalid'} in form "
+            f"but the conclusion is "
+            f"{'true' if self.real_world_true else 'false'} in the world"
+        )
+
+
+def desert_bank_equivocation() -> EquivocationWitness:
+    """Figure 1, executed: formal validation passes, the world disagrees.
+
+    Runs the actual SLD derivation of ``adjacent(desert_bank, river)`` on
+    the verbatim program and packages the ground truth a human knows: the
+    Desert Bank (a financial institution) is not next to a river.
+    """
+    program = desert_bank_program()
+    derivable = program.provable("adjacent(desert_bank, river)")
+    return EquivocationWitness(
+        identifier="bank",
+        sense_a="financial institution",
+        sense_b="sloping land beside a river",
+        formally_derivable=derivable,
+        real_world_true=False,
+    )
+
+
+@dataclass(frozen=True)
+class HeuristicFlag:
+    """One heuristic hit: where, what, and the (claimed) fallacy kind."""
+
+    node_id: str
+    fallacy: InformalFallacy
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.node_id}: {self.fallacy.value} — {self.detail}"
+
+
+#: English homonyms that appear in engineering prose.  Any such lexicon is
+#: necessarily incomplete — which is the point: sense distinctions live in
+#: the world, not in the text.
+KNOWN_HOMONYMS: Mapping[str, tuple[str, str]] = {
+    "bank": ("financial institution", "river bank"),
+    "crane": ("lifting machine", "bird"),
+    "terminal": ("airport building", "computer console"),
+    "bus": ("vehicle", "data bus"),
+    "monitor": ("display device", "supervision process"),
+    "ground": ("earth/soil", "electrical ground"),
+    "fault": ("geological fracture", "system malfunction"),
+    "cell": ("battery cell", "biological cell"),
+}
+
+
+def homonym_heuristic(argument: Argument) -> list[HeuristicFlag]:
+    """Flag nodes re-using a known homonym elsewhere in the argument.
+
+    A lexical stand-in for equivocation detection.  It cannot see senses:
+    it flags *every* cross-node reuse of a listed homonym, producing false
+    positives whenever a term is reused consistently (the common case) and
+    false negatives for any homonym missing from the lexicon.
+    """
+    flags: list[HeuristicFlag] = []
+    users: dict[str, list[str]] = {}
+    for node in argument.nodes:
+        words = set(re.findall(r"[a-z_]+", node.text.lower()))
+        for homonym in KNOWN_HOMONYMS:
+            if homonym in words:
+                users.setdefault(homonym, []).append(node.identifier)
+    for homonym, node_ids in users.items():
+        if len(node_ids) < 2:
+            continue
+        senses = KNOWN_HOMONYMS[homonym]
+        for node_id in node_ids:
+            flags.append(HeuristicFlag(
+                node_id,
+                InformalFallacy.EQUIVOCATION,
+                f"term {homonym!r} also used in "
+                f"{[n for n in node_ids if n != node_id]}; could mean "
+                f"{senses[0]!r} or {senses[1]!r}",
+            ))
+    return flags
+
+
+_SAMPLE_PATTERN = re.compile(
+    r"\b(some|sample[sd]?|a few|several|representative|selected)\b",
+    re.IGNORECASE,
+)
+
+
+def hasty_generalisation_heuristic(
+    argument: Argument,
+) -> list[HeuristicFlag]:
+    """Flag universal claims supported by sampled-evidence vocabulary.
+
+    Pure surface patterning: it cannot judge whether the sample actually
+    warrants the generalisation (the 0.1% sample and the 99.9% census look
+    identical at this level).
+    """
+    flags: list[HeuristicFlag] = []
+    for node in argument.nodes:
+        universal = re.search(
+            r"\b(all|every|always|never|no)\b", node.text, re.IGNORECASE
+        )
+        if not universal:
+            continue
+        for child in argument.supporters(node.identifier):
+            if _SAMPLE_PATTERN.search(child.text):
+                flags.append(HeuristicFlag(
+                    node.identifier,
+                    InformalFallacy.HASTY_INDUCTIVE_GENERALISATION,
+                    f"universal claim supported by sampled evidence "
+                    f"({child.identifier}: {child.text[:40]!r}...)",
+                ))
+    return flags
+
+
+_IGNORANCE_PATTERN = re.compile(
+    r"\bno (evidence|indication|report|record)s? (of|that|to the "
+    r"contrary)\b|\bnot (been )?(observed|reported|seen)\b"
+    r"|\bno\b[^.]{0,40}\b(observed|reported|seen|recorded)\b"
+    r"|\bnever (been )?(observed|reported|seen)\b",
+    re.IGNORECASE,
+)
+
+
+def ignorance_heuristic(argument: Argument) -> list[HeuristicFlag]:
+    """Flag absence-of-evidence phrasing.
+
+    §IV.B's householder shows why this over-triggers: 'no car was seen
+    after opening the garage and looking' is a *sound* absence argument.
+    The heuristic cannot evaluate search-procedure adequacy, so it flags
+    sound and unsound instances alike.
+    """
+    flags: list[HeuristicFlag] = []
+    for node in argument.nodes:
+        if _IGNORANCE_PATTERN.search(node.text):
+            flags.append(HeuristicFlag(
+                node.identifier,
+                InformalFallacy.ARGUING_FROM_IGNORANCE,
+                f"absence-of-evidence phrasing: {node.text[:60]!r}",
+            ))
+    return flags
+
+
+def wrong_reasons_check(
+    case: AssuranceCase,
+    claim_topics: Mapping[str, str],
+) -> list[HeuristicFlag]:
+    """Flag solutions citing evidence inappropriate for the claim's topic.
+
+    ``claim_topics`` maps goal identifiers to topic labels ('timing',
+    'hazard', ...) — the curated human judgment.  With that ontology in
+    hand, the check is mechanical: §V.B's example of asserting
+    ``wcet(task_1, 250)`` from unit-test results is flagged because
+    TESTING is not an appropriate kind for the 'timing' topic.
+    """
+    flags: list[HeuristicFlag] = []
+    argument = case.argument
+    for goal_id, topic in claim_topics.items():
+        if topic not in APPROPRIATE_KINDS:
+            continue
+        for node in argument.walk(goal_id):
+            if not case.citations(node.identifier):
+                continue
+            for item in case.citations(node.identifier):
+                if not item.appropriate_for(topic):
+                    flags.append(HeuristicFlag(
+                        node.identifier,
+                        InformalFallacy.USING_WRONG_REASONS,
+                        f"claim topic {topic!r} but evidence "
+                        f"{item.identifier!r} is {item.kind.value}",
+                    ))
+    return flags

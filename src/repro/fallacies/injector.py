@@ -1,0 +1,360 @@
+"""Seeded fallacy injection for the experiments.
+
+The §VI experiments need arguments with *known* defects: ground truth
+against which reviewer (human-model) and tool performance can be scored.
+The injector plants both fallacy families:
+
+* **formal** fallacies are injected into the formal rendering of an
+  argument step (a :class:`~repro.fallacies.formal_detector.FormalArgument`
+  built from a template), producing instances of each Damer form;
+* **informal** fallacies are injected into GSN arguments as text/structure
+  mutations matching the Greenwell kinds — e.g. red-herring solution
+  nodes, universal claims over sampled evidence, deleted key evidence,
+  reused homonyms, inappropriate evidence citations.
+
+Every injection is recorded in an :class:`InjectionRecord` carrying the
+kind and location, so experiments can compute hit/miss rates exactly.
+All randomness flows through a caller-supplied :class:`random.Random`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.argument import Argument, LinkKind
+from ..core.nodes import Node, NodeType
+from ..logic.propositional import Atom, Formula, Implies, Not, parse
+from .formal_detector import FormalArgument
+from .taxonomy import (
+    FormalFallacy,
+    GREENWELL_FINDINGS,
+    InformalFallacy,
+)
+
+__all__ = [
+    "InjectionRecord",
+    "SeededFormalArgument",
+    "make_formal_argument",
+    "inject_formal",
+    "inject_informal",
+    "seed_greenwell_argument",
+]
+
+
+@dataclass(frozen=True)
+class InjectionRecord:
+    """Ground truth for one injected fallacy."""
+
+    fallacy: FormalFallacy | InformalFallacy
+    location: str
+    detail: str
+
+    @property
+    def is_formal(self) -> bool:
+        return isinstance(self.fallacy, FormalFallacy)
+
+    def __str__(self) -> str:
+        return f"{self.fallacy.value} at {self.location}: {self.detail}"
+
+
+@dataclass(frozen=True)
+class SeededFormalArgument:
+    """A formal argument plus its injected-fallacy ground truth."""
+
+    argument: FormalArgument
+    records: tuple[InjectionRecord, ...]
+
+    @property
+    def is_clean(self) -> bool:
+        return not self.records
+
+
+def _fresh_atoms(rng: random.Random, count: int) -> list[Atom]:
+    pool = [
+        "hazards_managed", "tests_passed", "review_done", "wcet_bounded",
+        "spec_met", "redundant_path", "monitor_active", "training_done",
+        "proc_followed", "field_ok", "alarm_works", "fails_safe",
+    ]
+    names = rng.sample(pool, count)
+    return [Atom(name) for name in names]
+
+
+def make_formal_argument(
+    rng: random.Random, valid: bool = True, size: int = 3
+) -> FormalArgument:
+    """A randomly shaped but deterministic modus-ponens-chain argument.
+
+    Valid arguments chain ``a1 -> a2 -> ... -> an`` with ``a1`` asserted,
+    concluding ``an``; invalid ones conclude an atom never derived.
+    """
+    size = max(2, size)
+    atoms = _fresh_atoms(rng, size + 1)
+    premises: list[Formula] = [atoms[0]]
+    for left, right in zip(atoms, atoms[1:]):
+        premises.append(Implies(left, right))
+    conclusion: Formula = atoms[-1] if valid else Atom("unrelated_claim")
+    rng.shuffle(premises)
+    return FormalArgument(tuple(premises), conclusion)
+
+
+def inject_formal(
+    rng: random.Random,
+    fallacy: FormalFallacy,
+    size: int = 3,
+) -> SeededFormalArgument:
+    """Construct a formal argument exhibiting exactly the named fallacy."""
+    size = max(2, size)
+    atoms = _fresh_atoms(rng, size + 1)
+    chain: list[Formula] = [
+        Implies(left, right) for left, right in zip(atoms, atoms[1:])
+    ]
+    record = InjectionRecord(fallacy, "premises", fallacy.value)
+
+    if fallacy is FormalFallacy.BEGGING_THE_QUESTION:
+        conclusion: Formula = atoms[-1]
+        premises = chain + [conclusion]
+        return SeededFormalArgument(
+            FormalArgument(tuple(premises), conclusion), (record,)
+        )
+    if fallacy is FormalFallacy.INCOMPATIBLE_PREMISES:
+        premises = [atoms[0], Not(atoms[0])] + chain
+        return SeededFormalArgument(
+            FormalArgument(tuple(premises), atoms[-1]), (record,)
+        )
+    if fallacy is FormalFallacy.PREMISE_CONCLUSION_CONTRADICTION:
+        premises = [atoms[0]] + chain
+        return SeededFormalArgument(
+            FormalArgument(tuple(premises), Not(atoms[0])), (record,)
+        )
+    if fallacy is FormalFallacy.DENYING_THE_ANTECEDENT:
+        premises = [Implies(atoms[0], atoms[1]), Not(atoms[0])]
+        return SeededFormalArgument(
+            FormalArgument(tuple(premises), Not(atoms[1])), (record,)
+        )
+    if fallacy is FormalFallacy.AFFIRMING_THE_CONSEQUENT:
+        premises = [Implies(atoms[0], atoms[1]), atoms[1]]
+        return SeededFormalArgument(
+            FormalArgument(tuple(premises), atoms[0]), (record,)
+        )
+    raise ValueError(
+        f"{fallacy.value} is a categorical-syllogism fallacy; build it "
+        "with repro.logic.syllogism instead"
+    )
+
+
+#: Text fragments used when mutating GSN arguments, per informal kind.
+_RED_HERRING_TEXTS = (
+    "The development team has ISO 9001 certification",
+    "The previous product generation won an industry award",
+    "Management is strongly committed to safety culture",
+    "The test lab was recently refurbished",
+)
+
+_SAMPLED_EVIDENCE_TEXTS = (
+    "A sample of 12 of the deployed units was inspected",
+    "Several representative scenarios were tested",
+    "Selected code modules were reviewed",
+)
+
+
+def inject_informal(
+    argument: Argument,
+    fallacy: InformalFallacy,
+    rng: random.Random,
+) -> tuple[Argument, InjectionRecord]:
+    """Mutate a copy of a GSN argument to exhibit an informal fallacy.
+
+    Returns the mutated copy and the ground-truth record.  Each mutation
+    leaves the argument *formally* unchanged or still well-formed — these
+    defects are invisible to syntax checking and formal verification,
+    which the §VI.A experiment verifies detector-side.
+    """
+    mutated = argument.copy(name=f"{argument.name}+{fallacy.value}")
+    goals = [n for n in mutated.goals if mutated.supporters(n.identifier)]
+    if not goals:
+        raise ValueError("argument has no supported goals to mutate")
+    target = rng.choice(goals)
+
+    if fallacy is InformalFallacy.RED_HERRING:
+        identifier = f"Sn_rh_{rng.randrange(10_000)}"
+        mutated.add_node(Node(
+            identifier, NodeType.SOLUTION, rng.choice(_RED_HERRING_TEXTS)
+        ))
+        mutated.supported_by(target.identifier, identifier)
+        return mutated, InjectionRecord(
+            fallacy, identifier,
+            f"irrelevant support added under {target.identifier}",
+        )
+
+    if fallacy is InformalFallacy.HASTY_INDUCTIVE_GENERALISATION:
+        universal = target.with_text(
+            "All units satisfy the requirement in every operating mode"
+        )
+        mutated.replace_node(universal)
+        supporters = mutated.supporters(target.identifier)
+        if supporters:
+            child = supporters[0]
+            mutated.replace_node(child.with_text(
+                rng.choice(_SAMPLED_EVIDENCE_TEXTS)
+            ))
+        return mutated, InjectionRecord(
+            fallacy, target.identifier,
+            "universal claim now rests on sampled evidence",
+        )
+
+    if fallacy is InformalFallacy.OMISSION_OF_KEY_EVIDENCE:
+        solutions = [
+            n for n in mutated.solutions
+            if n.identifier in {
+                s.identifier
+                for s in mutated.walk(target.identifier)
+            }
+        ] or mutated.solutions
+        if not solutions:
+            raise ValueError("argument has no solutions to omit")
+        # Prefer outright removal where sibling support keeps the
+        # structure syntactically intact; otherwise swap the key
+        # artefact for vacuous filler.  Either way the *semantic* gap is
+        # invisible to structural checking (§IV.C).
+        removable = [
+            s for s in solutions
+            if all(
+                len(mutated.supporters(p.identifier)) >= 2
+                for p in mutated.parents(s.identifier)
+            )
+        ]
+        if removable:
+            victim = rng.choice(removable)
+            mutated.remove_node(victim.identifier)
+            detail = (
+                f"key evidence {victim.identifier} removed; claim "
+                "retained on remaining support"
+            )
+        else:
+            victim = rng.choice(solutions)
+            mutated.replace_node(victim.with_text(
+                "Minutes of the design review meeting"
+            ))
+            detail = (
+                f"key evidence {victim.identifier} replaced by vacuous "
+                "meeting minutes"
+            )
+        return mutated, InjectionRecord(
+            fallacy, victim.identifier, detail
+        )
+
+    if fallacy is InformalFallacy.EQUIVOCATION:
+        first = target.with_text(
+            "The monitor detects every failure of the primary channel"
+        )
+        mutated.replace_node(first)
+        other_goals = [
+            g for g in mutated.goals if g.identifier != target.identifier
+        ]
+        if other_goals:
+            second = rng.choice(other_goals)
+            mutated.replace_node(second.with_text(
+                "The monitor is mounted where the operator can see it"
+            ))
+            location = f"{target.identifier},{second.identifier}"
+        else:
+            location = target.identifier
+        return mutated, InjectionRecord(
+            fallacy, location,
+            "'monitor' used for a supervision process and a display",
+        )
+
+    if fallacy is InformalFallacy.USING_WRONG_REASONS:
+        mutated.replace_node(target.with_text(
+            "Worst-case execution time of task_1 is below 250 ms"
+        ))
+        supporters = mutated.supporters(target.identifier)
+        if supporters:
+            mutated.replace_node(supporters[0].with_text(
+                "Unit test results for task_1"
+            ))
+        return mutated, InjectionRecord(
+            fallacy, target.identifier,
+            "timing claim supported by unit-test evidence (§V.B example)",
+        )
+
+    if fallacy is InformalFallacy.FALLACY_OF_COMPOSITION:
+        mutated.replace_node(target.with_text(
+            "The integrated system is deadlock-free because each "
+            "component is deadlock-free in isolation"
+        ))
+        return mutated, InjectionRecord(
+            fallacy, target.identifier,
+            "whole-from-parts step over an interaction-sensitive property",
+        )
+
+    if fallacy is InformalFallacy.DRAWING_WRONG_CONCLUSION:
+        mutated.replace_node(target.with_text(
+            "The system is acceptably secure against insider attack"
+        ))
+        return mutated, InjectionRecord(
+            fallacy, target.identifier,
+            "conclusion changed to one the support does not establish",
+        )
+
+    if fallacy is InformalFallacy.FALLACIOUS_USE_OF_LANGUAGE:
+        mutated.replace_node(target.with_text(
+            "The system handles failures appropriately in reasonable time"
+        ))
+        return mutated, InjectionRecord(
+            fallacy, target.identifier,
+            "claim made ambiguous ('appropriately', 'reasonable')",
+        )
+
+    if fallacy is InformalFallacy.ARGUING_FROM_IGNORANCE:
+        mutated.replace_node(target.with_text(
+            "The hazard cannot occur because no occurrence has been "
+            "reported in service"
+        ))
+        return mutated, InjectionRecord(
+            fallacy, target.identifier,
+            "claim rests on absence of counter-reports",
+        )
+
+    raise ValueError(f"no injection recipe for {fallacy}")
+
+
+def seed_greenwell_argument(
+    base: Argument, rng: random.Random
+) -> tuple[Argument, list[InjectionRecord]]:
+    """Inject the exact Greenwell distribution (§V.B) into copies of a base.
+
+    Applies 45 mutations — 3 wrong-conclusion, 10 language, 2 composition,
+    4 hasty generalisation, 5 omission, 5 red herring, 16 wrong reasons —
+    chaining them over one working copy.  Returns the final argument and
+    the ground-truth records (in injection order).
+    """
+    working = base.copy(name=f"{base.name}+greenwell")
+    records: list[InjectionRecord] = []
+    plan: list[InformalFallacy] = []
+    for fallacy, count in GREENWELL_FINDINGS.items():
+        plan.extend([fallacy] * count)
+    rng.shuffle(plan)
+    for fallacy in plan:
+        try:
+            working, record = inject_informal(working, fallacy, rng)
+        except ValueError:
+            # The argument ran out of suitable nodes (e.g. all solutions
+            # already omitted); re-inject on a fresh copy of the base
+            # region by re-adding a disposable evidence node first.
+            filler = f"Sn_fill_{rng.randrange(100_000)}"
+            goals = [
+                g for g in working.goals
+                if working.supporters(g.identifier)
+            ] or working.goals
+            host = rng.choice(goals)
+            working.add_node(Node(
+                filler, NodeType.SOLUTION,
+                "Regression test campaign record",
+            ))
+            working.supported_by(host.identifier, filler)
+            working, record = inject_informal(working, fallacy, rng)
+        records.append(record)
+    return working, records

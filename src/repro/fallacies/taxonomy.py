@@ -1,0 +1,247 @@
+"""The fallacy taxonomy: formal versus informal.
+
+§IV of the paper builds on Damer's textbook taxonomy [42] and the
+Greenwell et al. safety-argument fallacy taxonomy [40], [44]:
+
+* A **formal fallacy** 'is a flaw in the form of an argument': replace
+  the identifiers with meaningless symbols and the flaw is still visible.
+  Damer's list of eight is reproduced as :class:`FormalFallacy`.
+* An **informal fallacy** 'cannot be detected through examination of
+  argument form alone' — equivocation (Aristotle, 350 BCE), arguing from
+  ignorance, and the seven kinds Greenwell et al. actually found in three
+  real safety arguments (§V.B), encoded with their published counts in
+  :data:`GREENWELL_FINDINGS`.
+
+The central empirical datum of §V.B is preserved here as data and verified
+by the benchmarks: **none of the seven kinds found in practice is strictly
+formal** — so a mechanical checker that 'will be able to capture logical
+fallacies' (Sokolsky et al., §III.N) addresses none of the fallacy kinds
+actually observed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Mapping
+
+__all__ = [
+    "FallacyCategory",
+    "FormalFallacy",
+    "InformalFallacy",
+    "FallacyInfo",
+    "CATALOGUE",
+    "GREENWELL_FINDINGS",
+    "greenwell_total",
+    "describe",
+]
+
+
+class FallacyCategory(enum.Enum):
+    """Damer's fundamental split (§IV.A / §IV.B)."""
+
+    FORMAL = "formal"
+    INFORMAL = "informal"
+
+
+class FormalFallacy(enum.Enum):
+    """Damer's eight formal fallacies, as listed in §IV.A."""
+
+    BEGGING_THE_QUESTION = "begging_the_question"
+    INCOMPATIBLE_PREMISES = "incompatible_premises"
+    PREMISE_CONCLUSION_CONTRADICTION = "premise_conclusion_contradiction"
+    DENYING_THE_ANTECEDENT = "denying_the_antecedent"
+    AFFIRMING_THE_CONSEQUENT = "affirming_the_consequent"
+    FALSE_CONVERSION = "false_conversion"
+    UNDISTRIBUTED_MIDDLE = "undistributed_middle"
+    ILLICIT_DISTRIBUTION = "illicit_distribution"
+
+
+class InformalFallacy(enum.Enum):
+    """Informal fallacies discussed in the paper.
+
+    The first seven are the kinds Greenwell et al. found in real safety
+    arguments (§V.B, items (a)-(g)); the remainder are informal fallacies
+    the paper discusses directly (equivocation in Figure 1; arguing from
+    ignorance in §IV.B).
+    """
+
+    DRAWING_WRONG_CONCLUSION = "drawing_wrong_conclusion"
+    FALLACIOUS_USE_OF_LANGUAGE = "fallacious_use_of_language"
+    FALLACY_OF_COMPOSITION = "fallacy_of_composition"
+    HASTY_INDUCTIVE_GENERALISATION = "hasty_inductive_generalisation"
+    OMISSION_OF_KEY_EVIDENCE = "omission_of_key_evidence"
+    RED_HERRING = "red_herring"
+    USING_WRONG_REASONS = "using_wrong_reasons"
+    EQUIVOCATION = "equivocation"
+    ARGUING_FROM_IGNORANCE = "arguing_from_ignorance"
+
+
+@dataclass(frozen=True)
+class FallacyInfo:
+    """Catalogue entry: definition plus mechanisability verdict.
+
+    ``machine_detectable`` records the paper's §IV/§V analysis of whether
+    *formal verification alone* can find instances; the per-kind
+    ``analysis`` strings paraphrase the §V.B discussion of why machine
+    checking falls short for the informal kinds.
+    """
+
+    name: str
+    category: FallacyCategory
+    definition: str
+    machine_detectable: bool
+    analysis: str
+
+
+CATALOGUE: Mapping[FormalFallacy | InformalFallacy, FallacyInfo] = {
+    FormalFallacy.BEGGING_THE_QUESTION: FallacyInfo(
+        "begging the question", FallacyCategory.FORMAL,
+        "the conclusion also appears among the premises",
+        True,
+        "syntactic: C is both conclusion and premise (§IV.A)",
+    ),
+    FormalFallacy.INCOMPATIBLE_PREMISES: FallacyInfo(
+        "incompatible premises", FallacyCategory.FORMAL,
+        "the premises cannot all be true together",
+        True,
+        "a SAT check on the premise set finds the inconsistency",
+    ),
+    FormalFallacy.PREMISE_CONCLUSION_CONTRADICTION: FallacyInfo(
+        "contradiction between premise and conclusion",
+        FallacyCategory.FORMAL,
+        "a premise contradicts the conclusion",
+        True,
+        "a SAT check on premises plus conclusion finds the clash",
+    ),
+    FormalFallacy.DENYING_THE_ANTECEDENT: FallacyInfo(
+        "denying the antecedent", FallacyCategory.FORMAL,
+        "from p -> q and not-p, concluding not-q",
+        True,
+        "the invalid implication-form is recognisable structurally",
+    ),
+    FormalFallacy.AFFIRMING_THE_CONSEQUENT: FallacyInfo(
+        "affirming the consequent", FallacyCategory.FORMAL,
+        "from p -> q and q, concluding p",
+        True,
+        "the invalid implication-form is recognisable structurally",
+    ),
+    FormalFallacy.FALSE_CONVERSION: FallacyInfo(
+        "false conversion", FallacyCategory.FORMAL,
+        "converting an A or O categorical proposition "
+        "(from 'All S are P' inferring 'All P are S')",
+        True,
+        "conversion validity depends only on the proposition form",
+    ),
+    FormalFallacy.UNDISTRIBUTED_MIDDLE: FallacyInfo(
+        "undistributed middle term", FallacyCategory.FORMAL,
+        "a syllogism whose middle term is distributed in neither premise",
+        True,
+        "distribution is computable from proposition forms",
+    ),
+    FormalFallacy.ILLICIT_DISTRIBUTION: FallacyInfo(
+        "illicit distribution of an end term", FallacyCategory.FORMAL,
+        "a term distributed in the conclusion but not in its premise",
+        True,
+        "distribution is computable from proposition forms",
+    ),
+    InformalFallacy.DRAWING_WRONG_CONCLUSION: FallacyInfo(
+        "drawing the wrong conclusion", FallacyCategory.INFORMAL,
+        "concluding something the premises do not actually establish",
+        False,
+        "one can assert that a conclusion follows from formal premises "
+        "that don't support it (e.g. code_reviewed & unit_tests_passed "
+        "=> meets_deadlines); human review of asserted rules is needed "
+        "(§V.B)",
+    ),
+    InformalFallacy.FALLACIOUS_USE_OF_LANGUAGE: FallacyInfo(
+        "fallacious use of language", FallacyCategory.INFORMAL,
+        "ambiguity in the language carrying the argument",
+        False,
+        "symbols might be unambiguous, but the natural language that "
+        "binds them to a real-world meaning can be ambiguous (§V.B)",
+    ),
+    InformalFallacy.FALLACY_OF_COMPOSITION: FallacyInfo(
+        "fallacy of composition", FallacyCategory.INFORMAL,
+        "concluding the whole has a property because each part does, "
+        "where parts can interact",
+        False,
+        "a theorem prover cannot know how elements in the real world "
+        "can interact (§V.B)",
+    ),
+    InformalFallacy.HASTY_INDUCTIVE_GENERALISATION: FallacyInfo(
+        "hasty inductive generalisation", FallacyCategory.INFORMAL,
+        "claiming a proposition true for all members because it is "
+        "true for some",
+        False,
+        "a proof checker cannot know whether a set used in a formal "
+        "argument is complete with respect to the real-world entity it "
+        "models (§V.B)",
+    ),
+    InformalFallacy.OMISSION_OF_KEY_EVIDENCE: FallacyInfo(
+        "omission of key evidence", FallacyCategory.INFORMAL,
+        "leaving out evidence essential to the claim",
+        False,
+        "detecting omission requires understanding what evidence is key; "
+        "formalisation can force assertions but cannot validate them "
+        "(§V.B)",
+    ),
+    InformalFallacy.RED_HERRING: FallacyInfo(
+        "red herring", FallacyCategory.INFORMAL,
+        "introducing an irrelevant consideration as though it supported "
+        "the claim",
+        False,
+        "proof checkers ignore formally irrelevant premises, but an "
+        "asserted rule can launder an irrelevant premise into support, "
+        "and mechanical confidence assessment would then inflate (§V.B)",
+    ),
+    InformalFallacy.USING_WRONG_REASONS: FallacyInfo(
+        "using the wrong reasons", FallacyCategory.INFORMAL,
+        "premises not appropriate to the claim",
+        False,
+        "e.g. asserting wcet(task_1, 250) on the basis of unit test "
+        "results; human review of asserted premises is needed (§V.B)",
+    ),
+    InformalFallacy.EQUIVOCATION: FallacyInfo(
+        "equivocation", FallacyCategory.INFORMAL,
+        "one identifier carries different meanings in different parts "
+        "of the argument",
+        False,
+        "the Desert Bank argument of Figure 1: formally valid, but "
+        "'bank' names two different real-world entities; computers "
+        "process form, not meaning (§IV.C)",
+    ),
+    InformalFallacy.ARGUING_FROM_IGNORANCE: FallacyInfo(
+        "arguing from ignorance", FallacyCategory.INFORMAL,
+        "arguing a claim true (or false) because there is no evidence "
+        "to the contrary",
+        False,
+        "such arguments look very like legitimate arguments for the "
+        "absence of something; acceptability turns on the adequacy of "
+        "the search procedure, which only a human can judge (§IV.B)",
+    ),
+}
+
+
+#: Greenwell et al.'s findings from three real safety arguments, exactly
+#: as the paper reports them in §V.B items (a)-(g): 45 instances across
+#: seven kinds, none strictly formal.
+GREENWELL_FINDINGS: Mapping[InformalFallacy, int] = {
+    InformalFallacy.DRAWING_WRONG_CONCLUSION: 3,
+    InformalFallacy.FALLACIOUS_USE_OF_LANGUAGE: 10,
+    InformalFallacy.FALLACY_OF_COMPOSITION: 2,
+    InformalFallacy.HASTY_INDUCTIVE_GENERALISATION: 4,
+    InformalFallacy.OMISSION_OF_KEY_EVIDENCE: 5,
+    InformalFallacy.RED_HERRING: 5,
+    InformalFallacy.USING_WRONG_REASONS: 16,
+}
+
+
+def greenwell_total() -> int:
+    """Total fallacy instances Greenwell et al. report (45)."""
+    return sum(GREENWELL_FINDINGS.values())
+
+
+def describe(fallacy: FormalFallacy | InformalFallacy) -> FallacyInfo:
+    """Catalogue lookup."""
+    return CATALOGUE[fallacy]

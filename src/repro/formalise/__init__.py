@@ -1,0 +1,91 @@
+"""The surveyed formalisation proposals, implemented as working systems.
+
+One module per proposal family from the §III survey:
+
+* :mod:`~repro.formalise.translator` — Rushby's partial formalisation
+  into machine-checked logic with what-if probing (§III.M)
+* :mod:`~repro.formalise.proof_to_argument` — Basir/Denney/Fischer
+  argument generation from proofs, with the abstraction pass (§III.E)
+* :mod:`~repro.formalise.kaos` — Brunel & Cazin KAOS goal models with
+  LTL semantics and mechanical validation (§III.G)
+* :mod:`~repro.formalise.security` — Haley et al. two-part security
+  satisfaction arguments (§III.K)
+* :mod:`~repro.formalise.policy` — Tun et al. Event-Calculus privacy
+  arguments with availability/denial/explanation checks (§III.P)
+"""
+
+from .deliberation import (
+    ArgumentationFramework,
+    DefeasibleArgument,
+    DeliberationDialogue,
+    transplant_scenario,
+)
+from .kaos import (
+    GoalCategory,
+    flawed_uav_model,
+    KaosGoal,
+    KaosModel,
+    kaos_to_argument,
+    uav_model,
+    uav_traces,
+)
+from .policy import (
+    DisclosureExplanation,
+    PolicyModel,
+    build_location_policy,
+    check_availability,
+    check_denial,
+    explain_disclosure,
+)
+from .proof_to_argument import (
+    GenerationReport,
+    abstract_argument,
+    proof_to_argument,
+    report,
+    resolution_to_argument,
+)
+from .security import (
+    DomainClaim,
+    SatisfactionArgument,
+    SatisfactionReport,
+    haley_example,
+)
+from .translator import (
+    Formalisation,
+    ResidueReason,
+    classify_residue,
+    formalise_argument,
+)
+
+__all__ = [
+    "ArgumentationFramework",
+    "DefeasibleArgument",
+    "DeliberationDialogue",
+    "transplant_scenario",
+    "GoalCategory",
+    "KaosGoal",
+    "KaosModel",
+    "kaos_to_argument",
+    "flawed_uav_model",
+    "uav_model",
+    "uav_traces",
+    "DisclosureExplanation",
+    "PolicyModel",
+    "build_location_policy",
+    "check_availability",
+    "check_denial",
+    "explain_disclosure",
+    "GenerationReport",
+    "abstract_argument",
+    "proof_to_argument",
+    "report",
+    "resolution_to_argument",
+    "DomainClaim",
+    "SatisfactionArgument",
+    "SatisfactionReport",
+    "haley_example",
+    "Formalisation",
+    "ResidueReason",
+    "classify_residue",
+    "formalise_argument",
+]

@@ -1,0 +1,317 @@
+"""Deliberation dialogues for safety-critical actions (Tolchinsky et al.).
+
+§III.O: Tolchinsky, Modgil, Atkinson, McBurney & Cortés 'propose using
+non-monotonic logic as an on-line decision-making tool for humans
+performing safety-critical tasks' — their running domain is organ
+transplantation, with claims 'expressed using symbolic predicates (e.g.,
+treat(r, penicillin)) and stored in the tool's database.  Using dialogue
+games, the argument is updated with the details relevant to the safety
+of a proposed action ... and used to explore factors that might make
+that action unsafe.'
+
+This module implements that machinery:
+
+* :class:`DefeasibleArgument` — a presumptive argument for (or against)
+  a claim, grounded in predicate facts;
+* :class:`ArgumentationFramework` — a Dung abstract framework over those
+  arguments with **grounded semantics** (the sceptical fixed point):
+  :meth:`~ArgumentationFramework.grounded_extension` and the full
+  IN/OUT/UNDEC labelling;
+* :class:`DeliberationDialogue` — the dialogue game: a *proposal* to act
+  opens the dialogue; participants move by attacking or reinstating
+  standing arguments; at any point :meth:`~DeliberationDialogue.decision`
+  reports whether the proposal is currently acceptable (its argument is
+  IN under grounded semantics) — safety-conservative by construction,
+  since UNDEC proposals are not acted on;
+* :func:`transplant_scenario` — the paper's domain as a worked example:
+  an organ offer, a contraindication, and the specialist knowledge that
+  defeats it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from ..logic.terms import Atom, parse_atom
+
+__all__ = [
+    "DefeasibleArgument",
+    "Attack",
+    "ArgumentationFramework",
+    "Labelling",
+    "Label",
+    "Move",
+    "DeliberationDialogue",
+    "DialogueError",
+    "transplant_scenario",
+]
+
+
+@dataclass(frozen=True)
+class DefeasibleArgument:
+    """A presumptive argument: premises presumptively support the claim.
+
+    ``name`` identifies the argument in the framework; the claim and
+    premises are predicate atoms in the Tolchinsky style
+    (``treat(r, penicillin)``).
+    """
+
+    name: str
+    claim: Atom
+    premises: tuple[Atom, ...] = ()
+    note: str = ""
+
+    @classmethod
+    def of(cls, name: str, claim: str, *premises: str,
+           note: str = "") -> "DefeasibleArgument":
+        return cls(
+            name,
+            parse_atom(claim),
+            tuple(parse_atom(p) for p in premises),
+            note,
+        )
+
+    def __str__(self) -> str:
+        premise_text = ", ".join(str(p) for p in self.premises) or "(presumption)"
+        return f"{self.name}: {premise_text} => {self.claim}"
+
+
+@dataclass(frozen=True)
+class Attack:
+    """``attacker`` attacks ``target`` (identified by argument name)."""
+
+    attacker: str
+    target: str
+
+    def __str__(self) -> str:
+        return f"{self.attacker} -x-> {self.target}"
+
+
+class Label(enum.Enum):
+    """Grounded labelling values."""
+
+    IN = "in"
+    OUT = "out"
+    UNDEC = "undec"
+
+
+Labelling = Mapping[str, Label]
+
+
+class ArgumentationFramework:
+    """A Dung abstract argumentation framework with grounded semantics."""
+
+    def __init__(self) -> None:
+        self._arguments: dict[str, DefeasibleArgument] = {}
+        self._attacks: set[tuple[str, str]] = set()
+
+    def add(self, argument: DefeasibleArgument) -> DefeasibleArgument:
+        if argument.name in self._arguments:
+            raise ValueError(
+                f"argument {argument.name!r} already present"
+            )
+        self._arguments[argument.name] = argument
+        return argument
+
+    def attack(self, attacker: str, target: str) -> Attack:
+        for name in (attacker, target):
+            if name not in self._arguments:
+                raise ValueError(f"unknown argument {name!r}")
+        self._attacks.add((attacker, target))
+        return Attack(attacker, target)
+
+    @property
+    def arguments(self) -> list[DefeasibleArgument]:
+        return list(self._arguments.values())
+
+    @property
+    def attacks(self) -> list[Attack]:
+        return [Attack(a, t) for a, t in sorted(self._attacks)]
+
+    def attackers_of(self, name: str) -> set[str]:
+        return {a for a, t in self._attacks if t == name}
+
+    def grounded_extension(self) -> frozenset[str]:
+        """The grounded extension: least fixed point of the defence
+        operator — the sceptically acceptable arguments."""
+        labelling = self.grounded_labelling()
+        return frozenset(
+            name for name, label in labelling.items()
+            if label is Label.IN
+        )
+
+    def grounded_labelling(self) -> dict[str, Label]:
+        """IN/OUT/UNDEC labelling by iterative propagation."""
+        labels: dict[str, Label] = {}
+        changed = True
+        while changed:
+            changed = False
+            for name in self._arguments:
+                if name in labels:
+                    continue
+                attackers = self.attackers_of(name)
+                if all(labels.get(a) is Label.OUT for a in attackers):
+                    labels[name] = Label.IN
+                    changed = True
+                elif any(labels.get(a) is Label.IN for a in attackers):
+                    labels[name] = Label.OUT
+                    changed = True
+        for name in self._arguments:
+            labels.setdefault(name, Label.UNDEC)
+        return labels
+
+    def is_acceptable(self, name: str) -> bool:
+        """Sceptical acceptance: the argument is IN under grounding."""
+        if name not in self._arguments:
+            raise ValueError(f"unknown argument {name!r}")
+        return self.grounded_labelling()[name] is Label.IN
+
+    def __len__(self) -> int:
+        return len(self._arguments)
+
+
+class DialogueError(ValueError):
+    """Raised for moves that violate the dialogue protocol."""
+
+
+@dataclass(frozen=True)
+class Move:
+    """One dialogue move: who played which argument against what."""
+
+    participant: str
+    argument: DefeasibleArgument
+    attacks_target: str | None
+
+    def __str__(self) -> str:
+        if self.attacks_target is None:
+            return f"{self.participant} proposes {self.argument}"
+        return (
+            f"{self.participant} plays {self.argument} against "
+            f"{self.attacks_target}"
+        )
+
+
+class DeliberationDialogue:
+    """The Tolchinsky-style dialogue game over a proposed action.
+
+    The *proposal* argument claims the action is safe.  Subsequent moves
+    must attack an argument already in play (exploring 'factors that
+    might make that action unsafe') or defend by attacking an attacker.
+    The running :meth:`decision` is safety-conservative: the action is
+    endorsed only while the proposal is sceptically IN.
+    """
+
+    def __init__(self, action: str, proposer: str = "proponent") -> None:
+        self.framework = ArgumentationFramework()
+        self.action = parse_atom(action)
+        proposal = DefeasibleArgument(
+            "proposal", self.action, (),
+            note=f"it is safe to perform {action}",
+        )
+        self.framework.add(proposal)
+        self._moves: list[Move] = [Move(proposer, proposal, None)]
+
+    @property
+    def moves(self) -> list[Move]:
+        return list(self._moves)
+
+    def play(
+        self,
+        participant: str,
+        argument: DefeasibleArgument,
+        against: str,
+    ) -> Move:
+        """Play an argument attacking one already in play."""
+        existing = {a.name for a in self.framework.arguments}
+        if against not in existing:
+            raise DialogueError(
+                f"target {against!r} is not in play; targets are "
+                f"{sorted(existing)}"
+            )
+        if argument.name in existing:
+            raise DialogueError(
+                f"argument {argument.name!r} was already played"
+            )
+        self.framework.add(argument)
+        self.framework.attack(argument.name, against)
+        move = Move(participant, argument, against)
+        self._moves.append(move)
+        return move
+
+    def decision(self) -> bool:
+        """Is the proposed action currently endorsed?
+
+        True only when the proposal is IN under grounded semantics —
+        unresolved (UNDEC) states do not endorse a safety-critical
+        action.
+        """
+        return self.framework.is_acceptable("proposal")
+
+    def open_challenges(self) -> list[str]:
+        """Arguments currently IN that oppose the proposal's side.
+
+        These are the factors a deliberating team must answer before
+        the action becomes acceptable again.
+        """
+        labelling = self.framework.grounded_labelling()
+        proposal_side = {"proposal"}
+        # Everything at even attack-distance from the proposal defends
+        # it; odd distance opposes it.  Compute by BFS over attacks.
+        distance: dict[str, int] = {"proposal": 0}
+        frontier = ["proposal"]
+        while frontier:
+            current = frontier.pop()
+            for attacker in self.framework.attackers_of(current):
+                if attacker not in distance:
+                    distance[attacker] = distance[current] + 1
+                    frontier.append(attacker)
+        del proposal_side
+        return sorted(
+            name
+            for name, label in labelling.items()
+            if label is Label.IN
+            and distance.get(name, 0) % 2 == 1
+        )
+
+    def transcript(self) -> str:
+        lines = [str(move) for move in self._moves]
+        labelling = self.framework.grounded_labelling()
+        lines.append("")
+        for argument in self.framework.arguments:
+            lines.append(
+                f"  {argument.name}: {labelling[argument.name].value}"
+            )
+        verdict = "ENDORSED" if self.decision() else "NOT ENDORSED"
+        lines.append(f"action {self.action}: {verdict}")
+        return "\n".join(lines) + "\n"
+
+
+def transplant_scenario() -> DeliberationDialogue:
+    """The paper's domain, worked: an organ offer under deliberation.
+
+    The proposal: transplant donor organ o1 into recipient r.  The
+    on-call physician raises a contraindication — the donor had a
+    history of hepatitis B, presumptively unsafe.  The transplant
+    specialist defeats it with domain knowledge: the recipient is
+    already immune (vaccinated responder), so the contraindication does
+    not apply — mirroring the 'dialogue games ... used to explore
+    factors that might make that action unsafe'.
+    """
+    dialogue = DeliberationDialogue("transplant(o1, r)")
+    contraindication = DefeasibleArgument.of(
+        "contra_hbv",
+        "unsafe(transplant(o1, r))",
+        "donor_history(o1, hepatitis_b)",
+        note="donor HBV history presumptively contraindicates",
+    )
+    dialogue.play("physician", contraindication, against="proposal")
+    immunity = DefeasibleArgument.of(
+        "recipient_immune",
+        "not_applicable(contra_hbv)",
+        "vaccinated(r, hepatitis_b)", "responder(r, hepatitis_b)",
+        note="recipient immunity defeats the HBV contraindication",
+    )
+    dialogue.play("specialist", immunity, against="contra_hbv")
+    return dialogue

@@ -1,0 +1,345 @@
+"""KAOS goal models with LTL semantics (Brunel & Cazin).
+
+Brunel & Cazin 'propose first developing a KAOS goal structure and then
+deriving the formalised argument from this' (§III.G), giving claims an LTL
+semantics 'that allows automatic validation of the argumentation'.  Their
+running example formalises the UAV claim 'the Detect and Avoid function is
+correct' as a temporal property over obstacle distance.
+
+This module provides:
+
+* :class:`KaosGoal` — a goal with a natural-language definition, an
+  optional LTL formalisation, and AND-refinements into sub-goals down to
+  leaf requirements/expectations/domain properties;
+* :meth:`KaosModel.check_refinement` — mechanical validation of one
+  refinement over a trace suite: a counterexample is any trace where all
+  children hold but the parent fails (the 'validity' problem);
+* :meth:`KaosModel.validate` — whole-model validation plus the
+  'completion' check (every leaf formalised, every goal refined or leaf);
+* :func:`kaos_to_argument` — derivation of a GSN argument whose structure
+  'reflects that of the KAOS goal structure' as the paper describes;
+* :func:`uav_model` / :func:`uav_traces` — the detect-and-avoid scenario,
+  with seeded nominal and fault-injected trace generators.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from ..core.argument import Argument, LinkKind
+from ..core.nodes import Node, NodeType
+from ..logic.ltl import LtlFormula, Trace, holds, parse_ltl
+
+__all__ = [
+    "GoalCategory",
+    "KaosGoal",
+    "RefinementCounterexample",
+    "ValidationReport",
+    "KaosModel",
+    "kaos_to_argument",
+    "uav_model",
+    "uav_traces",
+]
+
+
+from enum import Enum
+
+
+class GoalCategory(Enum):
+    """KAOS leaf categories."""
+
+    GOAL = "goal"
+    REQUIREMENT = "requirement"    # assigned to the software
+    EXPECTATION = "expectation"    # assigned to the environment
+    DOMAIN_PROPERTY = "domain_property"
+
+
+@dataclass
+class KaosGoal:
+    """One node of a KAOS goal model."""
+
+    name: str
+    definition: str
+    formal: LtlFormula | None = None
+    category: GoalCategory = GoalCategory.GOAL
+    refinements: list["KaosGoal"] = field(default_factory=list)
+
+    def refine(self, *children: "KaosGoal") -> "KaosGoal":
+        """AND-refine this goal into sub-goals; returns self for chaining."""
+        self.refinements.extend(children)
+        return self
+
+    def is_leaf(self) -> bool:
+        return not self.refinements
+
+    def walk(self) -> Iterable["KaosGoal"]:
+        yield self
+        for child in self.refinements:
+            yield from child.walk()
+
+
+@dataclass(frozen=True)
+class RefinementCounterexample:
+    """A trace witnessing an invalid refinement."""
+
+    parent: str
+    trace_index: int
+    detail: str
+
+    def __str__(self) -> str:
+        return (
+            f"refinement of {self.parent!r} fails on trace "
+            f"{self.trace_index}: {self.detail}"
+        )
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Outcome of whole-model validation."""
+
+    counterexamples: tuple[RefinementCounterexample, ...]
+    unformalised: tuple[str, ...]
+    unrefined: tuple[str, ...]
+
+    @property
+    def valid(self) -> bool:
+        """No refinement failed on any supplied trace."""
+        return not self.counterexamples
+
+    @property
+    def complete(self) -> bool:
+        """Every goal formalised; every non-leaf refined (completion)."""
+        return not self.unformalised and not self.unrefined
+
+    def summary(self) -> str:
+        return (
+            f"valid={self.valid} complete={self.complete} "
+            f"({len(self.counterexamples)} counterexample(s), "
+            f"{len(self.unformalised)} unformalised, "
+            f"{len(self.unrefined)} unrefined)"
+        )
+
+
+class KaosModel:
+    """A KAOS goal model rooted at one system goal."""
+
+    def __init__(self, root: KaosGoal) -> None:
+        self.root = root
+
+    def goals(self) -> list[KaosGoal]:
+        return list(self.root.walk())
+
+    def goal(self, name: str) -> KaosGoal:
+        for candidate in self.root.walk():
+            if candidate.name == name:
+                return candidate
+        raise KeyError(f"no goal named {name!r}")
+
+    def check_refinement(
+        self, parent: KaosGoal, traces: Sequence[Trace]
+    ) -> list[RefinementCounterexample]:
+        """Trace-based refinement validation.
+
+        For each trace where every formalised child holds, the parent must
+        hold too.  (A semantic entailment check over all traces is
+        undecidable in general; bounded trace suites are the standard
+        pragmatic validation — and exactly what 'explicit validation of
+        the model assumptions' amounts to in practice.)
+        """
+        if parent.formal is None or parent.is_leaf():
+            return []
+        formal_children = [
+            child for child in parent.refinements if child.formal is not None
+        ]
+        if not formal_children:
+            return []
+        out: list[RefinementCounterexample] = []
+        for index, trace in enumerate(traces):
+            if not trace:
+                continue
+            if all(holds(c.formal, trace) for c in formal_children):
+                if not holds(parent.formal, trace):
+                    out.append(RefinementCounterexample(
+                        parent.name, index,
+                        "all sub-goals hold but the parent fails",
+                    ))
+        return out
+
+    def validate(self, traces: Sequence[Trace]) -> ValidationReport:
+        """Validate every refinement and check completion."""
+        counterexamples: list[RefinementCounterexample] = []
+        unformalised: list[str] = []
+        unrefined: list[str] = []
+        for goal in self.root.walk():
+            if goal.formal is None:
+                unformalised.append(goal.name)
+            if goal.is_leaf() and goal.category is GoalCategory.GOAL:
+                unrefined.append(goal.name)
+            counterexamples.extend(self.check_refinement(goal, traces))
+        return ValidationReport(
+            tuple(counterexamples), tuple(unformalised), tuple(unrefined)
+        )
+
+
+def kaos_to_argument(model: KaosModel) -> Argument:
+    """Derive the formal safety argumentation from the KAOS structure.
+
+    Structure mirrors the goal model (§III.G): each goal becomes a GSN
+    goal whose text pairs the natural-language definition with its LTL
+    formalisation; refinements become strategies; requirement/expectation
+    leaves gain solutions citing their verification artefacts; domain
+    properties become context.
+    """
+    argument = Argument(name=f"kaos:{model.root.name}")
+    counter = {"s": 0, "sn": 0, "c": 0}
+
+    def add_goal(goal: KaosGoal, parent_strategy: str | None) -> None:
+        formal_text = f" [LTL: {goal.formal}]" if goal.formal else ""
+        if goal.category is GoalCategory.DOMAIN_PROPERTY:
+            counter["c"] += 1
+            identifier = f"C{counter['c']}"
+            argument.add_node(Node(
+                identifier, NodeType.CONTEXT,
+                f"{goal.definition}{formal_text}",
+            ))
+            if parent_strategy:
+                argument.add_link(
+                    parent_strategy, identifier, LinkKind.IN_CONTEXT_OF
+                )
+            return
+        identifier = f"G_{goal.name}"
+        argument.add_node(Node(
+            identifier, NodeType.GOAL,
+            f"{goal.definition}{formal_text}",
+        ))
+        if parent_strategy:
+            argument.add_link(
+                parent_strategy, identifier, LinkKind.SUPPORTED_BY
+            )
+        if goal.is_leaf():
+            counter["sn"] += 1
+            solution = f"Sn{counter['sn']}"
+            label = (
+                "verification record"
+                if goal.category is GoalCategory.REQUIREMENT
+                else "environment assumption validation record"
+            )
+            argument.add_node(Node(
+                solution, NodeType.SOLUTION,
+                f"{goal.name} {label}",
+            ))
+            argument.add_link(identifier, solution, LinkKind.SUPPORTED_BY)
+            return
+        counter["s"] += 1
+        strategy = f"S{counter['s']}"
+        argument.add_node(Node(
+            strategy, NodeType.STRATEGY,
+            f"AND-refinement of {goal.name}",
+        ))
+        argument.add_link(identifier, strategy, LinkKind.SUPPORTED_BY)
+        for child in goal.refinements:
+            add_goal(child, strategy)
+
+    add_goal(model.root, None)
+    return argument
+
+
+def uav_model() -> KaosModel:
+    """The Brunel & Cazin detect-and-avoid goal model (our rendering).
+
+    The top-level claim is their 'Detect and Avoid function is correct':
+    whenever an intrusion occurs, no collision happens until separation is
+    restored — ``G (intrusion -> (no_collision U separated))`` over the
+    boolean trace vocabulary of :func:`uav_traces`.
+    """
+    top = KaosGoal(
+        "DetectAndAvoidCorrect",
+        "The Detect and Avoid function is correct",
+        parse_ltl("G (intrusion -> (no_collision U separated))"),
+    )
+    detect = KaosGoal(
+        "IntrusionDetected",
+        "Every intrusion raises a detection within one step",
+        parse_ltl("G (intrusion -> (detected | X detected))"),
+        GoalCategory.REQUIREMENT,
+    )
+    manoeuvre = KaosGoal(
+        "AvoidanceManoeuvre",
+        "A detection leads to an avoidance manoeuvre that keeps "
+        "separation until restored",
+        parse_ltl("G (detected -> (no_collision U separated))"),
+        GoalCategory.REQUIREMENT,
+    )
+    detection_sound = KaosGoal(
+        "SensorCoverage",
+        "The sensor field of regard covers the intrusion geometry",
+        parse_ltl("G (intrusion -> in_field_of_regard)"),
+        GoalCategory.EXPECTATION,
+    )
+    physics = KaosGoal(
+        "ClosureDynamics",
+        "Closure dynamics give at least one step between intrusion "
+        "onset and collision",
+        parse_ltl("G (intrusion -> no_collision)"),
+        GoalCategory.DOMAIN_PROPERTY,
+    )
+    top.refine(detect, manoeuvre, detection_sound, physics)
+    return KaosModel(top)
+
+
+def flawed_uav_model() -> KaosModel:
+    """The detect-and-avoid model *without* its domain property.
+
+    Omitting ClosureDynamics makes the refinement incomplete: a trace can
+    satisfy detection (one step late) and the manoeuvre goal yet collide
+    at intrusion onset.  The validation benchmarks show
+    :meth:`KaosModel.validate` finding exactly this hole — and the full
+    :func:`uav_model` closing it.
+    """
+    full = uav_model()
+    full.root.refinements = [
+        goal for goal in full.root.refinements
+        if goal.category is not GoalCategory.DOMAIN_PROPERTY
+    ]
+    return full
+
+
+def uav_traces(
+    rng: random.Random,
+    count: int = 50,
+    length: int = 20,
+    fault_rate: float = 0.0,
+) -> list[Trace]:
+    """Seeded encounter traces for the detect-and-avoid scenario.
+
+    Nominal traces satisfy every goal in :func:`uav_model`.  With
+    ``fault_rate`` > 0 some traces exhibit the late-detection hazard: the
+    intruder is detected one step after intrusion onset and a collision
+    occurs *at onset* — the sub-goals of :func:`flawed_uav_model` all hold
+    on such traces while the parent fails, a genuine refinement
+    counterexample (closed by the ClosureDynamics domain property in the
+    full model).
+    """
+    traces: list[Trace] = []
+    for _ in range(count):
+        faulty = rng.random() < fault_rate
+        states: list[frozenset[str]] = []
+        intrusion_at = rng.randrange(1, max(2, length - 6))
+        separation_at = intrusion_at + rng.randrange(2, 5)
+        for step in range(length):
+            atoms: set[str] = {"in_field_of_regard"}
+            intruding = intrusion_at <= step < separation_at
+            if intruding:
+                atoms.add("intrusion")
+            if step >= separation_at:
+                atoms.add("separated")
+            if intruding and (step > intrusion_at or not faulty):
+                atoms.add("detected")
+            collision = faulty and step == intrusion_at
+            if not collision:
+                atoms.add("no_collision")
+            states.append(frozenset(atoms))
+        traces.append(states)
+    return traces

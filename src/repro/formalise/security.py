@@ -1,0 +1,204 @@
+"""Security requirements satisfaction arguments (Haley et al.).
+
+Haley et al. split satisfaction arguments into two parts (§III.K):
+
+* the **outer argument** — 'a formal argument to prove that a system can
+  satisfy its security requirements, drawing upon claims about the
+  behavior and properties of domains', given as a numbered natural-
+  deduction proof whose premises are *trust assumptions*;
+* the **inner arguments** — 'structured informal arguments to support the
+  trust assumptions made in the formal argument', in extended Toulmin
+  notation.
+
+This module implements the framework: domain behaviour claims, the
+machine-checked outer proof, inner Toulmin arguments keyed to the outer
+premises, and the completeness analysis the framework motivates —
+'by first requiring the construction of the formal argument ... one
+discovers which domain properties are critical for security'.
+
+:func:`haley_example` assembles the exact 2008 worked example: the
+11-step proof of ``D -> H`` plus the credential-administration inner
+argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..core.toulmin import (
+    Rebuttal,
+    Statement,
+    ToulminArgument,
+    haley_inner_argument,
+)
+from ..logic.entailment import entails
+from ..logic.natural_deduction import (
+    Proof,
+    Rule,
+    check_proof,
+    haley_outer_proof,
+)
+from ..logic.propositional import Atom, Formula, parse
+
+__all__ = [
+    "DomainClaim",
+    "SatisfactionArgument",
+    "SatisfactionReport",
+    "haley_example",
+]
+
+
+@dataclass(frozen=True)
+class DomainClaim:
+    """A claim about the behaviour/properties of a domain — the unit from
+    which outer arguments draw, and which trust assumptions ground."""
+
+    atom: str
+    meaning: str
+    domain: str
+
+    def __str__(self) -> str:
+        return f"{self.atom} ({self.domain}): {self.meaning}"
+
+
+@dataclass(frozen=True)
+class SatisfactionReport:
+    """Outcome of checking a satisfaction argument."""
+
+    proof_checks: bool
+    requirement_proved: bool
+    unsupported_assumptions: tuple[str, ...]
+    critical_assumptions: tuple[str, ...]
+
+    @property
+    def satisfied(self) -> bool:
+        """Outer proof checks, proves the requirement, and every premise
+        has inner support."""
+        return (
+            self.proof_checks
+            and self.requirement_proved
+            and not self.unsupported_assumptions
+        )
+
+    def summary(self) -> str:
+        return (
+            f"proof_checks={self.proof_checks} "
+            f"requirement_proved={self.requirement_proved} "
+            f"unsupported={list(self.unsupported_assumptions)} "
+            f"critical={list(self.critical_assumptions)}"
+        )
+
+
+@dataclass
+class SatisfactionArgument:
+    """A two-part Haley security satisfaction argument."""
+
+    requirement: Formula
+    outer: Proof
+    vocabulary: dict[str, DomainClaim] = field(default_factory=dict)
+    inner: dict[str, ToulminArgument] = field(default_factory=dict)
+
+    def declare(self, claim: DomainClaim) -> None:
+        """Register the meaning of one proof atom."""
+        self.vocabulary[claim.atom] = claim
+
+    def support(self, premise_text: str, argument: ToulminArgument) -> None:
+        """Attach an inner argument to one outer premise (by its text)."""
+        known = {str(p) for p in self.outer.premises}
+        if premise_text not in known:
+            raise KeyError(
+                f"{premise_text!r} is not an outer premise; premises are "
+                f"{sorted(known)}"
+            )
+        self.inner[premise_text] = argument
+
+    def trust_assumptions(self) -> list[str]:
+        """The outer premises, i.e. what must be trusted for the proof."""
+        return [str(p) for p in self.outer.premises]
+
+    def critical_domain_properties(self) -> list[str]:
+        """Premises the conclusion actually needs (what-if elimination).
+
+        This operationalises the authors' claimed benefit: 'one discovers
+        which domain properties are critical for security'.
+        """
+        premises = list(self.outer.premises)
+        critical: list[str] = []
+        for index, premise in enumerate(premises):
+            rest = premises[:index] + premises[index + 1:]
+            if not entails(rest, self.outer.conclusion):
+                critical.append(str(premise))
+        return critical
+
+    def check(self) -> SatisfactionReport:
+        """Full framework check: proof, requirement, inner coverage."""
+        try:
+            proof_ok = check_proof(self.outer)
+        except Exception:
+            proof_ok = False
+        requirement_ok = proof_ok and (
+            self.outer.conclusion == self.requirement
+            or entails([self.outer.conclusion], self.requirement)
+        )
+        unsupported = tuple(
+            text
+            for text in self.trust_assumptions()
+            if text not in self.inner
+        )
+        return SatisfactionReport(
+            proof_checks=proof_ok,
+            requirement_proved=requirement_ok,
+            unsupported_assumptions=unsupported,
+            critical_assumptions=tuple(self.critical_domain_properties()),
+        )
+
+    def rebuttals(self) -> list[str]:
+        """Every rebuttal recorded across the inner arguments.
+
+        Industrial partners 'wanted to proceed directly to the inner
+        arguments' (§III.K); the rebuttal list is where the inner
+        arguments earn their keep.
+        """
+        out: list[str] = []
+        for argument in self.inner.values():
+            out.extend(
+                rebuttal.statement.text
+                for rebuttal in _all_rebuttals(argument)
+            )
+        return out
+
+
+def _all_rebuttals(argument: ToulminArgument) -> list[Rebuttal]:
+    found = list(argument.rebuttals)
+    for warrant in argument.warrants:
+        if isinstance(warrant, ToulminArgument):
+            found.extend(_all_rebuttals(warrant))
+    return found
+
+
+def haley_example() -> SatisfactionArgument:
+    """The complete 2008 worked example (§III.K).
+
+    Outer: the 11-step proof establishing ``D -> H``.  Vocabulary: the
+    atom meanings implied by the example (deployment, credentials, HR
+    membership).  Inner: the credential-administration Toulmin argument
+    supporting premise ``(C -> H)``; the remaining premises are left for
+    the caller, so ``check()`` on the fresh example reports them as
+    unsupported trust assumptions — the framework's to-do list.
+    """
+    argument = SatisfactionArgument(
+        requirement=parse("D -> H"),
+        outer=haley_outer_proof(),
+    )
+    for atom, meaning, domain in (
+        ("I", "the system is inducted into the enterprise", "enterprise"),
+        ("V", "credentials presented are valid", "credential system"),
+        ("C", "credentials are checked on access", "access control"),
+        ("H", "the credential holder is an HR member", "personnel"),
+        ("Y", "the system behaves as designed", "system"),
+        ("D", "the system is deployed", "deployment"),
+    ):
+        argument.declare(DomainClaim(atom, meaning, domain))
+    argument.support("(C -> H)", haley_inner_argument())
+    return argument

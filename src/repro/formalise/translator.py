@@ -1,0 +1,262 @@
+"""Rushby-style partial formalisation of assurance arguments.
+
+Rushby proposes 'formalizing the elements that do lend themselves to this
+process' into symbolic logic checked by machine, 'thereby preserving the
+precious resource of expert human review for those elements that truly do
+require it' (§III.M).  His example axiom shape is::
+
+    good_doc(approp_claim_doc) IMPLIES appropriate(claim, system, context)
+
+and reviewers 'indicate their assent by adding good_doc(approp_claim_doc)
+as an axiom'.
+
+This module implements the scheme over GSN arguments:
+
+* each goal becomes a propositional atom (its *claim atom*);
+* each support step becomes an implication: the conjunction of the
+  supporters' atoms implies the supported claim's atom;
+* each solution becomes a ``good_doc`` atom awaiting reviewer assent;
+* elements that do **not** lend themselves — Rushby's own list:
+  probabilistic claims, enumerations over imperfectly known sets, appeals
+  to expert judgement or history — are detected by text classification
+  and left in the *informal residue* with assumed-implication axioms,
+  exactly the parts human review must still cover.
+
+The resulting :class:`Formalisation` supports the services Rushby
+promises: mechanical soundness checking (§III.M), and the 'what-if
+exploration' of §VI.E — temporarily remove an axiom and observe whether
+the proof fails.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from ..core.argument import Argument, LinkKind
+from ..core.nodes import Node, NodeType
+from ..logic.entailment import entails, premises_used
+from ..logic.propositional import Atom, Formula, Implies, conjoin
+
+__all__ = [
+    "ResidueReason",
+    "Formalisation",
+    "formalise_argument",
+    "classify_residue",
+]
+
+
+_PROBABILISTIC = re.compile(
+    r"\b(probab|likel|rate of|per hour|per flight|frequency|10-\d|1e-\d|"
+    r"chance)\b",
+    re.IGNORECASE,
+)
+_OPEN_ENUMERATION = re.compile(
+    r"\ball (identified |known )?(hazards?|causes?|failure modes?|threats?)"
+    r"\b|\bcomplete\b.*\b(hazard|threat)\b",
+    re.IGNORECASE,
+)
+_JUDGEMENT = re.compile(
+    r"\b(expert|judge?ment|experience|historical|track record|engineer"
+    r"ing judgement)\b",
+    re.IGNORECASE,
+)
+
+
+@dataclass(frozen=True)
+class ResidueReason:
+    """Why a node stayed informal, per Rushby's three categories."""
+
+    node_id: str
+    category: str  # 'probabilistic' | 'open-enumeration' | 'judgement'
+    excerpt: str
+
+    def __str__(self) -> str:
+        return f"{self.node_id} [{self.category}]: {self.excerpt!r}"
+
+
+def classify_residue(node: Node) -> str | None:
+    """Rushby's triage: does this element lend itself to formalisation?
+
+    Returns the residue category, or None when the element formalises.
+    """
+    if _PROBABILISTIC.search(node.text):
+        return "probabilistic"
+    if _OPEN_ENUMERATION.search(node.text):
+        return "open-enumeration"
+    if _JUDGEMENT.search(node.text):
+        return "judgement"
+    return None
+
+
+def _atom_name(node: Node) -> str:
+    slug = re.sub(r"[^a-z0-9]+", "_", node.text.lower()).strip("_")
+    return f"{node.identifier.lower()}_{slug[:40]}".rstrip("_")
+
+
+@dataclass
+class Formalisation:
+    """The formal skeleton of an argument plus its informal residue.
+
+    ``rules`` are the support-step implications; ``evidence_atoms`` map
+    solution nodes to their pending ``good_doc`` atoms; ``assented`` holds
+    the axioms reviewers have granted; ``residue`` lists the elements that
+    stayed informal (each contributes an *assumed* rule, flagged so
+    reviewers know the machine is trusting a human there).
+    """
+
+    argument: Argument
+    claim_atoms: dict[str, Atom]
+    rules: list[Formula]
+    evidence_atoms: dict[str, Atom]
+    residue: list[ResidueReason]
+    assumed_rules: list[Formula] = field(default_factory=list)
+    assented: set[str] = field(default_factory=set)
+
+    # -- reviewer interaction -------------------------------------------
+
+    def assent(self, solution_id: str) -> Atom:
+        """Reviewer assent: add ``good_doc(...)`` for a solution as axiom."""
+        if solution_id not in self.evidence_atoms:
+            raise KeyError(f"no evidence atom for {solution_id!r}")
+        self.assented.add(solution_id)
+        return self.evidence_atoms[solution_id]
+
+    def assent_all(self) -> None:
+        """Grant every evidence axiom (the all-reviews-passed state)."""
+        self.assented.update(self.evidence_atoms)
+
+    def retract(self, solution_id: str) -> None:
+        """Withdraw assent (evidence fell to in-service data, say)."""
+        self.assented.discard(solution_id)
+
+    # -- mechanical services ----------------------------------------------
+
+    def axioms(self) -> list[Formula]:
+        """The current axiom set: assented evidence + all rules."""
+        granted: list[Formula] = [
+            self.evidence_atoms[s] for s in sorted(self.assented)
+        ]
+        return granted + list(self.rules) + list(self.assumed_rules)
+
+    def root_atom(self) -> Atom:
+        roots = self.argument.roots()
+        if len(roots) != 1:
+            raise ValueError(
+                f"formalisation needs exactly one root, got {len(roots)}"
+            )
+        return self.claim_atoms[roots[0].identifier]
+
+    def check(self) -> bool:
+        """Does the axiom set entail the top-level claim?
+
+        This is Rushby's 'reduce some of the analysis to mechanized
+        calculation'.
+        """
+        return entails(self.axioms(), self.root_atom())
+
+    def holds(self, node_id: str) -> bool:
+        """Does the axiom set entail one particular claim?"""
+        return entails(self.axioms(), self.claim_atoms[node_id])
+
+    def what_if_without(self, solution_id: str) -> bool:
+        """§VI.E what-if probing: remove one evidence axiom and re-check."""
+        if solution_id not in self.assented:
+            return self.check()
+        self.assented.discard(solution_id)
+        try:
+            return self.check()
+        finally:
+            self.assented.add(solution_id)
+
+    def load_bearing_evidence(self) -> list[str]:
+        """Solutions whose axiom the top-level proof actually needs."""
+        return [
+            solution_id
+            for solution_id in sorted(self.assented)
+            if not self.what_if_without(solution_id)
+        ]
+
+    def minimal_support(self) -> list[Formula]:
+        """A minimal entailing axiom subset (greedy, via what-if removal)."""
+        axioms = self.axioms()
+        used = premises_used(axioms, self.root_atom())
+        return [axioms[i] for i in used]
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.claim_atoms)} claims, {len(self.rules)} rules, "
+            f"{len(self.evidence_atoms)} evidence atoms "
+            f"({len(self.assented)} assented), "
+            f"{len(self.residue)} informal-residue elements"
+        )
+
+
+def formalise_argument(argument: Argument) -> Formalisation:
+    """Build the Rushby-style formal skeleton of a GSN argument."""
+    claim_atoms: dict[str, Atom] = {}
+    evidence_atoms: dict[str, Atom] = {}
+    residue: list[ResidueReason] = []
+    rules: list[Formula] = []
+    assumed_rules: list[Formula] = []
+
+    for node in argument.nodes:
+        if node.node_type in (NodeType.GOAL, NodeType.AWAY_GOAL,
+                              NodeType.STRATEGY):
+            claim_atoms[node.identifier] = Atom(_atom_name(node))
+        elif node.node_type is NodeType.SOLUTION:
+            evidence_atoms[node.identifier] = Atom(
+                f"good_doc_{node.identifier.lower()}"
+            )
+
+    for node in argument.nodes:
+        if node.identifier not in claim_atoms:
+            continue
+        supporters = argument.supporters(node.identifier)
+        if not supporters:
+            continue
+        claim_children = [
+            claim_atoms[c.identifier]
+            for c in supporters if c.identifier in claim_atoms
+        ]
+        evidence_children = [
+            evidence_atoms[c.identifier]
+            for c in supporters if c.identifier in evidence_atoms
+        ]
+        # Support semantics: sub-claims are jointly required (an argument
+        # step needs all its legs), while multiple evidence items under
+        # one claim are *alternative* grounds — each independently
+        # establishes it.  GSN itself leaves this ambiguous (the paper
+        # cites [35] on GSN's definitional ambiguity); the choice is
+        # documented here and exercised by the §VI.E redundancy probes.
+        node_rules: list[Formula] = []
+        if claim_children:
+            antecedent = conjoin(claim_children + evidence_children)
+            node_rules.append(
+                Implies(antecedent, claim_atoms[node.identifier])
+            )
+        else:
+            node_rules.extend(
+                Implies(evidence, claim_atoms[node.identifier])
+                for evidence in evidence_children
+            )
+        if not node_rules:
+            continue
+        category = classify_residue(node)
+        if category is None:
+            rules.extend(node_rules)
+        else:
+            residue.append(ResidueReason(
+                node.identifier, category, node.text[:60]
+            ))
+            assumed_rules.extend(node_rules)
+
+    return Formalisation(
+        argument=argument,
+        claim_atoms=claim_atoms,
+        rules=rules,
+        evidence_atoms=evidence_atoms,
+        residue=residue,
+        assumed_rules=assumed_rules,
+    )

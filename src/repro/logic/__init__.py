@@ -1,0 +1,65 @@
+"""Formal-logic substrates for assurance-argument formalisation.
+
+Every logic the surveyed proposals rely on is implemented here from
+scratch:
+
+* :mod:`~repro.logic.propositional` — formula AST, parser, CNF, evaluation
+* :mod:`~repro.logic.sat` / :mod:`~repro.logic.entailment` — DPLL solver
+  and the entailment/consistency services argument checkers need
+* :mod:`~repro.logic.terms` / :mod:`~repro.logic.unification` — first-order
+  terms and Robinson unification
+* :mod:`~repro.logic.natural_deduction` — Fitch-style checker (Haley et al.)
+* :mod:`~repro.logic.sequent` — Gentzen LK prover (Bishop & Bloomfield)
+* :mod:`~repro.logic.resolution` — clausal refutation prover
+* :mod:`~repro.logic.prolog` — SLD resolution; reproduces Figure 1
+* :mod:`~repro.logic.fol` — multi-sorted FOL (Sokolsky et al.)
+* :mod:`~repro.logic.ltl` — finite-trace LTL (Brunel & Cazin)
+* :mod:`~repro.logic.event_calculus` — discrete EC (Tun et al.)
+* :mod:`~repro.logic.bbn` — Bayesian confidence networks (ref [34])
+* :mod:`~repro.logic.syllogism` — categorical syllogisms for the
+  distribution-based formal fallacies
+"""
+
+from .entailment import consistent, entails, is_satisfiable, is_valid
+from .natural_deduction import (
+    Proof,
+    ProofBuilder,
+    ProofError,
+    ProofLine,
+    Rule,
+    check_proof,
+    haley_outer_proof,
+)
+from .prolog import Program, desert_bank_program, parse_program
+from .propositional import Formula, parse
+from .sat import solve_formula
+from .tableau import (
+    independent_validity_check,
+    tableau_entails,
+    tableau_satisfiable,
+    tableau_valid,
+)
+
+__all__ = [
+    "consistent",
+    "entails",
+    "is_satisfiable",
+    "is_valid",
+    "Proof",
+    "ProofBuilder",
+    "ProofError",
+    "ProofLine",
+    "Rule",
+    "check_proof",
+    "haley_outer_proof",
+    "Program",
+    "desert_bank_program",
+    "parse_program",
+    "Formula",
+    "parse",
+    "solve_formula",
+    "independent_validity_check",
+    "tableau_entails",
+    "tableau_satisfiable",
+    "tableau_valid",
+]

@@ -1,0 +1,271 @@
+"""A Bayesian belief network with exact inference by variable elimination.
+
+The paper cites BBN modelling as one proposed mechanism for assessing
+argument confidence (ref [34], discussed in §II.B and §V.B).  Crucially for
+the paper's red-herring analysis: 'If argument confidence is assessed
+mechanically (e.g., through BBN modelling), asserting [a rule drawing a
+conclusion from an irrelevant premise] would artificially raise the
+assessed confidence' (§V.B).  The ablation benchmark builds exactly that
+scenario on this engine.
+
+Variables are boolean.  Inference is exact: variable elimination with a
+min-degree ordering, cross-checked against brute-force enumeration in
+tests.  A noisy-OR helper builds the CPTs that argument-confidence models
+typically use (each supporting premise independently 'leaks' confidence
+into its conclusion).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["Cpt", "BayesNet", "noisy_or_cpt", "BbnError"]
+
+
+class BbnError(ValueError):
+    """Raised for malformed networks or queries."""
+
+
+@dataclass(frozen=True)
+class Cpt:
+    """A conditional probability table for a boolean variable.
+
+    ``parents`` is the ordered parent tuple; ``table`` maps each complete
+    parent-assignment tuple (booleans, in parent order) to
+    ``P(variable = True | parents)``.
+    """
+
+    variable: str
+    parents: tuple[str, ...]
+    table: Mapping[tuple[bool, ...], float]
+
+    def __post_init__(self) -> None:
+        expected = 2 ** len(self.parents)
+        if len(self.table) != expected:
+            raise BbnError(
+                f"CPT for {self.variable!r} needs {expected} rows, "
+                f"got {len(self.table)}"
+            )
+        for key, value in self.table.items():
+            if len(key) != len(self.parents):
+                raise BbnError(
+                    f"CPT row {key} does not match parents {self.parents}"
+                )
+            if not 0.0 <= value <= 1.0:
+                raise BbnError(
+                    f"probability {value} out of range in CPT for "
+                    f"{self.variable!r}"
+                )
+
+    def probability(
+        self, value: bool, parent_values: tuple[bool, ...]
+    ) -> float:
+        """``P(variable = value | parents = parent_values)``."""
+        p_true = self.table[parent_values]
+        return p_true if value else 1.0 - p_true
+
+
+def noisy_or_cpt(
+    variable: str,
+    parents: Sequence[str],
+    strengths: Sequence[float],
+    leak: float = 0.0,
+) -> Cpt:
+    """A noisy-OR CPT: each true parent independently causes the variable.
+
+    ``strengths[i]`` is the probability parent ``i`` alone suffices; ``leak``
+    is the probability the variable is true with no parent active.  This is
+    the standard shape for 'evidence supports claim' confidence links.
+    """
+    if len(strengths) != len(parents):
+        raise BbnError("one strength per parent required")
+    table: dict[tuple[bool, ...], float] = {}
+    for row in itertools.product((False, True), repeat=len(parents)):
+        failure = 1.0 - leak
+        for active, strength in zip(row, strengths):
+            if active:
+                failure *= 1.0 - strength
+        table[row] = 1.0 - failure
+    return Cpt(variable, tuple(parents), table)
+
+
+class BayesNet:
+    """A boolean Bayesian network over named variables."""
+
+    def __init__(self) -> None:
+        self._cpts: dict[str, Cpt] = {}
+        self._order: list[str] = []
+
+    def add(self, cpt: Cpt) -> None:
+        """Add a variable with its CPT; parents must already exist."""
+        if cpt.variable in self._cpts:
+            raise BbnError(f"variable {cpt.variable!r} already defined")
+        for parent in cpt.parents:
+            if parent not in self._cpts:
+                raise BbnError(
+                    f"parent {parent!r} of {cpt.variable!r} not defined yet"
+                )
+        self._cpts[cpt.variable] = cpt
+        self._order.append(cpt.variable)
+
+    def add_prior(self, variable: str, p_true: float) -> None:
+        """Add a parentless variable with the given prior."""
+        self.add(Cpt(variable, (), {(): p_true}))
+
+    @property
+    def variables(self) -> list[str]:
+        """Topologically ordered variable names."""
+        return list(self._order)
+
+    def cpt(self, variable: str) -> Cpt:
+        """The CPT of one variable."""
+        try:
+            return self._cpts[variable]
+        except KeyError:
+            raise BbnError(f"unknown variable {variable!r}") from None
+
+    def query(
+        self, variable: str, evidence: Mapping[str, bool] | None = None
+    ) -> float:
+        """``P(variable = True | evidence)`` by variable elimination."""
+        if variable not in self._cpts:
+            raise BbnError(f"unknown variable {variable!r}")
+        evidence = dict(evidence or {})
+        for name in evidence:
+            if name not in self._cpts:
+                raise BbnError(f"unknown evidence variable {name!r}")
+        numerator = self._eliminate(
+            {**evidence, variable: True}
+        )
+        denominator = self._eliminate(evidence)
+        if denominator == 0.0:
+            raise BbnError("evidence has zero probability")
+        return numerator / denominator
+
+    def joint(self, assignment: Mapping[str, bool]) -> float:
+        """Full-joint probability of a complete assignment."""
+        if set(assignment) != set(self._cpts):
+            raise BbnError("assignment must cover every variable")
+        product = 1.0
+        for name in self._order:
+            cpt = self._cpts[name]
+            parent_values = tuple(assignment[p] for p in cpt.parents)
+            product *= cpt.probability(assignment[name], parent_values)
+        return product
+
+    def query_bruteforce(
+        self, variable: str, evidence: Mapping[str, bool] | None = None
+    ) -> float:
+        """Enumeration-based query; exponential, used as a test oracle."""
+        evidence = dict(evidence or {})
+        free = [v for v in self._order if v not in evidence]
+        num = 0.0
+        den = 0.0
+        for bits in itertools.product((False, True), repeat=len(free)):
+            assignment = dict(zip(free, bits))
+            assignment.update(evidence)
+            weight = self.joint(assignment)
+            den += weight
+            if assignment.get(variable, evidence.get(variable)):
+                num += weight
+        if den == 0.0:
+            raise BbnError("evidence has zero probability")
+        return num / den
+
+    # -- variable elimination ------------------------------------------
+
+    def _eliminate(self, evidence: Mapping[str, bool]) -> float:
+        """Sum out all non-evidence variables; returns P(evidence)."""
+        factors: list[_Factor] = []
+        for name in self._order:
+            factors.append(_Factor.from_cpt(self._cpts[name]))
+        # Restrict factors by the evidence.
+        factors = [f.restrict(evidence) for f in factors]
+        hidden = [v for v in self._order if v not in evidence]
+        # Min-degree elimination ordering.
+        while hidden:
+            hidden.sort(
+                key=lambda v: sum(1 for f in factors if v in f.variables)
+            )
+            variable = hidden.pop(0)
+            involved = [f for f in factors if variable in f.variables]
+            remaining = [f for f in factors if variable not in f.variables]
+            if not involved:
+                continue
+            product = involved[0]
+            for factor in involved[1:]:
+                product = product.multiply(factor)
+            factors = remaining + [product.sum_out(variable)]
+        result = 1.0
+        for factor in factors:
+            result *= factor.scalar()
+        return result
+
+
+@dataclass(frozen=True)
+class _Factor:
+    """A factor over boolean variables: table keyed by assignments."""
+
+    variables: tuple[str, ...]
+    table: Mapping[tuple[bool, ...], float]
+
+    @classmethod
+    def from_cpt(cls, cpt: Cpt) -> "_Factor":
+        variables = cpt.parents + (cpt.variable,)
+        table: dict[tuple[bool, ...], float] = {}
+        for row in itertools.product((False, True), repeat=len(variables)):
+            parent_values = row[:-1]
+            table[row] = cpt.probability(row[-1], parent_values)
+        return cls(variables, table)
+
+    def restrict(self, evidence: Mapping[str, bool]) -> "_Factor":
+        keep = [v for v in self.variables if v not in evidence]
+        if len(keep) == len(self.variables):
+            return self
+        # Restriction selects matching rows; it does not sum.
+        table: dict[tuple[bool, ...], float] = {}
+        for row, value in self.table.items():
+            assignment = dict(zip(self.variables, row))
+            if all(
+                assignment[v] == evidence[v]
+                for v in self.variables
+                if v in evidence
+            ):
+                table[tuple(assignment[v] for v in keep)] = value
+        return _Factor(tuple(keep), table)
+
+    def multiply(self, other: "_Factor") -> "_Factor":
+        merged = tuple(dict.fromkeys(self.variables + other.variables))
+        table: dict[tuple[bool, ...], float] = {}
+        for row in itertools.product((False, True), repeat=len(merged)):
+            assignment = dict(zip(merged, row))
+            own = tuple(assignment[v] for v in self.variables)
+            theirs = tuple(assignment[v] for v in other.variables)
+            table[row] = self.table[own] * other.table[theirs]
+        return _Factor(merged, table)
+
+    def sum_out(self, variable: str) -> "_Factor":
+        if variable not in self.variables:
+            return self
+        index = self.variables.index(variable)
+        keep = tuple(
+            v for i, v in enumerate(self.variables) if i != index
+        )
+        table: dict[tuple[bool, ...], float] = {}
+        for row, value in self.table.items():
+            key = tuple(b for i, b in enumerate(row) if i != index)
+            table[key] = table.get(key, 0.0) + value
+        return _Factor(keep, table)
+
+    def scalar(self) -> float:
+        """The value of a zero-variable factor."""
+        if self.variables:
+            # Sum out everything that remains (disconnected evidence-free
+            # variables sum to 1 by construction).
+            total = 0.0
+            for value in self.table.values():
+                total += value
+            return total
+        return self.table[()]

@@ -1,0 +1,123 @@
+"""Entailment, consistency, and validity services built on the SAT solver.
+
+These are the logical queries an assurance-argument checker needs:
+
+* does a set of premises entail a conclusion? (argument validity)
+* are the premises mutually consistent? (the 'incompatible premises' fallacy)
+* does a premise contradict the conclusion?
+* is the conclusion already among the premises? (begging the question, the
+  purely formal rendition)
+
+The formal-fallacy detector (:mod:`repro.fallacies.formal_detector`) and the
+Rushby-style what-if probing in :mod:`repro.experiments.sufficiency_study`
+are both clients of this module.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .propositional import (
+    FALSE,
+    Formula,
+    Not,
+    conjoin,
+    cnf_clauses,
+)
+from .sat import solve
+
+__all__ = [
+    "is_satisfiable",
+    "is_valid",
+    "entails",
+    "consistent",
+    "equivalent_sat",
+    "independent",
+    "minimal_inconsistent_subsets",
+    "premises_used",
+]
+
+
+def is_satisfiable(formula: Formula) -> bool:
+    """SAT-based satisfiability."""
+    return bool(solve(cnf_clauses(formula)))
+
+
+def is_valid(formula: Formula) -> bool:
+    """SAT-based validity: the negation is unsatisfiable."""
+    return not is_satisfiable(Not(formula))
+
+
+def entails(premises: Iterable[Formula], conclusion: Formula) -> bool:
+    """True when ``premises`` semantically entail ``conclusion``.
+
+    Implemented by refutation: premises ∪ {¬conclusion} is unsatisfiable.
+    """
+    body = conjoin(list(premises) + [Not(conclusion)])
+    return not is_satisfiable(body)
+
+
+def consistent(formulas: Iterable[Formula]) -> bool:
+    """True when the formulas have at least one common model."""
+    return is_satisfiable(conjoin(formulas))
+
+
+def equivalent_sat(left: Formula, right: Formula) -> bool:
+    """SAT-based logical equivalence."""
+    return entails([left], right) and entails([right], left)
+
+
+def independent(premises: Sequence[Formula], conclusion: Formula) -> bool:
+    """True when the conclusion is neither entailed nor refuted.
+
+    An independent conclusion signals a *non sequitur* at the formal level:
+    the premises say nothing about it either way.
+    """
+    if entails(premises, conclusion):
+        return False
+    if entails(premises, Not(conclusion)):
+        return False
+    return True
+
+
+def minimal_inconsistent_subsets(
+    formulas: Sequence[Formula], max_size: int | None = None
+) -> list[tuple[int, ...]]:
+    """Index tuples of minimal mutually inconsistent premise subsets.
+
+    Checks subsets in increasing size order and suppresses supersets of
+    already-found cores, so every returned tuple is minimal.  Exponential in
+    the number of premises; assurance arguments keep this small.
+    """
+    from itertools import combinations
+
+    limit = max_size if max_size is not None else len(formulas)
+    found: list[tuple[int, ...]] = []
+    for size in range(1, limit + 1):
+        for indices in combinations(range(len(formulas)), size):
+            if any(set(core).issubset(indices) for core in found):
+                continue
+            subset = [formulas[i] for i in indices]
+            if not consistent(subset):
+                found.append(indices)
+    return found
+
+
+def premises_used(
+    premises: Sequence[Formula], conclusion: Formula
+) -> tuple[int, ...]:
+    """Indices of premises needed for entailment (greedy minimisation).
+
+    Implements the 'what-if exploration' Rushby proposes [20]: remove each
+    premise in turn and observe whether the proof still goes through.
+    Returns the indices of a minimal entailing subset, or the full index
+    range when the premises do not entail the conclusion at all.
+    """
+    if not entails(premises, conclusion):
+        return tuple(range(len(premises)))
+    keep = list(range(len(premises)))
+    for index in list(keep):
+        trial = [premises[i] for i in keep if i != index]
+        if entails(trial, conclusion):
+            keep.remove(index)
+    return tuple(keep)

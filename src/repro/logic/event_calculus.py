@@ -1,0 +1,258 @@
+"""A discrete, simplified Event Calculus.
+
+Tun et al. formalise privacy arguments into the Event Calculus so that
+'requirement satisfaction can be reasoned about' (§III.P); their example
+relates ``HoldsAt(SamePF(user, subject), time)``, ``Happens(Tap(...))`` and
+subsequent ``Query``/``At`` events.  This module implements the linear
+discrete Event Calculus fragment those arguments need:
+
+* fluents initiated/terminated by events (``Initiates``/``Terminates``),
+* inertia: a fluent holds at ``t`` if initiated earlier and not terminated
+  in between (or initially true and never terminated),
+* a narrative of timestamped event occurrences (``Happens``),
+* ``HoldsAt`` queries and trigger rules (events caused by conditions).
+
+The policy layer (:mod:`repro.formalise.policy`) uses it to check the three
+privacy properties Tun et al. list: information availability, denial, and
+explanation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+__all__ = [
+    "Fluent",
+    "Event",
+    "Occurrence",
+    "EffectAxiom",
+    "TriggerRule",
+    "Narrative",
+    "EventCalculus",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Fluent:
+    """A time-varying property, e.g. ``Friends(alice, bob)``."""
+
+    name: str
+    args: tuple[str, ...] = ()
+
+    def __str__(self) -> str:
+        if not self.args:
+            return self.name
+        return f"{self.name}({', '.join(self.args)})"
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """An instantaneous event type, e.g. ``Tap(alice, bob)``."""
+
+    name: str
+    args: tuple[str, ...] = ()
+
+    def __str__(self) -> str:
+        if not self.args:
+            return self.name
+        return f"{self.name}({', '.join(self.args)})"
+
+
+@dataclass(frozen=True, slots=True)
+class Occurrence:
+    """``Happens(event, time)``."""
+
+    event: Event
+    time: int
+
+    def __str__(self) -> str:
+        return f"Happens({self.event}, {self.time})"
+
+
+@dataclass(frozen=True)
+class EffectAxiom:
+    """``Initiates``/``Terminates``: this event flips this fluent.
+
+    ``condition`` (optional) gates the effect on fluents holding at the
+    moment the event happens, mirroring conditional effect axioms.
+    """
+
+    event: Event
+    fluent: Fluent
+    initiates: bool
+    condition: tuple[Fluent, ...] = ()
+
+    def __str__(self) -> str:
+        verb = "Initiates" if self.initiates else "Terminates"
+        base = f"{verb}({self.event}, {self.fluent})"
+        if self.condition:
+            guard = " & ".join(f"HoldsAt({f})" for f in self.condition)
+            return f"{base} if {guard}"
+        return base
+
+
+@dataclass(frozen=True)
+class TriggerRule:
+    """A causal rule: when the guard fluents all hold at ``t`` and the
+    trigger event happens at ``t``, the response event happens at
+    ``t + delay``.
+
+    This is how Tun et al.'s example works: a ``Tap`` while ``SamePF`` or
+    ``Friends`` holds causes a ``Query`` at ``t+1`` and an ``At``
+    disclosure at ``t+2``.
+    """
+
+    trigger: Event
+    guard: tuple[Fluent, ...]
+    response: Event
+    delay: int = 1
+
+    def __str__(self) -> str:
+        guard = " & ".join(f"HoldsAt({f})" for f in self.guard) or "true"
+        return (
+            f"Happens({self.trigger}, t) & {guard} -> "
+            f"Happens({self.response}, t+{self.delay})"
+        )
+
+
+@dataclass
+class Narrative:
+    """A set of event occurrences plus initially-true fluents."""
+
+    occurrences: list[Occurrence] = field(default_factory=list)
+    initially: set[Fluent] = field(default_factory=set)
+
+    def happens(self, event: Event, time: int) -> None:
+        """Record that ``event`` happens at ``time``."""
+        if time < 0:
+            raise ValueError("time must be non-negative")
+        self.occurrences.append(Occurrence(event, time))
+
+    def events_at(self, time: int) -> list[Event]:
+        """All events recorded at the given instant."""
+        return [o.event for o in self.occurrences if o.time == time]
+
+    @property
+    def horizon(self) -> int:
+        """One past the last recorded event time (minimum 1)."""
+        if not self.occurrences:
+            return 1
+        return max(o.time for o in self.occurrences) + 1
+
+
+class EventCalculus:
+    """The reasoner: effect axioms + trigger rules + a narrative.
+
+    Reasoning proceeds by forward simulation to a time horizon: triggers
+    may cause derived events, which may cause further triggers; fluent
+    states evolve under inertia.  ``holds_at`` answers point queries;
+    ``all_occurrences`` exposes the completed narrative (recorded plus
+    derived events), which the policy checker inspects.
+    """
+
+    def __init__(
+        self,
+        axioms: Iterable[EffectAxiom] = (),
+        triggers: Iterable[TriggerRule] = (),
+    ) -> None:
+        self.axioms: list[EffectAxiom] = list(axioms)
+        self.triggers: list[TriggerRule] = list(triggers)
+
+    def add_axiom(self, axiom: EffectAxiom) -> None:
+        self.axioms.append(axiom)
+
+    def add_trigger(self, rule: TriggerRule) -> None:
+        self.triggers.append(rule)
+
+    def run(
+        self, narrative: Narrative, horizon: int | None = None
+    ) -> "Timeline":
+        """Simulate forward and return the full timeline.
+
+        ``horizon`` defaults to the narrative horizon plus the largest
+        trigger delay (so derived events are not cut off).
+        """
+        max_delay = max((t.delay for t in self.triggers), default=0)
+        end = horizon if horizon is not None else (
+            narrative.horizon + max_delay * (len(self.triggers) + 1)
+        )
+        states: list[frozenset[Fluent]] = []
+        occurrences: dict[int, list[Event]] = {}
+        for occurrence in narrative.occurrences:
+            occurrences.setdefault(occurrence.time, []).append(
+                occurrence.event
+            )
+        current = frozenset(narrative.initially)
+        for time in range(end):
+            states.append(current)
+            happening = list(occurrences.get(time, []))
+            # Fire triggers based on the pre-event state at this instant.
+            for event in list(happening):
+                for rule in self.triggers:
+                    if rule.trigger != event:
+                        continue
+                    if all(f in current for f in rule.guard):
+                        occurrences.setdefault(
+                            time + rule.delay, []
+                        ).append(rule.response)
+            # Apply effect axioms to evolve the state.
+            next_state = set(current)
+            for event in happening:
+                for axiom in self.axioms:
+                    if axiom.event != event:
+                        continue
+                    if not all(f in current for f in axiom.condition):
+                        continue
+                    if axiom.initiates:
+                        next_state.add(axiom.fluent)
+                    else:
+                        next_state.discard(axiom.fluent)
+            current = frozenset(next_state)
+        return Timeline(tuple(states), {
+            time: tuple(events)
+            for time, events in sorted(occurrences.items())
+            if time < end
+        })
+
+
+@dataclass(frozen=True)
+class Timeline:
+    """The result of a simulation: per-instant fluent states and events."""
+
+    states: tuple[frozenset[Fluent], ...]
+    occurrences: dict[int, tuple[Event, ...]]
+
+    def holds_at(self, fluent: Fluent, time: int) -> bool:
+        """``HoldsAt(fluent, time)`` in the simulated timeline."""
+        if not 0 <= time < len(self.states):
+            raise ValueError(
+                f"time {time} outside timeline of length {len(self.states)}"
+            )
+        return fluent in self.states[time]
+
+    def happens(self, event: Event, time: int) -> bool:
+        """``Happens(event, time)`` including derived events."""
+        return event in self.occurrences.get(time, ())
+
+    def all_occurrences(self) -> list[Occurrence]:
+        """Every (event, time) pair, time-ordered."""
+        out: list[Occurrence] = []
+        for time, events in sorted(self.occurrences.items()):
+            out.extend(Occurrence(event, time) for event in events)
+        return out
+
+    def ever_happens(self, event: Event) -> bool:
+        """Whether the event occurs at any instant."""
+        return any(
+            event in events for events in self.occurrences.values()
+        )
+
+    def first_occurrence(self, event: Event) -> int | None:
+        """Earliest time the event happens, or None."""
+        times = [
+            time
+            for time, events in self.occurrences.items()
+            if event in events
+        ]
+        return min(times) if times else None

@@ -1,0 +1,492 @@
+"""A Fitch-style natural-deduction proof system and checker.
+
+Natural deduction appears twice in the paper:
+
+* Haley et al. give their security-satisfaction *outer arguments* as
+  numbered natural-deduction proofs using Premise, Detach (-> elimination)
+  and Split (& elimination) steps (§III.K); :func:`haley_outer_proof`
+  reconstructs the exact 11-step proof from the 2008 paper.
+* Basir, Denney & Fischer generate safety cases from 'natural deduction
+  style proofs, which are closer to human reasoning than resolution
+  proofs' (§III.E); :mod:`repro.formalise.proof_to_argument` consumes the
+  checked proof objects defined here.
+
+The checker validates each line against its cited rule and justification
+lines, so an accepted proof is correct by construction.  Soundness —
+premises true implies conclusion true — is exercised by property tests.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from .propositional import (
+    And,
+    Atom,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    parse,
+)
+
+__all__ = [
+    "Rule",
+    "ProofLine",
+    "Proof",
+    "ProofError",
+    "check_proof",
+    "ProofBuilder",
+    "haley_outer_proof",
+]
+
+
+class Rule(enum.Enum):
+    """Inference rules supported by the checker.
+
+    ``DETACH`` and ``SPLIT`` are the names Haley et al. use for modus ponens
+    (-> elimination) and & elimination; the conventional names are accepted
+    as aliases via :meth:`from_name`.  ``CONCLUSION`` discharges the most
+    recent undischarged premise, introducing an implication — this is how
+    the Haley proof turns premise D and derived H into ``D -> H``.
+    """
+
+    PREMISE = "premise"
+    ASSUMPTION = "assumption"
+    DETACH = "detach"           # modus ponens / -> elimination
+    SPLIT = "split"             # & elimination
+    CONJOIN = "conjoin"         # & introduction
+    ADD = "add"                 # | introduction
+    CASES = "cases"             # | elimination
+    MODUS_TOLLENS = "modus_tollens"
+    DOUBLE_NEG = "double_negation"
+    IFF_ELIM = "iff_elimination"
+    IFF_INTRO = "iff_introduction"
+    HYPOTHETICAL = "hypothetical_syllogism"
+    REITERATE = "reiterate"
+    CONCLUSION = "conclusion"   # conditional proof / -> introduction
+
+    @classmethod
+    def from_name(cls, name: str) -> "Rule":
+        """Resolve a rule by canonical name or common alias."""
+        aliases = {
+            "modus_ponens": cls.DETACH,
+            "->e": cls.DETACH,
+            "&e": cls.SPLIT,
+            "and_elimination": cls.SPLIT,
+            "&i": cls.CONJOIN,
+            "and_introduction": cls.CONJOIN,
+            "|i": cls.ADD,
+            "or_introduction": cls.ADD,
+            "|e": cls.CASES,
+            "or_elimination": cls.CASES,
+            "->i": cls.CONCLUSION,
+            "conditional_proof": cls.CONCLUSION,
+        }
+        lowered = name.lower()
+        if lowered in aliases:
+            return aliases[lowered]
+        return cls(lowered)
+
+
+@dataclass(frozen=True)
+class ProofLine:
+    """One numbered line of a proof.
+
+    ``citations`` are 1-based line numbers of earlier lines that justify
+    this one; their required count and shape depend on the rule.
+    """
+
+    number: int
+    formula: Formula
+    rule: Rule
+    citations: tuple[int, ...] = ()
+
+    def __str__(self) -> str:
+        cite = ", ".join(str(c) for c in self.citations)
+        rule_text = self.rule.value.replace("_", " ").title()
+        suffix = f" ({rule_text}{', ' + cite if cite else ''})"
+        return f"{self.number:>3}  {self.formula}{suffix}"
+
+
+@dataclass(frozen=True)
+class Proof:
+    """An immutable sequence of proof lines; the last line is the conclusion."""
+
+    lines: tuple[ProofLine, ...]
+
+    @property
+    def conclusion(self) -> Formula:
+        """The formula established by the final line."""
+        if not self.lines:
+            raise ValueError("empty proof has no conclusion")
+        return self.lines[-1].formula
+
+    @property
+    def premises(self) -> tuple[Formula, ...]:
+        """All formulas introduced by the PREMISE rule."""
+        return tuple(
+            line.formula for line in self.lines if line.rule is Rule.PREMISE
+        )
+
+    def __str__(self) -> str:
+        return "\n".join(str(line) for line in self.lines)
+
+    def __len__(self) -> int:
+        return len(self.lines)
+
+
+class ProofError(ValueError):
+    """Raised when a proof line does not follow by its cited rule."""
+
+    def __init__(self, line: ProofLine, reason: str) -> None:
+        super().__init__(f"line {line.number}: {reason}")
+        self.line = line
+        self.reason = reason
+
+
+def check_proof(proof: Proof) -> bool:
+    """Validate every line of the proof; raise :class:`ProofError` on failure.
+
+    Returns True so callers can assert on the result.  Line numbers must be
+    1..n in order; citations must refer to earlier lines.
+    """
+    derived: dict[int, Formula] = {}
+    premise_stack: list[int] = []  # undischarged premise/assumption lines
+    for expected_number, line in enumerate(proof.lines, start=1):
+        if line.number != expected_number:
+            raise ProofError(
+                line, f"expected line number {expected_number}"
+            )
+        for cited in line.citations:
+            if cited >= line.number or cited < 1:
+                raise ProofError(line, f"citation {cited} not an earlier line")
+            if cited not in derived:
+                raise ProofError(line, f"citation {cited} unknown")
+        _check_line(line, derived, premise_stack)
+        derived[line.number] = line.formula
+        if line.rule in (Rule.PREMISE, Rule.ASSUMPTION):
+            premise_stack.append(line.number)
+    return True
+
+
+def _check_line(
+    line: ProofLine,
+    derived: dict[int, Formula],
+    premise_stack: list[int],
+) -> None:
+    rule = line.rule
+    cited = [derived[c] for c in line.citations]
+
+    if rule in (Rule.PREMISE, Rule.ASSUMPTION):
+        if line.citations:
+            raise ProofError(line, f"{rule.value} takes no citations")
+        return
+
+    if rule is Rule.DETACH:
+        _expect_citations(line, 2)
+        implication, antecedent = _find_implication(line, cited)
+        if implication.antecedent != antecedent:
+            raise ProofError(
+                line,
+                f"antecedent {antecedent} does not match "
+                f"{implication.antecedent}",
+            )
+        if implication.consequent != line.formula:
+            raise ProofError(line, "formula is not the implication consequent")
+        return
+
+    if rule is Rule.SPLIT:
+        _expect_citations(line, 1)
+        conjunction = cited[0]
+        if not isinstance(conjunction, And):
+            raise ProofError(line, "Split requires a conjunction")
+        if line.formula not in (conjunction.left, conjunction.right):
+            raise ProofError(line, "formula is not a conjunct of the citation")
+        return
+
+    if rule is Rule.CONJOIN:
+        _expect_citations(line, 2)
+        if not isinstance(line.formula, And):
+            raise ProofError(line, "Conjoin must derive a conjunction")
+        if {line.formula.left, line.formula.right} != set(cited) and not (
+            line.formula.left == cited[0] and line.formula.right == cited[1]
+        ):
+            raise ProofError(line, "conjuncts do not match citations")
+        return
+
+    if rule is Rule.ADD:
+        _expect_citations(line, 1)
+        if not isinstance(line.formula, Or):
+            raise ProofError(line, "Add must derive a disjunction")
+        if cited[0] not in (line.formula.left, line.formula.right):
+            raise ProofError(line, "citation is not a disjunct of the formula")
+        return
+
+    if rule is Rule.CASES:
+        _expect_citations(line, 3)
+        disjunction = next(
+            (c for c in cited if isinstance(c, Or)), None
+        )
+        if disjunction is None:
+            raise ProofError(line, "Cases requires a disjunction citation")
+        others = [c for c in cited if c is not disjunction]
+        wanted = {
+            Implies(disjunction.left, line.formula),
+            Implies(disjunction.right, line.formula),
+        }
+        if set(others) != wanted:
+            raise ProofError(
+                line, "Cases requires implications from both disjuncts"
+            )
+        return
+
+    if rule is Rule.MODUS_TOLLENS:
+        _expect_citations(line, 2)
+        implication = next(
+            (c for c in cited if isinstance(c, Implies)), None
+        )
+        if implication is None:
+            raise ProofError(line, "Modus Tollens requires an implication")
+        negated_consequent = next(
+            (c for c in cited if c is not implication), None
+        )
+        if negated_consequent != Not(implication.consequent):
+            raise ProofError(
+                line, "second citation must negate the consequent"
+            )
+        if line.formula != Not(implication.antecedent):
+            raise ProofError(
+                line, "formula must negate the antecedent"
+            )
+        return
+
+    if rule is Rule.DOUBLE_NEG:
+        _expect_citations(line, 1)
+        if cited[0] == Not(Not(line.formula)):
+            return
+        if line.formula == Not(Not(cited[0])):
+            return
+        raise ProofError(line, "double negation does not match")
+
+    if rule is Rule.IFF_ELIM:
+        _expect_citations(line, 1)
+        if not isinstance(cited[0], Iff):
+            raise ProofError(line, "Iff elimination requires a biconditional")
+        allowed = {
+            Implies(cited[0].left, cited[0].right),
+            Implies(cited[0].right, cited[0].left),
+        }
+        if line.formula not in allowed:
+            raise ProofError(line, "formula is not a direction of the iff")
+        return
+
+    if rule is Rule.IFF_INTRO:
+        _expect_citations(line, 2)
+        if not isinstance(line.formula, Iff):
+            raise ProofError(line, "Iff introduction must derive an iff")
+        wanted = {
+            Implies(line.formula.left, line.formula.right),
+            Implies(line.formula.right, line.formula.left),
+        }
+        if set(cited) != wanted:
+            raise ProofError(line, "citations must be both implications")
+        return
+
+    if rule is Rule.HYPOTHETICAL:
+        _expect_citations(line, 2)
+        first, second = cited
+        if not (isinstance(first, Implies) and isinstance(second, Implies)):
+            raise ProofError(line, "requires two implications")
+        chained = None
+        if first.consequent == second.antecedent:
+            chained = Implies(first.antecedent, second.consequent)
+        elif second.consequent == first.antecedent:
+            chained = Implies(second.antecedent, first.consequent)
+        if chained != line.formula:
+            raise ProofError(line, "implications do not chain to the formula")
+        return
+
+    if rule is Rule.REITERATE:
+        _expect_citations(line, 1)
+        if cited[0] != line.formula:
+            raise ProofError(line, "reiterated formula differs")
+        return
+
+    if rule is Rule.CONCLUSION:
+        # Conditional proof: cite the premise line to discharge; the formula
+        # must be premise -> (some previously derived formula).
+        _expect_citations(line, 1)
+        if not isinstance(line.formula, Implies):
+            raise ProofError(line, "Conclusion must derive an implication")
+        discharged = cited[0]
+        if line.formula.antecedent != discharged:
+            raise ProofError(
+                line, "antecedent must be the discharged premise"
+            )
+        if line.formula.consequent not in derived.values():
+            raise ProofError(
+                line, "consequent has not been derived"
+            )
+        return
+
+    raise ProofError(line, f"unsupported rule {rule}")
+
+
+def _expect_citations(line: ProofLine, count: int) -> None:
+    if len(line.citations) != count:
+        raise ProofError(
+            line,
+            f"{line.rule.value} requires {count} citation(s), "
+            f"got {len(line.citations)}",
+        )
+
+
+def _find_implication(
+    line: ProofLine, cited: Sequence[Formula]
+) -> tuple[Implies, Formula]:
+    for index, candidate in enumerate(cited):
+        if isinstance(candidate, Implies):
+            other = cited[1 - index]
+            return candidate, other
+    raise ProofError(line, "Detach requires an implication citation")
+
+
+class ProofBuilder:
+    """Incremental proof construction with automatic line numbering.
+
+    Example::
+
+        builder = ProofBuilder()
+        p = builder.premise("p -> q")
+        q = builder.premise("p")
+        builder.detach(p, q)          # derives q
+        proof = builder.build()
+    """
+
+    def __init__(self) -> None:
+        self._lines: list[ProofLine] = []
+
+    def _add(
+        self, formula: Formula | str, rule: Rule, citations: tuple[int, ...]
+    ) -> int:
+        parsed = parse(formula) if isinstance(formula, str) else formula
+        number = len(self._lines) + 1
+        self._lines.append(ProofLine(number, parsed, rule, citations))
+        return number
+
+    def premise(self, formula: Formula | str) -> int:
+        """Add a premise; returns its line number."""
+        return self._add(formula, Rule.PREMISE, ())
+
+    def assumption(self, formula: Formula | str) -> int:
+        """Add an assumption for later discharge."""
+        return self._add(formula, Rule.ASSUMPTION, ())
+
+    def detach(self, implication_line: int, antecedent_line: int) -> int:
+        """Modus ponens: from ``p -> q`` and ``p`` derive ``q``."""
+        implication = self._formula(implication_line)
+        if not isinstance(implication, Implies):
+            raise ValueError(
+                f"line {implication_line} is not an implication"
+            )
+        return self._add(
+            implication.consequent,
+            Rule.DETACH,
+            (implication_line, antecedent_line),
+        )
+
+    def split(self, conjunction_line: int, keep_left: bool = True) -> int:
+        """& elimination: derive the chosen conjunct."""
+        conjunction = self._formula(conjunction_line)
+        if not isinstance(conjunction, And):
+            raise ValueError(f"line {conjunction_line} is not a conjunction")
+        part = conjunction.left if keep_left else conjunction.right
+        return self._add(part, Rule.SPLIT, (conjunction_line,))
+
+    def conjoin(self, left_line: int, right_line: int) -> int:
+        """& introduction."""
+        formula = And(self._formula(left_line), self._formula(right_line))
+        return self._add(formula, Rule.CONJOIN, (left_line, right_line))
+
+    def add_disjunct(self, line: int, other: Formula | str,
+                     on_left: bool = False) -> int:
+        """| introduction: weaken a derived formula with a disjunct."""
+        extra = parse(other) if isinstance(other, str) else other
+        have = self._formula(line)
+        formula = Or(extra, have) if on_left else Or(have, extra)
+        return self._add(formula, Rule.ADD, (line,))
+
+    def modus_tollens(self, implication_line: int, negation_line: int) -> int:
+        """From ``p -> q`` and ``~q`` derive ``~p``."""
+        implication = self._formula(implication_line)
+        if not isinstance(implication, Implies):
+            raise ValueError(f"line {implication_line} is not an implication")
+        return self._add(
+            Not(implication.antecedent),
+            Rule.MODUS_TOLLENS,
+            (implication_line, negation_line),
+        )
+
+    def conclude(self, premise_line: int, consequent_line: int) -> int:
+        """Conditional proof: discharge a premise into an implication."""
+        formula = Implies(
+            self._formula(premise_line), self._formula(consequent_line)
+        )
+        return self._add(formula, Rule.CONCLUSION, (premise_line,))
+
+    def reiterate(self, line: int) -> int:
+        """Repeat an earlier line."""
+        return self._add(self._formula(line), Rule.REITERATE, (line,))
+
+    def _formula(self, line: int) -> Formula:
+        if not 1 <= line <= len(self._lines):
+            raise ValueError(f"no such line {line}")
+        return self._lines[line - 1].formula
+
+    def build(self, check: bool = True) -> Proof:
+        """Finish and (by default) validate the proof."""
+        proof = Proof(tuple(self._lines))
+        if check:
+            check_proof(proof)
+        return proof
+
+
+def haley_outer_proof() -> Proof:
+    """The 11-step outer argument from Haley et al. 2008, exactly as cited.
+
+    The atoms carry the meanings Haley et al. assign: I (system induction),
+    V (valid credentials), C (credentials checked), H (holder is HR member),
+    Y (system behaves as designed), D (system is deployed).  The proof
+    establishes ``D -> H`` by conditional proof over premise 5.
+
+    ::
+
+         1  I -> V         (Premise)
+         2  C -> H         (Premise)
+         3  Y -> V & C     (Premise)
+         4  D -> Y         (Premise)
+         5  D              (Premise)
+         6  Y              (Detach, 4, 5)
+         7  V & C          (Detach, 3, 6)
+         8  V              (Split, 7)
+         9  C              (Split, 7)
+        10  H              (Detach, 2, 9)
+        11  D -> H         (Conclusion, 5)
+    """
+    builder = ProofBuilder()
+    builder.premise("I -> V")                       # 1
+    line_c_h = builder.premise("C -> H")            # 2
+    line_y_vc = builder.premise("Y -> V & C")       # 3
+    line_d_y = builder.premise("D -> Y")            # 4
+    line_d = builder.premise("D")                   # 5
+    line_y = builder.detach(line_d_y, line_d)       # 6
+    line_vc = builder.detach(line_y_vc, line_y)     # 7
+    builder.split(line_vc, keep_left=True)          # 8: V
+    line_c = builder.split(line_vc, keep_left=False)  # 9: C
+    line_h = builder.detach(line_c_h, line_c)       # 10: H
+    builder.conclude(line_d, line_h)                # 11: D -> H
+    return builder.build()

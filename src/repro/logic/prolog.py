@@ -1,0 +1,313 @@
+"""A mini-Prolog interpreter (SLD resolution) for definite-clause programs.
+
+This engine exists to reproduce **Figure 1** of the paper — the 'Desert
+Bank' argument::
+
+    is_a(desert_bank, bank).
+    adjacent(bank, river).
+    adjacent(X, Y) :- is_a(X, Z), adjacent(Z, Y).
+
+from which Prolog happily 'proves' ``adjacent(desert_bank, river)``.  The
+program is formally impeccable; the flaw is an *equivocation* — 'bank'
+names two different real-world things — which no machine can see because
+machines process form, not meaning (paper §IV.C).
+
+The interpreter implements standard SLD resolution with leftmost goal
+selection and clause order as written, depth-limited to keep termination
+under user control.  Negation-as-failure is available via ``\\+`` goals so
+the policy-checking layer (:mod:`repro.formalise.policy`) can express
+denial conditions.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from .terms import (
+    Atom,
+    Substitution,
+    Term,
+    Var,
+    parse_atom,
+)
+
+__all__ = [
+    "Clause",
+    "Goal",
+    "Program",
+    "Solution",
+    "PrologError",
+    "DepthLimitExceeded",
+    "parse_program",
+    "parse_clause",
+    "desert_bank_program",
+]
+
+
+@dataclass(frozen=True)
+class Goal:
+    """A literal goal; ``negated`` marks a negation-as-failure goal."""
+
+    atom: Atom
+    negated: bool = False
+
+    def __str__(self) -> str:
+        return f"\\+ {self.atom}" if self.negated else str(self.atom)
+
+
+@dataclass(frozen=True)
+class Clause:
+    """A definite clause ``head :- body``.  Facts have an empty body."""
+
+    head: Atom
+    body: tuple[Goal, ...] = ()
+
+    def __str__(self) -> str:
+        if not self.body:
+            return f"{self.head}."
+        body_text = ", ".join(str(g) for g in self.body)
+        return f"{self.head} :- {body_text}."
+
+    def rename(self, suffix: str) -> "Clause":
+        """Standardise the clause apart with fresh variable names."""
+        all_vars: set[Var] = set(self.head.variables())
+        for goal in self.body:
+            all_vars.update(goal.atom.variables())
+        renaming = Substitution(
+            {var: Var(f"{var.name}_{suffix}") for var in all_vars}
+        )
+        return Clause(
+            renaming.apply_atom(self.head),
+            tuple(
+                Goal(renaming.apply_atom(g.atom), g.negated)
+                for g in self.body
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class Solution:
+    """One answer to a query: bindings for the query's variables."""
+
+    bindings: Substitution
+    depth: int
+
+    def __getitem__(self, name: str) -> Term:
+        return self.bindings[Var(name)]
+
+    def as_dict(self) -> dict[str, str]:
+        """Bindings rendered as strings, keyed by variable name."""
+        return {var.name: str(term) for var, term in self.bindings.items()}
+
+
+class PrologError(Exception):
+    """Raised for malformed programs or queries."""
+
+
+class DepthLimitExceeded(PrologError):
+    """Raised when resolution exceeds the configured depth limit."""
+
+
+class Program:
+    """A mini-Prolog program: an ordered list of definite clauses."""
+
+    def __init__(self, clauses: Sequence[Clause] = ()) -> None:
+        self.clauses: list[Clause] = list(clauses)
+        self._fresh_counter = itertools.count()
+
+    def add(self, clause: Clause) -> None:
+        """Append a clause (clause order affects the search, as in Prolog)."""
+        self.clauses.append(clause)
+
+    def add_fact(self, text: str) -> None:
+        """Parse and append a fact, e.g. ``is_a(desert_bank, bank)``."""
+        self.add(Clause(parse_atom(text.rstrip("."))))
+
+    def add_rule(self, head: str, *body: str) -> None:
+        """Parse and append a rule from head and body atom texts."""
+        goals = tuple(_parse_goal(b) for b in body)
+        self.add(Clause(parse_atom(head), goals))
+
+    def solve(
+        self,
+        query: Atom | str,
+        max_depth: int = 200,
+        max_solutions: int | None = None,
+    ) -> list[Solution]:
+        """All solutions to the query, in SLD search order.
+
+        ``max_depth`` bounds the resolution depth (raising
+        :class:`DepthLimitExceeded` protects against the left recursion that
+        naive encodings of transitive rules produce).  ``max_solutions``
+        truncates the answer list without error.
+        """
+        out: list[Solution] = []
+        for solution in self.iter_solve(query, max_depth=max_depth):
+            out.append(solution)
+            if max_solutions is not None and len(out) >= max_solutions:
+                break
+        return out
+
+    def iter_solve(
+        self, query: Atom | str, max_depth: int = 200
+    ) -> Iterator[Solution]:
+        """Lazily yield solutions to the query."""
+        atom = parse_atom(query) if isinstance(query, str) else query
+        query_vars = sorted(atom.variables(), key=lambda v: v.name)
+        for subst, depth in self._prove(
+            (Goal(atom),), Substitution(), 0, max_depth
+        ):
+            # Resolve binding chains (X -> X_2 -> desert_bank) before
+            # projecting onto the query's variables.
+            resolved = Substitution(
+                {var: subst.apply(var) for var in query_vars}
+            )
+            yield Solution(resolved, depth)
+
+    def provable(self, query: Atom | str, max_depth: int = 200) -> bool:
+        """True when the query has at least one solution."""
+        for _ in self.iter_solve(query, max_depth=max_depth):
+            return True
+        return False
+
+    def _prove(
+        self,
+        goals: tuple[Goal, ...],
+        subst: Substitution,
+        depth: int,
+        max_depth: int,
+    ) -> Iterator[tuple[Substitution, int]]:
+        if not goals:
+            yield subst, depth
+            return
+        if depth >= max_depth:
+            raise DepthLimitExceeded(
+                f"resolution depth {max_depth} exceeded proving {goals[0]}"
+            )
+        goal, rest = goals[0], goals[1:]
+        current = subst.apply_atom(goal.atom)
+        if goal.negated:
+            if not current.is_ground():
+                raise PrologError(
+                    f"negation-as-failure goal must be ground: {current}"
+                )
+            if not self.provable(current, max_depth=max_depth - depth):
+                yield from self._prove(rest, subst, depth + 1, max_depth)
+            return
+        from .unification import unify_atoms
+
+        for clause in self.clauses:
+            fresh = clause.rename(str(next(self._fresh_counter)))
+            unifier = unify_atoms(
+                current, fresh.head, subst, occurs_check=True
+            )
+            if unifier is None:
+                continue
+            yield from self._prove(
+                fresh.body + rest, unifier, depth + 1, max_depth
+            )
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def __str__(self) -> str:
+        return "\n".join(str(c) for c in self.clauses)
+
+
+def _parse_goal(text: str) -> Goal:
+    stripped = text.strip()
+    if stripped.startswith("\\+"):
+        return Goal(parse_atom(stripped[2:].strip()), negated=True)
+    return Goal(parse_atom(stripped))
+
+
+def parse_clause(text: str) -> Clause:
+    """Parse one clause in Prolog syntax (fact or ``head :- body.``)."""
+    stripped = text.strip().rstrip(".")
+    if not stripped:
+        raise PrologError("empty clause")
+    if ":-" in stripped:
+        head_text, body_text = stripped.split(":-", 1)
+        body = tuple(
+            _parse_goal(part)
+            for part in _split_goals(body_text)
+        )
+        return Clause(parse_atom(head_text.strip()), body)
+    return Clause(parse_atom(stripped))
+
+
+def _split_goals(body_text: str) -> list[str]:
+    """Split a clause body on top-level commas (commas inside parens bind)."""
+    parts: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for char in body_text:
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+        if char == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    if current:
+        parts.append("".join(current))
+    return [p for p in (part.strip() for part in parts) if p]
+
+
+def parse_program(text: str) -> Program:
+    """Parse a program: one clause per ``.``-terminated statement.
+
+    Statements may share a line or span lines; ``%`` starts a comment.
+    """
+    stripped_lines = []
+    for raw_line in text.splitlines():
+        line = raw_line.split("%", 1)[0].strip()
+        if line:
+            stripped_lines.append(line)
+    source = " ".join(stripped_lines)
+    program = Program()
+    depth = 0
+    statement: list[str] = []
+    for char in source:
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+        if char == "." and depth == 0:
+            clause_text = "".join(statement).strip()
+            if clause_text:
+                program.add(parse_clause(clause_text))
+            statement = []
+        else:
+            statement.append(char)
+    if "".join(statement).strip():
+        raise PrologError(
+            f"unterminated clause: {''.join(statement).strip()!r}"
+        )
+    return program
+
+
+def desert_bank_program() -> Program:
+    """Figure 1 of the paper, verbatim.
+
+    ::
+
+        is_a(desert_bank, bank).
+        adjacent(bank, river).
+        adjacent(X, Y) :- is_a(X, Z), adjacent(Z, Y).
+
+    The query ``adjacent(desert_bank, river)`` succeeds — a formally valid
+    derivation of a false real-world conclusion, because 'bank' equivocates
+    between a financial institution and a riverbank.
+    """
+    return parse_program(
+        """
+        is_a(desert_bank, bank).
+        adjacent(bank, river).
+        adjacent(X, Y) :- is_a(X, Z), adjacent(Z, Y).
+        """
+    )

@@ -1,0 +1,201 @@
+"""A Gentzen-style propositional sequent calculus (LK) prover.
+
+Bishop & Bloomfield's 'deterministic argument' proposal references Gentzen
+directly: evidence as axioms, predicate-logic inference rules, and 'the
+safety argument is a proof using those rules' (§III.F).  This module
+implements the propositional core of that idea: a backward-chaining LK
+prover that returns the full derivation tree, which the deterministic-
+argument layer renders as an assurance-argument fragment.
+
+A sequent Γ ⊢ Δ is valid when the conjunction of Γ entails the disjunction
+of Δ.  The prover applies invertible rules exhaustively, so it is a
+decision procedure for propositional validity (used as a cross-check
+against the truth-table and SAT backends in tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .propositional import (
+    And,
+    Atom,
+    Falsum,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Verum,
+)
+
+__all__ = ["Sequent", "Derivation", "prove_sequent", "is_valid_sequent"]
+
+
+@dataclass(frozen=True)
+class Sequent:
+    """Antecedents ⊢ succedents, as ordered tuples."""
+
+    antecedents: tuple[Formula, ...]
+    succedents: tuple[Formula, ...]
+
+    def __str__(self) -> str:
+        left = ", ".join(str(f) for f in self.antecedents)
+        right = ", ".join(str(f) for f in self.succedents)
+        return f"{left} |- {right}"
+
+
+@dataclass(frozen=True)
+class Derivation:
+    """A derivation tree node: the sequent, the rule applied, and subtrees.
+
+    Leaves are axioms (rule ``'axiom'``) or failures (rule ``'open'``).
+    ``closed`` is True when every leaf is an axiom, i.e. the sequent is
+    proved.
+    """
+
+    sequent: Sequent
+    rule: str
+    children: tuple["Derivation", ...] = ()
+
+    @property
+    def closed(self) -> bool:
+        if self.rule == "axiom":
+            return True
+        if self.rule == "open":
+            return False
+        return all(child.closed for child in self.children)
+
+    def size(self) -> int:
+        """Number of nodes in the derivation tree."""
+        return 1 + sum(child.size() for child in self.children)
+
+    def depth(self) -> int:
+        """Height of the derivation tree."""
+        if not self.children:
+            return 1
+        return 1 + max(child.depth() for child in self.children)
+
+    def render(self, indent: int = 0) -> str:
+        """Indented textual rendering of the tree, root first."""
+        pad = "  " * indent
+        lines = [f"{pad}[{self.rule}] {self.sequent}"]
+        for child in self.children:
+            lines.append(child.render(indent + 1))
+        return "\n".join(lines)
+
+
+def prove_sequent(sequent: Sequent) -> Derivation:
+    """Build a (possibly open) derivation for the sequent."""
+    return _prove(sequent)
+
+
+def _prove(sequent: Sequent) -> Derivation:
+    ante, succ = sequent.antecedents, sequent.succedents
+
+    # Axiom: an atom on both sides, or truth-constant short circuits.
+    shared = set(ante) & set(succ)
+    if any(isinstance(f, Atom) for f in shared) or shared:
+        return Derivation(sequent, "axiom")
+    if any(isinstance(f, Falsum) for f in ante):
+        return Derivation(sequent, "axiom")
+    if any(isinstance(f, Verum) for f in succ):
+        return Derivation(sequent, "axiom")
+
+    # Left rules.
+    for index, formula in enumerate(ante):
+        rest = ante[:index] + ante[index + 1:]
+        if isinstance(formula, Verum):
+            return _unary(sequent, "T-left", Sequent(rest, succ))
+        if isinstance(formula, Not):
+            return _unary(
+                sequent, "not-left",
+                Sequent(rest, succ + (formula.operand,)),
+            )
+        if isinstance(formula, And):
+            return _unary(
+                sequent, "and-left",
+                Sequent(rest + (formula.left, formula.right), succ),
+            )
+        if isinstance(formula, Or):
+            return _binary(
+                sequent, "or-left",
+                Sequent(rest + (formula.left,), succ),
+                Sequent(rest + (formula.right,), succ),
+            )
+        if isinstance(formula, Implies):
+            return _binary(
+                sequent, "implies-left",
+                Sequent(rest, succ + (formula.antecedent,)),
+                Sequent(rest + (formula.consequent,), succ),
+            )
+        if isinstance(formula, Iff):
+            expanded = And(
+                Implies(formula.left, formula.right),
+                Implies(formula.right, formula.left),
+            )
+            return _unary(
+                sequent, "iff-left", Sequent(rest + (expanded,), succ)
+            )
+
+    # Right rules.
+    for index, formula in enumerate(succ):
+        rest = succ[:index] + succ[index + 1:]
+        if isinstance(formula, Falsum):
+            return _unary(sequent, "F-right", Sequent(ante, rest))
+        if isinstance(formula, Not):
+            return _unary(
+                sequent, "not-right",
+                Sequent(ante + (formula.operand,), rest),
+            )
+        if isinstance(formula, Or):
+            return _unary(
+                sequent, "or-right",
+                Sequent(ante, rest + (formula.left, formula.right)),
+            )
+        if isinstance(formula, Implies):
+            return _unary(
+                sequent, "implies-right",
+                Sequent(
+                    ante + (formula.antecedent,),
+                    rest + (formula.consequent,),
+                ),
+            )
+        if isinstance(formula, And):
+            return _binary(
+                sequent, "and-right",
+                Sequent(ante, rest + (formula.left,)),
+                Sequent(ante, rest + (formula.right,)),
+            )
+        if isinstance(formula, Iff):
+            expanded = And(
+                Implies(formula.left, formula.right),
+                Implies(formula.right, formula.left),
+            )
+            return _unary(
+                sequent, "iff-right", Sequent(ante, rest + (expanded,))
+            )
+
+    # Only atoms remain and none are shared: the branch is open.
+    return Derivation(sequent, "open")
+
+
+def _unary(sequent: Sequent, rule: str, child: Sequent) -> Derivation:
+    return Derivation(sequent, rule, (_prove(child),))
+
+
+def _binary(
+    sequent: Sequent, rule: str, left: Sequent, right: Sequent
+) -> Derivation:
+    return Derivation(sequent, rule, (_prove(left), _prove(right)))
+
+
+def is_valid_sequent(
+    antecedents: Sequence[Formula], succedents: Sequence[Formula]
+) -> bool:
+    """Decision procedure: is Γ ⊢ Δ derivable in LK?"""
+    derivation = prove_sequent(
+        Sequent(tuple(antecedents), tuple(succedents))
+    )
+    return derivation.closed

@@ -1,0 +1,281 @@
+"""Categorical syllogisms: moods, figures, distribution, and validity.
+
+Three of Damer's eight formal fallacies are defined over categorical
+syllogisms — *false conversion*, *undistributed middle term*, and *illicit
+distribution of an end term* (§IV.A).  Detecting them mechanically requires
+an explicit model of categorical propositions (A/E/I/O forms), term
+distribution, and the classical validity rules.  That model lives here; the
+detector in :mod:`repro.fallacies.formal_detector` consumes it.
+
+The Socrates syllogism the paper quotes — all men are mortal; Socrates is a
+man; therefore Socrates is mortal — is representable as an AAA-1 (Barbara)
+form, treating the singular term as a class.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable
+
+__all__ = [
+    "PropositionForm",
+    "CategoricalProposition",
+    "Syllogism",
+    "SyllogismError",
+    "ViolatedRule",
+    "check_syllogism",
+    "is_valid_syllogism",
+    "valid_conversion",
+    "converse",
+    "socrates_syllogism",
+    "VALID_MOODS",
+]
+
+
+class PropositionForm(enum.Enum):
+    """The four categorical proposition forms."""
+
+    A = "A"  # universal affirmative: All S are P
+    E = "E"  # universal negative:    No S are P
+    I = "I"  # particular affirmative: Some S are P
+    O = "O"  # particular negative:   Some S are not P
+
+    @property
+    def is_universal(self) -> bool:
+        return self in (PropositionForm.A, PropositionForm.E)
+
+    @property
+    def is_affirmative(self) -> bool:
+        return self in (PropositionForm.A, PropositionForm.I)
+
+
+@dataclass(frozen=True)
+class CategoricalProposition:
+    """A categorical proposition: form + subject + predicate terms."""
+
+    form: PropositionForm
+    subject: str
+    predicate: str
+
+    def __str__(self) -> str:
+        templates = {
+            PropositionForm.A: "All {s} are {p}",
+            PropositionForm.E: "No {s} are {p}",
+            PropositionForm.I: "Some {s} are {p}",
+            PropositionForm.O: "Some {s} are not {p}",
+        }
+        return templates[self.form].format(s=self.subject, p=self.predicate)
+
+    def distributes_subject(self) -> bool:
+        """Universal propositions distribute their subject."""
+        return self.form.is_universal
+
+    def distributes_predicate(self) -> bool:
+        """Negative propositions distribute their predicate."""
+        return not self.form.is_affirmative
+
+    def distributes(self, term: str) -> bool:
+        """Whether this proposition distributes the given term."""
+        if term == self.subject:
+            return self.distributes_subject()
+        if term == self.predicate:
+            return self.distributes_predicate()
+        raise SyllogismError(f"term {term!r} does not occur in {self}")
+
+    def terms(self) -> frozenset[str]:
+        return frozenset((self.subject, self.predicate))
+
+
+class SyllogismError(ValueError):
+    """Raised for structurally malformed syllogisms."""
+
+
+@dataclass(frozen=True)
+class ViolatedRule:
+    """One classical validity rule violated by a syllogism."""
+
+    rule: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.rule}: {self.detail}"
+
+
+@dataclass(frozen=True)
+class Syllogism:
+    """A categorical syllogism: major premise, minor premise, conclusion.
+
+    The *middle term* is the term occurring in both premises but not the
+    conclusion; the conclusion's predicate is the *major term* and its
+    subject the *minor term*.
+    """
+
+    major: CategoricalProposition
+    minor: CategoricalProposition
+    conclusion: CategoricalProposition
+
+    def __post_init__(self) -> None:
+        self.middle_term()  # validates structure
+
+    def middle_term(self) -> str:
+        """The term shared by both premises and absent from the conclusion."""
+        shared = self.major.terms() & self.minor.terms()
+        candidates = shared - self.conclusion.terms()
+        if len(candidates) != 1:
+            raise SyllogismError(
+                "premises must share exactly one term not in the conclusion;"
+                f" got {sorted(candidates)}"
+            )
+        return next(iter(candidates))
+
+    @property
+    def major_term(self) -> str:
+        return self.conclusion.predicate
+
+    @property
+    def minor_term(self) -> str:
+        return self.conclusion.subject
+
+    def mood(self) -> str:
+        """The three-letter mood, e.g. 'AAA'."""
+        return (
+            self.major.form.value
+            + self.minor.form.value
+            + self.conclusion.form.value
+        )
+
+    def figure(self) -> int:
+        """The figure (1-4), from the middle term's premise positions."""
+        middle = self.middle_term()
+        major_subject = self.major.subject == middle
+        minor_subject = self.minor.subject == middle
+        if major_subject and not minor_subject:
+            return 1
+        if not major_subject and not minor_subject:
+            return 2
+        if major_subject and minor_subject:
+            return 3
+        return 4
+
+    def __str__(self) -> str:
+        return (
+            f"{self.major}; {self.minor}; therefore {self.conclusion}"
+            f"  [{self.mood()}-{self.figure()}]"
+        )
+
+
+#: The unconditionally valid mood-figure combinations (Boolean reading,
+#: i.e. without existential import for universal premises).
+VALID_MOODS: frozenset[tuple[str, int]] = frozenset(
+    {
+        ("AAA", 1), ("EAE", 1), ("AII", 1), ("EIO", 1),
+        ("EAE", 2), ("AEE", 2), ("EIO", 2), ("AOO", 2),
+        ("IAI", 3), ("AII", 3), ("OAO", 3), ("EIO", 3),
+        ("AEE", 4), ("IAI", 4), ("EIO", 4),
+    }
+)
+
+
+def check_syllogism(syllogism: Syllogism) -> list[ViolatedRule]:
+    """Check the five classical rules; return all violations (empty = valid).
+
+    Rules (Boolean interpretation):
+      1. The middle term must be distributed at least once.
+      2. A term distributed in the conclusion must be distributed in its
+         premise (no illicit major / illicit minor).
+      3. Two negative premises prove nothing.
+      4. A negative premise requires a negative conclusion, and vice versa.
+      5. Two universal premises cannot yield a particular conclusion.
+    """
+    violations: list[ViolatedRule] = []
+    middle = syllogism.middle_term()
+
+    if not (
+        syllogism.major.distributes(middle)
+        or syllogism.minor.distributes(middle)
+    ):
+        violations.append(ViolatedRule(
+            "undistributed middle",
+            f"middle term {middle!r} is distributed in neither premise",
+        ))
+
+    for term, premise, label in (
+        (syllogism.major_term, syllogism.major, "major"),
+        (syllogism.minor_term, syllogism.minor, "minor"),
+    ):
+        if syllogism.conclusion.distributes(term):
+            if term not in premise.terms() or not premise.distributes(term):
+                violations.append(ViolatedRule(
+                    f"illicit {label}",
+                    f"term {term!r} distributed in the conclusion but not "
+                    "in its premise",
+                ))
+
+    major_negative = not syllogism.major.form.is_affirmative
+    minor_negative = not syllogism.minor.form.is_affirmative
+    conclusion_negative = not syllogism.conclusion.form.is_affirmative
+
+    if major_negative and minor_negative:
+        violations.append(ViolatedRule(
+            "exclusive premises", "both premises are negative"
+        ))
+    if (major_negative or minor_negative) and not conclusion_negative:
+        violations.append(ViolatedRule(
+            "affirmative from negative",
+            "a negative premise requires a negative conclusion",
+        ))
+    if conclusion_negative and not (major_negative or minor_negative):
+        violations.append(ViolatedRule(
+            "negative from affirmatives",
+            "a negative conclusion requires a negative premise",
+        ))
+    if (
+        syllogism.major.form.is_universal
+        and syllogism.minor.form.is_universal
+        and not syllogism.conclusion.form.is_universal
+    ):
+        violations.append(ViolatedRule(
+            "existential fallacy",
+            "universal premises cannot establish a particular conclusion",
+        ))
+    return violations
+
+
+def is_valid_syllogism(syllogism: Syllogism) -> bool:
+    """True when no classical rule is violated.
+
+    Agreement between this check and membership in :data:`VALID_MOODS` is a
+    property-based test invariant.
+    """
+    return not check_syllogism(syllogism)
+
+
+def converse(
+    proposition: CategoricalProposition,
+) -> CategoricalProposition:
+    """Swap subject and predicate (the conversion operation)."""
+    return CategoricalProposition(
+        proposition.form, proposition.predicate, proposition.subject
+    )
+
+
+def valid_conversion(proposition: CategoricalProposition) -> bool:
+    """Whether conversion preserves truth for this form.
+
+    E and I propositions convert validly; A and O do not ('false
+    conversion' — one of Damer's formal fallacies — is inferring
+    'All P are S' from 'All S are P').
+    """
+    return proposition.form in (PropositionForm.E, PropositionForm.I)
+
+
+def socrates_syllogism() -> Syllogism:
+    """The paper's §II.B example, as a Barbara (AAA-1) syllogism."""
+    return Syllogism(
+        major=CategoricalProposition(PropositionForm.A, "men", "mortal"),
+        minor=CategoricalProposition(PropositionForm.A, "socrates", "men"),
+        conclusion=CategoricalProposition(
+            PropositionForm.A, "socrates", "mortal"
+        ),
+    )

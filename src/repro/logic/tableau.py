@@ -1,0 +1,213 @@
+"""Analytic tableaux for propositional logic — an independent checker.
+
+Bishop & Bloomfield's deterministic-argument sketch calls for 'an
+independent check of the formal argument' (§III.F).  Diverse redundancy
+demands genuinely different machinery, so alongside the truth-table
+oracle, the DPLL solver, and the LK sequent prover, this module
+implements the method of analytic tableaux: expand a formula's signed
+tree; the formula is unsatisfiable iff every branch closes on a
+complementary pair.
+
+The cross-checker :func:`independent_validity_check` runs tableaux, SAT,
+and sequents on the same query and reports disagreement — which, for a
+correct implementation, never happens (a property-based test invariant).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from .propositional import (
+    And,
+    Atom,
+    Falsum,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Verum,
+)
+
+__all__ = [
+    "TableauNode",
+    "build_tableau",
+    "tableau_satisfiable",
+    "tableau_valid",
+    "tableau_entails",
+    "independent_validity_check",
+    "CheckerDisagreement",
+]
+
+
+@dataclass
+class TableauNode:
+    """One node of the expansion tree.
+
+    ``formulas`` are the formulas still true on this branch prefix;
+    ``literals`` the settled signed atoms; children are the branch
+    splits.  ``closed`` marks a contradiction on the branch.
+    """
+
+    formulas: tuple[Formula, ...]
+    literals: frozenset[tuple[str, bool]]
+    children: tuple["TableauNode", ...] = ()
+    closed: bool = False
+
+    def open_branches(self) -> int:
+        """Number of open leaves below (and including) this node."""
+        if self.closed:
+            return 0
+        if not self.children:
+            return 1
+        return sum(child.open_branches() for child in self.children)
+
+    def size(self) -> int:
+        """Total node count of the tableau."""
+        return 1 + sum(child.size() for child in self.children)
+
+
+def _expand(
+    formulas: list[Formula], literals: frozenset[tuple[str, bool]]
+) -> TableauNode:
+    pending = list(formulas)
+    settled = set(literals)
+    # Process non-branching (alpha) formulas greedily.
+    alphas_done: list[Formula] = []
+    while pending:
+        formula = pending.pop()
+        if isinstance(formula, Verum):
+            continue
+        if isinstance(formula, Falsum):
+            return TableauNode(tuple(alphas_done), frozenset(settled),
+                               closed=True)
+        if isinstance(formula, Atom):
+            if (formula.name, False) in settled:
+                return TableauNode(tuple(alphas_done),
+                                   frozenset(settled), closed=True)
+            settled.add((formula.name, True))
+            continue
+        if isinstance(formula, Not):
+            inner = formula.operand
+            if isinstance(inner, Atom):
+                if (inner.name, True) in settled:
+                    return TableauNode(tuple(alphas_done),
+                                       frozenset(settled), closed=True)
+                settled.add((inner.name, False))
+                continue
+            if isinstance(inner, Verum):
+                return TableauNode(tuple(alphas_done),
+                                   frozenset(settled), closed=True)
+            if isinstance(inner, Falsum):
+                continue
+            if isinstance(inner, Not):
+                pending.append(inner.operand)
+                continue
+            if isinstance(inner, Or):
+                pending.append(Not(inner.left))
+                pending.append(Not(inner.right))
+                continue
+            if isinstance(inner, Implies):
+                pending.append(inner.antecedent)
+                pending.append(Not(inner.consequent))
+                continue
+            if isinstance(inner, And):
+                # beta: ~(A & B) branches into ~A | ~B.
+                alphas_done.append(formula)
+                continue
+            if isinstance(inner, Iff):
+                alphas_done.append(formula)
+                continue
+        if isinstance(formula, And):
+            pending.append(formula.left)
+            pending.append(formula.right)
+            continue
+        # Branching formulas are deferred.
+        alphas_done.append(formula)
+
+    # Pick one branching (beta) formula, if any remain.
+    for index, formula in enumerate(alphas_done):
+        rest = alphas_done[:index] + alphas_done[index + 1:]
+        if isinstance(formula, Or):
+            branches = ([formula.left], [formula.right])
+        elif isinstance(formula, Implies):
+            branches = ([Not(formula.antecedent)], [formula.consequent])
+        elif isinstance(formula, Iff):
+            branches = (
+                [formula.left, formula.right],
+                [Not(formula.left), Not(formula.right)],
+            )
+        elif isinstance(formula, Not) and isinstance(formula.operand, And):
+            branches = (
+                [Not(formula.operand.left)],
+                [Not(formula.operand.right)],
+            )
+        elif isinstance(formula, Not) and isinstance(formula.operand, Iff):
+            branches = (
+                [formula.operand.left, Not(formula.operand.right)],
+                [Not(formula.operand.left), formula.operand.right],
+            )
+        else:
+            continue
+        children = tuple(
+            _expand(list(rest) + branch, frozenset(settled))
+            for branch in branches
+        )
+        return TableauNode(
+            tuple(alphas_done), frozenset(settled),
+            children=children,
+            closed=all(child.closed for child in children),
+        )
+
+    # Fully expanded, no contradiction: the branch is open (satisfiable).
+    return TableauNode(tuple(alphas_done), frozenset(settled))
+
+
+def build_tableau(formulas: Iterable[Formula]) -> TableauNode:
+    """Expand a tableau for the conjunction of the given formulas."""
+    return _expand(list(formulas), frozenset())
+
+
+def tableau_satisfiable(formula: Formula) -> bool:
+    """Satisfiability by tableau: some branch stays open."""
+    return not build_tableau([formula]).closed
+
+
+def tableau_valid(formula: Formula) -> bool:
+    """Validity by refutation tableau on the negation."""
+    return build_tableau([Not(formula)]).closed
+
+
+def tableau_entails(
+    premises: Iterable[Formula], conclusion: Formula
+) -> bool:
+    """Entailment: premises plus negated conclusion close."""
+    return build_tableau(list(premises) + [Not(conclusion)]).closed
+
+
+class CheckerDisagreement(RuntimeError):
+    """Raised when the diverse checkers disagree — an implementation bug
+    in at least one of them, surfaced exactly as an independent check
+    should surface it."""
+
+
+def independent_validity_check(formula: Formula) -> bool:
+    """Check validity with three diverse engines; raise on disagreement.
+
+    The Bishop & Bloomfield 'independent check': tableaux, SAT
+    refutation, and the LK sequent prover must concur.
+    """
+    from .entailment import is_valid as sat_valid
+    from .sequent import is_valid_sequent
+
+    verdicts = {
+        "tableau": tableau_valid(formula),
+        "sat": sat_valid(formula),
+        "sequent": is_valid_sequent([], [formula]),
+    }
+    if len(set(verdicts.values())) != 1:
+        raise CheckerDisagreement(
+            f"checkers disagree on {formula}: {verdicts}"
+        )
+    return verdicts["tableau"]

@@ -1,0 +1,377 @@
+"""First-order terms and substitutions.
+
+This is the shared term language used by the unification engine
+(:mod:`repro.logic.unification`), the resolution prover
+(:mod:`repro.logic.resolution`), the mini-Prolog interpreter that reproduces
+Figure 1 of the paper (:mod:`repro.logic.prolog`), and the multi-sorted
+first-order layer (:mod:`repro.logic.fol`).
+
+Terms follow the usual inductive definition:
+
+* a :class:`Var` is a term (written ``X``, ``Y``, ... by convention),
+* a :class:`Const` is a term (a function symbol of arity 0), and
+* a :class:`Func` ``f(t1, ..., tn)`` is a term when each ``ti`` is a term.
+
+All term classes are immutable and hashable so they can be used in sets and
+as dictionary keys, which the provers rely on heavily.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, Sequence, Union
+
+__all__ = [
+    "Term",
+    "Var",
+    "Const",
+    "Func",
+    "Atom",
+    "Substitution",
+    "EMPTY_SUBSTITUTION",
+    "variables_of",
+    "constants_of",
+    "term_size",
+    "term_depth",
+    "rename_apart",
+    "parse_term",
+    "parse_atom",
+    "TermSyntaxError",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Var:
+    """A logical variable.
+
+    Variables are identified by name; two :class:`Var` objects with the same
+    name are the same variable.  ``sequence`` is used by :func:`rename_apart`
+    to generate fresh variants (``X#3``) that cannot collide with user input.
+    """
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"Var({self.name!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Const:
+    """A constant symbol (function of arity zero)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"Const({self.name!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Func:
+    """A compound term ``functor(arg1, ..., argn)`` with ``n >= 1``."""
+
+    functor: str
+    args: tuple["Term", ...]
+
+    def __post_init__(self) -> None:
+        if not self.args:
+            raise ValueError(
+                f"Func {self.functor!r} must have at least one argument; "
+                "use Const for arity-0 symbols"
+            )
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(a) for a in self.args)
+        return f"{self.functor}({inner})"
+
+    def __repr__(self) -> str:
+        return f"Func({self.functor!r}, {self.args!r})"
+
+
+Term = Union[Var, Const, Func]
+
+
+@dataclass(frozen=True, slots=True)
+class Atom:
+    """An atomic formula ``predicate(arg1, ..., argn)``.
+
+    Predicates of arity zero are permitted (``args`` may be empty), which lets
+    the clausal machinery embed propositional problems directly.
+    """
+
+    predicate: str
+    args: tuple[Term, ...] = ()
+
+    def __str__(self) -> str:
+        if not self.args:
+            return self.predicate
+        inner = ", ".join(str(a) for a in self.args)
+        return f"{self.predicate}({inner})"
+
+    @property
+    def arity(self) -> int:
+        """Number of argument positions."""
+        return len(self.args)
+
+    def variables(self) -> frozenset[Var]:
+        """All variables appearing in the atom's arguments."""
+        out: set[Var] = set()
+        for arg in self.args:
+            out.update(variables_of(arg))
+        return frozenset(out)
+
+    def is_ground(self) -> bool:
+        """True when the atom contains no variables."""
+        return not self.variables()
+
+
+class Substitution(Mapping[Var, Term]):
+    """An immutable mapping from variables to terms.
+
+    Substitutions compose (``s1.compose(s2)`` applies ``s1`` *then* ``s2``)
+    and apply to terms and atoms.  Identity bindings (``X -> X``) are dropped
+    on construction so equal substitutions compare equal.
+    """
+
+    __slots__ = ("_bindings",)
+
+    def __init__(self, bindings: Mapping[Var, Term] | None = None) -> None:
+        cleaned = {
+            var: term
+            for var, term in (bindings or {}).items()
+            if term != var
+        }
+        object.__setattr__(self, "_bindings", cleaned)
+
+    def __getitem__(self, var: Var) -> Term:
+        return self._bindings[var]
+
+    def __iter__(self) -> Iterator[Var]:
+        return iter(self._bindings)
+
+    def __len__(self) -> int:
+        return len(self._bindings)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Substitution):
+            return NotImplemented
+        return self._bindings == other._bindings
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._bindings.items()))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{v}: {t}" for v, t in sorted(
+            self._bindings.items(), key=lambda item: item[0].name))
+        return f"{{{inner}}}"
+
+    def apply(self, term: Term) -> Term:
+        """Apply this substitution to a term, replacing bound variables."""
+        if isinstance(term, Var):
+            bound = self._bindings.get(term)
+            if bound is None:
+                return term
+            # Follow chains: a binding may itself mention bound variables.
+            return self.apply(bound) if bound != term else term
+        if isinstance(term, Const):
+            return term
+        return Func(term.functor, tuple(self.apply(a) for a in term.args))
+
+    def apply_atom(self, atom: Atom) -> Atom:
+        """Apply this substitution to every argument of an atom."""
+        return Atom(atom.predicate, tuple(self.apply(a) for a in atom.args))
+
+    def compose(self, other: "Substitution") -> "Substitution":
+        """Return the substitution equivalent to applying self, then other."""
+        merged: dict[Var, Term] = {
+            var: other.apply(term) for var, term in self._bindings.items()
+        }
+        for var, term in other.items():
+            if var not in merged:
+                merged[var] = term
+        return Substitution(merged)
+
+    def bind(self, var: Var, term: Term) -> "Substitution":
+        """Return a new substitution extended with ``var -> term``."""
+        merged = dict(self._bindings)
+        merged[var] = term
+        return Substitution(merged)
+
+    def restrict(self, variables: Sequence[Var]) -> "Substitution":
+        """Project the substitution onto the given variables."""
+        keep = set(variables)
+        return Substitution(
+            {v: t for v, t in self._bindings.items() if v in keep}
+        )
+
+
+EMPTY_SUBSTITUTION = Substitution()
+
+
+def variables_of(term: Term) -> frozenset[Var]:
+    """The set of variables occurring in ``term``."""
+    if isinstance(term, Var):
+        return frozenset((term,))
+    if isinstance(term, Const):
+        return frozenset()
+    out: set[Var] = set()
+    for arg in term.args:
+        out.update(variables_of(arg))
+    return frozenset(out)
+
+
+def constants_of(term: Term) -> frozenset[Const]:
+    """The set of constants occurring in ``term``."""
+    if isinstance(term, Var):
+        return frozenset()
+    if isinstance(term, Const):
+        return frozenset((term,))
+    out: set[Const] = set()
+    for arg in term.args:
+        out.update(constants_of(arg))
+    return frozenset(out)
+
+
+def term_size(term: Term) -> int:
+    """Number of symbol occurrences in the term."""
+    if isinstance(term, (Var, Const)):
+        return 1
+    return 1 + sum(term_size(a) for a in term.args)
+
+
+def term_depth(term: Term) -> int:
+    """Nesting depth; variables and constants have depth 1."""
+    if isinstance(term, (Var, Const)):
+        return 1
+    return 1 + max(term_depth(a) for a in term.args)
+
+
+def rename_apart(
+    atoms: Sequence[Atom], suffix: str
+) -> tuple[tuple[Atom, ...], Substitution]:
+    """Rename every variable in ``atoms`` by appending ``suffix``.
+
+    Used to standardise clauses apart before resolution so that variables in
+    different clauses cannot be captured.  Returns the renamed atoms and the
+    renaming substitution.
+    """
+    all_vars: set[Var] = set()
+    for atom in atoms:
+        all_vars.update(atom.variables())
+    renaming = Substitution(
+        {var: Var(f"{var.name}{suffix}") for var in all_vars}
+    )
+    return tuple(renaming.apply_atom(a) for a in atoms), renaming
+
+
+class TermSyntaxError(ValueError):
+    """Raised when :func:`parse_term` or :func:`parse_atom` rejects input."""
+
+
+class _TermParser:
+    """Recursive-descent parser for Prolog-style term syntax.
+
+    Identifiers beginning with an uppercase letter or underscore are
+    variables; everything else is a constant or functor.  Quoted strings
+    (single quotes) and integers become constants.
+    """
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def error(self, message: str) -> TermSyntaxError:
+        return TermSyntaxError(
+            f"{message} at position {self.pos} in {self.text!r}"
+        )
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def peek(self) -> str:
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def expect(self, char: str) -> None:
+        self.skip_ws()
+        if self.peek() != char:
+            raise self.error(f"expected {char!r}")
+        self.pos += 1
+
+    def parse_name(self) -> str:
+        self.skip_ws()
+        start = self.pos
+        if self.peek() == "'":
+            self.pos += 1
+            while self.pos < len(self.text) and self.text[self.pos] != "'":
+                self.pos += 1
+            if self.pos >= len(self.text):
+                raise self.error("unterminated quoted name")
+            name = self.text[start + 1:self.pos]
+            self.pos += 1
+            return name
+        while self.pos < len(self.text) and (
+            self.text[self.pos].isalnum() or self.text[self.pos] in "_-"
+        ):
+            self.pos += 1
+        if self.pos == start:
+            raise self.error("expected a name")
+        return self.text[start:self.pos]
+
+    def parse_term(self) -> Term:
+        name = self.parse_name()
+        self.skip_ws()
+        if self.peek() == "(":
+            self.pos += 1
+            args = self.parse_args()
+            self.expect(")")
+            return Func(name, tuple(args))
+        if name[0].isupper() or name[0] == "_":
+            return Var(name)
+        return Const(name)
+
+    def parse_args(self) -> list[Term]:
+        args = [self.parse_term()]
+        self.skip_ws()
+        while self.peek() == ",":
+            self.pos += 1
+            args.append(self.parse_term())
+            self.skip_ws()
+        return args
+
+    def parse_atom(self) -> Atom:
+        name = self.parse_name()
+        self.skip_ws()
+        if self.peek() != "(":
+            return Atom(name)
+        self.pos += 1
+        args = self.parse_args()
+        self.expect(")")
+        return Atom(name, tuple(args))
+
+    def at_end(self) -> bool:
+        self.skip_ws()
+        return self.pos >= len(self.text)
+
+
+def parse_term(text: str) -> Term:
+    """Parse Prolog-style term syntax, e.g. ``f(X, g(a), 'two words')``."""
+    parser = _TermParser(text)
+    term = parser.parse_term()
+    if not parser.at_end():
+        raise parser.error("trailing input after term")
+    return term
+
+
+def parse_atom(text: str) -> Atom:
+    """Parse an atomic formula, e.g. ``adjacent(bank, river)``."""
+    parser = _TermParser(text)
+    atom = parser.parse_atom()
+    if not parser.at_end():
+        raise parser.error("trailing input after atom")
+    return atom

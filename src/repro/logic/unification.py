@@ -1,0 +1,112 @@
+"""Robinson unification for first-order terms.
+
+Used by the resolution prover and the mini-Prolog engine.  The occurs check
+is on by default (sound unification); the Prolog engine may disable it for
+speed, which matches real Prolog behaviour and is irrelevant for the
+function-symbol-free programs the paper's Figure 1 uses.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .terms import (
+    Atom,
+    Const,
+    Func,
+    Substitution,
+    Term,
+    Var,
+    variables_of,
+)
+
+__all__ = ["unify", "unify_atoms", "unify_sequences", "UnificationError"]
+
+
+class UnificationError(Exception):
+    """Raised internally when two terms cannot be unified."""
+
+
+def unify(
+    left: Term,
+    right: Term,
+    substitution: Substitution | None = None,
+    occurs_check: bool = True,
+) -> Substitution | None:
+    """Return a most-general unifier of ``left`` and ``right``, or None.
+
+    The returned substitution extends ``substitution`` (if given).  The MGU
+    property — any other unifier factors through the returned one — is
+    exercised by property-based tests.
+    """
+    subst = substitution if substitution is not None else Substitution()
+    try:
+        return _unify(subst.apply(left), subst.apply(right), subst,
+                      occurs_check)
+    except UnificationError:
+        return None
+
+
+def _unify(
+    left: Term, right: Term, subst: Substitution, occurs_check: bool
+) -> Substitution:
+    left = subst.apply(left)
+    right = subst.apply(right)
+    if left == right:
+        return subst
+    if isinstance(left, Var):
+        return _bind(left, right, subst, occurs_check)
+    if isinstance(right, Var):
+        return _bind(right, left, subst, occurs_check)
+    if isinstance(left, Const) or isinstance(right, Const):
+        # Distinct constants, or constant vs compound: clash.
+        raise UnificationError(f"clash: {left} vs {right}")
+    if left.functor != right.functor or len(left.args) != len(right.args):
+        raise UnificationError(f"clash: {left} vs {right}")
+    for arg_left, arg_right in zip(left.args, right.args):
+        subst = _unify(arg_left, arg_right, subst, occurs_check)
+    return subst
+
+
+def _bind(
+    var: Var, term: Term, subst: Substitution, occurs_check: bool
+) -> Substitution:
+    if occurs_check and var in variables_of(term):
+        raise UnificationError(f"occurs check: {var} in {term}")
+    return subst.bind(var, term)
+
+
+def unify_atoms(
+    left: Atom,
+    right: Atom,
+    substitution: Substitution | None = None,
+    occurs_check: bool = True,
+) -> Substitution | None:
+    """Unify two atomic formulas (same predicate and arity required)."""
+    if left.predicate != right.predicate or left.arity != right.arity:
+        return None
+    subst = substitution if substitution is not None else Substitution()
+    try:
+        for arg_left, arg_right in zip(left.args, right.args):
+            subst = _unify(arg_left, arg_right, subst, occurs_check)
+    except UnificationError:
+        return None
+    return subst
+
+
+def unify_sequences(
+    lefts: Sequence[Term],
+    rights: Sequence[Term],
+    substitution: Substitution | None = None,
+    occurs_check: bool = True,
+) -> Substitution | None:
+    """Unify two equal-length term sequences pointwise."""
+    if len(lefts) != len(rights):
+        return None
+    subst = substitution if substitution is not None else Substitution()
+    try:
+        for left, right in zip(lefts, rights):
+            subst = _unify(left, right, subst, occurs_check)
+    except UnificationError:
+        return None
+    return subst

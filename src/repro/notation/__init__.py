@@ -1,0 +1,48 @@
+"""Concrete syntaxes for assurance arguments.
+
+§II.B surveys the forms arguments have taken — prose, tables, GSN, CAE —
+and notes opinions differ on which is best [32].  This package provides
+all of them, plus machine interchange forms:
+
+* :mod:`~repro.notation.gsn_text` — round-tripping textual GSN
+* :mod:`~repro.notation.cae` — Claims-Argument-Evidence + converters
+* :mod:`~repro.notation.prose` — numbered prose rendering
+* :mod:`~repro.notation.tabular` — table rendering
+* :mod:`~repro.notation.dot` — Graphviz DOT export
+* :mod:`~repro.notation.ascii_art` — terminal trees (hicase-aware)
+* :mod:`~repro.notation.json_io` — JSON interchange
+"""
+
+from .ascii_art import render_tree, render_view
+from .cae import CaeCase, CaeNode, CaeNodeType, cae_to_gsn, gsn_to_cae
+from .dot import to_dot
+from .gsn_text import GsnTextError, parse, serialise
+from .json_io import (
+    argument_from_json,
+    argument_to_json,
+    case_from_json,
+    case_to_json,
+)
+from .prose import render_prose
+from .tabular import render_table, rows
+
+__all__ = [
+    "render_tree",
+    "render_view",
+    "CaeCase",
+    "CaeNode",
+    "CaeNodeType",
+    "cae_to_gsn",
+    "gsn_to_cae",
+    "to_dot",
+    "GsnTextError",
+    "parse",
+    "serialise",
+    "argument_from_json",
+    "argument_to_json",
+    "case_from_json",
+    "case_to_json",
+    "render_prose",
+    "render_table",
+    "rows",
+]

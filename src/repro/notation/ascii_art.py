@@ -1,0 +1,91 @@
+"""ASCII tree rendering of assurance arguments for terminals.
+
+The hicases display concept (§III.I) needs an on-screen rendering; this is
+the terminal version, honouring fold state when given a
+:class:`~repro.core.hicases.HiView` and marking node kinds with the
+conventional GSN letters.
+"""
+
+from __future__ import annotations
+
+from ..core.argument import Argument, LinkKind
+from ..core.hicases import HiView
+from ..core.nodes import Node, NodeType
+
+__all__ = ["render_tree", "render_view"]
+
+_TAGS: dict[NodeType, str] = {
+    NodeType.GOAL: "G",
+    NodeType.STRATEGY: "S",
+    NodeType.SOLUTION: "Sn",
+    NodeType.CONTEXT: "C",
+    NodeType.ASSUMPTION: "A",
+    NodeType.JUSTIFICATION: "J",
+    NodeType.AWAY_GOAL: "AG",
+}
+
+
+def render_tree(argument: Argument, max_width: int = 72) -> str:
+    """Render the support hierarchy as an indented ASCII tree."""
+    roots = argument.roots()
+    lines: list[str] = []
+    seen: set[str] = set()
+    for root in roots:
+        _render(argument, root, "", True, lines, seen, max_width,
+                is_root=True)
+    orphans = [
+        node for node in argument.nodes
+        if node.identifier not in seen
+        and not argument.parents(node.identifier)
+    ]
+    for orphan in orphans:
+        _render(argument, orphan, "", True, lines, seen, max_width,
+                is_root=True)
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _render(
+    argument: Argument,
+    node: Node,
+    prefix: str,
+    is_last: bool,
+    lines: list[str],
+    seen: set[str],
+    max_width: int,
+    is_root: bool = False,
+) -> None:
+    connector = "" if is_root else ("`-- " if is_last else "|-- ")
+    tag = _TAGS[node.node_type]
+    text = node.text
+    budget = max_width - len(prefix) - len(connector) - len(tag) - \
+        len(node.identifier) - 5
+    if budget > 8 and len(text) > budget:
+        text = text[: budget - 3] + "..."
+    marker = " <>" if node.undeveloped else ""
+    if node.identifier in seen:
+        lines.append(
+            f"{prefix}{connector}({tag}) {node.identifier} (see above)"
+        )
+        return
+    seen.add(node.identifier)
+    lines.append(
+        f"{prefix}{connector}({tag}) {node.identifier}: {text}{marker}"
+    )
+    child_prefix = prefix if is_root else prefix + (
+        "    " if is_last else "|   "
+    )
+    contexts = argument.context_of(node.identifier)
+    supporters = argument.supporters(node.identifier)
+    children = [(c, LinkKind.IN_CONTEXT_OF) for c in contexts] + [
+        (s, LinkKind.SUPPORTED_BY) for s in supporters
+    ]
+    for index, (child, _) in enumerate(children):
+        _render(
+            argument, child, child_prefix,
+            index == len(children) - 1, lines, seen, max_width,
+        )
+
+
+def render_view(view: HiView, max_width: int = 72) -> str:
+    """Render the visible fragment of a hierarchical view."""
+    return render_tree(view.visible_argument(), max_width=max_width)

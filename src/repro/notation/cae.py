@@ -1,0 +1,255 @@
+"""The Claims-Argument-Evidence (CAE) notation.
+
+CAE (Bishop & Bloomfield [31]) is the other graphical notation the paper
+names alongside GSN (§II.B): *claims* are supported by *arguments* (the
+reasoning step) which cite *evidence* or further sub-claims; claims may
+carry *side-warrants* (the CAE analogue of context/justification).
+
+This module models CAE natively and provides lossless-enough converters:
+
+* :func:`gsn_to_cae` — goals become claims, strategies become arguments,
+  solutions become evidence, contextual elements become side-warrants;
+* :func:`cae_to_gsn` — the inverse mapping.
+
+A GSN goal directly supporting another goal has no CAE intermediary, so
+``gsn_to_cae`` synthesises an implicit 'direct' argument node — the
+round-trip therefore preserves *meaning* but not node count, which the
+tests pin down precisely.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..core.argument import Argument, LinkKind
+from ..core.nodes import Node, NodeType
+
+__all__ = [
+    "CaeNodeType",
+    "CaeNode",
+    "CaeCase",
+    "gsn_to_cae",
+    "cae_to_gsn",
+]
+
+
+class CaeNodeType(enum.Enum):
+    """The three CAE element kinds plus the side-warrant."""
+
+    CLAIM = "claim"
+    ARGUMENT = "argument"
+    EVIDENCE = "evidence"
+    SIDE_WARRANT = "side_warrant"
+
+
+@dataclass(frozen=True)
+class CaeNode:
+    """One CAE element.
+
+    ``role`` preserves a finer-grained source classification when the
+    node was converted from GSN: CAE folds context, assumptions, and
+    justifications into one side-warrant kind, so the original GSN role
+    is kept as an annotation for lossless round-tripping.
+    """
+
+    identifier: str
+    node_type: CaeNodeType
+    text: str
+    role: str | None = None
+    undeveloped: bool = False
+
+    def __str__(self) -> str:
+        return f"{self.identifier} [{self.node_type.value}] {self.text!r}"
+
+
+class CaeCase:
+    """A CAE structure: claims, arguments, evidence, and support links."""
+
+    def __init__(self, name: str = "cae-case") -> None:
+        self.name = name
+        self._nodes: dict[str, CaeNode] = {}
+        self._supports: list[tuple[str, str]] = []  # (parent, child)
+
+    def add(self, node: CaeNode) -> CaeNode:
+        if node.identifier in self._nodes:
+            raise ValueError(f"duplicate identifier {node.identifier!r}")
+        self._nodes[node.identifier] = node
+        return node
+
+    def support(self, parent: str, child: str) -> None:
+        """Record that ``child`` supports (or warrants) ``parent``."""
+        if parent not in self._nodes:
+            raise ValueError(f"unknown node {parent!r}")
+        if child not in self._nodes:
+            raise ValueError(f"unknown node {child!r}")
+        self._supports.append((parent, child))
+
+    def node(self, identifier: str) -> CaeNode:
+        return self._nodes[identifier]
+
+    @property
+    def nodes(self) -> list[CaeNode]:
+        return list(self._nodes.values())
+
+    @property
+    def supports(self) -> list[tuple[str, str]]:
+        return list(self._supports)
+
+    def children(self, identifier: str) -> list[CaeNode]:
+        return [
+            self._nodes[child]
+            for parent, child in self._supports
+            if parent == identifier
+        ]
+
+    def claims(self) -> list[CaeNode]:
+        return [
+            n for n in self._nodes.values()
+            if n.node_type is CaeNodeType.CLAIM
+        ]
+
+    def validate(self) -> list[str]:
+        """CAE structural rules (empty = well-formed).
+
+        Evidence is terminal; arguments sit between claims and their
+        support; side-warrants attach to argument nodes.
+        """
+        problems: list[str] = []
+        for parent, child in self._supports:
+            parent_node = self._nodes[parent]
+            child_node = self._nodes[child]
+            if parent_node.node_type is CaeNodeType.EVIDENCE:
+                problems.append(
+                    f"evidence {parent!r} cannot be supported by {child!r}"
+                )
+            if (
+                parent_node.node_type is CaeNodeType.CLAIM
+                and child_node.node_type is CaeNodeType.SIDE_WARRANT
+            ):
+                problems.append(
+                    f"side-warrant {child!r} must attach to an argument, "
+                    f"not claim {parent!r}"
+                )
+            if (
+                parent_node.node_type is CaeNodeType.ARGUMENT
+                and child_node.node_type is CaeNodeType.ARGUMENT
+            ):
+                problems.append(
+                    f"argument {child!r} cannot directly support "
+                    f"argument {parent!r}"
+                )
+        return problems
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+
+def gsn_to_cae(argument: Argument) -> CaeCase:
+    """Convert a GSN argument to CAE.
+
+    Goal -> claim; strategy -> argument; solution -> evidence; context,
+    assumption, justification -> side-warrant on the relevant argument
+    node (or on a synthesised one).  Goal-to-goal support synthesises an
+    implicit 'direct appeal' argument node, because CAE requires an
+    argument between a claim and its support.
+    """
+    case = CaeCase(name=f"{argument.name}(cae)")
+    mapping: dict[NodeType, CaeNodeType] = {
+        NodeType.GOAL: CaeNodeType.CLAIM,
+        NodeType.AWAY_GOAL: CaeNodeType.CLAIM,
+        NodeType.STRATEGY: CaeNodeType.ARGUMENT,
+        NodeType.SOLUTION: CaeNodeType.EVIDENCE,
+        NodeType.CONTEXT: CaeNodeType.SIDE_WARRANT,
+        NodeType.ASSUMPTION: CaeNodeType.SIDE_WARRANT,
+        NodeType.JUSTIFICATION: CaeNodeType.SIDE_WARRANT,
+    }
+    for node in argument.nodes:
+        role = node.node_type.value
+        if node.node_type is NodeType.AWAY_GOAL:
+            role = f"away_goal:{node.module}"
+        case.add(CaeNode(
+            node.identifier, mapping[node.node_type], node.text,
+            role=role, undeveloped=node.undeveloped,
+        ))
+    synth_counter = 0
+    for link in argument.links:
+        source = argument.node(link.source)
+        target = argument.node(link.target)
+        if (
+            link.kind is LinkKind.SUPPORTED_BY
+            and source.node_type.is_claim_like
+            and target.node_type.is_claim_like
+        ):
+            synth_counter += 1
+            bridge = CaeNode(
+                f"_arg{synth_counter}",
+                CaeNodeType.ARGUMENT,
+                f"Direct appeal: {target.identifier} supports "
+                f"{source.identifier}",
+            )
+            case.add(bridge)
+            case.support(source.identifier, bridge.identifier)
+            case.support(bridge.identifier, target.identifier)
+        else:
+            case.support(link.source, link.target)
+    return case
+
+
+def cae_to_gsn(case: CaeCase) -> Argument:
+    """Convert a CAE case to GSN.
+
+    Claim -> goal; argument -> strategy; evidence -> solution;
+    side-warrant -> justification.  Synthesised '_arg' bridges from
+    :func:`gsn_to_cae` are collapsed back into direct goal-to-goal links.
+    """
+    argument = Argument(name=case.name.removesuffix("(cae)") or case.name)
+    mapping: dict[CaeNodeType, NodeType] = {
+        CaeNodeType.CLAIM: NodeType.GOAL,
+        CaeNodeType.ARGUMENT: NodeType.STRATEGY,
+        CaeNodeType.EVIDENCE: NodeType.SOLUTION,
+        CaeNodeType.SIDE_WARRANT: NodeType.JUSTIFICATION,
+    }
+    bridges = {
+        node.identifier
+        for node in case.nodes
+        if node.node_type is CaeNodeType.ARGUMENT
+        and node.identifier.startswith("_arg")
+    }
+    for node in case.nodes:
+        if node.identifier in bridges:
+            continue
+        node_type = mapping[node.node_type]
+        module: str | None = None
+        if node.role is not None:
+            if node.role.startswith("away_goal:"):
+                node_type = NodeType.AWAY_GOAL
+                module = node.role.split(":", 1)[1]
+            else:
+                node_type = NodeType(node.role)
+        argument.add_node(Node(
+            identifier=node.identifier,
+            node_type=node_type,
+            text=node.text,
+            module=module,
+            undeveloped=node.undeveloped,
+        ))
+    for parent, child in case.supports:
+        if child in bridges:
+            # Collapse: parent <- bridge <- grandchild becomes parent <- gc.
+            for grandchild in case.children(child):
+                argument.add_link(
+                    parent, grandchild.identifier, LinkKind.SUPPORTED_BY
+                )
+            continue
+        if parent in bridges:
+            continue  # handled when the bridge was collapsed
+        child_node = case.node(child)
+        kind = (
+            LinkKind.IN_CONTEXT_OF
+            if child_node.node_type is CaeNodeType.SIDE_WARRANT
+            else LinkKind.SUPPORTED_BY
+        )
+        argument.add_link(parent, child, kind)
+    return argument

@@ -1,0 +1,94 @@
+"""Graphviz DOT export for assurance arguments.
+
+Produces the conventional GSN shapes: rectangles for goals, parallelograms
+for strategies, circles for solutions, rounded rectangles for context,
+ovals for assumptions/justifications (with the A/J letter), and the module
+decoration for away goals.  Pure text output — no graphviz runtime is
+needed to generate it.
+"""
+
+from __future__ import annotations
+
+from ..core.argument import Argument, LinkKind
+from ..core.nodes import Node, NodeType
+
+__all__ = ["to_dot"]
+
+_SHAPES: dict[NodeType, str] = {
+    NodeType.GOAL: "box",
+    NodeType.STRATEGY: "parallelogram",
+    NodeType.SOLUTION: "circle",
+    NodeType.CONTEXT: "box",
+    NodeType.ASSUMPTION: "ellipse",
+    NodeType.JUSTIFICATION: "ellipse",
+    NodeType.AWAY_GOAL: "box",
+}
+
+_STYLES: dict[NodeType, str] = {
+    NodeType.CONTEXT: "rounded",
+    NodeType.AWAY_GOAL: "bold",
+}
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _wrap(text: str, width: int = 28) -> str:
+    words = text.split()
+    lines: list[str] = []
+    current: list[str] = []
+    count = 0
+    for word in words:
+        if count + len(word) + (1 if current else 0) > width and current:
+            lines.append(" ".join(current))
+            current = [word]
+            count = len(word)
+        else:
+            current.append(word)
+            count += len(word) + (1 if count else 0)
+    if current:
+        lines.append(" ".join(current))
+    return "\\n".join(_escape(line) for line in lines)
+
+
+def _label(node: Node) -> str:
+    suffix = ""
+    if node.node_type is NodeType.ASSUMPTION:
+        suffix = "\\n[A]"
+    elif node.node_type is NodeType.JUSTIFICATION:
+        suffix = "\\n[J]"
+    elif node.node_type is NodeType.AWAY_GOAL:
+        suffix = f"\\n<<module {_escape(node.module or '')}>>"
+    if node.undeveloped:
+        suffix += "\\n(undeveloped)"
+    return f"{node.identifier}\\n{_wrap(node.text)}{suffix}"
+
+
+def to_dot(argument: Argument, rankdir: str = "TB") -> str:
+    """Render the argument as a Graphviz digraph."""
+    lines = [
+        f'digraph "{_escape(argument.name)}" {{',
+        f"  rankdir={rankdir};",
+        '  node [fontname="Helvetica", fontsize=10];',
+    ]
+    for node in argument.nodes:
+        shape = _SHAPES[node.node_type]
+        style = _STYLES.get(node.node_type)
+        attributes = [f'label="{_label(node)}"', f"shape={shape}"]
+        if style:
+            attributes.append(f'style="{style}"')
+        lines.append(
+            f'  "{_escape(node.identifier)}" [{", ".join(attributes)}];'
+        )
+    for link in argument.links:
+        if link.kind is LinkKind.SUPPORTED_BY:
+            attributes = "arrowhead=normal"
+        else:
+            attributes = "arrowhead=empty, style=dashed"
+        lines.append(
+            f'  "{_escape(link.source)}" -> "{_escape(link.target)}" '
+            f"[{attributes}];"
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,180 @@
+"""A textual concrete syntax for GSN arguments, with parser and serialiser.
+
+Holloway asks whether safety case notations have 'alternatives for the
+non-graphically inclined' [32]; prose and tabular forms are surveyed in
+§II.B.  This module defines a line-oriented textual GSN format that
+round-trips (``parse(serialise(a)) == a`` is a property-test invariant),
+giving the library a durable on-disk form and the experiments a
+text-diffable argument representation.
+
+Format, one statement per line (``#`` comments allowed)::
+
+    argument "brake-case"
+    goal G1 "The braking system is acceptably safe"
+    goal G2 undeveloped "Secondary brake path is independent"
+    strategy S1 "Argument over all identified hazards"
+    solution Sn1 "Fault tree analysis FTA-3"
+    context C1 "Operating context: urban light rail"
+    awaygoal AG1 module "power-module" "Power supply is acceptably safe"
+    G1 -> S1          # SupportedBy
+    G1 ~> C1          # InContextOf
+"""
+
+from __future__ import annotations
+
+import re
+import shlex
+from typing import Iterable
+
+from ..core.argument import Argument, LinkKind
+from ..core.nodes import Node, NodeType
+
+__all__ = ["serialise", "parse", "GsnTextError"]
+
+
+class GsnTextError(ValueError):
+    """Raised when :func:`parse` rejects its input."""
+
+    def __init__(self, line_number: int, message: str) -> None:
+        super().__init__(f"line {line_number}: {message}")
+        self.line_number = line_number
+
+
+_KEYWORDS: dict[NodeType, str] = {
+    NodeType.GOAL: "goal",
+    NodeType.STRATEGY: "strategy",
+    NodeType.SOLUTION: "solution",
+    NodeType.CONTEXT: "context",
+    NodeType.ASSUMPTION: "assumption",
+    NodeType.JUSTIFICATION: "justification",
+    NodeType.AWAY_GOAL: "awaygoal",
+}
+_TYPES_BY_KEYWORD = {v: k for k, v in _KEYWORDS.items()}
+
+
+def _quote(text: str) -> str:
+    escaped = text.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def serialise(argument: Argument) -> str:
+    """Render an argument in the textual GSN format."""
+    lines: list[str] = [f"argument {_quote(argument.name)}"]
+    for node in argument.nodes:
+        parts = [_KEYWORDS[node.node_type], node.identifier]
+        if node.undeveloped:
+            parts.append("undeveloped")
+        if node.node_type is NodeType.AWAY_GOAL:
+            parts.extend(["module", _quote(node.module or "")])
+        parts.append(_quote(node.text))
+        lines.append(" ".join(parts))
+    for link in argument.links:
+        arrow = "->" if link.kind is LinkKind.SUPPORTED_BY else "~>"
+        lines.append(f"{link.source} {arrow} {link.target}")
+    return "\n".join(lines) + "\n"
+
+
+_LINK_PATTERN = re.compile(
+    r"^(?P<source>\S+)\s+(?P<arrow>->|~>)\s+(?P<target>\S+)$"
+)
+
+
+def parse(text: str) -> Argument:
+    """Parse the textual GSN format back into an argument."""
+    argument: Argument | None = None
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("argument"):
+            if argument is not None:
+                raise GsnTextError(
+                    line_number, "duplicate 'argument' declaration"
+                )
+            tokens = _tokens(line, line_number)
+            if len(tokens) != 2:
+                raise GsnTextError(
+                    line_number, "expected: argument \"name\""
+                )
+            argument = Argument(name=tokens[1])
+            continue
+        if argument is None:
+            raise GsnTextError(
+                line_number, "file must start with an 'argument' declaration"
+            )
+        link_match = _LINK_PATTERN.match(line)
+        if link_match:
+            kind = (
+                LinkKind.SUPPORTED_BY
+                if link_match.group("arrow") == "->"
+                else LinkKind.IN_CONTEXT_OF
+            )
+            try:
+                argument.add_link(
+                    link_match.group("source"),
+                    link_match.group("target"),
+                    kind,
+                )
+            except ValueError as error:
+                raise GsnTextError(line_number, str(error)) from None
+            continue
+        _parse_node_line(argument, line, line_number)
+    if argument is None:
+        raise GsnTextError(0, "empty document")
+    return argument
+
+
+def _tokens(line: str, line_number: int) -> list[str]:
+    try:
+        return shlex.split(line)
+    except ValueError as error:
+        raise GsnTextError(line_number, f"bad quoting: {error}") from None
+
+
+def _parse_node_line(
+    argument: Argument, line: str, line_number: int
+) -> None:
+    tokens = _tokens(line, line_number)
+    keyword = tokens[0].lower()
+    node_type = _TYPES_BY_KEYWORD.get(keyword)
+    if node_type is None:
+        raise GsnTextError(
+            line_number,
+            f"unknown statement {keyword!r} (expected a node keyword, "
+            "a link, or 'argument')",
+        )
+    if len(tokens) < 3:
+        raise GsnTextError(
+            line_number, f"{keyword} needs an identifier and quoted text"
+        )
+    identifier = tokens[1]
+    rest = tokens[2:]
+    undeveloped = False
+    module: str | None = None
+    while len(rest) > 1:
+        if rest[0] == "undeveloped":
+            undeveloped = True
+            rest = rest[1:]
+        elif rest[0] == "module":
+            if len(rest) < 3:
+                raise GsnTextError(
+                    line_number, "module keyword needs a name and text"
+                )
+            module = rest[1]
+            rest = rest[2:]
+        else:
+            break
+    if len(rest) != 1:
+        raise GsnTextError(
+            line_number, f"trailing tokens after node text: {rest[1:]}"
+        )
+    try:
+        argument.add_node(Node(
+            identifier=identifier,
+            node_type=node_type,
+            text=rest[0],
+            undeveloped=undeveloped,
+            module=module,
+        ))
+    except ValueError as error:
+        raise GsnTextError(line_number, str(error)) from None

@@ -1,0 +1,170 @@
+"""JSON de/serialisation for arguments and assurance cases.
+
+A stable interchange form for tooling: nodes, links, metadata, evidence,
+citations, and the lifecycle log all round-trip.  The schema is plain and
+versioned so downstream tools can consume it without this library.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..core.argument import Argument, LinkKind
+from ..core.case import AssuranceCase, SafetyCriterion
+from ..core.evidence import EvidenceItem, EvidenceKind
+from ..core.nodes import Node, NodeType
+
+__all__ = [
+    "argument_to_json",
+    "argument_from_json",
+    "case_to_json",
+    "case_from_json",
+    "SCHEMA_VERSION",
+]
+
+SCHEMA_VERSION = 1
+
+
+def _node_payload(node: Node) -> dict[str, Any]:
+    payload: dict[str, Any] = {
+        "id": node.identifier,
+        "type": node.node_type.value,
+        "text": node.text,
+    }
+    if node.undeveloped:
+        payload["undeveloped"] = True
+    if node.module:
+        payload["module"] = node.module
+    if node.metadata:
+        payload["metadata"] = {
+            name: list(params) for name, params in node.metadata
+        }
+    return payload
+
+
+def argument_to_json(argument: Argument, indent: int | None = 2) -> str:
+    """Serialise an argument to a JSON document."""
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "name": argument.name,
+        "nodes": [_node_payload(node) for node in argument.nodes],
+        "links": [
+            {
+                "source": link.source,
+                "target": link.target,
+                "kind": link.kind.value,
+            }
+            for link in argument.links
+        ],
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def _node_from_payload(payload: dict[str, Any]) -> Node:
+    metadata = tuple(sorted(
+        (name, tuple(params))
+        for name, params in payload.get("metadata", {}).items()
+    ))
+    return Node(
+        identifier=payload["id"],
+        node_type=NodeType(payload["type"]),
+        text=payload["text"],
+        undeveloped=payload.get("undeveloped", False),
+        module=payload.get("module"),
+        metadata=metadata,
+    )
+
+
+def argument_from_json(document: str) -> Argument:
+    """Parse an argument from its JSON form."""
+    payload = json.loads(document)
+    if payload.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported schema version {payload.get('schema')!r}"
+        )
+    argument = Argument(name=payload["name"])
+    for node_payload in payload["nodes"]:
+        argument.add_node(_node_from_payload(node_payload))
+    for link_payload in payload["links"]:
+        argument.add_link(
+            link_payload["source"],
+            link_payload["target"],
+            LinkKind(link_payload["kind"]),
+        )
+    return argument
+
+
+def case_to_json(case: AssuranceCase, indent: int | None = 2) -> str:
+    """Serialise a whole assurance case (argument + evidence + citations)."""
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "name": case.name,
+        "criterion": (
+            {
+                "statement": case.criterion.statement,
+                "risk_metric": case.criterion.risk_metric,
+                "threshold": case.criterion.threshold,
+            }
+            if case.criterion
+            else None
+        ),
+        "argument": json.loads(argument_to_json(case.argument, indent=None)),
+        "evidence": [
+            {
+                "id": item.identifier,
+                "kind": item.kind.value,
+                "description": item.description,
+                "coverage": item.coverage,
+                "age_days": item.age_days,
+                "trusted_tool": item.trusted_tool,
+                "topic": item.topic,
+            }
+            for item in case.evidence
+        ],
+        "citations": {
+            node.identifier: [
+                item.identifier for item in case.citations(node.identifier)
+            ]
+            for node in case.argument.nodes
+            if case.citations(node.identifier)
+        },
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def case_from_json(document: str) -> AssuranceCase:
+    """Parse an assurance case from its JSON form.
+
+    The lifecycle log is intentionally not round-tripped: history belongs
+    to the live case that produced it; a loaded case starts a fresh log
+    with its own CREATED event.
+    """
+    payload = json.loads(document)
+    if payload.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported schema version {payload.get('schema')!r}"
+        )
+    argument = argument_from_json(json.dumps(payload["argument"]))
+    criterion = None
+    if payload.get("criterion"):
+        criterion = SafetyCriterion(
+            statement=payload["criterion"]["statement"],
+            risk_metric=payload["criterion"]["risk_metric"],
+            threshold=payload["criterion"]["threshold"],
+        )
+    case = AssuranceCase(payload["name"], argument, criterion)
+    for item_payload in payload.get("evidence", []):
+        case.evidence.add(EvidenceItem(
+            identifier=item_payload["id"],
+            kind=EvidenceKind(item_payload["kind"]),
+            description=item_payload["description"],
+            coverage=item_payload.get("coverage", 1.0),
+            age_days=item_payload.get("age_days", 0),
+            trusted_tool=item_payload.get("trusted_tool", True),
+            topic=item_payload.get("topic", "functional"),
+        ))
+    for solution, cited in payload.get("citations", {}).items():
+        for evidence_id in cited:
+            case.cite(solution, evidence_id)
+    return case

@@ -1,0 +1,121 @@
+"""Prose rendering of assurance arguments.
+
+'Many [arguments] have been written in prose' (§II.B, citing the Opalinus
+Clay safety report [29]), and Holloway [32] argues prose remains a live
+alternative to graphics.  This renderer turns a GSN argument into numbered
+prose paragraphs so the audience-study (§VI.C) can present the same
+argument in graphical-text, tabular, and prose conditions.
+
+The rendering is deterministic: claims become declarative sentences with
+their support introduced by connective phrases chosen by node kind, and
+section numbering follows the support hierarchy (1, 1.1, 1.1.2, ...).
+"""
+
+from __future__ import annotations
+
+from ..core.argument import Argument, LinkKind
+from ..core.nodes import Node, NodeType
+
+__all__ = ["render_prose", "render_paragraph"]
+
+_SUPPORT_PHRASES: dict[NodeType, str] = {
+    NodeType.GOAL: "This holds because",
+    NodeType.AWAY_GOAL: "This is established elsewhere:",
+    NodeType.STRATEGY: "The argument proceeds as follows:",
+    NodeType.SOLUTION: "This is evidenced by",
+}
+
+_CONTEXT_PHRASES: dict[NodeType, str] = {
+    NodeType.CONTEXT: "In the context of",
+    NodeType.ASSUMPTION: "Assuming that",
+    NodeType.JUSTIFICATION: "This step is justified because",
+}
+
+
+def render_prose(argument: Argument) -> str:
+    """Render the whole argument as numbered prose sections."""
+    roots = argument.roots()
+    if not roots:
+        return f"(The argument {argument.name!r} states no top-level claim.)"
+    sections: list[str] = [f"The case {argument.name!r} argues as follows.",
+                           ""]
+    for index, root in enumerate(roots, start=1):
+        _render_node(argument, root, str(index), sections, set())
+    return "\n".join(sections).rstrip() + "\n"
+
+
+def _render_node(
+    argument: Argument,
+    node: Node,
+    number: str,
+    sections: list[str],
+    seen: set[str],
+) -> None:
+    if node.identifier in seen:
+        sections.append(
+            f"{number}. (See the earlier discussion of "
+            f"{node.identifier}.)"
+        )
+        return
+    seen.add(node.identifier)
+    sections.append(f"{number}. {render_paragraph(argument, node)}")
+    supporters = argument.supporters(node.identifier)
+    for child_index, child in enumerate(supporters, start=1):
+        _render_node(
+            argument, child, f"{number}.{child_index}", sections, seen
+        )
+
+
+def render_paragraph(argument: Argument, node: Node) -> str:
+    """One node as a prose paragraph, folding in its contextual elements."""
+    sentences: list[str] = []
+    contexts = argument.context_of(node.identifier)
+    for context in contexts:
+        phrase = _CONTEXT_PHRASES.get(
+            context.node_type, "Noting that"
+        )
+        sentences.append(f"{phrase} {_sentence_case(context.text)}.")
+    if node.node_type is NodeType.STRATEGY:
+        sentences.append(f"{_sentence_case(node.text)}.")
+    elif node.node_type is NodeType.SOLUTION:
+        sentences.append(f"Evidence: {_sentence_case(node.text)}.")
+    elif node.node_type is NodeType.AWAY_GOAL:
+        sentences.append(
+            f"{_sentence_case(node.text)} "
+            f"(argued in module {node.module!r})."
+        )
+    else:
+        sentences.append(f"We claim that {_lower_first(node.text)}.")
+    if node.undeveloped:
+        sentences.append(
+            "(Support for this point is not yet developed.)"
+        )
+    supporters = argument.supporters(node.identifier)
+    if supporters:
+        kinds = {child.node_type for child in supporters}
+        if kinds == {NodeType.SOLUTION}:
+            sentences.append(
+                "The supporting evidence follows."
+            )
+        else:
+            sentences.append(
+                "The supporting argument follows."
+            )
+    return " ".join(sentences)
+
+
+def _sentence_case(text: str) -> str:
+    stripped = text.strip().rstrip(".")
+    if not stripped:
+        return stripped
+    return stripped[0].upper() + stripped[1:]
+
+
+def _lower_first(text: str) -> str:
+    stripped = text.strip().rstrip(".")
+    if not stripped:
+        return stripped
+    # Keep acronyms and identifiers intact.
+    if len(stripped) > 1 and stripped[1].isupper():
+        return stripped
+    return stripped[0].lower() + stripped[1:]

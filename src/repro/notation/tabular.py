@@ -1,0 +1,77 @@
+"""Tabular rendering of assurance arguments.
+
+Kelly's thesis [2] and several standards present safety arguments as
+tables (§II.B).  The renderer emits one row per node with its kind,
+identifier, text, support, and context columns — the layout review
+checklists typically use — plus a machine-readable list-of-dicts form
+consumed by the experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.argument import Argument, LinkKind
+
+__all__ = ["rows", "render_table"]
+
+
+def rows(argument: Argument) -> list[dict[str, Any]]:
+    """One dict per node: id, kind, text, supported_by, in_context_of."""
+    out: list[dict[str, Any]] = []
+    for node in argument.nodes:
+        supported = [
+            link.target
+            for link in argument.links
+            if link.source == node.identifier
+            and link.kind is LinkKind.SUPPORTED_BY
+        ]
+        context = [
+            link.target
+            for link in argument.links
+            if link.source == node.identifier
+            and link.kind is LinkKind.IN_CONTEXT_OF
+        ]
+        out.append({
+            "id": node.identifier,
+            "kind": node.node_type.value,
+            "text": node.text,
+            "undeveloped": node.undeveloped,
+            "supported_by": supported,
+            "in_context_of": context,
+        })
+    return out
+
+
+def render_table(argument: Argument, max_text_width: int = 48) -> str:
+    """A fixed-width text table of the argument."""
+    table_rows = rows(argument)
+    headers = ["Id", "Kind", "Text", "Supported by", "Context"]
+    rendered: list[list[str]] = []
+    for row in table_rows:
+        text = row["text"]
+        if len(text) > max_text_width:
+            text = text[: max_text_width - 3] + "..."
+        if row["undeveloped"]:
+            text += " [undeveloped]"
+        rendered.append([
+            row["id"],
+            row["kind"],
+            text,
+            ", ".join(row["supported_by"]),
+            ", ".join(row["in_context_of"]),
+        ])
+    widths = [
+        max(len(headers[col]), *(len(r[col]) for r in rendered))
+        if rendered else len(headers[col])
+        for col in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row_cells in rendered:
+        lines.append(
+            "  ".join(c.ljust(w) for c, w in zip(row_cells, widths))
+        )
+    return "\n".join(lines) + "\n"

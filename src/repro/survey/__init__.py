@@ -1,0 +1,84 @@
+"""The systematic literature survey (§III), as a runnable pipeline.
+
+* :mod:`~repro.survey.records` — the twenty selected papers, their §III
+  characterisation, and the published Table I numbers;
+* :mod:`~repro.survey.corpus` — the calibrated synthetic four-library
+  corpus standing in for the 2014 snapshot (see DESIGN.md substitutions);
+* :mod:`~repro.survey.search` — ranked queries with the first-60 cut-off;
+* :mod:`~repro.survey.selection` — the two-phase inclusion procedure;
+* :mod:`~repro.survey.report` — the driver regenerating Table I.
+"""
+
+from .characterise import (
+    GROUPS,
+    characterise,
+    group_report,
+    maturity_summary,
+    render_characterisation,
+)
+from .corpus import Corpus, CorpusPaper, LIBRARIES, build_corpus
+from .records import (
+    Domain,
+    FormalisationKind,
+    PaperRecord,
+    Relationship,
+    SELECTED_PAPERS,
+    TABLE_I,
+    TABLE_I_UNIQUE,
+    papers_claiming_mechanical_confidence,
+    papers_formalising_content,
+    papers_formalising_pattern_parameters,
+    papers_formalising_pattern_structure,
+    papers_formalising_syntax,
+    papers_informal_first,
+    papers_mentioning_mechanical_verification,
+)
+from .report import SurveyOutcome, render_table_i, run_survey
+from .search import DigitalLibrary, QUERIES, SearchResult, run_searches
+from .selection import (
+    Phase1Selection,
+    noisy_phase1,
+    phase1_keep,
+    phase2_keep,
+    select_phase1,
+    select_phase2,
+)
+
+__all__ = [
+    "GROUPS",
+    "characterise",
+    "group_report",
+    "maturity_summary",
+    "render_characterisation",
+    "Corpus",
+    "CorpusPaper",
+    "LIBRARIES",
+    "build_corpus",
+    "Domain",
+    "FormalisationKind",
+    "PaperRecord",
+    "Relationship",
+    "SELECTED_PAPERS",
+    "TABLE_I",
+    "TABLE_I_UNIQUE",
+    "papers_claiming_mechanical_confidence",
+    "papers_formalising_content",
+    "papers_formalising_pattern_parameters",
+    "papers_formalising_pattern_structure",
+    "papers_formalising_syntax",
+    "papers_informal_first",
+    "papers_mentioning_mechanical_verification",
+    "SurveyOutcome",
+    "render_table_i",
+    "run_survey",
+    "DigitalLibrary",
+    "QUERIES",
+    "SearchResult",
+    "run_searches",
+    "Phase1Selection",
+    "noisy_phase1",
+    "phase1_keep",
+    "phase2_keep",
+    "select_phase1",
+    "select_phase2",
+]

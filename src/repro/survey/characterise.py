@@ -1,0 +1,176 @@
+"""Per-paper characterisation reports (the §III research questions).
+
+§III.A lists the survey's research questions: what is formalised and how
+it is used (RQ1), whether the formalism replaces or augments informal
+argument (RQ2), how it constrains structure (RQ3), what benefits are
+claimed with what evidence (RQ4), and what drawbacks are mentioned
+(RQ5).  §III.E–P answer them per proposal group.
+
+This module renders those answers from the structured records — the
+machine-readable version of the survey's §III prose — and computes the
+summary judgments §VII rests on ('while several of the selected papers
+claim or speculate on some benefit of formalism, none supplies
+substantial empirical evidence').
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .records import (
+    FormalisationKind,
+    PaperRecord,
+    Relationship,
+    SELECTED_PAPERS,
+)
+
+__all__ = [
+    "GROUPS",
+    "characterise",
+    "group_report",
+    "maturity_summary",
+    "render_characterisation",
+]
+
+#: §III subsection letter -> proposal-family title.
+GROUPS: dict[str, str] = {
+    "E": "Basir, Denney, Fischer, Pai & Pohl: automatically-generated "
+         "arguments",
+    "F": "Bishop & Bloomfield: deterministic arguments",
+    "G": "Brunel & Cazin: arguments in LTL",
+    "H": "Denney, Naylor & Pai: annotated informal arguments",
+    "I": "Denney, Pai & Whiteside: formally-specified syntax",
+    "J": "Forder: a safety argument manager",
+    "K": "Haley et al.: security requirements satisfaction arguments",
+    "L": "Matsuno & Taguchi: formalised GSN patterns",
+    "M": "Rushby: partial formalisation into proofs",
+    "N": "Sokolsky, Lee & Heimdahl: first-order logic",
+    "O": "Tolchinsky et al.: decision support",
+    "P": "Tun et al.: policy checking",
+}
+
+
+@dataclass(frozen=True)
+class Characterisation:
+    """One paper's answers to the survey's research questions."""
+
+    paper: PaperRecord
+    rq1_formalises: str
+    rq2_relationship: str
+    rq4_claims_benefit: bool
+    rq4_evidence: bool
+    rq5_drawbacks: bool
+
+
+def characterise(paper: PaperRecord) -> Characterisation:
+    """Answer the research questions for one record."""
+    formalises = {
+        FormalisationKind.SYNTAX: "the argument's syntax",
+        FormalisationKind.CONTENT:
+            "claim content, in symbolic/deductive logic",
+        FormalisationKind.ANNOTATION:
+            "metadata annotations on informal content",
+        FormalisationKind.SYNTAX_AND_PARAMETERS:
+            "pattern syntax plus typed parameters",
+    }[paper.formalises]
+    relationship = {
+        Relationship.REPLACES: "replaces informal argumentation",
+        Relationship.AUGMENTS: "augments the informal argument",
+        Relationship.GENERATED_FROM_PROOF:
+            "is generated from a machine proof",
+        Relationship.UNCLEAR: "unclear from the paper",
+    }[paper.relationship]
+    return Characterisation(
+        paper=paper,
+        rq1_formalises=formalises,
+        rq2_relationship=relationship,
+        rq4_claims_benefit=paper.claims_benefit,
+        rq4_evidence=paper.provides_substantial_evidence,
+        rq5_drawbacks=paper.mentions_drawbacks,
+    )
+
+
+def group_report(group: str) -> list[Characterisation]:
+    """All characterisations in one §III group (by subsection letter)."""
+    if group not in GROUPS:
+        raise KeyError(f"unknown group {group!r}; expected one of "
+                       f"{sorted(GROUPS)}")
+    return [
+        characterise(paper)
+        for paper in SELECTED_PAPERS
+        if paper.group == group
+    ]
+
+
+@dataclass(frozen=True)
+class MaturitySummary:
+    """The §VII maturity verdict, computed."""
+
+    total: int
+    claiming_benefit: int
+    with_substantial_evidence: int
+    mentioning_drawbacks: int
+
+    @property
+    def conclusion_holds(self) -> bool:
+        """'None supplies substantial empirical evidence' (§VII)."""
+        return self.with_substantial_evidence == 0
+
+
+def maturity_summary() -> MaturitySummary:
+    """Compute the §VII verdict over all selected papers."""
+    return MaturitySummary(
+        total=len(SELECTED_PAPERS),
+        claiming_benefit=sum(
+            1 for p in SELECTED_PAPERS if p.claims_benefit
+        ),
+        with_substantial_evidence=sum(
+            1 for p in SELECTED_PAPERS
+            if p.provides_substantial_evidence
+        ),
+        mentioning_drawbacks=sum(
+            1 for p in SELECTED_PAPERS if p.mentions_drawbacks
+        ),
+    )
+
+
+def render_characterisation() -> str:
+    """The whole §III survey-findings section as a text report."""
+    lines: list[str] = ["SURVEY FINDINGS (per §III research questions)",
+                        ""]
+    for group, title in GROUPS.items():
+        members = group_report(group)
+        if not members:
+            continue
+        lines.append(f"--- {group}. {title}")
+        for entry in members:
+            paper = entry.paper
+            lines.append(
+                f"  [{paper.reference}] {paper.authors} ({paper.year}), "
+                f"{paper.venue}"
+            )
+            lines.append(f"      formalises: {entry.rq1_formalises}")
+            lines.append(
+                f"      relationship: {entry.rq2_relationship}"
+            )
+            lines.append(
+                f"      claims benefit: {entry.rq4_claims_benefit}; "
+                f"substantial evidence: {entry.rq4_evidence}; "
+                f"mentions drawbacks: {entry.rq5_drawbacks}"
+            )
+            if paper.notes:
+                lines.append(f"      note: {paper.notes}")
+        lines.append("")
+    summary = maturity_summary()
+    lines.append(
+        f"Of {summary.total} papers: {summary.claiming_benefit} claim "
+        f"some benefit, {summary.with_substantial_evidence} supply "
+        f"substantial evidence, {summary.mentioning_drawbacks} mention "
+        "drawbacks."
+    )
+    lines.append(
+        "The §VII verdict "
+        + ("holds" if summary.conclusion_holds else "FAILS")
+        + ": no proposal is mature by the paper's definition."
+    )
+    return "\n".join(lines) + "\n"

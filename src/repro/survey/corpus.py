@@ -1,0 +1,342 @@
+"""The synthetic four-library corpus behind the survey pipeline.
+
+The paper's searches ran against IEEE Xplore, the ACM Digital Library,
+Springer Link, and Google Scholar in 2014 — a snapshot no offline build
+can query.  Per the substitution policy in DESIGN.md, this module builds
+an explicit, auditable stand-in: a corpus whose *relevant* population is
+exactly the structure Table I reports —
+
+* 72 unique phase-one-selectable papers: 49 matched only by the safety
+  query, 18 only by the security query, and 5 by both (54 and 23 unique
+  per query respectively);
+* library indexing with multiplicity: the safety query's 61 per-library
+  selections over 54 unique papers mean seven papers surface in two
+  libraries; each security selection surfaces in exactly one;
+* the twenty papers of :data:`~repro.survey.records.SELECTED_PAPERS`
+  embedded among the 72 (they are the only ones passing phase two);
+* per-library noise — lexically query-matching but irrelevant papers —
+  so the 'first sixty' cut-off of §III.B has something to cut (Springer
+  famously claimed 40,283 hits for 'formal security argument').
+
+Every judgment the human selectors made is carried as explicit boolean
+annotations on :class:`CorpusPaper` (see
+:mod:`repro.survey.selection`), so the pipeline's logic is the paper's
+documented method, and the corpus is the documented 2014 snapshot model.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from .records import Domain, PaperRecord, SELECTED_PAPERS, TABLE_I
+
+__all__ = ["CorpusPaper", "Corpus", "LIBRARIES", "build_corpus"]
+
+LIBRARIES: tuple[str, ...] = (
+    "IEEE Xplore",
+    "ACM Digital Library",
+    "Springer Link",
+    "Google Scholar",
+)
+
+#: Nominal total hit counts each library reports (display only; the paper
+#: quotes Springer's 40,283 for 'formal security argument').
+CLAIMED_TOTALS: Mapping[tuple[str, str], int] = {
+    ("IEEE Xplore", "safety"): 1_418,
+    ("IEEE Xplore", "security"): 2_034,
+    ("ACM Digital Library", "safety"): 3_127,
+    ("ACM Digital Library", "security"): 2_855,
+    ("Springer Link", "safety"): 28_907,
+    ("Springer Link", "security"): 40_283,
+    ("Google Scholar", "safety"): 17_400,
+    ("Google Scholar", "security"): 21_900,
+}
+
+
+@dataclass(frozen=True)
+class CorpusPaper:
+    """One paper in the corpus, with the selectors' judgments as data.
+
+    ``matches`` records which query strings surface the paper.
+    ``hints_assurance_argument`` / ``evidence_item_only`` /
+    ``formal_other_sense`` encode the three phase-one exclusion criteria;
+    ``documents_claim_support`` / ``symbolic_or_deductive_linkage`` encode
+    the two phase-two criteria (§III.C).  ``relevance`` drives result
+    ranking within a library.
+    """
+
+    key: str
+    title: str
+    abstract: str
+    libraries: frozenset[str]
+    matches: frozenset[Domain]
+    relevance: float
+    hints_assurance_argument: bool
+    evidence_item_only: bool
+    formal_other_sense: bool
+    documents_claim_support: bool
+    symbolic_or_deductive_linkage: bool
+    record: PaperRecord | None = None
+
+
+_SYNTH_SAFETY_TOPICS = (
+    "hazard log consistency", "ALARP determinations",
+    "safety monitor synthesis", "FMEA table generation",
+    "safety kernel verification", "certification data packaging",
+    "assurance deficit scoring", "safety contract composition",
+    "goal decomposition heuristics", "risk matrix calibration",
+    "incident precursors mining", "safety envelope estimation",
+)
+
+_SYNTH_SECURITY_TOPICS = (
+    "threat model elicitation", "attack tree pruning",
+    "security control mapping", "trust boundary documentation",
+    "misuse case derivation", "penetration finding triage",
+)
+
+_NOISE_TEMPLATES = (
+    ("A formal {domain} analysis of {topic} protocols",
+     "We prove properties of a protocol; no assurance case is involved."),
+    ("Formal verification of {topic} algorithms for {domain} systems",
+     "An item of evidence: algorithm-level proof, not an argument."),
+    ("{topic} in formal attire: a position on {domain} culture",
+     "Uses 'formal' in the sartorial sense."),
+    ("Towards formal {domain} training curricula: {topic}",
+     "Education-focused; formal here means accredited."),
+    ("Model checking {topic} for {domain}-critical middleware",
+     "Verification evidence for middleware; no argumentation."),
+)
+
+_NOISE_TOPICS = (
+    "handshake", "consensus", "cache coherence", "routing",
+    "scheduler", "garbage collection", "authentication", "telemetry",
+    "watchdog", "bus arbitration", "key exchange", "logging",
+)
+
+
+@dataclass
+class Corpus:
+    """The full synthetic corpus, indexable by library."""
+
+    papers: list[CorpusPaper]
+
+    def in_library(self, library: str) -> list[CorpusPaper]:
+        return [p for p in self.papers if library in p.libraries]
+
+    def relevant(self) -> list[CorpusPaper]:
+        """Papers a careful phase-one selector keeps."""
+        return [
+            p for p in self.papers
+            if p.hints_assurance_argument
+            and not p.evidence_item_only
+            and not p.formal_other_sense
+        ]
+
+    def paper(self, key: str) -> CorpusPaper:
+        for candidate in self.papers:
+            if candidate.key == key:
+                return candidate
+        raise KeyError(key)
+
+    def __len__(self) -> int:
+        return len(self.papers)
+
+
+def _allocate_instances(
+    quotas: Mapping[str, int],
+    unique_count: int,
+    rng: random.Random,
+) -> list[tuple[str, ...]]:
+    """Assign library tuples to ``unique_count`` papers to meet quotas.
+
+    Total quota instances may exceed the unique count; the surplus papers
+    are indexed in two libraries.  Returns one library tuple per paper.
+    """
+    slots: list[str] = []
+    for library in LIBRARIES:
+        slots.extend([library] * quotas.get(library, 0))
+    surplus = len(slots) - unique_count
+    if surplus < 0:
+        raise ValueError("quotas smaller than unique paper count")
+    rng.shuffle(slots)
+    assignments: list[tuple[str, ...]] = []
+    index = 0
+    for paper_number in range(unique_count):
+        if paper_number < surplus:
+            # Doubly indexed: take two distinct libraries from the pool.
+            first = slots[index]
+            second_index = next(
+                (j for j in range(index + 1, len(slots))
+                 if slots[j] != first),
+                None,
+            )
+            if second_index is None:
+                raise ValueError("cannot find distinct second library")
+            second = slots.pop(second_index)
+            assignments.append((first, second))
+            index += 1
+        else:
+            assignments.append((slots[index],))
+            index += 1
+    return assignments
+
+
+def build_corpus(seed: int = 2014) -> Corpus:
+    """Construct the calibrated corpus (deterministic in ``seed``)."""
+    rng = random.Random(seed)
+    papers: list[CorpusPaper] = []
+
+    selected_safety = [
+        p for p in SELECTED_PAPERS if p.domain is Domain.SAFETY
+    ]
+    selected_security = [
+        p for p in SELECTED_PAPERS if p.domain is Domain.SECURITY
+    ]
+
+    # --- the 54-unique safety population -------------------------------
+    # 15 selected + 34 synthetic phase-2-rejects, single- or double-indexed
+    # to fill the safety column quotas net of the 5 dual-domain papers.
+    both_library_homes = ["IEEE Xplore", "IEEE Xplore", "IEEE Xplore",
+                          "ACM Digital Library", "ACM Digital Library"]
+    safety_quotas = {
+        library: TABLE_I[library]["safety"] for library in LIBRARIES
+    }
+    for library in both_library_homes:
+        safety_quotas[library] -= 1
+    security_quotas = {
+        library: TABLE_I[library]["security"] for library in LIBRARIES
+    }
+    for library in both_library_homes:
+        security_quotas[library] -= 1
+
+    safety_unique = len(selected_safety) + 34  # 49
+    safety_libraries = _allocate_instances(
+        safety_quotas, safety_unique, rng
+    )
+    security_unique = len(selected_security) + 13  # 18
+    security_libraries = _allocate_instances(
+        security_quotas, security_unique, rng
+    )
+
+    def relevance(rank_band: float) -> float:
+        return rank_band + rng.random() * 0.2
+
+    # Selected papers first (they must reach phase 2).
+    for record, libs in zip(selected_safety,
+                            safety_libraries[: len(selected_safety)]):
+        papers.append(CorpusPaper(
+            key=record.key,
+            title=record.title,
+            abstract=f"{record.authors} ({record.year}). {record.notes}",
+            libraries=frozenset(libs),
+            matches=frozenset((Domain.SAFETY,)),
+            relevance=relevance(0.8),
+            hints_assurance_argument=True,
+            evidence_item_only=False,
+            formal_other_sense=False,
+            documents_claim_support=True,
+            symbolic_or_deductive_linkage=True,
+            record=record,
+        ))
+    for record, libs in zip(selected_security,
+                            security_libraries[: len(selected_security)]):
+        papers.append(CorpusPaper(
+            key=record.key,
+            title=record.title,
+            abstract=f"{record.authors} ({record.year}). {record.notes}",
+            libraries=frozenset(libs),
+            matches=frozenset((Domain.SECURITY,)),
+            relevance=relevance(0.8),
+            hints_assurance_argument=True,
+            evidence_item_only=False,
+            formal_other_sense=False,
+            documents_claim_support=True,
+            symbolic_or_deductive_linkage=True,
+            record=record,
+        ))
+
+    # Phase-1-pass / phase-2-fail synthetics.  They look like assurance-
+    # argument papers from title and abstract but the full text reveals no
+    # symbolic/deductive evidence-to-claim linkage (the phase-two cut).
+    def synthetic(key: str, topic: str, domains: frozenset[Domain],
+                  libs: tuple[str, ...]) -> CorpusPaper:
+        domain_word = (
+            "safety" if Domain.SAFETY in domains else "security"
+        )
+        if len(domains) == 2:
+            domain_word = "safety and security"
+        return CorpusPaper(
+            key=key,
+            title=f"Structuring {domain_word} argumentation for "
+                  f"{topic}",
+            abstract=(
+                f"We discuss how {domain_word} cases might address "
+                f"{topic}, surveying argument structures."
+            ),
+            libraries=frozenset(libs),
+            matches=domains,
+            relevance=relevance(0.6),
+            hints_assurance_argument=True,
+            evidence_item_only=False,
+            formal_other_sense=False,
+            documents_claim_support=True,
+            symbolic_or_deductive_linkage=False,
+            record=None,
+        )
+
+    for index in range(34):
+        topic = _SYNTH_SAFETY_TOPICS[index % len(_SYNTH_SAFETY_TOPICS)]
+        libs = safety_libraries[len(selected_safety) + index]
+        papers.append(synthetic(
+            f"synth_safety_{index:02d}", topic,
+            frozenset((Domain.SAFETY,)), libs,
+        ))
+    for index in range(13):
+        topic = _SYNTH_SECURITY_TOPICS[index % len(_SYNTH_SECURITY_TOPICS)]
+        libs = security_libraries[len(selected_security) + index]
+        papers.append(synthetic(
+            f"synth_security_{index:02d}", topic,
+            frozenset((Domain.SECURITY,)), libs,
+        ))
+    # The five dual-domain papers (each in one library).
+    for index, library in enumerate(both_library_homes):
+        papers.append(synthetic(
+            f"synth_both_{index:02d}",
+            "dependability cases for mixed-criticality platforms",
+            frozenset((Domain.SAFETY, Domain.SECURITY)),
+            (library,),
+        ))
+
+    # --- noise -----------------------------------------------------------
+    # Lexically matching, phase-one-excluded papers in every cell.  Enough
+    # of them rank inside the first sixty to make the cut-off meaningful.
+    noise_counter = 0
+    for library in LIBRARIES:
+        for domain in (Domain.SAFETY, Domain.SECURITY):
+            for _ in range(70):
+                template_title, template_abstract = rng.choice(
+                    _NOISE_TEMPLATES
+                )
+                topic = rng.choice(_NOISE_TOPICS)
+                reason = rng.random()
+                papers.append(CorpusPaper(
+                    key=f"noise_{noise_counter:04d}",
+                    title=template_title.format(
+                        domain=domain.value, topic=topic
+                    ),
+                    abstract=template_abstract,
+                    libraries=frozenset((library,)),
+                    matches=frozenset((domain,)),
+                    relevance=relevance(0.3),
+                    hints_assurance_argument=reason < 0.15,
+                    evidence_item_only=reason < 0.40,
+                    formal_other_sense=0.40 <= reason < 0.55,
+                    documents_claim_support=False,
+                    symbolic_or_deductive_linkage=False,
+                    record=None,
+                ))
+                noise_counter += 1
+
+    return Corpus(papers)

@@ -1,0 +1,501 @@
+"""The survey's data: selected papers, characterisations, Table I.
+
+This module encodes §III of the paper as structured data:
+
+* :data:`SELECTED_PAPERS` — the twenty selected proposals with their
+  §III characterisation (the four research questions of §III.A);
+* :data:`TABLE_I` — the phase-one selection counts per digital library
+  and domain, exactly as published;
+* the derived in-text counts of §IV/§V (six papers claiming mechanical-
+  validation confidence, eleven formalising content, four syntax, ...),
+  via the ``papers_*`` query helpers.
+
+A note on the selected set.  The paper states 'Phase two yielded twenty
+selected papers [6]-[25]', but its own in-text count lists cite reference
+[39] (Sokolsky et al.) — which §III.N characterises like any other
+selected proposal — while reference [21] (Rushby's AAA workshop paper) is
+never characterised or counted anywhere.  We therefore take the operative
+selected set to be the twenty papers the survey actually characterises
+and counts: [6]-[20], [22]-[25], and [39].  With that set, every in-text
+count in §IV and §V.B reproduces exactly (see
+``benchmarks/bench_survey_counts.py``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+__all__ = [
+    "Domain",
+    "FormalisationKind",
+    "Relationship",
+    "PaperRecord",
+    "SELECTED_PAPERS",
+    "TABLE_I",
+    "TABLE_I_UNIQUE",
+    "papers_claiming_mechanical_confidence",
+    "papers_formalising_syntax",
+    "papers_formalising_content",
+    "papers_mentioning_mechanical_verification",
+    "papers_informal_first",
+    "papers_formalising_pattern_structure",
+    "papers_formalising_pattern_parameters",
+]
+
+
+class Domain(enum.Enum):
+    """Which search domain a paper belongs to."""
+
+    SAFETY = "safety"
+    SECURITY = "security"
+
+
+class FormalisationKind(enum.Enum):
+    """What the proposal formalises (§II.B's three senses, operationalised)."""
+
+    SYNTAX = "syntax"              # formally specified argument syntax
+    CONTENT = "content"            # symbolic/deductive claim content
+    ANNOTATION = "annotation"      # metadata attached to informal content
+    SYNTAX_AND_PARAMETERS = "syntax_and_parameters"  # patterns + typed params
+
+
+class Relationship(enum.Enum):
+    """RQ2: does the formalism replace or augment the informal argument?"""
+
+    REPLACES = "replaces"
+    AUGMENTS = "augments"
+    GENERATED_FROM_PROOF = "generated_from_proof"
+    UNCLEAR = "unclear"
+
+
+@dataclass(frozen=True)
+class PaperRecord:
+    """One selected paper with its §III characterisation.
+
+    The boolean fields encode the paper's answers to the survey's research
+    questions; ``group`` is the §III subsection that characterises it.
+    """
+
+    key: str
+    reference: int                     # the survey's reference number
+    authors: str
+    year: int
+    title: str
+    venue: str
+    domain: Domain
+    group: str                         # §III subsection letter
+    formalises: FormalisationKind
+    relationship: Relationship
+    claims_mechanical_confidence: bool  # counted in §IV's 'six of twenty'
+    formalises_content: bool            # counted in §V.B's eleven
+    mentions_mechanical_verification: bool  # §V.B's four
+    informal_first: bool                # §VI.B's three
+    pattern_structure: bool             # §VI.D's three
+    pattern_parameters: bool            # §VI.D's two
+    claims_benefit: bool
+    provides_substantial_evidence: bool
+    mentions_drawbacks: bool
+    notes: str = ""
+
+
+def _paper(**kwargs: object) -> PaperRecord:
+    return PaperRecord(**kwargs)  # type: ignore[arg-type]
+
+
+SELECTED_PAPERS: tuple[PaperRecord, ...] = (
+    _paper(
+        key="basir2009", reference=6,
+        authors="Basir, Denney & Fischer", year=2009,
+        title="Deriving safety cases from automatically constructed proofs",
+        venue="IET Int'l Conf. on Systems Safety",
+        domain=Domain.SAFETY, group="E",
+        formalises=FormalisationKind.CONTENT,
+        relationship=Relationship.GENERATED_FROM_PROOF,
+        claims_mechanical_confidence=False, formalises_content=False,
+        mentions_mechanical_verification=False, informal_first=False,
+        pattern_structure=False, pattern_parameters=False,
+        claims_benefit=True, provides_substantial_evidence=False,
+        mentions_drawbacks=True,
+        notes="generated arguments make proofs more readable; conversion "
+              "'far from satisfactory ... too many details'",
+    ),
+    _paper(
+        key="basir2010", reference=7,
+        authors="Basir, Denney & Fischer", year=2010,
+        title="Deriving safety cases for hierarchical structure in "
+              "model-based development",
+        venue="SAFECOMP",
+        domain=Domain.SAFETY, group="E",
+        formalises=FormalisationKind.CONTENT,
+        relationship=Relationship.GENERATED_FROM_PROOF,
+        claims_mechanical_confidence=False, formalises_content=False,
+        mentions_mechanical_verification=False, informal_first=False,
+        pattern_structure=False, pattern_parameters=False,
+        claims_benefit=True, provides_substantial_evidence=False,
+        mentions_drawbacks=False,
+        notes="goals like 'Formal proof that Quat4::quat(NED, Body) holds "
+              "for Fc.cpp' are not propositions as GSN requires",
+    ),
+    _paper(
+        key="bishop1995", reference=8,
+        authors="Bishop & Bloomfield", year=1995,
+        title="The SHIP safety case approach",
+        venue="SAFECOMP",
+        domain=Domain.SAFETY, group="F",
+        formalises=FormalisationKind.CONTENT,
+        relationship=Relationship.REPLACES,
+        claims_mechanical_confidence=False, formalises_content=True,
+        mentions_mechanical_verification=False, informal_first=False,
+        pattern_structure=False, pattern_parameters=False,
+        claims_benefit=False, provides_substantial_evidence=False,
+        mentions_drawbacks=False,
+        notes="deterministic arguments: evidence as axioms, predicate "
+              "logic rules, the safety argument as a proof (Gentzen)",
+    ),
+    _paper(
+        key="brunel2012", reference=9,
+        authors="Brunel & Cazin", year=2012,
+        title="Formal verification of a safety argumentation and "
+              "application to a complex UAV system",
+        venue="DESEC4LCCI",
+        domain=Domain.SAFETY, group="G",
+        formalises=FormalisationKind.CONTENT,
+        relationship=Relationship.REPLACES,
+        claims_mechanical_confidence=True, formalises_content=True,
+        mentions_mechanical_verification=True, informal_first=True,
+        pattern_structure=False, pattern_parameters=False,
+        claims_benefit=True, provides_substantial_evidence=False,
+        mentions_drawbacks=True,
+        notes="LTL semantics; notes the objective is to convince a "
+              "certification authority, not a temporal-logic specialist",
+    ),
+    _paper(
+        key="denney2012", reference=10,
+        authors="Denney, Pai & Pohl", year=2012,
+        title="Heterogeneous aviation safety cases: Integrating the "
+              "formal and the non-formal",
+        venue="ICECCS",
+        domain=Domain.SAFETY, group="E",
+        formalises=FormalisationKind.CONTENT,
+        relationship=Relationship.GENERATED_FROM_PROOF,
+        claims_mechanical_confidence=False, formalises_content=False,
+        mentions_mechanical_verification=False, informal_first=False,
+        pattern_structure=False, pattern_parameters=False,
+        claims_benefit=True, provides_substantial_evidence=False,
+        mentions_drawbacks=False,
+        notes="scope narrowed to proof that code refines a formal spec; "
+              "asserts manual arguments 'quickly become unmanageable' "
+              "without evidence",
+    ),
+    _paper(
+        key="denney_pai2013", reference=11,
+        authors="Denney & Pai", year=2013,
+        title="A formal basis for safety case patterns",
+        venue="SAFECOMP",
+        domain=Domain.SAFETY, group="I",
+        formalises=FormalisationKind.SYNTAX,
+        relationship=Relationship.AUGMENTS,
+        claims_mechanical_confidence=True, formalises_content=False,
+        mentions_mechanical_verification=False, informal_first=False,
+        pattern_structure=True, pattern_parameters=False,
+        claims_benefit=True, provides_substantial_evidence=False,
+        mentions_drawbacks=False,
+        notes="formal syntax tuple <N, l, t, ->>; their goal-to-goal rule "
+              "contradicts the GSN standard",
+    ),
+    _paper(
+        key="denney_whiteside2013", reference=12,
+        authors="Denney, Pai & Whiteside", year=2013,
+        title="Hierarchical safety cases",
+        venue="NASA Formal Methods Symp.",
+        domain=Domain.SAFETY, group="I",
+        formalises=FormalisationKind.SYNTAX,
+        relationship=Relationship.AUGMENTS,
+        claims_mechanical_confidence=False, formalises_content=False,
+        mentions_mechanical_verification=False, informal_first=False,
+        pattern_structure=False, pattern_parameters=False,
+        claims_benefit=True, provides_substantial_evidence=False,
+        mentions_drawbacks=False,
+        notes="hicases: fold/unfold views; formal syntax credited only "
+              "with enabling the tooling",
+    ),
+    _paper(
+        key="denney_naylor2014", reference=13,
+        authors="Denney, Naylor & Pai", year=2014,
+        title="Querying safety cases",
+        venue="SAFECOMP",
+        domain=Domain.SAFETY, group="H",
+        formalises=FormalisationKind.ANNOTATION,
+        relationship=Relationship.AUGMENTS,
+        claims_mechanical_confidence=False, formalises_content=False,
+        mentions_mechanical_verification=False, informal_first=False,
+        pattern_structure=False, pattern_parameters=False,
+        claims_benefit=True, provides_substantial_evidence=False,
+        mentions_drawbacks=True,
+        notes="metadata grammar attribute ::= attributeName param*; "
+              "mentions ontology cost; never compares against text search",
+    ),
+    _paper(
+        key="forder1992", reference=14,
+        authors="Forder", year=1992,
+        title="A safety argument manager",
+        venue="IEE Colloq. on Software in Air Traffic Control Systems",
+        domain=Domain.SAFETY, group="J",
+        formalises=FormalisationKind.CONTENT,
+        relationship=Relationship.UNCLEAR,
+        claims_mechanical_confidence=False, formalises_content=True,
+        mentions_mechanical_verification=False, informal_first=False,
+        pattern_structure=False, pattern_parameters=False,
+        claims_benefit=False, provides_substantial_evidence=False,
+        mentions_drawbacks=False,
+        notes="earliest proposal surveyed; 'formal statements ... will "
+              "allow automatic detection of inconsistencies'",
+    ),
+    _paper(
+        key="haley2006", reference=15,
+        authors="Haley, Moffett, Laney & Nuseibeh", year=2006,
+        title="A framework for security requirements engineering",
+        venue="SESS",
+        domain=Domain.SECURITY, group="K",
+        formalises=FormalisationKind.CONTENT,
+        relationship=Relationship.REPLACES,
+        claims_mechanical_confidence=False, formalises_content=True,
+        mentions_mechanical_verification=False, informal_first=False,
+        pattern_structure=False, pattern_parameters=False,
+        claims_benefit=False, provides_substantial_evidence=False,
+        mentions_drawbacks=False,
+        notes="outer formal / inner informal satisfaction arguments "
+              "introduced",
+    ),
+    _paper(
+        key="haley2008", reference=16,
+        authors="Haley, Laney, Moffett & Nuseibeh", year=2008,
+        title="Security requirements engineering: A framework for "
+              "representation and analysis",
+        venue="IEEE TSE",
+        domain=Domain.SECURITY, group="K",
+        formalises=FormalisationKind.CONTENT,
+        relationship=Relationship.REPLACES,
+        claims_mechanical_confidence=True, formalises_content=True,
+        mentions_mechanical_verification=False, informal_first=False,
+        pattern_structure=False, pattern_parameters=False,
+        claims_benefit=True, provides_substantial_evidence=False,
+        mentions_drawbacks=True,
+        notes="the 11-step natural-deduction outer argument; industrial "
+              "partners wanted to skip straight to the inner arguments",
+    ),
+    _paper(
+        key="matsuno2011", reference=17,
+        authors="Matsuno & Taguchi", year=2011,
+        title="Parameterised argument structure in GSN patterns",
+        venue="Int'l Conf. on Quality Software",
+        domain=Domain.SAFETY, group="L",
+        formalises=FormalisationKind.SYNTAX_AND_PARAMETERS,
+        relationship=Relationship.AUGMENTS,
+        claims_mechanical_confidence=True, formalises_content=False,
+        mentions_mechanical_verification=False, informal_first=False,
+        pattern_structure=True, pattern_parameters=True,
+        claims_benefit=True, provides_substantial_evidence=False,
+        mentions_drawbacks=False,
+        notes="[2/x, /y, \"hello\"/z] instantiation annotations; 0-100% "
+              "CPU utilisation range restriction example",
+    ),
+    _paper(
+        key="matsuno2014", reference=18,
+        authors="Matsuno", year=2014,
+        title="A design and implementation of an assurance case language",
+        venue="DSN",
+        domain=Domain.SAFETY, group="L",
+        formalises=FormalisationKind.SYNTAX_AND_PARAMETERS,
+        relationship=Relationship.AUGMENTS,
+        claims_mechanical_confidence=True, formalises_content=False,
+        mentions_mechanical_verification=False, informal_first=False,
+        pattern_structure=True, pattern_parameters=True,
+        claims_benefit=True, provides_substantial_evidence=False,
+        mentions_drawbacks=False,
+        notes="claims 'semantics' but defines only syntax; 'Railway "
+              "hazards' for 'System X' type-checking example",
+    ),
+    _paper(
+        key="rushby2010", reference=19,
+        authors="Rushby", year=2010,
+        title="Formalism in safety cases",
+        venue="Safety-Critical Systems Symposium",
+        domain=Domain.SAFETY, group="M",
+        formalises=FormalisationKind.CONTENT,
+        relationship=Relationship.AUGMENTS,
+        claims_mechanical_confidence=False, formalises_content=True,
+        mentions_mechanical_verification=True, informal_first=True,
+        pattern_structure=False, pattern_parameters=False,
+        claims_benefit=True, provides_substantial_evidence=False,
+        mentions_drawbacks=True,
+        notes="partial formalisation; candidly notes benefit 'depends on "
+              "whether unsoundness is a significant hazard to real safety "
+              "cases' and calls for experiments",
+    ),
+    _paper(
+        key="rushby2013", reference=20,
+        authors="Rushby", year=2013,
+        title="Logic and epistemology in safety cases",
+        venue="SAFECOMP",
+        domain=Domain.SAFETY, group="M",
+        formalises=FormalisationKind.CONTENT,
+        relationship=Relationship.AUGMENTS,
+        claims_mechanical_confidence=False, formalises_content=True,
+        mentions_mechanical_verification=True, informal_first=False,
+        pattern_structure=False, pattern_parameters=False,
+        claims_benefit=True, provides_substantial_evidence=False,
+        mentions_drawbacks=True,
+        notes="evaluation 'can - and should - largely be reduced to "
+              "calculation'; what-if probing; 'try this out and see if "
+              "it works'",
+    ),
+    _paper(
+        key="tun2012", reference=22,
+        authors="Tun, Bandara, Price, Yu, Haley, Omoronyia & Nuseibeh",
+        year=2012,
+        title="Privacy arguments: Analysing selective disclosure "
+              "requirements for mobile applications",
+        venue="IEEE RE",
+        domain=Domain.SECURITY, group="P",
+        formalises=FormalisationKind.CONTENT,
+        relationship=Relationship.REPLACES,
+        claims_mechanical_confidence=False, formalises_content=True,
+        mentions_mechanical_verification=True, informal_first=True,
+        pattern_structure=False, pattern_parameters=False,
+        claims_benefit=True, provides_substantial_evidence=False,
+        mentions_drawbacks=False,
+        notes="Event Calculus privacy arguments; availability, denial, "
+              "explanation checks",
+    ),
+    _paper(
+        key="tolchinsky2012", reference=23,
+        authors="Tolchinsky, Modgil, Atkinson, McBurney & Cortes",
+        year=2012,
+        title="Deliberation dialogues for reasoning about safety "
+              "critical actions",
+        venue="Autonomous Agents and Multi-Agent Systems",
+        domain=Domain.SAFETY, group="O",
+        formalises=FormalisationKind.CONTENT,
+        relationship=Relationship.UNCLEAR,
+        claims_mechanical_confidence=False, formalises_content=False,
+        mentions_mechanical_verification=False, informal_first=False,
+        pattern_structure=False, pattern_parameters=False,
+        claims_benefit=False, provides_substantial_evidence=False,
+        mentions_drawbacks=True,
+        notes="non-monotonic logic for on-line safety-critical decision "
+              "support; not related to traditional safety arguments",
+    ),
+    _paper(
+        key="tun2010", reference=24,
+        authors="Tun, Yu, Haley & Nuseibeh", year=2010,
+        title="Model-based argument analysis for evolving security "
+              "requirements",
+        venue="SSIRI",
+        domain=Domain.SECURITY, group="K",
+        formalises=FormalisationKind.CONTENT,
+        relationship=Relationship.REPLACES,
+        claims_mechanical_confidence=False, formalises_content=True,
+        mentions_mechanical_verification=False, informal_first=False,
+        pattern_structure=False, pattern_parameters=False,
+        claims_benefit=False, provides_substantial_evidence=False,
+        mentions_drawbacks=False,
+        notes="extends the Haley framework with more examples",
+    ),
+    _paper(
+        key="yu2011", reference=25,
+        authors="Yu, Tun, Tedeschi, Franqueira & Nuseibeh", year=2011,
+        title="OpenArgue: Supporting argumentation to evolve secure "
+              "software systems",
+        venue="IEEE RE",
+        domain=Domain.SECURITY, group="K",
+        formalises=FormalisationKind.CONTENT,
+        relationship=Relationship.REPLACES,
+        claims_mechanical_confidence=False, formalises_content=True,
+        mentions_mechanical_verification=False, informal_first=False,
+        pattern_structure=False, pattern_parameters=False,
+        claims_benefit=True, provides_substantial_evidence=False,
+        mentions_drawbacks=False,
+        notes="tool paper; 'helpful to domain experts' claim rests on an "
+              "unassessable case study",
+    ),
+    _paper(
+        key="sokolsky2011", reference=39,
+        authors="Sokolsky, Lee & Heimdahl", year=2011,
+        title="Challenges in the regulatory approval of medical "
+              "cyber-physical systems",
+        venue="EMSOFT",
+        domain=Domain.SAFETY, group="N",
+        formalises=FormalisationKind.CONTENT,
+        relationship=Relationship.UNCLEAR,
+        claims_mechanical_confidence=True, formalises_content=True,
+        mentions_mechanical_verification=False, informal_first=False,
+        pattern_structure=False, pattern_parameters=False,
+        claims_benefit=True, provides_substantial_evidence=False,
+        mentions_drawbacks=False,
+        notes="multi-sorted FOL exploration; cites Greenwell for 'logical "
+              "fallacies are common' — but those fallacies are informal",
+    ),
+)
+
+
+#: Table I exactly as published: phase-one selections per library/domain.
+TABLE_I: Mapping[str, Mapping[str, int]] = {
+    "IEEE Xplore": {"safety": 12, "security": 13},
+    "ACM Digital Library": {"safety": 17, "security": 7},
+    "Springer Link": {"safety": 24, "security": 2},
+    "Google Scholar": {"safety": 8, "security": 1},
+}
+
+#: The unique-results row: 72 total; 54 safety, 23 security (the overlap
+#: of 5 papers matched both queries: 54 + 23 - 72 = 5).
+TABLE_I_UNIQUE: Mapping[str, int] = {
+    "total": 72,
+    "safety": 54,
+    "security": 23,
+}
+
+
+def papers_claiming_mechanical_confidence() -> list[PaperRecord]:
+    """§IV: the six papers claiming mechanical validation adds confidence."""
+    return [p for p in SELECTED_PAPERS if p.claims_mechanical_confidence]
+
+
+def papers_formalising_syntax() -> list[PaperRecord]:
+    """§V.A: the four papers formalising graphical-argument syntax."""
+    return [
+        p for p in SELECTED_PAPERS
+        if p.formalises in (
+            FormalisationKind.SYNTAX,
+            FormalisationKind.SYNTAX_AND_PARAMETERS,
+        )
+    ]
+
+
+def papers_formalising_content() -> list[PaperRecord]:
+    """§V.B: the eleven papers formalising content into deductive logic."""
+    return [p for p in SELECTED_PAPERS if p.formalises_content]
+
+
+def papers_mentioning_mechanical_verification() -> list[PaperRecord]:
+    """§V.B: the four explicitly mentioning mechanical verification."""
+    return [
+        p for p in SELECTED_PAPERS if p.mentions_mechanical_verification
+    ]
+
+
+def papers_informal_first() -> list[PaperRecord]:
+    """§VI.B: the three proposing informal construction then formalisation."""
+    return [p for p in SELECTED_PAPERS if p.informal_first]
+
+
+def papers_formalising_pattern_structure() -> list[PaperRecord]:
+    """§VI.D: the three formalising argument pattern structure."""
+    return [p for p in SELECTED_PAPERS if p.pattern_structure]
+
+
+def papers_formalising_pattern_parameters() -> list[PaperRecord]:
+    """§VI.D: the two also formalising pattern parameters."""
+    return [p for p in SELECTED_PAPERS if p.pattern_parameters]

@@ -1,0 +1,111 @@
+"""Survey pipeline driver and Table I generation.
+
+:func:`run_survey` executes the full documented method — build the corpus,
+run the eight searches, apply both selection phases — and packages the
+outcome so the Table I benchmark can compare it cell-by-cell against the
+published numbers in :data:`~repro.survey.records.TABLE_I`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from .corpus import Corpus, LIBRARIES, build_corpus
+from .records import (
+    Domain,
+    PaperRecord,
+    SELECTED_PAPERS,
+    TABLE_I,
+    TABLE_I_UNIQUE,
+)
+from .search import SearchResult, run_searches
+from .selection import Phase1Selection, select_phase1, select_phase2
+
+__all__ = ["SurveyOutcome", "run_survey", "render_table_i"]
+
+
+@dataclass(frozen=True)
+class SurveyOutcome:
+    """Everything the pipeline produced."""
+
+    corpus_size: int
+    searches: tuple[SearchResult, ...]
+    phase1: Phase1Selection
+    phase2_keys: tuple[str, ...]
+
+    def table(self) -> dict[str, dict[str, int]]:
+        """Phase-one counts in the Table I layout."""
+        return {
+            library: {
+                "safety": self.phase1.cell_count(library, Domain.SAFETY),
+                "security": self.phase1.cell_count(
+                    library, Domain.SECURITY
+                ),
+            }
+            for library in LIBRARIES
+        }
+
+    def unique_counts(self) -> dict[str, int]:
+        """The unique-results row of Table I."""
+        return {
+            "total": len(self.phase1.unique),
+            "safety": len(self.phase1.unique_in_domain(Domain.SAFETY)),
+            "security": len(
+                self.phase1.unique_in_domain(Domain.SECURITY)
+            ),
+        }
+
+    def matches_published_table(self) -> bool:
+        """Cell-by-cell agreement with the published Table I."""
+        if self.table() != {
+            library: dict(cells) for library, cells in TABLE_I.items()
+        }:
+            return False
+        return self.unique_counts() == dict(TABLE_I_UNIQUE)
+
+    def selected_records(self) -> list[PaperRecord]:
+        """The phase-two survivors' bibliographic records."""
+        by_key = {p.key: p for p in SELECTED_PAPERS}
+        return [by_key[k] for k in self.phase2_keys if k in by_key]
+
+
+def run_survey(seed: int = 2014, first_n: int = 60) -> SurveyOutcome:
+    """Execute the full survey method."""
+    corpus = build_corpus(seed)
+    searches = tuple(run_searches(corpus, first_n=first_n))
+    phase1 = select_phase1(searches)
+    phase2 = select_phase2(phase1)
+    return SurveyOutcome(
+        corpus_size=len(corpus),
+        searches=searches,
+        phase1=phase1,
+        phase2_keys=tuple(sorted(p.key for p in phase2)),
+    )
+
+
+def render_table_i(outcome: SurveyOutcome) -> str:
+    """Render the outcome in the shape of the paper's Table I."""
+    lines = [
+        "NUMBER OF PAPERS SELECTED IN THE FIRST SELECTION PHASE",
+        "",
+        f"{'Digital library':<24} {'Safety':>7} {'Security':>9}",
+        "-" * 42,
+    ]
+    table = outcome.table()
+    for library in LIBRARIES:
+        lines.append(
+            f"{library:<24} {table[library]['safety']:>7} "
+            f"{table[library]['security']:>9}"
+        )
+    unique = outcome.unique_counts()
+    lines.append("-" * 42)
+    lines.append(
+        f"{'Unique results (' + str(unique['total']) + ' total):':<24} "
+        f"{unique['safety']:>7} {unique['security']:>9}"
+    )
+    lines.append("")
+    lines.append(
+        f"Phase two yielded {len(outcome.phase2_keys)} selected papers."
+    )
+    return "\n".join(lines)

@@ -1,0 +1,86 @@
+"""Digital-library search simulation.
+
+§III.B: two query strings — 'formal safety argument' and 'formal security
+argument' — against four libraries, English only, no date limits, and
+'where electronic searches returned many results ... we restricted our
+attention to the first sixty'.  :class:`DigitalLibrary` reproduces that
+interface: ranked results, a claimed total (Springer's 40,283 makes the
+cut-off vivid), and the first-60 truncation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .corpus import CLAIMED_TOTALS, Corpus, CorpusPaper, LIBRARIES
+from .records import Domain
+
+__all__ = ["QUERIES", "SearchResult", "DigitalLibrary", "run_searches"]
+
+#: The two survey queries, keyed by domain.
+QUERIES: dict[Domain, str] = {
+    Domain.SAFETY: "formal safety argument",
+    Domain.SECURITY: "formal security argument",
+}
+
+FIRST_N = 60
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """One library's response to one query."""
+
+    library: str
+    domain: Domain
+    query: str
+    claimed_total: int
+    examined: tuple[CorpusPaper, ...]  # the first-60 window
+
+    def __len__(self) -> int:
+        return len(self.examined)
+
+
+class DigitalLibrary:
+    """One searchable library over the corpus."""
+
+    def __init__(self, name: str, corpus: Corpus) -> None:
+        if name not in LIBRARIES:
+            raise ValueError(f"unknown library {name!r}")
+        self.name = name
+        self._holdings = corpus.in_library(name)
+
+    def search(self, domain: Domain, first_n: int = FIRST_N) -> SearchResult:
+        """Ranked results for one query, truncated to the first ``first_n``.
+
+        Ranking is by stored relevance, descending, with the paper key as
+        a deterministic tiebreak.
+        """
+        matching = [
+            paper for paper in self._holdings if domain in paper.matches
+        ]
+        ranked = sorted(
+            matching, key=lambda p: (-p.relevance, p.key)
+        )
+        claimed = CLAIMED_TOTALS.get(
+            (self.name, domain.value), len(ranked)
+        )
+        return SearchResult(
+            library=self.name,
+            domain=domain,
+            query=QUERIES[domain],
+            claimed_total=max(claimed, len(ranked)),
+            examined=tuple(ranked[:first_n]),
+        )
+
+
+def run_searches(
+    corpus: Corpus, first_n: int = FIRST_N
+) -> list[SearchResult]:
+    """All eight library x query searches, in library order."""
+    results: list[SearchResult] = []
+    for name in LIBRARIES:
+        library = DigitalLibrary(name, corpus)
+        for domain in (Domain.SAFETY, Domain.SECURITY):
+            results.append(library.search(domain, first_n=first_n))
+    return results

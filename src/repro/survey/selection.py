@@ -1,0 +1,133 @@
+"""The two-phase selection procedure (§III.C).
+
+Phase one examines titles and abstracts and *excludes* papers where:
+
+1. nothing hints the paper is about an assurance argument or related
+   technology;
+2. the paper is about an item of evidence (e.g. an algorithm proof)
+   rather than argument formalisation;
+3. 'formal' is used in a sense other than formalised syntax or
+   symbolic/deductive logic.
+
+Phase two examines full texts and excludes papers that are not concerned
+with a system for documenting support for a dependability claim, or that
+never discuss recording the evidence-to-claim linkage in symbolic or
+deductive logic.
+
+The predicates below consume the selectors' judgments carried on each
+:class:`~repro.survey.corpus.CorpusPaper` — the corpus is where the human
+decisions live; this module is the documented procedure that applies
+them.  ``noisy_phase1`` adds a seeded error model for the §VI-style
+sensitivity benchmarks (single-researcher selection, as the paper's
+threats-to-validity paragraph concedes, has a miss rate).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from .corpus import CorpusPaper
+from .records import Domain
+from .search import SearchResult
+
+__all__ = [
+    "phase1_keep",
+    "phase2_keep",
+    "select_phase1",
+    "select_phase2",
+    "noisy_phase1",
+    "Phase1Selection",
+]
+
+
+def phase1_keep(paper: CorpusPaper) -> bool:
+    """Phase one: keep unless an exclusion criterion fires."""
+    if not paper.hints_assurance_argument:
+        return False
+    if paper.evidence_item_only:
+        return False
+    if paper.formal_other_sense:
+        return False
+    return True
+
+
+def phase2_keep(paper: CorpusPaper) -> bool:
+    """Phase two: both full-text criteria must hold."""
+    return (
+        paper.documents_claim_support
+        and paper.symbolic_or_deductive_linkage
+    )
+
+
+@dataclass(frozen=True)
+class Phase1Selection:
+    """Phase-one outcome: per-cell keeps plus the unique union."""
+
+    per_cell: dict[tuple[str, str], tuple[CorpusPaper, ...]]
+    unique: tuple[CorpusPaper, ...]
+
+    def cell_count(self, library: str, domain: Domain) -> int:
+        return len(self.per_cell[(library, domain.value)])
+
+    def unique_in_domain(self, domain: Domain) -> list[CorpusPaper]:
+        return [p for p in self.unique if domain in p.matches]
+
+
+def select_phase1(results: Sequence[SearchResult]) -> Phase1Selection:
+    """Apply phase one to every search window."""
+    per_cell: dict[tuple[str, str], tuple[CorpusPaper, ...]] = {}
+    seen: dict[str, CorpusPaper] = {}
+    for result in results:
+        kept = tuple(p for p in result.examined if phase1_keep(p))
+        per_cell[(result.library, result.domain.value)] = kept
+        for paper in kept:
+            seen.setdefault(paper.key, paper)
+    unique = tuple(
+        sorted(seen.values(), key=lambda p: p.key)
+    )
+    return Phase1Selection(per_cell, unique)
+
+
+def select_phase2(
+    phase1: Phase1Selection,
+) -> list[CorpusPaper]:
+    """Apply phase two to the unique phase-one survivors."""
+    return [p for p in phase1.unique if phase2_keep(p)]
+
+
+def noisy_phase1(
+    results: Sequence[SearchResult],
+    rng: random.Random,
+    miss_rate: float = 0.05,
+    false_keep_rate: float = 0.02,
+) -> Phase1Selection:
+    """Phase one with a single-researcher error model.
+
+    Each genuinely relevant paper is overlooked with ``miss_rate``; each
+    excludable paper is wrongly kept with ``false_keep_rate``.  Used by
+    the survey-sensitivity benchmark to show how Table I shifts under
+    realistic selection noise — the quantified version of the paper's
+    'we might obtain more complete and accurate results by ... including
+    multiple researchers'.
+    """
+    per_cell: dict[tuple[str, str], tuple[CorpusPaper, ...]] = {}
+    seen: dict[str, CorpusPaper] = {}
+    decisions: dict[str, bool] = {}
+    for result in results:
+        kept: list[CorpusPaper] = []
+        for paper in result.examined:
+            if paper.key not in decisions:
+                truth = phase1_keep(paper)
+                if truth:
+                    decisions[paper.key] = rng.random() >= miss_rate
+                else:
+                    decisions[paper.key] = rng.random() < false_keep_rate
+            if decisions[paper.key]:
+                kept.append(paper)
+        per_cell[(result.library, result.domain.value)] = tuple(kept)
+        for paper in kept:
+            seen.setdefault(paper.key, paper)
+    unique = tuple(sorted(seen.values(), key=lambda p: p.key))
+    return Phase1Selection(per_cell, unique)

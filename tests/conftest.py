@@ -1,0 +1,79 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import ArgumentBuilder
+from repro.core.argument import Argument
+from repro.core.case import AssuranceCase, SafetyCriterion
+from repro.core.evidence import EvidenceItem, EvidenceKind
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG for seeded tests."""
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def simple_argument() -> Argument:
+    """A minimal well-formed argument: goal -> strategy -> goal -> solution."""
+    builder = ArgumentBuilder("simple")
+    top = builder.goal("The system is acceptably safe")
+    strategy = builder.strategy(
+        "Argument over identified hazards", under=top
+    )
+    hazard = builder.goal("Hazard H1 is acceptably managed", under=strategy)
+    builder.solution("Fault tree analysis FTA-1", under=hazard)
+    return builder.build()
+
+
+@pytest.fixture
+def hazard_argument() -> Argument:
+    """A broader argument with context, assumptions, and several hazards."""
+    builder = ArgumentBuilder("hazards")
+    top = builder.goal("The braking system is acceptably safe")
+    builder.context("Operating context: urban light rail", under=top)
+    strategy = builder.strategy(
+        "Argument over each identified hazard", under=top
+    )
+    builder.justification(
+        "Hazard identification performed to EN 50126", under=strategy
+    )
+    for index in range(1, 5):
+        goal = builder.goal(
+            f"Hazard H{index} is acceptably managed", under=strategy
+        )
+        builder.solution(f"Mitigation record MR-{index}", under=goal)
+    builder.assumption(
+        "Track adhesion remains within the design envelope", under=strategy
+    )
+    return builder.build()
+
+
+@pytest.fixture
+def sample_case(hazard_argument: Argument) -> AssuranceCase:
+    """A case over the hazard argument with cited evidence."""
+    case = AssuranceCase(
+        "brake-case",
+        hazard_argument,
+        SafetyCriterion(
+            "Hazardous failure no more than once per million hours",
+            "hazardous_failure_rate",
+            1e-6,
+        ),
+    )
+    for index in range(1, 5):
+        case.add_evidence(
+            EvidenceItem(
+                identifier=f"ev{index}",
+                kind=EvidenceKind.FAULT_TREE_ANALYSIS,
+                description=f"fault tree for hazard H{index}",
+                coverage=0.9,
+            ),
+            cited_by=f"Sn{index}",
+        )
+    return case

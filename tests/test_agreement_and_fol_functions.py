@@ -1,0 +1,94 @@
+"""Tests for the agreement study (§V.C) and FOL function symbols."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.agreement_study import (
+    AgreementStudyConfig,
+    run_agreement_study,
+)
+from repro.logic.fol import Signature, SortError
+from repro.logic.terms import Const, Func, Var
+
+_SMALL = AgreementStudyConfig(reviewer_pairs=4, hazards=8,
+                              formal_instances=8)
+
+
+class TestAgreementStudy:
+    def test_deterministic(self):
+        assert run_agreement_study(_SMALL).rows() == \
+            run_agreement_study(_SMALL).rows()
+
+    def test_greenwell_observation_reproduces(self):
+        # Each reviewer overlooks fallacies the other flags.
+        result = run_agreement_study(_SMALL)
+        informal_row = result.rows()[0]
+        assert informal_row["mean_only_one_reviewer"] > 0
+        assert informal_row["mean_jaccard"] < 1.0
+
+    def test_formal_union_miss_rate_is_the_missing_number(self):
+        result = run_agreement_study(_SMALL)
+        assert 0.0 < result.formal_union_miss_rate < 1.0
+
+    def test_pair_outcome_bookkeeping(self):
+        result = run_agreement_study(_SMALL)
+        for outcome in result.informal_pairs:
+            assert outcome.flagged_a == outcome.both + outcome.only_a
+            assert outcome.flagged_b == outcome.both + outcome.only_b
+            assert 0.0 <= outcome.jaccard <= 1.0
+
+    def test_render(self):
+        text = run_agreement_study(_SMALL).render()
+        assert "union miss rate" in text
+        assert "informal (Greenwell kinds)" in text
+
+
+class TestFolFunctions:
+    @pytest.fixture
+    def signature(self) -> Signature:
+        sig = Signature()
+        task = sig.declare_sort("Task")
+        duration = sig.declare_sort("Duration")
+        sig.declare_constant("t1", task)
+        sig.declare_constant("ms250", duration)
+        sig.declare_function("wcet", [task], duration)
+        sig.declare_predicate("bounded_by", task, duration)
+        return sig
+
+    def test_function_sort_inference(self, signature):
+        term = Func("wcet", (Const("t1"),))
+        assert signature.sort_of_term(term, {}).name == "Duration"
+
+    def test_function_argument_sort_checked(self, signature):
+        term = Func("wcet", (Const("ms250"),))  # Duration, not Task
+        with pytest.raises(SortError):
+            signature.sort_of_term(term, {})
+
+    def test_function_arity_checked(self, signature):
+        term = Func("wcet", (Const("t1"), Const("t1")))
+        with pytest.raises(SortError):
+            signature.sort_of_term(term, {})
+
+    def test_undeclared_function_rejected(self, signature):
+        term = Func("bcet", (Const("t1"),))
+        with pytest.raises(SortError):
+            signature.sort_of_term(term, {})
+
+    def test_function_in_predicate(self, signature):
+        from repro.logic.terms import Atom
+
+        atom = Atom(
+            "bounded_by",
+            (Const("t1"), Func("wcet", (Const("t1"),))),
+        )
+        # bounded_by expects (Task, Duration); wcet(t1) has sort
+        # Duration, so the atom type-checks.
+        signature.check_atom(atom, {})
+
+    def test_variable_in_function(self, signature):
+        task = next(s for s in signature.sorts if s.name == "Task")
+        term = Func("wcet", (Var("T"),))
+        assert signature.sort_of_term(
+            term, {Var("T"): task}
+        ).name == "Duration"

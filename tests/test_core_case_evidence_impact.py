@@ -1,0 +1,148 @@
+"""Tests for repro.core.evidence, case, and impact."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.case import (
+    AssuranceCase,
+    LifecycleEventKind,
+    SafetyCriterion,
+)
+from repro.core.evidence import (
+    EvidenceError,
+    EvidenceItem,
+    EvidenceKind,
+    EvidenceRegistry,
+)
+from repro.core.impact import (
+    assumption_scope,
+    claims_affected_by,
+    evidence_impact,
+)
+
+
+class TestEvidenceItem:
+    def test_coverage_bounds(self):
+        with pytest.raises(EvidenceError):
+            EvidenceItem("e1", EvidenceKind.TESTING, "tests", coverage=1.5)
+        with pytest.raises(EvidenceError):
+            EvidenceItem("e1", EvidenceKind.TESTING, "tests", coverage=-0.1)
+
+    def test_negative_age_rejected(self):
+        with pytest.raises(EvidenceError):
+            EvidenceItem("e1", EvidenceKind.TESTING, "tests", age_days=-1)
+
+    def test_appropriateness_wrong_reasons_example(self):
+        # §V.B: wcet claim from unit test results.
+        item = EvidenceItem("e1", EvidenceKind.TESTING, "unit tests",
+                            topic="functional")
+        assert not item.appropriate_for("timing")
+        timing = EvidenceItem(
+            "e2", EvidenceKind.TIMING_ANALYSIS, "WCET analysis"
+        )
+        assert timing.appropriate_for("timing")
+
+    def test_unknown_topic_defaults_true(self):
+        item = EvidenceItem("e1", EvidenceKind.TESTING, "tests")
+        assert item.appropriate_for("novel_topic")
+
+
+class TestRegistry:
+    def test_duplicate_rejected(self):
+        registry = EvidenceRegistry()
+        registry.add(EvidenceItem("e1", EvidenceKind.TESTING, "tests"))
+        with pytest.raises(EvidenceError):
+            registry.add(EvidenceItem("e1", EvidenceKind.TESTING, "more"))
+
+    def test_unknown_lookup_rejected(self):
+        with pytest.raises(EvidenceError):
+            EvidenceRegistry().get("ghost")
+
+    def test_of_kind_and_stale_and_weakest(self):
+        registry = EvidenceRegistry([
+            EvidenceItem("e1", EvidenceKind.TESTING, "a", coverage=0.5,
+                         age_days=400),
+            EvidenceItem("e2", EvidenceKind.FIELD_DATA, "b", coverage=0.9),
+            EvidenceItem("e3", EvidenceKind.TESTING, "c", coverage=0.7),
+        ])
+        assert len(registry.of_kind(EvidenceKind.TESTING)) == 2
+        assert [i.identifier for i in registry.stale(365)] == ["e1"]
+        assert [i.identifier for i in registry.weakest(2)] == ["e1", "e3"]
+
+
+class TestAssuranceCase:
+    def test_created_event_logged(self, sample_case):
+        kinds = [e.kind for e in sample_case.history]
+        assert kinds[0] is LifecycleEventKind.CREATED
+
+    def test_cite_requires_solution_node(self, sample_case):
+        sample_case.evidence.add(EvidenceItem(
+            "extra", EvidenceKind.TESTING, "extra tests"
+        ))
+        with pytest.raises(ValueError, match="not a solution"):
+            sample_case.cite("G1", "extra")
+
+    def test_citations_round_trip(self, sample_case):
+        cited = sample_case.citations("Sn1")
+        assert [i.identifier for i in cited] == ["ev1"]
+        assert sample_case.citing_solutions("ev1") == ["Sn1"]
+
+    def test_withdraw_evidence(self, sample_case):
+        affected = sample_case.withdraw_evidence("ev1", "field failure")
+        assert affected == ["Sn1"]
+        assert sample_case.citations("Sn1") == []
+        kinds = [e.kind for e in sample_case.history]
+        assert LifecycleEventKind.EVIDENCE_WITHDRAWN in kinds
+
+    def test_decision_recording(self, sample_case):
+        sample_case.record_decision(
+            "Accept residual risk for H2", affected=["G3"]
+        )
+        decisions = sample_case.decisions()
+        assert len(decisions) == 1
+        assert decisions[0].affected_nodes == ("G3",)
+
+    def test_integrity_ok(self, sample_case):
+        report = sample_case.integrity_report()
+        assert report.ok
+        assert "OK" in report.summary()
+
+    def test_integrity_finds_uncited_and_unsupported(self, sample_case):
+        sample_case.evidence.add(EvidenceItem(
+            "orphan", EvidenceKind.TESTING, "never cited"
+        ))
+        sample_case.withdraw_evidence("ev2", "suspect")
+        report = sample_case.integrity_report()
+        assert not report.ok
+        assert "orphan" in report.uncited_evidence
+        assert "Sn2" in report.unsupported_solutions
+
+    def test_criterion_rendering(self, sample_case):
+        assert "1e-06" in str(sample_case.criterion)
+
+
+class TestImpact:
+    def test_claims_affected_by_solution(self, hazard_argument):
+        affected = claims_affected_by(hazard_argument, "Sn1")
+        names = {n.identifier for n in affected}
+        assert names == {"G2", "G1"}
+
+    def test_evidence_impact_reaches_root(self, sample_case):
+        report = evidence_impact(sample_case, "ev1")
+        assert report.root_reached
+        assert report.breadth == 2
+        assert report.affected_solutions == ("Sn1",)
+        assert "2 claim(s)" in report.summary()
+
+    def test_assumption_scope(self, hazard_argument):
+        scope = assumption_scope(hazard_argument, "A1")
+        names = {n.identifier for n in scope}
+        # The assumption attaches to the strategy: the root inherits it,
+        # and every hazard goal under the strategy is in scope.
+        assert "G1" in names
+        assert {"G2", "G3", "G4", "G5"} <= names
+
+    def test_assumption_scope_requires_assumption(self, hazard_argument):
+        with pytest.raises(ValueError, match="not an"):
+            assumption_scope(hazard_argument, "C1")

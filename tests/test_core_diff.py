@@ -1,0 +1,127 @@
+"""Tests for repro.core.diff — the maintenance view."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.builder import ArgumentBuilder
+from repro.core.diff import diff_arguments, render_diff
+from repro.core.nodes import Node, NodeType
+
+
+def _version_one():
+    builder = ArgumentBuilder("v1")
+    top = builder.goal("The system is acceptably safe")
+    strategy = builder.strategy("Argument over hazards", under=top)
+    h1 = builder.goal("Hazard H1 is acceptably managed", under=strategy)
+    builder.solution("Analysis record A1", under=h1)
+    h2 = builder.goal("Hazard H2 is acceptably managed", under=strategy)
+    builder.solution("Analysis record A2", under=h2)
+    return builder.build()
+
+
+class TestDiff:
+    def test_identical_versions_empty_diff(self):
+        before = _version_one()
+        after = _version_one()
+        diff = diff_arguments(before, after)
+        assert diff.is_empty
+        assert "No structural changes" in render_diff(diff, after)
+
+    def test_added_node_detected(self):
+        before = _version_one()
+        after = _version_one()
+        after.add_node(Node(
+            "G4", NodeType.GOAL, "Hazard H3 is acceptably managed"
+        ))
+        after.supported_by("S1", "G4")
+        after.add_node(Node("Sn3", NodeType.SOLUTION, "Record A3"))
+        after.supported_by("G4", "Sn3")
+        diff = diff_arguments(before, after)
+        assert {n.identifier for n in diff.added_nodes} == {"G4", "Sn3"}
+        assert len(diff.added_links) == 2
+        assert not diff.removed_nodes
+
+    def test_removed_node_detected(self):
+        before = _version_one()
+        after = _version_one()
+        after.remove_node("Sn2")
+        diff = diff_arguments(before, after)
+        assert [n.identifier for n in diff.removed_nodes] == ["Sn2"]
+        assert len(diff.removed_links) == 1
+
+    def test_text_change_detected(self):
+        before = _version_one()
+        after = _version_one()
+        node = after.node("G2")
+        after.replace_node(node.with_text(
+            "Hazard H1 is acceptably managed in all modes"
+        ))
+        diff = diff_arguments(before, after)
+        assert len(diff.changed_nodes) == 1
+        change = diff.changed_nodes[0]
+        assert change.identifier == "G2"
+        assert change.text_changed
+        assert not change.kind_changed
+
+    def test_review_set_climbs_to_root(self):
+        before = _version_one()
+        after = _version_one()
+        after.remove_node("Sn1")  # H1's evidence withdrawn
+        diff = diff_arguments(before, after)
+        review = diff.review_set(after)
+        # H1's goal and the root must be re-reviewed.
+        assert "G2" in review
+        assert "G1" in review
+        # The untouched H2 leg is not dragged in.
+        assert "G3" not in review
+
+    def test_review_set_for_added_subtree(self):
+        before = _version_one()
+        after = _version_one()
+        after.add_node(Node(
+            "G4", NodeType.GOAL, "Hazard H3 is acceptably managed",
+            undeveloped=True,
+        ))
+        after.supported_by("S1", "G4")
+        diff = diff_arguments(before, after)
+        review = diff.review_set(after)
+        assert "G4" in review
+        assert "G1" in review
+
+    def test_render_diff_sections(self):
+        before = _version_one()
+        after = _version_one()
+        after.remove_node("Sn2")
+        after.add_node(Node("Sn9", NodeType.SOLUTION, "New record"))
+        after.supported_by("G3", "Sn9")
+        node = after.node("G2")
+        after.replace_node(node.with_text(
+            "Hazard H1 is acceptably managed across the fleet"
+        ))
+        text = render_diff(diff_arguments(before, after), after)
+        assert "Added nodes:" in text
+        assert "Removed nodes:" in text
+        assert "Modified nodes:" in text
+        assert "Claims to re-review" in text
+
+    def test_metadata_change_detected(self):
+        before = _version_one()
+        after = _version_one()
+        node = after.node("G2").with_metadata({"reviewed": (True,)})
+        after.replace_node(node)
+        diff = diff_arguments(before, after)
+        assert len(diff.changed_nodes) == 1
+        assert "metadata changed" in str(diff.changed_nodes[0])
+
+    def test_undeveloped_flip_detected(self):
+        before = _version_one()
+        after = _version_one()
+        after.remove_node("Sn1")
+        from dataclasses import replace
+
+        node = after.node("G2")
+        after.replace_node(replace(node, undeveloped=True))
+        diff = diff_arguments(before, after)
+        changes = {c.identifier: c for c in diff.changed_nodes}
+        assert "now undeveloped" in str(changes["G2"])

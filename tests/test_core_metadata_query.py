@@ -1,0 +1,183 @@
+"""Tests for repro.core.metadata and repro.core.query."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.metadata import (
+    AnnotationError,
+    BaseType,
+    EnumType,
+    Ontology,
+    annotate,
+    aviation_ontology,
+    validate_annotations,
+)
+from repro.core.query import (
+    attribute_equals,
+    attribute_param,
+    has_attribute,
+    node_type_is,
+    select,
+    text_contains,
+    text_search,
+    traceability_view,
+)
+from repro.core.nodes import NodeType
+
+
+class TestOntology:
+    def test_enum_declaration(self):
+        ontology = Ontology()
+        element = ontology.declare_enum("element", ("aileron", "flaps"))
+        assert element.accepts("aileron")
+        assert not element.accepts("rudder")
+
+    def test_duplicate_enum_rejected(self):
+        ontology = Ontology()
+        ontology.declare_enum("element", ("a",))
+        with pytest.raises(AnnotationError):
+            ontology.declare_enum("element", ("b",))
+
+    def test_empty_enum_rejected(self):
+        with pytest.raises(AnnotationError):
+            EnumType("empty", frozenset())
+
+    def test_base_types(self):
+        assert BaseType.NAT.accepts(0)
+        assert not BaseType.NAT.accepts(-1)
+        assert not BaseType.INT.accepts(True)
+        assert BaseType.FLOAT.accepts(2)
+        assert BaseType.STRING.accepts("x")
+
+    def test_attribute_validation(self):
+        ontology = aviation_ontology()
+        assert ontology.validate(
+            {"hazard": ("H1", "remote", "catastrophic")}
+        ) == []
+        problems = ontology.validate(
+            {"hazard": ("H1", "often", "catastrophic")}
+        )
+        assert problems
+        assert "parameter 1" in problems[0]
+
+    def test_undeclared_attribute(self):
+        problems = aviation_ontology().validate({"ghost": ()})
+        assert any("undeclared" in p for p in problems)
+
+    def test_arity_mismatch(self):
+        problems = aviation_ontology().validate({"hazard": ("H1",)})
+        assert any("takes 3" in p for p in problems)
+
+
+class TestAnnotate:
+    def test_annotate_node(self, hazard_argument):
+        ontology = aviation_ontology()
+        node = annotate(
+            hazard_argument, "G2", ontology,
+            {"hazard": ("H1", "remote", "catastrophic")},
+        )
+        assert node.metadata_dict()["hazard"] == (
+            "H1", "remote", "catastrophic"
+        )
+        assert hazard_argument.node("G2").metadata
+
+    def test_annotate_rejects_ill_typed(self, hazard_argument):
+        ontology = aviation_ontology()
+        with pytest.raises(AnnotationError):
+            annotate(
+                hazard_argument, "G2", ontology,
+                {"criticality_level": (-3,)},
+            )
+
+    def test_validate_annotations_over_argument(self, hazard_argument):
+        ontology = aviation_ontology()
+        annotate(hazard_argument, "G2", ontology,
+                 {"reviewed": (True,)})
+        # Sneak in a bad annotation via the raw node API.
+        bad = hazard_argument.node("G3").with_metadata(
+            {"reviewed": ("yes",)}
+        )
+        hazard_argument.replace_node(bad)
+        report = validate_annotations(hazard_argument, ontology)
+        assert "G3" in report and "G2" not in report
+
+
+@pytest.fixture
+def annotated_argument(hazard_argument):
+    ontology = aviation_ontology()
+    annotate(hazard_argument, "G2", ontology,
+             {"hazard": ("H1", "remote", "catastrophic")})
+    annotate(hazard_argument, "G3", ontology,
+             {"hazard": ("H2", "frequent", "minor")})
+    annotate(hazard_argument, "G4", ontology,
+             {"hazard": ("H3", "remote", "catastrophic")})
+    return hazard_argument
+
+
+class TestQuery:
+    def test_has_attribute(self, annotated_argument):
+        matches = select(annotated_argument, has_attribute("hazard"))
+        assert {n.identifier for n in matches} == {"G2", "G3", "G4"}
+
+    def test_denney_naylor_pai_example(self, annotated_argument):
+        # 'traceability to only those hazards whose likelihood of
+        # occurrence is remote, and whose severity is catastrophic'.
+        query = attribute_param("hazard", 1, "remote") & \
+            attribute_param("hazard", 2, "catastrophic")
+        matches = select(annotated_argument, query)
+        assert {n.identifier for n in matches} == {"G2", "G4"}
+
+    def test_attribute_equals(self, annotated_argument):
+        query = attribute_equals(
+            "hazard", ("H2", "frequent", "minor")
+        )
+        assert [n.identifier for n in
+                select(annotated_argument, query)] == ["G3"]
+
+    def test_boolean_combinators(self, annotated_argument):
+        remote = attribute_param("hazard", 1, "remote")
+        frequent = attribute_param("hazard", 1, "frequent")
+        both = select(annotated_argument, remote | frequent)
+        assert len(both) == 3
+        none = select(annotated_argument, remote & frequent)
+        assert none == []
+        inverted = select(
+            annotated_argument, ~has_attribute("hazard")
+            & node_type_is(NodeType.GOAL),
+        )
+        assert {n.identifier for n in inverted} == {"G1", "G5"}
+
+    def test_text_search_baseline(self, annotated_argument):
+        hits = text_search(annotated_argument, "hazard")
+        assert hits  # matches node text, not metadata
+        assert all("hazard" in n.text.lower() for n in hits)
+
+    def test_text_contains_case_sensitivity(self, annotated_argument):
+        insensitive = select(
+            annotated_argument, text_contains("HAZARD")
+        )
+        sensitive = select(
+            annotated_argument, text_contains("HAZARD",
+                                              case_sensitive=True)
+        )
+        assert insensitive and not sensitive
+
+    def test_traceability_view(self, annotated_argument):
+        query = attribute_param("hazard", 2, "catastrophic")
+        view = traceability_view(annotated_argument, query)
+        # Matches plus their paths to the root plus attached context.
+        assert "G2" in view and "G4" in view
+        assert "G1" in view and "S1" in view
+        assert "G3" not in view
+        # Context of kept nodes is retained.
+        assert "C1" in view
+
+    def test_view_preserves_links_among_kept(self, annotated_argument):
+        view = traceability_view(
+            annotated_argument, has_attribute("hazard")
+        )
+        assert any(
+            link.source == "S1" and link.target == "G2"
+            for link in view.links
+        )

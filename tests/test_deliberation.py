@@ -1,0 +1,175 @@
+"""Tests for repro.formalise.deliberation (Tolchinsky et al., §III.O)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.formalise.deliberation import (
+    ArgumentationFramework,
+    DefeasibleArgument,
+    DeliberationDialogue,
+    DialogueError,
+    Label,
+    transplant_scenario,
+)
+
+
+def _argument(name: str, claim: str = "c(a)") -> DefeasibleArgument:
+    return DefeasibleArgument.of(name, claim)
+
+
+class TestFramework:
+    def test_unattacked_argument_is_in(self):
+        framework = ArgumentationFramework()
+        framework.add(_argument("a"))
+        assert framework.is_acceptable("a")
+        assert framework.grounded_extension() == {"a"}
+
+    def test_simple_attack_makes_target_out(self):
+        framework = ArgumentationFramework()
+        framework.add(_argument("a"))
+        framework.add(_argument("b"))
+        framework.attack("b", "a")
+        labelling = framework.grounded_labelling()
+        assert labelling["b"] is Label.IN
+        assert labelling["a"] is Label.OUT
+
+    def test_reinstatement(self):
+        # c attacks b attacks a: c IN, b OUT, a reinstated IN.
+        framework = ArgumentationFramework()
+        for name in ("a", "b", "c"):
+            framework.add(_argument(name))
+        framework.attack("b", "a")
+        framework.attack("c", "b")
+        labelling = framework.grounded_labelling()
+        assert labelling["c"] is Label.IN
+        assert labelling["b"] is Label.OUT
+        assert labelling["a"] is Label.IN
+
+    def test_mutual_attack_is_undecided(self):
+        framework = ArgumentationFramework()
+        framework.add(_argument("a"))
+        framework.add(_argument("b"))
+        framework.attack("a", "b")
+        framework.attack("b", "a")
+        labelling = framework.grounded_labelling()
+        assert labelling["a"] is Label.UNDEC
+        assert labelling["b"] is Label.UNDEC
+        assert framework.grounded_extension() == frozenset()
+
+    def test_self_attack_is_undecided(self):
+        framework = ArgumentationFramework()
+        framework.add(_argument("a"))
+        framework.attack("a", "a")
+        assert framework.grounded_labelling()["a"] is Label.UNDEC
+
+    def test_odd_cycle_does_not_poison_separate_chain(self):
+        framework = ArgumentationFramework()
+        for name in ("a", "b", "x"):
+            framework.add(_argument(name))
+        framework.attack("a", "b")
+        framework.attack("b", "a")
+        # x is independent of the cycle.
+        assert framework.is_acceptable("x")
+
+    def test_duplicate_argument_rejected(self):
+        framework = ArgumentationFramework()
+        framework.add(_argument("a"))
+        with pytest.raises(ValueError):
+            framework.add(_argument("a"))
+
+    def test_attack_requires_known_arguments(self):
+        framework = ArgumentationFramework()
+        framework.add(_argument("a"))
+        with pytest.raises(ValueError):
+            framework.attack("a", "ghost")
+
+
+class TestDialogue:
+    def test_initial_proposal_endorsed(self):
+        dialogue = DeliberationDialogue("transplant(o1, r)")
+        assert dialogue.decision()
+
+    def test_unanswered_contraindication_blocks(self):
+        dialogue = DeliberationDialogue("transplant(o1, r)")
+        dialogue.play(
+            "physician",
+            DefeasibleArgument.of(
+                "contra", "unsafe(transplant(o1, r))",
+                "donor_history(o1, hepatitis_b)",
+            ),
+            against="proposal",
+        )
+        assert not dialogue.decision()
+        assert dialogue.open_challenges() == ["contra"]
+
+    def test_defeated_contraindication_restores(self):
+        dialogue = transplant_scenario()
+        assert dialogue.decision()
+        assert dialogue.open_challenges() == []
+
+    def test_move_must_target_argument_in_play(self):
+        dialogue = DeliberationDialogue("transplant(o1, r)")
+        with pytest.raises(DialogueError):
+            dialogue.play("physician", _argument("x"), against="ghost")
+
+    def test_replayed_argument_rejected(self):
+        dialogue = transplant_scenario()
+        with pytest.raises(DialogueError):
+            dialogue.play(
+                "physician",
+                DefeasibleArgument.of("contra_hbv", "unsafe(x)"),
+                against="proposal",
+            )
+
+    def test_undecided_conflict_is_conservative(self):
+        # Two mutually attacking expert opinions: the action is NOT
+        # endorsed while the conflict stands — safety-conservative.
+        dialogue = DeliberationDialogue("administer(r, penicillin)")
+        dialogue.play(
+            "allergist",
+            DefeasibleArgument.of(
+                "allergy", "unsafe(administer(r, penicillin))",
+                "recorded_allergy(r, penicillin)",
+            ),
+            against="proposal",
+        )
+        dialogue.play(
+            "registrar",
+            DefeasibleArgument.of(
+                "stale_record", "unreliable(allergy)",
+                "record_age(r, years20)",
+            ),
+            against="allergy",
+        )
+        dialogue.play(
+            "allergist",
+            DefeasibleArgument.of(
+                "recent_reaction", "unreliable(stale_record)",
+                "observed_rash(r, last_admission)",
+            ),
+            against="stale_record",
+        )
+        # Chain: recent_reaction IN -> stale_record OUT -> allergy IN
+        # -> proposal OUT.
+        assert not dialogue.decision()
+
+    def test_transcript_renders(self):
+        dialogue = transplant_scenario()
+        text = dialogue.transcript()
+        assert "proposes" in text
+        assert "ENDORSED" in text
+        assert "contra_hbv: out" in text
+
+    def test_moves_recorded_in_order(self):
+        dialogue = transplant_scenario()
+        participants = [move.participant for move in dialogue.moves]
+        assert participants == ["proponent", "physician", "specialist"]
+
+
+class TestScenario:
+    def test_paper_style_predicates(self):
+        dialogue = transplant_scenario()
+        claims = [str(a.claim) for a in dialogue.framework.arguments]
+        assert "transplant(o1, r)" in claims
+        assert any("unsafe" in c for c in claims)

@@ -1,0 +1,350 @@
+"""Tests for the extension modules: tableaux, modular GSN, confidence,
+survey characterisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.builder import ArgumentBuilder
+from repro.core.case import AssuranceCase
+from repro.core.confidence import (
+    claim_confidence,
+    confidence_network,
+    confidence_report,
+    evidence_prior,
+)
+from repro.core.evidence import EvidenceItem, EvidenceKind
+from repro.core.modules import (
+    ModuleRegistry,
+    check_away_references,
+    composition_order,
+    system_argument,
+)
+from repro.core.argument import ArgumentError
+from repro.logic.propositional import parse
+from repro.logic.tableau import (
+    build_tableau,
+    independent_validity_check,
+    tableau_entails,
+    tableau_satisfiable,
+    tableau_valid,
+)
+from repro.survey.characterise import (
+    GROUPS,
+    characterise,
+    group_report,
+    maturity_summary,
+    render_characterisation,
+)
+from repro.survey.records import SELECTED_PAPERS
+
+
+class TestTableau:
+    def test_satisfiable(self):
+        assert tableau_satisfiable(parse("p & (q | ~p)"))
+
+    def test_unsatisfiable(self):
+        assert not tableau_satisfiable(parse("p & ~p"))
+        assert not tableau_satisfiable(parse("(p -> q) & p & ~q"))
+
+    def test_validity(self):
+        assert tableau_valid(parse("p | ~p"))
+        assert tableau_valid(parse("((p -> q) -> p) -> p"))  # Peirce
+        assert not tableau_valid(parse("p -> q"))
+
+    def test_entailment(self):
+        assert tableau_entails([parse("p -> q"), parse("p")],
+                               parse("q"))
+        assert not tableau_entails([parse("p -> q"), parse("q")],
+                                   parse("p"))
+
+    def test_iff_handling(self):
+        assert tableau_valid(parse("(p <-> q) -> ((p -> q) & (q -> p))"))
+        assert not tableau_satisfiable(parse("(p <-> q) & p & ~q"))
+
+    def test_negated_conjunction_branches(self):
+        assert tableau_satisfiable(parse("~(p & q)"))
+        assert tableau_valid(parse("~(p & q) <-> (~p | ~q)"))
+
+    def test_constants(self):
+        assert tableau_valid(parse("true"))
+        assert not tableau_satisfiable(parse("false"))
+        assert tableau_satisfiable(parse("~false"))
+
+    def test_open_branch_counting(self):
+        node = build_tableau([parse("p | q")])
+        assert node.open_branches() == 2
+        assert node.size() >= 3
+
+    def test_diverse_checkers_agree(self):
+        suite = [
+            "p -> p",
+            "p -> q",
+            "(p & q) -> p",
+            "(p | q) & (~p | r) -> (q | r)",
+            "~(p <-> ~p)",
+            "false -> p",
+        ]
+        for text in suite:
+            # Raises CheckerDisagreement on any mismatch.
+            independent_validity_check(parse(text))
+
+    def test_agrees_with_truth_tables(self):
+        from repro.logic.propositional import is_tautology
+
+        suite = [
+            "(p -> q) <-> (~q -> ~p)",
+            "p | (q & r)",
+            "~p & (p | q) -> q",
+            "(p -> q) -> q",
+        ]
+        for text in suite:
+            formula = parse(text)
+            assert tableau_valid(formula) == is_tautology(formula), text
+
+
+def _module(name: str, public_text: str, away: tuple[str, str] | None
+            = None):
+    builder = ArgumentBuilder(name)
+    top = builder.goal(public_text)
+    strategy = builder.strategy(f"Argument over {name} functions",
+                                under=top)
+    goal = builder.goal(
+        f"The {name} self-test completes successfully", under=strategy
+    )
+    builder.solution(f"{name} verification record", under=goal)
+    if away:
+        away_module, away_text = away
+        builder.away_goal(away_text, module=away_module, under=strategy)
+    return builder.build()
+
+
+class TestModules:
+    def test_register_and_lookup(self):
+        registry = ModuleRegistry()
+        registry.register("power", _module("power", "Power is safe"))
+        assert "power" in registry
+        assert registry.public_goals("power") == {"G1"}
+
+    def test_duplicate_rejected(self):
+        registry = ModuleRegistry()
+        registry.register("power", _module("power", "Power is safe"))
+        with pytest.raises(ArgumentError):
+            registry.register("power", _module("power", "Power is safe"))
+
+    def test_good_away_reference(self):
+        registry = ModuleRegistry()
+        registry.register("power", _module("power", "Power is safe"))
+        registry.register(
+            "system",
+            _module("system", "The system is safe",
+                    away=("power", "Power is safe")),
+        )
+        assert check_away_references(registry) == []
+
+    def test_unknown_module_flagged(self):
+        registry = ModuleRegistry()
+        registry.register(
+            "system",
+            _module("system", "The system is safe",
+                    away=("ghost", "Ghost is safe")),
+        )
+        problems = check_away_references(registry)
+        assert problems and problems[0].kind == "unknown-module"
+
+    def test_stale_text_flagged(self):
+        registry = ModuleRegistry()
+        registry.register("power", _module("power", "Power is safe"))
+        registry.register(
+            "system",
+            _module("system", "The system is safe",
+                    away=("power", "Power is perfectly safe")),  # stale
+        )
+        problems = check_away_references(registry)
+        assert problems and problems[0].kind == "stale-text"
+
+    def test_non_public_goal_flagged(self):
+        registry = ModuleRegistry()
+        power = _module("power", "Power is safe")
+        registry.register("power", power, public_goals=["G1"])
+        registry.register(
+            "system",
+            _module("system", "The system is safe",
+                    away=("power", "The power self-test completes successfully")),
+        )
+        problems = check_away_references(registry)
+        assert problems and problems[0].kind == "not-public"
+
+    def test_composition_order(self):
+        registry = ModuleRegistry()
+        registry.register("power", _module("power", "Power is safe"))
+        registry.register(
+            "system",
+            _module("system", "The system is safe",
+                    away=("power", "Power is safe")),
+        )
+        order = composition_order(registry)
+        assert order.index("power") < order.index("system")
+
+    def test_cycle_detected(self):
+        registry = ModuleRegistry()
+        registry.register(
+            "a", _module("a", "A is safe", away=("b", "B is safe"))
+        )
+        registry.register(
+            "b", _module("b", "B is safe", away=("a", "A is safe"))
+        )
+        with pytest.raises(ArgumentError, match="cycle"):
+            composition_order(registry)
+
+    def test_system_argument_splices(self):
+        registry = ModuleRegistry()
+        registry.register("power", _module("power", "Power is safe"))
+        registry.register(
+            "system",
+            _module("system", "The system is safe",
+                    away=("power", "Power is safe")),
+        )
+        spliced = system_argument(registry, "system")
+        assert "system::G1" in spliced
+        assert "power::G1" in spliced
+        # The away goal is replaced by a cross-module link.
+        strategy_children = spliced.supporters("system::S1")
+        assert any(
+            child.identifier == "power::G1"
+            for child in strategy_children
+        )
+
+    def test_spliced_argument_supports_impact_tracing(self):
+        from repro.core.impact import claims_affected_by
+
+        registry = ModuleRegistry()
+        registry.register("power", _module("power", "Power is safe"))
+        registry.register(
+            "system",
+            _module("system", "The system is safe",
+                    away=("power", "Power is safe")),
+        )
+        spliced = system_argument(registry, "system")
+        affected = claims_affected_by(spliced, "power::Sn1")
+        names = {n.identifier for n in affected}
+        # Impact crosses the module boundary up to the system root.
+        assert "system::G1" in names
+
+
+class TestConfidence:
+    def _case(self, coverage_primary=0.95, redundant=False):
+        builder = ArgumentBuilder("conf")
+        top = builder.goal("The system is acceptably safe")
+        strategy = builder.strategy("Argument over hazards", under=top)
+        goal = builder.goal("Hazard H1 is acceptably managed",
+                            under=strategy)
+        builder.solution("Primary analysis", under=goal)
+        if redundant:
+            builder.solution("Independent field review", under=goal)
+        case = AssuranceCase("conf", builder.build())
+        case.add_evidence(
+            EvidenceItem("e1", EvidenceKind.FAULT_TREE_ANALYSIS,
+                         "fta", coverage=coverage_primary),
+            cited_by="Sn1",
+        )
+        if redundant:
+            case.add_evidence(
+                EvidenceItem("e2", EvidenceKind.FIELD_DATA, "field",
+                             coverage=0.8),
+                cited_by="Sn2",
+            )
+        return case
+
+    def test_prior_scales_with_coverage(self):
+        low = EvidenceItem("a", EvidenceKind.TESTING, "x", coverage=0.2)
+        high = EvidenceItem("b", EvidenceKind.TESTING, "x", coverage=1.0)
+        assert evidence_prior(high) > evidence_prior(low)
+
+    def test_untrusted_tool_discounts(self):
+        trusted = EvidenceItem("a", EvidenceKind.TESTING, "x")
+        untrusted = EvidenceItem("b", EvidenceKind.TESTING, "x",
+                                 trusted_tool=False)
+        assert evidence_prior(trusted) > evidence_prior(untrusted)
+
+    def test_network_structure(self):
+        case = self._case()
+        model = confidence_network(case.argument)
+        assert "G1" in model.claim_variables
+        assert "Sn1" in model.evidence_variables
+
+    def test_confidence_increases_with_accepted_evidence(self):
+        case = self._case()
+        unknown = claim_confidence(case, "G1")
+        accepted = claim_confidence(case, "G1", {"Sn1": True})
+        rejected = claim_confidence(case, "G1", {"Sn1": False})
+        assert rejected < unknown < accepted
+
+    def test_redundant_evidence_raises_confidence(self):
+        single = claim_confidence(self._case(), "G2", {"Sn1": True})
+        double = claim_confidence(
+            self._case(redundant=True), "G2",
+            {"Sn1": True, "Sn2": True},
+        )
+        assert double >= single
+
+    def test_report_covers_all_claims(self):
+        case = self._case()
+        report = confidence_report(case)
+        assert set(report) == {"G1", "S1", "G2"}
+        assert all(0 <= v <= 1 for v in report.values())
+
+    def test_undeveloped_claim_has_leak_confidence(self):
+        builder = ArgumentBuilder("leak")
+        builder.goal("The system is acceptably safe", undeveloped=True)
+        case = AssuranceCase("leak", builder.build())
+        assert claim_confidence(case, "G1") <= 0.05
+
+    def test_root_confidence_below_leaf(self):
+        # Inference steps carry residual doubt: confidence attenuates
+        # up the chain.
+        case = self._case()
+        report = confidence_report(case)
+        assert report["G1"] <= report["G2"] + 1e-9
+
+
+class TestCharacterisation:
+    def test_groups_cover_all_papers(self):
+        grouped = [
+            paper for group in GROUPS for paper in SELECTED_PAPERS
+            if paper.group == group
+        ]
+        assert len(grouped) == len(SELECTED_PAPERS)
+
+    def test_group_report_members(self):
+        haley_group = group_report("K")
+        assert len(haley_group) == 4  # [15], [16], [24], [25]
+
+    def test_unknown_group_rejected(self):
+        with pytest.raises(KeyError):
+            group_report("Z")
+
+    def test_characterise_fields(self):
+        rushby = next(
+            p for p in SELECTED_PAPERS if p.key == "rushby2010"
+        )
+        entry = characterise(rushby)
+        assert "deductive logic" in entry.rq1_formalises
+        assert entry.rq2_relationship == \
+            "augments the informal argument"
+        assert entry.rq4_claims_benefit
+        assert not entry.rq4_evidence
+        assert entry.rq5_drawbacks
+
+    def test_maturity_summary_matches_section_vii(self):
+        summary = maturity_summary()
+        assert summary.total == 20
+        assert summary.with_substantial_evidence == 0
+        assert summary.conclusion_holds
+        assert summary.claiming_benefit >= 10
+
+    def test_render_mentions_every_reference(self):
+        text = render_characterisation()
+        for paper in SELECTED_PAPERS:
+            assert f"[{paper.reference}]" in text
+        assert "verdict holds" in text

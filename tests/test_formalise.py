@@ -1,0 +1,345 @@
+"""Tests for the repro.formalise package."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.builder import ArgumentBuilder
+from repro.core.nodes import NodeType, looks_propositional
+from repro.formalise.kaos import (
+    GoalCategory,
+    flawed_uav_model,
+    kaos_to_argument,
+    uav_model,
+    uav_traces,
+)
+from repro.formalise.policy import (
+    build_location_policy,
+    check_availability,
+    check_denial,
+    explain_disclosure,
+)
+from repro.formalise.proof_to_argument import (
+    abstract_argument,
+    proof_to_argument,
+    report,
+    resolution_to_argument,
+)
+from repro.formalise.security import haley_example
+from repro.formalise.translator import (
+    classify_residue,
+    formalise_argument,
+)
+from repro.logic.event_calculus import Event, Narrative
+from repro.logic.natural_deduction import haley_outer_proof
+from repro.logic.resolution import FolClause, FolLiteral, prove
+from repro.logic.terms import parse_atom
+
+
+@pytest.fixture
+def formalisable_argument():
+    builder = ArgumentBuilder("formalisable")
+    top = builder.goal("The system is acceptably safe to operate")
+    strategy = builder.strategy(
+        "Argument over the protection functions", under=top
+    )
+    g_a = builder.goal("The interlock blocks unsafe commands",
+                       under=strategy)
+    g_b = builder.goal("The monitor detects interlock failure",
+                       under=strategy)
+    builder.solution("Interlock verification report", under=g_a)
+    builder.solution("Monitor test campaign record", under=g_b)
+    return builder.build()
+
+
+class TestRushbyTranslator:
+    def test_structure(self, formalisable_argument):
+        formalisation = formalise_argument(formalisable_argument)
+        assert len(formalisation.claim_atoms) == 4  # 3 goals + 1 strategy
+        assert len(formalisation.evidence_atoms) == 2
+        assert len(formalisation.rules) + len(
+            formalisation.assumed_rules
+        ) == 4
+
+    def test_unassented_proof_fails(self, formalisable_argument):
+        formalisation = formalise_argument(formalisable_argument)
+        assert not formalisation.check()
+
+    def test_assent_all_proves_root(self, formalisable_argument):
+        formalisation = formalise_argument(formalisable_argument)
+        formalisation.assent_all()
+        assert formalisation.check()
+
+    def test_good_doc_atom_naming(self, formalisable_argument):
+        # Rushby's reviewers 'indicate their assent by adding
+        # good_doc(...) as an axiom'.
+        formalisation = formalise_argument(formalisable_argument)
+        atom = formalisation.assent("Sn1")
+        assert atom.name.startswith("good_doc_")
+
+    def test_retract_breaks_proof(self, formalisable_argument):
+        formalisation = formalise_argument(formalisable_argument)
+        formalisation.assent_all()
+        formalisation.retract("Sn1")
+        assert not formalisation.check()
+
+    def test_what_if_probing(self, formalisable_argument):
+        formalisation = formalise_argument(formalisable_argument)
+        formalisation.assent_all()
+        # Both evidence items are load-bearing in this argument.
+        assert not formalisation.what_if_without("Sn1")
+        assert not formalisation.what_if_without("Sn2")
+        # Probing must not change the state.
+        assert formalisation.check()
+
+    def test_load_bearing_evidence(self, formalisable_argument):
+        formalisation = formalise_argument(formalisable_argument)
+        formalisation.assent_all()
+        assert formalisation.load_bearing_evidence() == ["Sn1", "Sn2"]
+
+    def test_redundant_evidence_not_load_bearing(self):
+        builder = ArgumentBuilder("redundant")
+        top = builder.goal("The valve closes on demand")
+        builder.solution("Proof test record", under=top)
+        builder.solution("Field actuation data", under=top)
+        argument = builder.build()
+        formalisation = formalise_argument(argument)
+        formalisation.assent_all()
+        # Either record alone suffices: neither is load-bearing.
+        assert formalisation.load_bearing_evidence() == []
+
+    def test_residue_classification(self):
+        builder = ArgumentBuilder("residue")
+        top = builder.goal("The system is acceptably safe to operate")
+        strategy = builder.strategy("Argument over risk", under=top)
+        g_prob = builder.goal(
+            "Failure probability is below 1e-6 per hour", under=strategy
+        )
+        g_enum = builder.goal(
+            "All identified hazards are acceptably managed",
+            under=strategy,
+        )
+        g_judge = builder.goal(
+            "Expert judgement confirms the design margins are adequate",
+            under=strategy,
+        )
+        for goal in (g_prob, g_enum, g_judge):
+            builder.solution(f"Record for {goal}", under=goal)
+        formalisation = formalise_argument(builder.build())
+        categories = {r.node_id: r.category for r in formalisation.residue}
+        assert categories["G2"] == "probabilistic"
+        assert categories["G3"] == "open-enumeration"
+        assert categories["G4"] == "judgement"
+
+    def test_classify_residue_none_for_plain_claim(self):
+        from repro.core.nodes import Node
+
+        node = Node("G1", NodeType.GOAL, "The interlock blocks commands")
+        assert classify_residue(node) is None
+
+    def test_summary_text(self, formalisable_argument):
+        formalisation = formalise_argument(formalisable_argument)
+        assert "claims" in formalisation.summary()
+
+
+class TestProofToArgument:
+    def test_generated_from_haley(self):
+        argument = proof_to_argument(haley_outer_proof(), "HR system")
+        assert len(argument.goals) == 11
+        roots = {r.identifier for r in argument.roots()}
+        assert "G11" in roots  # the conclusion
+        # Line 8 (V) is derived but never used — the generated argument
+        # faithfully carries the proof's clutter ('too many details').
+        assert "G8" in roots
+
+    def test_paper_goal_style_fails_propositionality(self):
+        # §III.E: 'Formal proof that ... holds' is not a proposition.
+        argument = proof_to_argument(
+            haley_outer_proof(), "HR system", proposition_style=False
+        )
+        assert all(
+            not looks_propositional(goal.text)
+            for goal in argument.goals
+        )
+
+    def test_premises_get_solutions(self):
+        argument = proof_to_argument(haley_outer_proof(), "HR system")
+        assert len(argument.solutions) == 5
+
+    def test_abstraction_reduces_detail(self):
+        argument = proof_to_argument(haley_outer_proof(), "HR system")
+        abstracted = abstract_argument(argument)
+        assert len(abstracted) < len(argument)
+        before = report(argument, "nd")
+        after = report(abstracted, "abstracted")
+        assert after.node_count < before.node_count
+
+    def test_resolution_rendering_more_obscure(self):
+        clauses = [
+            FolClause.of(FolLiteral(parse_atom("man(socrates)"))),
+            FolClause.of(
+                FolLiteral(parse_atom("man(X)"), False),
+                FolLiteral(parse_atom("mortal(X)")),
+            ),
+        ]
+        proof = prove(clauses, parse_atom("mortal(socrates)"))
+        argument = resolution_to_argument(proof, "Socrates")
+        # Refutation arguments mention the contradiction explicitly.
+        assert any(
+            "contradiction" in node.text for node in argument.nodes
+        )
+
+    def test_resolution_requires_found_proof(self):
+        clauses = [FolClause.of(FolLiteral(parse_atom("p(a)")))]
+        proof = prove(clauses, parse_atom("q(b)"), max_clauses=50)
+        with pytest.raises(ValueError):
+            resolution_to_argument(proof)
+
+
+class TestKaos:
+    def test_model_validates_on_nominal_traces(self):
+        model = uav_model()
+        traces = uav_traces(random.Random(1), count=30)
+        result = model.validate(traces)
+        assert result.valid and result.complete
+
+    def test_flawed_model_caught(self):
+        flawed = flawed_uav_model()
+        traces = uav_traces(random.Random(2), count=40, fault_rate=0.5)
+        result = flawed.validate(traces)
+        assert not result.valid
+        assert result.counterexamples[0].parent == \
+            "DetectAndAvoidCorrect"
+
+    def test_domain_property_closes_the_hole(self):
+        model = uav_model()
+        traces = uav_traces(random.Random(2), count=40, fault_rate=0.5)
+        assert model.validate(traces).valid
+
+    def test_incomplete_model_reported(self):
+        from repro.formalise.kaos import KaosGoal, KaosModel
+
+        root = KaosGoal("Top", "The system is safe")  # no formal spec
+        child = KaosGoal("Sub", "A sub-claim")
+        root.refine(child)
+        result = KaosModel(root).validate([])
+        assert not result.complete
+        assert "Top" in result.unformalised
+        assert "Sub" in result.unrefined
+
+    def test_argument_mirrors_structure(self):
+        argument = kaos_to_argument(uav_model())
+        assert "G_DetectAndAvoidCorrect" in argument
+        assert "G_IntrusionDetected" in argument
+        # Domain property becomes context, not a goal.
+        texts = [
+            n.text for n in argument.nodes
+            if n.node_type is NodeType.CONTEXT
+        ]
+        assert any("Closure dynamics" in t for t in texts)
+
+    def test_argument_embeds_ltl(self):
+        argument = kaos_to_argument(uav_model())
+        root = argument.node("G_DetectAndAvoidCorrect")
+        assert "[LTL:" in root.text
+
+
+class TestSecurity:
+    def test_example_checks(self):
+        example = haley_example()
+        result = example.check()
+        assert result.proof_checks
+        assert result.requirement_proved
+
+    def test_unsupported_assumptions_listed(self):
+        example = haley_example()
+        result = example.check()
+        # Only (C -> H) has an inner argument in the worked example.
+        assert "(C -> H)" not in result.unsupported_assumptions
+        assert "(I -> V)" in result.unsupported_assumptions
+        assert not result.satisfied
+
+    def test_critical_assumptions(self):
+        example = haley_example()
+        critical = example.critical_domain_properties()
+        # (I -> V) plays no role in deriving D -> H.
+        assert "(I -> V)" not in critical
+        assert "(C -> H)" in critical
+        assert "(D -> Y)" in critical
+
+    def test_fully_supported_example_satisfied(self):
+        from repro.core.toulmin import Statement, ToulminArgument
+
+        example = haley_example()
+        for premise in example.check().unsupported_assumptions:
+            example.support(premise, ToulminArgument(
+                claim=Statement("C", f"support for {premise}"),
+                grounds=(Statement("G", "operational records"),),
+            ))
+        assert example.check().satisfied
+
+    def test_rebuttals_collected(self):
+        example = haley_example()
+        assert "HR member is dishonest" in example.rebuttals()
+
+    def test_unknown_premise_rejected(self):
+        from repro.core.toulmin import Statement, ToulminArgument
+
+        example = haley_example()
+        with pytest.raises(KeyError):
+            example.support("(X -> Y)", ToulminArgument(
+                claim=Statement("C", "bogus")
+            ))
+
+
+class TestPolicy:
+    @pytest.fixture
+    def model(self):
+        return build_location_policy(
+            ("alice", "bob", "carol"),
+            {"alice": "lab", "bob": "office", "carol": "cafe"},
+        )
+
+    def test_availability_for_friend(self, model):
+        narrative = Narrative()
+        narrative.happens(Event("Befriend", ("alice", "bob")), 0)
+        model.tap(narrative, "alice", "bob", 2)
+        assert check_availability(model, narrative, "alice", "bob")
+
+    def test_denial_for_stranger(self, model):
+        narrative = Narrative()
+        model.tap(narrative, "carol", "bob", 2)
+        assert check_denial(model, narrative, "carol", "bob")
+        assert not check_availability(model, narrative, "carol", "bob")
+
+    def test_same_platform_also_authorises(self, model):
+        narrative = Narrative()
+        narrative.happens(Event("JoinPlatform", ("carol", "bob")), 0)
+        model.tap(narrative, "carol", "bob", 3)
+        assert check_availability(model, narrative, "carol", "bob")
+
+    def test_unfriending_revokes(self, model):
+        narrative = Narrative()
+        narrative.happens(Event("Befriend", ("alice", "bob")), 0)
+        narrative.happens(Event("Unfriend", ("alice", "bob")), 2)
+        model.tap(narrative, "alice", "bob", 4)
+        assert check_denial(model, narrative, "alice", "bob")
+
+    def test_explanation_chain(self, model):
+        narrative = Narrative()
+        narrative.happens(Event("Befriend", ("alice", "bob")), 0)
+        model.tap(narrative, "alice", "bob", 2)
+        explanations = explain_disclosure(model, narrative, "alice", "bob")
+        assert len(explanations) == 1
+        explanation = explanations[0]
+        assert explanation.tap_time == 2
+        assert explanation.disclosed_at == 4
+        assert explanation.basis == "Friends"
+        assert "because of Tap" in str(explanation)
+
+    def test_no_explanations_without_disclosure(self, model):
+        narrative = Narrative()
+        model.tap(narrative, "carol", "bob", 1)
+        assert explain_disclosure(model, narrative, "carol", "bob") == []

@@ -1,0 +1,283 @@
+"""Tests for repro.logic.fol and repro.logic.syllogism."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.logic.fol import (
+    Exists,
+    FolAtom,
+    FolImplies,
+    FolNot,
+    ForAll,
+    Signature,
+    SortError,
+    evaluate_fol,
+    fol_entails,
+    fol_valid,
+    ground,
+    sort_check,
+)
+from repro.logic.syllogism import (
+    VALID_MOODS,
+    CategoricalProposition,
+    PropositionForm,
+    Syllogism,
+    SyllogismError,
+    check_syllogism,
+    converse,
+    is_valid_syllogism,
+    socrates_syllogism,
+    valid_conversion,
+)
+from repro.logic.terms import Atom, Const, Var
+
+
+@pytest.fixture
+def signature() -> Signature:
+    sig = Signature()
+    hazard = sig.declare_sort("Hazard")
+    system = sig.declare_sort("System")
+    sig.declare_constant("overrun", hazard)
+    sig.declare_constant("fire", hazard)
+    sig.declare_constant("brake", system)
+    sig.declare_predicate("mitigated", hazard)
+    sig.declare_predicate("affects", hazard, system)
+    return sig
+
+
+class TestSorts:
+    def test_sort_inference(self, signature: Signature):
+        assert signature.sort_of_term(Const("overrun"), {}).name == "Hazard"
+
+    def test_undeclared_constant(self, signature: Signature):
+        with pytest.raises(SortError):
+            signature.sort_of_term(Const("ghost"), {})
+
+    def test_predicate_check(self, signature: Signature):
+        signature.check_atom(
+            Atom("affects", (Const("fire"), Const("brake"))), {}
+        )
+
+    def test_predicate_sort_mismatch(self, signature: Signature):
+        with pytest.raises(SortError):
+            signature.check_atom(
+                Atom("affects", (Const("brake"), Const("fire"))), {}
+            )
+
+    def test_arity_mismatch(self, signature: Signature):
+        with pytest.raises(SortError):
+            signature.check_atom(Atom("mitigated", ()), {})
+
+    def test_quantifier_binds_sort(self, signature: Signature):
+        hazard = next(s for s in signature.sorts if s.name == "Hazard")
+        formula = ForAll(
+            Var("H"), hazard, FolAtom(Atom("mitigated", (Var("H"),)))
+        )
+        sort_check(signature, formula)
+
+    def test_unbound_variable_rejected(self, signature: Signature):
+        with pytest.raises(SortError):
+            sort_check(
+                signature, FolAtom(Atom("mitigated", (Var("H"),)))
+            )
+
+    def test_duplicate_declaration_conflict(self, signature: Signature):
+        hazard = next(s for s in signature.sorts if s.name == "Hazard")
+        system = next(s for s in signature.sorts if s.name == "System")
+        with pytest.raises(SortError):
+            signature.declare_constant("overrun", system)
+
+
+class TestGrounding:
+    def test_forall_expands_over_domain(self, signature: Signature):
+        hazard = next(s for s in signature.sorts if s.name == "Hazard")
+        formula = ForAll(
+            Var("H"), hazard, FolAtom(Atom("mitigated", (Var("H"),)))
+        )
+        grounded = ground(signature, formula)
+        text = str(grounded)
+        assert "mitigated__overrun" in text
+        assert "mitigated__fire" in text
+
+    def test_exists_is_disjunction(self, signature: Signature):
+        hazard = next(s for s in signature.sorts if s.name == "Hazard")
+        formula = Exists(
+            Var("H"), hazard, FolAtom(Atom("mitigated", (Var("H"),)))
+        )
+        grounded = ground(signature, formula)
+        assert "|" in str(grounded)
+
+    def test_empty_domain_rejected(self, signature: Signature):
+        empty = signature.declare_sort("Empty")
+        formula = ForAll(
+            Var("X"), empty, FolAtom(Atom("mitigated", (Var("X"),)))
+        )
+        with pytest.raises(SortError):
+            ground(signature, formula)
+
+    def test_evaluation_closed_world(self, signature: Signature):
+        hazard = next(s for s in signature.sorts if s.name == "Hazard")
+        formula = ForAll(
+            Var("H"), hazard, FolAtom(Atom("mitigated", (Var("H"),)))
+        )
+        assert evaluate_fol(
+            signature, formula,
+            {"mitigated__overrun": True, "mitigated__fire": True},
+        )
+        assert not evaluate_fol(
+            signature, formula, {"mitigated__overrun": True}
+        )
+
+    def test_entailment_via_grounding(self, signature: Signature):
+        hazard = next(s for s in signature.sorts if s.name == "Hazard")
+        every = ForAll(
+            Var("H"), hazard, FolAtom(Atom("mitigated", (Var("H"),)))
+        )
+        one = FolAtom(Atom("mitigated", (Const("fire"),)))
+        assert fol_entails(signature, [every], one)
+        assert not fol_entails(signature, [one], every)
+
+    def test_validity(self, signature: Signature):
+        hazard = next(s for s in signature.sorts if s.name == "Hazard")
+        tautology = ForAll(
+            Var("H"), hazard,
+            FolImplies(
+                FolAtom(Atom("mitigated", (Var("H"),))),
+                FolAtom(Atom("mitigated", (Var("H"),))),
+            ),
+        )
+        assert fol_valid(signature, tautology)
+
+
+class TestSyllogismStructure:
+    def test_socrates_is_barbara(self):
+        syllogism = socrates_syllogism()
+        assert syllogism.mood() == "AAA"
+        assert syllogism.figure() == 1
+        assert is_valid_syllogism(syllogism)
+
+    def test_middle_term(self):
+        assert socrates_syllogism().middle_term() == "men"
+
+    def test_malformed_rejected(self):
+        with pytest.raises(SyllogismError):
+            Syllogism(
+                CategoricalProposition(PropositionForm.A, "a", "b"),
+                CategoricalProposition(PropositionForm.A, "c", "d"),
+                CategoricalProposition(PropositionForm.A, "a", "c"),
+            )
+
+    def test_distribution(self):
+        all_s_p = CategoricalProposition(PropositionForm.A, "s", "p")
+        assert all_s_p.distributes("s")
+        assert not all_s_p.distributes("p")
+        no_s_p = CategoricalProposition(PropositionForm.E, "s", "p")
+        assert no_s_p.distributes("s")
+        assert no_s_p.distributes("p")
+        some_s_p = CategoricalProposition(PropositionForm.I, "s", "p")
+        assert not some_s_p.distributes("s")
+        some_s_not_p = CategoricalProposition(PropositionForm.O, "s", "p")
+        assert some_s_not_p.distributes("p")
+
+
+class TestSyllogismRules:
+    def test_undistributed_middle_detected(self):
+        syllogism = Syllogism(
+            CategoricalProposition(PropositionForm.A, "dogs", "mammals"),
+            CategoricalProposition(PropositionForm.A, "cats", "mammals"),
+            CategoricalProposition(PropositionForm.A, "cats", "dogs"),
+        )
+        rules = {v.rule for v in check_syllogism(syllogism)}
+        assert "undistributed middle" in rules
+
+    def test_illicit_major_detected(self):
+        # All M are P; No S are M; therefore No S are P (AEE-1: illicit
+        # major — P distributed in conclusion, not in major premise).
+        syllogism = Syllogism(
+            CategoricalProposition(PropositionForm.A, "m", "p"),
+            CategoricalProposition(PropositionForm.E, "s", "m"),
+            CategoricalProposition(PropositionForm.E, "s", "p"),
+        )
+        rules = {v.rule for v in check_syllogism(syllogism)}
+        assert "illicit major" in rules
+
+    def test_exclusive_premises_detected(self):
+        syllogism = Syllogism(
+            CategoricalProposition(PropositionForm.E, "m", "p"),
+            CategoricalProposition(PropositionForm.E, "s", "m"),
+            CategoricalProposition(PropositionForm.E, "s", "p"),
+        )
+        rules = {v.rule for v in check_syllogism(syllogism)}
+        assert "exclusive premises" in rules
+
+    def test_rule_checker_agrees_with_valid_mood_table(self):
+        # Exhaustive: all 256 mood x figure combinations.
+        forms = list(PropositionForm)
+        for major_form, minor_form, conclusion_form in \
+                itertools.product(forms, repeat=3):
+            for figure in (1, 2, 3, 4):
+                syllogism = _make_syllogism(
+                    major_form, minor_form, conclusion_form, figure
+                )
+                mood = (
+                    major_form.value + minor_form.value
+                    + conclusion_form.value
+                )
+                expected = (mood, figure) in VALID_MOODS
+                assert is_valid_syllogism(syllogism) == expected, (
+                    f"{mood}-{figure}"
+                )
+
+
+def _make_syllogism(
+    major_form: PropositionForm,
+    minor_form: PropositionForm,
+    conclusion_form: PropositionForm,
+    figure: int,
+) -> Syllogism:
+    middle, major_term, minor_term = "m", "p", "s"
+    if figure == 1:
+        major = (middle, major_term)
+        minor = (minor_term, middle)
+    elif figure == 2:
+        major = (major_term, middle)
+        minor = (minor_term, middle)
+    elif figure == 3:
+        major = (middle, major_term)
+        minor = (middle, minor_term)
+    else:
+        major = (major_term, middle)
+        minor = (middle, minor_term)
+    return Syllogism(
+        CategoricalProposition(major_form, *major),
+        CategoricalProposition(minor_form, *minor),
+        CategoricalProposition(conclusion_form, minor_term, major_term),
+    )
+
+
+class TestConversion:
+    def test_e_and_i_convert(self):
+        assert valid_conversion(
+            CategoricalProposition(PropositionForm.E, "s", "p")
+        )
+        assert valid_conversion(
+            CategoricalProposition(PropositionForm.I, "s", "p")
+        )
+
+    def test_a_and_o_do_not_convert(self):
+        assert not valid_conversion(
+            CategoricalProposition(PropositionForm.A, "s", "p")
+        )
+        assert not valid_conversion(
+            CategoricalProposition(PropositionForm.O, "s", "p")
+        )
+
+    def test_converse_swaps_terms(self):
+        proposition = CategoricalProposition(
+            PropositionForm.A, "s", "p"
+        )
+        assert converse(proposition).subject == "p"
+        assert converse(proposition).predicate == "s"

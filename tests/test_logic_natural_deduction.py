@@ -1,0 +1,257 @@
+"""Tests for repro.logic.natural_deduction, incl. the Haley proof."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.logic.entailment import entails
+from repro.logic.natural_deduction import (
+    Proof,
+    ProofBuilder,
+    ProofError,
+    ProofLine,
+    Rule,
+    check_proof,
+    haley_outer_proof,
+)
+from repro.logic.propositional import And, Atom, Implies, Not, parse
+
+
+class TestHaleyProof:
+    """The 11-step outer argument from Haley et al. 2008 (§III.K)."""
+
+    def test_checks(self):
+        assert check_proof(haley_outer_proof())
+
+    def test_has_eleven_lines(self):
+        assert len(haley_outer_proof()) == 11
+
+    def test_five_premises(self):
+        proof = haley_outer_proof()
+        assert len(proof.premises) == 5
+
+    def test_conclusion_is_d_implies_h(self):
+        proof = haley_outer_proof()
+        assert proof.conclusion == parse("D -> H")
+
+    def test_line_rules_match_paper(self):
+        proof = haley_outer_proof()
+        rules = [line.rule for line in proof.lines]
+        assert rules[:5] == [Rule.PREMISE] * 5
+        assert rules[5] == Rule.DETACH       # 6: Y
+        assert rules[6] == Rule.DETACH       # 7: V & C
+        assert rules[7] == Rule.SPLIT        # 8: V
+        assert rules[8] == Rule.SPLIT        # 9: C
+        assert rules[9] == Rule.DETACH       # 10: H
+        assert rules[10] == Rule.CONCLUSION  # 11: D -> H
+
+    def test_citations_match_paper(self):
+        proof = haley_outer_proof()
+        assert proof.lines[5].citations == (4, 5)
+        assert proof.lines[6].citations == (3, 6)
+        assert proof.lines[9].citations == (2, 9)
+        assert proof.lines[10].citations == (5,)
+
+    def test_conclusion_semantically_sound(self):
+        proof = haley_outer_proof()
+        # Premises minus the discharged D still entail D -> H.
+        undischarged = [p for p in proof.premises if p != parse("D")]
+        assert entails(undischarged, proof.conclusion)
+
+    def test_rendering_includes_rule_names(self):
+        text = str(haley_outer_proof())
+        assert "Detach" in text
+        assert "Split" in text
+        assert "Conclusion" in text
+
+
+class TestBuilder:
+    def test_modus_ponens(self):
+        builder = ProofBuilder()
+        implication = builder.premise("p -> q")
+        antecedent = builder.premise("p")
+        builder.detach(implication, antecedent)
+        proof = builder.build()
+        assert proof.conclusion == parse("q")
+
+    def test_split_both_sides(self):
+        builder = ProofBuilder()
+        conjunction = builder.premise("p & q")
+        left = builder.split(conjunction, keep_left=True)
+        right = builder.split(conjunction, keep_left=False)
+        proof = builder.build()
+        assert proof.lines[left - 1].formula == parse("p")
+        assert proof.lines[right - 1].formula == parse("q")
+
+    def test_conjoin(self):
+        builder = ProofBuilder()
+        a = builder.premise("a")
+        b = builder.premise("b")
+        builder.conjoin(a, b)
+        assert builder.build().conclusion == parse("a & b")
+
+    def test_add_disjunct(self):
+        builder = ProofBuilder()
+        a = builder.premise("a")
+        builder.add_disjunct(a, "b")
+        assert builder.build().conclusion == parse("a | b")
+
+    def test_modus_tollens(self):
+        builder = ProofBuilder()
+        implication = builder.premise("p -> q")
+        negation = builder.premise("~q")
+        builder.modus_tollens(implication, negation)
+        assert builder.build().conclusion == parse("~p")
+
+    def test_reiterate(self):
+        builder = ProofBuilder()
+        a = builder.premise("a")
+        builder.reiterate(a)
+        assert check_proof(builder.build())
+
+    def test_detach_requires_implication(self):
+        builder = ProofBuilder()
+        a = builder.premise("a")
+        b = builder.premise("b")
+        with pytest.raises(ValueError):
+            builder.detach(a, b)
+
+    def test_bad_line_reference(self):
+        builder = ProofBuilder()
+        builder.premise("a")
+        with pytest.raises(ValueError):
+            builder.split(99)
+
+
+class TestChecker:
+    def _proof(self, *lines: ProofLine) -> Proof:
+        return Proof(tuple(lines))
+
+    def test_rejects_wrong_line_numbers(self):
+        proof = self._proof(
+            ProofLine(2, parse("p"), Rule.PREMISE),
+        )
+        with pytest.raises(ProofError, match="expected line number"):
+            check_proof(proof)
+
+    def test_rejects_forward_citation(self):
+        proof = self._proof(
+            ProofLine(1, parse("q"), Rule.REITERATE, (2,)),
+            ProofLine(2, parse("q"), Rule.PREMISE),
+        )
+        with pytest.raises(ProofError):
+            check_proof(proof)
+
+    def test_rejects_bogus_detach(self):
+        proof = self._proof(
+            ProofLine(1, parse("p -> q"), Rule.PREMISE),
+            ProofLine(2, parse("r"), Rule.PREMISE),
+            ProofLine(3, parse("q"), Rule.DETACH, (1, 2)),
+        )
+        with pytest.raises(ProofError, match="antecedent"):
+            check_proof(proof)
+
+    def test_rejects_wrong_detach_conclusion(self):
+        proof = self._proof(
+            ProofLine(1, parse("p -> q"), Rule.PREMISE),
+            ProofLine(2, parse("p"), Rule.PREMISE),
+            ProofLine(3, parse("r"), Rule.DETACH, (1, 2)),
+        )
+        with pytest.raises(ProofError, match="consequent"):
+            check_proof(proof)
+
+    def test_rejects_split_of_non_conjunction(self):
+        proof = self._proof(
+            ProofLine(1, parse("p | q"), Rule.PREMISE),
+            ProofLine(2, parse("p"), Rule.SPLIT, (1,)),
+        )
+        with pytest.raises(ProofError, match="conjunction"):
+            check_proof(proof)
+
+    def test_rejects_affirming_the_consequent(self):
+        # The checker must not accept the classic invalid form.
+        proof = self._proof(
+            ProofLine(1, parse("p -> q"), Rule.PREMISE),
+            ProofLine(2, parse("q"), Rule.PREMISE),
+            ProofLine(3, parse("p"), Rule.DETACH, (1, 2)),
+        )
+        with pytest.raises(ProofError):
+            check_proof(proof)
+
+    def test_rejects_premise_with_citations(self):
+        proof = self._proof(
+            ProofLine(1, parse("p"), Rule.PREMISE),
+            ProofLine(2, parse("q"), Rule.PREMISE, (1,)),
+        )
+        with pytest.raises(ProofError, match="no citations"):
+            check_proof(proof)
+
+    def test_conclusion_must_discharge_cited_premise(self):
+        proof = self._proof(
+            ProofLine(1, parse("p"), Rule.PREMISE),
+            ProofLine(2, parse("q"), Rule.PREMISE),
+            ProofLine(3, parse("r -> q"), Rule.CONCLUSION, (1,)),
+        )
+        with pytest.raises(ProofError, match="antecedent"):
+            check_proof(proof)
+
+    def test_cases_rule(self):
+        proof = self._proof(
+            ProofLine(1, parse("p | q"), Rule.PREMISE),
+            ProofLine(2, parse("p -> r"), Rule.PREMISE),
+            ProofLine(3, parse("q -> r"), Rule.PREMISE),
+            ProofLine(4, parse("r"), Rule.CASES, (1, 2, 3)),
+        )
+        assert check_proof(proof)
+
+    def test_iff_elimination(self):
+        proof = self._proof(
+            ProofLine(1, parse("p <-> q"), Rule.PREMISE),
+            ProofLine(2, parse("p -> q"), Rule.IFF_ELIM, (1,)),
+        )
+        assert check_proof(proof)
+
+    def test_hypothetical_syllogism(self):
+        proof = self._proof(
+            ProofLine(1, parse("p -> q"), Rule.PREMISE),
+            ProofLine(2, parse("q -> r"), Rule.PREMISE),
+            ProofLine(3, parse("p -> r"), Rule.HYPOTHETICAL, (1, 2)),
+        )
+        assert check_proof(proof)
+
+    def test_double_negation(self):
+        proof = self._proof(
+            ProofLine(1, parse("~~p"), Rule.PREMISE),
+            ProofLine(2, parse("p"), Rule.DOUBLE_NEG, (1,)),
+        )
+        assert check_proof(proof)
+
+
+class TestRuleAliases:
+    def test_modus_ponens_alias(self):
+        assert Rule.from_name("modus_ponens") is Rule.DETACH
+
+    def test_symbolic_aliases(self):
+        assert Rule.from_name("->e") is Rule.DETACH
+        assert Rule.from_name("&e") is Rule.SPLIT
+        assert Rule.from_name("->i") is Rule.CONCLUSION
+
+    def test_canonical_name(self):
+        assert Rule.from_name("detach") is Rule.DETACH
+
+
+class TestSoundness:
+    """Checked proofs are sound: premises true => conclusion true."""
+
+    def test_derived_lines_entailed_by_premises(self):
+        builder = ProofBuilder()
+        line_ab = builder.premise("a -> b")
+        line_bc = builder.premise("b -> c & d")
+        line_a = builder.premise("a")
+        line_b = builder.detach(line_ab, line_a)
+        line_cd = builder.detach(line_bc, line_b)
+        builder.split(line_cd, keep_left=False)
+        proof = builder.build()
+        for line in proof.lines:
+            if line.rule not in (Rule.PREMISE, Rule.ASSUMPTION):
+                assert entails(proof.premises, line.formula), str(line)

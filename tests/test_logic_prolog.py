@@ -1,0 +1,179 @@
+"""Tests for repro.logic.prolog — including Figure 1 verbatim."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.logic.prolog import (
+    Clause,
+    DepthLimitExceeded,
+    Program,
+    PrologError,
+    desert_bank_program,
+    parse_clause,
+    parse_program,
+)
+from repro.logic.terms import Atom, Const, parse_atom
+
+
+class TestFigure1:
+    """The paper's Desert Bank argument, executed."""
+
+    def test_program_has_three_clauses(self):
+        assert len(desert_bank_program()) == 3
+
+    def test_false_conclusion_is_derivable(self):
+        # 'We can prove that: adjacent(desert_bank, river).' (Figure 1)
+        program = desert_bank_program()
+        assert program.provable("adjacent(desert_bank, river)")
+
+    def test_direct_fact_derivable(self):
+        program = desert_bank_program()
+        assert program.provable("adjacent(bank, river)")
+
+    def test_underivable_facts_fail(self):
+        program = desert_bank_program()
+        assert not program.provable("adjacent(river, bank)")
+        assert not program.provable("is_a(bank, desert_bank)")
+
+    def test_solution_bindings(self):
+        program = desert_bank_program()
+        solutions = program.solve("adjacent(X, river)")
+        answers = {s.as_dict()["X"] for s in solutions}
+        assert answers == {"bank", "desert_bank"}
+
+    def test_derivation_uses_transitivity_rule(self):
+        # The derivation needs is_a + the recursive rule: depth > 1.
+        program = desert_bank_program()
+        solutions = program.solve("adjacent(desert_bank, river)")
+        assert solutions and solutions[0].depth >= 2
+
+
+class TestParsing:
+    def test_parse_fact(self):
+        clause = parse_clause("likes(alice, bob).")
+        assert clause.head == parse_atom("likes(alice, bob)")
+        assert clause.body == ()
+
+    def test_parse_rule(self):
+        clause = parse_clause("a(X) :- b(X), c(X).")
+        assert clause.head == parse_atom("a(X)")
+        assert len(clause.body) == 2
+
+    def test_parse_negated_goal(self):
+        clause = parse_clause("safe(X) :- device(X), \\+ faulty(X).")
+        assert clause.body[1].negated
+
+    def test_parse_program_with_comments(self):
+        program = parse_program(
+            """
+            % facts
+            p(a).
+            p(b).
+            q(X) :- p(X).
+            """
+        )
+        assert len(program) == 3
+
+    def test_unterminated_clause_rejected(self):
+        with pytest.raises(PrologError):
+            parse_program("p(a)")
+
+    def test_empty_clause_rejected(self):
+        with pytest.raises(PrologError):
+            parse_clause(".")
+
+
+class TestResolution:
+    def test_conjunction_in_body(self):
+        program = parse_program(
+            """
+            parent(tom, bob).
+            parent(bob, ann).
+            grandparent(X, Z) :- parent(X, Y), parent(Y, Z).
+            """
+        )
+        assert program.provable("grandparent(tom, ann)")
+        assert not program.provable("grandparent(bob, tom)")
+
+    def test_multiple_solutions_in_order(self):
+        program = parse_program("p(a). p(b). p(c).")
+        answers = [s.as_dict()["X"] for s in program.solve("p(X)")]
+        assert answers == ["a", "b", "c"]
+
+    def test_max_solutions(self):
+        program = parse_program("p(a). p(b). p(c).")
+        assert len(program.solve("p(X)", max_solutions=2)) == 2
+
+    def test_depth_limit_on_left_recursion(self):
+        program = parse_program("loop(X) :- loop(X).")
+        with pytest.raises(DepthLimitExceeded):
+            program.solve("loop(a)", max_depth=20)
+
+    def test_variables_rename_apart(self):
+        # The same rule used twice must not capture variables.
+        program = parse_program(
+            """
+            edge(a, b).
+            edge(b, c).
+            path(X, Y) :- edge(X, Y).
+            path(X, Z) :- edge(X, Y), path(Y, Z).
+            """
+        )
+        assert program.provable("path(a, c)")
+
+    def test_negation_as_failure(self):
+        program = parse_program(
+            """
+            device(d1).
+            device(d2).
+            faulty(d2).
+            ok(X) :- device(X), \\+ faulty(X).
+            """
+        )
+        assert program.provable("ok(d1)")
+        assert not program.provable("ok(d2)")
+
+    def test_negation_requires_ground_goal(self):
+        program = parse_program(
+            """
+            p(a).
+            bad(X) :- \\+ q(X), p(X).
+            """
+        )
+        # With the query variable unbound, the negated goal is non-ground
+        # at selection time and must be rejected (floundering).
+        with pytest.raises(PrologError, match="ground"):
+            program.solve("bad(X)")
+
+    def test_negation_ground_after_head_unification(self):
+        program = parse_program(
+            """
+            p(a).
+            bad(X) :- \\+ q(X), p(X).
+            """
+        )
+        # Querying with a constant grounds the negated goal: no error.
+        assert program.provable("bad(a)")
+
+    def test_add_fact_and_rule_api(self):
+        program = Program()
+        program.add_fact("p(a)")
+        program.add_rule("q(X)", "p(X)")
+        assert program.provable("q(a)")
+
+    def test_soundness_ground_answers(self):
+        # Every returned binding must make the query a logical
+        # consequence of the program (checked by re-querying ground).
+        program = parse_program(
+            """
+            likes(alice, bob).
+            likes(bob, carol).
+            friend(X, Y) :- likes(X, Y).
+            """
+        )
+        for solution in program.solve("friend(X, Y)"):
+            bound = solution.as_dict()
+            assert program.provable(
+                f"friend({bound['X']}, {bound['Y']})"
+            )

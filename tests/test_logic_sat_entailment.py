@@ -1,0 +1,156 @@
+"""Tests for repro.logic.sat and repro.logic.entailment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.logic.entailment import (
+    consistent,
+    entails,
+    equivalent_sat,
+    independent,
+    is_satisfiable,
+    is_valid,
+    minimal_inconsistent_subsets,
+    premises_used,
+)
+from repro.logic.propositional import cnf_clauses, evaluate, parse
+from repro.logic.sat import DpllSolver, solve, solve_formula
+
+
+class TestDpll:
+    def test_satisfiable_formula(self):
+        result = solve_formula(parse("(a | b) & (~a | c)"))
+        assert result.satisfiable
+        assert result.assignment is not None
+
+    def test_unsatisfiable_formula(self):
+        result = solve_formula(parse("(a | b) & ~a & ~b"))
+        assert not result.satisfiable
+        assert result.assignment is None
+
+    def test_model_actually_satisfies(self):
+        formula = parse("(a | b) & (~b | c) & (c -> d)")
+        result = solve_formula(formula)
+        assert result.satisfiable
+        from repro.logic.propositional import Atom, atoms_of
+
+        valuation = {
+            atom: result.assignment.get(atom.name, False)
+            for atom in atoms_of(formula)
+        }
+        assert evaluate(formula, valuation)
+
+    def test_empty_clause_set_is_sat(self):
+        assert solve([]).satisfiable
+
+    def test_empty_clause_is_unsat(self):
+        assert not solve([frozenset()]).satisfiable
+
+    def test_unit_propagation_counter(self):
+        solver = DpllSolver(cnf_clauses(parse("a & (a -> b) & (b -> c)")))
+        result = solver.solve()
+        assert result.satisfiable
+        assert result.propagations > 0
+
+    def test_pigeonhole_2_into_1_unsat(self):
+        # Two pigeons, one hole.
+        formula = parse("(p1h1) & (p2h1) & ~(p1h1 & p2h1)")
+        assert not solve_formula(formula).satisfiable
+
+    def test_agrees_with_bruteforce_on_suite(self):
+        from repro.logic.propositional import is_satisfiable_bruteforce
+
+        suite = [
+            "a",
+            "~a & a",
+            "(a -> b) & (b -> c) & a & ~c",
+            "(a <-> b) & (b <-> c) & (a <-> ~c)",
+            "(a | b | c) & (~a | ~b) & (~b | ~c) & (~a | ~c)",
+            "true -> (a | ~a)",
+        ]
+        for text in suite:
+            formula = parse(text)
+            assert solve_formula(formula).satisfiable == \
+                is_satisfiable_bruteforce(formula), text
+
+
+class TestEntailment:
+    def test_modus_ponens(self):
+        assert entails([parse("p -> q"), parse("p")], parse("q"))
+
+    def test_non_entailment(self):
+        assert not entails([parse("p -> q"), parse("q")], parse("p"))
+
+    def test_chain(self):
+        premises = [parse("a -> b"), parse("b -> c"), parse("a")]
+        assert entails(premises, parse("c"))
+
+    def test_validity(self):
+        assert is_valid(parse("p | ~p"))
+        assert not is_valid(parse("p"))
+
+    def test_satisfiability(self):
+        assert is_satisfiable(parse("p & q"))
+        assert not is_satisfiable(parse("p & ~p"))
+
+    def test_consistency(self):
+        assert consistent([parse("p"), parse("q")])
+        assert not consistent([parse("p"), parse("~p")])
+
+    def test_equivalence(self):
+        assert equivalent_sat(parse("p -> q"), parse("~q -> ~p"))
+        assert not equivalent_sat(parse("p -> q"), parse("q -> p"))
+
+    def test_independence(self):
+        assert independent([parse("p")], parse("q"))
+        assert not independent([parse("p")], parse("p"))
+        assert not independent([parse("p")], parse("~p"))
+
+
+class TestMinimalInconsistentSubsets:
+    def test_simple_core(self):
+        formulas = [parse("p"), parse("~p"), parse("q")]
+        cores = minimal_inconsistent_subsets(formulas)
+        assert cores == [(0, 1)]
+
+    def test_self_contradiction(self):
+        formulas = [parse("p & ~p"), parse("q")]
+        cores = minimal_inconsistent_subsets(formulas)
+        assert cores == [(0,)]
+
+    def test_consistent_set_has_no_cores(self):
+        assert minimal_inconsistent_subsets(
+            [parse("p"), parse("q")]
+        ) == []
+
+    def test_three_way_core(self):
+        formulas = [parse("p -> q"), parse("p"), parse("~q")]
+        cores = minimal_inconsistent_subsets(formulas)
+        assert (0, 1, 2) in cores
+
+
+class TestPremisesUsed:
+    def test_minimal_support_found(self):
+        premises = [
+            parse("a"),
+            parse("a -> goal"),
+            parse("unrelated"),
+        ]
+        used = premises_used(premises, parse("goal"))
+        assert set(used) == {0, 1}
+
+    def test_non_entailing_returns_all(self):
+        premises = [parse("a"), parse("b")]
+        used = premises_used(premises, parse("c"))
+        assert used == (0, 1)
+
+    def test_redundant_evidence_pruned(self):
+        # Two independent routes to the goal: only one survives greedy
+        # minimisation.
+        premises = [
+            parse("a"), parse("a -> goal"),
+            parse("b"), parse("b -> goal"),
+        ]
+        used = premises_used(premises, parse("goal"))
+        assert len(used) == 2

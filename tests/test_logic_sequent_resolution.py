@@ -1,0 +1,197 @@
+"""Tests for repro.logic.sequent and repro.logic.resolution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.logic.propositional import parse
+from repro.logic.resolution import (
+    FolClause,
+    FolLiteral,
+    ResolutionProver,
+    prove,
+)
+from repro.logic.sequent import (
+    Derivation,
+    Sequent,
+    is_valid_sequent,
+    prove_sequent,
+)
+from repro.logic.terms import parse_atom
+
+
+class TestSequentAxioms:
+    def test_shared_atom_closes(self):
+        assert is_valid_sequent([parse("p")], [parse("p")])
+
+    def test_falsum_left_closes(self):
+        assert is_valid_sequent([parse("false")], [parse("q")])
+
+    def test_verum_right_closes(self):
+        assert is_valid_sequent([], [parse("true")])
+
+
+class TestSequentValidity:
+    def test_modus_ponens(self):
+        assert is_valid_sequent(
+            [parse("p -> q"), parse("p")], [parse("q")]
+        )
+
+    def test_invalid_affirming_consequent(self):
+        assert not is_valid_sequent(
+            [parse("p -> q"), parse("q")], [parse("p")]
+        )
+
+    def test_excluded_middle(self):
+        assert is_valid_sequent([], [parse("p | ~p")])
+
+    def test_peirce(self):
+        # Peirce's law is classically valid; LK proves it.
+        assert is_valid_sequent([], [parse("((p -> q) -> p) -> p")])
+
+    def test_de_morgan(self):
+        assert is_valid_sequent(
+            [parse("~(p | q)")], [parse("~p & ~q")]
+        )
+
+    def test_iff_expansion(self):
+        assert is_valid_sequent(
+            [parse("p <-> q"), parse("p")], [parse("q")]
+        )
+
+    def test_atom_not_valid(self):
+        assert not is_valid_sequent([], [parse("p")])
+
+    def test_agrees_with_truth_tables(self):
+        from repro.logic.propositional import is_tautology
+
+        suite = [
+            "p -> p",
+            "(p -> q) -> ((q -> r) -> (p -> r))",
+            "(p & q) -> p",
+            "p -> (p | q)",
+            "(p -> q) <-> (~q -> ~p)",
+            "p -> q",
+            "(p | q) -> p",
+            "~(p & ~p)",
+        ]
+        for text in suite:
+            formula = parse(text)
+            assert is_valid_sequent([], [formula]) == \
+                is_tautology(formula), text
+
+
+class TestDerivationShape:
+    def test_closed_derivation(self):
+        derivation = prove_sequent(
+            Sequent((parse("p & q"),), (parse("p"),))
+        )
+        assert derivation.closed
+        assert derivation.size() >= 2
+        assert derivation.depth() >= 2
+
+    def test_open_leaf_marked(self):
+        derivation = prove_sequent(Sequent((), (parse("p"),)))
+        assert not derivation.closed
+        assert derivation.rule == "open"
+
+    def test_render_contains_rules(self):
+        derivation = prove_sequent(
+            Sequent((parse("p -> q"), parse("p")), (parse("q"),))
+        )
+        text = derivation.render()
+        assert "implies-left" in text
+        assert "axiom" in text
+
+
+def _lit(text: str, positive: bool = True) -> FolLiteral:
+    return FolLiteral(parse_atom(text), positive)
+
+
+class TestResolution:
+    def test_ground_refutation(self):
+        clauses = [
+            FolClause.of(_lit("p")),
+            FolClause.of(_lit("p", False)),
+        ]
+        proof = ResolutionProver().refute(clauses)
+        assert proof.found
+
+    def test_modus_ponens_refutation(self):
+        # p, p -> q (i.e. ~p | q), ~q is unsatisfiable.
+        clauses = [
+            FolClause.of(_lit("p")),
+            FolClause.of(_lit("p", False), _lit("q")),
+            FolClause.of(_lit("q", False)),
+        ]
+        assert ResolutionProver().refute(clauses).found
+
+    def test_satisfiable_set_not_refuted(self):
+        clauses = [
+            FolClause.of(_lit("p")),
+            FolClause.of(_lit("q")),
+        ]
+        assert not ResolutionProver().refute(clauses).found
+
+    def test_first_order_syllogism(self):
+        # man(socrates); ~man(X) | mortal(X) |- mortal(socrates).
+        axioms = [
+            FolClause.of(_lit("man(socrates)")),
+            FolClause.of(_lit("man(X)", False), _lit("mortal(X)")),
+        ]
+        proof = prove(axioms, parse_atom("mortal(socrates)"))
+        assert proof.found
+
+    def test_transitivity_chain(self):
+        axioms = [
+            FolClause.of(_lit("edge(a, b)")),
+            FolClause.of(_lit("edge(b, c)")),
+            FolClause.of(_lit("edge(X, Y)", False), _lit("path(X, Y)")),
+            FolClause.of(
+                _lit("edge(X, Y)", False),
+                _lit("path(Y, Z)", False),
+                _lit("path(X, Z)"),
+            ),
+        ]
+        assert prove(axioms, parse_atom("path(a, c)")).found
+
+    def test_unprovable_goal(self):
+        axioms = [FolClause.of(_lit("edge(a, b)"))]
+        proof = prove(axioms, parse_atom("edge(b, a)"), max_clauses=100)
+        assert not proof.found
+
+    def test_used_steps_trace_back_to_inputs(self):
+        clauses = [
+            FolClause.of(_lit("p")),
+            FolClause.of(_lit("p", False), _lit("q")),
+            FolClause.of(_lit("q", False)),
+        ]
+        proof = ResolutionProver().refute(clauses)
+        used = proof.used_steps()
+        assert used
+        assert proof.steps[used[-1]].clause.is_empty
+        assert all(proof.steps[i].rule == "input" for i in used[:3])
+
+    def test_tautology_clauses_discarded(self):
+        clauses = [
+            FolClause.of(_lit("p"), _lit("p", False)),  # tautology
+            FolClause.of(_lit("q")),
+        ]
+        proof = ResolutionProver().refute(clauses)
+        assert not proof.found
+        assert all(
+            not step.clause.is_tautology() for step in proof.steps
+        )
+
+    def test_factoring(self):
+        # p(X) | p(a) factors to p(a); with ~p(a) this refutes.
+        clauses = [
+            FolClause.of(_lit("p(X)"), _lit("p(a)")),
+            FolClause.of(_lit("p(a)", False)),
+        ]
+        assert ResolutionProver().refute(clauses).found
+
+    def test_literal_negation(self):
+        literal = _lit("p(a)")
+        assert literal.negate().positive is False
+        assert literal.negate().negate() == literal

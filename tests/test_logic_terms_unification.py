@@ -1,0 +1,205 @@
+"""Tests for repro.logic.terms and repro.logic.unification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.logic.terms import (
+    Atom,
+    Const,
+    Func,
+    Substitution,
+    TermSyntaxError,
+    Var,
+    constants_of,
+    parse_atom,
+    parse_term,
+    rename_apart,
+    term_depth,
+    term_size,
+    variables_of,
+)
+from repro.logic.unification import unify, unify_atoms, unify_sequences
+
+
+class TestTermConstruction:
+    def test_func_requires_args(self):
+        with pytest.raises(ValueError):
+            Func("f", ())
+
+    def test_str_rendering(self):
+        term = Func("f", (Var("X"), Const("a")))
+        assert str(term) == "f(X, a)"
+
+    def test_atom_str(self):
+        atom = Atom("adjacent", (Const("bank"), Const("river")))
+        assert str(atom) == "adjacent(bank, river)"
+
+    def test_zero_arity_atom(self):
+        assert str(Atom("raining")) == "raining"
+        assert Atom("raining").is_ground()
+
+
+class TestParsing:
+    def test_parse_variable(self):
+        assert parse_term("X") == Var("X")
+        assert parse_term("_anon") == Var("_anon")
+
+    def test_parse_constant(self):
+        assert parse_term("bank") == Const("bank")
+
+    def test_parse_compound(self):
+        assert parse_term("f(X, a)") == Func("f", (Var("X"), Const("a")))
+
+    def test_parse_nested(self):
+        term = parse_term("f(g(X), h(a, Y))")
+        assert term == Func("f", (
+            Func("g", (Var("X"),)),
+            Func("h", (Const("a"), Var("Y"))),
+        ))
+
+    def test_parse_quoted_name(self):
+        assert parse_term("'two words'") == Const("two words")
+
+    def test_parse_atom(self):
+        atom = parse_atom("is_a(desert_bank, bank)")
+        assert atom == Atom(
+            "is_a", (Const("desert_bank"), Const("bank"))
+        )
+
+    def test_rejects_trailing(self):
+        with pytest.raises(TermSyntaxError):
+            parse_term("f(X) extra")
+
+    def test_rejects_unclosed(self):
+        with pytest.raises(TermSyntaxError):
+            parse_term("f(X")
+
+
+class TestTermMetrics:
+    def test_variables_of(self):
+        term = parse_term("f(X, g(Y, X), a)")
+        assert variables_of(term) == {Var("X"), Var("Y")}
+
+    def test_constants_of(self):
+        term = parse_term("f(X, g(a), b)")
+        assert constants_of(term) == {Const("a"), Const("b")}
+
+    def test_size_and_depth(self):
+        term = parse_term("f(g(X), a)")
+        assert term_size(term) == 4
+        assert term_depth(term) == 3
+        assert term_depth(Const("a")) == 1
+
+
+class TestSubstitution:
+    def test_apply_binds_variable(self):
+        subst = Substitution({Var("X"): Const("a")})
+        assert subst.apply(Var("X")) == Const("a")
+        assert subst.apply(Var("Y")) == Var("Y")
+
+    def test_apply_recurses_into_functions(self):
+        subst = Substitution({Var("X"): Const("a")})
+        assert subst.apply(parse_term("f(X, X)")) == parse_term("f(a, a)")
+
+    def test_identity_bindings_dropped(self):
+        subst = Substitution({Var("X"): Var("X")})
+        assert len(subst) == 0
+
+    def test_compose_order(self):
+        first = Substitution({Var("X"): Var("Y")})
+        second = Substitution({Var("Y"): Const("a")})
+        composed = first.compose(second)
+        assert composed.apply(Var("X")) == Const("a")
+
+    def test_restrict(self):
+        subst = Substitution({Var("X"): Const("a"), Var("Y"): Const("b")})
+        restricted = subst.restrict([Var("X")])
+        assert Var("X") in restricted
+        assert Var("Y") not in restricted
+
+    def test_equality_and_hash(self):
+        a = Substitution({Var("X"): Const("a")})
+        b = Substitution({Var("X"): Const("a")})
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestRenameApart:
+    def test_renames_all_variables(self):
+        atoms = (parse_atom("p(X, Y)"), parse_atom("q(X)"))
+        renamed, _ = rename_apart(atoms, "_1")
+        names = set()
+        for atom in renamed:
+            names.update(v.name for v in atom.variables())
+        assert names == {"X_1", "Y_1"}
+
+
+class TestUnify:
+    def test_identical_terms(self):
+        subst = unify(parse_term("f(a)"), parse_term("f(a)"))
+        assert subst is not None and len(subst) == 0
+
+    def test_variable_to_constant(self):
+        subst = unify(Var("X"), Const("a"))
+        assert subst is not None
+        assert subst.apply(Var("X")) == Const("a")
+
+    def test_clash(self):
+        assert unify(Const("a"), Const("b")) is None
+
+    def test_functor_mismatch(self):
+        assert unify(parse_term("f(X)"), parse_term("g(X)")) is None
+
+    def test_arity_mismatch(self):
+        assert unify(parse_term("f(X)"), parse_term("f(X, Y)")) is None
+
+    def test_nested_unification(self):
+        subst = unify(parse_term("f(X, g(Y))"), parse_term("f(a, g(b))"))
+        assert subst is not None
+        assert subst.apply(Var("X")) == Const("a")
+        assert subst.apply(Var("Y")) == Const("b")
+
+    def test_variable_chains(self):
+        subst = unify(parse_term("f(X, Y)"), parse_term("f(Y, a)"))
+        assert subst is not None
+        assert subst.apply(Var("X")) == Const("a")
+        assert subst.apply(Var("Y")) == Const("a")
+
+    def test_occurs_check_blocks_infinite_term(self):
+        assert unify(Var("X"), parse_term("f(X)")) is None
+
+    def test_occurs_check_can_be_disabled(self):
+        subst = unify(Var("X"), parse_term("f(X)"), occurs_check=False)
+        assert subst is not None  # unsound, but Prolog-compatible
+
+    def test_unifier_equalises(self):
+        left = parse_term("f(X, g(Y), Z)")
+        right = parse_term("f(h(W), g(a), W)")
+        subst = unify(left, right)
+        assert subst is not None
+        assert subst.apply(left) == subst.apply(right)
+
+
+class TestUnifyAtoms:
+    def test_predicate_mismatch(self):
+        assert unify_atoms(parse_atom("p(X)"), parse_atom("q(X)")) is None
+
+    def test_matching_atoms(self):
+        subst = unify_atoms(
+            parse_atom("adjacent(X, river)"),
+            parse_atom("adjacent(bank, Y)"),
+        )
+        assert subst is not None
+        assert subst.apply(Var("X")) == Const("bank")
+        assert subst.apply(Var("Y")) == Const("river")
+
+    def test_sequences(self):
+        subst = unify_sequences(
+            [Var("X"), Const("b")], [Const("a"), Const("b")]
+        )
+        assert subst is not None
+        assert subst.apply(Var("X")) == Const("a")
+
+    def test_sequences_length_mismatch(self):
+        assert unify_sequences([Var("X")], []) is None

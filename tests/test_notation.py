@@ -1,0 +1,241 @@
+"""Tests for the repro.notation package."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.case import AssuranceCase
+from repro.core.hicases import HiView
+from repro.core.nodes import Node, NodeType
+from repro.notation.ascii_art import render_tree, render_view
+from repro.notation.cae import (
+    CaeCase,
+    CaeNode,
+    CaeNodeType,
+    cae_to_gsn,
+    gsn_to_cae,
+)
+from repro.notation.dot import to_dot
+from repro.notation.gsn_text import GsnTextError, parse, serialise
+from repro.notation.json_io import (
+    argument_from_json,
+    argument_to_json,
+    case_from_json,
+    case_to_json,
+)
+from repro.notation.prose import render_prose
+from repro.notation.tabular import render_table, rows
+
+
+class TestGsnText:
+    def test_roundtrip_simple(self, simple_argument):
+        assert parse(serialise(simple_argument)) == simple_argument
+
+    def test_roundtrip_rich(self, hazard_argument):
+        assert parse(serialise(hazard_argument)) == hazard_argument
+
+    def test_roundtrip_away_goal_and_undeveloped(self):
+        from repro.core.argument import Argument
+
+        argument = Argument(name="modules")
+        argument.add_node(Node("G1", NodeType.GOAL, "The system is safe"))
+        argument.add_node(Node(
+            "AG1", NodeType.AWAY_GOAL, "Power is safe", module="power"
+        ))
+        argument.add_node(Node(
+            "G2", NodeType.GOAL, "Rest is safe", undeveloped=True
+        ))
+        argument.supported_by("G1", "AG1")
+        argument.supported_by("G1", "G2")
+        assert parse(serialise(argument)) == argument
+
+    def test_quotes_in_text_roundtrip(self):
+        from repro.core.argument import Argument
+
+        argument = Argument(name="q")
+        argument.add_node(Node(
+            "G1", NodeType.GOAL, 'The "safe state" is reachable',
+            undeveloped=True,
+        ))
+        assert parse(serialise(argument)) == argument
+
+    def test_comments_ignored(self, simple_argument):
+        text = serialise(simple_argument) + "# a trailing comment\n"
+        assert parse(text) == simple_argument
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(GsnTextError) as info:
+            parse('argument "x"\nbogus Gx "text"')
+        assert info.value.line_number == 2
+
+    def test_must_start_with_argument(self):
+        with pytest.raises(GsnTextError):
+            parse('goal G1 "claim text here"')
+
+    def test_unknown_link_target_rejected(self):
+        with pytest.raises(GsnTextError):
+            parse('argument "x"\nG1 -> G2')
+
+
+class TestCae:
+    def test_gsn_to_cae_mapping(self, hazard_argument):
+        cae = gsn_to_cae(hazard_argument)
+        kinds = {n.node_type for n in cae.nodes}
+        assert CaeNodeType.CLAIM in kinds
+        assert CaeNodeType.ARGUMENT in kinds
+        assert CaeNodeType.EVIDENCE in kinds
+        assert CaeNodeType.SIDE_WARRANT in kinds
+
+    def test_roundtrip(self, hazard_argument):
+        assert cae_to_gsn(gsn_to_cae(hazard_argument)) == hazard_argument
+
+    def test_goal_to_goal_synthesises_bridge(self):
+        from repro.core.argument import Argument
+
+        argument = Argument(name="g2g")
+        argument.add_node(Node("G1", NodeType.GOAL, "The system is safe"))
+        argument.add_node(Node("G2", NodeType.GOAL, "The unit is safe",
+                               undeveloped=True))
+        argument.supported_by("G1", "G2")
+        cae = gsn_to_cae(argument)
+        bridges = [n for n in cae.nodes if n.identifier.startswith("_arg")]
+        assert len(bridges) == 1
+        # And the bridge collapses on the way back.
+        restored = cae_to_gsn(cae)
+        assert restored == argument
+
+    def test_cae_validation(self):
+        case = CaeCase()
+        case.add(CaeNode("C1", CaeNodeType.CLAIM, "The system is safe"))
+        case.add(CaeNode("E1", CaeNodeType.EVIDENCE, "Test report"))
+        case.add(CaeNode("W1", CaeNodeType.SIDE_WARRANT, "Test adequacy"))
+        case.support("E1", "W1")  # evidence cannot be supported
+        case.support("C1", "W1")  # warrant must attach to argument
+        problems = case.validate()
+        assert len(problems) == 2
+
+    def test_cae_duplicate_rejected(self):
+        case = CaeCase()
+        case.add(CaeNode("C1", CaeNodeType.CLAIM, "Claim"))
+        with pytest.raises(ValueError):
+            case.add(CaeNode("C1", CaeNodeType.CLAIM, "Claim again"))
+
+
+class TestProse:
+    def test_numbered_sections(self, hazard_argument):
+        text = render_prose(hazard_argument)
+        assert "1. " in text
+        assert "1.1. " in text
+        assert "1.1.1. " in text
+
+    def test_context_phrases(self, hazard_argument):
+        text = render_prose(hazard_argument)
+        assert "In the context of" in text
+        assert "Assuming that" in text
+
+    def test_evidence_marked(self, hazard_argument):
+        assert "Evidence:" in render_prose(hazard_argument)
+
+    def test_empty_argument(self):
+        from repro.core.argument import Argument
+
+        assert "no top-level claim" in render_prose(Argument(name="x"))
+
+
+class TestTabular:
+    def test_rows_structure(self, simple_argument):
+        table = rows(simple_argument)
+        by_id = {r["id"]: r for r in table}
+        assert by_id["G1"]["supported_by"] == ["S1"]
+        assert by_id["S1"]["kind"] == "strategy"
+
+    def test_render_contains_headers(self, simple_argument):
+        text = render_table(simple_argument)
+        assert "Id" in text and "Supported by" in text
+
+    def test_long_text_truncated(self):
+        from repro.core.argument import Argument
+
+        argument = Argument(name="long")
+        argument.add_node(Node(
+            "G1", NodeType.GOAL, "The system is safe " * 20,
+            undeveloped=True,
+        ))
+        text = render_table(argument, max_text_width=30)
+        assert "..." in text
+
+
+class TestDot:
+    def test_digraph_structure(self, hazard_argument):
+        dot = to_dot(hazard_argument)
+        assert dot.startswith("digraph")
+        assert '"G1" -> "S1"' in dot
+        assert "parallelogram" in dot  # strategy shape
+
+    def test_context_link_dashed(self, hazard_argument):
+        dot = to_dot(hazard_argument)
+        assert "style=dashed" in dot
+
+    def test_escaping(self):
+        from repro.core.argument import Argument
+
+        argument = Argument(name='with "quotes"')
+        argument.add_node(Node(
+            "G1", NodeType.GOAL, 'The "safe" mode is entered',
+            undeveloped=True,
+        ))
+        dot = to_dot(argument)
+        assert '\\"safe\\"' in dot
+
+
+class TestAsciiArt:
+    def test_tree_shape(self, hazard_argument):
+        text = render_tree(hazard_argument)
+        assert "(G) G1" in text
+        assert "`-- " in text or "|-- " in text
+
+    def test_undeveloped_marker(self):
+        from repro.core.argument import Argument
+
+        argument = Argument(name="u")
+        argument.add_node(Node(
+            "G1", NodeType.GOAL, "The system is safe", undeveloped=True
+        ))
+        assert "<>" in render_tree(argument)
+
+    def test_render_view_respects_folds(self, hazard_argument):
+        view = HiView(hazard_argument)
+        view.fold("S1")
+        text = render_view(view)
+        assert "G2" not in text
+
+
+class TestJsonIo:
+    def test_argument_roundtrip(self, hazard_argument):
+        assert argument_from_json(
+            argument_to_json(hazard_argument)
+        ) == hazard_argument
+
+    def test_metadata_roundtrip(self, hazard_argument):
+        annotated = hazard_argument.node("G2").with_metadata(
+            {"hazard": ("H1", "remote", "catastrophic")}
+        )
+        hazard_argument.replace_node(annotated)
+        restored = argument_from_json(argument_to_json(hazard_argument))
+        assert restored.node("G2").metadata_dict() == {
+            "hazard": ("H1", "remote", "catastrophic")
+        }
+
+    def test_schema_version_checked(self):
+        with pytest.raises(ValueError, match="schema"):
+            argument_from_json(json.dumps({"schema": 99, "name": "x",
+                                           "nodes": [], "links": []}))
+
+    def test_case_roundtrip(self, sample_case):
+        restored = case_from_json(case_to_json(sample_case))
+        assert restored.argument == sample_case.argument
+        assert len(restored.evidence) == len(sample_case.evidence)
+        assert restored.citations("Sn1")[0].identifier == "ev1"
+        assert restored.criterion.threshold == pytest.approx(1e-6)

@@ -1,0 +1,241 @@
+"""Tests for the repro.survey package — the §III pipeline and Table I."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.survey.corpus import LIBRARIES, build_corpus
+from repro.survey.records import (
+    Domain,
+    SELECTED_PAPERS,
+    TABLE_I,
+    TABLE_I_UNIQUE,
+    papers_claiming_mechanical_confidence,
+    papers_formalising_content,
+    papers_formalising_pattern_parameters,
+    papers_formalising_pattern_structure,
+    papers_formalising_syntax,
+    papers_informal_first,
+    papers_mentioning_mechanical_verification,
+)
+from repro.survey.report import render_table_i, run_survey
+from repro.survey.search import DigitalLibrary, run_searches
+from repro.survey.selection import (
+    noisy_phase1,
+    phase1_keep,
+    phase2_keep,
+    select_phase1,
+    select_phase2,
+)
+
+
+class TestRecords:
+    def test_twenty_selected_papers(self):
+        assert len(SELECTED_PAPERS) == 20
+
+    def test_unique_keys_and_references(self):
+        keys = [p.key for p in SELECTED_PAPERS]
+        assert len(set(keys)) == 20
+        references = [p.reference for p in SELECTED_PAPERS]
+        assert len(set(references)) == 20
+
+    def test_six_claim_mechanical_confidence(self):
+        # §IV: refs [9], [11], [16], [17], [18], [39].
+        papers = papers_claiming_mechanical_confidence()
+        assert sorted(p.reference for p in papers) == [
+            9, 11, 16, 17, 18, 39
+        ]
+
+    def test_four_formalise_syntax(self):
+        # §V.A: refs [11], [12], [17], [18].
+        papers = papers_formalising_syntax()
+        assert sorted(p.reference for p in papers) == [11, 12, 17, 18]
+
+    def test_eleven_formalise_content(self):
+        # §V.B: refs [8], [9], [14]-[16], [19], [20], [22], [24], [25],
+        # [39].
+        papers = papers_formalising_content()
+        assert sorted(p.reference for p in papers) == [
+            8, 9, 14, 15, 16, 19, 20, 22, 24, 25, 39
+        ]
+
+    def test_four_mention_mechanical_verification(self):
+        # §V.B: refs [9], [19], [20], [22].
+        papers = papers_mentioning_mechanical_verification()
+        assert sorted(p.reference for p in papers) == [9, 19, 20, 22]
+
+    def test_three_informal_first(self):
+        # §VI.B: refs [9], [19], [22].
+        papers = papers_informal_first()
+        assert sorted(p.reference for p in papers) == [9, 19, 22]
+
+    def test_pattern_counts(self):
+        # §VI.D: structure [11], [17], [18]; parameters [17], [18].
+        assert sorted(
+            p.reference for p in papers_formalising_pattern_structure()
+        ) == [11, 17, 18]
+        assert sorted(
+            p.reference for p in papers_formalising_pattern_parameters()
+        ) == [17, 18]
+
+    def test_no_paper_provides_substantial_evidence(self):
+        # The survey's headline finding: 'none supplies substantial
+        # empirical evidence'.
+        assert not any(
+            p.provides_substantial_evidence for p in SELECTED_PAPERS
+        )
+
+    def test_table_i_published_values(self):
+        assert TABLE_I["IEEE Xplore"] == {"safety": 12, "security": 13}
+        assert TABLE_I["ACM Digital Library"] == {
+            "safety": 17, "security": 7
+        }
+        assert TABLE_I["Springer Link"] == {"safety": 24, "security": 2}
+        assert TABLE_I["Google Scholar"] == {"safety": 8, "security": 1}
+        assert TABLE_I_UNIQUE == {
+            "total": 72, "safety": 54, "security": 23
+        }
+
+
+class TestCorpus:
+    def test_deterministic(self):
+        a = build_corpus(seed=2014)
+        b = build_corpus(seed=2014)
+        assert [p.key for p in a.papers] == [p.key for p in b.papers]
+
+    def test_relevant_population_is_72(self):
+        corpus = build_corpus()
+        assert len(corpus.relevant()) == 72
+
+    def test_selected_papers_embedded(self):
+        corpus = build_corpus()
+        for record in SELECTED_PAPERS:
+            paper = corpus.paper(record.key)
+            assert paper.record is record
+
+    def test_noise_papers_excluded_by_phase1(self):
+        corpus = build_corpus()
+        noise = [p for p in corpus.papers if p.key.startswith("noise_")]
+        assert noise
+        assert all(not phase1_keep(p) for p in noise)
+
+    def test_library_membership(self):
+        corpus = build_corpus()
+        for library in LIBRARIES:
+            assert corpus.in_library(library)
+
+
+class TestSearch:
+    def test_first_sixty_cap(self):
+        corpus = build_corpus()
+        library = DigitalLibrary("Springer Link", corpus)
+        result = library.search(Domain.SECURITY)
+        assert len(result.examined) <= 60
+
+    def test_springer_claims_forty_thousand(self):
+        # The paper's anecdote: 40,283 hits for 'formal security
+        # argument'.
+        corpus = build_corpus()
+        library = DigitalLibrary("Springer Link", corpus)
+        result = library.search(Domain.SECURITY)
+        assert result.claimed_total == 40_283
+
+    def test_results_ranked_by_relevance(self):
+        corpus = build_corpus()
+        library = DigitalLibrary("IEEE Xplore", corpus)
+        result = library.search(Domain.SAFETY)
+        relevances = [p.relevance for p in result.examined]
+        assert relevances == sorted(relevances, reverse=True)
+
+    def test_eight_searches(self):
+        corpus = build_corpus()
+        assert len(run_searches(corpus)) == 8
+
+    def test_unknown_library_rejected(self):
+        with pytest.raises(ValueError):
+            DigitalLibrary("Library of Alexandria", build_corpus())
+
+
+class TestSelection:
+    def test_phase1_criteria(self):
+        corpus = build_corpus()
+        # A selected paper passes; every noise paper fails on one of the
+        # three criteria.
+        assert phase1_keep(corpus.paper("rushby2010"))
+        noise = [p for p in corpus.papers if p.key.startswith("noise_")]
+        assert all(not phase1_keep(p) for p in noise)
+
+    def test_phase2_criteria(self):
+        corpus = build_corpus()
+        assert phase2_keep(corpus.paper("haley2008"))
+        synth = [p for p in corpus.papers if p.key.startswith("synth_")]
+        assert synth
+        assert all(not phase2_keep(p) for p in synth)
+
+    def test_phase1_unique_union(self):
+        corpus = build_corpus()
+        phase1 = select_phase1(run_searches(corpus))
+        assert len(phase1.unique) == 72
+
+    def test_phase2_yields_twenty(self):
+        corpus = build_corpus()
+        phase1 = select_phase1(run_searches(corpus))
+        phase2 = select_phase2(phase1)
+        assert len(phase2) == 20
+        assert {p.key for p in phase2} == {
+            p.key for p in SELECTED_PAPERS
+        }
+
+    def test_noisy_phase1_miss_rate(self):
+        corpus = build_corpus()
+        searches = run_searches(corpus)
+        rng = random.Random(99)
+        noisy = noisy_phase1(searches, rng, miss_rate=0.2,
+                             false_keep_rate=0.0)
+        assert len(noisy.unique) < 72
+
+    def test_noisy_phase1_zero_error_matches_exact(self):
+        corpus = build_corpus()
+        searches = run_searches(corpus)
+        rng = random.Random(1)
+        noisy = noisy_phase1(searches, rng, miss_rate=0.0,
+                             false_keep_rate=0.0)
+        exact = select_phase1(searches)
+        assert {p.key for p in noisy.unique} == {
+            p.key for p in exact.unique
+        }
+
+
+class TestTableI:
+    def test_pipeline_reproduces_published_table(self):
+        outcome = run_survey(seed=2014)
+        assert outcome.matches_published_table()
+
+    def test_cells_exact(self):
+        outcome = run_survey(seed=2014)
+        table = outcome.table()
+        for library, cells in TABLE_I.items():
+            assert table[library] == dict(cells), library
+
+    def test_unique_row_exact(self):
+        outcome = run_survey(seed=2014)
+        assert outcome.unique_counts() == dict(TABLE_I_UNIQUE)
+
+    def test_reproduces_under_different_seeds(self):
+        # The calibration is structural, not a numeric fluke of one seed.
+        for seed in (1, 7, 2014, 99):
+            outcome = run_survey(seed=seed)
+            assert outcome.matches_published_table(), seed
+
+    def test_render_contains_counts(self):
+        outcome = run_survey()
+        text = render_table_i(outcome)
+        assert "72 total" in text
+        assert "20 selected papers" in text
+
+    def test_selected_records_resolved(self):
+        outcome = run_survey()
+        records = outcome.selected_records()
+        assert len(records) == 20
