@@ -1,0 +1,603 @@
+"""Benchmark GS: the graph core at tool-generated argument scale.
+
+Resolute derives thousands-of-node assurance cases from architecture
+models and Isabelle/SACM mechanises similarly large ones, so the graph
+core must survive — and stay fast on — large, deep, DAG-shaped
+arguments.  This benchmark generates three synthetic shapes at 10k+
+nodes:
+
+* **deep_chain** — a single support chain (the shape that killed the
+  seed's recursive traversals with :class:`RecursionError` at ~1,000
+  nodes);
+* **wide_fan** — one root claim over thousands of sibling hazards;
+* **dense_dag** — layered diamonds with shared subgoals, where the
+  seed's memo-less ``depth()`` re-visited subdags once per path
+  (exponential) and path enumeration explodes combinatorially.
+
+For each shape it times construction, traversal (walk, depth,
+find_cycle, path counting, capped path enumeration), and planner-backed
+queries on the current engine, and — for the chain and fan — the same
+construction + ``statistics()`` on a faithful copy of the *seed*
+implementation (O(L) duplicate scans in ``add_link``, recursive
+``depth``), run with an enlarged interpreter stack so the recursion can
+complete at all.  Results land in ``BENCH_graph_scale.json`` with the
+construction+statistics speedup that the acceptance criteria track.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_graph_scale.py            # full, 10k nodes
+    PYTHONPATH=src python benchmarks/bench_graph_scale.py --smoke    # small sizes, CI
+
+The tier-1 suite exercises the ``--smoke`` path via
+``tests/test_graph_scale_smoke.py`` so graph-core perf regressions fail
+loudly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.core.argument import Argument, ArgumentError, Link, LinkKind
+from repro.core.nodes import Node, NodeType
+from repro.core.query import (
+    attribute_param,
+    has_attribute,
+    node_type_is,
+    select,
+    text_contains,
+    traceability_view,
+)
+
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_graph_scale.json"
+
+# Generous headroom for the seed's recursive traversals at 10k+ depth.
+_SEED_RECURSION_LIMIT = 1_000_000
+_SEED_STACK_BYTES = 512 * 1024 * 1024
+
+
+# -- the seed implementation, preserved for comparison ---------------------
+
+
+class SeedArgument:
+    """The seed graph core, preserved verbatim for comparison.
+
+    A faithful standalone copy — list-based link storage with the O(L)
+    duplicate scan in ``add_link`` (O(L²) per argument), per-type node
+    scans, recursive ``find_cycle``/``paths_to_root``/``depth``, and
+    scanning ``statistics``.  Deliberately does *not* inherit from the
+    indexed :class:`Argument`: the seed timings must not include the new
+    engine's index-maintenance cost, or the recorded speedup would be
+    systematically overstated.  Only used by this benchmark and the
+    equivalence tests.
+    """
+
+    def __init__(self, name: str = "argument") -> None:
+        self.name = name
+        self._nodes: dict[str, Node] = {}
+        self._links: list[Link] = []
+        self._out: dict[str, list[Link]] = {}
+        self._in: dict[str, list[Link]] = {}
+
+    def add_node(self, node: Node) -> Node:
+        if node.identifier in self._nodes:
+            raise ArgumentError(
+                f"duplicate node identifier {node.identifier!r}"
+            )
+        self._nodes[node.identifier] = node
+        self._out.setdefault(node.identifier, [])
+        self._in.setdefault(node.identifier, [])
+        return node
+
+    def add_link(self, source: str, target: str, kind: LinkKind) -> Link:
+        if source not in self._nodes:
+            raise ArgumentError(f"unknown source node {source!r}")
+        if target not in self._nodes:
+            raise ArgumentError(f"unknown target node {target!r}")
+        if source == target:
+            raise ArgumentError(f"self-link on {source!r}")
+        link = Link(source, target, kind)
+        if link in self._links:  # the seed's O(L) scan
+            raise ArgumentError(f"duplicate link {link}")
+        self._links.append(link)
+        self._out[source].append(link)
+        self._in[target].append(link)
+        return link
+
+    def supported_by(self, source: str, target: str) -> Link:
+        return self.add_link(source, target, LinkKind.SUPPORTED_BY)
+
+    def node(self, identifier: str) -> Node:
+        try:
+            return self._nodes[identifier]
+        except KeyError:
+            raise ArgumentError(f"unknown node {identifier!r}") from None
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def nodes(self) -> list[Node]:
+        return list(self._nodes.values())
+
+    @property
+    def links(self) -> list[Link]:
+        return list(self._links)
+
+    def nodes_of_type(self, node_type: NodeType) -> list[Node]:
+        return [n for n in self.nodes if n.node_type is node_type]
+
+    def supporters(self, identifier: str) -> list[Node]:
+        return [
+            self._nodes[link.target]
+            for link in self._out.get(identifier, ())
+            if link.kind is LinkKind.SUPPORTED_BY
+        ]
+
+    def roots(self) -> list[Node]:
+        supported = {
+            link.target
+            for link in self._links
+            if link.kind is LinkKind.SUPPORTED_BY
+        }
+        return [
+            node
+            for node in self._nodes.values()
+            if node.node_type.is_claim_like
+            and node.identifier not in supported
+        ]
+
+    def walk(self, start: str, kind: LinkKind | None = None):
+        seen: set[str] = set()
+        stack = [start]
+        while stack:
+            identifier = stack.pop()
+            if identifier in seen:
+                continue
+            seen.add(identifier)
+            yield self.node(identifier)
+            targets = [
+                link.target
+                for link in self._out.get(identifier, ())
+                if kind is None or link.kind is kind
+            ]
+            stack.extend(reversed(targets))
+
+    def find_cycle(self) -> list[str] | None:
+        colour: dict[str, int] = {}
+        parent: dict[str, str] = {}
+
+        def visit(identifier: str) -> list[str] | None:
+            colour[identifier] = 1
+            for link in self._out.get(identifier, ()):
+                if link.kind is not LinkKind.SUPPORTED_BY:
+                    continue
+                target = link.target
+                if colour.get(target, 0) == 1:
+                    cycle = [target, identifier]
+                    current = identifier
+                    while parent.get(current) and current != target:
+                        current = parent[current]
+                        cycle.append(current)
+                        if current == target:
+                            break
+                    cycle.reverse()
+                    return cycle
+                if colour.get(target, 0) == 0:
+                    parent[target] = identifier
+                    found = visit(target)
+                    if found:
+                        return found
+            colour[identifier] = 2
+            return None
+
+        for identifier in list(self._nodes):
+            if colour.get(identifier, 0) == 0:
+                found = visit(identifier)
+                if found:
+                    return found
+        return None
+
+    def paths_to_root(self, identifier: str) -> list[list[str]]:
+        # No max_paths parameter: the seed had no cap, and silently
+        # accepting one would make capped comparisons look valid while
+        # this enumerates everything.
+        self.node(identifier)
+        paths: list[list[str]] = []
+
+        def climb(current: str, trail: list[str]) -> None:
+            incoming = [
+                link.source
+                for link in self._in.get(current, ())
+                if link.kind is LinkKind.SUPPORTED_BY
+            ]
+            if not incoming:
+                paths.append(list(trail))
+                return
+            for source in incoming:
+                if source in trail:
+                    continue
+                trail.append(source)
+                climb(source, trail)
+                trail.pop()
+
+        climb(identifier, [identifier])
+        return paths
+
+    def depth(self) -> int:
+        roots = self.roots()
+        if not roots:
+            return 0
+        best = 0
+        for root in roots:
+            best = max(best, self._depth_from(root.identifier, set()))
+        return best
+
+    def _depth_from(self, identifier: str, seen: set[str]) -> int:
+        # Path semantics identical to the seed; the seed copied ``seen``
+        # per frame (O(depth²) memory), which would OOM the benchmark
+        # host at 10k depth, so this mutates one shared set instead —
+        # strictly *faster* than the seed, keeping the comparison
+        # conservative.
+        if identifier in seen:
+            return 0
+        seen.add(identifier)
+        try:
+            supports = self.supporters(identifier)
+            if not supports:
+                return 1
+            return 1 + max(
+                self._depth_from(child.identifier, seen)
+                for child in supports
+            )
+        finally:
+            seen.discard(identifier)
+
+    def statistics(self) -> dict[str, int]:
+        stats: dict[str, int] = {
+            f"{node_type.value}_count": len(self.nodes_of_type(node_type))
+            for node_type in NodeType
+        }
+        stats["node_count"] = len(self._nodes)
+        stats["link_count"] = len(self._links)
+        stats["supported_by_count"] = sum(
+            1 for link in self._links
+            if link.kind is LinkKind.SUPPORTED_BY
+        )
+        stats["in_context_of_count"] = sum(
+            1 for link in self._links
+            if link.kind is LinkKind.IN_CONTEXT_OF
+        )
+        stats["depth"] = self.depth()
+        return stats
+
+
+def run_with_seed_stack(fn: Callable[[], Any]) -> Any:
+    """Run ``fn`` in a thread with a huge stack and recursion limit.
+
+    The seed's recursive traversals need thousands of frames; without
+    this the comparison would just crash instead of being slow.
+    """
+    outcome: dict[str, Any] = {}
+
+    def target() -> None:
+        limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(_SEED_RECURSION_LIMIT)
+        try:
+            outcome["value"] = fn()
+        except BaseException as error:  # surface in the caller
+            outcome["error"] = error
+        finally:
+            sys.setrecursionlimit(limit)
+
+    previous = threading.stack_size(_SEED_STACK_BYTES)
+    try:
+        thread = threading.Thread(target=target, name="seed-bench")
+        thread.start()
+        thread.join()
+    finally:
+        threading.stack_size(previous)
+    if "error" in outcome:
+        raise outcome["error"]
+    return outcome["value"]
+
+
+# -- synthetic argument shapes ---------------------------------------------
+
+NodeSpec = tuple[str, NodeType, str, tuple[tuple[str, tuple[Any, ...]], ...]]
+LinkSpec = tuple[str, str, LinkKind]
+
+
+def _metadata_for(index: int) -> tuple[tuple[str, tuple[Any, ...]], ...]:
+    """Sprinkle hazard annotations so query benchmarks have selectivity."""
+    if index % 10 != 0:
+        return ()
+    likelihood = "remote" if index % 20 == 0 else "frequent"
+    severity = "catastrophic" if index % 40 == 0 else "minor"
+    return (("hazard", (f"H{index}", likelihood, severity)),)
+
+
+def deep_chain(n: int) -> tuple[list[NodeSpec], list[LinkSpec]]:
+    """A single support chain of ``n`` nodes ending in a solution."""
+    nodes: list[NodeSpec] = []
+    links: list[LinkSpec] = []
+    for index in range(n - 1):
+        nodes.append((
+            f"G{index}", NodeType.GOAL,
+            f"Claim {index} holds under all operating conditions",
+            _metadata_for(index),
+        ))
+        if index:
+            links.append((f"G{index - 1}", f"G{index}",
+                          LinkKind.SUPPORTED_BY))
+    nodes.append((f"Sn{n - 1}", NodeType.SOLUTION,
+                  "Terminal evidence record", ()))
+    links.append((f"G{n - 2}", f"Sn{n - 1}", LinkKind.SUPPORTED_BY))
+    return nodes, links
+
+
+def wide_fan(n: int) -> tuple[list[NodeSpec], list[LinkSpec]]:
+    """One root claim over ``n - 1`` sibling hazards, with some context."""
+    nodes: list[NodeSpec] = [(
+        "G0", NodeType.GOAL, "The system is acceptably safe", ()
+    )]
+    links: list[LinkSpec] = []
+    for index in range(1, n):
+        if index % 25 == 0:
+            nodes.append((
+                f"C{index}", NodeType.CONTEXT,
+                f"Operating context item {index}", (),
+            ))
+            links.append(("G0", f"C{index}", LinkKind.IN_CONTEXT_OF))
+        else:
+            nodes.append((
+                f"G{index}", NodeType.GOAL,
+                f"Hazard {index} is acceptably managed",
+                _metadata_for(index),
+            ))
+            links.append(("G0", f"G{index}", LinkKind.SUPPORTED_BY))
+    return nodes, links
+
+
+def dense_dag(n: int, width: int = 50) -> tuple[list[NodeSpec], list[LinkSpec]]:
+    """A layered diamond DAG: every node shared by two parents.
+
+    The seed's memo-less ``depth()`` re-visits each shared node once per
+    path — exponential in the layer count — and the number of root paths
+    grows as ~2^layers, so only capped/lazy enumeration can touch it.
+    """
+    width = max(2, min(width, n // 2))
+    layers = max(2, n // width)
+    nodes: list[NodeSpec] = [(
+        "L0N0", NodeType.GOAL, "The system is acceptably safe", ()
+    )]
+    links: list[LinkSpec] = []
+    previous_width = 1
+    for layer in range(1, layers):
+        terminal = layer == layers - 1
+        for position in range(width):
+            if terminal:
+                identifier = f"L{layer}N{position}"
+                nodes.append((identifier, NodeType.SOLUTION,
+                              f"Evidence record {layer}-{position}", ()))
+            else:
+                identifier = f"L{layer}N{position}"
+                nodes.append((
+                    identifier, NodeType.GOAL,
+                    f"Subclaim {layer}-{position} holds",
+                    _metadata_for(layer * width + position),
+                ))
+            for offset in (0, 1):
+                parent = f"L{layer - 1}N{(position + offset) % previous_width}"
+                spec = (parent, identifier, LinkKind.SUPPORTED_BY)
+                if spec not in links[-2 * width:]:
+                    links.append(spec)
+        previous_width = width
+    return nodes, links
+
+
+SHAPES: dict[str, Callable[[int], tuple[list[NodeSpec], list[LinkSpec]]]] = {
+    "deep_chain": deep_chain,
+    "wide_fan": wide_fan,
+    "dense_dag": dense_dag,
+}
+
+#: Shapes on which the seed implementation is measured.  The dense DAG is
+#: excluded: the seed's exponential depth() would not finish at all.
+SEED_SHAPES = ("deep_chain", "wide_fan")
+
+
+def build(
+    cls: "type[Argument] | type[SeedArgument]",
+    spec: tuple[list[NodeSpec], list[LinkSpec]],
+    name: str,
+):
+    argument = cls(name)
+    nodes, links = spec
+    for identifier, node_type, text, metadata in nodes:
+        argument.add_node(Node(identifier, node_type, text,
+                               metadata=metadata))
+    for source, target, kind in links:
+        argument.add_link(source, target, kind)
+    return argument
+
+
+# -- measurement -----------------------------------------------------------
+
+
+def timed(fn: Callable[[], Any]) -> tuple[float, Any]:
+    start = time.perf_counter()
+    value = fn()
+    return time.perf_counter() - start, value
+
+
+def bench_shape(
+    shape: str, n: int, max_paths: int
+) -> dict[str, Any]:
+    spec = SHAPES[shape](n)
+    nodes, links = spec
+    result: dict[str, Any] = {
+        "nodes": len(nodes),
+        "links": len(links),
+        "new": {},
+    }
+    new_times = result["new"]
+
+    construct_time, argument = timed(
+        lambda: build(Argument, spec, shape)
+    )
+    new_times["construct_s"] = construct_time
+    new_times["statistics_s"], stats = timed(argument.statistics)
+    result["depth"] = stats["depth"]
+    # Depth is cached per version; re-query to show the cached cost too.
+    new_times["statistics_cached_s"], _ = timed(argument.statistics)
+    new_times["find_cycle_s"], cycle = timed(argument.find_cycle)
+    assert cycle is None, f"{shape} must be acyclic"
+    leaf = nodes[-1][0]
+    new_times["paths_to_root_s"], paths = timed(
+        lambda: argument.paths_to_root(leaf, max_paths=max_paths)
+    )
+    result["paths_enumerated"] = len(paths)
+    new_times["count_paths_s"], count = timed(
+        lambda: argument.count_paths_to_root(leaf)
+    )
+    # Keep the exact int: Python's json serialises arbitrary-precision
+    # integers, and float() would overflow past ~1e308 (dense DAGs reach
+    # 2^layers paths).
+    result["path_count"] = count
+    root = argument.roots()[0].identifier
+    new_times["walk_s"], visited = timed(
+        lambda: sum(1 for _ in argument.walk(root))
+    )
+    result["walk_visited"] = visited
+    new_times["ancestors_s"], ancestors = timed(
+        lambda: len(argument.ancestors(leaf))
+    )
+    result["ancestors"] = ancestors
+
+    worst = attribute_param("hazard", 1, "remote") & attribute_param(
+        "hazard", 2, "catastrophic"
+    )
+    new_times["query_attr_s"], matches = timed(
+        lambda: len(select(argument, worst))
+    )
+    result["query_attr_matches"] = matches
+    new_times["query_type_s"], _ = timed(
+        lambda: len(select(argument, node_type_is(NodeType.SOLUTION)))
+    )
+    new_times["query_text_s"], _ = timed(
+        lambda: len(select(argument, text_contains("HAZARD")))
+    )
+    new_times["traceability_view_s"], view = timed(
+        lambda: traceability_view(argument, has_attribute("hazard"))
+    )
+    result["view_nodes"] = len(view)
+
+    if shape in SEED_SHAPES:
+        seed_times: dict[str, float] = {}
+        seed_construct, seed_argument = timed(
+            lambda: run_with_seed_stack(
+                lambda: build(SeedArgument, spec, shape)
+            )
+        )
+        seed_times["construct_s"] = seed_construct
+        seed_times["statistics_s"], seed_stats = timed(
+            lambda: run_with_seed_stack(seed_argument.statistics)
+        )
+        assert seed_stats == stats, (
+            f"seed and new statistics disagree on {shape}"
+        )
+        result["seed"] = seed_times
+        result["speedup_construct_statistics"] = (
+            (seed_times["construct_s"] + seed_times["statistics_s"])
+            / max(
+                new_times["construct_s"] + new_times["statistics_s"],
+                1e-9,
+            )
+        )
+    return result
+
+
+def run_bench(
+    n: int = 10_000,
+    max_paths: int = 1_000,
+    out: Path | str | None = DEFAULT_OUT,
+) -> dict[str, Any]:
+    """Benchmark every shape at ``n`` nodes; optionally write the JSON."""
+    shapes = {
+        shape: bench_shape(shape, n, max_paths) for shape in SHAPES
+    }
+    speedups = [
+        data["speedup_construct_statistics"]
+        for data in shapes.values()
+        if "speedup_construct_statistics" in data
+    ]
+    report = {
+        "benchmark": "graph_scale",
+        "nodes_requested": n,
+        "max_paths": max_paths,
+        "python": sys.version.split()[0],
+        "shapes": shapes,
+        "min_speedup_construct_statistics": min(speedups),
+        "note": (
+            "seed comparison covers deep_chain and wide_fan; the seed's "
+            "exponential depth() cannot finish on dense_dag at all"
+        ),
+    }
+    if out is not None:
+        Path(out).write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    # allow_abbrev=False: a typo'd --node must fail loudly, not silently
+    # run at the wrong size and overwrite the committed JSON.
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0], allow_abbrev=False
+    )
+    parser.add_argument("--nodes", type=int, default=10_000,
+                        help="target node count per shape")
+    parser.add_argument("--max-paths", type=int, default=1_000,
+                        help="cap on enumerated root paths")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="where to write the JSON report (default: "
+                             "the committed BENCH_graph_scale.json for "
+                             "full runs, a scratch file for --smoke)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small sizes for CI smoke checking")
+    options = parser.parse_args(argv)
+    n = 1_500 if options.smoke else options.nodes
+    if options.out is None:
+        # A smoke run must never clobber the committed full-size report.
+        options.out = (
+            Path(tempfile.gettempdir()) / "BENCH_graph_scale_smoke.json"
+            if options.smoke else DEFAULT_OUT
+        )
+    report = run_bench(n=n, max_paths=options.max_paths, out=options.out)
+    for shape, data in report["shapes"].items():
+        line = (
+            f"{shape:>11}: {data['nodes']} nodes, depth {data['depth']}, "
+            f"construct {data['new']['construct_s'] * 1e3:.1f} ms, "
+            f"statistics {data['new']['statistics_s'] * 1e3:.1f} ms"
+        )
+        if "speedup_construct_statistics" in data:
+            line += (
+                f" ({data['speedup_construct_statistics']:.0f}x vs seed)"
+            )
+        print(line)
+    print(
+        "min construct+statistics speedup vs seed: "
+        f"{report['min_speedup_construct_statistics']:.0f}x "
+        f"-> {options.out}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

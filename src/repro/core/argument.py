@@ -1,4 +1,4 @@
-"""The assurance-argument graph.
+"""The assurance-argument graph — an iterative, indexed graph engine.
 
 Denney & Pai formalise a partial safety case argument structure as a tuple
 ``⟨N, l, t, →⟩`` — nodes, a type-labelling function, a content function,
@@ -12,13 +12,65 @@ The class offers the graph services every other layer consumes: traversal,
 root/leaf discovery, cycle detection, path tracing (the 'tracing a path in
 a graph' that §VI.E says graphical notations are thought to ease), subtree
 extraction, and structural statistics.
+
+Complexity guarantees
+=====================
+
+Tool-generated assurance cases reach tens of thousands of nodes (Resolute
+derives cases from architecture models; Isabelle/SACM mechanises similarly
+large ones), so every traversal below is **iterative** — no graph shape can
+raise :class:`RecursionError` — and the hot paths are backed by indices
+maintained incrementally by ``add_*``/``remove_*``/``replace_node``:
+
+========================  ==========================================
+Operation                 Cost (V nodes, E links, answer size K)
+========================  ==========================================
+``add_node``              O(1)
+``add_link``              O(1) — duplicate check via a link set
+``remove_link``           O(1) amortised (ordered-dict deletes)
+``remove_node``           O(degree)
+``replace_node``          O(1) — keeps the node-type index consistent
+``node`` / ``in``         O(1)
+``nodes_of_type``         O(K) via the node-type index
+``children``/``parents``  O(degree) via per-kind adjacency
+``roots`` / ``leaves``    O(V) with O(1) per-node degree checks
+``walk`` / ``subtree``    O(V + E) explicit-stack DFS
+``find_cycle``            O(V + E) iterative colouring DFS; the
+                          returned cycle is a *verified closed*
+                          SupportedBy cycle
+``depth``                 O(V + E) memoised longest path (cached until
+                          the next mutation; the seed implementation
+                          re-visited shared subdags exponentially)
+``ancestors``             O(V + E) reverse reachability
+``count_paths_to_root``   O(V + E) memoised path counting on DAGs;
+                          falls back to enumeration if a cycle is
+                          reachable (always agrees with the
+                          enumeration)
+``iter_paths_to_root``    lazy, O(depth) memory; enumerating all paths
+                          is inherently exponential on dense DAGs, so
+                          ``paths_to_root`` takes a ``max_paths`` guard
+``statistics``            O(1) beyond the (cached) depth — counts come
+                          from maintained indices
+========================  ==========================================
+
+On cyclic graphs (which well-formedness rejects), ``depth`` first strips
+the back edges of an insertion-order DFS — making the memoisation sound
+and the result deterministic — and ``count_paths_to_root`` abandons the
+DP for the exact enumeration; on acyclic graphs both match the seed's
+semantics exactly, and otherwise they degrade gracefully instead of
+recursing or silently drifting.
+
+Mutations bump :attr:`Argument.version` and clear the internal cache, so
+longer-lived derived structures (e.g. the query planner's indices in
+:mod:`repro.core.query`) can detect staleness cheaply via
+:meth:`Argument.cached`.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator, Sequence
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator
 
 from .nodes import Node, NodeType
 
@@ -60,9 +112,50 @@ class Argument:
     def __init__(self, name: str = "argument") -> None:
         self.name = name
         self._nodes: dict[str, Node] = {}
-        self._links: list[Link] = []
-        self._out: dict[str, list[Link]] = {}
-        self._in: dict[str, list[Link]] = {}
+        # Insertion-ordered link set: O(1) membership, deletion keeps order.
+        self._links: dict[Link, None] = {}
+        self._out: dict[str, dict[Link, None]] = {}
+        self._in: dict[str, dict[Link, None]] = {}
+        # Per-kind adjacency: kind -> source/target id -> neighbour ids.
+        self._out_kind: dict[LinkKind, dict[str, dict[str, None]]] = {
+            kind: {} for kind in LinkKind
+        }
+        self._in_kind: dict[LinkKind, dict[str, dict[str, None]]] = {
+            kind: {} for kind in LinkKind
+        }
+        # Node-type index (per-type insertion order == global order).
+        self._by_type: dict[NodeType, dict[str, None]] = {
+            node_type: {} for node_type in NodeType
+        }
+        self._kind_counts: dict[LinkKind, int] = {
+            kind: 0 for kind in LinkKind
+        }
+        self._version = 0
+        self._cache: dict[str, Any] = {}
+
+    # -- cache/version bookkeeping ----------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter; bumped by every structural change."""
+        return self._version
+
+    def cached(self, key: str, build: Callable[[], Any]) -> Any:
+        """Memoise ``build()`` until the next mutation.
+
+        Derived structures (depth, query indices) register here; the cache
+        is cleared wholesale by :meth:`_invalidate`, which every mutator
+        calls, so staleness is impossible by construction.
+        """
+        try:
+            return self._cache[key]
+        except KeyError:
+            value = self._cache[key] = build()
+            return value
+
+    def _invalidate(self) -> None:
+        self._version += 1
+        self._cache.clear()
 
     # -- construction ---------------------------------------------------
 
@@ -73,8 +166,10 @@ class Argument:
                 f"duplicate node identifier {node.identifier!r}"
             )
         self._nodes[node.identifier] = node
-        self._out.setdefault(node.identifier, [])
-        self._in.setdefault(node.identifier, [])
+        self._out.setdefault(node.identifier, {})
+        self._in.setdefault(node.identifier, {})
+        self._by_type[node.node_type][node.identifier] = None
+        self._invalidate()
         return node
 
     def add_link(
@@ -90,9 +185,13 @@ class Argument:
         link = Link(source, target, kind)
         if link in self._links:
             raise ArgumentError(f"duplicate link {link}")
-        self._links.append(link)
-        self._out[source].append(link)
-        self._in[target].append(link)
+        self._links[link] = None
+        self._out[source][link] = None
+        self._in[target][link] = None
+        self._out_kind[kind].setdefault(source, {})[target] = None
+        self._in_kind[kind].setdefault(target, {})[source] = None
+        self._kind_counts[kind] += 1
+        self._invalidate()
         return link
 
     def supported_by(self, source: str, target: str) -> Link:
@@ -105,22 +204,37 @@ class Argument:
 
     def replace_node(self, node: Node) -> None:
         """Swap in a new node object under an existing identifier."""
-        if node.identifier not in self._nodes:
+        old = self._nodes.get(node.identifier)
+        if old is None:
             raise ArgumentError(f"unknown node {node.identifier!r}")
         self._nodes[node.identifier] = node
+        if old.node_type is not node.node_type:
+            del self._by_type[old.node_type][node.identifier]
+            # Rebuild the destination bucket so per-type order keeps
+            # matching global insertion order (retype is rare; O(V)).
+            self._by_type[node.node_type] = {
+                identifier: None
+                for identifier, existing in self._nodes.items()
+                if existing.node_type is node.node_type
+            }
+        self._invalidate()
 
     def remove_link(self, link: Link) -> None:
         """Remove one connector."""
-        try:
-            self._links.remove(link)
-        except ValueError:
-            raise ArgumentError(f"no such link {link}") from None
-        self._out[link.source].remove(link)
-        self._in[link.target].remove(link)
+        if link not in self._links:
+            raise ArgumentError(f"no such link {link}")
+        del self._links[link]
+        del self._out[link.source][link]
+        del self._in[link.target][link]
+        del self._out_kind[link.kind][link.source][link.target]
+        del self._in_kind[link.kind][link.target][link.source]
+        self._kind_counts[link.kind] -= 1
+        self._invalidate()
 
     def remove_node(self, identifier: str) -> None:
         """Remove a node and every connector touching it."""
-        if identifier not in self._nodes:
+        node = self._nodes.get(identifier)
+        if node is None:
             raise ArgumentError(f"unknown node {identifier!r}")
         for link in list(self._out[identifier]) + list(self._in[identifier]):
             if link in self._links:
@@ -128,6 +242,11 @@ class Argument:
         del self._nodes[identifier]
         del self._out[identifier]
         del self._in[identifier]
+        del self._by_type[node.node_type][identifier]
+        for kind in LinkKind:
+            self._out_kind[kind].pop(identifier, None)
+            self._in_kind[kind].pop(identifier, None)
+        self._invalidate()
 
     # -- lookup -----------------------------------------------------------
 
@@ -155,8 +274,11 @@ class Argument:
         return list(self._links)
 
     def nodes_of_type(self, node_type: NodeType) -> list[Node]:
-        """All nodes of one kind."""
-        return [n for n in self._nodes.values() if n.node_type is node_type]
+        """All nodes of one kind (indexed; insertion order preserved)."""
+        return [
+            self._nodes[identifier]
+            for identifier in self._by_type[node_type]
+        ]
 
     @property
     def goals(self) -> list[Node]:
@@ -172,24 +294,42 @@ class Argument:
 
     # -- structure ---------------------------------------------------------
 
+    def _out_ids(
+        self, identifier: str, kind: LinkKind
+    ) -> Iterable[str]:
+        """Target identifiers of outgoing links of one kind."""
+        return self._out_kind[kind].get(identifier, ())
+
+    def _in_ids(
+        self, identifier: str, kind: LinkKind
+    ) -> Iterable[str]:
+        """Source identifiers of incoming links of one kind."""
+        return self._in_kind[kind].get(identifier, ())
+
     def children(
         self, identifier: str, kind: LinkKind | None = None
     ) -> list[Node]:
         """Targets of outgoing links (optionally of one kind)."""
+        if kind is None:
+            return [
+                self._nodes[link.target]
+                for link in self._out.get(identifier, ())
+            ]
         return [
-            self._nodes[link.target]
-            for link in self._out.get(identifier, [])
-            if kind is None or link.kind is kind
+            self._nodes[target] for target in self._out_ids(identifier, kind)
         ]
 
     def parents(
         self, identifier: str, kind: LinkKind | None = None
     ) -> list[Node]:
         """Sources of incoming links (optionally of one kind)."""
+        if kind is None:
+            return [
+                self._nodes[link.source]
+                for link in self._in.get(identifier, ())
+            ]
         return [
-            self._nodes[link.source]
-            for link in self._in.get(identifier, [])
-            if kind is None or link.kind is kind
+            self._nodes[source] for source in self._in_ids(identifier, kind)
         ]
 
     def supporters(self, identifier: str) -> list[Node]:
@@ -206,27 +346,24 @@ class Argument:
         A well-formed safety argument has exactly one root goal; fragments
         under construction may have several.
         """
-        supported = {
-            link.target
-            for link in self._links
-            if link.kind is LinkKind.SUPPORTED_BY
-        }
+        supported = self._in_kind[LinkKind.SUPPORTED_BY]
         return [
             node
             for node in self._nodes.values()
             if node.node_type.is_claim_like
-            and node.identifier not in supported
+            and not supported.get(node.identifier)
         ]
 
     def leaves(self) -> list[Node]:
         """Claim-like or strategy nodes with no outgoing SupportedBy link."""
+        out = self._out_kind[LinkKind.SUPPORTED_BY]
         return [
             node
             for node in self._nodes.values()
             if node.node_type in (
                 NodeType.GOAL, NodeType.STRATEGY, NodeType.AWAY_GOAL
             )
-            and not self.supporters(node.identifier)
+            and not out.get(node.identifier)
         ]
 
     def walk(
@@ -242,11 +379,12 @@ class Argument:
             seen.add(identifier)
             node = self.node(identifier)
             yield node
-            targets = [
-                link.target
-                for link in self._out.get(identifier, [])
-                if kind is None or link.kind is kind
-            ]
+            if kind is None:
+                targets = [
+                    link.target for link in self._out.get(identifier, ())
+                ]
+            else:
+                targets = list(self._out_ids(identifier, kind))
             stack.extend(reversed(targets))
 
     def subtree(self, start: str) -> "Argument":
@@ -260,111 +398,301 @@ class Argument:
                 fragment.add_link(link.source, link.target, link.kind)
         return fragment
 
+    def ancestors(
+        self, identifier: str, kind: LinkKind | None = LinkKind.SUPPORTED_BY
+    ) -> set[str]:
+        """Every node (including ``identifier``) that can reach this node.
+
+        Reverse reachability over incoming links of the given kind — on an
+        acyclic graph this equals the union of all ``paths_to_root`` nodes,
+        computed in O(V + E) instead of by path enumeration.
+        """
+        self.node(identifier)
+        seen = {identifier}
+        stack = [identifier]
+        while stack:
+            current = stack.pop()
+            if kind is None:
+                sources: Iterable[str] = (
+                    link.source for link in self._in.get(current, ())
+                )
+            else:
+                sources = self._in_ids(current, kind)
+            for source in sources:
+                if source not in seen:
+                    seen.add(source)
+                    stack.append(source)
+        return seen
+
+    def _iter_supported_by_back_edges(
+        self,
+    ) -> Iterator[tuple[str, str, list[str], dict[str, int]]]:
+        """Yield every SupportedBy back edge of an insertion-order DFS.
+
+        One white/grey/black colouring DFS shared by :meth:`find_cycle`
+        and :meth:`_back_edges`.  Each yield is ``(source, target, path,
+        path_index)`` where ``path``/``path_index`` are the *live* DFS
+        stack state: ``path[path_index[target]:]`` is the closed cycle
+        the back edge completes.
+        """
+        sup = self._out_kind[LinkKind.SUPPORTED_BY]
+        colour: dict[str, int] = {}  # 0/absent unvisited, 1 on stack, 2 done
+        path: list[str] = []
+        path_index: dict[str, int] = {}
+        for start in self._nodes:
+            if colour.get(start, 0):
+                continue
+            colour[start] = 1
+            path_index[start] = len(path)
+            path.append(start)
+            stack: list[tuple[str, Iterator[str]]] = [
+                (start, iter(sup.get(start, ())))
+            ]
+            while stack:
+                identifier, targets = stack[-1]
+                advanced = False
+                for target in targets:
+                    state = colour.get(target, 0)
+                    if state == 1:
+                        yield identifier, target, path, path_index
+                    elif state == 0:
+                        colour[target] = 1
+                        path_index[target] = len(path)
+                        path.append(target)
+                        stack.append((target, iter(sup.get(target, ()))))
+                        advanced = True
+                        break
+                if not advanced:
+                    colour[identifier] = 2
+                    path.pop()
+                    del path_index[identifier]
+                    stack.pop()
+
     def find_cycle(self) -> list[str] | None:
         """A SupportedBy cycle as a node-identifier list, or None.
 
         Cyclic support is the graph form of *begging the question*: a claim
-        ultimately cited in its own support.
+        ultimately cited in its own support.  The returned list
+        ``[c0, c1, ..., ck]`` is a **verified closed cycle**: every
+        consecutive pair is a SupportedBy link and so is ``ck -> c0``.
         """
-        colour: dict[str, int] = {}  # 0 unvisited, 1 in-progress, 2 done
-        parent: dict[str, str] = {}
-
-        def visit(identifier: str) -> list[str] | None:
-            colour[identifier] = 1
-            for link in self._out.get(identifier, []):
-                if link.kind is not LinkKind.SUPPORTED_BY:
-                    continue
-                target = link.target
-                if colour.get(target, 0) == 1:
-                    # Reconstruct the cycle.
-                    cycle = [target, identifier]
-                    current = identifier
-                    while parent.get(current) and current != target:
-                        current = parent[current]
-                        cycle.append(current)
-                        if current == target:
-                            break
-                    cycle.reverse()
-                    return cycle
-                if colour.get(target, 0) == 0:
-                    parent[target] = identifier
-                    found = visit(target)
-                    if found:
-                        return found
-            colour[identifier] = 2
-            return None
-
-        for identifier in self._nodes:
-            if colour.get(identifier, 0) == 0:
-                found = visit(identifier)
-                if found:
-                    return found
+        for _, target, path, path_index in \
+                self._iter_supported_by_back_edges():
+            # Back edge to a DFS-stack ancestor: the slice of the current
+            # path from the ancestor down to here is a closed SupportedBy
+            # cycle by construction.
+            return path[path_index[target]:]
         return None
 
-    def paths_to_root(self, identifier: str) -> list[list[str]]:
+    def iter_paths_to_root(self, identifier: str) -> Iterator[list[str]]:
+        """Lazily yield SupportedBy paths from a node up to any root.
+
+        Explicit-stack DFS over incoming SupportedBy links; each yielded
+        path runs leaf-first (``[identifier, ..., root]``).  Memory is
+        O(longest path); the number of paths can still be exponential on
+        dense DAGs, which is why :meth:`paths_to_root` takes ``max_paths``.
+        """
+        # Validate eagerly, at the call site — not on first next().
+        self.node(identifier)
+        return self._iter_paths_to_root(identifier)
+
+    def _iter_paths_to_root(self, identifier: str) -> Iterator[list[str]]:
+        sup_in = self._in_kind[LinkKind.SUPPORTED_BY]
+        first = sup_in.get(identifier, ())
+        if not first:
+            yield [identifier]
+            return
+        trail = [identifier]
+        on_trail = {identifier}
+        stack: list[Iterator[str]] = [iter(first)]
+        while stack:
+            pushed = False
+            for source in stack[-1]:
+                if source in on_trail:
+                    continue  # defensive: cyclic arguments
+                parents = sup_in.get(source, ())
+                if not parents:
+                    yield [*trail, source]
+                    continue
+                trail.append(source)
+                on_trail.add(source)
+                stack.append(iter(parents))
+                pushed = True
+                break
+            if not pushed:
+                stack.pop()
+                on_trail.discard(trail.pop())
+
+    def paths_to_root(
+        self, identifier: str, max_paths: int | None = None
+    ) -> list[list[str]]:
         """All SupportedBy paths from a node up to any root.
 
         This is the traversal an assessor performs when judging evidence
         sufficiency with a graphical notation (§VI.E): from an item of
         evidence, trace every chain of claims it ultimately supports.
+
+        ``max_paths`` bounds the enumeration: dense DAGs have exponentially
+        many root paths, and a capped prefix degrades gracefully where the
+        seed implementation simply hung.  Use :meth:`count_paths_to_root`
+        when only the number of paths matters, or :meth:`ancestors` when
+        only the set of nodes on the paths matters.
         """
-        self.node(identifier)
         paths: list[list[str]] = []
-
-        def climb(current: str, trail: list[str]) -> None:
-            incoming = [
-                link.source
-                for link in self._in.get(current, [])
-                if link.kind is LinkKind.SUPPORTED_BY
-            ]
-            if not incoming:
-                paths.append(list(trail))
-                return
-            for source in incoming:
-                if source in trail:
-                    continue  # defensive: cyclic arguments
-                trail.append(source)
-                climb(source, trail)
-                trail.pop()
-
-        climb(identifier, [identifier])
+        for path in self.iter_paths_to_root(identifier):
+            if max_paths is not None and len(paths) >= max_paths:
+                break
+            paths.append(path)
         return paths
 
+    def count_paths_to_root(self, identifier: str) -> int:
+        """Number of SupportedBy paths from this node up to any root.
+
+        Always agrees with ``len(paths_to_root(identifier))``.  On
+        acyclic ancestor graphs — the only kind well-formedness accepts —
+        this is memoised dynamic programming, O(V + E) where enumerating
+        the paths themselves is exponential.  When a cycle is reachable
+        the memoisation would be unsound (a count frozen under one DFS
+        context is wrong in another), so it falls back to the lazy
+        enumeration, which defines the semantics.
+        """
+        self.node(identifier)
+        sup_in = self._in_kind[LinkKind.SUPPORTED_BY]
+        memo: dict[str, int] = {}
+        on_path: set[str] = {identifier}
+        cyclic = False
+        # Frames: [node, parent-iterator, accumulated count].
+        frames: list[list[Any]] = [
+            [identifier, iter(sup_in.get(identifier, ())), 0]
+        ]
+        while frames:
+            frame = frames[-1]
+            current, parents, _ = frame
+            advanced = False
+            for source in parents:
+                cached = memo.get(source)
+                if cached is not None:
+                    frame[2] += cached
+                    continue
+                if source in on_path:
+                    cyclic = True  # back edge: the DP would be unsound
+                    continue
+                on_path.add(source)
+                frames.append([source, iter(sup_in.get(source, ())), 0])
+                advanced = True
+                break
+            if not advanced:
+                total = frame[2] if sup_in.get(current) else 1
+                memo[current] = total
+                frames.pop()
+                on_path.discard(current)
+                if frames:
+                    frames[-1][2] += total
+        if cyclic:
+            return sum(1 for _ in self.iter_paths_to_root(identifier))
+        return memo[identifier]
+
     def depth(self) -> int:
-        """Longest SupportedBy path length from any root, in nodes."""
+        """Longest SupportedBy path length from any root, in nodes.
+
+        Memoised per node (the seed re-visited shared subdags once per
+        path — exponential on diamond-heavy DAGs) and cached per argument
+        version, so repeated calls between mutations are O(1).
+        """
+        return self.cached("depth", self._compute_depth)
+
+    def _compute_depth(self) -> int:
         roots = self.roots()
         if not roots:
             return 0
-        best = 0
-        for root in roots:
-            best = max(best, self._depth_from(root.identifier, set()))
-        return best
+        sup = self._out_kind[LinkKind.SUPPORTED_BY]
+        # Fast path: assume the graph is acyclic (the only shape
+        # well-formedness accepts) and run one memoised DFS.  If a grey
+        # (on-path) node turns up mid-walk the memoisation would be
+        # unsound — a memo entry frozen under one DFS context must not
+        # be reused from another where a longer route is legal — so only
+        # then pay for a second pass: strip the back edges (leaving a
+        # true DAG) and redo.  The cyclic value is the deterministic
+        # longest path ignoring cycle-closing edges.
+        memo: dict[str, int] = {}
+        if not self._longest_paths(roots, sup, None, memo):
+            back = {
+                (source, target)
+                for source, target, _, _ in
+                self._iter_supported_by_back_edges()
+            }
+            memo = {}
+            self._longest_paths(roots, sup, back, memo)
+        return max(memo[root.identifier] for root in roots)
 
-    def _depth_from(self, identifier: str, seen: set[str]) -> int:
-        if identifier in seen:
-            return 0
-        seen = seen | {identifier}
-        supports = self.supporters(identifier)
-        if not supports:
-            return 1
-        return 1 + max(
-            self._depth_from(child.identifier, seen) for child in supports
-        )
+    def _longest_paths(
+        self,
+        roots: list[Node],
+        sup: dict[str, dict[str, None]],
+        back: set[tuple[str, str]] | None,
+        memo: dict[str, int],
+    ) -> bool:
+        """Fill ``memo`` with longest-path depths for every root.
+
+        With ``back=None`` the graph is assumed acyclic and the walk
+        aborts (returns False, ``memo`` unusable) on the first on-path
+        revisit; with a back-edge set those edges are skipped and the
+        walk always succeeds.
+        """
+        for root in roots:
+            start = root.identifier
+            if start in memo:
+                continue
+            on_path = {start}
+            # Frames: [node, child-iterator, best child depth so far].
+            frames: list[list[Any]] = [
+                [start, iter(sup.get(start, ())), 0]
+            ]
+            while frames:
+                frame = frames[-1]
+                current, targets, _ = frame
+                advanced = False
+                for target in targets:
+                    if back is not None and (current, target) in back:
+                        continue  # cycle edge
+                    cached = memo.get(target)
+                    if cached is not None:
+                        if cached > frame[2]:
+                            frame[2] = cached
+                        continue
+                    if target in on_path:
+                        return False  # cycle: memo would be unsound
+                    on_path.add(target)
+                    frames.append([target, iter(sup.get(target, ())), 0])
+                    advanced = True
+                    break
+                if not advanced:
+                    value = 1 + frame[2]
+                    memo[current] = value
+                    frames.pop()
+                    on_path.discard(current)
+                    if frames and value > frames[-1][2]:
+                        frames[-1][2] = value
+        return True
 
     def statistics(self) -> dict[str, int]:
-        """Node/link counts by kind plus depth — used by the benchmarks."""
+        """Node/link counts by kind plus depth — used by the benchmarks.
+
+        Counts read straight from the maintained indices; only ``depth``
+        does any traversal, and that is cached per argument version.
+        """
         stats: dict[str, int] = {
-            f"{node_type.value}_count": len(self.nodes_of_type(node_type))
+            f"{node_type.value}_count": len(self._by_type[node_type])
             for node_type in NodeType
         }
         stats["node_count"] = len(self._nodes)
         stats["link_count"] = len(self._links)
-        stats["supported_by_count"] = sum(
-            1 for link in self._links if link.kind is LinkKind.SUPPORTED_BY
-        )
-        stats["in_context_of_count"] = sum(
-            1 for link in self._links if link.kind is LinkKind.IN_CONTEXT_OF
-        )
+        stats["supported_by_count"] = self._kind_counts[
+            LinkKind.SUPPORTED_BY
+        ]
+        stats["in_context_of_count"] = self._kind_counts[
+            LinkKind.IN_CONTEXT_OF
+        ]
         stats["depth"] = self.depth()
         return stats
 

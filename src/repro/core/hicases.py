@@ -121,9 +121,10 @@ class HiView:
                     for ctx in self._argument.context_of(current):
                         reachable.add(ctx.identifier)
                     continue
-                for link in self._argument.links:
-                    if link.source == current:
-                        stack.append(link.target)
+                stack.extend(
+                    child.identifier
+                    for child in self._argument.children(current)
+                )
         return {
             node.identifier
             for node in self._argument.nodes

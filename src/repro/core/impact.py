@@ -61,16 +61,18 @@ def claims_affected_by(argument: Argument, identifier: str) -> list[Node]:
     """Every goal on a SupportedBy path from ``identifier`` to a root.
 
     These are the claims whose justification includes the changed node —
-    exactly the set a maintainer must re-examine.
+    exactly the set a maintainer must re-examine.  Computed by reverse
+    reachability (O(V + E)); enumerating the paths themselves is
+    exponential on dense DAGs.
     """
-    argument.node(identifier)
-    affected: dict[str, Node] = {}
-    for path in argument.paths_to_root(identifier):
-        for node_id in path:
-            node = argument.node(node_id)
-            if node.node_type.is_claim_like and node_id != identifier:
-                affected[node_id] = node
-    return list(affected.values())
+    ancestors = argument.ancestors(identifier, LinkKind.SUPPORTED_BY)
+    return [
+        node
+        for node in argument.nodes
+        if node.identifier in ancestors
+        and node.node_type.is_claim_like
+        and node.identifier != identifier
+    ]
 
 
 def evidence_impact(case: AssuranceCase, evidence_id: str) -> ImpactReport:

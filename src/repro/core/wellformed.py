@@ -183,16 +183,21 @@ def _rule_away_goal_no_solution_context(argument: Argument) -> list[Violation]:
 
 
 def _rule_solutions_are_leaves(argument: Argument) -> list[Violation]:
-    """Solutions terminate support chains; they cite nothing further."""
+    """Solutions terminate support chains; they cite nothing further.
+
+    Driven off the node-type index: O(solutions + their out-degree)
+    instead of a node lookup per link in the argument.
+    """
     out = []
-    for link in argument.links:
-        source = argument.node(link.source)
-        if source.node_type is NodeType.SOLUTION:
-            out.append(Violation(
-                "solution-leaf",
-                str(link),
-                "a solution cannot be the source of any connector",
-            ))
+    for solution in argument.nodes_of_type(NodeType.SOLUTION):
+        for kind in LinkKind:
+            for child in argument.children(solution.identifier, kind):
+                link = Link(solution.identifier, child.identifier, kind)
+                out.append(Violation(
+                    "solution-leaf",
+                    str(link),
+                    "a solution cannot be the source of any connector",
+                ))
     return out
 
 

@@ -258,7 +258,7 @@ def run_sufficiency_study(
         truths.append(impact.breadth)
         paths = 0
         for solution in impact.affected_solutions:
-            paths += len(case.argument.paths_to_root(solution))
+            paths += case.argument.count_paths_to_root(solution)
         path_counts.append(max(1, paths))
 
     # Real what-if probes via the Rushby formalisation.

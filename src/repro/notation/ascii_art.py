@@ -54,35 +54,43 @@ def _render(
     max_width: int,
     is_root: bool = False,
 ) -> None:
-    connector = "" if is_root else ("`-- " if is_last else "|-- ")
-    tag = _TAGS[node.node_type]
-    text = node.text
-    budget = max_width - len(prefix) - len(connector) - len(tag) - \
-        len(node.identifier) - 5
-    if budget > 8 and len(text) > budget:
-        text = text[: budget - 3] + "..."
-    marker = " <>" if node.undeveloped else ""
-    if node.identifier in seen:
-        lines.append(
-            f"{prefix}{connector}({tag}) {node.identifier} (see above)"
-        )
-        return
-    seen.add(node.identifier)
-    lines.append(
-        f"{prefix}{connector}({tag}) {node.identifier}: {text}{marker}"
-    )
-    child_prefix = prefix if is_root else prefix + (
-        "    " if is_last else "|   "
-    )
-    contexts = argument.context_of(node.identifier)
-    supporters = argument.supporters(node.identifier)
-    children = [(c, LinkKind.IN_CONTEXT_OF) for c in contexts] + [
-        (s, LinkKind.SUPPORTED_BY) for s in supporters
+    # Explicit-stack pre-order so 10k-deep arguments render without
+    # RecursionError; output is byte-identical to the recursive original.
+    stack: list[tuple[Node, str, bool, bool]] = [
+        (node, prefix, is_last, is_root)
     ]
-    for index, (child, _) in enumerate(children):
-        _render(
-            argument, child, child_prefix,
-            index == len(children) - 1, lines, seen, max_width,
+    while stack:
+        current, prefix, is_last, is_root = stack.pop()
+        connector = "" if is_root else ("`-- " if is_last else "|-- ")
+        tag = _TAGS[current.node_type]
+        text = current.text
+        budget = max_width - len(prefix) - len(connector) - len(tag) - \
+            len(current.identifier) - 5
+        if budget > 8 and len(text) > budget:
+            text = text[: budget - 3] + "..."
+        marker = " <>" if current.undeveloped else ""
+        if current.identifier in seen:
+            lines.append(
+                f"{prefix}{connector}({tag}) {current.identifier} "
+                "(see above)"
+            )
+            continue
+        seen.add(current.identifier)
+        lines.append(
+            f"{prefix}{connector}({tag}) {current.identifier}: "
+            f"{text}{marker}"
+        )
+        child_prefix = prefix if is_root else prefix + (
+            "    " if is_last else "|   "
+        )
+        contexts = argument.context_of(current.identifier)
+        supporters = argument.supporters(current.identifier)
+        children = [(c, LinkKind.IN_CONTEXT_OF) for c in contexts] + [
+            (s, LinkKind.SUPPORTED_BY) for s in supporters
+        ]
+        stack.extend(
+            (child, child_prefix, index == len(children) - 1, False)
+            for index, (child, _) in reversed(list(enumerate(children)))
         )
 
 

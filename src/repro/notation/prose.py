@@ -51,18 +51,26 @@ def _render_node(
     sections: list[str],
     seen: set[str],
 ) -> None:
-    if node.identifier in seen:
-        sections.append(
-            f"{number}. (See the earlier discussion of "
-            f"{node.identifier}.)"
-        )
-        return
-    seen.add(node.identifier)
-    sections.append(f"{number}. {render_paragraph(argument, node)}")
-    supporters = argument.supporters(node.identifier)
-    for child_index, child in enumerate(supporters, start=1):
-        _render_node(
-            argument, child, f"{number}.{child_index}", sections, seen
+    # Explicit-stack pre-order so 10k-deep tool-generated arguments
+    # render without RecursionError; output is byte-identical to the
+    # recursive original.
+    stack: list[tuple[Node, str]] = [(node, number)]
+    while stack:
+        current, number = stack.pop()
+        if current.identifier in seen:
+            sections.append(
+                f"{number}. (See the earlier discussion of "
+                f"{current.identifier}.)"
+            )
+            continue
+        seen.add(current.identifier)
+        sections.append(f"{number}. {render_paragraph(argument, current)}")
+        supporters = argument.supporters(current.identifier)
+        stack.extend(
+            (child, f"{number}.{child_index}")
+            for child_index, child in reversed(
+                list(enumerate(supporters, start=1))
+            )
         )
 
 

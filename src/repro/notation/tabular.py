@@ -21,16 +21,16 @@ def rows(argument: Argument) -> list[dict[str, Any]]:
     out: list[dict[str, Any]] = []
     for node in argument.nodes:
         supported = [
-            link.target
-            for link in argument.links
-            if link.source == node.identifier
-            and link.kind is LinkKind.SUPPORTED_BY
+            child.identifier
+            for child in argument.children(
+                node.identifier, LinkKind.SUPPORTED_BY
+            )
         ]
         context = [
-            link.target
-            for link in argument.links
-            if link.source == node.identifier
-            and link.kind is LinkKind.IN_CONTEXT_OF
+            child.identifier
+            for child in argument.children(
+                node.identifier, LinkKind.IN_CONTEXT_OF
+            )
         ]
         out.append({
             "id": node.identifier,

@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
+import importlib.util
 import random
+from pathlib import Path
 
 import pytest
 
@@ -10,6 +12,24 @@ from repro.core import ArgumentBuilder
 from repro.core.argument import Argument
 from repro.core.case import AssuranceCase, SafetyCriterion
 from repro.core.evidence import EvidenceItem, EvidenceKind
+
+_BENCHMARK_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+
+
+def load_benchmark_module(name: str):
+    """Import a benchmark script by file path (benchmarks/ is no package)."""
+    spec = importlib.util.spec_from_file_location(
+        name, _BENCHMARK_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="session")
+def graph_scale_bench():
+    """The graph-scale benchmark module (seed reference + generators)."""
+    return load_benchmark_module("bench_graph_scale")
 
 
 @pytest.fixture

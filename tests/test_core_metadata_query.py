@@ -181,3 +181,91 @@ class TestQuery:
             link.source == "S1" and link.target == "G2"
             for link in view.links
         )
+
+    def test_view_keeps_context_of_context(self):
+        # Regression: a single pass over the link list dropped context
+        # attached to retained context when the inner attachment was
+        # inserted before the outer one.
+        from repro.core.argument import Argument
+        from repro.core.nodes import Node
+
+        argument = Argument("ctx")
+        argument.add_node(Node("G1", NodeType.GOAL,
+                               "The system is acceptably safe"))
+        argument.add_node(Node("G2", NodeType.GOAL,
+                               "Hazard H1 is acceptably managed",
+                               metadata=(("hazard", ("H1",)),)))
+        argument.add_node(Node("C1", NodeType.CONTEXT,
+                               "Operating context"))
+        argument.add_node(Node("C2", NodeType.CONTEXT,
+                               "Standard defining the context"))
+        argument.add_node(Node("C3", NodeType.CONTEXT,
+                               "Issue of the standard"))
+        # Insert the inner attachments first — the order that broke the
+        # seed's single-pass retention.
+        argument.in_context_of("C2", "C3")
+        argument.in_context_of("C1", "C2")
+        argument.supported_by("G1", "G2")
+        argument.in_context_of("G2", "C1")
+        view = traceability_view(argument, has_attribute("hazard"))
+        assert "C1" in view and "C2" in view and "C3" in view
+        assert any(
+            link.source == "C2" and link.target == "C3"
+            for link in view.links
+        )
+
+
+class TestQueryPlanner:
+    """The indexed planner must be invisible except for speed."""
+
+    def _unplanned(self, query):
+        from repro.core.query import Query
+        return Query(query.description, query.predicate)
+
+    @pytest.mark.parametrize("factory", [
+        lambda: has_attribute("hazard"),
+        lambda: attribute_param("hazard", 1, "remote"),
+        lambda: attribute_equals("hazard", ("H2", "frequent", "minor")),
+        lambda: node_type_is(NodeType.GOAL),
+        lambda: text_contains("HAZARD"),
+        lambda: attribute_param("hazard", 1, "remote")
+        & attribute_param("hazard", 2, "catastrophic"),
+        lambda: attribute_param("hazard", 1, "remote")
+        | node_type_is(NodeType.SOLUTION),
+        lambda: ~has_attribute("hazard") & node_type_is(NodeType.GOAL),
+    ])
+    def test_planned_matches_unplanned(self, annotated_argument, factory):
+        query = factory()
+        planned = select(annotated_argument, query)
+        scanned = select(annotated_argument, self._unplanned(query))
+        assert planned == scanned
+
+    def test_factory_queries_carry_plans(self):
+        assert has_attribute("hazard").plan is not None
+        assert node_type_is(NodeType.GOAL).plan is not None
+        assert text_contains("x").plan is not None
+        # Case-sensitive text search cannot use the lowered-text index.
+        assert text_contains("x", case_sensitive=True).plan is None
+
+    def test_index_invalidated_on_mutation(self, annotated_argument):
+        from repro.core.nodes import Node
+
+        query = has_attribute("hazard")
+        before = select(annotated_argument, query)
+        annotated_argument.add_node(Node(
+            "G99", NodeType.GOAL, "Hazard H99 is acceptably managed",
+            metadata=(("hazard", ("H99", "remote", "minor")),),
+        ))
+        after = select(annotated_argument, query)
+        assert {n.identifier for n in after} == (
+            {n.identifier for n in before} | {"G99"}
+        )
+
+    def test_results_stay_in_insertion_order(self, annotated_argument):
+        matches = select(annotated_argument, has_attribute("hazard"))
+        order = {
+            node.identifier: position
+            for position, node in enumerate(annotated_argument.nodes)
+        }
+        positions = [order[n.identifier] for n in matches]
+        assert positions == sorted(positions)

@@ -1,0 +1,459 @@
+"""Scale and equivalence tests for the iterative, indexed graph engine.
+
+The seed graph core crashed with :class:`RecursionError` on arguments
+deeper than ~1,000 nodes; tool-generated assurance cases reach tens of
+thousands.  These tests pin the new engine's guarantees:
+
+* every traversal completes on 10,000-node chains, fans, and dense DAGs;
+* the iterative implementations agree with the seed's recursive
+  semantics on small random graphs (the seed reference lives in
+  ``benchmarks/bench_graph_scale.py``);
+* ``find_cycle`` returns a *verified closed* SupportedBy cycle;
+* path enumeration degrades gracefully (``max_paths``, lazy iterator,
+  O(V + E) path counting) instead of hanging on diamond DAGs;
+* the maintained indices stay consistent under mutation.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.core.argument import Argument, ArgumentError, LinkKind
+from repro.core.nodes import Node, NodeType
+
+CHAIN_NODES = 10_000
+
+
+def make_chain(n: int, cls: type[Argument] = Argument) -> Argument:
+    argument = cls("chain")
+    for index in range(n - 1):
+        argument.add_node(Node(
+            f"G{index}", NodeType.GOAL, f"Claim {index} holds"
+        ))
+        if index:
+            argument.supported_by(f"G{index - 1}", f"G{index}")
+    argument.add_node(Node(
+        f"Sn{n - 1}", NodeType.SOLUTION, "Terminal evidence"
+    ))
+    argument.supported_by(f"G{n - 2}", f"Sn{n - 1}")
+    return argument
+
+
+def make_diamond_stack(layers: int) -> tuple[Argument, str]:
+    """A chain of diamonds: 2**layers distinct root paths from the leaf."""
+    argument = Argument("diamonds")
+    argument.add_node(Node("T0", NodeType.GOAL, "Top claim 0 holds"))
+    previous = "T0"
+    for layer in range(layers):
+        left, right, bottom = (
+            f"L{layer}", f"R{layer}", f"T{layer + 1}"
+        )
+        for identifier in (left, right, bottom):
+            argument.add_node(Node(
+                identifier, NodeType.GOAL,
+                f"Claim {identifier} holds",
+            ))
+        argument.supported_by(previous, left)
+        argument.supported_by(previous, right)
+        argument.supported_by(left, bottom)
+        argument.supported_by(right, bottom)
+        previous = bottom
+    return argument, previous
+
+
+def assert_closed_supported_by_cycle(
+    argument: Argument, cycle: list[str]
+) -> None:
+    """The satellite guarantee: every returned cycle is closed.
+
+    Each consecutive pair — including the wrap-around from the last
+    vertex back to the first — must be an actual SupportedBy link, and
+    no vertex may repeat.
+    """
+    assert cycle, "cycle must be non-empty"
+    assert len(set(cycle)) == len(cycle), "cycle must not repeat vertices"
+    links = {
+        (link.source, link.target)
+        for link in argument.links
+        if link.kind is LinkKind.SUPPORTED_BY
+    }
+    closed = list(zip(cycle, cycle[1:] + cycle[:1]))
+    for source, target in closed:
+        assert (source, target) in links, (
+            f"{source} -> {target} is not a SupportedBy link; "
+            f"cycle {cycle} is not closed"
+        )
+
+
+class TestDeepArgumentsDoNotRecurse:
+    """10,000-node shapes complete without RecursionError."""
+
+    @pytest.fixture(scope="class")
+    def chain(self) -> Argument:
+        return make_chain(CHAIN_NODES)
+
+    def test_depth_on_deep_chain(self, chain):
+        assert chain.depth() == CHAIN_NODES
+
+    def test_paths_to_root_on_deep_chain(self, chain):
+        paths = chain.paths_to_root(f"Sn{CHAIN_NODES - 1}")
+        assert len(paths) == 1
+        assert len(paths[0]) == CHAIN_NODES
+        assert paths[0][0] == f"Sn{CHAIN_NODES - 1}"
+        assert paths[0][-1] == "G0"
+
+    def test_find_cycle_on_deep_chain(self, chain):
+        assert chain.find_cycle() is None
+
+    def test_walk_on_deep_chain(self, chain):
+        assert sum(1 for _ in chain.walk("G0")) == CHAIN_NODES
+
+    def test_statistics_on_deep_chain(self, chain):
+        stats = chain.statistics()
+        assert stats["node_count"] == CHAIN_NODES
+        assert stats["depth"] == CHAIN_NODES
+
+    def test_ancestors_on_deep_chain(self, chain):
+        assert len(chain.ancestors(f"Sn{CHAIN_NODES - 1}")) == CHAIN_NODES
+
+    def test_deep_cycle_detected_and_closed(self):
+        argument = Argument("ring")
+        n = CHAIN_NODES
+        for index in range(n):
+            argument.add_node(Node(
+                f"G{index}", NodeType.GOAL, f"Claim {index} holds"
+            ))
+            if index:
+                argument.supported_by(f"G{index - 1}", f"G{index}")
+        argument.supported_by(f"G{n - 1}", "G0")
+        cycle = argument.find_cycle()
+        assert cycle is not None
+        assert len(cycle) == n
+        assert_closed_supported_by_cycle(argument, cycle)
+
+    def test_wide_fan(self, graph_scale_bench):
+        spec = graph_scale_bench.wide_fan(CHAIN_NODES)
+        argument = graph_scale_bench.build(Argument, spec, "fan")
+        assert argument.depth() == 2
+        assert argument.find_cycle() is None
+        assert sum(1 for _ in argument.walk("G0")) == len(argument)
+
+    def test_dense_dag(self, graph_scale_bench):
+        spec = graph_scale_bench.dense_dag(CHAIN_NODES)
+        argument = graph_scale_bench.build(Argument, spec, "dag")
+        assert argument.find_cycle() is None
+        assert argument.depth() > 100
+        leaf = spec[0][-1][0]
+        capped = argument.paths_to_root(leaf, max_paths=50)
+        assert len(capped) == 50
+
+
+class TestPathExplosionDegradesGracefully:
+    def test_count_paths_matches_enumeration(self):
+        argument, leaf = make_diamond_stack(6)
+        paths = argument.paths_to_root(leaf)
+        assert len(paths) == 2 ** 6
+        assert argument.count_paths_to_root(leaf) == 2 ** 6
+
+    def test_count_paths_without_enumeration(self):
+        # 2**40 paths: enumeration would hang; counting is linear.
+        argument, leaf = make_diamond_stack(40)
+        assert argument.count_paths_to_root(leaf) == 2 ** 40
+
+    def test_max_paths_truncates(self):
+        argument, leaf = make_diamond_stack(40)
+        paths = argument.paths_to_root(leaf, max_paths=25)
+        assert len(paths) == 25
+        for path in paths:
+            assert path[0] == leaf and path[-1] == "T0"
+
+    def test_count_agrees_with_enumeration_on_cyclic_graphs(self):
+        # Regression: the DP memoised a context-dependent 0 for N while
+        # M was on the path, then reused it from X, undercounting.
+        argument = Argument("cyclic-count")
+        for name in ("R", "M", "N", "X"):
+            argument.add_node(Node(
+                name, NodeType.GOAL, f"Claim {name} holds"
+            ))
+        argument.supported_by("R", "M")
+        argument.supported_by("M", "N")
+        argument.supported_by("N", "M")
+        argument.supported_by("M", "X")
+        argument.supported_by("N", "X")
+        enumerated = argument.paths_to_root("X")
+        assert argument.count_paths_to_root("X") == len(enumerated) == 2
+
+    def test_iter_paths_is_lazy(self):
+        argument, leaf = make_diamond_stack(40)
+        first = list(itertools.islice(
+            argument.iter_paths_to_root(leaf), 3
+        ))
+        assert len(first) == 3
+        assert all(p[0] == leaf and p[-1] == "T0" for p in first)
+
+    def test_every_enumerated_path_is_a_real_path(self):
+        argument, leaf = make_diamond_stack(5)
+        links = {
+            (link.source, link.target)
+            for link in argument.links
+            if link.kind is LinkKind.SUPPORTED_BY
+        }
+        for path in argument.paths_to_root(leaf):
+            # Paths run leaf -> root, so each step is a reversed link.
+            for lower, upper in zip(path, path[1:]):
+                assert (upper, lower) in links
+
+
+def random_dag(rng: random.Random, n: int, p: float) -> Argument:
+    """A random DAG over goals (edges only forward in insertion order)."""
+    argument = Argument("random-dag")
+    for index in range(n):
+        argument.add_node(Node(
+            f"N{index}", NodeType.GOAL, f"Claim {index} holds"
+        ))
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < p:
+                argument.supported_by(f"N{i}", f"N{j}")
+    return argument
+
+
+class TestEquivalenceWithSeedSemantics:
+    """The iterative engine matches the seed's recursive results.
+
+    The seed reference implementation (recursive ``depth``,
+    ``paths_to_root``, ``find_cycle``; scanning ``statistics``) is kept
+    verbatim in ``benchmarks/bench_graph_scale.py`` as ``SeedArgument``.
+    """
+
+    @pytest.fixture()
+    def seed_cls(self, graph_scale_bench):
+        return graph_scale_bench.SeedArgument
+
+    def _copy_into(self, argument: Argument, cls) -> Argument:
+        duplicate = cls(argument.name)
+        for node in argument.nodes:
+            duplicate.add_node(node)
+        for link in argument.links:
+            duplicate.add_link(link.source, link.target, link.kind)
+        return duplicate
+
+    def test_random_dags_agree(self, rng, seed_cls):
+        for trial in range(25):
+            n = rng.randint(4, 28)
+            p = rng.uniform(0.05, 0.4)
+            new = random_dag(rng, n, p)
+            seed = self._copy_into(new, seed_cls)
+            assert new.statistics() == seed.statistics()
+            assert new.depth() == seed.depth()
+            assert new.find_cycle() is None and seed.find_cycle() is None
+            assert (
+                [r.identifier for r in new.roots()]
+                == [r.identifier for r in seed.roots()]
+            )
+            for node in new.nodes:
+                assert (
+                    new.paths_to_root(node.identifier)
+                    == seed.paths_to_root(node.identifier)
+                ), f"trial {trial}, node {node.identifier}"
+                assert (
+                    [v.identifier for v in new.walk(node.identifier)]
+                    == [v.identifier for v in seed.walk(node.identifier)]
+                )
+
+    def test_random_cyclic_graphs_agree_on_detection(self, rng, seed_cls):
+        for trial in range(25):
+            n = rng.randint(4, 20)
+            new = random_dag(rng, n, rng.uniform(0.1, 0.35))
+            # Close a random number of back edges to force cycles.
+            for _ in range(rng.randint(1, 3)):
+                i = rng.randint(1, n - 1)
+                j = rng.randint(0, i - 1)
+                try:
+                    new.supported_by(f"N{i}", f"N{j}")
+                except ArgumentError:
+                    pass  # duplicate — another back edge already exists
+            seed = self._copy_into(new, seed_cls)
+            new_cycle = new.find_cycle()
+            seed_cycle = seed.find_cycle()
+            assert (new_cycle is None) == (seed_cycle is None)
+            if new_cycle is not None:
+                assert_closed_supported_by_cycle(new, new_cycle)
+
+    def test_fixture_arguments_agree(
+        self, hazard_argument, simple_argument, seed_cls
+    ):
+        for argument in (hazard_argument, simple_argument):
+            seed = self._copy_into(argument, seed_cls)
+            assert argument.statistics() == seed.statistics()
+            for node in argument.nodes:
+                assert (
+                    argument.paths_to_root(node.identifier)
+                    == seed.paths_to_root(node.identifier)
+                )
+
+
+class TestFindCycleClosure:
+    """Regression for the seed's broken cycle reconstruction."""
+
+    def test_cycle_with_cross_edges_is_closed(self):
+        # The seed's parent-chain walk could emit a vertex list that was
+        # not a closed cycle when branches merged before the back edge.
+        argument = Argument("cross")
+        for name in ("A", "B", "C", "D", "E"):
+            argument.add_node(Node(
+                name, NodeType.GOAL, f"Claim {name} holds"
+            ))
+        argument.supported_by("A", "B")
+        argument.supported_by("A", "C")
+        argument.supported_by("B", "D")
+        argument.supported_by("C", "D")  # cross edge into a shared node
+        argument.supported_by("D", "E")
+        argument.supported_by("E", "C")  # back edge: cycle C -> D -> E
+        cycle = argument.find_cycle()
+        assert cycle is not None
+        assert_closed_supported_by_cycle(argument, cycle)
+        assert set(cycle) == {"C", "D", "E"}
+
+    def test_two_disjoint_cycles_returns_one_closed(self):
+        argument = Argument("two-cycles")
+        for name in ("P", "Q", "R", "X", "Y", "Z"):
+            argument.add_node(Node(
+                name, NodeType.GOAL, f"Claim {name} holds"
+            ))
+        argument.supported_by("P", "Q")
+        argument.supported_by("Q", "R")
+        argument.supported_by("R", "P")
+        argument.supported_by("X", "Y")
+        argument.supported_by("Y", "Z")
+        argument.supported_by("Z", "X")
+        cycle = argument.find_cycle()
+        assert cycle is not None
+        assert_closed_supported_by_cycle(argument, cycle)
+
+    def test_self_reachable_via_long_detour(self):
+        argument = Argument("detour")
+        names = [f"G{i}" for i in range(8)]
+        for name in names:
+            argument.add_node(Node(
+                name, NodeType.GOAL, f"Claim {name} holds"
+            ))
+        for left, right in zip(names, names[1:]):
+            argument.supported_by(left, right)
+        argument.supported_by(names[-1], names[3])
+        cycle = argument.find_cycle()
+        assert cycle is not None
+        assert_closed_supported_by_cycle(argument, cycle)
+        assert set(cycle) == set(names[3:])
+
+
+class TestIndexMaintenance:
+    """The maintained indices stay consistent under every mutator."""
+
+    def test_duplicate_link_rejected_via_set(self):
+        argument = make_chain(5)
+        with pytest.raises(ArgumentError):
+            argument.supported_by("G0", "G1")
+
+    def test_remove_link_keeps_order(self):
+        argument = Argument("order")
+        for name in ("A", "B", "C", "D"):
+            argument.add_node(Node(
+                name, NodeType.GOAL, f"Claim {name} holds"
+            ))
+        argument.supported_by("A", "B")
+        middle = argument.supported_by("A", "C")
+        argument.supported_by("A", "D")
+        argument.remove_link(middle)
+        assert [link.target for link in argument.links] == ["B", "D"]
+        assert [
+            child.identifier for child in argument.supporters("A")
+        ] == ["B", "D"]
+        # Re-adding appends at the end, as with the seed's list.
+        argument.supported_by("A", "C")
+        assert [link.target for link in argument.links] == ["B", "D", "C"]
+
+    def test_remove_missing_link_raises(self):
+        argument = make_chain(3)
+        from repro.core.argument import Link
+        ghost = Link("G1", "G0", LinkKind.SUPPORTED_BY)
+        with pytest.raises(ArgumentError):
+            argument.remove_link(ghost)
+
+    def test_remove_node_updates_type_index_and_degrees(self):
+        argument = make_chain(6)
+        argument.remove_node("G3")
+        assert "G3" not in argument
+        assert all(
+            n.identifier != "G3"
+            for n in argument.nodes_of_type(NodeType.GOAL)
+        )
+        # G4 lost its only incoming support but goals are not roots of
+        # the chain; G2 lost its child.
+        assert argument.supporters("G2") == []
+        assert {r.identifier for r in argument.roots()} == {"G0", "G4"}
+
+    def test_replace_node_with_new_type_moves_type_index(self):
+        argument = Argument("retype")
+        argument.add_node(Node("N1", NodeType.GOAL, "The claim holds"))
+        argument.replace_node(Node(
+            "N1", NodeType.CONTEXT, "Now mere context"
+        ))
+        assert argument.nodes_of_type(NodeType.GOAL) == []
+        assert [
+            n.identifier
+            for n in argument.nodes_of_type(NodeType.CONTEXT)
+        ] == ["N1"]
+        assert argument.roots() == []  # context is not claim-like
+
+    def test_replace_node_retype_keeps_global_order(self):
+        # Regression: re-typing appended to the end of the destination
+        # bucket, so a round-trip retype reordered nodes_of_type.
+        argument = Argument("retype-order")
+        for index in range(3):
+            argument.add_node(Node(
+                f"N{index}", NodeType.GOAL, f"Claim {index} holds"
+            ))
+        argument.replace_node(Node("N1", NodeType.CONTEXT, "Aside"))
+        argument.replace_node(Node("N1", NodeType.GOAL, "Claim 1 holds"))
+        assert [
+            n.identifier for n in argument.nodes_of_type(NodeType.GOAL)
+        ] == ["N0", "N1", "N2"]
+
+    def test_depth_cache_invalidated_by_mutation(self):
+        argument = make_chain(4)
+        assert argument.depth() == 4
+        argument.add_node(Node("G99", NodeType.GOAL, "Extra claim holds"))
+        argument.supported_by("G2", "G99")
+        assert argument.depth() == 4
+        argument.add_node(Node(
+            "G100", NodeType.GOAL, "Deeper claim holds"
+        ))
+        argument.supported_by("G99", "G100")
+        assert argument.depth() == 5
+
+    def test_statistics_counts_track_mutations(self):
+        argument = make_chain(4)
+        before = argument.statistics()
+        link = argument.links[0]
+        argument.remove_link(link)
+        after = argument.statistics()
+        assert after["supported_by_count"] == \
+            before["supported_by_count"] - 1
+        assert after["link_count"] == before["link_count"] - 1
+
+    def test_version_bumps_on_every_mutation(self):
+        argument = Argument("versioned")
+        v0 = argument.version
+        argument.add_node(Node("N1", NodeType.GOAL, "The claim holds"))
+        argument.add_node(Node("N2", NodeType.GOAL, "Another claim holds"))
+        v1 = argument.version
+        assert v1 > v0
+        link = argument.supported_by("N1", "N2")
+        assert argument.version > v1
+        v2 = argument.version
+        argument.remove_link(link)
+        assert argument.version > v2
