@@ -47,6 +47,7 @@ from typing import Any, Callable
 from repro.core.argument import Argument, ArgumentError, Link, LinkKind
 from repro.core.nodes import Node, NodeType
 from repro.core.query import (
+    argument_index,
     attribute_param,
     has_attribute,
     node_type_is,
@@ -418,6 +419,25 @@ def build(
     spec: tuple[list[NodeSpec], list[LinkSpec]],
     name: str,
 ):
+    """Construct via the batch API where available (the default path)."""
+    if not hasattr(cls, "add_nodes"):  # the seed has no batch layer
+        return build_per_op(cls, spec, name)
+    argument = cls(name)
+    nodes, links = spec
+    argument.add_nodes(
+        Node(identifier, node_type, text, metadata=metadata)
+        for identifier, node_type, text, metadata in nodes
+    )
+    argument.add_links(links)
+    return argument
+
+
+def build_per_op(
+    cls: "type[Argument] | type[SeedArgument]",
+    spec: tuple[list[NodeSpec], list[LinkSpec]],
+    name: str,
+):
+    """Construct one mutation at a time (per-mutation invalidation)."""
     argument = cls(name)
     nodes, links = spec
     for identifier, node_type, text, metadata in nodes:
@@ -453,6 +473,10 @@ def bench_shape(
         lambda: build(Argument, spec, shape)
     )
     new_times["construct_s"] = construct_time
+    # Batch vs one-mutation-at-a-time construction of the same shape.
+    new_times["construct_per_op_s"], _ = timed(
+        lambda: build_per_op(Argument, spec, f"{shape}-per-op")
+    )
     new_times["statistics_s"], stats = timed(argument.statistics)
     result["depth"] = stats["depth"]
     # Depth is cached per version; re-query to show the cached cost too.
@@ -524,6 +548,157 @@ def bench_shape(
     return result
 
 
+# -- the mutation-heavy interleaved workload -------------------------------
+#
+# Tool-generated cases are not built once and frozen: generators add a
+# chunk of claims, tooling queries the partial case (well-formedness
+# panels, traceability views), an editor tweaks a node, and the cycle
+# repeats.  Under per-mutation invalidation (PR 1) every one of those
+# query rounds rebuilt the planner index from scratch — O(rounds * V).
+# The batch layer plus incremental index maintenance turns that into
+# O(V + edits).  This workload measures exactly that interleaving.
+
+
+def _workload_round(
+    round_index: int, chunk: int
+) -> tuple[list[Node], list[LinkSpec]]:
+    """One round's payload: ``chunk - 1`` hazards and a solution."""
+    base = 1 + round_index * chunk
+    nodes: list[Node] = []
+    links: list[LinkSpec] = []
+    for offset in range(chunk):
+        global_index = base + offset
+        if offset == chunk - 1:
+            node = Node(
+                f"Sn{global_index}", NodeType.SOLUTION,
+                f"Evidence record {global_index}",
+            )
+        else:
+            node = Node(
+                f"N{global_index}", NodeType.GOAL,
+                f"Hazard {global_index} is acceptably managed",
+                metadata=_metadata_for(global_index),
+            )
+        nodes.append(node)
+        links.append(("G0", node.identifier, LinkKind.SUPPORTED_BY))
+    return nodes, links
+
+
+def _workload_queries():
+    """Cheap planned queries, re-run after every mutation round."""
+    worst = attribute_param("hazard", 1, "remote") & attribute_param(
+        "hazard", 2, "catastrophic"
+    )
+    return (
+        worst,
+        node_type_is(NodeType.SOLUTION),
+        attribute_param("hazard", 1, "frequent"),
+    )
+
+
+def run_mutation_workload(
+    n: int, chunk: int, batched: bool
+) -> tuple[Argument, int]:
+    """Interleave chunked construction, edits, and planner queries.
+
+    ``batched=True`` applies each round through ``Argument.batch`` and
+    lets the planner index patch itself from the mutation delta;
+    ``batched=False`` reproduces the PR 1 behaviour — one invalidation
+    per mutation and a full index rebuild on the first query after any
+    mutation (``argument_index(..., rebuild=True)``).  Both produce
+    ``__eq__``-identical arguments and identical match counts.
+    """
+    argument = Argument("mutation-workload")
+    argument.add_node(Node(
+        "G0", NodeType.GOAL, "The system is acceptably safe"
+    ))
+    queries = _workload_queries()
+    rounds = max(1, (n - 1) // chunk)
+    matches = 0
+    for round_index in range(rounds):
+        nodes, links = _workload_round(round_index, chunk)
+        if batched:
+            with argument.batch():
+                argument.add_nodes(nodes)
+                argument.add_links(links)
+        else:
+            for node in nodes:
+                argument.add_node(node)
+            for source, target, kind in links:
+                argument.add_link(source, target, kind)
+
+        # Edits: retext the round's first hazard, churn one link (the
+        # remove + re-add exercises the O(1) duplicate-check set), and
+        # occasionally retype the round's solution.
+        first = nodes[0]
+        retyped = (
+            Node(nodes[-1].identifier, NodeType.GOAL,
+                 nodes[-1].text, metadata=nodes[-1].metadata)
+            if round_index % 8 == 7 and len(nodes) > 1 else None
+        )
+
+        def edit() -> None:
+            argument.replace_node(first.with_text(
+                f"{first.text} (revalidated in round {round_index})"
+            ))
+            link = Link("G0", first.identifier, LinkKind.SUPPORTED_BY)
+            argument.remove_link(link)
+            argument.add_link(link.source, link.target, link.kind)
+            if retyped is not None:
+                argument.replace_node(retyped)
+
+        if batched:
+            with argument.batch():
+                edit()
+        else:
+            edit()
+
+        if not batched:
+            argument_index(argument, rebuild=True)
+        for query in queries:
+            matches += len(select(argument, query))
+    return argument, matches
+
+
+def bench_mutation_workload(n: int, chunk: int | None = None) -> dict[str, Any]:
+    """Time the interleaved workload in both modes and check agreement.
+
+    The default chunk queries every ``n / 250`` additions — the cadence
+    of interactive tooling (well-formedness panels, traceability views)
+    over a case being generated, where per-mutation invalidation pays a
+    full index rebuild per round.
+    """
+    chunk = chunk or max(10, n // 250)
+    batched_s, (batched_argument, batched_matches) = timed(
+        lambda: run_mutation_workload(n, chunk, batched=True)
+    )
+    # Per-mutation mode runs second: warm allocator/caches favour it,
+    # keeping the reported speedup conservative.
+    per_mutation_s, (per_argument, per_matches) = timed(
+        lambda: run_mutation_workload(n, chunk, batched=False)
+    )
+    assert batched_matches == per_matches, (
+        "batched and per-mutation query results diverged"
+    )
+    assert batched_argument == per_argument, (
+        "batched and per-mutation arguments diverged"
+    )
+    assert (
+        batched_argument.statistics() == per_argument.statistics()
+    ), "batched and per-mutation statistics diverged"
+    return {
+        "nodes": len(batched_argument),
+        "rounds": max(1, (n - 1) // chunk),
+        "chunk": chunk,
+        "query_matches": batched_matches,
+        "batched_incremental_s": batched_s,
+        "per_mutation_rebuild_s": per_mutation_s,
+        "speedup_batched_incremental": (
+            per_mutation_s / max(batched_s, 1e-9)
+        ),
+    }
+
+
 def run_bench(
     n: int = 10_000,
     max_paths: int = 1_000,
@@ -538,6 +713,7 @@ def run_bench(
         for data in shapes.values()
         if "speedup_construct_statistics" in data
     ]
+    mutation = bench_mutation_workload(n)
     report = {
         "benchmark": "graph_scale",
         "nodes_requested": n,
@@ -545,9 +721,16 @@ def run_bench(
         "python": sys.version.split()[0],
         "shapes": shapes,
         "min_speedup_construct_statistics": min(speedups),
+        "mutation_workload": mutation,
+        "speedup_mutation_workload": mutation[
+            "speedup_batched_incremental"
+        ],
         "note": (
             "seed comparison covers deep_chain and wide_fan; the seed's "
-            "exponential depth() cannot finish on dense_dag at all"
+            "exponential depth() cannot finish on dense_dag at all; "
+            "mutation_workload interleaves chunked construction, edits, "
+            "and planner queries — batch + incremental index vs PR 1's "
+            "per-mutation invalidation with full index rebuilds"
         ),
     }
     if out is not None:
@@ -591,6 +774,14 @@ def main(argv: list[str] | None = None) -> int:
                 f" ({data['speedup_construct_statistics']:.0f}x vs seed)"
             )
         print(line)
+    mutation = report["mutation_workload"]
+    print(
+        f"   mutation: {mutation['nodes']} nodes over "
+        f"{mutation['rounds']} rounds, batched+incremental "
+        f"{mutation['batched_incremental_s'] * 1e3:.1f} ms vs "
+        f"per-mutation {mutation['per_mutation_rebuild_s'] * 1e3:.1f} ms "
+        f"({mutation['speedup_batched_incremental']:.1f}x)"
+    )
     print(
         "min construct+statistics speedup vs seed: "
         f"{report['min_speedup_construct_statistics']:.0f}x "

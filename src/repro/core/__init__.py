@@ -8,7 +8,7 @@ sets (§III.I), typed parameterised patterns (§III.L), metadata annotation
 and querying (§III.H), and hierarchical views (§III.I).
 """
 
-from .argument import Argument, ArgumentError, Link, LinkKind
+from .argument import Argument, ArgumentError, Link, LinkKind, MutationDelta
 from .builder import ArgumentBuilder, BuildError
 from .case import (
     AssuranceCase,
@@ -57,6 +57,7 @@ __all__ = [
     "ArgumentError",
     "Link",
     "LinkKind",
+    "MutationDelta",
     "ArgumentBuilder",
     "BuildError",
     "AssuranceCase",

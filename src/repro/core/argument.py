@@ -27,6 +27,8 @@ Operation                 Cost (V nodes, E links, answer size K)
 ========================  ==========================================
 ``add_node``              O(1)
 ``add_link``              O(1) — duplicate check via a link set
+``add_nodes``             O(payload), validated up front, one batch
+``add_links``             O(payload), validated up front, one batch
 ``remove_link``           O(1) amortised (ordered-dict deletes)
 ``remove_node``           O(degree)
 ``replace_node``          O(1) — keeps the node-type index consistent
@@ -60,21 +62,64 @@ DP for the exact enumeration; on acyclic graphs both match the seed's
 semantics exactly, and otherwise they degrade gracefully instead of
 recursing or silently drifting.
 
-Mutations bump :attr:`Argument.version` and clear the internal cache, so
-longer-lived derived structures (e.g. the query planner's indices in
-:mod:`repro.core.query`) can detect staleness cheaply via
-:meth:`Argument.cached`.
+Mutations bump :attr:`Argument.version` and clear the internal cache:
+per-version derived values (``depth``) memoise via
+:meth:`Argument.cached` and are simply recomputed after any change.
+Structures that are too expensive to rebuild per mutation — the query
+planner's indices in :mod:`repro.core.query` — instead live in the
+derived-structure slot and patch themselves forward from the mutation
+delta log, as described next.
+
+Batch mutation and the delta protocol
+=====================================
+
+Tool-generated cases are built by tens of thousands of programmatic
+mutations (Resolute emits one claim per architecture component;
+fallacy-injection campaigns chain hundreds of edits), so per-mutation
+bookkeeping must not dominate.  Two cooperating mechanisms amortise it:
+
+* **Batching.**  ``with argument.batch():`` defers the version bump to a
+  single increment when the outermost batch closes; the bulk helpers
+  :meth:`Argument.add_nodes` / :meth:`Argument.add_links` validate their
+  whole payload up front (so a failed bulk call mutates nothing) and run
+  inside one batch.  Reads stay safe mid-batch: every mutation still
+  clears the value cache and bumps the fine-grained
+  :attr:`Argument.mutation_seq` immediately.
+
+* **The mutation delta log.**  Every structural mutation appends one
+  ``(seq, op, payload)`` record to a bounded log.  A derived structure
+  that indexed the argument at sequence number ``s`` calls
+  :meth:`Argument.delta_since` ``(s)`` and receives a
+  :class:`MutationDelta` — the ordered record of nodes/links added,
+  removed, and replaced since ``s`` — which it can replay to patch
+  itself in place instead of rebuilding from scratch.  ``delta_since``
+  returns ``None`` when the log has rotated past ``s`` (the caller must
+  rebuild).  The query planner (:mod:`repro.core.query`) is the first
+  consumer.
+
+Derived structures that survive invalidation (unlike :meth:`cached`
+values, which are cleared on every mutation) live in a separate
+per-argument slot via :meth:`get_derived` / :meth:`set_derived`; they are
+responsible for their own staleness checks against ``mutation_seq``.
 """
 
 from __future__ import annotations
 
 import enum
+from collections import deque
 from dataclasses import dataclass
+from itertools import islice
 from typing import Any, Callable, Iterable, Iterator
 
 from .nodes import Node, NodeType
 
-__all__ = ["LinkKind", "Link", "Argument", "ArgumentError"]
+__all__ = [
+    "LinkKind",
+    "Link",
+    "Argument",
+    "ArgumentError",
+    "MutationDelta",
+]
 
 
 class LinkKind(enum.Enum):
@@ -99,6 +144,85 @@ class Link:
 
 class ArgumentError(ValueError):
     """Raised for structural violations (unknown nodes, duplicates, etc.)."""
+
+
+#: Op codes recorded in the mutation log.  Payloads: ``Node`` for node
+#: ops (the *removed* node for ``remove_node``), ``(old, new)`` for
+#: ``replace_node``, ``Link`` for link ops.
+_ADD_NODE = "add_node"
+_REMOVE_NODE = "remove_node"
+_REPLACE_NODE = "replace_node"
+_ADD_LINK = "add_link"
+_REMOVE_LINK = "remove_link"
+
+
+@dataclass(frozen=True)
+class MutationDelta:
+    """The ordered mutations between two argument sequence numbers.
+
+    ``records`` preserves application order — required for correct
+    replay when one identifier is removed and re-added within a single
+    delta.  The categorised views (:attr:`nodes_added` etc.) are
+    conveniences for reporting and tests.
+    """
+
+    records: tuple[tuple[str, Any], ...]
+
+    def __bool__(self) -> bool:
+        return bool(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def nodes_added(self) -> tuple[Node, ...]:
+        return tuple(
+            payload for op, payload in self.records if op == _ADD_NODE
+        )
+
+    @property
+    def nodes_removed(self) -> tuple[Node, ...]:
+        return tuple(
+            payload for op, payload in self.records if op == _REMOVE_NODE
+        )
+
+    @property
+    def nodes_replaced(self) -> tuple[tuple[Node, Node], ...]:
+        return tuple(
+            payload for op, payload in self.records if op == _REPLACE_NODE
+        )
+
+    @property
+    def links_added(self) -> tuple[Link, ...]:
+        return tuple(
+            payload for op, payload in self.records if op == _ADD_LINK
+        )
+
+    @property
+    def links_removed(self) -> tuple[Link, ...]:
+        return tuple(
+            payload for op, payload in self.records if op == _REMOVE_LINK
+        )
+
+
+class _Batch:
+    """Reentrant context manager returned by :meth:`Argument.batch`."""
+
+    __slots__ = ("_argument",)
+
+    def __init__(self, argument: "Argument") -> None:
+        self._argument = argument
+
+    def __enter__(self) -> "Argument":
+        self._argument._batch_depth += 1
+        return self._argument
+
+    def __exit__(self, *exc_info: Any) -> None:
+        argument = self._argument
+        argument._batch_depth -= 1
+        if argument._batch_depth == 0 and argument._batch_dirty:
+            argument._batch_dirty = False
+            argument._version += 1
 
 
 class Argument:
@@ -132,13 +256,31 @@ class Argument:
         }
         self._version = 0
         self._cache: dict[str, Any] = {}
+        # Fine-grained mutation counter + bounded op log (delta protocol).
+        self._mutation_seq = 0
+        self._mutation_log: deque[tuple[int, str, Any]] = deque(
+            maxlen=self.MUTATION_LOG_LIMIT
+        )
+        # Derived structures that survive invalidation (see get_derived).
+        self._derived: dict[str, Any] = {}
+        self._batch_depth = 0
+        self._batch_dirty = False
+
+    #: How many mutation records :meth:`delta_since` can look back over;
+    #: older history rotates out and forces derived-structure rebuilds.
+    MUTATION_LOG_LIMIT = 10_000
 
     # -- cache/version bookkeeping ----------------------------------------
 
     @property
     def version(self) -> int:
-        """Monotonic mutation counter; bumped by every structural change."""
+        """Coarse mutation counter: one bump per mutation *or* per batch."""
         return self._version
+
+    @property
+    def mutation_seq(self) -> int:
+        """Fine-grained counter: bumped by every mutation, even in a batch."""
+        return self._mutation_seq
 
     def cached(self, key: str, build: Callable[[], Any]) -> Any:
         """Memoise ``build()`` until the next mutation.
@@ -154,10 +296,76 @@ class Argument:
             return value
 
     def _invalidate(self) -> None:
-        self._version += 1
         self._cache.clear()
+        if self._batch_depth:
+            self._batch_dirty = True
+        else:
+            self._version += 1
+
+    def _record(self, op: str, payload: Any) -> None:
+        """Log one mutation for the delta protocol and bump the seq."""
+        self._mutation_seq += 1
+        self._mutation_log.append((self._mutation_seq, op, payload))
+
+    def batch(self) -> _Batch:
+        """Group mutations into one logical change (one version bump).
+
+        Usable as ``with argument.batch(): ...``; nests (only the
+        outermost exit bumps the version).  Reads stay coherent
+        mid-batch: each mutation still clears the value cache and bumps
+        :attr:`mutation_seq` so delta consumers never see stale state.
+        The batch is *not* transactional — mutations applied before an
+        exception remain applied, and the version still bumps.
+        """
+        return _Batch(self)
+
+    def delta_since(self, seq: int) -> MutationDelta | None:
+        """The mutations after sequence number ``seq``, oldest first.
+
+        Returns an empty delta when nothing changed, or ``None`` when
+        ``seq`` is older than the bounded log reaches back (the caller
+        must rebuild whatever it derived).
+        """
+        if seq >= self._mutation_seq:
+            return MutationDelta(())
+        log = self._mutation_log
+        missing = self._mutation_seq - seq
+        if missing > len(log):
+            return None
+        # Every mutation appends exactly one record, so the wanted
+        # records are exactly the last ``missing``.  Walk the deque from
+        # its tail — islice from the front would traverse the whole log
+        # — keeping this O(delta), not O(log).
+        tail = list(islice(reversed(log), missing))
+        tail.reverse()
+        return MutationDelta(tuple(
+            (op, payload) for _, op, payload in tail
+        ))
+
+    def get_derived(self, key: str) -> Any:
+        """A derived structure that survives invalidation, or ``None``.
+
+        Unlike :meth:`cached` values these are *not* cleared on
+        mutation; the owner checks staleness itself against
+        :attr:`mutation_seq` (typically patching via
+        :meth:`delta_since`).  :meth:`copy` does not carry them over.
+        """
+        return self._derived.get(key)
+
+    def set_derived(self, key: str, value: Any) -> None:
+        """Store a derived structure (see :meth:`get_derived`)."""
+        self._derived[key] = value
 
     # -- construction ---------------------------------------------------
+
+    def _insert_node(self, node: Node) -> None:
+        """Bookkeeping for one validated node (shared single/bulk path)."""
+        identifier = node.identifier
+        self._nodes[identifier] = node
+        self._out[identifier] = {}
+        self._in[identifier] = {}
+        self._by_type[node.node_type][identifier] = None
+        self._record(_ADD_NODE, node)
 
     def add_node(self, node: Node) -> Node:
         """Add a node; identifiers must be unique."""
@@ -165,34 +373,94 @@ class Argument:
             raise ArgumentError(
                 f"duplicate node identifier {node.identifier!r}"
             )
-        self._nodes[node.identifier] = node
-        self._out.setdefault(node.identifier, {})
-        self._in.setdefault(node.identifier, {})
-        self._by_type[node.node_type][node.identifier] = None
+        self._insert_node(node)
         self._invalidate()
         return node
+
+    def add_nodes(self, nodes: Iterable[Node]) -> list[Node]:
+        """Add many nodes in one batch; all-or-nothing validation.
+
+        Duplicate identifiers — against the argument *or* within the
+        payload — fail before anything is inserted.  Insertion is a
+        straight-line bulk path: the payload is validated exactly once,
+        and the cache invalidates once instead of per node.
+        """
+        pending = list(nodes)
+        seen: set[str] = set()
+        for node in pending:
+            if node.identifier in self._nodes or node.identifier in seen:
+                raise ArgumentError(
+                    f"duplicate node identifier {node.identifier!r}"
+                )
+            seen.add(node.identifier)
+        with self.batch():
+            for node in pending:
+                self._insert_node(node)
+            if pending:
+                self._invalidate()
+        return pending
+
+    def _validate_link(self, link: Link) -> None:
+        """Raise unless the link can be inserted (shared single/bulk)."""
+        if link.source not in self._nodes:
+            raise ArgumentError(f"unknown source node {link.source!r}")
+        if link.target not in self._nodes:
+            raise ArgumentError(f"unknown target node {link.target!r}")
+        if link.source == link.target:
+            raise ArgumentError(f"self-link on {link.source!r}")
+        if link in self._links:
+            raise ArgumentError(f"duplicate link {link}")
+
+    def _insert_link(self, link: Link) -> None:
+        """Bookkeeping for one validated link (shared single/bulk path)."""
+        self._links[link] = None
+        self._out[link.source][link] = None
+        self._in[link.target][link] = None
+        self._out_kind[link.kind].setdefault(
+            link.source, {}
+        )[link.target] = None
+        self._in_kind[link.kind].setdefault(
+            link.target, {}
+        )[link.source] = None
+        self._kind_counts[link.kind] += 1
+        self._record(_ADD_LINK, link)
 
     def add_link(
         self, source: str, target: str, kind: LinkKind
     ) -> Link:
         """Connect two existing nodes; parallel duplicate links are rejected."""
-        if source not in self._nodes:
-            raise ArgumentError(f"unknown source node {source!r}")
-        if target not in self._nodes:
-            raise ArgumentError(f"unknown target node {target!r}")
-        if source == target:
-            raise ArgumentError(f"self-link on {source!r}")
         link = Link(source, target, kind)
-        if link in self._links:
-            raise ArgumentError(f"duplicate link {link}")
-        self._links[link] = None
-        self._out[source][link] = None
-        self._in[target][link] = None
-        self._out_kind[kind].setdefault(source, {})[target] = None
-        self._in_kind[kind].setdefault(target, {})[source] = None
-        self._kind_counts[kind] += 1
+        self._validate_link(link)
+        self._insert_link(link)
         self._invalidate()
         return link
+
+    def add_links(
+        self, specs: Iterable[tuple[str, str, LinkKind]]
+    ) -> list[Link]:
+        """Add many links in one batch; all-or-nothing validation.
+
+        Each spec is ``(source, target, kind)``.  Unknown endpoints,
+        self-links, and duplicates — against the argument or within the
+        payload — fail before anything is inserted.  As with
+        :meth:`add_nodes`, the payload is validated exactly once and
+        inserted on a straight-line bulk path.
+        """
+        pending = [
+            Link(source, target, kind) for source, target, kind in specs
+        ]
+        seen: set[Link] = set()
+        for link in pending:
+            self._validate_link(link)
+            if link in seen:
+                raise ArgumentError(f"duplicate link {link}")
+            seen.add(link)
+        with self.batch():
+            for link in pending:
+                self._insert_link(link)
+            if pending:
+                self._invalidate()
+        return pending
 
     def supported_by(self, source: str, target: str) -> Link:
         """Shorthand for a SupportedBy connector."""
@@ -217,6 +485,7 @@ class Argument:
                 for identifier, existing in self._nodes.items()
                 if existing.node_type is node.node_type
             }
+        self._record(_REPLACE_NODE, (old, node))
         self._invalidate()
 
     def remove_link(self, link: Link) -> None:
@@ -229,24 +498,34 @@ class Argument:
         del self._out_kind[link.kind][link.source][link.target]
         del self._in_kind[link.kind][link.target][link.source]
         self._kind_counts[link.kind] -= 1
+        self._record(_REMOVE_LINK, link)
         self._invalidate()
 
     def remove_node(self, identifier: str) -> None:
-        """Remove a node and every connector touching it."""
+        """Remove a node and every connector touching it.
+
+        One logical mutation: however many links go with the node, the
+        version bumps once (the link removals are still individually
+        visible to delta consumers).
+        """
         node = self._nodes.get(identifier)
         if node is None:
             raise ArgumentError(f"unknown node {identifier!r}")
-        for link in list(self._out[identifier]) + list(self._in[identifier]):
-            if link in self._links:
-                self.remove_link(link)
-        del self._nodes[identifier]
-        del self._out[identifier]
-        del self._in[identifier]
-        del self._by_type[node.node_type][identifier]
-        for kind in LinkKind:
-            self._out_kind[kind].pop(identifier, None)
-            self._in_kind[kind].pop(identifier, None)
-        self._invalidate()
+        with self.batch():
+            for link in (
+                list(self._out[identifier]) + list(self._in[identifier])
+            ):
+                if link in self._links:
+                    self.remove_link(link)
+            del self._nodes[identifier]
+            del self._out[identifier]
+            del self._in[identifier]
+            del self._by_type[node.node_type][identifier]
+            for kind in LinkKind:
+                self._out_kind[kind].pop(identifier, None)
+                self._in_kind[kind].pop(identifier, None)
+            self._record(_REMOVE_NODE, node)
+            self._invalidate()
 
     # -- lookup -----------------------------------------------------------
 
@@ -391,11 +670,12 @@ class Argument:
         """A new argument containing everything reachable from ``start``."""
         fragment = Argument(name=f"{self.name}/{start}")
         members = {node.identifier for node in self.walk(start)}
-        for identifier in members:
-            fragment.add_node(self._nodes[identifier])
-        for link in self._links:
-            if link.source in members and link.target in members:
-                fragment.add_link(link.source, link.target, link.kind)
+        with fragment.batch():
+            for identifier in members:
+                fragment.add_node(self._nodes[identifier])
+            for link in self._links:
+                if link.source in members and link.target in members:
+                    fragment.add_link(link.source, link.target, link.kind)
         return fragment
 
     def ancestors(
@@ -710,12 +990,18 @@ class Argument:
         raise TypeError("Argument is mutable and unhashable")
 
     def copy(self, name: str | None = None) -> "Argument":
-        """A structural copy (node objects are shared; they are frozen)."""
+        """A structural copy (node objects are shared; they are frozen).
+
+        The copy starts with its own version counter, mutation log, and
+        derived-structure slot — mutating it never dirties the
+        original's caches or indices, and vice versa.
+        """
         duplicate = Argument(name=name or self.name)
-        for node in self._nodes.values():
-            duplicate.add_node(node)
-        for link in self._links:
-            duplicate.add_link(link.source, link.target, link.kind)
+        with duplicate.batch():
+            for node in self._nodes.values():
+                duplicate.add_node(node)
+            for link in self._links:
+                duplicate.add_link(link.source, link.target, link.kind)
         return duplicate
 
     def __str__(self) -> str:

@@ -63,15 +63,18 @@ class ArgumentBuilder:
         module: str | None = None,
     ) -> str:
         node_id = identifier or self._next_identifier(node_type)
-        self._argument.add_node(Node(
-            identifier=node_id,
-            node_type=node_type,
-            text=text,
-            undeveloped=undeveloped,
-            module=module,
-        ))
-        if under is not None:
-            self._argument.add_link(under, node_id, link)
+        # Node + attaching link are one logical mutation (one version
+        # bump), so derived indices refresh once per builder call.
+        with self._argument.batch():
+            self._argument.add_node(Node(
+                identifier=node_id,
+                node_type=node_type,
+                text=text,
+                undeveloped=undeveloped,
+                module=module,
+            ))
+            if under is not None:
+                self._argument.add_link(under, node_id, link)
         return node_id
 
     def goal(
@@ -150,6 +153,19 @@ class ArgumentBuilder:
     def support(self, parent: str, child: str) -> None:
         """Add an extra SupportedBy link between existing nodes."""
         self._argument.supported_by(parent, child)
+
+    def bulk(self):
+        """Batch many builder calls into one version bump.
+
+        Delegates to :meth:`Argument.batch`; use when generating large
+        arguments programmatically::
+
+            with builder.bulk():
+                for hazard in hazards:
+                    goal = builder.goal(..., under=strategy)
+                    builder.solution(..., under=goal)
+        """
+        return self._argument.batch()
 
     @property
     def argument(self) -> Argument:

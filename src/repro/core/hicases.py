@@ -139,20 +139,21 @@ class HiView:
         """
         hidden = self.hidden_nodes()
         view = Argument(name=f"{self._argument.name}(view)")
-        for node in self._argument.nodes:
-            if node.identifier in hidden:
-                continue
-            if node.identifier in self._folded:
-                view.add_node(replace(node, undeveloped=True))
-            else:
-                view.add_node(node)
-        for link in self._argument.links:
-            if link.source in hidden or link.target in hidden:
-                continue
-            if link.source in self._folded and \
-                    link.kind is LinkKind.SUPPORTED_BY:
-                continue
-            view.add_link(link.source, link.target, link.kind)
+        with view.batch():
+            for node in self._argument.nodes:
+                if node.identifier in hidden:
+                    continue
+                if node.identifier in self._folded:
+                    view.add_node(replace(node, undeveloped=True))
+                else:
+                    view.add_node(node)
+            for link in self._argument.links:
+                if link.source in hidden or link.target in hidden:
+                    continue
+                if link.source in self._folded and \
+                        link.kind is LinkKind.SUPPORTED_BY:
+                    continue
+                view.add_link(link.source, link.target, link.kind)
         return view
 
     def visible_size(self) -> int:

@@ -9,8 +9,15 @@ catastrophic' (§III.H).  This module provides that capability:
   and metadata attributes (equality, comparison, membership);
 * :class:`ArgumentIndex` — the query planner's per-argument indices:
   attribute name, attribute value, attribute parameter, node type, and
-  lowered text.  Built lazily, cached on the argument via
-  :meth:`Argument.cached`, and invalidated automatically on mutation;
+  lowered text.  Built lazily and maintained *incrementally*: the index
+  remembers the argument's mutation sequence number it reflects, and on
+  the next query after a mutation it asks the argument for the
+  :class:`~repro.core.argument.MutationDelta` since then and patches its
+  maps in place (node adds, removals, and replacements are all O(change);
+  link mutations don't touch the index at all).  It falls back to a full
+  O(V) rebuild only when the bounded mutation log has rotated past its
+  sequence number or the delta is so large that replaying it would cost
+  more than rebuilding;
 * :func:`select` — evaluate a query over an argument.  Queries built from
   the factory helpers carry *candidate plans*: ``select`` intersects or
   unions candidate identifier sets from the indices and only runs the
@@ -35,7 +42,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable
 
-from .argument import Argument, LinkKind
+from .argument import Argument, LinkKind, MutationDelta
 from .nodes import Node, NodeType
 
 __all__ = [
@@ -54,47 +61,132 @@ __all__ = [
 
 
 class ArgumentIndex:
-    """Query-planner indices over one argument version.
+    """Query-planner indices over one argument state.
 
-    Built in a single O(V) pass; rebuilt lazily after any mutation (the
-    argument's cache is cleared on mutation, so :func:`argument_index`
-    simply asks for a fresh build).
+    Built in a single O(V) pass; after that, kept current by replaying
+    mutation deltas (:meth:`apply`) instead of rebuilding.  ``seq`` is
+    the argument :attr:`~repro.core.argument.Argument.mutation_seq` the
+    index reflects.  ``order`` values are monotonic insertion ranks, not
+    contiguous positions — removals leave gaps, appends keep growing —
+    so they stay valid sort keys without renumbering.
     """
 
     def __init__(self, argument: Argument) -> None:
+        self.seq = argument.mutation_seq
         self.order: dict[str, int] = {}
         self.by_attribute: dict[str, set[str]] = {}
         self.by_attribute_value: dict[tuple[str, tuple[Any, ...]], set[str]] = {}
         self.by_param: dict[tuple[str, int, Any], set[str]] = {}
         self.by_type: dict[NodeType, set[str]] = {}
         self.lowered_text: dict[str, str] = {}
-        for position, node in enumerate(argument.nodes):
-            identifier = node.identifier
-            self.order[identifier] = position
-            self.by_type.setdefault(node.node_type, set()).add(identifier)
-            self.lowered_text[identifier] = node.text.lower()
-            for name, params in node.metadata:
-                self.by_attribute.setdefault(name, set()).add(identifier)
+        self._next_order = 0
+        for node in argument.nodes:
+            self._index_node(node, self._next_order)
+            self._next_order += 1
+
+    def _index_node(self, node: Node, position: int) -> None:
+        identifier = node.identifier
+        self.order[identifier] = position
+        self.by_type.setdefault(node.node_type, set()).add(identifier)
+        self.lowered_text[identifier] = node.text.lower()
+        # Index metadata_dict(), not the raw pairs: the query predicates
+        # read metadata_dict(), where a duplicated attribute name keeps
+        # only its last entry — an exact plan must agree with them.
+        for name, params in node.metadata_dict().items():
+            self.by_attribute.setdefault(name, set()).add(identifier)
+            try:
+                self.by_attribute_value.setdefault(
+                    (name, params), set()
+                ).add(identifier)
+            except TypeError:  # unhashable parameter payloads
+                pass
+            for index, value in enumerate(params):
                 try:
-                    self.by_attribute_value.setdefault(
-                        (name, params), set()
+                    self.by_param.setdefault(
+                        (name, index, value), set()
                     ).add(identifier)
-                except TypeError:  # unhashable parameter payloads
+                except TypeError:
                     pass
-                for index, value in enumerate(params):
-                    try:
-                        self.by_param.setdefault(
-                            (name, index, value), set()
-                        ).add(identifier)
-                    except TypeError:
-                        pass
+
+    def _unindex_node(self, node: Node) -> None:
+        """Exact inverse of :meth:`_index_node` (empty postings pruned)."""
+        identifier = node.identifier
+        del self.order[identifier]
+        self._discard(self.by_type, node.node_type, identifier)
+        del self.lowered_text[identifier]
+        for name, params in node.metadata_dict().items():
+            self._discard(self.by_attribute, name, identifier)
+            try:
+                self._discard(
+                    self.by_attribute_value, (name, params), identifier
+                )
+            except TypeError:
+                pass
+            for index, value in enumerate(params):
+                try:
+                    self._discard(
+                        self.by_param, (name, index, value), identifier
+                    )
+                except TypeError:
+                    pass
+
+    @staticmethod
+    def _discard(postings: dict, key: Any, identifier: str) -> None:
+        entries = postings.get(key)
+        if entries is None:
+            return
+        entries.discard(identifier)
+        if not entries:
+            del postings[key]
+
+    def apply(self, delta: MutationDelta) -> bool:
+        """Patch the index in place; False declines (caller rebuilds).
+
+        Replaying a delta longer than the indexed node set costs more
+        than the O(V) rebuild it would avoid, so such deltas are
+        declined.  Link mutations never touch these maps and are
+        skipped.  The caller advances :attr:`seq` on success.
+        """
+        if len(delta) > max(32, 2 * len(self.order)):
+            return False
+        for op, payload in delta.records:
+            if op == "add_node":
+                self._index_node(payload, self._next_order)
+                self._next_order += 1
+            elif op == "remove_node":
+                self._unindex_node(payload)
+            elif op == "replace_node":
+                old, new = payload
+                position = self.order[old.identifier]
+                self._unindex_node(old)
+                self._index_node(new, position)
+        return True
 
 
-def argument_index(argument: Argument) -> ArgumentIndex:
-    """The (cached) planner index for an argument's current version."""
-    return argument.cached(
-        "query-index", lambda: ArgumentIndex(argument)
-    )
+def argument_index(
+    argument: Argument, *, rebuild: bool = False
+) -> ArgumentIndex:
+    """The planner index for an argument's current state.
+
+    Stored on the argument's derived-structure slot (surviving cache
+    invalidation) and patched forward from the mutation delta when
+    stale; ``rebuild=True`` forces the full O(V) build — the
+    per-mutation-invalidation behaviour the scale benchmark compares
+    against.
+    """
+    if not rebuild:
+        index = argument.get_derived("query-index")
+        if index is not None:
+            seq = argument.mutation_seq
+            if index.seq == seq:
+                return index
+            delta = argument.delta_since(index.seq)
+            if delta is not None and index.apply(delta):
+                index.seq = seq
+                return index
+    index = ArgumentIndex(argument)
+    argument.set_derived("query-index", index)
+    return index
 
 
 #: A plan maps the index to a candidate identifier set, or None when the
@@ -117,11 +209,20 @@ class Query:
     the true matches), or ``None`` when no index applies.  The predicate
     always has the final word, so a plan can only speed evaluation up,
     never change the result.
+
+    ``exact`` strengthens the plan contract: whenever the plan returns a
+    non-``None`` set, that set is *exactly* the matches, so
+    :func:`select` can skip re-running the predicate over the
+    candidates.  Every factory helper below is exact (their plans read
+    the answer straight off the index, returning ``None`` in the rare
+    unindexable cases); ``&``/``|`` preserve exactness, ``~`` and
+    hand-rolled queries drop it.
     """
 
     description: str
     predicate: Callable[[Node], bool]
     plan: Plan | None = None
+    exact: bool = False
 
     def __call__(self, node: Node) -> bool:
         return self.predicate(node)
@@ -133,19 +234,25 @@ class Query:
         return self.plan(index)
 
     def __and__(self, other: "Query") -> "Query":
+        exact = self.exact and other.exact
+
         def plan(index: ArgumentIndex) -> set[str] | None:
             left = self.candidates(index)
             right = other.candidates(index)
             if left is None:
-                return right
+                # An exact conjunction must not narrow one-sidedly: the
+                # remaining set is a superset of the matches, so demand
+                # the full scan instead of claiming exactness.
+                return None if exact else right
             if right is None:
-                return left
+                return None if exact else left
             return left & right
 
         return Query(
             f"({self.description} and {other.description})",
             lambda node: self(node) and other(node),
             plan,
+            exact,
         )
 
     def __or__(self, other: "Query") -> "Query":
@@ -160,6 +267,7 @@ class Query:
             f"({self.description} or {other.description})",
             lambda node: self(node) or other(node),
             plan,
+            self.exact and other.exact,
         )
 
     def __invert__(self) -> "Query":
@@ -175,6 +283,7 @@ def has_attribute(name: str) -> Query:
         f"has {name}",
         lambda node: name in node.metadata_dict(),
         lambda index: index.by_attribute.get(name, set()),
+        exact=True,
     )
 
 
@@ -190,6 +299,7 @@ def attribute_equals(name: str, params: tuple[Any, ...]) -> Query:
         f"{name} == {params!r}",
         lambda node: node.metadata_dict().get(name) == params,
         plan,
+        exact=True,
     )
 
 
@@ -210,7 +320,9 @@ def attribute_param(name: str, index: int, value: Any) -> Query:
         except TypeError:
             return None
 
-    return Query(f"{name}[{index}] == {value!r}", predicate, plan)
+    return Query(
+        f"{name}[{index}] == {value!r}", predicate, plan, exact=True
+    )
 
 
 def node_type_is(node_type: NodeType) -> Query:
@@ -219,6 +331,7 @@ def node_type_is(node_type: NodeType) -> Query:
         f"type == {node_type.value}",
         lambda node: node.node_type is node_type,
         lambda index: index.by_type.get(node_type, set()),
+        exact=True,
     )
 
 
@@ -238,6 +351,7 @@ def text_contains(needle: str, case_sensitive: bool = False) -> Query:
             for identifier, text in index.lowered_text.items()
             if lowered in text
         },
+        exact=True,
     )
 
 
@@ -245,7 +359,9 @@ def select(argument: Argument, query: Query) -> list[Node]:
     """All nodes matching the query, in insertion order.
 
     Planned queries evaluate the predicate only over the index-derived
-    candidate set; unplanned queries scan every node, exactly as before.
+    candidate set — and *exact* plans (see :class:`Query`) skip the
+    predicate entirely, reading the answer straight off the index;
+    unplanned queries scan every node, exactly as before.
     """
     if query.plan is None:
         # No plan means a full scan regardless; skip building the index.
@@ -255,6 +371,8 @@ def select(argument: Argument, query: Query) -> list[Node]:
     if candidates is None:
         return [node for node in argument.nodes if query(node)]
     ordered = sorted(candidates, key=index.order.__getitem__)
+    if query.exact:
+        return [argument.node(identifier) for identifier in ordered]
     return [
         node
         for node in (argument.node(identifier) for identifier in ordered)
@@ -302,10 +420,11 @@ def traceability_view(argument: Argument, query: Query) -> Argument:
                 keep.add(context.identifier)
                 frontier.append(context.identifier)
     view = Argument(name=f"{argument.name}?{query.description}")
-    for node in argument.nodes:
-        if node.identifier in keep:
-            view.add_node(node)
-    for link in argument.links:
-        if link.source in keep and link.target in keep:
-            view.add_link(link.source, link.target, link.kind)
+    with view.batch():
+        for node in argument.nodes:
+            if node.identifier in keep:
+                view.add_node(node)
+        for link in argument.links:
+            if link.source in keep and link.target in keep:
+                view.add_link(link.source, link.target, link.kind)
     return view

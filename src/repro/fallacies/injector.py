@@ -179,10 +179,12 @@ def inject_informal(
 
     if fallacy is InformalFallacy.RED_HERRING:
         identifier = f"Sn_rh_{rng.randrange(10_000)}"
-        mutated.add_node(Node(
-            identifier, NodeType.SOLUTION, rng.choice(_RED_HERRING_TEXTS)
-        ))
-        mutated.supported_by(target.identifier, identifier)
+        with mutated.batch():
+            mutated.add_node(Node(
+                identifier, NodeType.SOLUTION,
+                rng.choice(_RED_HERRING_TEXTS),
+            ))
+            mutated.supported_by(target.identifier, identifier)
         return mutated, InjectionRecord(
             fallacy, identifier,
             f"irrelevant support added under {target.identifier}",
@@ -192,13 +194,14 @@ def inject_informal(
         universal = target.with_text(
             "All units satisfy the requirement in every operating mode"
         )
-        mutated.replace_node(universal)
-        supporters = mutated.supporters(target.identifier)
-        if supporters:
-            child = supporters[0]
-            mutated.replace_node(child.with_text(
-                rng.choice(_SAMPLED_EVIDENCE_TEXTS)
-            ))
+        with mutated.batch():
+            mutated.replace_node(universal)
+            supporters = mutated.supporters(target.identifier)
+            if supporters:
+                child = supporters[0]
+                mutated.replace_node(child.with_text(
+                    rng.choice(_SAMPLED_EVIDENCE_TEXTS)
+                ))
         return mutated, InjectionRecord(
             fallacy, target.identifier,
             "universal claim now rests on sampled evidence",
@@ -249,32 +252,35 @@ def inject_informal(
         first = target.with_text(
             "The monitor detects every failure of the primary channel"
         )
-        mutated.replace_node(first)
-        other_goals = [
-            g for g in mutated.goals if g.identifier != target.identifier
-        ]
-        if other_goals:
-            second = rng.choice(other_goals)
-            mutated.replace_node(second.with_text(
-                "The monitor is mounted where the operator can see it"
-            ))
-            location = f"{target.identifier},{second.identifier}"
-        else:
-            location = target.identifier
+        with mutated.batch():
+            mutated.replace_node(first)
+            other_goals = [
+                g for g in mutated.goals
+                if g.identifier != target.identifier
+            ]
+            if other_goals:
+                second = rng.choice(other_goals)
+                mutated.replace_node(second.with_text(
+                    "The monitor is mounted where the operator can see it"
+                ))
+                location = f"{target.identifier},{second.identifier}"
+            else:
+                location = target.identifier
         return mutated, InjectionRecord(
             fallacy, location,
             "'monitor' used for a supervision process and a display",
         )
 
     if fallacy is InformalFallacy.USING_WRONG_REASONS:
-        mutated.replace_node(target.with_text(
-            "Worst-case execution time of task_1 is below 250 ms"
-        ))
-        supporters = mutated.supporters(target.identifier)
-        if supporters:
-            mutated.replace_node(supporters[0].with_text(
-                "Unit test results for task_1"
+        with mutated.batch():
+            mutated.replace_node(target.with_text(
+                "Worst-case execution time of task_1 is below 250 ms"
             ))
+            supporters = mutated.supporters(target.identifier)
+            if supporters:
+                mutated.replace_node(supporters[0].with_text(
+                    "Unit test results for task_1"
+                ))
         return mutated, InjectionRecord(
             fallacy, target.identifier,
             "timing claim supported by unit-test evidence (§V.B example)",
@@ -350,11 +356,12 @@ def seed_greenwell_argument(
                 if working.supporters(g.identifier)
             ] or working.goals
             host = rng.choice(goals)
-            working.add_node(Node(
-                filler, NodeType.SOLUTION,
-                "Regression test campaign record",
-            ))
-            working.supported_by(host.identifier, filler)
+            with working.batch():
+                working.add_node(Node(
+                    filler, NodeType.SOLUTION,
+                    "Regression test campaign record",
+                ))
+                working.supported_by(host.identifier, filler)
             working, record = inject_informal(working, fallacy, rng)
         records.append(record)
     return working, records

@@ -1,0 +1,399 @@
+"""Batch mutation, delta log, and incremental-index regression tests.
+
+Pin the mutation edge cases the randomized harness
+(``tests/test_invariants.py``) covers only probabilistically, plus the
+batch/delta protocol semantics other layers rely on:
+
+* ``remove_node`` of a node with both in- *and* out-links;
+* ``replace_node`` changing the node type (the type index — both the
+  argument's own and the planner's incremental one — must move);
+* ``remove_link`` followed by re-``add_link`` of the same pair (the
+  O(1) duplicate-check set must not go stale);
+* ``Argument.copy`` independence: the copy has its own version counter,
+  delta log, and derived-index slot, so mutating one side never dirties
+  the other's cached planner index;
+* batch semantics: one version bump per outermost batch, atomic bulk
+  validation, coherent mid-batch reads, non-transactional exceptions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.argument import (
+    Argument,
+    ArgumentError,
+    Link,
+    LinkKind,
+    MutationDelta,
+)
+from repro.core.nodes import Node, NodeType
+from repro.core.query import (
+    ArgumentIndex,
+    argument_index,
+    attribute_equals,
+    node_type_is,
+    select,
+)
+
+from test_invariants import canonical_index
+
+
+def goal(identifier: str, text: str | None = None, **kwargs) -> Node:
+    return Node(
+        identifier, NodeType.GOAL, text or f"Claim {identifier} holds",
+        **kwargs,
+    )
+
+
+@pytest.fixture
+def chain() -> Argument:
+    """A -> B -> C with context attached to the middle node."""
+    argument = Argument("chain")
+    for identifier in ("A", "B", "C"):
+        argument.add_node(goal(identifier))
+    argument.add_node(Node("Ctx", NodeType.CONTEXT, "Operating context"))
+    argument.supported_by("A", "B")
+    argument.supported_by("B", "C")
+    argument.in_context_of("B", "Ctx")
+    return argument
+
+
+# -- mutation edge cases ----------------------------------------------------
+
+
+class TestRemoveNodeWithInAndOutLinks:
+    def test_all_touching_links_removed(self, chain: Argument) -> None:
+        assert argument_index(chain) is not None  # prime the index
+        chain.remove_node("B")
+        assert "B" not in chain
+        assert all("B" not in (l.source, l.target) for l in chain.links)
+        assert chain.supporters("A") == []
+        assert chain.parents("C") == []
+        stats = chain.statistics()
+        assert stats["node_count"] == 3
+        assert stats["link_count"] == 0
+        # The incremental index patched over the removal correctly.
+        assert canonical_index(argument_index(chain)) == \
+            canonical_index(ArgumentIndex(chain))
+
+    def test_one_version_bump_for_node_and_links(
+        self, chain: Argument
+    ) -> None:
+        before = chain.version
+        chain.remove_node("B")  # takes three links with it
+        assert chain.version == before + 1
+
+    def test_endpoints_can_relink_afterwards(self, chain: Argument) -> None:
+        chain.remove_node("B")
+        chain.supported_by("A", "C")  # dup set must not remember A->B->C
+        assert [n.identifier for n in chain.supporters("A")] == ["C"]
+
+
+class TestReplaceNodeRetype:
+    def test_type_index_moves_incrementally(self, chain: Argument) -> None:
+        index = argument_index(chain)
+        chain.replace_node(Node("C", NodeType.SOLUTION, "Test evidence"))
+        patched = argument_index(chain)
+        assert patched is index, "retype should patch, not rebuild"
+        assert canonical_index(patched) == \
+            canonical_index(ArgumentIndex(chain))
+        assert [n.identifier for n in select(
+            chain, node_type_is(NodeType.SOLUTION)
+        )] == ["C"]
+        assert "C" not in [n.identifier for n in select(
+            chain, node_type_is(NodeType.GOAL)
+        )]
+
+    def test_duplicate_metadata_names_match_predicate_semantics(
+        self,
+    ) -> None:
+        # Regression: exact plans skip the predicate, so the index must
+        # agree with metadata_dict() — where a duplicated attribute
+        # name keeps only its *last* entry — not with the raw pairs.
+        argument = Argument("dup-meta")
+        argument.add_node(goal(
+            "G1", metadata=(("a", (1,)), ("a", (2,)))
+        ))
+        first_entry = attribute_equals("a", (1,))
+        last_entry = attribute_equals("a", (2,))
+        assert select(argument, first_entry) == \
+            [n for n in argument.nodes if first_entry(n)] == []
+        assert [n.identifier for n in select(argument, last_entry)] == \
+            [n.identifier for n in argument.nodes if last_entry(n)] == \
+            ["G1"]
+
+    def test_metadata_postings_follow_replacement(self) -> None:
+        argument = Argument("meta")
+        argument.add_node(goal(
+            "G1", metadata=(("hazard", ("H1", "remote")),)
+        ))
+        index = argument_index(argument)
+        assert [n.identifier for n in select(
+            argument, attribute_equals("hazard", ("H1", "remote"))
+        )] == ["G1"]
+        argument.replace_node(goal(
+            "G1", metadata=(("hazard", ("H1", "frequent")),)
+        ))
+        assert argument_index(argument) is index
+        assert select(
+            argument, attribute_equals("hazard", ("H1", "remote"))
+        ) == []
+        assert [n.identifier for n in select(
+            argument, attribute_equals("hazard", ("H1", "frequent"))
+        )] == ["G1"]
+
+
+class TestRemoveThenReAddLink:
+    def test_same_pair_reinserts_cleanly(self, chain: Argument) -> None:
+        link = Link("A", "B", LinkKind.SUPPORTED_BY)
+        chain.remove_link(link)
+        assert chain.supporters("A") == []
+        chain.supported_by("A", "B")
+        assert [n.identifier for n in chain.supporters("A")] == ["B"]
+        # The duplicate check sees the re-added link...
+        with pytest.raises(ArgumentError):
+            chain.supported_by("A", "B")
+        # ...and a second remove/re-add cycle still works.
+        chain.remove_link(link)
+        chain.supported_by("A", "B")
+        assert chain.statistics()["supported_by_count"] == 2
+
+    def test_churn_inside_batch(self, chain: Argument) -> None:
+        link = Link("A", "B", LinkKind.SUPPORTED_BY)
+        before = chain.version
+        with chain.batch():
+            chain.remove_link(link)
+            chain.supported_by("A", "B")
+        assert chain.version == before + 1
+        assert canonical_index(argument_index(chain)) == \
+            canonical_index(ArgumentIndex(chain))
+
+
+# -- copy independence ------------------------------------------------------
+
+
+class TestCopyIndependence:
+    def test_mutating_copy_never_dirties_original(
+        self, chain: Argument
+    ) -> None:
+        index = argument_index(chain)
+        version = chain.version
+        seq = chain.mutation_seq
+        duplicate = chain.copy()
+        duplicate.add_node(goal("D"))
+        duplicate.supported_by("C", "D")
+        duplicate.remove_node("Ctx")
+        assert chain.version == version
+        assert chain.mutation_seq == seq
+        assert argument_index(chain) is index, (
+            "the original's cached index must survive copy mutation"
+        )
+        assert "D" not in chain and "Ctx" in chain
+
+    def test_copy_has_independent_delta_log(self, chain: Argument) -> None:
+        duplicate = chain.copy()
+        baseline = duplicate.mutation_seq
+        chain.add_node(goal("E"))
+        delta = duplicate.delta_since(baseline)
+        assert delta is not None and not delta, (
+            "the original's mutations must not appear in the copy's log"
+        )
+        duplicate.add_node(goal("F"))
+        records = duplicate.delta_since(baseline)
+        assert [n.identifier for n in records.nodes_added] == ["F"]
+
+    def test_copy_does_not_share_derived_index(
+        self, chain: Argument
+    ) -> None:
+        original_index = argument_index(chain)
+        duplicate = chain.copy()
+        assert argument_index(duplicate) is not original_index
+        duplicate.replace_node(Node(
+            "A", NodeType.STRATEGY, "Argument over hazards"
+        ))
+        assert [n.identifier for n in select(
+            chain, node_type_is(NodeType.STRATEGY)
+        )] == []
+
+    def test_copy_is_equal_and_single_version_bump(
+        self, chain: Argument
+    ) -> None:
+        duplicate = chain.copy()
+        assert duplicate == chain
+        assert duplicate.version == 1, (
+            "a copy is one batched construction, one version bump"
+        )
+
+
+# -- batch semantics --------------------------------------------------------
+
+
+class TestBatchSemantics:
+    def test_single_version_bump_and_per_op_seq(self) -> None:
+        argument = Argument("batched")
+        version = argument.version
+        seq = argument.mutation_seq
+        with argument.batch():
+            argument.add_node(goal("A"))
+            argument.add_node(goal("B"))
+            argument.supported_by("A", "B")
+        assert argument.version == version + 1
+        assert argument.mutation_seq == seq + 3
+
+    def test_nested_batches_bump_once(self) -> None:
+        argument = Argument("nested")
+        version = argument.version
+        with argument.batch():
+            argument.add_node(goal("A"))
+            with argument.batch():
+                argument.add_node(goal("B"))
+            argument.add_node(goal("C"))
+            assert argument.version == version, (
+                "no bump before the outermost batch closes"
+            )
+        assert argument.version == version + 1
+
+    def test_empty_batch_does_not_bump(self) -> None:
+        argument = Argument("empty")
+        version = argument.version
+        with argument.batch():
+            pass
+        assert argument.version == version
+
+    def test_exception_keeps_applied_mutations_and_bumps(self) -> None:
+        argument = Argument("failed")
+        version = argument.version
+        with pytest.raises(RuntimeError):
+            with argument.batch():
+                argument.add_node(goal("A"))
+                raise RuntimeError("interrupted mid-batch")
+        assert "A" in argument, "batches are not transactions"
+        assert argument.version == version + 1
+
+    def test_mid_batch_reads_are_coherent(self) -> None:
+        argument = Argument("reads")
+        with argument.batch():
+            argument.add_node(goal("A"))
+            argument.add_node(goal("B"))
+            argument.supported_by("A", "B")
+            assert argument.depth() == 2
+            assert [r.identifier for r in argument.roots()] == ["A"]
+            assert [n.identifier for n in select(
+                argument, node_type_is(NodeType.GOAL)
+            )] == ["A", "B"]
+            argument.add_node(goal("C"))
+            argument.supported_by("B", "C")
+            assert argument.depth() == 3
+
+    def test_builder_groups_node_and_link(self) -> None:
+        from repro.core.builder import ArgumentBuilder
+
+        builder = ArgumentBuilder("built")
+        top = builder.goal("The system is acceptably safe")
+        version = builder.argument.version
+        builder.goal("Hazard is managed", under=top)
+        assert builder.argument.version == version + 1
+        with builder.bulk():
+            strategy = builder.strategy("Argue over hazards", under=top)
+            builder.solution("Test evidence", under=strategy)
+        assert builder.argument.version == version + 2
+
+
+class TestBulkValidation:
+    def test_add_nodes_rejects_payload_duplicate_without_mutating(
+        self,
+    ) -> None:
+        argument = Argument("bulk-nodes")
+        argument.add_node(goal("A"))
+        state = (argument.version, argument.mutation_seq, len(argument))
+        with pytest.raises(ArgumentError):
+            argument.add_nodes([goal("B"), goal("B")])
+        with pytest.raises(ArgumentError):
+            argument.add_nodes([goal("C"), goal("A")])
+        assert (
+            argument.version, argument.mutation_seq, len(argument)
+        ) == state
+
+    def test_add_links_rejects_bad_specs_without_mutating(self) -> None:
+        argument = Argument("bulk-links")
+        argument.add_nodes([goal("A"), goal("B"), goal("C")])
+        argument.supported_by("A", "B")
+        state = (argument.version, argument.mutation_seq,
+                 len(argument.links))
+        sup = LinkKind.SUPPORTED_BY
+        for bad in (
+            [("A", "C", sup), ("A", "missing", sup)],   # unknown target
+            [("missing", "C", sup)],                    # unknown source
+            [("A", "A", sup)],                          # self-link
+            [("A", "C", sup), ("A", "B", sup)],         # dup vs existing
+            [("A", "C", sup), ("A", "C", sup)],         # dup in payload
+        ):
+            with pytest.raises(ArgumentError):
+                argument.add_links(bad)
+        assert (
+            argument.version, argument.mutation_seq, len(argument.links)
+        ) == state
+
+    def test_bulk_equals_one_at_a_time(self) -> None:
+        bulk, single = Argument("bulk"), Argument("single")
+        nodes = [goal(f"G{i}") for i in range(10)]
+        specs = [
+            (f"G{i}", f"G{i + 1}", LinkKind.SUPPORTED_BY)
+            for i in range(9)
+        ]
+        bulk.add_nodes(nodes)
+        bulk.add_links(specs)
+        for node in nodes:
+            single.add_node(node)
+        for source, target, kind in specs:
+            single.add_link(source, target, kind)
+        assert bulk == single
+        assert bulk.statistics() == single.statistics()
+        assert canonical_index(argument_index(bulk)) == \
+            canonical_index(argument_index(single))
+
+
+class TestMutationDelta:
+    def test_categorised_views_and_order(self, chain: Argument) -> None:
+        baseline = chain.mutation_seq
+        chain.add_node(goal("D"))
+        chain.supported_by("C", "D")
+        chain.replace_node(goal("A", "Claim A holds (reworded)"))
+        chain.remove_link(Link("B", "Ctx", LinkKind.IN_CONTEXT_OF))
+        chain.remove_node("Ctx")
+        delta = chain.delta_since(baseline)
+        assert isinstance(delta, MutationDelta)
+        assert [n.identifier for n in delta.nodes_added] == ["D"]
+        assert [n.identifier for n in delta.nodes_removed] == ["Ctx"]
+        assert [
+            (old.identifier, new.text) for old, new in delta.nodes_replaced
+        ] == [("A", "Claim A holds (reworded)")]
+        assert [str(l) for l in delta.links_added] == ["C -> D"]
+        assert [l.target for l in delta.links_removed] == ["Ctx"]
+        # Replay order is preserved verbatim.
+        assert [op for op, _ in delta.records] == [
+            "add_node", "add_link", "replace_node", "remove_link",
+            "remove_node",
+        ]
+
+    def test_remove_then_readd_same_identifier_patches_correctly(
+        self,
+    ) -> None:
+        # The ordering trap: aggregated adds-then-removes would drop the
+        # re-added node; ordered replay must keep it (at the end).
+        argument = Argument("readd")
+        argument.add_nodes([goal("A"), goal("B"), goal("C")])
+        index = argument_index(argument)
+        with argument.batch():
+            argument.remove_node("B")
+            argument.add_node(goal("B", "Claim B holds again"))
+        patched = argument_index(argument)
+        assert patched is index
+        assert canonical_index(patched) == \
+            canonical_index(ArgumentIndex(argument))
+        assert [n.identifier for n in argument.nodes] == ["A", "C", "B"]
+
+    def test_empty_delta_for_current_seq(self, chain: Argument) -> None:
+        delta = chain.delta_since(chain.mutation_seq)
+        assert delta is not None and not delta and len(delta) == 0

@@ -88,6 +88,7 @@ def assert_closed_supported_by_cycle(
         )
 
 
+@pytest.mark.slow
 class TestDeepArgumentsDoNotRecurse:
     """10,000-node shapes complete without RecursionError."""
 

@@ -1,0 +1,384 @@
+"""Randomized mutation-sequence invariant harness for the graph core.
+
+Tool-generated assurance cases are built by thousands of programmatic
+mutations, so the batch layer and the incremental query index must be
+correct under *arbitrary interleavings* of add/remove/replace/batch —
+not just the orderly sequences the unit tests exercise.  This harness
+drives :class:`~repro.core.argument.Argument` through hundreds of seeded
+random mutation steps and after **every** step asserts:
+
+(a) the incrementally-maintained :class:`~repro.core.query.ArgumentIndex`
+    is map-for-map identical to an index rebuilt from scratch;
+(b) batch and one-at-a-time mutation produce ``__eq__``-identical
+    arguments (a shadow argument replays every operation unbatched);
+(c) ``roots``/``leaves``/``depth``/``statistics`` agree with a naive
+    oracle recomputed from the raw node and link lists;
+(d) periodically, planner-backed ``select`` results agree with a naive
+    full-scan of each query's predicate (including exact plans, which
+    skip the predicate entirely).
+
+Graphs stay acyclic by construction (links only run from older to newer
+nodes), matching the only shape well-formedness accepts; cyclic-graph
+behaviour is pinned by ``tests/test_graph_engine_scale.py``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.argument import Argument, LinkKind
+from repro.core.nodes import Node, NodeType
+from repro.core.query import (
+    ArgumentIndex,
+    argument_index,
+    attribute_param,
+    has_attribute,
+    node_type_is,
+    select,
+    text_contains,
+)
+
+STEPS = 300
+
+_TYPES = (
+    NodeType.GOAL,
+    NodeType.STRATEGY,
+    NodeType.SOLUTION,
+    NodeType.CONTEXT,
+    NodeType.AWAY_GOAL,
+)
+
+_TEXTS = (
+    "The braking claim holds",
+    "Hazard is acceptably managed",
+    "Fault tree analysis record",
+    "Operating context item",
+    "Argument over identified hazards",
+)
+
+
+def _random_metadata(rng: random.Random):
+    roll = rng.random()
+    if roll < 0.5:
+        return ()
+    if roll < 0.75:
+        likelihood = rng.choice(("remote", "frequent"))
+        severity = rng.choice(("catastrophic", "minor"))
+        return (("hazard", (f"H{rng.randrange(6)}", likelihood, severity)),)
+    if roll < 0.9:
+        return (("owner", (rng.choice(("alice", "bob")),)),)
+    # Duplicated attribute name: metadata_dict() keeps the last entry,
+    # and exact query plans must agree with that (regression).
+    return (
+        ("hazard", ("H0", "remote", "minor")),
+        ("hazard", (f"H{rng.randrange(6)}", "remote", "catastrophic")),
+    )
+
+
+def _random_node(rng: random.Random, identifier: str) -> Node:
+    node_type = rng.choice(_TYPES)
+    return Node(
+        identifier,
+        node_type,
+        rng.choice(_TEXTS) + f" [{identifier}]",
+        metadata=_random_metadata(rng),
+        module="m1" if node_type is NodeType.AWAY_GOAL else None,
+    )
+
+
+# -- naive oracles ----------------------------------------------------------
+
+
+def oracle_roots(argument: Argument) -> list[str]:
+    supported = {
+        link.target
+        for link in argument.links
+        if link.kind is LinkKind.SUPPORTED_BY
+    }
+    return [
+        node.identifier
+        for node in argument.nodes
+        if node.node_type.is_claim_like
+        and node.identifier not in supported
+    ]
+
+
+def oracle_leaves(argument: Argument) -> list[str]:
+    supporting = {
+        link.source
+        for link in argument.links
+        if link.kind is LinkKind.SUPPORTED_BY
+    }
+    return [
+        node.identifier
+        for node in argument.nodes
+        if node.node_type in (
+            NodeType.GOAL, NodeType.STRATEGY, NodeType.AWAY_GOAL
+        )
+        and node.identifier not in supporting
+    ]
+
+
+def oracle_depth(argument: Argument) -> int:
+    """Longest SupportedBy path from any oracle root (graphs are acyclic)."""
+    children: dict[str, list[str]] = {}
+    for link in argument.links:
+        if link.kind is LinkKind.SUPPORTED_BY:
+            children.setdefault(link.source, []).append(link.target)
+    memo: dict[str, int] = {}
+
+    def longest(identifier: str) -> int:
+        if identifier not in memo:
+            memo[identifier] = 1 + max(
+                (longest(child)
+                 for child in children.get(identifier, ())),
+                default=0,
+            )
+        return memo[identifier]
+
+    return max((longest(root) for root in oracle_roots(argument)), default=0)
+
+
+def oracle_statistics(argument: Argument) -> dict[str, int]:
+    stats: dict[str, int] = {
+        f"{node_type.value}_count": sum(
+            1 for node in argument.nodes if node.node_type is node_type
+        )
+        for node_type in NodeType
+    }
+    stats["node_count"] = len(argument.nodes)
+    stats["link_count"] = len(argument.links)
+    stats["supported_by_count"] = sum(
+        1 for link in argument.links
+        if link.kind is LinkKind.SUPPORTED_BY
+    )
+    stats["in_context_of_count"] = sum(
+        1 for link in argument.links
+        if link.kind is LinkKind.IN_CONTEXT_OF
+    )
+    stats["depth"] = oracle_depth(argument)
+    return stats
+
+
+def canonical_index(index: ArgumentIndex) -> tuple:
+    """An order-normalised snapshot for comparing index instances.
+
+    Incremental ``order`` values are monotonic ranks with gaps while a
+    fresh build numbers 0..V-1, so only the induced ordering may be
+    compared.  Empty postings are pruned incrementally and never created
+    by a fresh build, so plain equality works for the posting maps.
+    """
+    ordering = sorted(index.order, key=index.order.__getitem__)
+    return (
+        ordering,
+        index.by_attribute,
+        index.by_attribute_value,
+        index.by_param,
+        index.by_type,
+        index.lowered_text,
+    )
+
+
+# -- the harness ------------------------------------------------------------
+
+
+class Harness:
+    """Applies identical random mutations batched and one-at-a-time."""
+
+    def __init__(self, seed: int) -> None:
+        self.rng = random.Random(seed)
+        self.argument = Argument("invariant-main")
+        self.shadow = Argument("invariant-shadow")
+        self.births: dict[str, int] = {}
+        self.next_birth = 0
+
+    # Operations consult the live argument, then mirror onto the shadow.
+
+    def op_add_node(self) -> None:
+        identifier = f"n{self.next_birth}"
+        node = _random_node(self.rng, identifier)
+        self.births[identifier] = self.next_birth
+        self.next_birth += 1
+        self.argument.add_node(node)
+        self.shadow.add_node(node)
+
+    def op_add_link(self) -> None:
+        alive = sorted(self.births, key=self.births.__getitem__)
+        if len(alive) < 2:
+            return
+        for _ in range(8):  # rejection-sample a legal older->newer pair
+            source, target = self.rng.sample(alive, 2)
+            if self.births[source] > self.births[target]:
+                source, target = target, source
+            kind = self.rng.choice(tuple(LinkKind))
+            if all(
+                link.target != target or link.kind is not kind
+                for link in self.argument._out.get(source, ())
+            ):
+                self.argument.add_link(source, target, kind)
+                self.shadow.add_link(source, target, kind)
+                return
+
+    def op_remove_link(self) -> None:
+        links = self.argument.links
+        if not links:
+            return
+        link = self.rng.choice(links)
+        self.argument.remove_link(link)
+        self.shadow.remove_link(link)
+
+    def op_remove_node(self) -> None:
+        if not self.births:
+            return
+        identifier = self.rng.choice(sorted(self.births))
+        del self.births[identifier]
+        self.argument.remove_node(identifier)
+        self.shadow.remove_node(identifier)
+
+    def op_replace_node(self) -> None:
+        if not self.births:
+            return
+        identifier = self.rng.choice(sorted(self.births))
+        old = self.argument.node(identifier)
+        if self.rng.random() < 0.3:  # retype (exercises the type index)
+            replacement = _random_node(self.rng, identifier)
+        else:
+            replacement = old.with_text(
+                old.text + f" r{self.rng.randrange(100)}"
+            )
+        self.argument.replace_node(replacement)
+        self.shadow.replace_node(replacement)
+
+    def random_op(self) -> None:
+        population = len(self.births)
+        if population == 0:
+            self.op_add_node()
+            return
+        removal_bias = 2 if population > 60 else 1
+        ops = (
+            [self.op_add_node] * 5
+            + [self.op_add_link] * 5
+            + [self.op_replace_node] * 3
+            + [self.op_remove_link] * (2 * removal_bias)
+            + [self.op_remove_node] * (1 * removal_bias)
+        )
+        self.rng.choice(ops)()
+
+    def step(self) -> None:
+        if self.rng.random() < 0.25:
+            # A batch block: the main argument groups 2-6 mutations into
+            # one version bump; the shadow applies them unbatched.
+            version_before = self.argument.version
+            with self.argument.batch():
+                for _ in range(self.rng.randint(2, 6)):
+                    self.random_op()
+                    # Reads must stay coherent mid-batch.
+                    assert self.argument.depth() == oracle_depth(
+                        self.argument
+                    )
+            assert self.argument.version <= version_before + 1, (
+                "a batch must bump the version at most once"
+            )
+        else:
+            self.random_op()
+
+    def check(self, step_number: int) -> None:
+        argument, shadow = self.argument, self.shadow
+        # (a) incremental index == fresh rebuild
+        incremental = argument_index(argument)
+        fresh = ArgumentIndex(argument)
+        assert canonical_index(incremental) == canonical_index(fresh), (
+            f"step {step_number}: incremental index diverged from rebuild"
+        )
+        # (b) batched == one-at-a-time
+        assert argument == shadow and shadow == argument, (
+            f"step {step_number}: batched and unbatched arguments diverged"
+        )
+        assert argument.version >= 0 and shadow.version >= 0
+        # (c) structural invariants vs the naive oracle
+        assert [r.identifier for r in argument.roots()] == \
+            oracle_roots(argument)
+        assert [leaf.identifier for leaf in argument.leaves()] == \
+            oracle_leaves(argument)
+        assert argument.statistics() == oracle_statistics(argument)
+        assert argument.find_cycle() is None
+        # (d) planner-backed selects == naive predicate scans
+        if step_number % 10 == 0:
+            worst = attribute_param("hazard", 1, "remote") \
+                & attribute_param("hazard", 2, "catastrophic")
+            queries = (
+                has_attribute("hazard"),
+                has_attribute("owner"),
+                node_type_is(NodeType.GOAL),
+                node_type_is(NodeType.SOLUTION),
+                attribute_param("hazard", 1, "remote"),
+                text_contains("hazard"),
+                worst,
+                worst | node_type_is(NodeType.STRATEGY),
+                ~has_attribute("hazard"),
+            )
+            for query in queries:
+                planned = [n.identifier for n in select(argument, query)]
+                naive = [
+                    n.identifier for n in argument.nodes if query(n)
+                ]
+                assert planned == naive, (
+                    f"step {step_number}: {query.description}"
+                )
+
+
+@pytest.mark.parametrize("seed", [0xA11CE, 0xB0B, 0xC0FFEE])
+def test_randomized_mutation_invariants(seed: int) -> None:
+    harness = Harness(seed)
+    for step_number in range(1, STEPS + 1):
+        harness.step()
+        harness.check(step_number)
+    # The run must have actually exercised a non-trivial history.
+    assert harness.argument.mutation_seq >= STEPS
+    assert len(harness.argument) > 0
+
+
+class TinyLogArgument(Argument):
+    """An argument whose delta log rotates almost immediately."""
+
+    MUTATION_LOG_LIMIT = 8
+
+
+def test_log_rotation_forces_correct_rebuild() -> None:
+    """When the bounded log rotates, the index rebuilds — and is right."""
+    argument = TinyLogArgument("tiny-log")
+    argument.add_node(Node("g0", NodeType.GOAL, "The top claim holds"))
+    first = argument_index(argument)
+    # Far more mutations than the log retains.
+    for index in range(1, 30):
+        argument.add_node(Node(
+            f"g{index}", NodeType.GOAL, f"Claim {index} holds",
+            metadata=(("hazard", (f"H{index}", "remote", "minor")),),
+        ))
+    assert argument.delta_since(first.seq) is None
+    refreshed = argument_index(argument)
+    assert refreshed is not first, "a rotated log cannot be patched over"
+    assert canonical_index(refreshed) == \
+        canonical_index(ArgumentIndex(argument))
+
+
+def test_oversized_delta_declined_in_favour_of_rebuild() -> None:
+    """A delta larger than the index itself triggers a rebuild instead."""
+    argument = Argument("oversized")
+    argument.add_node(Node("g0", NodeType.GOAL, "The top claim holds"))
+    index = argument_index(argument)
+    with argument.batch():
+        for number in range(1, 200):
+            argument.add_node(Node(
+                f"g{number}", NodeType.GOAL, f"Claim {number} holds"
+            ))
+    delta = argument.delta_since(index.seq)
+    assert delta is not None and len(delta) == 199
+    assert not index.apply(delta), (
+        "an oversized delta should be declined"
+    )
+    refreshed = argument_index(argument)
+    assert canonical_index(refreshed) == \
+        canonical_index(ArgumentIndex(argument))
