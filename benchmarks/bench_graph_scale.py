@@ -20,7 +20,10 @@ queries on the current engine, and — for the chain and fan — the same
 construction + ``statistics()`` on a faithful copy of the *seed*
 implementation (O(L) duplicate scans in ``add_link``, recursive
 ``depth``), run with an enlarged interpreter stack so the recursion can
-complete at all.  Results land in ``BENCH_graph_scale.json`` with the
+complete at all.  A persistence workload saves the fan through the
+sharded store (:mod:`repro.store`), times full hydration and a leaf
+subtree partial load, and records how many shards each hydrated.
+Results land in ``BENCH_graph_scale.json`` with the
 construction+statistics speedup that the acceptance criteria track.
 
 Run from the repository root::
@@ -37,6 +40,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import shutil
 import sys
 import tempfile
 import threading
@@ -699,6 +703,79 @@ def bench_mutation_workload(n: int, chunk: int | None = None) -> dict[str, Any]:
     }
 
 
+# -- the persistence workload ----------------------------------------------
+#
+# A 100k-node tool-generated case must outlive the process that built it
+# (Resolute regenerates cases per architecture revision; Isabelle/SACM
+# persists mechanised cases next to their proofs) and be reloadable
+# *partially*: a reviewer inspecting one hazard's sub-argument should not
+# pay for full hydration.  This workload saves the fan topology through
+# the sharded store, times full load and a leaf-subtree partial load, and
+# records how many shards each actually hydrated.
+
+
+def bench_store_workload(
+    n: int, directory: Path | str | None = None
+) -> dict[str, Any]:
+    """Save/load/partial-load the wide-fan shape through ``repro.store``.
+
+    Verifies along the way that the loaded argument is ``__eq__`` to the
+    original with identical statistics, that the partial subtree load
+    equals the in-memory ``subtree()``, and that it hydrated strictly
+    fewer shards than the full load.
+    """
+    from repro.store import StoredArgument
+
+    spec = wide_fan(n)
+    argument = build(Argument, spec, "store-fan")
+    scratch = directory is None
+    base = Path(tempfile.mkdtemp(prefix="bench-store-")) if scratch \
+        else Path(directory)
+    store_dir = base / "store-fan.store"
+    try:
+        save_s, manifest = timed(lambda: argument.save(store_dir))
+
+        full = StoredArgument(store_dir)
+        load_s, loaded = timed(full.load)
+        assert loaded == argument, "stored argument did not round-trip"
+        assert loaded.statistics() == argument.statistics(), (
+            "round-trip changed statistics"
+        )
+        full_shards = len(full.shards_read)
+
+        # Partial load: one leaf of the fan — its subtree is just itself,
+        # so hydration should touch the leaf's node and link shards only.
+        leaf = "G1"
+        partial = StoredArgument(store_dir)
+        subtree_s, fragment = timed(lambda: partial.subtree(leaf))
+        assert fragment == argument.subtree(leaf), (
+            "partial subtree load diverged from in-memory subtree()"
+        )
+        partial_shards = len(partial.shards_read)
+        assert partial_shards < full_shards, (
+            "partial load hydrated as many shards as a full load"
+        )
+
+        store_bytes = sum(
+            (store_dir / name).stat().st_size for name in manifest["shards"]
+        )
+        return {
+            "nodes": len(argument),
+            "links": len(argument.links),
+            "shard_count": manifest["shard_count"],
+            "store_bytes": store_bytes,
+            "save_s": save_s,
+            "load_s": load_s,
+            "subtree_load_s": subtree_s,
+            "subtree_nodes": len(fragment),
+            "full_shards_read": full_shards,
+            "partial_shards_read": partial_shards,
+        }
+    finally:
+        if scratch:
+            shutil.rmtree(base, ignore_errors=True)
+
+
 def run_bench(
     n: int = 10_000,
     max_paths: int = 1_000,
@@ -714,6 +791,7 @@ def run_bench(
         if "speedup_construct_statistics" in data
     ]
     mutation = bench_mutation_workload(n)
+    store = bench_store_workload(n)
     report = {
         "benchmark": "graph_scale",
         "nodes_requested": n,
@@ -725,12 +803,16 @@ def run_bench(
         "speedup_mutation_workload": mutation[
             "speedup_batched_incremental"
         ],
+        "store_workload": store,
         "note": (
             "seed comparison covers deep_chain and wide_fan; the seed's "
             "exponential depth() cannot finish on dense_dag at all; "
             "mutation_workload interleaves chunked construction, edits, "
             "and planner queries — batch + incremental index vs PR 1's "
-            "per-mutation invalidation with full index rebuilds"
+            "per-mutation invalidation with full index rebuilds; "
+            "store_workload saves/loads the fan through the sharded "
+            "persistent store and partial-loads one leaf subtree, "
+            "hydrating strictly fewer shards than the full load"
         ),
     }
     if out is not None:
@@ -781,6 +863,15 @@ def main(argv: list[str] | None = None) -> int:
         f"{mutation['batched_incremental_s'] * 1e3:.1f} ms vs "
         f"per-mutation {mutation['per_mutation_rebuild_s'] * 1e3:.1f} ms "
         f"({mutation['speedup_batched_incremental']:.1f}x)"
+    )
+    store = report["store_workload"]
+    print(
+        f"      store: {store['nodes']} nodes, "
+        f"save {store['save_s'] * 1e3:.1f} ms, "
+        f"load {store['load_s'] * 1e3:.1f} ms, "
+        f"leaf subtree {store['subtree_load_s'] * 1e3:.2f} ms "
+        f"({store['partial_shards_read']}/{store['full_shards_read']} "
+        "shards hydrated)"
     )
     print(
         "min construct+statistics speedup vs seed: "

@@ -15,7 +15,9 @@ The library implements every system the paper reasons about:
   al., Tun et al.);
 * :mod:`repro.survey` — the systematic literature survey pipeline that
   regenerates Table I;
-* :mod:`repro.experiments` — the five §VI studies on simulated subjects.
+* :mod:`repro.experiments` — the five §VI studies on simulated subjects;
+* :mod:`repro.store` — the persistent sharded argument store (JSONL
+  shards + checksummed manifest, streaming save, lazy/partial load).
 
 Quickstart::
 

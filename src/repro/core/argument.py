@@ -1004,6 +1004,32 @@ class Argument:
                 duplicate.add_link(link.source, link.target, link.kind)
         return duplicate
 
+    # -- persistence --------------------------------------------------------
+
+    def save(self, directory: Any, *, shard_count: int | None = None) -> Any:
+        """Write this argument to a sharded store directory.
+
+        Streams nodes and links record-by-record into id-hash shards
+        with a checksummed manifest (see :mod:`repro.store`); returns
+        the manifest.  Reload with :meth:`load`, or open lazily with
+        :class:`repro.store.StoredArgument` for partial hydration.
+        """
+        from ..store import save_argument  # local: store imports this module
+
+        return save_argument(self, directory, shard_count=shard_count)
+
+    @classmethod
+    def load(cls, directory: Any) -> "Argument":
+        """Fully hydrate an argument from a store directory.
+
+        The load replays through the batch-mutation layer: one version
+        bump for the whole hydration, insertion order exactly as saved.
+        Called on a subclass, returns an instance of that subclass.
+        """
+        from ..store import load_argument  # local: store imports this module
+
+        return load_argument(directory, into=cls)
+
     def __str__(self) -> str:
         lines = [f"Argument {self.name!r}:"]
         lines.extend(f"  {node}" for node in self._nodes.values())

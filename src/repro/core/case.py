@@ -253,6 +253,32 @@ class AssuranceCase:
             e for e in self._log if e.kind is LifecycleEventKind.DECISION
         ]
 
+    # -- persistence --------------------------------------------------------
+
+    def save(self, directory, *, shard_count: int | None = None):
+        """Write this case to a sharded store directory.
+
+        The argument shards exactly as :meth:`Argument.save
+        <repro.core.argument.Argument.save>` lays it out; evidence and
+        citations stream to their own checksummed shards.  The lifecycle
+        log is not persisted — history belongs to the live case, and a
+        loaded case starts a fresh log (matching
+        :func:`repro.notation.json_io.case_from_json`).
+        """
+        from ..store import save_case  # local: store imports this module
+
+        return save_case(self, directory, shard_count=shard_count)
+
+    @classmethod
+    def load(cls, directory) -> "AssuranceCase":
+        """Fully hydrate a case saved with :meth:`save`.
+
+        Called on a subclass, returns an instance of that subclass.
+        """
+        from ..store import load_case  # local: store imports this module
+
+        return load_case(directory, into=cls)
+
     # -- integrity ---------------------------------------------------------
 
     def integrity_report(

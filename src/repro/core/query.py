@@ -362,7 +362,22 @@ def select(argument: Argument, query: Query) -> list[Node]:
     candidate set — and *exact* plans (see :class:`Query`) skip the
     predicate entirely, reading the answer straight off the index;
     unplanned queries scan every node, exactly as before.
+
+    Also accepts a :class:`repro.store.StoredArgument`: the predicate
+    streams over the store's node shards (checksum-verified, merged back
+    into insertion order) without hydrating the argument, so querying a
+    case bigger than memory stays O(matches) in space.  Detection is
+    duck-typed (``iter_nodes``) so this module never imports
+    :mod:`repro.store`, which imports it transitively.
     """
+    if not isinstance(argument, Argument):
+        stream = getattr(argument, "iter_nodes", None)
+        if stream is None:
+            raise TypeError(
+                "expected an Argument or a StoredArgument, got "
+                f"{type(argument).__name__}"
+            )
+        return [node for node in stream() if query(node)]
     if query.plan is None:
         # No plan means a full scan regardless; skip building the index.
         return [node for node in argument.nodes if query(node)]

@@ -78,7 +78,14 @@ class RuleSet:
     rules: tuple[Rule, ...]
 
     def check(self, argument: Argument) -> list[Violation]:
-        """All violations of all rules, in rule order."""
+        """All violations of all rules, in rule order.
+
+        Also accepts a :class:`repro.store.StoredArgument`: the stored
+        case is hydrated by iterating its shards (checksum-verified,
+        insertion order preserved) and checked identically, so loading
+        never changes which violations a case has.
+        """
+        argument = _hydrate(argument)
         out: list[Violation] = []
         for rule in self.rules:
             out.extend(rule(argument))
@@ -86,6 +93,27 @@ class RuleSet:
 
     def is_well_formed(self, argument: Argument) -> bool:
         return not self.check(argument)
+
+
+def _hydrate(argument: Argument) -> Argument:
+    """An in-memory argument for rule evaluation.
+
+    Stored arguments expose ``load()`` (shard-streaming hydration);
+    anything else must already be an :class:`Argument`.  Kept duck-typed
+    so this module never imports :mod:`repro.store` (which imports it
+    transitively).
+    """
+    if isinstance(argument, Argument):
+        return argument
+    # Probe the store-specific streaming surface, not just a generic
+    # ``load`` attribute (AssuranceCase and arbitrary objects also have
+    # ``load`` methods and must get the clear TypeError instead).
+    if hasattr(argument, "iter_links") and hasattr(argument, "load"):
+        return argument.load()
+    raise TypeError(
+        "expected an Argument or a StoredArgument, got "
+        f"{type(argument).__name__}"
+    )
 
 
 # -- individual rules ------------------------------------------------------

@@ -1,0 +1,45 @@
+"""Persistent sharded storage for arguments and assurance cases.
+
+Answering the paper's scale question — do formal assurance arguments pay
+their way on *real* projects? — needs tool-generated cases with 100k+
+nodes, which PR 1–2 made fast in memory but which still could not
+outlive the process or exceed RAM.  This package gives them a durable,
+incrementally-reloadable on-disk form:
+
+* :mod:`~repro.store.format` — the JSONL shard layout, manifest schema,
+  id-hash sharding, and the :class:`StoreError` /
+  :class:`StoreCorruptionError` taxonomy;
+* :mod:`~repro.store.writer` — :func:`save_argument` / :func:`save_case`,
+  streaming records out shard by shard without materialising a document;
+* :mod:`~repro.store.reader` — :class:`StoredArgument` (streaming
+  iteration, lazy per-shard loading, partial ``subtree`` hydration) and
+  the :func:`load_argument` / :func:`load_case` full loaders.
+
+``Argument.save/load`` and ``AssuranceCase.save/load`` are the
+convenience entry points built on these;
+:func:`repro.core.query.select` and :func:`repro.core.wellformed.check`
+accept a :class:`StoredArgument` directly.
+"""
+
+from .format import (
+    DEFAULT_SHARD_COUNT,
+    STORE_SCHEMA_VERSION,
+    StoreCorruptionError,
+    StoreError,
+    shard_of,
+)
+from .reader import StoredArgument, load_argument, load_case
+from .writer import save_argument, save_case
+
+__all__ = [
+    "DEFAULT_SHARD_COUNT",
+    "STORE_SCHEMA_VERSION",
+    "StoreCorruptionError",
+    "StoreError",
+    "shard_of",
+    "StoredArgument",
+    "load_argument",
+    "load_case",
+    "save_argument",
+    "save_case",
+]

@@ -1,0 +1,115 @@
+"""The on-disk format of the persistent sharded argument store.
+
+Tool-generated assurance cases reach 100k+ nodes (Resolute derives cases
+from architecture models; Isabelle/SACM persists mechanised cases next to
+their proof artifacts), so a case must be able to outlive the process that
+built it and be reloaded *partially* — a reviewer inspecting one hazard's
+sub-argument should not pay to hydrate the whole case.  The store lays an
+argument out as a directory:
+
+::
+
+    case.store/
+        manifest.json               # schema version, kind, shard map,
+                                    # counts, per-shard record counts +
+                                    # CRC-32 checksums
+        nodes-0000-1a2b3c4d.jsonl   # one node record per line, seq-ordered
+        nodes-0001-00000000.jsonl
+        links-0000-5e6f7a8b.jsonl   # one link record per line, sharded
+        ...                         # by SOURCE id
+        evidence-9c0d1e2f.jsonl     # kind == "case" only
+        citations-3a4b5c6d.jsonl    # kind == "case" only
+
+Records are sharded by **identifier hash** — ``crc32(id) % shard_count``
+— nodes by their own id, links by their *source* id, so a traversal that
+knows a frontier node can find all of its outgoing links by reading
+exactly one shard.  Every record carries a ``seq`` field (its global
+insertion index at save time): within a shard seqs are ascending, so a
+heap-merge across shards streams records back in exact insertion order,
+and a save → load → save cycle is **byte-stable** (same shard assignment,
+same per-shard order, same seqs).
+
+Shard filenames are **content-addressed** — ``<kind>-<index>-<crc>.jsonl``
+— and the manifest maps shard indices to filenames.  Identical content
+produces identical names (byte-stability holds), while *changed* content
+lands under fresh names that never overwrite the previous store's files:
+renaming the new manifest into place is the single atomic commit point,
+so an interrupted save at any moment leaves the old store fully loadable
+(plus, at worst, some orphaned files no manifest references).
+
+Integrity is checked per shard: the manifest records each shard's line
+count and the CRC-32 of its bytes; the reader verifies both as it
+streams and raises :class:`StoreCorruptionError` *naming the shard* on
+any mismatch, truncated line, or undecodable record.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from typing import Any
+
+__all__ = [
+    "STORE_SCHEMA_VERSION",
+    "MANIFEST_NAME",
+    "DEFAULT_SHARD_COUNT",
+    "ID_HASH",
+    "StoreError",
+    "StoreCorruptionError",
+    "shard_of",
+    "shard_base",
+    "shard_filename",
+    "encode_record",
+]
+
+#: Bumped on any incompatible layout or record change.
+STORE_SCHEMA_VERSION = 1
+
+MANIFEST_NAME = "manifest.json"
+
+#: Default number of shards per record kind.  Small enough that a full
+#: load opens a handful of files, large enough that a subtree load over
+#: a localised region of a big case skips most of them.
+DEFAULT_SHARD_COUNT = 8
+
+#: Name of the identifier-hash function recorded in the manifest, so a
+#: reader can refuse a store written with a different placement scheme.
+ID_HASH = "crc32"
+
+
+class StoreError(ValueError):
+    """Raised for store misuse: missing manifest, wrong schema or kind,
+    unknown identifiers, unreadable layout."""
+
+
+class StoreCorruptionError(StoreError):
+    """A shard's content contradicts the manifest.
+
+    ``shard`` names the offending file so operators can restore or
+    regenerate exactly the damaged piece of a large store.
+    """
+
+    def __init__(self, shard: str, detail: str) -> None:
+        super().__init__(f"shard {shard!r}: {detail}")
+        self.shard = shard
+        self.detail = detail
+
+
+def shard_of(identifier: str, shard_count: int) -> int:
+    """The shard index an identifier hashes to (stable across runs)."""
+    return zlib.crc32(identifier.encode("utf-8")) % shard_count
+
+
+def shard_base(kind: str, index: int) -> str:
+    """The kind+index stem of a shard filename (``nodes-0003``)."""
+    return f"{kind}-{index:04d}"
+
+
+def shard_filename(base: str, checksum: int) -> str:
+    """The content-addressed final filename of a finished shard."""
+    return f"{base}-{checksum:08x}.jsonl"
+
+
+def encode_record(record: dict[str, Any]) -> bytes:
+    """One JSONL line, deterministic bytes (key order = insertion order)."""
+    return json.dumps(record, separators=(",", ":")).encode("utf-8") + b"\n"

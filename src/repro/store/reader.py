@@ -1,0 +1,382 @@
+"""Readers for the persistent sharded argument store.
+
+:class:`StoredArgument` is the handle other layers consume.  It supports
+three access patterns, cheapest first:
+
+* **streaming** — :meth:`StoredArgument.iter_nodes` /
+  :meth:`~StoredArgument.iter_links` heap-merge the shards by ``seq`` and
+  yield records in exact insertion order without holding the case in
+  memory; this is what :func:`repro.core.query.select` uses to scan a
+  stored argument shard by shard;
+* **lazy per-shard** — :meth:`StoredArgument.node` and
+  :meth:`~StoredArgument.subtree` hydrate only the shards an access
+  actually touches (a node lookup reads one shard; a subtree load reads
+  the node and link shards of the reachable region), tracked in
+  :attr:`StoredArgument.shards_read` so tests and benchmarks can assert
+  partial loads really were partial;
+* **full hydration** — :meth:`StoredArgument.load` rebuilds a live
+  :class:`~repro.core.argument.Argument`, replaying every record through
+  the PR 2 batch-mutation layer: one version bump for the whole load,
+  and the mutation delta log carries the entire load as one delta for
+  incremental index consumers.
+
+Every shard is verified as it streams — CRC-32 and record count against
+the manifest, JSON decode per line — and any mismatch raises
+:class:`~repro.store.format.StoreCorruptionError` naming the shard.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+from pathlib import Path
+from typing import Any, Iterator
+from zlib import crc32
+
+from ..core.argument import Argument, Link, LinkKind
+from ..core.case import AssuranceCase, SafetyCriterion
+from ..core.nodes import Node
+from ..notation.json_io import evidence_from_payload, node_from_payload
+from .format import (
+    ID_HASH,
+    MANIFEST_NAME,
+    STORE_SCHEMA_VERSION,
+    StoreCorruptionError,
+    StoreError,
+    shard_of,
+)
+
+__all__ = ["StoredArgument", "load_argument", "load_case"]
+
+
+def _record_seq(record: dict[str, Any]) -> int:
+    return record["seq"]
+
+
+#: Keys every record of a shard kind must carry (validated as the shard
+#: streams, so malformed-but-decodable lines are corruption, not crashes).
+_NODE_KEYS = ("seq", "id", "type", "text")
+_LINK_KEYS = ("seq", "source", "target", "kind")
+_EVIDENCE_KEYS = ("seq", "id", "kind", "description")
+_CITATION_KEYS = ("seq", "solution", "evidence")
+
+
+class StoredArgument:
+    """A lazily-loaded view of one store directory.
+
+    Opening the handle reads only the manifest.  Shards hydrate on
+    demand and stay cached on the handle; :attr:`shards_read` records
+    which shard files have been read (and verified) so far.
+    """
+
+    def __init__(self, directory: Path | str) -> None:
+        self.path = Path(directory)
+        manifest_path = self.path / MANIFEST_NAME
+        if not manifest_path.exists():
+            raise StoreError(f"no store manifest at {manifest_path}")
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except json.JSONDecodeError as error:
+            raise StoreCorruptionError(
+                MANIFEST_NAME, f"manifest is not valid JSON ({error})"
+            ) from None
+        if manifest.get("schema") != STORE_SCHEMA_VERSION:
+            raise StoreError(
+                f"unsupported store schema {manifest.get('schema')!r} "
+                f"(this reader speaks {STORE_SCHEMA_VERSION})"
+            )
+        if manifest.get("kind") not in ("argument", "case"):
+            raise StoreError(f"unknown store kind {manifest.get('kind')!r}")
+        if manifest.get("id_hash") != ID_HASH:
+            raise StoreError(
+                f"store sharded with {manifest.get('id_hash')!r}, "
+                f"not {ID_HASH!r}"
+            )
+        shard_count = manifest.get("shard_count")
+        node_shards = manifest.get("node_shards")
+        link_shards = manifest.get("link_shards")
+        if (
+            not isinstance(shard_count, int)
+            or shard_count < 1
+            or not isinstance(node_shards, list)
+            or not isinstance(link_shards, list)
+            or len(node_shards) != shard_count
+            or len(link_shards) != shard_count
+            or not isinstance(manifest.get("shards"), dict)
+        ):
+            raise StoreCorruptionError(
+                MANIFEST_NAME,
+                f"inconsistent shard map (shard_count {shard_count!r}, "
+                f"{len(node_shards or ())} node / "
+                f"{len(link_shards or ())} link shard names)",
+            )
+        self.manifest = manifest
+        self.name: str = manifest["name"]
+        self.kind: str = manifest["kind"]
+        self.shard_count: int = shard_count
+        self._node_shard_names: list[str] = node_shards
+        self._link_shard_names: list[str] = link_shards
+        #: Shard files fully read (and checksum-verified) so far.
+        self.shards_read: set[str] = set()
+        # Lazy caches: shard index -> {node id: (seq, Node)} and
+        # shard index -> {source id: [(seq, Link), ...]} in seq order.
+        self._node_shards: dict[int, dict[str, tuple[int, Node]]] = {}
+        self._link_shards: dict[int, dict[str, list[tuple[int, Link]]]] = {}
+
+    def __len__(self) -> int:
+        return self.manifest["node_count"]
+
+    def __contains__(self, identifier: str) -> bool:
+        shard = self._node_shard(shard_of(identifier, self.shard_count))
+        return identifier in shard
+
+    # -- verified shard streaming -----------------------------------------
+
+    def _stream_shard(
+        self, filename: str, required: tuple[str, ...] = ("seq",)
+    ) -> Iterator[dict[str, Any]]:
+        """Yield a shard's records, verifying integrity as they stream.
+
+        Per-line JSON errors — including lines that decode to something
+        other than a record carrying the ``required`` keys — raise at
+        the offending line; the checksum and record count are confirmed
+        once the shard is exhausted, so a fully-consumed stream implies
+        an intact shard.
+        """
+        meta = self.manifest["shards"].get(filename)
+        if meta is None:
+            raise StoreError(f"shard {filename!r} not in the manifest")
+        shard_path = self.path / filename
+        if not shard_path.exists():
+            raise StoreCorruptionError(filename, "shard file is missing")
+        checksum = 0
+        count = 0
+        with shard_path.open("rb") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                checksum = crc32(line, checksum)
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as error:
+                    raise StoreCorruptionError(
+                        filename,
+                        f"line {line_number} is not valid JSON ({error})",
+                    ) from None
+                if not isinstance(record, dict) or any(
+                    key not in record for key in required
+                ):
+                    raise StoreCorruptionError(
+                        filename,
+                        f"line {line_number} is not a store record "
+                        f"(expected an object with {', '.join(required)})",
+                    )
+                count += 1
+                yield record
+        if count != meta["records"]:
+            raise StoreCorruptionError(
+                filename,
+                f"expected {meta['records']} record(s), found {count} "
+                "(truncated or padded shard)",
+            )
+        if checksum != meta["crc32"]:
+            raise StoreCorruptionError(
+                filename,
+                f"checksum mismatch (manifest {meta['crc32']}, "
+                f"content {checksum})",
+            )
+        self.shards_read.add(filename)
+
+    def iter_node_records(self) -> Iterator[dict[str, Any]]:
+        """All node records, merged across shards into ``seq`` order."""
+        return heapq.merge(
+            *(
+                self._stream_shard(name, _NODE_KEYS)
+                for name in self._node_shard_names
+            ),
+            key=_record_seq,
+        )
+
+    def iter_nodes(self) -> Iterator[Node]:
+        """Stream every node in original insertion order."""
+        for record in self.iter_node_records():
+            yield node_from_payload(record)
+
+    def iter_links(self) -> Iterator[Link]:
+        """Stream every link in original insertion order."""
+        for record in heapq.merge(
+            *(
+                self._stream_shard(name, _LINK_KEYS)
+                for name in self._link_shard_names
+            ),
+            key=_record_seq,
+        ):
+            yield Link(
+                record["source"], record["target"], LinkKind(record["kind"])
+            )
+
+    # -- lazy per-shard access ---------------------------------------------
+
+    def _node_shard(self, index: int) -> dict[str, tuple[int, Node]]:
+        shard = self._node_shards.get(index)
+        if shard is None:
+            shard = {
+                record["id"]: (record["seq"], node_from_payload(record))
+                for record in self._stream_shard(
+                    self._node_shard_names[index], _NODE_KEYS
+                )
+            }
+            self._node_shards[index] = shard
+        return shard
+
+    def _link_shard(self, index: int) -> dict[str, list[tuple[int, Link]]]:
+        shard = self._link_shards.get(index)
+        if shard is None:
+            shard = {}
+            for record in self._stream_shard(
+                self._link_shard_names[index], _LINK_KEYS
+            ):
+                link = Link(
+                    record["source"], record["target"],
+                    LinkKind(record["kind"]),
+                )
+                shard.setdefault(link.source, []).append(
+                    (record["seq"], link)
+                )
+            self._link_shards[index] = shard
+        return shard
+
+    def node(self, identifier: str) -> Node:
+        """Fetch one node, hydrating only its shard."""
+        shard = self._node_shard(shard_of(identifier, self.shard_count))
+        try:
+            return shard[identifier][1]
+        except KeyError:
+            raise StoreError(
+                f"unknown node {identifier!r} in store {self.name!r}"
+            ) from None
+
+    def subtree(self, root_id: str) -> Argument:
+        """Hydrate only the region reachable from ``root_id``.
+
+        Follows outgoing links of every kind — the same reachable set as
+        the in-memory :meth:`~repro.core.argument.Argument.subtree` —
+        but reads only the link shards of frontier nodes and the node
+        shards of members, so a localised sub-argument of a huge store
+        touches a strict subset of the shards a full load would.
+        """
+        self.node(root_id)
+        members: set[str] = set()
+        gathered: list[tuple[int, Link]] = []
+        stack = [root_id]
+        while stack:
+            identifier = stack.pop()
+            if identifier in members:
+                continue
+            members.add(identifier)
+            outgoing = self._link_shard(
+                shard_of(identifier, self.shard_count)
+            ).get(identifier, ())
+            for seq, link in outgoing:
+                gathered.append((seq, link))
+                if link.target not in members:
+                    stack.append(link.target)
+        ordered_nodes = sorted(
+            self._node_shard(shard_of(identifier, self.shard_count))
+            [identifier]
+            for identifier in members
+        )
+        gathered.sort()
+        fragment = Argument(name=f"{self.name}/{root_id}")
+        with fragment.batch():
+            fragment.add_nodes(node for _, node in ordered_nodes)
+            fragment.add_links(
+                (link.source, link.target, link.kind)
+                for _, link in gathered
+            )
+        return fragment
+
+    # -- full hydration -----------------------------------------------------
+
+    def load(self, into: type[Argument] | None = None) -> Argument:
+        """Rebuild the full in-memory argument.
+
+        Streams shards through the batch-mutation layer: the whole load
+        is one logical change (a single version bump), and the mutation
+        log records it as one contiguous delta.  ``into`` names the
+        class to instantiate (an :class:`Argument` subclass taking the
+        same constructor), so ``MyArgument.load(path)`` really returns a
+        ``MyArgument``.
+        """
+        argument = (into or Argument)(name=self.name)
+        with argument.batch():
+            argument.add_nodes(self.iter_nodes())
+            argument.add_links(
+                (link.source, link.target, link.kind)
+                for link in self.iter_links()
+            )
+        # Cross-check the manifest's totals: every shard verified
+        # individually, but a tampered manifest could still understate
+        # the shard list coherently — loudness beats silent data loss.
+        if (
+            len(argument) != self.manifest["node_count"]
+            or len(argument.links) != self.manifest["link_count"]
+        ):
+            raise StoreCorruptionError(
+                MANIFEST_NAME,
+                f"loaded {len(argument)} nodes / "
+                f"{len(argument.links)} links, manifest claims "
+                f"{self.manifest['node_count']} / "
+                f"{self.manifest['link_count']}",
+            )
+        return argument
+
+
+def load_argument(
+    directory: Path | str, *, into: type[Argument] | None = None
+) -> Argument:
+    """Fully hydrate the argument stored in a directory."""
+    return StoredArgument(directory).load(into=into)
+
+
+def load_case(
+    directory: Path | str, *, into: type[AssuranceCase] | None = None
+) -> AssuranceCase:
+    """Fully hydrate an assurance case stored by
+    :func:`~repro.store.writer.save_case`.
+
+    The lifecycle log restarts (see the writer); evidence and citations
+    replay in their original registration order, so a reloaded case
+    re-serialises byte-identically.  ``into`` names the
+    :class:`AssuranceCase` subclass to instantiate.
+    """
+    stored = StoredArgument(directory)
+    if stored.kind != "case":
+        raise StoreError(
+            f"store at {stored.path} holds an argument, not a case"
+        )
+    argument = stored.load()
+    manifest = stored.manifest
+    for key in ("case_name", "evidence_shard", "citations_shard"):
+        if not isinstance(manifest.get(key), str):
+            raise StoreCorruptionError(
+                MANIFEST_NAME, f"case manifest is missing {key!r}"
+            )
+    criterion = None
+    if manifest.get("criterion"):
+        criterion = SafetyCriterion(
+            statement=manifest["criterion"]["statement"],
+            risk_metric=manifest["criterion"]["risk_metric"],
+            threshold=manifest["criterion"]["threshold"],
+        )
+    case = (into or AssuranceCase)(
+        manifest["case_name"], argument, criterion
+    )
+    for record in stored._stream_shard(
+        manifest["evidence_shard"], _EVIDENCE_KEYS
+    ):
+        case.evidence.add(evidence_from_payload(record))
+    for record in stored._stream_shard(
+        manifest["citations_shard"], _CITATION_KEYS
+    ):
+        for evidence_id in record["evidence"]:
+            case.cite(record["solution"], evidence_id)
+    return case

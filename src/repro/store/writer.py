@@ -1,0 +1,311 @@
+"""Streaming writer for the persistent sharded argument store.
+
+The writer never materialises a full JSON document: it opens one handle
+per shard and streams records — nodes, then links, then (for cases)
+evidence and citations — one line at a time, accumulating each shard's
+record count and CRC-32 as it goes.  Memory stays O(shard handles), not
+O(case), so an argument that barely fits in RAM can still be saved.
+
+Node and link payloads reuse the :mod:`repro.notation.json_io` schema
+(:func:`~repro.notation.json_io.node_payload`), extended with a ``seq``
+field recording insertion order; node metadata is written in canonical
+form (duplicate attribute names collapsed, sorted by name — exactly what
+a JSON round-trip produces) so save → load → save is byte-stable.
+
+Crash safety: shards stream to ``.tmp`` files and finish under
+content-addressed names (``nodes-0003-<crc>.jsonl``) that never collide
+with a previous store's files; renaming the new manifest into place is
+the single atomic commit point.  An interrupted save therefore leaves
+the previous store fully loadable — at worst with some orphaned files no
+manifest references — and files the store never wrote are never touched.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable
+from zlib import crc32
+
+from ..core.argument import Argument, Link
+from ..core.case import AssuranceCase
+from ..core.evidence import EvidenceItem
+from ..core.nodes import Node
+from ..notation.json_io import evidence_payload, node_payload
+from .format import (
+    DEFAULT_SHARD_COUNT,
+    ID_HASH,
+    MANIFEST_NAME,
+    STORE_SCHEMA_VERSION,
+    StoreError,
+    encode_record,
+    shard_base,
+    shard_filename,
+    shard_of,
+)
+
+__all__ = ["save_argument", "save_case"]
+
+#: Suffix for in-flight files; a save streams everything under these
+#: names and only renames finished files over the final ones.
+_TMP_SUFFIX = ".tmp"
+
+
+class _ShardWriter:
+    """One shard file: append records, track count and checksum.
+
+    Streams to ``<base>.tmp``; :meth:`finish` seals the file under its
+    content-addressed final name, so an interrupted save never damages
+    an existing store.
+    """
+
+    __slots__ = ("base", "_directory", "_handle", "records", "crc")
+
+    def __init__(self, directory: Path, base: str) -> None:
+        self.base = base
+        self._directory = directory
+        self._handle = (directory / (base + _TMP_SUFFIX)).open("wb")
+        self.records = 0
+        self.crc = 0
+
+    def write(self, record: dict[str, Any]) -> None:
+        line = encode_record(record)
+        self._handle.write(line)
+        self.crc = crc32(line, self.crc)
+        self.records += 1
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def finish(self) -> str:
+        """Rename the closed tmp file to its final name; return it.
+
+        Content-addressed names make this collision-free against any
+        *different* previous content; identical content re-seals the
+        identical file.
+        """
+        name = shard_filename(self.base, self.crc)
+        (self._directory / (self.base + _TMP_SUFFIX)).replace(
+            self._directory / name
+        )
+        return name
+
+    @property
+    def entry(self) -> dict[str, int]:
+        return {"records": self.records, "crc32": self.crc}
+
+
+def _node_record(seq: int, node: Node) -> dict[str, Any]:
+    payload = node_payload(node)
+    if "metadata" in payload:
+        # Canonical form: duplicate attribute names collapse to the last
+        # entry (metadata_dict semantics) and names sort — the same shape
+        # a load produces, which makes re-serialisation byte-stable.
+        payload["metadata"] = {
+            name: list(params)
+            for name, params in sorted(node.metadata_dict().items())
+        }
+    return {"seq": seq, **payload}
+
+
+def _link_record(seq: int, link: Link) -> dict[str, Any]:
+    return {
+        "seq": seq,
+        "source": link.source,
+        "target": link.target,
+        "kind": link.kind.value,
+    }
+
+
+def _write_sharded(
+    directory: Path,
+    bases: list[str],
+    records: Iterable[tuple[int, dict[str, Any]]],
+) -> tuple[list[str], dict[str, dict[str, int]]]:
+    """Stream ``(shard_index, record)`` pairs; seal and name the shards.
+
+    Returns the final filenames in shard-index order plus their
+    manifest entries.
+    """
+    writers = [_ShardWriter(directory, base) for base in bases]
+    try:
+        for index, record in records:
+            writers[index].write(record)
+    finally:
+        for writer in writers:
+            writer.close()
+    names = [writer.finish() for writer in writers]
+    return names, {
+        name: writer.entry for name, writer in zip(names, writers)
+    }
+
+
+def _write_graph(
+    argument: Argument, directory: Path, shard_count: int
+) -> tuple[list[str], list[str], dict[str, dict[str, int]]]:
+    """Stream an argument's nodes and links into their shards."""
+    node_names, shards = _write_sharded(
+        directory,
+        [shard_base("nodes", i) for i in range(shard_count)],
+        (
+            (shard_of(node.identifier, shard_count), _node_record(seq, node))
+            for seq, node in enumerate(argument.nodes)
+        ),
+    )
+    link_names, link_shards = _write_sharded(
+        directory,
+        [shard_base("links", i) for i in range(shard_count)],
+        (
+            (shard_of(link.source, shard_count), _link_record(seq, link))
+            for seq, link in enumerate(argument.links)
+        ),
+    )
+    shards.update(link_shards)
+    return node_names, link_names, shards
+
+
+def _previous_shards(directory: Path) -> set[str]:
+    """Shard files the existing manifest claims, if one is readable."""
+    manifest_path = directory / MANIFEST_NAME
+    if not manifest_path.exists():
+        return set()
+    try:
+        manifest = json.loads(manifest_path.read_text())
+        return set(manifest["shards"])
+    except (json.JSONDecodeError, KeyError, TypeError):
+        return set()  # unreadable old store: leave its files alone
+
+
+def _commit(directory: Path, manifest: dict[str, Any]) -> None:
+    """Atomically swap the new manifest in, then sweep the old shards.
+
+    Every shard already sits sealed under a content-addressed name, so
+    the manifest rename is the commit point: before it, the old store is
+    untouched; after it, the new one is complete.  Shards the old
+    manifest listed that the new one does not are removed only after the
+    commit; files the store never wrote are never deleted.
+    """
+    stale = _previous_shards(directory) - set(manifest["shards"])
+    tmp = directory / (MANIFEST_NAME + _TMP_SUFFIX)
+    tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    tmp.replace(directory / MANIFEST_NAME)
+    for name in stale:
+        path = directory / name
+        if path.exists():
+            path.unlink()
+
+
+def _prepare(directory: Path | str, shard_count: int | None) -> tuple[Path, int]:
+    shard_count = DEFAULT_SHARD_COUNT if shard_count is None else shard_count
+    if shard_count < 1:
+        raise StoreError(f"shard_count must be >= 1, not {shard_count}")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    return directory, shard_count
+
+
+def save_argument(
+    argument: Argument,
+    directory: Path | str,
+    *,
+    shard_count: int | None = None,
+) -> dict[str, Any]:
+    """Write an argument to a store directory; returns the manifest.
+
+    Replaces any store already in the directory, safely: new shards land
+    under fresh content-addressed names and the manifest rename is the
+    atomic commit, so an interrupted save leaves the previous store
+    loadable.
+    """
+    directory, shard_count = _prepare(directory, shard_count)
+    node_shards, link_shards, shards = _write_graph(
+        argument, directory, shard_count
+    )
+    manifest: dict[str, Any] = {
+        "schema": STORE_SCHEMA_VERSION,
+        "kind": "argument",
+        "name": argument.name,
+        "id_hash": ID_HASH,
+        "shard_count": shard_count,
+        "node_count": len(argument),
+        "link_count": len(argument.links),
+        "node_shards": node_shards,
+        "link_shards": link_shards,
+        "shards": shards,
+    }
+    _commit(directory, manifest)
+    return manifest
+
+
+def _evidence_record(seq: int, item: EvidenceItem) -> dict[str, Any]:
+    return {"seq": seq, **evidence_payload(item)}
+
+
+def save_case(
+    case: AssuranceCase,
+    directory: Path | str,
+    *,
+    shard_count: int | None = None,
+) -> dict[str, Any]:
+    """Write a whole assurance case to a store directory.
+
+    The argument is sharded exactly as :func:`save_argument` lays it
+    out; evidence and citations stream to their own JSONL shards.  The
+    lifecycle log is intentionally not persisted (matching
+    :func:`~repro.notation.json_io.case_from_json`): history belongs to
+    the live case, and a loaded case starts a fresh log.
+    """
+    directory, shard_count = _prepare(directory, shard_count)
+    node_shards, link_shards, shards = _write_graph(
+        case.argument, directory, shard_count
+    )
+    (evidence_shard,), evidence_meta = _write_sharded(
+        directory,
+        ["evidence"],
+        ((0, _evidence_record(seq, item))
+         for seq, item in enumerate(case.evidence)),
+    )
+    shards.update(evidence_meta)
+    def _citation_records() -> Iterable[tuple[int, dict[str, Any]]]:
+        seq = 0
+        for node in case.argument.nodes:
+            cited = case.citations(node.identifier)
+            if not cited:
+                continue
+            yield (0, {
+                "seq": seq,
+                "solution": node.identifier,
+                "evidence": [item.identifier for item in cited],
+            })
+            seq += 1
+
+    (citations_shard,), citations_meta = _write_sharded(
+        directory, ["citations"], _citation_records()
+    )
+    shards.update(citations_meta)
+    manifest: dict[str, Any] = {
+        "schema": STORE_SCHEMA_VERSION,
+        "kind": "case",
+        "name": case.argument.name,
+        "case_name": case.name,
+        "criterion": (
+            {
+                "statement": case.criterion.statement,
+                "risk_metric": case.criterion.risk_metric,
+                "threshold": case.criterion.threshold,
+            }
+            if case.criterion
+            else None
+        ),
+        "id_hash": ID_HASH,
+        "shard_count": shard_count,
+        "node_count": len(case.argument),
+        "link_count": len(case.argument.links),
+        "node_shards": node_shards,
+        "link_shards": link_shards,
+        "evidence_shard": evidence_shard,
+        "citations_shard": citations_shard,
+        "shards": shards,
+    }
+    _commit(directory, manifest)
+    return manifest

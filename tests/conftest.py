@@ -1,19 +1,109 @@
-"""Shared fixtures for the repro test suite."""
+"""Shared fixtures for the repro test suite.
+
+Also home of the **round-trip equivalence oracle** shared by the store
+conformance harness (``test_store_roundtrip.py``) and the legacy
+notation round-trip properties (``test_notation_roundtrip.py``): one
+canonical form for nodes/arguments, one randomized argument generator
+(driving the seeded node generator from ``test_invariants.py``), so
+every persistence format is judged against the same notion of
+"the same argument".
+"""
 
 from __future__ import annotations
 
 import importlib.util
 import random
 from pathlib import Path
+from typing import Any
 
 import pytest
 
 from repro.core import ArgumentBuilder
-from repro.core.argument import Argument
+from repro.core.argument import Argument, LinkKind
 from repro.core.case import AssuranceCase, SafetyCriterion
 from repro.core.evidence import EvidenceItem, EvidenceKind
 
 _BENCHMARK_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+
+
+# -- the shared round-trip equivalence oracle -------------------------------
+
+
+def canonical_node(node, *, with_metadata: bool = True) -> tuple:
+    """A node's format-independent identity.
+
+    Metadata compares via ``metadata_dict()`` (duplicate attribute names
+    collapse to the last entry) sorted by name — exactly the semantics
+    every query predicate reads and every JSON-object-based format can
+    represent.  ``with_metadata=False`` is for formats that do not carry
+    metadata at all (textual GSN, CAE).
+    """
+    base: tuple[Any, ...] = (
+        node.identifier,
+        node.node_type,
+        node.text,
+        node.undeveloped,
+        node.module,
+    )
+    if with_metadata:
+        return base + (tuple(sorted(node.metadata_dict().items())),)
+    return base
+
+
+def canonical_argument(argument, *, with_metadata: bool = True) -> tuple:
+    """An argument's format-independent identity: node set + link set."""
+    return (
+        frozenset(
+            canonical_node(node, with_metadata=with_metadata)
+            for node in argument.nodes
+        ),
+        frozenset(argument.links),
+    )
+
+
+def random_argument(
+    seed: int,
+    size: int,
+    *,
+    wellformed_kinds: bool = False,
+    name: str | None = None,
+) -> Argument:
+    """A seeded random argument of ``size`` nodes, acyclic by construction.
+
+    Node payloads (types, texts, metadata — including the deliberately
+    awkward duplicate-attribute metadata) come from the randomized
+    generator in ``test_invariants.py``; links run only from older to
+    newer nodes.  With ``wellformed_kinds=True`` the link kind follows
+    the target's nature (contextual targets get InContextOf, the rest
+    SupportedBy) — the discipline the CAE conversion round-trips exactly;
+    otherwise kinds are random, exercising ill-formed shapes too.
+    """
+    from test_invariants import _random_node
+
+    rng = random.Random(seed)
+    argument = Argument(name or f"random-{seed}-{size}")
+    nodes = [_random_node(rng, f"n{index}") for index in range(size)]
+    argument.add_nodes(nodes)
+    specs: list[tuple[str, str, LinkKind]] = []
+    seen: set[tuple[str, str, LinkKind]] = set()
+    for index in range(1, size):
+        target = nodes[index]
+        for _ in range(rng.choice((1, 1, 2))):
+            source = nodes[rng.randrange(index)]
+            if wellformed_kinds:
+                kind = (
+                    LinkKind.IN_CONTEXT_OF
+                    if target.node_type.is_contextual
+                    else LinkKind.SUPPORTED_BY
+                )
+            else:
+                kind = rng.choice(tuple(LinkKind))
+            spec = (source.identifier, target.identifier, kind)
+            if spec not in seen:
+                seen.add(spec)
+                specs.append(spec)
+    argument.add_links(specs)
+    return argument
 
 
 def load_benchmark_module(name: str):

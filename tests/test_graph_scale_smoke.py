@@ -29,6 +29,11 @@ def test_bench_graph_scale_smoke(graph_scale_bench, tmp_path):
         "deep_chain", "wide_fan", "dense_dag"
     }
 
+    # The persistence workload rides along (details are pinned by
+    # tests/test_store_smoke.py).
+    store = on_disk["store_workload"]
+    assert store["partial_shards_read"] < store["full_shards_read"]
+
     for shape, data in report["shapes"].items():
         assert data["nodes"] >= SMOKE_NODES * 0.9, shape
         for key in ("construct_s", "statistics_s", "find_cycle_s",

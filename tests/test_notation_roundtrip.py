@@ -1,0 +1,180 @@
+"""Round-trip properties for the legacy notation writers.
+
+The persistent store's conformance harness (``test_store_roundtrip.py``)
+and these tests share one equivalence oracle — ``conftest.canonical_node``
+/ ``canonical_argument`` — so "round-trips" means the same thing for the
+sharded store, the JSON document form, textual GSN, and CAE:
+
+* ``json_io`` preserves everything the oracle measures, metadata in
+  canonical (duplicate-collapsed, sorted) form;
+* ``gsn_text`` preserves structure, texts, undeveloped marks, and away
+  modules — but not metadata (``with_metadata=False``);
+* ``cae`` preserves the same, for arguments whose link kinds follow the
+  GSN discipline (contextual targets via InContextOf), with synthesised
+  bridge nodes collapsing back exactly.
+
+Plus the document-validation contract: malformed JSON documents fail up
+front with a clear :class:`ValueError` (duplicate node ids, dangling
+link endpoints, citations of unknown solutions or evidence).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from conftest import canonical_argument, random_argument
+from repro.notation.cae import cae_to_gsn, gsn_to_cae
+from repro.notation.gsn_text import parse, serialise
+from repro.notation.json_io import (
+    argument_from_json,
+    argument_to_json,
+    case_from_json,
+    case_to_json,
+)
+
+SEEDS = (101, 202, 303)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_json_roundtrip_random(seed: int) -> None:
+    argument = random_argument(seed, 200)
+    restored = argument_from_json(argument_to_json(argument))
+    assert canonical_argument(restored) == canonical_argument(argument)
+    assert restored.name == argument.name
+    assert restored.statistics() == argument.statistics()
+    # A second trip is exact: the first canonicalised the metadata.
+    again = argument_from_json(argument_to_json(restored))
+    assert again == restored
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_gsn_text_roundtrip_random(seed: int) -> None:
+    argument = random_argument(seed, 200)
+    restored = parse(serialise(argument))
+    assert canonical_argument(restored, with_metadata=False) == \
+        canonical_argument(argument, with_metadata=False)
+    assert restored.name == argument.name
+    # Serialisation is stable once metadata (which the format cannot
+    # carry) is out of the picture.
+    assert serialise(restored) == serialise(argument)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_cae_roundtrip_random(seed: int) -> None:
+    # CAE's converters round-trip arguments whose link kinds follow the
+    # GSN discipline; the synthesised goal-to-goal bridge nodes must
+    # collapse back without trace.
+    argument = random_argument(seed, 200, wellformed_kinds=True)
+    case = gsn_to_cae(argument)
+    restored = cae_to_gsn(case)
+    assert canonical_argument(restored, with_metadata=False) == \
+        canonical_argument(argument, with_metadata=False)
+    assert restored.name == argument.name
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_store_and_json_agree(seed: int, tmp_path) -> None:
+    """The sharded store and the document form are one schema."""
+    from repro.core.argument import Argument
+
+    argument = random_argument(seed, 150)
+    argument.save(tmp_path / "arg.store")
+    via_store = Argument.load(tmp_path / "arg.store")
+    via_json = argument_from_json(argument_to_json(argument))
+    assert via_store == via_json
+    assert canonical_argument(via_store) == canonical_argument(via_json)
+
+
+# -- document validation (clear errors before any graph is built) ----------
+
+
+def _argument_document(nodes, links, name="doc") -> str:
+    return json.dumps({
+        "schema": 1, "name": name, "nodes": nodes, "links": links,
+    })
+
+
+class TestArgumentDocumentValidation:
+    def test_duplicate_node_id_rejected(self) -> None:
+        document = _argument_document(
+            [
+                {"id": "G1", "type": "goal", "text": "The claim holds"},
+                {"id": "G1", "type": "goal", "text": "A different claim"},
+            ],
+            [],
+        )
+        with pytest.raises(ValueError, match="duplicate node id 'G1'"):
+            argument_from_json(document)
+
+    def test_dangling_link_source_rejected(self) -> None:
+        document = _argument_document(
+            [{"id": "G1", "type": "goal", "text": "The claim holds"}],
+            [{"source": "G9", "target": "G1", "kind": "supported_by"}],
+        )
+        with pytest.raises(ValueError, match="dangling source.*'G9'"):
+            argument_from_json(document)
+
+    def test_dangling_link_target_rejected(self) -> None:
+        document = _argument_document(
+            [{"id": "G1", "type": "goal", "text": "The claim holds"}],
+            [{"source": "G1", "target": "Sn9", "kind": "supported_by"}],
+        )
+        with pytest.raises(ValueError, match="dangling target.*'Sn9'"):
+            argument_from_json(document)
+
+class TestCaseDocumentValidation:
+    def _case_document(self, *, citations, nodes=None) -> str:
+        return json.dumps({
+            "schema": 1,
+            "name": "case",
+            "criterion": None,
+            "argument": {
+                "schema": 1,
+                "name": "arg",
+                "nodes": nodes or [
+                    {"id": "G1", "type": "goal", "text": "The claim holds",
+                     "undeveloped": True},
+                    {"id": "Sn1", "type": "solution", "text": "Test report"},
+                ],
+                "links": [],
+            },
+            "evidence": [
+                {"id": "ev1", "kind": "testing", "description": "unit tests"},
+            ],
+            "citations": citations,
+        })
+
+    def test_duplicate_node_id_in_case_argument_rejected(self) -> None:
+        nodes = [
+            {"id": "G1", "type": "goal", "text": "The claim holds",
+             "undeveloped": True},
+            {"id": "G1", "type": "goal", "text": "Again"},
+        ]
+        with pytest.raises(ValueError, match="duplicate node id 'G1'"):
+            case_from_json(self._case_document(citations={}, nodes=nodes))
+
+    def test_citation_of_unknown_solution_rejected(self) -> None:
+        document = self._case_document(citations={"Sn9": ["ev1"]})
+        with pytest.raises(
+            ValueError, match="unknown solution node 'Sn9'"
+        ):
+            case_from_json(document)
+
+    def test_citation_of_unknown_evidence_rejected(self) -> None:
+        document = self._case_document(citations={"Sn1": ["ev9"]})
+        with pytest.raises(ValueError, match="unknown evidence 'ev9'"):
+            case_from_json(document)
+
+    def test_nested_argument_schema_still_checked(self) -> None:
+        payload = json.loads(self._case_document(citations={}))
+        payload["argument"]["schema"] = 99
+        with pytest.raises(ValueError, match="unsupported schema version"):
+            case_from_json(json.dumps(payload))
+
+    def test_valid_case_still_parses(self, sample_case) -> None:
+        restored = case_from_json(case_to_json(sample_case))
+        assert restored.argument == sample_case.argument
+        assert [i.identifier for i in restored.evidence] == \
+            [i.identifier for i in sample_case.evidence]

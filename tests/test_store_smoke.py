@@ -1,0 +1,37 @@
+"""Tier-1 smoke check for the store workload in
+``benchmarks/bench_graph_scale.py``.
+
+Mirrors ``test_graph_scale_smoke.py``: runs the persistence workload at
+small size on every test run so save/load regressions fail loudly in CI.
+The full-size run (``python benchmarks/bench_graph_scale.py``) records
+the 10k-node numbers in the committed ``BENCH_graph_scale.json``; this
+smoke keeps that path healthy and pins the partial-load contract —
+``bench_store_workload`` itself asserts the loaded argument equals the
+original and the subtree partial load matches the in-memory
+``subtree()``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+pytestmark = pytest.mark.store
+
+SMOKE_NODES = 800
+
+
+def test_bench_store_smoke(graph_scale_bench, tmp_path):
+    result = graph_scale_bench.bench_store_workload(SMOKE_NODES, tmp_path)
+
+    assert result["nodes"] >= SMOKE_NODES * 0.9
+    assert result["links"] >= result["nodes"] - 1
+    for key in ("save_s", "load_s", "subtree_load_s"):
+        assert result[key] >= 0.0, key
+    assert result["store_bytes"] > 0
+
+    # The partial subtree load must hydrate strictly fewer shards than
+    # full hydration — the point of sharding by id-hash.
+    assert result["partial_shards_read"] < result["full_shards_read"]
+    assert result["full_shards_read"] == 2 * result["shard_count"]
+    # A fan leaf's subtree is just the leaf.
+    assert result["subtree_nodes"] == 1
