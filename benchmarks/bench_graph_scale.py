@@ -703,6 +703,399 @@ def bench_mutation_workload(n: int, chunk: int | None = None) -> dict[str, Any]:
     }
 
 
+# -- the well-formedness workload ------------------------------------------
+#
+# PR 4's scoped rule engine runs one rule set four ways; this workload
+# measures all of them on a GSN-shaped case saved through the store:
+#
+# * **full** — the pre-scoped baseline, preserved verbatim below the way
+#   PR 1 preserved SeedArgument: RuleSet.check used to _hydrate the
+#   StoredArgument and then run whole-argument rule functions, each
+#   scanning every link with a node lookup apiece;
+# * **streaming** — check the shards directly with the node-type sidecar,
+#   never constructing an Argument (asserted via the hydration flag);
+# * **parallel** — partition the streams across process workers (on a
+#   single-core host this degrades to the streaming path; the effective
+#   worker count is recorded);
+# * **incremental** — a mutation-heavy editing session where each round
+#   re-checks via the delta-consuming IncrementalChecker vs a full
+#   scoped recheck, asserting identical violations every round.
+
+
+def _legacy_gsn_rules():
+    """The pre-PR-4 whole-argument GSN rule set, preserved verbatim.
+
+    These are the monolithic ``Callable[[Argument], list[Violation]]``
+    rule bodies exactly as ``core/wellformed.py`` shipped them before
+    the scoped engine (modulo the solution-leaf index walk, kept
+    index-backed as it was).  Adapted through the legacy-``Rule`` path
+    they still measure the old cost model: full hydration plus one scan
+    of the link list per rule with an ``argument.node()`` lookup per
+    link.
+    """
+    from repro.core.nodes import looks_propositional
+    from repro.core.wellformed import Rule, RuleSet, Violation
+
+    def supported_by_targets(argument):
+        allowed = {NodeType.GOAL, NodeType.STRATEGY, NodeType.SOLUTION,
+                   NodeType.AWAY_GOAL}
+        out = []
+        for link in argument.links:
+            if link.kind is not LinkKind.SUPPORTED_BY:
+                continue
+            target = argument.node(link.target)
+            if target.node_type not in allowed:
+                out.append(Violation(
+                    "supported-by-target", str(link),
+                    f"SupportedBy cannot target a {target.node_type.value}",
+                ))
+        return out
+
+    def supported_by_sources(argument):
+        allowed = {NodeType.GOAL, NodeType.STRATEGY}
+        out = []
+        for link in argument.links:
+            if link.kind is not LinkKind.SUPPORTED_BY:
+                continue
+            source = argument.node(link.source)
+            if source.node_type not in allowed:
+                out.append(Violation(
+                    "supported-by-source", str(link),
+                    f"a {source.node_type.value} cannot cite support",
+                ))
+        return out
+
+    def context_targets(argument):
+        out = []
+        for link in argument.links:
+            if link.kind is not LinkKind.IN_CONTEXT_OF:
+                continue
+            target = argument.node(link.target)
+            if not target.node_type.is_contextual:
+                out.append(Violation(
+                    "in-context-of-target", str(link),
+                    "InContextOf must target context, assumption, or "
+                    f"justification, not {target.node_type.value}",
+                ))
+        return out
+
+    def context_sources(argument):
+        allowed = {NodeType.GOAL, NodeType.STRATEGY, NodeType.AWAY_GOAL}
+        out = []
+        for link in argument.links:
+            if link.kind is not LinkKind.IN_CONTEXT_OF:
+                continue
+            source = argument.node(link.source)
+            if source.node_type not in allowed:
+                out.append(Violation(
+                    "in-context-of-source", str(link),
+                    f"a {source.node_type.value} cannot attach context",
+                ))
+        return out
+
+    def away_goal_no_solution_context(argument):
+        out = []
+        for link in argument.links:
+            if link.kind is not LinkKind.IN_CONTEXT_OF:
+                continue
+            source = argument.node(link.source)
+            target = argument.node(link.target)
+            if (source.node_type is NodeType.AWAY_GOAL
+                    and target.node_type is NodeType.SOLUTION):
+                out.append(Violation(
+                    "away-goal-solution-context", str(link),
+                    "solutions cannot be in the context of an away goal",
+                ))
+        return out
+
+    def solutions_are_leaves(argument):
+        out = []
+        for solution in argument.nodes_of_type(NodeType.SOLUTION):
+            for kind in LinkKind:
+                for child in argument.children(solution.identifier, kind):
+                    link = Link(solution.identifier, child.identifier, kind)
+                    out.append(Violation(
+                        "solution-leaf", str(link),
+                        "a solution cannot be the source of any connector",
+                    ))
+        return out
+
+    def single_root(argument):
+        roots = argument.roots()
+        if len(roots) == 1:
+            return []
+        if not roots:
+            return [Violation(
+                "single-root", argument.name, "argument has no root goal"
+            )]
+        names = ", ".join(r.identifier for r in roots)
+        return [Violation(
+            "single-root", argument.name,
+            f"argument has {len(roots)} root goals ({names})",
+        )]
+
+    def acyclic(argument):
+        cycle = argument.find_cycle()
+        if cycle is None:
+            return []
+        return [Violation(
+            "acyclic", " -> ".join(cycle),
+            "support chain forms a cycle (circular reasoning)",
+        )]
+
+    def developed_or_marked(argument):
+        out = []
+        for node in argument.goals:
+            if node.undeveloped:
+                continue
+            if argument.supporters(node.identifier):
+                continue
+            out.append(Violation(
+                "undeveloped-unmarked", node.identifier,
+                "goal has no support and is not marked undeveloped",
+            ))
+        return out
+
+    def strategies_supported(argument):
+        out = []
+        for node in argument.strategies:
+            if node.undeveloped:
+                continue
+            if argument.supporters(node.identifier):
+                continue
+            out.append(Violation(
+                "strategy-unsupported", node.identifier,
+                "strategy has no sub-goals and is not marked undeveloped",
+            ))
+        return out
+
+    def goals_propositional(argument):
+        out = []
+        for node in (argument.goals
+                     + argument.nodes_of_type(NodeType.AWAY_GOAL)):
+            if not looks_propositional(node.text):
+                out.append(Violation(
+                    "goal-not-proposition", node.identifier,
+                    "goal text does not read as a proposition: "
+                    f"{node.text!r}",
+                ))
+        return out
+
+    return RuleSet("gsn-standard-legacy", (
+        Rule("supported-by-target",
+             "SupportedBy targets goals, strategies, or solutions",
+             supported_by_targets),
+        Rule("supported-by-source",
+             "only goals and strategies cite support",
+             supported_by_sources),
+        Rule("in-context-of-target",
+             "InContextOf targets contextual elements", context_targets),
+        Rule("in-context-of-source",
+             "only goals and strategies attach context", context_sources),
+        Rule("away-goal-solution-context",
+             "solutions cannot contextualise away goals",
+             away_goal_no_solution_context),
+        Rule("solution-leaf", "solutions are terminal",
+             solutions_are_leaves),
+        Rule("single-root", "exactly one root goal", single_root),
+        Rule("acyclic", "no circular support", acyclic),
+        Rule("undeveloped-unmarked",
+             "unsupported goals must be marked undeveloped",
+             developed_or_marked),
+        Rule("strategy-unsupported",
+             "strategies must lead to sub-goals", strategies_supported),
+        Rule("goal-not-proposition",
+             "goal text must be a proposition", goals_propositional),
+    ))
+
+
+def gsn_case(n: int) -> tuple[list[NodeSpec], list[LinkSpec]]:
+    """A well-formed GSN case: root goal, strategy, hazards, solutions."""
+    hazards = max(1, (n - 2) // 2)
+    nodes: list[NodeSpec] = [
+        ("G0", NodeType.GOAL, "The system is acceptably safe", ()),
+        ("S0", NodeType.STRATEGY,
+         "Argument over each identified hazard", ()),
+    ]
+    links: list[LinkSpec] = [("G0", "S0", LinkKind.SUPPORTED_BY)]
+    for index in range(1, hazards + 1):
+        goal = f"G{index}"
+        nodes.append((
+            goal, NodeType.GOAL,
+            f"Hazard {index} is acceptably managed",
+            _metadata_for(index),
+        ))
+        links.append(("S0", goal, LinkKind.SUPPORTED_BY))
+        if index % 25 == 0:
+            context = f"C{index}"
+            nodes.append((context, NodeType.CONTEXT,
+                          f"Operating context item {index}", ()))
+            links.append((goal, context, LinkKind.IN_CONTEXT_OF))
+        solution = f"Sn{index}"
+        nodes.append((solution, NodeType.SOLUTION,
+                      f"Verification record VR-{index}", ()))
+        links.append((goal, solution, LinkKind.SUPPORTED_BY))
+    return nodes, links
+
+
+def _wellformed_edit_round(argument, hazards: int, round_index: int) -> None:
+    """One deterministic editing round: retext, churn a link, add a goal."""
+    from repro.core.nodes import Node as _Node
+
+    target = f"G{1 + (round_index % hazards)}"
+    node = argument.node(target)
+    argument.replace_node(node.with_text(
+        f"Hazard {1 + (round_index % hazards)} is acceptably managed "
+        f"(revalidated r{round_index})"
+    ))
+    link = Link("S0", target, LinkKind.SUPPORTED_BY)
+    argument.remove_link(link)
+    argument.add_link(link.source, link.target, link.kind)
+    if round_index % 5 == 0:
+        # A fresh unsupported goal: violations appear and persist.
+        identifier = f"X{round_index}"
+        argument.add_node(_Node(
+            identifier, NodeType.GOAL,
+            f"Late-added claim {round_index} holds",
+        ))
+        argument.add_link("S0", identifier, LinkKind.SUPPORTED_BY)
+
+
+def bench_wellformed_workload(
+    n: int, directory: Path | str | None = None, rounds: int | None = None
+) -> dict[str, Any]:
+    """Full vs streaming vs parallel vs incremental well-formedness.
+
+    Asserts all four modes report identical violations, that streaming
+    and parallel checks never hydrate the store, and that the
+    incremental checker equals a fresh full check after every editing
+    round.
+    """
+    import os
+
+    from repro.core.wellformed import GSN_STANDARD_RULES
+    from repro.store import StoredArgument
+
+    spec = gsn_case(n)
+    argument = build(Argument, spec, "wellformed-case")
+    hazards = max(1, (n - 2) // 2)
+    scratch = directory is None
+    base = Path(tempfile.mkdtemp(prefix="bench-wf-")) if scratch \
+        else Path(directory)
+    store_dir = base / "wellformed-case.store"
+    try:
+        argument.save(store_dir)
+
+        serial_s, serial = timed(
+            lambda: GSN_STANDARD_RULES.check(argument)
+        )
+
+        # The pre-PR path: hydrate, then whole-argument legacy rules.
+        legacy_rules = _legacy_gsn_rules()
+        hydrating = StoredArgument(store_dir)
+        full_s, full = timed(
+            lambda: legacy_rules.check(hydrating, mode="full")
+        )
+        assert hydrating.hydrated, "the legacy full check must hydrate"
+
+        # The scoped rules run over a hydrated argument, for reference.
+        scoped_full_store = StoredArgument(store_dir)
+        scoped_full_s, scoped_full = timed(
+            lambda: GSN_STANDARD_RULES.check(
+                scoped_full_store, mode="full"
+            )
+        )
+
+        streaming_store = StoredArgument(store_dir)
+        streaming_s, streaming = timed(
+            lambda: GSN_STANDARD_RULES.check(
+                streaming_store, mode="streaming"
+            )
+        )
+        assert not streaming_store.hydrated, (
+            "streaming check must not hydrate the store"
+        )
+        assert streaming_store.shards_read, (
+            "streaming check must actually read shards"
+        )
+
+        workers = os.cpu_count() or 1
+        parallel_store = StoredArgument(store_dir)
+        parallel_s, parallel = timed(
+            lambda: GSN_STANDARD_RULES.check(
+                parallel_store, mode="parallel", workers=workers
+            )
+        )
+        assert not parallel_store.hydrated, (
+            "parallel check must not hydrate the store"
+        )
+        assert serial == full == scoped_full == streaming == parallel, (
+            "well-formedness modes disagreed"
+        )
+
+        # Mutation-heavy editing session: incremental vs full recheck.
+        # Rounds scale down with size so the full-recheck baseline stays
+        # measurable (each round costs O(V + E) in that mode).
+        if rounds is None:
+            rounds = max(10, min(40, 1_000_000 // max(1, n)))
+        incremental_argument = argument.copy()
+        checker = GSN_STANDARD_RULES.incremental(incremental_argument)
+        incremental_results: list[int] = []
+
+        def run_incremental() -> None:
+            for round_index in range(rounds):
+                _wellformed_edit_round(
+                    incremental_argument, hazards, round_index
+                )
+                incremental_results.append(
+                    len(checker.check())
+                )
+
+        full_argument = argument.copy()
+        full_results: list[int] = []
+
+        def run_full_recheck() -> None:
+            for round_index in range(rounds):
+                _wellformed_edit_round(
+                    full_argument, hazards, round_index
+                )
+                full_results.append(
+                    len(GSN_STANDARD_RULES.check(full_argument))
+                )
+
+        incremental_s, _ = timed(run_incremental)
+        full_recheck_s, _ = timed(run_full_recheck)
+        assert incremental_results == full_results, (
+            "incremental and full rechecks diverged"
+        )
+        assert checker.check() == GSN_STANDARD_RULES.check(
+            incremental_argument
+        ), "final incremental state diverged from a fresh check"
+
+        return {
+            "nodes": len(argument),
+            "links": len(argument.links),
+            "violations": len(serial),
+            "serial_in_memory_s": serial_s,
+            "full_hydrate_s": full_s,
+            "scoped_full_hydrate_s": scoped_full_s,
+            "streaming_s": streaming_s,
+            "parallel_s": parallel_s,
+            "parallel_workers": workers,
+            "speedup_streaming_vs_full": full_s / max(streaming_s, 1e-9),
+            "speedup_parallel_vs_full": full_s / max(parallel_s, 1e-9),
+            "edit_rounds": rounds,
+            "incremental_s": incremental_s,
+            "full_recheck_s": full_recheck_s,
+            "speedup_incremental_vs_full_recheck": (
+                full_recheck_s / max(incremental_s, 1e-9)
+            ),
+        }
+    finally:
+        if scratch:
+            shutil.rmtree(base, ignore_errors=True)
+
+
 # -- the persistence workload ----------------------------------------------
 #
 # A 100k-node tool-generated case must outlive the process that built it
@@ -780,8 +1173,14 @@ def run_bench(
     n: int = 10_000,
     max_paths: int = 1_000,
     out: Path | str | None = DEFAULT_OUT,
+    wellformed_nodes: int | None = None,
 ) -> dict[str, Any]:
-    """Benchmark every shape at ``n`` nodes; optionally write the JSON."""
+    """Benchmark every shape at ``n`` nodes; optionally write the JSON.
+
+    The well-formedness workload runs at ``10 * n`` by default — the
+    scoped engine targets 100k+-node throughput, and the hydration
+    overhead it eliminates only dominates at that scale.
+    """
     shapes = {
         shape: bench_shape(shape, n, max_paths) for shape in SHAPES
     }
@@ -792,6 +1191,9 @@ def run_bench(
     ]
     mutation = bench_mutation_workload(n)
     store = bench_store_workload(n)
+    wellformed = bench_wellformed_workload(
+        10 * n if wellformed_nodes is None else wellformed_nodes
+    )
     report = {
         "benchmark": "graph_scale",
         "nodes_requested": n,
@@ -804,6 +1206,13 @@ def run_bench(
             "speedup_batched_incremental"
         ],
         "store_workload": store,
+        "wellformed_workload": wellformed,
+        "speedup_wellformed_parallel": wellformed[
+            "speedup_parallel_vs_full"
+        ],
+        "speedup_wellformed_incremental": wellformed[
+            "speedup_incremental_vs_full_recheck"
+        ],
         "note": (
             "seed comparison covers deep_chain and wide_fan; the seed's "
             "exponential depth() cannot finish on dense_dag at all; "
@@ -812,7 +1221,13 @@ def run_bench(
             "per-mutation invalidation with full index rebuilds; "
             "store_workload saves/loads the fan through the sharded "
             "persistent store and partial-loads one leaf subtree, "
-            "hydrating strictly fewer shards than the full load"
+            "hydrating strictly fewer shards than the full load; "
+            "wellformed_workload runs the scoped rule engine full "
+            "(hydrate-then-check, the pre-scoped baseline) vs streaming "
+            "(shards + node-type sidecar, no hydration) vs parallel "
+            "(stream partitions across process workers; single-core "
+            "hosts degrade to streaming) vs incremental (delta-log "
+            "rechecks during a mutation-heavy editing session)"
         ),
     }
     if out is not None:
@@ -844,7 +1259,10 @@ def main(argv: list[str] | None = None) -> int:
             Path(tempfile.gettempdir()) / "BENCH_graph_scale_smoke.json"
             if options.smoke else DEFAULT_OUT
         )
-    report = run_bench(n=n, max_paths=options.max_paths, out=options.out)
+    report = run_bench(
+        n=n, max_paths=options.max_paths, out=options.out,
+        wellformed_nodes=n if options.smoke else None,
+    )
     for shape, data in report["shapes"].items():
         line = (
             f"{shape:>11}: {data['nodes']} nodes, depth {data['depth']}, "
@@ -872,6 +1290,19 @@ def main(argv: list[str] | None = None) -> int:
         f"leaf subtree {store['subtree_load_s'] * 1e3:.2f} ms "
         f"({store['partial_shards_read']}/{store['full_shards_read']} "
         "shards hydrated)"
+    )
+    wellformed = report["wellformed_workload"]
+    print(
+        f" wellformed: {wellformed['nodes']} nodes, "
+        f"full {wellformed['full_hydrate_s'] * 1e3:.1f} ms, "
+        f"streaming {wellformed['streaming_s'] * 1e3:.1f} ms, "
+        f"parallel {wellformed['parallel_s'] * 1e3:.1f} ms "
+        f"({wellformed['parallel_workers']} worker(s), "
+        f"{wellformed['speedup_parallel_vs_full']:.1f}x vs full), "
+        f"incremental {wellformed['incremental_s'] * 1e3:.1f} ms over "
+        f"{wellformed['edit_rounds']} rounds "
+        f"({wellformed['speedup_incremental_vs_full_recheck']:.1f}x vs "
+        "full recheck)"
     )
     print(
         "min construct+statistics speedup vs seed: "

@@ -43,12 +43,14 @@ from .core import (
     AssuranceCase,
     EvidenceItem,
     EvidenceKind,
+    IncrementalChecker,
     LinkKind,
     Node,
     NodeType,
     SafetyCriterion,
     check,
     is_well_formed,
+    run_rules,
 )
 from .paper import ReproductionReport, verify_reproduction
 from .logic import (
@@ -71,8 +73,10 @@ __all__ = [
     "Node",
     "NodeType",
     "SafetyCriterion",
+    "IncrementalChecker",
     "check",
     "is_well_formed",
+    "run_rules",
     "ProofBuilder",
     "check_proof",
     "desert_bank_program",

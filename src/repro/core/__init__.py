@@ -8,6 +8,16 @@ sets (§III.I), typed parameterised patterns (§III.L), metadata annotation
 and querying (§III.H), and hierarchical views (§III.I).
 """
 
+from .analysis import (
+    IncrementalChecker,
+    RuleContext,
+    Scope,
+    ScopedRule,
+    global_rule,
+    per_link,
+    per_node,
+    run_rules,
+)
 from .argument import Argument, ArgumentError, Link, LinkKind, MutationDelta
 from .builder import ArgumentBuilder, BuildError
 from .case import (
@@ -46,13 +56,23 @@ from .patterns import (
 from .wellformed import (
     DENNEY_PAI_RULES,
     GSN_STANDARD_RULES,
+    Rule,
     RuleSet,
     Violation,
     check,
     is_well_formed,
+    scoped_from_legacy,
 )
 
 __all__ = [
+    "IncrementalChecker",
+    "RuleContext",
+    "Scope",
+    "ScopedRule",
+    "global_rule",
+    "per_link",
+    "per_node",
+    "run_rules",
     "Argument",
     "ArgumentError",
     "Link",
@@ -93,8 +113,10 @@ __all__ = [
     "hazard_avoidance_pattern",
     "DENNEY_PAI_RULES",
     "GSN_STANDARD_RULES",
+    "Rule",
     "RuleSet",
     "Violation",
     "check",
     "is_well_formed",
+    "scoped_from_legacy",
 ]

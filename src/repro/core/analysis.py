@@ -1,0 +1,1065 @@
+"""Scoped streaming rule analysis over arguments and stored arguments.
+
+The well-formedness layer used to be a stack of whole-argument functions:
+every rule received a fully hydrated :class:`~repro.core.argument.Argument`
+and scanned whatever it liked.  That shape forces
+:class:`~repro.store.StoredArgument` handles through full hydration before
+the first rule runs and leaves no seam for parallel or incremental
+execution.  This module replaces it with **scoped rules** and one engine
+that can run the same rule set four ways.
+
+The scoped-rule contract
+========================
+
+A :class:`ScopedRule` declares *how much of the graph it needs* via its
+:class:`Scope`:
+
+``Scope.NODE`` (:func:`per_node`)
+    ``fn(node, ctx) -> list[Violation]``.  The rule sees one
+    :class:`~repro.core.nodes.Node` at a time.  Beyond the node itself it
+    may ask the context only :meth:`RuleContext.cites_support` *about
+    that node* — whether the node is the source of at least one
+    SupportedBy link.  It must not reach for other nodes or links.
+
+``Scope.LINK`` (:func:`per_link`)
+    ``fn(link, ctx) -> list[Violation]``.  The rule sees one
+    :class:`~repro.core.argument.Link` and may ask the context only
+    :meth:`RuleContext.node_type` *of the link's own endpoints*.
+
+``Scope.GLOBAL`` (:func:`global_rule`)
+    ``fn(ctx) -> list[Violation]``.  The rule needs whole-graph services:
+    :meth:`RuleContext.roots`, :meth:`RuleContext.find_cycle`,
+    :attr:`RuleContext.name` — or, as a last resort for legacy
+    whole-argument callables, :meth:`RuleContext.argument`, which hydrates
+    a stored case.  Full hydration is thereby the *fallback*, not the
+    default.
+
+The locality restrictions are what buy the execution modes: because a
+node rule touches one node plus one bit of context and a link rule
+touches one link plus two node types, any partition of the node and link
+streams evaluates independently.
+
+Execution modes (:func:`run_rules`)
+===================================
+
+``serial`` / ``streaming``
+    One pass over link shards (accumulating the node-type sidecar's
+    support and adjacency aggregates, buffering the lightweight link
+    triples), one pass over node shards (building the sidecar and
+    running node rules as records parse), then link rules over the
+    buffer and the global rules.  A
+    :class:`~repro.store.StoredArgument` is checked **without
+    hydration**: every shard parses exactly once, sequentially (no heap
+    merge), and memory stays O(sidecar + links) — node texts and
+    metadata are never retained and no
+    :class:`~repro.core.argument.Argument` is constructed.  Live
+    arguments evaluate against their own indices in a single pass each.
+
+``parallel``
+    The node and link streams are partitioned into work units and
+    evaluated by ``concurrent.futures`` worker processes, each given
+    exactly the context slice the contract above permits (the support
+    bits of the unit's nodes; the endpoint types of the unit's links).
+    For a live argument the units are list slices shipped from the
+    parent.  For a stored argument the units are **shard groups and the
+    workers parse their own shards**: links shard by source id with the
+    same hash as nodes, so a phase-1 worker derives its nodes' support
+    bits from its own link shards while running node rules and
+    returning sidecar fragments; phase-2 workers re-read link shards
+    with the merged type sidecar for the link rules — nothing parses
+    serially in the parent.  Global rules overlap in the parent either
+    way.  Output is identical to serial mode.  With fewer than two
+    effective workers the engine degrades gracefully to the streaming
+    path.
+
+``full``
+    Hydrate first, then run serially over the live argument — the
+    pre-scoped behaviour, kept as the baseline the benchmarks compare
+    against.
+
+``incremental`` (:class:`IncrementalChecker`)
+    A stateful checker that consumes the argument's mutation delta log
+    (:meth:`~repro.core.argument.Argument.delta_since`).  Per-rule
+    violation maps are cached keyed by subject (node identifier or link)
+    and invalidated by subject id: after a mutation only the touched
+    subjects re-evaluate, plus the global rules.  When the bounded log
+    has rotated past the checker's sequence number it falls back to a
+    full recompute.
+
+All modes produce the same violation list: rules in rule-set order, and
+within one rule the violations in canonical ``(subject, detail)`` order —
+so results are directly comparable across modes, processes, and storage.
+
+This module is also the home of the shared storage duck-typing helpers
+(:func:`is_stored_argument`, :func:`ensure_argument`,
+:func:`iter_subject_nodes`, :func:`iter_subject_links`) that
+:mod:`repro.core.wellformed` and :mod:`repro.core.query` previously each
+reimplemented.  They stay duck-typed so this module never imports
+:mod:`repro.store` (which imports it transitively).
+"""
+
+from __future__ import annotations
+
+import enum
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from .argument import Argument, Link, LinkKind
+from .nodes import Node, NodeType
+
+__all__ = [
+    "Violation",
+    "Scope",
+    "ScopedRule",
+    "per_node",
+    "per_link",
+    "global_rule",
+    "RuleContext",
+    "run_rules",
+    "IncrementalChecker",
+    "is_stored_argument",
+    "ensure_argument",
+    "iter_subject_nodes",
+    "iter_subject_links",
+]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule violation found in an argument."""
+
+    rule: str
+    subject: str  # node identifier or link rendering
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.rule}] {self.subject}: {self.detail}"
+
+
+class Scope(enum.Enum):
+    """How much of the graph a rule needs (see the module docstring)."""
+
+    NODE = "node"
+    LINK = "link"
+    GLOBAL = "global"
+
+
+@dataclass(frozen=True)
+class ScopedRule:
+    """A named well-formedness rule with a declared evaluation scope.
+
+    ``fn`` takes ``(node, ctx)``, ``(link, ctx)``, or ``(ctx)`` depending
+    on ``scope`` and returns a list of :class:`Violation`.  For parallel
+    execution ``fn`` must be a module-level function (worker processes
+    import it by qualified name); global rules always run in the parent
+    process, so closures are fine there.
+
+    ``node_types`` (node rules) and ``link_kind`` (link rules) are
+    optional *dispatch filters*: the engine only invokes ``fn`` for
+    subjects matching them, which on a 100k-element stream saves tens of
+    thousands of no-op calls.  A filter is a promise, not a check — it
+    must be consistent with ``fn`` (the rule can only ever fire on
+    matching subjects); ``fn`` should still guard itself so direct calls
+    stay correct.
+
+    ``delta_fn`` (global rules only) is the optional *incremental hook*:
+    ``delta_fn(ctx, records, previous)`` receives the mutation records
+    since the last check and the rule's previous violations, and returns
+    the new violations — or ``None`` to decline, in which case the
+    checker falls back to the full ``fn``.  It must return exactly what
+    ``fn`` would.
+    """
+
+    name: str
+    description: str
+    scope: Scope
+    fn: Callable[..., "list[Violation]"]
+    node_types: "frozenset[NodeType] | None" = None
+    link_kind: "LinkKind | None" = None
+    delta_fn: "Callable[..., list[Violation] | None] | None" = None
+
+
+def per_node(
+    name: str,
+    description: str,
+    fn: Callable[..., "list[Violation]"],
+    *,
+    node_types: "Iterable[NodeType] | None" = None,
+) -> ScopedRule:
+    """A rule evaluated once per node (see the scoped-rule contract)."""
+    return ScopedRule(
+        name, description, Scope.NODE, fn,
+        node_types=None if node_types is None else frozenset(node_types),
+    )
+
+
+def per_link(
+    name: str,
+    description: str,
+    fn: Callable[..., "list[Violation]"],
+    *,
+    kind: "LinkKind | None" = None,
+) -> ScopedRule:
+    """A rule evaluated once per link (see the scoped-rule contract)."""
+    return ScopedRule(
+        name, description, Scope.LINK, fn, link_kind=kind,
+    )
+
+
+def global_rule(
+    name: str,
+    description: str,
+    fn: Callable[..., "list[Violation]"],
+    *,
+    delta_fn: "Callable[..., list[Violation] | None] | None" = None,
+) -> ScopedRule:
+    """A rule needing whole-graph services (roots, cycles, hydration)."""
+    return ScopedRule(name, description, Scope.GLOBAL, fn, delta_fn=delta_fn)
+
+
+# -- shared storage duck-typing helpers ------------------------------------
+
+
+def is_stored_argument(subject: Any) -> bool:
+    """True for duck-typed ``StoredArgument`` handles.
+
+    Probes the store-specific streaming surface (``iter_nodes`` +
+    ``iter_links`` + ``load``), not just a generic ``load`` attribute:
+    ``AssuranceCase`` and arbitrary objects also have ``load`` methods
+    and must *not* be mis-dispatched.
+    """
+    return (
+        not isinstance(subject, Argument)
+        and hasattr(subject, "iter_nodes")
+        and hasattr(subject, "iter_links")
+        and hasattr(subject, "load")
+    )
+
+
+def ensure_argument(subject: Any) -> Argument:
+    """A live in-memory argument — the hydration *fallback*.
+
+    Live arguments pass through; stored arguments hydrate via their
+    shard-streaming ``load()``.  Anything else gets a clear TypeError.
+    """
+    if isinstance(subject, Argument):
+        return subject
+    if is_stored_argument(subject):
+        return subject.load()
+    raise TypeError(
+        "expected an Argument or a StoredArgument, got "
+        f"{type(subject).__name__}"
+    )
+
+
+def iter_subject_nodes(subject: Any) -> Iterator[Node]:
+    """Stream nodes from a live or stored argument, insertion-ordered."""
+    if isinstance(subject, Argument):
+        return iter(subject.nodes)
+    if is_stored_argument(subject):
+        return subject.iter_nodes()
+    raise TypeError(
+        "expected an Argument or a StoredArgument, got "
+        f"{type(subject).__name__}"
+    )
+
+
+def iter_subject_links(subject: Any) -> Iterator[Link]:
+    """Stream links from a live or stored argument, insertion-ordered."""
+    if isinstance(subject, Argument):
+        return iter(subject.links)
+    if is_stored_argument(subject):
+        return subject.iter_links()
+    raise TypeError(
+        "expected an Argument or a StoredArgument, got "
+        f"{type(subject).__name__}"
+    )
+
+
+# -- rule contexts ----------------------------------------------------------
+
+
+class RuleContext:
+    """What a scoped rule may ask about the graph around its subject.
+
+    Concrete contexts back this protocol three ways: a live argument's
+    indices (:class:`_LiveContext`), a streaming sidecar built from
+    shards (:class:`_StreamContext`), or the per-work-unit slice shipped
+    to a parallel worker (:class:`_ChunkContext`).
+    """
+
+    name: str = "argument"
+
+    def node_type(self, identifier: str) -> NodeType:
+        """The type of a node — for link rules, the link's endpoints."""
+        raise NotImplementedError
+
+    def cites_support(self, identifier: str) -> bool:
+        """Does the node source at least one SupportedBy link?"""
+        raise NotImplementedError
+
+    def roots(self) -> list[str]:
+        """Claim-like nodes with no incoming support (global rules only)."""
+        raise NotImplementedError
+
+    def find_cycle(self) -> "list[str] | None":
+        """A SupportedBy cycle, if any (global rules only)."""
+        raise NotImplementedError
+
+    def argument(self) -> Argument:
+        """A live argument — hydrates stored cases (legacy rules only)."""
+        raise NotImplementedError
+
+
+class _LiveContext(RuleContext):
+    """Context over a live argument: O(1) reads off maintained indices."""
+
+    __slots__ = ("_argument",)
+
+    def __init__(self, argument: Argument) -> None:
+        self._argument = argument
+
+    @property
+    def name(self) -> str:
+        return self._argument.name
+
+    def node_type(self, identifier: str) -> NodeType:
+        return self._argument.node(identifier).node_type
+
+    def cites_support(self, identifier: str) -> bool:
+        return self._argument.cites_support(identifier)
+
+    def roots(self) -> list[str]:
+        return [node.identifier for node in self._argument.roots()]
+
+    def find_cycle(self) -> "list[str] | None":
+        return self._argument.find_cycle()
+
+    def argument(self) -> Argument:
+        return self._argument
+
+
+class _StreamContext(RuleContext):
+    """The node-type sidecar built by streaming shards — no hydration.
+
+    Holds the per-node aggregates the scoped contract needs (type map,
+    support bits) plus the SupportedBy adjacency the global rules need
+    for cycle detection.  Nodes register with their global sequence
+    number so :meth:`roots` and :meth:`find_cycle` see exact insertion
+    order even when shards were streamed out of order (the parallel
+    path's per-shard work units).
+    """
+
+    __slots__ = (
+        "name", "_stored", "_hydrated", "types", "out_support",
+        "in_support", "adjacency", "_order", "ordered",
+    )
+
+    def __init__(self, name: str, stored: Any = None) -> None:
+        self.name = name
+        self._stored = stored
+        self._hydrated: Argument | None = None
+        self.types: dict[str, NodeType] = {}
+        self.out_support: set[str] = set()
+        self.in_support: set[str] = set()
+        self.adjacency: dict[str, list[str]] = {}
+        self._order: list[tuple[int, str]] = []
+        self.ordered: list[str] = []
+
+    def note_link(self, link: Link) -> None:
+        if link.kind is LinkKind.SUPPORTED_BY:
+            self.out_support.add(link.source)
+            self.in_support.add(link.target)
+            self.adjacency.setdefault(link.source, []).append(link.target)
+
+    def note_node(self, position: int, node: Node) -> None:
+        self.types[node.identifier] = node.node_type
+        self._order.append((position, node.identifier))
+
+    def finalise(self) -> None:
+        self._order.sort()
+        self.ordered = [identifier for _, identifier in self._order]
+
+    def node_type(self, identifier: str) -> NodeType:
+        return self.types[identifier]
+
+    def cites_support(self, identifier: str) -> bool:
+        return identifier in self.out_support
+
+    def roots(self) -> list[str]:
+        return [
+            identifier
+            for identifier in self.ordered
+            if self.types[identifier].is_claim_like
+            and identifier not in self.in_support
+        ]
+
+    def find_cycle(self) -> "list[str] | None":
+        # Mirrors Argument._iter_supported_by_back_edges: white/grey/black
+        # colouring DFS in insertion order, so live and streamed checks
+        # of the same argument report the identical cycle.
+        adjacency = self.adjacency
+        colour: dict[str, int] = {}
+        path: list[str] = []
+        path_index: dict[str, int] = {}
+        for start in self.ordered:
+            if colour.get(start, 0):
+                continue
+            colour[start] = 1
+            path_index[start] = len(path)
+            path.append(start)
+            stack: list[tuple[str, Iterator[str]]] = [
+                (start, iter(adjacency.get(start, ())))
+            ]
+            while stack:
+                identifier, targets = stack[-1]
+                advanced = False
+                for target in targets:
+                    state = colour.get(target, 0)
+                    if state == 1:
+                        return path[path_index[target]:]
+                    if state == 0:
+                        colour[target] = 1
+                        path_index[target] = len(path)
+                        path.append(target)
+                        stack.append(
+                            (target, iter(adjacency.get(target, ())))
+                        )
+                        advanced = True
+                        break
+                if not advanced:
+                    colour[identifier] = 2
+                    path.pop()
+                    del path_index[identifier]
+                    stack.pop()
+        return None
+
+    def argument(self) -> Argument:
+        if self._stored is None:
+            raise TypeError(
+                "this streaming context has no store handle to hydrate"
+            )
+        if self._hydrated is None:  # hydrate once, however many legacy
+            self._hydrated = self._stored.load()  # rules ask
+        return self._hydrated
+
+
+class _ChunkContext(RuleContext):
+    """The context slice a parallel work unit ships to its worker.
+
+    Carries only what the scoped contract lets the unit's rules ask:
+    endpoint types for its links, support bits for its nodes.  Global
+    services are deliberately absent — global rules run in the parent.
+    """
+
+    __slots__ = ("_types", "_support")
+
+    def __init__(
+        self, types: dict[str, NodeType], support: frozenset[str]
+    ) -> None:
+        self._types = types
+        self._support = support
+
+    def node_type(self, identifier: str) -> NodeType:
+        return self._types[identifier]
+
+    def cites_support(self, identifier: str) -> bool:
+        return identifier in self._support
+
+
+# -- the engine -------------------------------------------------------------
+
+
+_MODES = ("auto", "serial", "streaming", "parallel", "full")
+
+_IndexedRules = list[tuple[int, ScopedRule]]
+
+
+def _split_rules(
+    rules: Sequence[ScopedRule],
+) -> tuple[_IndexedRules, _IndexedRules, _IndexedRules]:
+    node_rules: _IndexedRules = []
+    link_rules: _IndexedRules = []
+    global_rules: _IndexedRules = []
+    for index, rule in enumerate(rules):
+        if rule.scope is Scope.NODE:
+            node_rules.append((index, rule))
+        elif rule.scope is Scope.LINK:
+            link_rules.append((index, rule))
+        else:
+            global_rules.append((index, rule))
+    return node_rules, link_rules, global_rules
+
+
+def _node_dispatch(
+    node_rules: _IndexedRules,
+) -> "dict[NodeType, _IndexedRules]":
+    """Node rules applicable per node type (the dispatch-filter table)."""
+    return {
+        node_type: [
+            (index, rule)
+            for index, rule in node_rules
+            if rule.node_types is None or node_type in rule.node_types
+        ]
+        for node_type in NodeType
+    }
+
+
+def _link_dispatch(
+    link_rules: _IndexedRules,
+) -> "dict[LinkKind, _IndexedRules]":
+    """Link rules applicable per link kind (the dispatch-filter table)."""
+    return {
+        kind: [
+            (index, rule)
+            for index, rule in link_rules
+            if rule.link_kind is None or rule.link_kind is kind
+        ]
+        for kind in LinkKind
+    }
+
+
+def _violation_key(violation: Violation) -> tuple[str, str]:
+    return (violation.subject, violation.detail)
+
+
+def _assemble(
+    rules: Sequence[ScopedRule], buckets: list[list[Violation]]
+) -> list[Violation]:
+    """Rule-set order outside, canonical (subject, detail) order inside."""
+    out: list[Violation] = []
+    for bucket in buckets:
+        bucket.sort(key=_violation_key)
+        out.extend(bucket)
+    return out
+
+
+def run_rules(
+    subject: Any,
+    rules: Sequence[ScopedRule],
+    *,
+    mode: str = "auto",
+    workers: int | None = None,
+) -> list[Violation]:
+    """Evaluate scoped rules over a live or stored argument.
+
+    ``mode`` is one of ``auto`` (streaming for stored arguments, serial
+    for live ones), ``serial``/``streaming`` (synonyms — one process, no
+    hydration), ``parallel`` (process workers; ``workers`` defaults to
+    the CPU count, and fewer than two effective workers degrades to the
+    streaming path), or ``full`` (hydrate first — the legacy baseline).
+    Every mode returns the identical violation list.
+    """
+    if mode not in _MODES:
+        raise ValueError(f"unknown analysis mode {mode!r} (not in {_MODES})")
+    rules = tuple(rules)
+    stored = is_stored_argument(subject)
+    if not stored and not isinstance(subject, Argument):
+        raise TypeError(
+            "expected an Argument or a StoredArgument, got "
+            f"{type(subject).__name__}"
+        )
+    if mode == "auto":
+        mode = "streaming" if stored else "serial"
+    if mode == "full":
+        return _run_live(ensure_argument(subject), rules)
+    if mode == "parallel":
+        effective = workers if workers is not None else (os.cpu_count() or 1)
+        if effective >= 2:
+            return _run_parallel(subject, rules, effective)
+        mode = "streaming"  # graceful degradation on one core
+    if stored:
+        return _run_stored_streaming(subject, rules)
+    return _run_live(subject, rules)
+
+
+def _run_live(argument: Argument, rules: tuple[ScopedRule, ...]) -> list[Violation]:
+    node_rules, link_rules, global_rules = _split_rules(rules)
+    ctx = _LiveContext(argument)
+    buckets: list[list[Violation]] = [[] for _ in rules]
+    if node_rules:
+        dispatch = _node_dispatch(node_rules)
+        for node in argument.nodes:
+            for index, rule in dispatch[node.node_type]:
+                found = rule.fn(node, ctx)
+                if found:
+                    buckets[index].extend(found)
+    if link_rules:
+        link_groups = _link_dispatch(link_rules)
+        for link in argument.links:
+            for index, rule in link_groups[link.kind]:
+                found = rule.fn(link, ctx)
+                if found:
+                    buckets[index].extend(found)
+    for index, rule in global_rules:
+        buckets[index].extend(rule.fn(ctx))
+    return _assemble(rules, buckets)
+
+
+def _run_stored_streaming(
+    stored: Any, rules: tuple[ScopedRule, ...]
+) -> list[Violation]:
+    """Check a stored argument without hydration.
+
+    Shards stream *sequentially* (no heap merge — canonical output order
+    makes per-record order irrelevant, and the aggregates that do need
+    insertion order carry their ``seq``): one pass over link shards
+    building the sidecar aggregates and buffering the lightweight
+    :class:`~repro.core.argument.Link` triples, one pass over node shards
+    running node rules as records parse, then link rules over the buffer
+    and the global rules.  Each shard is parsed exactly once; memory is
+    O(types sidecar + links), never the hydrated argument.
+    """
+    node_rules, link_rules, global_rules = _split_rules(rules)
+    ctx = _StreamContext(stored.name, stored)
+    links: list[Link] = []
+    for index in range(stored.shard_count):  # pass 1: sidecar aggregates
+        for _, link in stored.iter_shard_links(index):
+            ctx.note_link(link)
+            links.append(link)
+    buckets: list[list[Violation]] = [[] for _ in rules]
+    dispatch = _node_dispatch(node_rules)
+    for index in range(stored.shard_count):  # pass 2: node rules
+        for seq, node in stored.iter_shard_nodes(index):
+            ctx.note_node(seq, node)
+            for rule_index, rule in dispatch[node.node_type]:
+                found = rule.fn(node, ctx)
+                if found:
+                    buckets[rule_index].extend(found)
+    ctx.finalise()
+    if link_rules:  # pass 3: types now complete; no re-parse
+        link_groups = _link_dispatch(link_rules)
+        for link in links:
+            for rule_index, rule in link_groups[link.kind]:
+                found = rule.fn(link, ctx)
+                if found:
+                    buckets[rule_index].extend(found)
+    for rule_index, rule in global_rules:
+        buckets[rule_index].extend(rule.fn(ctx))
+    return _assemble(rules, buckets)
+
+
+# -- parallel execution -----------------------------------------------------
+
+
+def _node_unit_task(
+    rules: tuple[ScopedRule, ...],
+    nodes: list[Node],
+    support: frozenset[str],
+) -> list[list[Violation]]:
+    """Worker body for one node work unit (module-level: picklable)."""
+    ctx = _ChunkContext({}, support)
+    buckets: list[list[Violation]] = [[] for _ in rules]
+    dispatch = _node_dispatch(list(enumerate(rules)))
+    for node in nodes:
+        for index, rule in dispatch[node.node_type]:
+            found = rule.fn(node, ctx)
+            if found:
+                buckets[index].extend(found)
+    return buckets
+
+
+def _link_unit_task(
+    rules: tuple[ScopedRule, ...],
+    links: list[Link],
+    types: dict[str, NodeType],
+) -> list[list[Violation]]:
+    """Worker body for one link work unit (module-level: picklable)."""
+    ctx = _ChunkContext(types, frozenset())
+    buckets: list[list[Violation]] = [[] for _ in rules]
+    dispatch = _link_dispatch(list(enumerate(rules)))
+    for link in links:
+        for index, rule in dispatch[link.kind]:
+            found = rule.fn(link, ctx)
+            if found:
+                buckets[index].extend(found)
+    return buckets
+
+
+def _slices(items: list, pieces: int) -> list[list]:
+    if not items:
+        return []
+    size = max(1, -(-len(items) // pieces))
+    return [items[i:i + size] for i in range(0, len(items), size)]
+
+
+def _mp_context():
+    import multiprocessing
+
+    try:
+        # fork keeps worker start cheap and inherits sys.path/imports.
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return None
+
+
+def _stored_scan_task(
+    directory: str,
+    indices: list[int],
+    node_rules: tuple[ScopedRule, ...],
+) -> tuple[
+    list[list[Violation]],
+    dict[str, NodeType],
+    list[tuple[int, str]],
+    set[str],
+    dict[str, list[str]],
+]:
+    """Phase-1 worker: parse own shards, run node rules, return aggregates.
+
+    Each worker opens the (immutable, content-addressed) store itself
+    and parses only its assigned node and link shards — the dominant
+    cost of checking a stored case, now spread across processes.  Links
+    shard by *source* id with the same hash as nodes, so link shard
+    ``i`` holds exactly the out-links of node shard ``i``'s nodes: the
+    support bits node rules need are complete shard-locally.  Returned
+    aggregates (type map fragment, seq order, incoming-support ids,
+    SupportedBy adjacency) let the parent assemble the global-rule
+    sidecar without parsing anything itself.
+    """
+    # Runtime import: repro.store imports this module transitively.
+    from ..store.reader import StoredArgument
+
+    stored = StoredArgument(directory)
+    out_support: set[str] = set()
+    in_support: set[str] = set()
+    adjacency: dict[str, list[str]] = {}
+    for index in indices:
+        for _, link in stored.iter_shard_links(index):
+            if link.kind is LinkKind.SUPPORTED_BY:
+                out_support.add(link.source)
+                in_support.add(link.target)
+                adjacency.setdefault(link.source, []).append(link.target)
+    ctx = _ChunkContext({}, frozenset(out_support))
+    buckets: list[list[Violation]] = [[] for _ in node_rules]
+    dispatch = _node_dispatch(list(enumerate(node_rules)))
+    types: dict[str, NodeType] = {}
+    order: list[tuple[int, str]] = []
+    for index in indices:
+        for seq, node in stored.iter_shard_nodes(index):
+            types[node.identifier] = node.node_type
+            order.append((seq, node.identifier))
+            for rule_index, rule in dispatch[node.node_type]:
+                found = rule.fn(node, ctx)
+                if found:
+                    buckets[rule_index].extend(found)
+    return buckets, types, order, in_support, adjacency
+
+
+def _stored_link_rules_task(
+    directory: str,
+    indices: list[int],
+    link_rules: tuple[ScopedRule, ...],
+    types: dict[str, NodeType],
+) -> list[list[Violation]]:
+    """Phase-2 worker: re-parse own link shards, run link rules.
+
+    Needs the complete node-type sidecar (merged from every phase-1
+    fragment), shipped once per worker-sized shard group.
+    """
+    from ..store.reader import StoredArgument
+
+    stored = StoredArgument(directory)
+    ctx = _ChunkContext(types, frozenset())
+    buckets: list[list[Violation]] = [[] for _ in link_rules]
+    dispatch = _link_dispatch(list(enumerate(link_rules)))
+    for index in indices:
+        for _, link in stored.iter_shard_links(index):
+            for rule_index, rule in dispatch[link.kind]:
+                found = rule.fn(link, ctx)
+                if found:
+                    buckets[rule_index].extend(found)
+    return buckets
+
+
+def _shard_groups(shard_count: int, workers: int) -> list[list[int]]:
+    """Shard indices dealt round-robin into at most ``workers`` groups."""
+    groups: list[list[int]] = [[] for _ in range(min(workers, shard_count))]
+    for index in range(shard_count):
+        groups[index % len(groups)].append(index)
+    return [group for group in groups if group]
+
+
+def _run_parallel_stored(
+    stored: Any, rules: tuple[ScopedRule, ...], workers: int
+) -> list[Violation]:
+    """Per-shard work units; workers parse their own shards.
+
+    Phase 1 fans node-rule evaluation plus sidecar aggregation out
+    across shard groups; the parent merely merges fragments.  Phase 2
+    fans link-rule evaluation out with the merged type sidecar, while
+    the global rules overlap in the parent.  Link shards parse twice
+    (once per phase) — in exchange nothing parses serially, so on a
+    multi-core host wall-clock tracks the slowest shard group, not the
+    store size, and the parent never materialises the node stream.
+    """
+    node_rules, link_rules, global_rules = _split_rules(rules)
+    node_fns = tuple(rule for _, rule in node_rules)
+    link_fns = tuple(rule for _, rule in link_rules)
+    directory = str(stored.path)
+    groups = _shard_groups(stored.shard_count, workers)
+    buckets: list[list[Violation]] = [[] for _ in rules]
+    ctx = _StreamContext(stored.name, stored)
+    with ProcessPoolExecutor(
+        max_workers=workers, mp_context=_mp_context()
+    ) as pool:
+        scans = [
+            pool.submit(_stored_scan_task, directory, group, node_fns)
+            for group in groups
+        ]
+        for job in scans:
+            parts, types, order, in_support, adjacency = job.result()
+            for (rule_index, _), part in zip(node_rules, parts):
+                buckets[rule_index].extend(part)
+            ctx.types.update(types)
+            ctx._order.extend(order)
+            ctx.in_support |= in_support
+            # Sources are disjoint across link shards (sharded by
+            # source id), so a plain merge keeps per-source seq order.
+            ctx.adjacency.update(adjacency)
+        ctx.finalise()
+        link_jobs = [
+            pool.submit(
+                _stored_link_rules_task, directory, group, link_fns,
+                ctx.types,
+            )
+            for group in groups
+        ] if link_fns else []
+        # Global rules overlap with the phase-2 workers.
+        for index, rule in global_rules:
+            buckets[index].extend(rule.fn(ctx))
+        for job in link_jobs:
+            for (rule_index, _), part in zip(link_rules, job.result()):
+                buckets[rule_index].extend(part)
+    return _assemble(rules, buckets)
+
+
+def _run_parallel(
+    subject: Any, rules: tuple[ScopedRule, ...], workers: int
+) -> list[Violation]:
+    if is_stored_argument(subject):
+        return _run_parallel_stored(subject, rules, workers)
+    node_rules, link_rules, global_rules = _split_rules(rules)
+    ctx = _LiveContext(subject)
+    node_units = _slices(subject.nodes, workers * 2)
+    link_units = _slices(subject.links, workers * 2)
+    buckets: list[list[Violation]] = [[] for _ in rules]
+    node_fns = tuple(rule for _, rule in node_rules)
+    link_fns = tuple(rule for _, rule in link_rules)
+    with ProcessPoolExecutor(
+        max_workers=workers, mp_context=_mp_context()
+    ) as pool:
+        jobs = []
+        if node_fns:
+            for unit in node_units:
+                support = frozenset(
+                    node.identifier
+                    for node in unit
+                    if ctx.cites_support(node.identifier)
+                )
+                jobs.append((
+                    node_rules,
+                    pool.submit(_node_unit_task, node_fns, unit, support),
+                ))
+        if link_fns:
+            for unit in link_units:
+                types: dict[str, NodeType] = {}
+                for link in unit:
+                    types[link.source] = ctx.node_type(link.source)
+                    types[link.target] = ctx.node_type(link.target)
+                jobs.append((
+                    link_rules,
+                    pool.submit(_link_unit_task, link_fns, unit, types),
+                ))
+        # Global rules overlap with the workers.
+        for index, rule in global_rules:
+            buckets[index].extend(rule.fn(ctx))
+        for indexed, job in jobs:
+            for (index, _), part in zip(indexed, job.result()):
+                buckets[index].extend(part)
+    return _assemble(rules, buckets)
+
+
+# -- incremental checking ---------------------------------------------------
+
+
+class IncrementalChecker:
+    """Re-check only what the mutation delta touched, plus global rules.
+
+    Holds per-rule violation maps keyed by subject (node identifier for
+    node rules, the :class:`~repro.core.argument.Link` itself for link
+    rules), storing only non-empty entries.  :meth:`check` consumes
+    :meth:`Argument.delta_since <repro.core.argument.Argument.delta_since>`
+    to invalidate and re-evaluate exactly the touched subjects:
+
+    * added nodes/links evaluate fresh; removed ones drop their entries;
+    * a replaced node re-evaluates its node rules, and — when its *type*
+      changed — the link rules of every link touching it;
+    * any link mutation re-evaluates the node rules of both endpoints
+      (support-dependent rules like ``undeveloped-unmarked`` read them).
+
+    Global rules re-run on every :meth:`check` (they are whole-graph by
+    declaration), and a rotated delta log forces a full recompute, so
+    the result always equals a fresh full check.
+    """
+
+    def __init__(
+        self, argument: Argument, rules: Iterable[ScopedRule]
+    ) -> None:
+        if not isinstance(argument, Argument):
+            raise TypeError(
+                "IncrementalChecker needs a live Argument, got "
+                f"{type(argument).__name__}"
+            )
+        self._argument = argument
+        self._rules = tuple(rules)
+        self._node_rules, self._link_rules, self._global_rules = \
+            _split_rules(self._rules)
+        self._ctx = _LiveContext(argument)
+        self._node_hits: list[dict[str, tuple[Violation, ...]]] = [
+            {} for _ in self._node_rules
+        ]
+        self._link_hits: list[dict[Link, tuple[Violation, ...]]] = [
+            {} for _ in self._link_rules
+        ]
+        self._global_hits: list[tuple[Violation, ...]] = [
+            () for _ in self._global_rules
+        ]
+        self._seq = -1
+        self._rebuild()
+
+    @property
+    def argument(self) -> Argument:
+        return self._argument
+
+    def _rebuild(self) -> None:
+        for hits in self._node_hits:
+            hits.clear()
+        for hits in self._link_hits:
+            hits.clear()
+        for node in self._argument.nodes:
+            self._refresh_node(node)
+        for link in self._argument.links:
+            self._refresh_link(link)
+        for slot, (_, rule) in enumerate(self._global_rules):
+            self._global_hits[slot] = tuple(rule.fn(self._ctx))
+        self._seq = self._argument.mutation_seq
+
+    def _refresh_node(self, node: Node) -> None:
+        identifier = node.identifier
+        for slot, (_, rule) in enumerate(self._node_rules):
+            types = rule.node_types
+            if types is not None and node.node_type not in types:
+                # Dispatch filter: the rule cannot fire for this type —
+                # clear any entry left from a pre-retype evaluation.
+                self._node_hits[slot].pop(identifier, None)
+                continue
+            found = rule.fn(node, self._ctx)
+            if found:
+                self._node_hits[slot][identifier] = tuple(found)
+            else:
+                self._node_hits[slot].pop(identifier, None)
+
+    def _refresh_link(self, link: Link) -> None:
+        for slot, (_, rule) in enumerate(self._link_rules):
+            kind = rule.link_kind
+            if kind is not None and link.kind is not kind:
+                continue  # a link never changes kind; nothing cached
+            found = rule.fn(link, self._ctx)
+            if found:
+                self._link_hits[slot][link] = tuple(found)
+            else:
+                self._link_hits[slot].pop(link, None)
+
+    def _drop_node(self, identifier: str) -> None:
+        for hits in self._node_hits:
+            hits.pop(identifier, None)
+
+    def _drop_link(self, link: Link) -> None:
+        for hits in self._link_hits:
+            hits.pop(link, None)
+
+    def _apply(self, records: tuple[tuple[str, Any], ...]) -> None:
+        argument = self._argument
+        touched_nodes: set[str] = set()
+        touched_links: set[Link] = set()
+        for op, payload in records:
+            if op == "add_node":
+                touched_nodes.add(payload.identifier)
+            elif op == "remove_node":
+                self._drop_node(payload.identifier)
+                touched_nodes.discard(payload.identifier)
+            elif op == "replace_node":
+                old, new = payload
+                touched_nodes.add(new.identifier)
+                if (
+                    old.node_type is not new.node_type
+                    and new.identifier in argument
+                ):
+                    # A retype can flip link-rule verdicts on every link
+                    # touching the node.
+                    touched_links.update(argument.links_of(new.identifier))
+            elif op == "add_link":
+                touched_links.add(payload)
+                touched_nodes.add(payload.source)
+                touched_nodes.add(payload.target)
+            elif op == "remove_link":
+                self._drop_link(payload)
+                touched_links.discard(payload)
+                touched_nodes.add(payload.source)
+                touched_nodes.add(payload.target)
+        for identifier in touched_nodes:
+            if identifier in argument:
+                self._refresh_node(argument.node(identifier))
+            else:
+                self._drop_node(identifier)
+        for link in touched_links:
+            if argument.has_link(link):
+                self._refresh_link(link)
+            else:
+                self._drop_link(link)
+
+    def _update_globals(
+        self, records: tuple[tuple[str, Any], ...]
+    ) -> None:
+        """Refresh global rules, via their incremental hooks if offered."""
+        for slot, (_, rule) in enumerate(self._global_rules):
+            found: "list[Violation] | None" = None
+            if rule.delta_fn is not None:
+                found = rule.delta_fn(
+                    self._ctx, records, self._global_hits[slot]
+                )
+            if found is None:  # no hook, or the hook declined
+                found = rule.fn(self._ctx)
+            self._global_hits[slot] = tuple(found)
+
+    def check(self) -> list[Violation]:
+        """Current violations; output identical to a fresh full check.
+
+        With no mutations since the last call this is pure cache
+        assembly; after mutations only touched subjects re-evaluate,
+        global rules refresh through their incremental hooks (falling
+        back to full evaluation), and a rotated delta log forces a
+        complete rebuild.
+        """
+        delta = self._argument.delta_since(self._seq)
+        if delta is None:
+            self._rebuild()  # the bounded log rotated past us
+        elif delta:
+            self._apply(delta.records)
+            self._update_globals(delta.records)
+            self._seq = self._argument.mutation_seq
+        buckets: list[list[Violation]] = [[] for _ in self._rules]
+        for slot, (index, _) in enumerate(self._node_rules):
+            for found in self._node_hits[slot].values():
+                buckets[index].extend(found)
+        for slot, (index, _) in enumerate(self._link_rules):
+            for found in self._link_hits[slot].values():
+                buckets[index].extend(found)
+        for slot, (index, _) in enumerate(self._global_rules):
+            buckets[index].extend(self._global_hits[slot])
+        return _assemble(self._rules, buckets)
+
+    def is_well_formed(self) -> bool:
+        return not self.check()

@@ -615,6 +615,32 @@ class Argument:
         """Nodes this node cites as support (SupportedBy targets)."""
         return self.children(identifier, LinkKind.SUPPORTED_BY)
 
+    def cites_support(self, identifier: str) -> bool:
+        """True when the node sources at least one SupportedBy link.
+
+        O(1) off the per-kind adjacency index — the support-presence bit
+        the scoped well-formedness rules read per node.
+        """
+        return bool(
+            self._out_kind[LinkKind.SUPPORTED_BY].get(identifier)
+        )
+
+    def has_link(self, link: Link) -> bool:
+        """O(1) membership test for an exact link."""
+        return link in self._links
+
+    def links_of(self, identifier: str) -> list[Link]:
+        """Every link touching this node (outgoing first, then incoming).
+
+        The dependency set a node retype invalidates: used by the
+        incremental checker to re-evaluate exactly the affected link
+        rules.
+        """
+        self.node(identifier)
+        return list(self._out.get(identifier, ())) + list(
+            self._in.get(identifier, ())
+        )
+
     def context_of(self, identifier: str) -> list[Node]:
         """Contextual nodes attached to this node."""
         return self.children(identifier, LinkKind.IN_CONTEXT_OF)
@@ -1006,17 +1032,27 @@ class Argument:
 
     # -- persistence --------------------------------------------------------
 
-    def save(self, directory: Any, *, shard_count: int | None = None) -> Any:
+    def save(
+        self,
+        directory: Any,
+        *,
+        shard_count: int | None = None,
+        compression: str | None = None,
+    ) -> Any:
         """Write this argument to a sharded store directory.
 
         Streams nodes and links record-by-record into id-hash shards
         with a checksummed manifest (see :mod:`repro.store`); returns
-        the manifest.  Reload with :meth:`load`, or open lazily with
-        :class:`repro.store.StoredArgument` for partial hydration.
+        the manifest.  ``compression="gzip"`` gzips the shards
+        (transparent on read).  Reload with :meth:`load`, or open lazily
+        with :class:`repro.store.StoredArgument` for partial hydration.
         """
         from ..store import save_argument  # local: store imports this module
 
-        return save_argument(self, directory, shard_count=shard_count)
+        return save_argument(
+            self, directory, shard_count=shard_count,
+            compression=compression,
+        )
 
     @classmethod
     def load(cls, directory: Any) -> "Argument":

@@ -255,19 +255,29 @@ class AssuranceCase:
 
     # -- persistence --------------------------------------------------------
 
-    def save(self, directory, *, shard_count: int | None = None):
+    def save(
+        self,
+        directory,
+        *,
+        shard_count: int | None = None,
+        compression: str | None = None,
+    ):
         """Write this case to a sharded store directory.
 
         The argument shards exactly as :meth:`Argument.save
         <repro.core.argument.Argument.save>` lays it out; evidence and
-        citations stream to their own checksummed shards.  The lifecycle
-        log is not persisted — history belongs to the live case, and a
-        loaded case starts a fresh log (matching
+        citations stream to their own checksummed shards
+        (``compression="gzip"`` gzips them all, transparent on read).
+        The lifecycle log is not persisted — history belongs to the live
+        case, and a loaded case starts a fresh log (matching
         :func:`repro.notation.json_io.case_from_json`).
         """
         from ..store import save_case  # local: store imports this module
 
-        return save_case(self, directory, shard_count=shard_count)
+        return save_case(
+            self, directory, shard_count=shard_count,
+            compression=compression,
+        )
 
     @classmethod
     def load(cls, directory) -> "AssuranceCase":

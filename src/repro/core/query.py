@@ -42,6 +42,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from .analysis import iter_subject_nodes
 from .argument import Argument, LinkKind, MutationDelta
 from .nodes import Node, NodeType
 
@@ -366,18 +367,15 @@ def select(argument: Argument, query: Query) -> list[Node]:
     Also accepts a :class:`repro.store.StoredArgument`: the predicate
     streams over the store's node shards (checksum-verified, merged back
     into insertion order) without hydrating the argument, so querying a
-    case bigger than memory stays O(matches) in space.  Detection is
-    duck-typed (``iter_nodes``) so this module never imports
-    :mod:`repro.store`, which imports it transitively.
+    case bigger than memory stays O(matches) in space.  Detection uses
+    the shared duck-typed helpers in :mod:`repro.core.analysis` so this
+    module never imports :mod:`repro.store`, which imports it
+    transitively.
     """
     if not isinstance(argument, Argument):
-        stream = getattr(argument, "iter_nodes", None)
-        if stream is None:
-            raise TypeError(
-                "expected an Argument or a StoredArgument, got "
-                f"{type(argument).__name__}"
-            )
-        return [node for node in stream() if query(node)]
+        # iter_subject_nodes raises the canonical TypeError for
+        # non-argument subjects (e.g. an AssuranceCase).
+        return [node for node in iter_subject_nodes(argument) if query(node)]
     if query.plan is None:
         # No plan means a full scan regardless; skip building the index.
         return [node for node in argument.nodes if query(node)]

@@ -19,23 +19,42 @@ Two rule sets are provided:
   standard-conformant arguments: an object lesson in how a formal rule can
   be precisely wrong.
 
-Each rule is a small function returning violations; a :class:`RuleSet`
-aggregates them.  This design lets the experiments count *which* rules a
+Every rule is a **scoped rule** (see :mod:`repro.core.analysis`): it
+declares whether it inspects one node, one link, or the whole graph, and
+the analysis engine executes the set serially, streaming over a
+:class:`~repro.store.StoredArgument`'s shards without hydration, in
+parallel across process workers, or incrementally against the mutation
+delta log — all with identical output.  A :class:`RuleSet` aggregates
+rules; the legacy whole-argument :class:`Rule` form keeps working through
+an adapter that runs it as a global rule (hydration as the fallback, not
+the default).  This design lets the experiments count *which* rules a
 checker catches and compare checkers.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Sequence
+from typing import Any, Callable
 
+from .analysis import (
+    IncrementalChecker,
+    RuleContext,
+    Scope,
+    ScopedRule,
+    Violation,
+    global_rule,
+    per_link,
+    per_node,
+    run_rules,
+)
 from .argument import Argument, Link, LinkKind
-from .nodes import NodeType, looks_propositional
+from .nodes import Node, NodeType, looks_propositional
 
 __all__ = [
     "Violation",
     "Rule",
     "RuleSet",
+    "scoped_from_legacy",
     "GSN_STANDARD_RULES",
     "DENNEY_PAI_RULES",
     "check",
@@ -43,24 +62,18 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
-class Violation:
-    """One rule violation found in an argument."""
-
-    rule: str
-    subject: str  # node identifier or link rendering
-    detail: str
-
-    def __str__(self) -> str:
-        return f"[{self.rule}] {self.subject}: {self.detail}"
-
-
-CheckFunction = Callable[[Argument], list[Violation]]
+CheckFunction = Callable[[Argument], "list[Violation]"]
 
 
 @dataclass(frozen=True)
 class Rule:
-    """A named well-formedness rule."""
+    """A legacy whole-argument rule (kept for backward compatibility).
+
+    New rules should be scoped (:func:`~repro.core.analysis.per_node`,
+    :func:`~repro.core.analysis.per_link`,
+    :func:`~repro.core.analysis.global_rule`); a :class:`RuleSet` adapts
+    legacy rules automatically via :func:`scoped_from_legacy`.
+    """
 
     name: str
     description: str
@@ -70,184 +83,202 @@ class Rule:
         return self.check(argument)
 
 
+def scoped_from_legacy(rule: Rule) -> ScopedRule:
+    """Adapt a whole-argument rule to the scoped engine.
+
+    The adapted rule runs at global scope against
+    :meth:`~repro.core.analysis.RuleContext.argument` — so checking a
+    stored case with a legacy rule hydrates it (the fallback path), while
+    fully-scoped rule sets never do.
+    """
+
+    def run(ctx: RuleContext) -> list[Violation]:
+        return rule.check(ctx.argument())
+
+    return ScopedRule(rule.name, rule.description, Scope.GLOBAL, run)
+
+
 @dataclass(frozen=True)
 class RuleSet:
-    """An ordered collection of rules forming one notion of well-formed."""
+    """An ordered collection of rules forming one notion of well-formed.
+
+    Accepts scoped rules and legacy :class:`Rule` instances alike (the
+    latter are adapted on construction), so existing code that filters
+    or extends ``GSN_STANDARD_RULES.rules`` keeps working.
+    """
 
     name: str
-    rules: tuple[Rule, ...]
+    rules: tuple[ScopedRule, ...]
 
-    def check(self, argument: Argument) -> list[Violation]:
-        """All violations of all rules, in rule order.
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rules", tuple(
+            rule if isinstance(rule, ScopedRule) else scoped_from_legacy(rule)
+            for rule in self.rules
+        ))
 
-        Also accepts a :class:`repro.store.StoredArgument`: the stored
-        case is hydrated by iterating its shards (checksum-verified,
-        insertion order preserved) and checked identically, so loading
-        never changes which violations a case has.
+    def check(
+        self,
+        argument: Argument,
+        *,
+        mode: str = "auto",
+        workers: int | None = None,
+    ) -> list[Violation]:
+        """All violations, rule-set order, canonical within each rule.
+
+        Also accepts a :class:`repro.store.StoredArgument`: by default
+        the stored case is checked by **streaming** its shards
+        (checksum-verified) without hydrating an argument.  ``mode``
+        selects ``serial``/``streaming``, ``parallel`` (``workers``
+        processes), or ``full`` (hydrate first — the legacy behaviour);
+        every mode produces the identical list, so loading never changes
+        which violations a case has.
         """
-        argument = _hydrate(argument)
-        out: list[Violation] = []
-        for rule in self.rules:
-            out.extend(rule(argument))
-        return out
+        return run_rules(argument, self.rules, mode=mode, workers=workers)
 
-    def is_well_formed(self, argument: Argument) -> bool:
-        return not self.check(argument)
+    def is_well_formed(
+        self,
+        argument: Argument,
+        *,
+        mode: str = "auto",
+        workers: int | None = None,
+    ) -> bool:
+        return not self.check(argument, mode=mode, workers=workers)
 
-
-def _hydrate(argument: Argument) -> Argument:
-    """An in-memory argument for rule evaluation.
-
-    Stored arguments expose ``load()`` (shard-streaming hydration);
-    anything else must already be an :class:`Argument`.  Kept duck-typed
-    so this module never imports :mod:`repro.store` (which imports it
-    transitively).
-    """
-    if isinstance(argument, Argument):
-        return argument
-    # Probe the store-specific streaming surface, not just a generic
-    # ``load`` attribute (AssuranceCase and arbitrary objects also have
-    # ``load`` methods and must get the clear TypeError instead).
-    if hasattr(argument, "iter_links") and hasattr(argument, "load"):
-        return argument.load()
-    raise TypeError(
-        "expected an Argument or a StoredArgument, got "
-        f"{type(argument).__name__}"
-    )
+    def incremental(self, argument: Argument) -> IncrementalChecker:
+        """A stateful checker that re-checks only what mutations touch."""
+        return IncrementalChecker(argument, self.rules)
 
 
 # -- individual rules ------------------------------------------------------
+#
+# All module-level functions (parallel workers import them by qualified
+# name).  Per-link rules may ask the context only for their endpoints'
+# types; per-node rules only whether their node cites support — the
+# locality contract that makes streaming and partitioning sound.
 
 
-def _rule_supported_by_targets(argument: Argument) -> list[Violation]:
+_SUPPORT_TARGETS = frozenset({
+    NodeType.GOAL, NodeType.STRATEGY, NodeType.SOLUTION, NodeType.AWAY_GOAL,
+})
+
+_SUPPORT_SOURCES = frozenset({NodeType.GOAL, NodeType.STRATEGY})
+
+_CONTEXT_SOURCES = frozenset({
+    NodeType.GOAL, NodeType.STRATEGY, NodeType.AWAY_GOAL,
+})
+
+
+def _rule_supported_by_targets(
+    link: Link, ctx: RuleContext
+) -> list[Violation]:
     """SupportedBy may only target goals, strategies, or solutions."""
-    allowed = {
-        NodeType.GOAL, NodeType.STRATEGY, NodeType.SOLUTION,
-        NodeType.AWAY_GOAL,
-    }
-    out = []
-    for link in argument.links:
-        if link.kind is not LinkKind.SUPPORTED_BY:
-            continue
-        target = argument.node(link.target)
-        if target.node_type not in allowed:
-            out.append(Violation(
-                "supported-by-target",
-                str(link),
-                f"SupportedBy cannot target a {target.node_type.value}",
-            ))
-    return out
+    if link.kind is not LinkKind.SUPPORTED_BY:
+        return []
+    target = ctx.node_type(link.target)
+    if target in _SUPPORT_TARGETS:
+        return []
+    return [Violation(
+        "supported-by-target",
+        str(link),
+        f"SupportedBy cannot target a {target.value}",
+    )]
 
 
-def _rule_supported_by_sources(argument: Argument) -> list[Violation]:
+def _rule_supported_by_sources(
+    link: Link, ctx: RuleContext
+) -> list[Violation]:
     """Only goals and strategies may cite support."""
-    allowed = {NodeType.GOAL, NodeType.STRATEGY}
-    out = []
-    for link in argument.links:
-        if link.kind is not LinkKind.SUPPORTED_BY:
-            continue
-        source = argument.node(link.source)
-        if source.node_type not in allowed:
-            out.append(Violation(
-                "supported-by-source",
-                str(link),
-                f"a {source.node_type.value} cannot cite support",
-            ))
-    return out
+    if link.kind is not LinkKind.SUPPORTED_BY:
+        return []
+    source = ctx.node_type(link.source)
+    if source in _SUPPORT_SOURCES:
+        return []
+    return [Violation(
+        "supported-by-source",
+        str(link),
+        f"a {source.value} cannot cite support",
+    )]
 
 
-def _rule_context_targets(argument: Argument) -> list[Violation]:
+def _rule_context_targets(link: Link, ctx: RuleContext) -> list[Violation]:
     """InContextOf may only target context, assumptions, justifications."""
-    out = []
-    for link in argument.links:
-        if link.kind is not LinkKind.IN_CONTEXT_OF:
-            continue
-        target = argument.node(link.target)
-        if not target.node_type.is_contextual:
-            out.append(Violation(
-                "in-context-of-target",
-                str(link),
-                "InContextOf must target context, assumption, or "
-                f"justification, not {target.node_type.value}",
-            ))
-    return out
+    if link.kind is not LinkKind.IN_CONTEXT_OF:
+        return []
+    target = ctx.node_type(link.target)
+    if target.is_contextual:
+        return []
+    return [Violation(
+        "in-context-of-target",
+        str(link),
+        "InContextOf must target context, assumption, or "
+        f"justification, not {target.value}",
+    )]
 
 
-def _rule_context_sources(argument: Argument) -> list[Violation]:
+def _rule_context_sources(link: Link, ctx: RuleContext) -> list[Violation]:
     """Only goals and strategies carry contextual attachments."""
-    allowed = {NodeType.GOAL, NodeType.STRATEGY, NodeType.AWAY_GOAL}
-    out = []
-    for link in argument.links:
-        if link.kind is not LinkKind.IN_CONTEXT_OF:
-            continue
-        source = argument.node(link.source)
-        if source.node_type not in allowed:
-            out.append(Violation(
-                "in-context-of-source",
-                str(link),
-                f"a {source.node_type.value} cannot attach context",
-            ))
-    return out
+    if link.kind is not LinkKind.IN_CONTEXT_OF:
+        return []
+    source = ctx.node_type(link.source)
+    if source in _CONTEXT_SOURCES:
+        return []
+    return [Violation(
+        "in-context-of-source",
+        str(link),
+        f"a {source.value} cannot attach context",
+    )]
 
 
-def _rule_away_goal_no_solution_context(argument: Argument) -> list[Violation]:
+def _rule_away_goal_no_solution_context(
+    link: Link, ctx: RuleContext
+) -> list[Violation]:
     """'Solutions cannot be in the context of an away goal' (§II.B)."""
-    out = []
-    for link in argument.links:
-        if link.kind is not LinkKind.IN_CONTEXT_OF:
-            continue
-        source = argument.node(link.source)
-        target = argument.node(link.target)
-        if (
-            source.node_type is NodeType.AWAY_GOAL
-            and target.node_type is NodeType.SOLUTION
-        ):
-            out.append(Violation(
-                "away-goal-solution-context",
-                str(link),
-                "solutions cannot be in the context of an away goal",
-            ))
-    return out
+    if link.kind is not LinkKind.IN_CONTEXT_OF:
+        return []
+    if (
+        ctx.node_type(link.source) is NodeType.AWAY_GOAL
+        and ctx.node_type(link.target) is NodeType.SOLUTION
+    ):
+        return [Violation(
+            "away-goal-solution-context",
+            str(link),
+            "solutions cannot be in the context of an away goal",
+        )]
+    return []
 
 
-def _rule_solutions_are_leaves(argument: Argument) -> list[Violation]:
-    """Solutions terminate support chains; they cite nothing further.
-
-    Driven off the node-type index: O(solutions + their out-degree)
-    instead of a node lookup per link in the argument.
-    """
-    out = []
-    for solution in argument.nodes_of_type(NodeType.SOLUTION):
-        for kind in LinkKind:
-            for child in argument.children(solution.identifier, kind):
-                link = Link(solution.identifier, child.identifier, kind)
-                out.append(Violation(
-                    "solution-leaf",
-                    str(link),
-                    "a solution cannot be the source of any connector",
-                ))
-    return out
+def _rule_solutions_are_leaves(
+    link: Link, ctx: RuleContext
+) -> list[Violation]:
+    """Solutions terminate support chains; they cite nothing further."""
+    if ctx.node_type(link.source) is not NodeType.SOLUTION:
+        return []
+    return [Violation(
+        "solution-leaf",
+        str(link),
+        "a solution cannot be the source of any connector",
+    )]
 
 
-def _rule_single_root(argument: Argument) -> list[Violation]:
+def _rule_single_root(ctx: RuleContext) -> list[Violation]:
     """A complete argument has exactly one root goal."""
-    roots = argument.roots()
+    roots = ctx.roots()
     if len(roots) == 1:
         return []
     if not roots:
         return [Violation(
-            "single-root", argument.name, "argument has no root goal"
+            "single-root", ctx.name, "argument has no root goal"
         )]
-    names = ", ".join(r.identifier for r in roots)
+    names = ", ".join(roots)
     return [Violation(
-        "single-root", argument.name,
+        "single-root", ctx.name,
         f"argument has {len(roots)} root goals ({names})",
     )]
 
 
-def _rule_acyclic(argument: Argument) -> list[Violation]:
+def _rule_acyclic(ctx: RuleContext) -> list[Violation]:
     """The support relation must be acyclic."""
-    cycle = argument.find_cycle()
+    cycle = ctx.find_cycle()
     if cycle is None:
         return []
     return [Violation(
@@ -256,117 +287,157 @@ def _rule_acyclic(argument: Argument) -> list[Violation]:
     )]
 
 
-def _rule_developed_or_marked(argument: Argument) -> list[Violation]:
+def _rule_acyclic_delta(
+    ctx: RuleContext,
+    records: tuple,
+    previous: tuple[Violation, ...],
+) -> "list[Violation] | None":
+    """Incremental acyclicity: test only the added support edges.
+
+    An acyclic graph stays acyclic under node additions, removals, and
+    replacements; only an *added* SupportedBy edge ``s -> t`` can close
+    a cycle, and it does so exactly when ``s`` is reachable from ``t``.
+    So when the previous check was clean, reachability probes from each
+    added edge (O(reachable subtree), tiny on tree-shaped arguments)
+    replace the whole-graph DFS.  A previously cyclic argument declines
+    to the full rule — removals may or may not have fixed it, and the
+    canonical cycle rendering needs the full search anyway.
+    """
+    if previous:
+        return None
+    added = [
+        payload
+        for op, payload in records
+        if op == "add_link" and payload.kind is LinkKind.SUPPORTED_BY
+    ]
+    if not added:
+        return []
+    argument = ctx.argument()
+    for link in added:
+        if not argument.has_link(link):
+            continue  # removed again within the same delta
+        for node in argument.walk(link.target, LinkKind.SUPPORTED_BY):
+            if node.identifier == link.source:
+                return None  # a cycle appeared: render it canonically
+    return []
+
+
+def _rule_developed_or_marked(
+    node: Node, ctx: RuleContext
+) -> list[Violation]:
     """Every goal is supported, undeveloped-marked, or an away reference."""
-    out = []
-    for node in argument.goals:
-        if node.undeveloped:
-            continue
-        if argument.supporters(node.identifier):
-            continue
-        out.append(Violation(
-            "undeveloped-unmarked",
-            node.identifier,
-            "goal has no support and is not marked undeveloped",
-        ))
-    return out
+    if node.node_type is not NodeType.GOAL:
+        return []
+    if node.undeveloped or ctx.cites_support(node.identifier):
+        return []
+    return [Violation(
+        "undeveloped-unmarked",
+        node.identifier,
+        "goal has no support and is not marked undeveloped",
+    )]
 
 
-def _rule_strategies_supported(argument: Argument) -> list[Violation]:
+def _rule_strategies_supported(
+    node: Node, ctx: RuleContext
+) -> list[Violation]:
     """Every strategy leads to at least one sub-goal (or is undeveloped)."""
-    out = []
-    for node in argument.strategies:
-        if node.undeveloped:
-            continue
-        if argument.supporters(node.identifier):
-            continue
-        out.append(Violation(
-            "strategy-unsupported",
-            node.identifier,
-            "strategy has no sub-goals and is not marked undeveloped",
-        ))
-    return out
+    if node.node_type is not NodeType.STRATEGY:
+        return []
+    if node.undeveloped or ctx.cites_support(node.identifier):
+        return []
+    return [Violation(
+        "strategy-unsupported",
+        node.identifier,
+        "strategy has no sub-goals and is not marked undeveloped",
+    )]
 
 
-def _rule_goals_propositional(argument: Argument) -> list[Violation]:
+def _rule_goals_propositional(
+    node: Node, ctx: RuleContext
+) -> list[Violation]:
     """Goal text must read as a proposition (Kelly [2]).
 
     This is the shallow part-of-speech check §II.B.1 describes — it flags
     Denney-style 'Formal proof that X holds' noun phrases but cannot judge
     meaning.
     """
-    out = []
-    for node in argument.goals + argument.nodes_of_type(NodeType.AWAY_GOAL):
-        if not looks_propositional(node.text):
-            out.append(Violation(
-                "goal-not-proposition",
-                node.identifier,
-                f"goal text does not read as a proposition: {node.text!r}",
-            ))
-    return out
+    if node.node_type not in (NodeType.GOAL, NodeType.AWAY_GOAL):
+        return []
+    if looks_propositional(node.text):
+        return []
+    return [Violation(
+        "goal-not-proposition",
+        node.identifier,
+        f"goal text does not read as a proposition: {node.text!r}",
+    )]
 
 
-def _rule_no_goal_to_goal(argument: Argument) -> list[Violation]:
+def _rule_no_goal_to_goal(link: Link, ctx: RuleContext) -> list[Violation]:
     """Denney & Pai's rule: goals cannot connect directly to other goals.
 
     The paper notes this *contradicts* the GSN standard, which explicitly
     allows goal-to-goal support.  Included only in
     :data:`DENNEY_PAI_RULES` so the ablation can quantify the damage.
     """
-    out = []
-    for link in argument.links:
-        if link.kind is not LinkKind.SUPPORTED_BY:
-            continue
-        source = argument.node(link.source)
-        target = argument.node(link.target)
-        if (
-            source.node_type is NodeType.GOAL
-            and target.node_type is NodeType.GOAL
-        ):
-            out.append(Violation(
-                "denney-pai-no-goal-to-goal",
-                str(link),
-                "goal connects directly to another goal "
-                "(rejected by the Denney-Pai formalisation; "
-                "allowed by the GSN standard)",
-            ))
-    return out
+    if link.kind is not LinkKind.SUPPORTED_BY:
+        return []
+    if (
+        ctx.node_type(link.source) is NodeType.GOAL
+        and ctx.node_type(link.target) is NodeType.GOAL
+    ):
+        return [Violation(
+            "denney-pai-no-goal-to-goal",
+            str(link),
+            "goal connects directly to another goal "
+            "(rejected by the Denney-Pai formalisation; "
+            "allowed by the GSN standard)",
+        )]
+    return []
 
 
-_STANDARD_RULES: tuple[Rule, ...] = (
-    Rule("supported-by-target",
-         "SupportedBy targets goals, strategies, or solutions",
-         _rule_supported_by_targets),
-    Rule("supported-by-source",
-         "only goals and strategies cite support",
-         _rule_supported_by_sources),
-    Rule("in-context-of-target",
-         "InContextOf targets contextual elements",
-         _rule_context_targets),
-    Rule("in-context-of-source",
-         "only goals and strategies attach context",
-         _rule_context_sources),
-    Rule("away-goal-solution-context",
-         "solutions cannot contextualise away goals",
-         _rule_away_goal_no_solution_context),
-    Rule("solution-leaf",
-         "solutions are terminal",
-         _rule_solutions_are_leaves),
-    Rule("single-root",
-         "exactly one root goal",
-         _rule_single_root),
-    Rule("acyclic",
-         "no circular support",
-         _rule_acyclic),
-    Rule("undeveloped-unmarked",
-         "unsupported goals must be marked undeveloped",
-         _rule_developed_or_marked),
-    Rule("strategy-unsupported",
-         "strategies must lead to sub-goals",
-         _rule_strategies_supported),
-    Rule("goal-not-proposition",
-         "goal text must be a proposition",
-         _rule_goals_propositional),
+_STANDARD_RULES: tuple[ScopedRule, ...] = (
+    per_link("supported-by-target",
+             "SupportedBy targets goals, strategies, or solutions",
+             _rule_supported_by_targets,
+             kind=LinkKind.SUPPORTED_BY),
+    per_link("supported-by-source",
+             "only goals and strategies cite support",
+             _rule_supported_by_sources,
+             kind=LinkKind.SUPPORTED_BY),
+    per_link("in-context-of-target",
+             "InContextOf targets contextual elements",
+             _rule_context_targets,
+             kind=LinkKind.IN_CONTEXT_OF),
+    per_link("in-context-of-source",
+             "only goals and strategies attach context",
+             _rule_context_sources,
+             kind=LinkKind.IN_CONTEXT_OF),
+    per_link("away-goal-solution-context",
+             "solutions cannot contextualise away goals",
+             _rule_away_goal_no_solution_context,
+             kind=LinkKind.IN_CONTEXT_OF),
+    per_link("solution-leaf",
+             "solutions are terminal",
+             _rule_solutions_are_leaves),
+    global_rule("single-root",
+                "exactly one root goal",
+                _rule_single_root),
+    global_rule("acyclic",
+                "no circular support",
+                _rule_acyclic,
+                delta_fn=_rule_acyclic_delta),
+    per_node("undeveloped-unmarked",
+             "unsupported goals must be marked undeveloped",
+             _rule_developed_or_marked,
+             node_types=(NodeType.GOAL,)),
+    per_node("strategy-unsupported",
+             "strategies must lead to sub-goals",
+             _rule_strategies_supported,
+             node_types=(NodeType.STRATEGY,)),
+    per_node("goal-not-proposition",
+             "goal text must be a proposition",
+             _rule_goals_propositional,
+             node_types=(NodeType.GOAL, NodeType.AWAY_GOAL)),
 )
 
 #: The GSN Community Standard rule set (as characterised in the paper).
@@ -377,22 +448,32 @@ GSN_STANDARD_RULES = RuleSet("gsn-standard", _STANDARD_RULES)
 DENNEY_PAI_RULES = RuleSet(
     "denney-pai",
     _STANDARD_RULES + (
-        Rule("denney-pai-no-goal-to-goal",
-             "goals cannot connect to other goals (erroneous formalisation)",
-             _rule_no_goal_to_goal),
+        per_link("denney-pai-no-goal-to-goal",
+                 "goals cannot connect to other goals "
+                 "(erroneous formalisation)",
+                 _rule_no_goal_to_goal,
+                 kind=LinkKind.SUPPORTED_BY),
     ),
 )
 
 
 def check(
-    argument: Argument, rules: RuleSet = GSN_STANDARD_RULES
+    argument: Argument,
+    rules: RuleSet = GSN_STANDARD_RULES,
+    *,
+    mode: str = "auto",
+    workers: int | None = None,
 ) -> list[Violation]:
     """All violations of the given rule set (default: GSN standard)."""
-    return rules.check(argument)
+    return rules.check(argument, mode=mode, workers=workers)
 
 
 def is_well_formed(
-    argument: Argument, rules: RuleSet = GSN_STANDARD_RULES
+    argument: Argument,
+    rules: RuleSet = GSN_STANDARD_RULES,
+    *,
+    mode: str = "auto",
+    workers: int | None = None,
 ) -> bool:
     """True when the argument violates no rule of the set."""
-    return rules.is_well_formed(argument)
+    return rules.is_well_formed(argument, mode=mode, workers=workers)

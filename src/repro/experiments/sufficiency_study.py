@@ -79,6 +79,41 @@ def build_case(seed: int = 7, hazards: int = 6,
         "Argument over each identified hazard", under=top
     )
     solutions: list[tuple[str, str]] = []
+    # One batch for the whole hazard fan-out: a single version bump, and
+    # the final well-formedness check in build() sees one mutation delta.
+    with builder.bulk():
+        _populate_hazards(builder, strategy, hazards, redundancy, solutions)
+    argument = builder.build()
+    case = AssuranceCase(
+        name=argument.name,
+        argument=argument,
+        criterion=SafetyCriterion(
+            "No hazardous failure condition more often than once per "
+            "1e6 operating hours", "hazardous_failure_rate", 1e-6,
+        ),
+    )
+    kinds = list(EvidenceKind)
+    for solution_id, evidence_id in solutions:
+        case.add_evidence(
+            EvidenceItem(
+                identifier=evidence_id,
+                kind=rng.choice(kinds),
+                description=f"artefact behind {solution_id}",
+                coverage=round(rng.uniform(0.6, 1.0), 2),
+            ),
+            cited_by=solution_id,
+        )
+    return case
+
+
+def _populate_hazards(
+    builder: ArgumentBuilder,
+    strategy: str,
+    hazards: int,
+    redundancy: int,
+    solutions: list[tuple[str, str]],
+) -> None:
+    """Grow the per-hazard sub-arguments under the top strategy."""
     for index in range(1, hazards + 1):
         goal = builder.goal(
             f"Hazard H{index} is acceptably managed", under=strategy
@@ -112,27 +147,6 @@ def build_case(seed: int = 7, hazards: int = 6,
                     under=goal,
                 )
                 solutions.append((secondary, f"ev_fd_{index}"))
-    argument = builder.build()
-    case = AssuranceCase(
-        name=argument.name,
-        argument=argument,
-        criterion=SafetyCriterion(
-            "No hazardous failure condition more often than once per "
-            "1e6 operating hours", "hazardous_failure_rate", 1e-6,
-        ),
-    )
-    kinds = list(EvidenceKind)
-    for solution_id, evidence_id in solutions:
-        case.add_evidence(
-            EvidenceItem(
-                identifier=evidence_id,
-                kind=rng.choice(kinds),
-                description=f"artefact behind {solution_id}",
-                coverage=round(rng.uniform(0.6, 1.0), 2),
-            ),
-            cited_by=solution_id,
-        )
-    return case
 
 
 @dataclass(frozen=True)

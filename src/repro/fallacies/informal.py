@@ -26,6 +26,7 @@ import re
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
+from ..core.analysis import ensure_argument, iter_subject_nodes
 from ..core.argument import Argument
 from ..core.case import AssuranceCase
 from ..core.evidence import APPROPRIATE_KINDS, EvidenceItem
@@ -120,10 +121,14 @@ def homonym_heuristic(argument: Argument) -> list[HeuristicFlag]:
     it flags *every* cross-node reuse of a listed homonym, producing false
     positives whenever a term is reused consistently (the common case) and
     false negatives for any homonym missing from the lexicon.
+
+    Also accepts a :class:`repro.store.StoredArgument`: the scan streams
+    node shards without hydrating, so a saved 100k-node case can be swept
+    for homonym reuse in O(flags) memory.
     """
     flags: list[HeuristicFlag] = []
     users: dict[str, list[str]] = {}
-    for node in argument.nodes:
+    for node in iter_subject_nodes(argument):
         words = set(re.findall(r"[a-z_]+", node.text.lower()))
         for homonym in KNOWN_HOMONYMS:
             if homonym in words:
@@ -157,7 +162,12 @@ def hasty_generalisation_heuristic(
     Pure surface patterning: it cannot judge whether the sample actually
     warrants the generalisation (the 0.1% sample and the 99.9% census look
     identical at this level).
+
+    Needs the support relation (a node's children), so a stored argument
+    hydrates first — the fallback path; the purely per-node heuristics
+    stream instead.
     """
+    argument = ensure_argument(argument)
     flags: list[HeuristicFlag] = []
     for node in argument.nodes:
         universal = re.search(
@@ -192,9 +202,12 @@ def ignorance_heuristic(argument: Argument) -> list[HeuristicFlag]:
     after opening the garage and looking' is a *sound* absence argument.
     The heuristic cannot evaluate search-procedure adequacy, so it flags
     sound and unsound instances alike.
+
+    Purely per-node, so a :class:`repro.store.StoredArgument` streams
+    shard by shard without hydration.
     """
     flags: list[HeuristicFlag] = []
-    for node in argument.nodes:
+    for node in iter_subject_nodes(argument):
         if _IGNORANCE_PATTERN.search(node.text):
             flags.append(HeuristicFlag(
                 node.identifier,

@@ -41,6 +41,14 @@ Integrity is checked per shard: the manifest records each shard's line
 count and the CRC-32 of its bytes; the reader verifies both as it
 streams and raises :class:`StoreCorruptionError` *naming the shard* on
 any mismatch, truncated line, or undecodable record.
+
+Shards may optionally be **gzip-compressed**, recorded in the manifest as
+``"compression": "gzip"`` and reflected in the ``.jsonl.gz`` filename
+suffix; reads are transparent.  Record counts, checksums, and the
+content-addressed names are always computed over the *decompressed*
+JSONL lines, and the gzip stream is written deterministically (fixed
+mtime, no embedded filename), so byte-stability — save → load → save
+producing identical files — holds for compressed stores too.
 """
 
 from __future__ import annotations
@@ -54,11 +62,14 @@ __all__ = [
     "MANIFEST_NAME",
     "DEFAULT_SHARD_COUNT",
     "ID_HASH",
+    "GZIP_COMPRESSION",
+    "COMPRESSIONS",
     "StoreError",
     "StoreCorruptionError",
     "shard_of",
     "shard_base",
     "shard_filename",
+    "validate_compression",
     "encode_record",
 ]
 
@@ -75,6 +86,12 @@ DEFAULT_SHARD_COUNT = 8
 #: Name of the identifier-hash function recorded in the manifest, so a
 #: reader can refuse a store written with a different placement scheme.
 ID_HASH = "crc32"
+
+#: The one supported per-shard compression scheme (manifest value).
+GZIP_COMPRESSION = "gzip"
+
+#: Accepted values for the manifest's optional ``compression`` key.
+COMPRESSIONS = (None, GZIP_COMPRESSION)
 
 
 class StoreError(ValueError):
@@ -94,6 +111,13 @@ class StoreCorruptionError(StoreError):
         self.shard = shard
         self.detail = detail
 
+    def __reduce__(self):
+        # Default exception pickling would replay the *formatted*
+        # message into the two-argument constructor; corruption raised
+        # inside a parallel-check worker must cross the process
+        # boundary intact.
+        return (type(self), (self.shard, self.detail))
+
 
 def shard_of(identifier: str, shard_count: int) -> int:
     """The shard index an identifier hashes to (stable across runs)."""
@@ -105,9 +129,26 @@ def shard_base(kind: str, index: int) -> str:
     return f"{kind}-{index:04d}"
 
 
-def shard_filename(base: str, checksum: int) -> str:
-    """The content-addressed final filename of a finished shard."""
-    return f"{base}-{checksum:08x}.jsonl"
+def shard_filename(
+    base: str, checksum: int, compression: "str | None" = None
+) -> str:
+    """The content-addressed final filename of a finished shard.
+
+    ``checksum`` is always the CRC-32 of the *decompressed* content, so
+    identical records get identical names whatever the compression.
+    """
+    suffix = ".jsonl.gz" if compression == GZIP_COMPRESSION else ".jsonl"
+    return f"{base}-{checksum:08x}{suffix}"
+
+
+def validate_compression(compression: "str | None") -> "str | None":
+    """The compression value, or a clear error for unsupported schemes."""
+    if compression not in COMPRESSIONS:
+        raise StoreError(
+            f"unsupported shard compression {compression!r} "
+            f"(supported: {', '.join(str(c) for c in COMPRESSIONS)})"
+        )
+    return compression
 
 
 def encode_record(record: dict[str, Any]) -> bytes:

@@ -27,17 +27,20 @@ the manifest, JSON decode per line — and any mismatch raises
 
 from __future__ import annotations
 
+import gzip
 import heapq
 import json
 from pathlib import Path
 from typing import Any, Iterator
-from zlib import crc32
+from zlib import crc32, error as zlib_error
 
 from ..core.argument import Argument, Link, LinkKind
 from ..core.case import AssuranceCase, SafetyCriterion
 from ..core.nodes import Node
 from ..notation.json_io import evidence_from_payload, node_from_payload
 from .format import (
+    COMPRESSIONS,
+    GZIP_COMPRESSION,
     ID_HASH,
     MANIFEST_NAME,
     STORE_SCHEMA_VERSION,
@@ -110,14 +113,26 @@ class StoredArgument:
                 f"{len(node_shards or ())} node / "
                 f"{len(link_shards or ())} link shard names)",
             )
+        compression = manifest.get("compression")
+        if compression not in COMPRESSIONS:
+            raise StoreError(
+                f"unsupported shard compression {compression!r} "
+                f"(this reader speaks gzip or none)"
+            )
         self.manifest = manifest
         self.name: str = manifest["name"]
         self.kind: str = manifest["kind"]
         self.shard_count: int = shard_count
+        #: ``"gzip"`` when shards are compressed (transparent on read).
+        self.compression: str | None = compression
         self._node_shard_names: list[str] = node_shards
         self._link_shard_names: list[str] = link_shards
         #: Shard files fully read (and checksum-verified) so far.
         self.shards_read: set[str] = set()
+        #: True once :meth:`load` has rebuilt a full in-memory argument —
+        #: the no-hydration assertions of the streaming well-formedness
+        #: path key off this flag.
+        self.hydrated = False
         # Lazy caches: shard index -> {node id: (seq, Node)} and
         # shard index -> {source id: [(seq, Link), ...]} in seq order.
         self._node_shards: dict[int, dict[str, tuple[int, Node]]] = {}
@@ -137,11 +152,16 @@ class StoredArgument:
     ) -> Iterator[dict[str, Any]]:
         """Yield a shard's records, verifying integrity as they stream.
 
-        Per-line JSON errors — including lines that decode to something
-        other than a record carrying the ``required`` keys — raise at
-        the offending line; the checksum and record count are confirmed
-        once the shard is exhausted, so a fully-consumed stream implies
-        an intact shard.
+        The shard is read in one buffer (bounded by shard size, which the
+        id-hash distribution keeps at roughly 1/shard_count of the store)
+        so the CRC-32 and the UTF-8 decode each run once at C speed —
+        this is the hot path of streaming well-formedness and of every
+        load.  Per-line JSON errors — including lines that decode to
+        something other than a record carrying the ``required`` keys —
+        raise at the offending line; count and checksum are verified
+        up front against the manifest, so a consumed stream implies an
+        intact shard.  Counts, checksums, and line numbers always refer
+        to the *decompressed* content of a gzip shard.
         """
         meta = self.manifest["shards"].get(filename)
         if meta is None:
@@ -149,40 +169,58 @@ class StoredArgument:
         shard_path = self.path / filename
         if not shard_path.exists():
             raise StoreCorruptionError(filename, "shard file is missing")
-        checksum = 0
-        count = 0
-        with shard_path.open("rb") as handle:
-            for line_number, line in enumerate(handle, start=1):
-                checksum = crc32(line, checksum)
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError as error:
-                    raise StoreCorruptionError(
-                        filename,
-                        f"line {line_number} is not valid JSON ({error})",
-                    ) from None
-                if not isinstance(record, dict) or any(
-                    key not in record for key in required
-                ):
-                    raise StoreCorruptionError(
-                        filename,
-                        f"line {line_number} is not a store record "
-                        f"(expected an object with {', '.join(required)})",
-                    )
-                count += 1
-                yield record
-        if count != meta["records"]:
-            raise StoreCorruptionError(
-                filename,
-                f"expected {meta['records']} record(s), found {count} "
-                "(truncated or padded shard)",
-            )
+        data = shard_path.read_bytes()
+        if self.compression == GZIP_COMPRESSION:
+            try:
+                data = gzip.decompress(data)
+            except (OSError, EOFError, zlib_error) as error:
+                raise StoreCorruptionError(
+                    filename, f"cannot decompress gzip shard ({error})"
+                ) from None
+        checksum = crc32(data)
         if checksum != meta["crc32"]:
             raise StoreCorruptionError(
                 filename,
                 f"checksum mismatch (manifest {meta['crc32']}, "
                 f"content {checksum})",
             )
+        try:
+            text = data.decode("utf-8")
+        except UnicodeDecodeError as error:
+            line_number = data.count(b"\n", 0, error.start) + 1
+            raise StoreCorruptionError(
+                filename,
+                f"line {line_number} is not valid JSON ({error})",
+            ) from None
+        lines = text.splitlines()
+        if len(lines) != meta["records"]:
+            raise StoreCorruptionError(
+                filename,
+                f"expected {meta['records']} record(s), found "
+                f"{len(lines)} (truncated or padded shard)",
+            )
+        for line_number, line in enumerate(lines, start=1):
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise StoreCorruptionError(
+                    filename,
+                    f"line {line_number} is not valid JSON ({error})",
+                ) from None
+            if type(record) is not dict:
+                record = None
+            else:
+                for key in required:
+                    if key not in record:
+                        record = None
+                        break
+            if record is None:
+                raise StoreCorruptionError(
+                    filename,
+                    f"line {line_number} is not a store record "
+                    f"(expected an object with {', '.join(required)})",
+                )
+            yield record
         self.shards_read.add(filename)
 
     def iter_node_records(self) -> Iterator[dict[str, Any]]:
@@ -210,6 +248,32 @@ class StoredArgument:
             key=_record_seq,
         ):
             yield Link(
+                record["source"], record["target"], LinkKind(record["kind"])
+            )
+
+    def iter_shard_nodes(self, index: int) -> Iterator[tuple[int, Node]]:
+        """Stream one node shard's ``(seq, node)`` pairs, seq-ascending.
+
+        The per-shard work unit of the parallel well-formedness engine:
+        shard ``index`` holds exactly the nodes whose identifiers hash
+        there, verified as they stream.
+        """
+        for record in self._stream_shard(
+            self._node_shard_names[index], _NODE_KEYS
+        ):
+            yield record["seq"], node_from_payload(record)
+
+    def iter_shard_links(self, index: int) -> Iterator[tuple[int, Link]]:
+        """Stream one link shard's ``(seq, link)`` pairs, seq-ascending.
+
+        Links shard by *source* id, so a node's outgoing links live in
+        the shard its identifier hashes to — per-source order within a
+        shard equals global insertion order.
+        """
+        for record in self._stream_shard(
+            self._link_shard_names[index], _LINK_KEYS
+        ):
+            yield record["seq"], Link(
                 record["source"], record["target"], LinkKind(record["kind"])
             )
 
@@ -327,6 +391,7 @@ class StoredArgument:
                 f"{self.manifest['node_count']} / "
                 f"{self.manifest['link_count']}",
             )
+        self.hydrated = True
         return argument
 
 

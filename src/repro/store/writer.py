@@ -22,6 +22,7 @@ manifest references — and files the store never wrote are never touched.
 
 from __future__ import annotations
 
+import gzip
 import json
 from pathlib import Path
 from typing import Any, Iterable
@@ -34,6 +35,7 @@ from ..core.nodes import Node
 from ..notation.json_io import evidence_payload, node_payload
 from .format import (
     DEFAULT_SHARD_COUNT,
+    GZIP_COMPRESSION,
     ID_HASH,
     MANIFEST_NAME,
     STORE_SCHEMA_VERSION,
@@ -42,6 +44,7 @@ from .format import (
     shard_base,
     shard_filename,
     shard_of,
+    validate_compression,
 )
 
 __all__ = ["save_argument", "save_case"]
@@ -56,15 +59,31 @@ class _ShardWriter:
 
     Streams to ``<base>.tmp``; :meth:`finish` seals the file under its
     content-addressed final name, so an interrupted save never damages
-    an existing store.
+    an existing store.  With ``compression="gzip"`` the lines pass
+    through a deterministic gzip stream (``mtime=0``, no embedded
+    filename) while the count and CRC-32 keep tracking the *decompressed*
+    lines — identical records therefore seal under identical names and
+    bytes, compressed or not.
     """
 
-    __slots__ = ("base", "_directory", "_handle", "records", "crc")
+    __slots__ = (
+        "base", "compression", "_directory", "_raw", "_handle",
+        "records", "crc",
+    )
 
-    def __init__(self, directory: Path, base: str) -> None:
+    def __init__(
+        self, directory: Path, base: str, compression: str | None = None
+    ) -> None:
         self.base = base
+        self.compression = compression
         self._directory = directory
-        self._handle = (directory / (base + _TMP_SUFFIX)).open("wb")
+        self._raw = (directory / (base + _TMP_SUFFIX)).open("wb")
+        if compression == GZIP_COMPRESSION:
+            self._handle: Any = gzip.GzipFile(
+                filename="", mode="wb", fileobj=self._raw, mtime=0
+            )
+        else:
+            self._handle = self._raw
         self.records = 0
         self.crc = 0
 
@@ -75,7 +94,9 @@ class _ShardWriter:
         self.records += 1
 
     def close(self) -> None:
-        self._handle.close()
+        if self._handle is not self._raw:
+            self._handle.close()
+        self._raw.close()
 
     def finish(self) -> str:
         """Rename the closed tmp file to its final name; return it.
@@ -84,7 +105,7 @@ class _ShardWriter:
         *different* previous content; identical content re-seals the
         identical file.
         """
-        name = shard_filename(self.base, self.crc)
+        name = shard_filename(self.base, self.crc, self.compression)
         (self._directory / (self.base + _TMP_SUFFIX)).replace(
             self._directory / name
         )
@@ -121,13 +142,16 @@ def _write_sharded(
     directory: Path,
     bases: list[str],
     records: Iterable[tuple[int, dict[str, Any]]],
+    compression: str | None = None,
 ) -> tuple[list[str], dict[str, dict[str, int]]]:
     """Stream ``(shard_index, record)`` pairs; seal and name the shards.
 
     Returns the final filenames in shard-index order plus their
     manifest entries.
     """
-    writers = [_ShardWriter(directory, base) for base in bases]
+    writers = [
+        _ShardWriter(directory, base, compression) for base in bases
+    ]
     try:
         for index, record in records:
             writers[index].write(record)
@@ -141,7 +165,10 @@ def _write_sharded(
 
 
 def _write_graph(
-    argument: Argument, directory: Path, shard_count: int
+    argument: Argument,
+    directory: Path,
+    shard_count: int,
+    compression: str | None = None,
 ) -> tuple[list[str], list[str], dict[str, dict[str, int]]]:
     """Stream an argument's nodes and links into their shards."""
     node_names, shards = _write_sharded(
@@ -151,6 +178,7 @@ def _write_graph(
             (shard_of(node.identifier, shard_count), _node_record(seq, node))
             for seq, node in enumerate(argument.nodes)
         ),
+        compression,
     )
     link_names, link_shards = _write_sharded(
         directory,
@@ -159,6 +187,7 @@ def _write_graph(
             (shard_of(link.source, shard_count), _link_record(seq, link))
             for seq, link in enumerate(argument.links)
         ),
+        compression,
     )
     shards.update(link_shards)
     return node_names, link_names, shards
@@ -209,17 +238,21 @@ def save_argument(
     directory: Path | str,
     *,
     shard_count: int | None = None,
+    compression: str | None = None,
 ) -> dict[str, Any]:
     """Write an argument to a store directory; returns the manifest.
 
     Replaces any store already in the directory, safely: new shards land
     under fresh content-addressed names and the manifest rename is the
     atomic commit, so an interrupted save leaves the previous store
-    loadable.
+    loadable.  ``compression="gzip"`` gzips every shard (recorded in the
+    manifest, transparent on read; counts/checksums stay those of the
+    decompressed records).
     """
     directory, shard_count = _prepare(directory, shard_count)
+    compression = validate_compression(compression)
     node_shards, link_shards, shards = _write_graph(
-        argument, directory, shard_count
+        argument, directory, shard_count, compression
     )
     manifest: dict[str, Any] = {
         "schema": STORE_SCHEMA_VERSION,
@@ -233,6 +266,8 @@ def save_argument(
         "link_shards": link_shards,
         "shards": shards,
     }
+    if compression is not None:
+        manifest["compression"] = compression
     _commit(directory, manifest)
     return manifest
 
@@ -246,24 +281,28 @@ def save_case(
     directory: Path | str,
     *,
     shard_count: int | None = None,
+    compression: str | None = None,
 ) -> dict[str, Any]:
     """Write a whole assurance case to a store directory.
 
     The argument is sharded exactly as :func:`save_argument` lays it
-    out; evidence and citations stream to their own JSONL shards.  The
-    lifecycle log is intentionally not persisted (matching
+    out; evidence and citations stream to their own JSONL shards (all
+    gzipped together under ``compression="gzip"``).  The lifecycle log
+    is intentionally not persisted (matching
     :func:`~repro.notation.json_io.case_from_json`): history belongs to
     the live case, and a loaded case starts a fresh log.
     """
     directory, shard_count = _prepare(directory, shard_count)
+    compression = validate_compression(compression)
     node_shards, link_shards, shards = _write_graph(
-        case.argument, directory, shard_count
+        case.argument, directory, shard_count, compression
     )
     (evidence_shard,), evidence_meta = _write_sharded(
         directory,
         ["evidence"],
         ((0, _evidence_record(seq, item))
          for seq, item in enumerate(case.evidence)),
+        compression,
     )
     shards.update(evidence_meta)
     def _citation_records() -> Iterable[tuple[int, dict[str, Any]]]:
@@ -280,7 +319,7 @@ def save_case(
             seq += 1
 
     (citations_shard,), citations_meta = _write_sharded(
-        directory, ["citations"], _citation_records()
+        directory, ["citations"], _citation_records(), compression
     )
     shards.update(citations_meta)
     manifest: dict[str, Any] = {
@@ -307,5 +346,7 @@ def save_case(
         "citations_shard": citations_shard,
         "shards": shards,
     }
+    if compression is not None:
+        manifest["compression"] = compression
     _commit(directory, manifest)
     return manifest

@@ -1,0 +1,339 @@
+"""The scoped streaming rule engine: mode equivalence and incrementality.
+
+Pins the tentpole contracts of :mod:`repro.core.analysis`:
+
+* one rule set, four execution modes — serial, full (hydrate first),
+  streaming over a saved store, and parallel across process workers —
+  all producing the *identical* violation list;
+* streaming and parallel checks never hydrate the store (asserted via
+  ``StoredArgument.hydrated``);
+* the :class:`~repro.core.analysis.IncrementalChecker` equals a fresh
+  full check after arbitrary mutations, including retypes (which flip
+  link-rule verdicts), cycle creation/destruction (the delta-aware
+  acyclic hook), batches, and delta-log rotation;
+* legacy whole-argument :class:`~repro.core.wellformed.Rule` callables
+  keep working through the global-scope adapter, with hydration as the
+  fallback rather than the default.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.analysis import (
+    IncrementalChecker,
+    Scope,
+    ScopedRule,
+    Violation,
+    ensure_argument,
+    is_stored_argument,
+    per_link,
+    per_node,
+    run_rules,
+)
+from repro.core.argument import Argument, LinkKind
+from repro.core.nodes import Node, NodeType
+from repro.core.wellformed import (
+    DENNEY_PAI_RULES,
+    GSN_STANDARD_RULES,
+    Rule,
+    RuleSet,
+    check,
+)
+from repro.store import StoredArgument
+
+pytestmark = pytest.mark.analysis
+
+
+@pytest.fixture
+def ill_formed() -> Argument:
+    """Violates link rules, node rules, and the single-root global rule."""
+    argument = Argument("engine-fixture")
+    argument.add_nodes([
+        Node("G1", NodeType.GOAL, "The system is acceptably safe"),
+        Node("G2", NodeType.GOAL, "Formal proof that Quat4 holds"),
+        Node("G3", NodeType.GOAL, "A second root claim stands alone"),
+        Node("S1", NodeType.STRATEGY, "Argument over nothing at all"),
+        Node("Sn1", NodeType.SOLUTION, "Test report TR-1"),
+        Node("Sn2", NodeType.SOLUTION, "Test report TR-2"),
+        Node("C1", NodeType.CONTEXT, "Operating context"),
+    ])
+    argument.add_links([
+        ("G1", "G2", LinkKind.SUPPORTED_BY),
+        ("G1", "S1", LinkKind.SUPPORTED_BY),
+        ("G2", "Sn1", LinkKind.SUPPORTED_BY),
+        ("Sn1", "Sn2", LinkKind.SUPPORTED_BY),   # solution cites support
+        ("G1", "Sn2", LinkKind.IN_CONTEXT_OF),   # context link to solution
+        ("G2", "C1", LinkKind.IN_CONTEXT_OF),
+    ])
+    return argument
+
+
+@pytest.fixture
+def stored(ill_formed, tmp_path) -> StoredArgument:
+    store_dir = tmp_path / "engine.store"
+    ill_formed.save(store_dir)
+    return StoredArgument(store_dir)
+
+
+class TestModeEquivalence:
+    def test_all_modes_identical(self, ill_formed, tmp_path):
+        store_dir = tmp_path / "modes.store"
+        ill_formed.save(store_dir)
+        serial = check(ill_formed)
+        assert serial, "fixture must actually violate rules"
+
+        streaming_store = StoredArgument(store_dir)
+        streaming = check(streaming_store, mode="streaming")
+        full_store = StoredArgument(store_dir)
+        full = check(full_store, mode="full")
+        parallel_store = StoredArgument(store_dir)
+        parallel = check(parallel_store, mode="parallel", workers=2)
+        parallel_live = check(ill_formed, mode="parallel", workers=2)
+
+        assert serial == streaming == full == parallel == parallel_live
+
+    def test_streaming_reads_shards_without_hydrating(self, stored):
+        check(stored, mode="streaming")
+        assert stored.shards_read, "streaming must verify real shards"
+        assert not stored.hydrated
+
+    def test_parallel_does_not_hydrate(self, stored):
+        check(stored, mode="parallel", workers=2)
+        assert not stored.hydrated
+
+    def test_full_mode_hydrates(self, stored):
+        check(stored, mode="full")
+        assert stored.hydrated
+
+    def test_auto_mode_streams_stored_arguments(self, stored):
+        check(stored)
+        assert not stored.hydrated
+
+    def test_single_worker_degrades_to_streaming(self, stored, ill_formed):
+        degraded = check(stored, mode="parallel", workers=1)
+        assert degraded == check(ill_formed)
+        assert not stored.hydrated
+
+    def test_denney_pai_rules_across_modes(self, ill_formed, stored):
+        assert check(stored, DENNEY_PAI_RULES) == \
+            check(ill_formed, DENNEY_PAI_RULES)
+
+    def test_cycle_rendering_identical_across_modes(self, tmp_path):
+        cyclic = Argument("cyclic")
+        cyclic.add_nodes([
+            Node("G1", NodeType.GOAL, "Claim one holds"),
+            Node("G2", NodeType.GOAL, "Claim two holds"),
+            Node("G3", NodeType.GOAL, "Claim three holds"),
+        ])
+        cyclic.add_links([
+            ("G1", "G2", LinkKind.SUPPORTED_BY),
+            ("G2", "G3", LinkKind.SUPPORTED_BY),
+            ("G3", "G1", LinkKind.SUPPORTED_BY),
+        ])
+        cyclic.save(tmp_path / "cyclic.store")
+        serial = check(cyclic)
+        assert any(v.rule == "acyclic" for v in serial)
+        streamed = check(StoredArgument(tmp_path / "cyclic.store"))
+        parallel = check(
+            StoredArgument(tmp_path / "cyclic.store"),
+            mode="parallel", workers=2,
+        )
+        assert serial == streamed == parallel
+
+    def test_unknown_mode_rejected(self, ill_formed):
+        with pytest.raises(ValueError, match="unknown analysis mode"):
+            run_rules(ill_formed, GSN_STANDARD_RULES.rules, mode="warp")
+
+    def test_non_argument_subject_rejected(self, sample_case):
+        with pytest.raises(TypeError, match="got AssuranceCase"):
+            run_rules(sample_case, GSN_STANDARD_RULES.rules)
+
+
+class TestSharedStoreHelpers:
+    def test_is_stored_argument(self, stored, ill_formed, sample_case):
+        assert is_stored_argument(stored)
+        assert not is_stored_argument(ill_formed)
+        # AssuranceCase has a load() too; it must not be mis-dispatched.
+        assert not is_stored_argument(sample_case)
+
+    def test_ensure_argument_hydration_fallback(self, stored, ill_formed):
+        assert ensure_argument(ill_formed) is ill_formed
+        hydrated = ensure_argument(stored)
+        assert hydrated == ill_formed
+        assert stored.hydrated
+        with pytest.raises(TypeError, match="got int"):
+            ensure_argument(7)
+
+
+class TestLegacyRuleAdapter:
+    @staticmethod
+    def _legacy_set() -> RuleSet:
+        def no_empty_texts(argument: Argument) -> list[Violation]:
+            return [
+                Violation("short-text", node.identifier,
+                          "node text is suspiciously short")
+                for node in argument.nodes
+                if len(node.text) < 10
+            ]
+
+        return RuleSet("legacy", (
+            Rule("short-text", "texts are not trivially short",
+                 no_empty_texts),
+        ))
+
+    def test_legacy_rules_adapt_and_run(self, ill_formed):
+        legacy = self._legacy_set()
+        assert all(rule.scope is Scope.GLOBAL for rule in legacy.rules)
+        assert legacy.check(ill_formed) == []
+        ill_formed.add_node(Node("T1", NodeType.CONTEXT, "Tiny text"))
+        assert [v.rule for v in legacy.check(ill_formed)] == ["short-text"]
+
+    def test_legacy_rules_hydrate_stored_arguments_once(self, stored):
+        legacy = RuleSet("legacy-pair", (
+            Rule("a", "first legacy rule", lambda argument: []),
+            Rule("b", "second legacy rule", lambda argument: []),
+        ))
+        assert legacy.check(stored) == []
+        # Hydration is the fallback (and happens at most once, however
+        # many legacy rules ask).
+        assert stored.hydrated
+
+    def test_mixed_scoped_and_legacy_rule_set(self, ill_formed):
+        mixed = RuleSet("mixed", GSN_STANDARD_RULES.rules[:3] + (
+            Rule("always-one", "fires once per argument",
+                 lambda argument: [Violation(
+                     "always-one", argument.name, "fired")]),
+        ))
+        found = mixed.check(ill_formed)
+        assert [v.rule for v in found][-1] == "always-one"
+
+
+def _flag_away_goals(node, ctx):
+    return [Violation("no-away", node.identifier, "away goal present")]
+
+
+def _flag_context_links(link, ctx):
+    return [Violation("no-context-links", str(link), "context link")]
+
+
+class TestDispatchFilters:
+    def test_node_type_filter_limits_invocations(self):
+        argument = Argument("filtered")
+        argument.add_nodes([
+            Node("G1", NodeType.GOAL, "The claim holds", undeveloped=True),
+            Node("AG1", NodeType.AWAY_GOAL, "Remote claim holds",
+                 module="m1"),
+        ])
+        rule = per_node("no-away", "flags away goals", _flag_away_goals,
+                        node_types=(NodeType.AWAY_GOAL,))
+        found = run_rules(argument, (rule,))
+        assert [v.subject for v in found] == ["AG1"]
+
+    def test_link_kind_filter_limits_invocations(self, ill_formed):
+        rule = per_link("no-context-links", "flags context links",
+                        _flag_context_links, kind=LinkKind.IN_CONTEXT_OF)
+        found = run_rules(ill_formed, (rule,))
+        assert len(found) == 2
+        assert all("~>" in v.subject for v in found)
+
+    def test_filters_hold_in_parallel_mode(self, ill_formed):
+        rules = (
+            per_node("no-away", "flags away goals", _flag_away_goals,
+                     node_types=(NodeType.AWAY_GOAL,)),
+            per_link("no-context-links", "flags context links",
+                     _flag_context_links, kind=LinkKind.IN_CONTEXT_OF),
+        )
+        assert run_rules(ill_formed, rules, mode="parallel", workers=2) \
+            == run_rules(ill_formed, rules)
+
+
+class TestIncrementalChecker:
+    def test_requires_a_live_argument(self, stored):
+        with pytest.raises(TypeError, match="needs a live Argument"):
+            IncrementalChecker(stored, GSN_STANDARD_RULES.rules)
+
+    def test_tracks_arbitrary_mutations(self, ill_formed):
+        checker = GSN_STANDARD_RULES.incremental(ill_formed)
+        assert checker.check() == check(ill_formed)
+
+        ill_formed.add_node(Node(
+            "G9", NodeType.GOAL, "Another claim stands unsupported"
+        ))
+        assert checker.check() == check(ill_formed)
+
+        ill_formed.add_link("G3", "G9", LinkKind.SUPPORTED_BY)
+        assert checker.check() == check(ill_formed)
+
+        ill_formed.remove_node("G9")
+        assert checker.check() == check(ill_formed)
+
+        with ill_formed.batch():
+            ill_formed.add_node(Node(
+                "S2", NodeType.STRATEGY, "Argument over spare parts"
+            ))
+            ill_formed.add_link("G3", "S2", LinkKind.SUPPORTED_BY)
+            ill_formed.remove_link(
+                next(link for link in ill_formed.links
+                     if link.source == "Sn1")
+            )
+        assert checker.check() == check(ill_formed)
+
+    def test_retype_flips_link_rule_verdicts(self, ill_formed):
+        checker = GSN_STANDARD_RULES.incremental(ill_formed)
+        checker.check()
+        # Sn2 (a solution receiving a context link) becomes a context
+        # node: the in-context-of-target violation must disappear and
+        # the solution-cites-support violation must appear/vanish
+        # accordingly.
+        ill_formed.replace_node(Node(
+            "Sn2", NodeType.CONTEXT, "Repurposed as context"
+        ))
+        assert checker.check() == check(ill_formed)
+        ill_formed.replace_node(Node(
+            "Sn2", NodeType.SOLUTION, "Back to being a solution"
+        ))
+        assert checker.check() == check(ill_formed)
+
+    def test_cycle_appears_and_disappears(self):
+        argument = Argument("cycle-delta")
+        argument.add_nodes([
+            Node("G1", NodeType.GOAL, "Claim one holds"),
+            Node("G2", NodeType.GOAL, "Claim two holds"),
+        ])
+        argument.add_link("G1", "G2", LinkKind.SUPPORTED_BY)
+        checker = GSN_STANDARD_RULES.incremental(argument)
+        assert not any(v.rule == "acyclic" for v in checker.check())
+
+        closing = argument.add_link("G2", "G1", LinkKind.SUPPORTED_BY)
+        found = checker.check()
+        assert any(v.rule == "acyclic" for v in found)
+        assert found == check(argument)
+
+        argument.remove_link(closing)
+        cleaned = checker.check()
+        assert not any(v.rule == "acyclic" for v in cleaned)
+        assert cleaned == check(argument)
+
+    def test_unchanged_argument_reuses_caches(self, ill_formed):
+        checker = GSN_STANDARD_RULES.incremental(ill_formed)
+        first = checker.check()
+        assert checker.check() == first
+
+    def test_log_rotation_forces_full_rebuild(self):
+        class TinyLogArgument(Argument):
+            MUTATION_LOG_LIMIT = 4
+
+        argument = TinyLogArgument("tiny")
+        argument.add_node(Node(
+            "G1", NodeType.GOAL, "The top claim holds", undeveloped=True
+        ))
+        checker = GSN_STANDARD_RULES.incremental(argument)
+        checker.check()
+        for index in range(2, 20):  # far beyond the bounded log
+            argument.add_node(Node(
+                f"G{index}", NodeType.GOAL, f"Claim {index} holds",
+                undeveloped=True,
+            ))
+        assert argument.delta_since(0) is None
+        assert checker.check() == check(argument)

@@ -15,7 +15,13 @@ random mutation steps and after **every** step asserts:
     oracle recomputed from the raw node and link lists;
 (d) periodically, planner-backed ``select`` results agree with a naive
     full-scan of each query's predicate (including exact plans, which
-    skip the predicate entirely).
+    skip the predicate entirely);
+(e) the **three-way well-formedness oracle**: a long-lived
+    :class:`~repro.core.analysis.IncrementalChecker` (consuming the
+    mutation delta log, including the delta-aware acyclic hook) reports
+    exactly the violations of a fresh full check after *every* step, and
+    periodically both equal a *streaming* check over the argument saved
+    to a sharded store (which must not hydrate it).
 
 Graphs stay acyclic by construction (links only run from older to newer
 nodes), matching the only shape well-formedness accepts; cyclic-graph
@@ -30,6 +36,7 @@ import pytest
 
 from repro.core.argument import Argument, LinkKind
 from repro.core.nodes import Node, NodeType
+from repro.core.wellformed import GSN_STANDARD_RULES
 from repro.core.query import (
     ArgumentIndex,
     argument_index,
@@ -187,12 +194,15 @@ def canonical_index(index: ArgumentIndex) -> tuple:
 class Harness:
     """Applies identical random mutations batched and one-at-a-time."""
 
-    def __init__(self, seed: int) -> None:
+    def __init__(self, seed: int, store_dir=None) -> None:
         self.rng = random.Random(seed)
         self.argument = Argument("invariant-main")
         self.shadow = Argument("invariant-shadow")
         self.births: dict[str, int] = {}
         self.next_birth = 0
+        self.store_dir = store_dir
+        # Long-lived: consumes the delta log across the whole run.
+        self.wellformed = GSN_STANDARD_RULES.incremental(self.argument)
 
     # Operations consult the live argument, then mirror onto the shadow.
 
@@ -304,6 +314,31 @@ class Harness:
             oracle_leaves(argument)
         assert argument.statistics() == oracle_statistics(argument)
         assert argument.find_cycle() is None
+        # (e) three-way well-formedness oracle: the incremental checker
+        # (delta replay, cached per-rule violation maps) equals a fresh
+        # full check after every step ...
+        incremental_violations = self.wellformed.check()
+        fresh_violations = GSN_STANDARD_RULES.check(argument)
+        assert incremental_violations == fresh_violations, (
+            f"step {step_number}: incremental well-formedness diverged "
+            "from a fresh full check"
+        )
+        # ... and periodically both equal a streaming check over the
+        # argument saved to a sharded store, without hydration.
+        if self.store_dir is not None and step_number % 10 == 0:
+            from repro.store import StoredArgument
+
+            store = self.store_dir / "invariant.store"
+            argument.save(store)
+            stored = StoredArgument(store)
+            streamed = GSN_STANDARD_RULES.check(stored, mode="streaming")
+            assert streamed == fresh_violations, (
+                f"step {step_number}: streaming check over the saved "
+                "store diverged"
+            )
+            assert not stored.hydrated, (
+                "the streaming check must not hydrate the store"
+            )
         # (d) planner-backed selects == naive predicate scans
         if step_number % 10 == 0:
             worst = attribute_param("hazard", 1, "remote") \
@@ -330,8 +365,8 @@ class Harness:
 
 
 @pytest.mark.parametrize("seed", [0xA11CE, 0xB0B, 0xC0FFEE])
-def test_randomized_mutation_invariants(seed: int) -> None:
-    harness = Harness(seed)
+def test_randomized_mutation_invariants(seed: int, tmp_path) -> None:
+    harness = Harness(seed, store_dir=tmp_path)
     for step_number in range(1, STEPS + 1):
         harness.step()
         harness.check(step_number)
