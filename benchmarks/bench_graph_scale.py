@@ -1096,6 +1096,147 @@ def bench_wellformed_workload(
             shutil.rmtree(base, ignore_errors=True)
 
 
+# -- the journal workload ---------------------------------------------------
+#
+# An editing session over a persisted case must not pay an O(store)
+# rewrite per save: PR 5's append journal persists each session's
+# mutation delta as a sealed JSONL segment, readers replay it
+# transparently, compact() folds it back into byte-stable shards, and
+# IncrementalChecker.from_store() re-checks the persisted case from the
+# journal deltas without ever hydrating it.  This workload measures the
+# whole loop on the same GSN-shaped case the well-formedness workload
+# uses.
+
+
+def bench_journal_workload(
+    n: int, directory: Path | str | None = None, rounds: int | None = None
+) -> dict[str, Any]:
+    """Journal appends vs full rewrites, compaction, store re-checking.
+
+    Asserts along the way that the journal-replayed store loads equal to
+    the live argument, that compaction reproduces byte-for-byte the
+    files a clean ``save()`` of the same argument writes, and that the
+    store-backed incremental checker matches a fresh streaming check
+    after every appended delta with ``hydrated`` still ``False``.
+    """
+    from repro.core.wellformed import GSN_STANDARD_RULES
+    from repro.store import StoredArgument
+
+    spec = gsn_case(n)
+    hazards = max(1, (n - 2) // 2)
+    if rounds is None:
+        rounds = 40
+    scratch = directory is None
+    base = Path(tempfile.mkdtemp(prefix="bench-journal-")) if scratch \
+        else Path(directory)
+    journal_dir = base / "journal-session.store"
+    rewrite_dir = base / "rewrite-session.store"
+    fresh_dir = base / "fresh-reference.store"
+    try:
+        journal_argument = build(Argument, spec, "journal-case")
+        journal_argument.save(journal_dir)
+        rewrite_argument = build(Argument, spec, "journal-case")
+        rewrite_argument.save(rewrite_dir)
+
+        # The same editing session saved two ways: O(delta) journal
+        # appends vs an O(store) rewrite per save.
+        def journal_session() -> None:
+            for round_index in range(rounds):
+                _wellformed_edit_round(
+                    journal_argument, hazards, round_index
+                )
+                journal_argument.save(journal_dir, journal=True)
+
+        def rewrite_session() -> None:
+            for round_index in range(rounds):
+                _wellformed_edit_round(
+                    rewrite_argument, hazards, round_index
+                )
+                rewrite_argument.save(rewrite_dir)
+
+        journal_s, _ = timed(journal_session)
+        rewrite_s, _ = timed(rewrite_session)
+        assert journal_argument == rewrite_argument, (
+            "the two sessions applied different edits"
+        )
+        manifest = StoredArgument(journal_dir).manifest
+        segments = len(manifest.get("journal", ()))
+        assert segments == rounds, "every save should have appended"
+        assert StoredArgument(journal_dir).load() == journal_argument, (
+            "journal replay diverged from the live argument"
+        )
+
+        # Store-backed incremental re-checking: attach once, then each
+        # appended delta re-checks incrementally; the baseline re-runs a
+        # full streaming check over the same store.  Neither hydrates.
+        checker_store = StoredArgument(journal_dir)
+        attach_s, checker = timed(
+            lambda: GSN_STANDARD_RULES.incremental_from_store(checker_store)
+        )
+        recheck_rounds = max(10, rounds // 2)
+        incremental_s = 0.0
+        streaming_s = 0.0
+        for round_index in range(rounds, rounds + recheck_rounds):
+            _wellformed_edit_round(journal_argument, hazards, round_index)
+            journal_argument.save(journal_dir, journal=True)
+            elapsed, incremental = timed(checker.check)
+            incremental_s += elapsed
+            elapsed, streamed = timed(
+                lambda: GSN_STANDARD_RULES.check(
+                    StoredArgument(journal_dir), mode="streaming"
+                )
+            )
+            streaming_s += elapsed
+            assert incremental == streamed, (
+                "store-backed incremental check diverged from a fresh "
+                "streaming check"
+            )
+        assert not checker_store.hydrated, (
+            "from_store re-checking must not hydrate the store"
+        )
+
+        # Compaction folds the journal into fresh shards, byte-identical
+        # to a clean save of the same live argument.
+        compact_handle = StoredArgument(journal_dir)
+        compact_s, _ = timed(compact_handle.compact)
+        journal_argument.save(fresh_dir)
+        compacted_files = {
+            path.name: path.read_bytes() for path in journal_dir.iterdir()
+        }
+        fresh_files = {
+            path.name: path.read_bytes() for path in fresh_dir.iterdir()
+        }
+        byte_stable = compacted_files == fresh_files
+        assert byte_stable, "compaction is not byte-stable"
+        assert checker.check() == GSN_STANDARD_RULES.check(
+            StoredArgument(journal_dir), mode="streaming"
+        ), "checker did not survive compaction"
+        assert not checker_store.hydrated
+
+        return {
+            "nodes": len(journal_argument),
+            "links": len(journal_argument.links),
+            "edit_rounds": rounds,
+            "journal_segments": segments,
+            "journal_session_s": journal_s,
+            "rewrite_session_s": rewrite_s,
+            "speedup_journal_vs_rewrite": rewrite_s / max(journal_s, 1e-9),
+            "compact_s": compact_s,
+            "compaction_byte_stable": byte_stable,
+            "from_store_attach_s": attach_s,
+            "recheck_rounds": recheck_rounds,
+            "from_store_incremental_s": incremental_s,
+            "streaming_recheck_s": streaming_s,
+            "speedup_from_store_vs_streaming": (
+                streaming_s / max(incremental_s, 1e-9)
+            ),
+            "from_store_hydrated": checker_store.hydrated,
+        }
+    finally:
+        if scratch:
+            shutil.rmtree(base, ignore_errors=True)
+
+
 # -- the persistence workload ----------------------------------------------
 #
 # A 100k-node tool-generated case must outlive the process that built it
@@ -1194,6 +1335,7 @@ def run_bench(
     wellformed = bench_wellformed_workload(
         10 * n if wellformed_nodes is None else wellformed_nodes
     )
+    journal = bench_journal_workload(n)
     report = {
         "benchmark": "graph_scale",
         "nodes_requested": n,
@@ -1213,6 +1355,8 @@ def run_bench(
         "speedup_wellformed_incremental": wellformed[
             "speedup_incremental_vs_full_recheck"
         ],
+        "journal_workload": journal,
+        "speedup_journal_appends": journal["speedup_journal_vs_rewrite"],
         "note": (
             "seed comparison covers deep_chain and wide_fan; the seed's "
             "exponential depth() cannot finish on dense_dag at all; "
@@ -1227,7 +1371,13 @@ def run_bench(
             "(shards + node-type sidecar, no hydration) vs parallel "
             "(stream partitions across process workers; single-core "
             "hosts degrade to streaming) vs incremental (delta-log "
-            "rechecks during a mutation-heavy editing session)"
+            "rechecks during a mutation-heavy editing session); "
+            "journal_workload persists a mutation-heavy editing session "
+            "as O(delta) append-journal segments vs a full save() "
+            "rewrite per round, folds the journal back into byte-stable "
+            "shards via compact(), and re-checks the persisted case "
+            "from its journal deltas (IncrementalChecker.from_store) "
+            "without hydration vs a full streaming recheck per round"
         ),
     }
     if out is not None:
@@ -1303,6 +1453,19 @@ def main(argv: list[str] | None = None) -> int:
         f"{wellformed['edit_rounds']} rounds "
         f"({wellformed['speedup_incremental_vs_full_recheck']:.1f}x vs "
         "full recheck)"
+    )
+    journal = report["journal_workload"]
+    print(
+        f"    journal: {journal['nodes']} nodes, "
+        f"{journal['edit_rounds']} rounds: appends "
+        f"{journal['journal_session_s'] * 1e3:.1f} ms vs rewrites "
+        f"{journal['rewrite_session_s'] * 1e3:.1f} ms "
+        f"({journal['speedup_journal_vs_rewrite']:.1f}x), compact "
+        f"{journal['compact_s'] * 1e3:.1f} ms (byte-stable), "
+        f"from_store recheck {journal['from_store_incremental_s'] * 1e3:.1f}"
+        f" ms vs streaming {journal['streaming_recheck_s'] * 1e3:.1f} ms "
+        f"({journal['speedup_from_store_vs_streaming']:.1f}x, "
+        "hydrated=False)"
     )
     print(
         "min construct+statistics speedup vs seed: "

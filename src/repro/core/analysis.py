@@ -86,6 +86,17 @@ Execution modes (:func:`run_rules`)
     has rotated past the checker's sequence number it falls back to a
     full recompute.
 
+``incremental over a store`` (:meth:`IncrementalChecker.from_store`)
+    The same checker attached to a *persisted* case: it consumes the
+    store's append-journal deltas (:mod:`repro.store.journal`) instead
+    of a live argument's log, maintaining a node-type/support/adjacency
+    sidecar (:class:`_StoreContext`) it patches per journal record — so
+    a case saved with ``save(journal=True)`` re-checks after every edit
+    session **without hydration**: single-node payloads come from lazy
+    per-shard lookups, ``StoredArgument.hydrated`` stays ``False``, and
+    a compaction or full rewrite (detected via the store's base-shard
+    generation) triggers one streaming rebuild.
+
 All modes produce the same violation list: rules in rule-set order, and
 within one rule the violations in canonical ``(subject, detail)`` order —
 so results are directly comparable across modes, processes, and storage.
@@ -308,9 +319,88 @@ class RuleContext:
         """A SupportedBy cycle, if any (global rules only)."""
         raise NotImplementedError
 
+    def has_support(self, source: str, target: str) -> bool:
+        """Is there a SupportedBy link ``source -> target``?  (Global
+        rules and their delta hooks only.)"""
+        raise NotImplementedError
+
+    def supported_walk(self, start: str) -> Iterator[str]:
+        """Identifiers reachable from ``start`` over SupportedBy links,
+        ``start`` included (global delta hooks only)."""
+        raise NotImplementedError
+
     def argument(self) -> Argument:
         """A live argument — hydrates stored cases (legacy rules only)."""
         raise NotImplementedError
+
+
+def _colouring_cycle(
+    ordered: Iterable[str], adjacency: "dict[str, Any]"
+) -> "list[str] | None":
+    """One white/grey/black DFS over a SupportedBy adjacency map.
+
+    Mirrors ``Argument._iter_supported_by_back_edges`` — same start
+    order, same neighbour order — so a live check, a streaming check,
+    and a store-backed incremental check of the same argument all
+    report the identical cycle rendering.  ``adjacency`` values are any
+    iterable of target identifiers.
+    """
+    colour: dict[str, int] = {}
+    path: list[str] = []
+    path_index: dict[str, int] = {}
+    for start in ordered:
+        if colour.get(start, 0):
+            continue
+        colour[start] = 1
+        path_index[start] = len(path)
+        path.append(start)
+        stack: list[tuple[str, Iterator[str]]] = [
+            (start, iter(adjacency.get(start, ())))
+        ]
+        while stack:
+            identifier, targets = stack[-1]
+            advanced = False
+            for target in targets:
+                state = colour.get(target, 0)
+                if state == 1:
+                    return path[path_index[target]:]
+                if state == 0:
+                    colour[target] = 1
+                    path_index[target] = len(path)
+                    path.append(target)
+                    stack.append(
+                        (target, iter(adjacency.get(target, ())))
+                    )
+                    advanced = True
+                    break
+            if not advanced:
+                colour[identifier] = 2
+                path.pop()
+                del path_index[identifier]
+                stack.pop()
+    return None
+
+
+def _adjacency_has(
+    adjacency: "dict[str, Any]", source: str, target: str
+) -> bool:
+    """Membership test on a SupportedBy adjacency map."""
+    return target in adjacency.get(source, ())
+
+
+def _adjacency_walk(
+    adjacency: "dict[str, Any]", start: str
+) -> Iterator[str]:
+    """Reachability over a SupportedBy adjacency map, ``start`` included."""
+    seen = {start}
+    stack = [start]
+    while stack:
+        identifier = stack.pop()
+        yield identifier
+        for target in adjacency.get(identifier, ()):
+            if target not in seen:
+                seen.add(target)
+                stack.append(target)
 
 
 class _LiveContext(RuleContext):
@@ -336,6 +426,17 @@ class _LiveContext(RuleContext):
 
     def find_cycle(self) -> "list[str] | None":
         return self._argument.find_cycle()
+
+    def has_support(self, source: str, target: str) -> bool:
+        return self._argument.has_link(
+            Link(source, target, LinkKind.SUPPORTED_BY)
+        )
+
+    def supported_walk(self, start: str) -> Iterator[str]:
+        return (
+            node.identifier
+            for node in self._argument.walk(start, LinkKind.SUPPORTED_BY)
+        )
 
     def argument(self) -> Argument:
         return self._argument
@@ -397,44 +498,15 @@ class _StreamContext(RuleContext):
         ]
 
     def find_cycle(self) -> "list[str] | None":
-        # Mirrors Argument._iter_supported_by_back_edges: white/grey/black
-        # colouring DFS in insertion order, so live and streamed checks
-        # of the same argument report the identical cycle.
-        adjacency = self.adjacency
-        colour: dict[str, int] = {}
-        path: list[str] = []
-        path_index: dict[str, int] = {}
-        for start in self.ordered:
-            if colour.get(start, 0):
-                continue
-            colour[start] = 1
-            path_index[start] = len(path)
-            path.append(start)
-            stack: list[tuple[str, Iterator[str]]] = [
-                (start, iter(adjacency.get(start, ())))
-            ]
-            while stack:
-                identifier, targets = stack[-1]
-                advanced = False
-                for target in targets:
-                    state = colour.get(target, 0)
-                    if state == 1:
-                        return path[path_index[target]:]
-                    if state == 0:
-                        colour[target] = 1
-                        path_index[target] = len(path)
-                        path.append(target)
-                        stack.append(
-                            (target, iter(adjacency.get(target, ())))
-                        )
-                        advanced = True
-                        break
-                if not advanced:
-                    colour[identifier] = 2
-                    path.pop()
-                    del path_index[identifier]
-                    stack.pop()
-        return None
+        # Same colouring DFS as the live argument, in insertion order,
+        # so live and streamed checks report the identical cycle.
+        return _colouring_cycle(self.ordered, self.adjacency)
+
+    def has_support(self, source: str, target: str) -> bool:
+        return _adjacency_has(self.adjacency, source, target)
+
+    def supported_walk(self, start: str) -> Iterator[str]:
+        return _adjacency_walk(self.adjacency, start)
 
     def argument(self) -> Argument:
         if self._stored is None:
@@ -467,6 +539,130 @@ class _ChunkContext(RuleContext):
 
     def cites_support(self, identifier: str) -> bool:
         return identifier in self._support
+
+
+class _StoreContext(RuleContext):
+    """An incrementally-maintained sidecar over a stored argument.
+
+    Where :class:`_StreamContext` is built once per one-shot streaming
+    check, this context persists across checks and **patches itself**
+    from the store's journal deltas: node types, insertion order,
+    per-node support counts (counts, not bits — removing one of two
+    support links must not clear the flag), the SupportedBy adjacency
+    the global rules walk, and the full link index the incremental
+    checker needs to invalidate by endpoint.  Memory is
+    O(types + links) — node texts and metadata are never retained; the
+    odd single node the checker must re-evaluate comes from the store's
+    lazy per-shard lookup, so the case is never hydrated.
+    """
+
+    __slots__ = (
+        "name", "_stored", "types", "order", "out_support", "in_support",
+        "adjacency", "links", "out_links", "in_links",
+    )
+
+    def __init__(self, stored: Any) -> None:
+        self._stored = stored
+        self.name: str = stored.name
+        self.types: dict[str, NodeType] = {}
+        self.order: dict[str, None] = {}
+        self.out_support: dict[str, int] = {}
+        self.in_support: dict[str, int] = {}
+        self.adjacency: dict[str, dict[str, None]] = {}
+        self.links: dict[Link, None] = {}
+        self.out_links: dict[str, dict[Link, None]] = {}
+        self.in_links: dict[str, dict[Link, None]] = {}
+
+    def reset(self) -> None:
+        for slot in (
+            self.types, self.order, self.out_support, self.in_support,
+            self.adjacency, self.links, self.out_links, self.in_links,
+        ):
+            slot.clear()
+
+    @staticmethod
+    def _bump(counter: dict[str, int], key: str, delta: int) -> None:
+        value = counter.get(key, 0) + delta
+        if value:
+            counter[key] = value
+        else:
+            counter.pop(key, None)
+
+    def apply_op(self, op: str, payload: Any) -> None:
+        """Patch the sidecar with one mutation record (delta order)."""
+        if op == "add_node":
+            identifier = payload.identifier
+            self.types[identifier] = payload.node_type
+            # A re-added identifier must order last, like a live
+            # argument's insertion-ordered dict.
+            self.order.pop(identifier, None)
+            self.order[identifier] = None
+        elif op == "remove_node":
+            # Incident links were removed by earlier records of the
+            # same delta (remove_node logs them first).
+            identifier = payload.identifier
+            self.types.pop(identifier, None)
+            self.order.pop(identifier, None)
+        elif op == "replace_node":
+            _, new = payload
+            self.types[new.identifier] = new.node_type
+        elif op == "add_link":
+            self.links[payload] = None
+            self.out_links.setdefault(payload.source, {})[payload] = None
+            self.in_links.setdefault(payload.target, {})[payload] = None
+            if payload.kind is LinkKind.SUPPORTED_BY:
+                self._bump(self.out_support, payload.source, 1)
+                self._bump(self.in_support, payload.target, 1)
+                self.adjacency.setdefault(
+                    payload.source, {}
+                )[payload.target] = None
+        else:  # remove_link
+            self.links.pop(payload, None)
+            out = self.out_links.get(payload.source)
+            if out is not None:
+                out.pop(payload, None)
+            incoming = self.in_links.get(payload.target)
+            if incoming is not None:
+                incoming.pop(payload, None)
+            if payload.kind is LinkKind.SUPPORTED_BY:
+                self._bump(self.out_support, payload.source, -1)
+                self._bump(self.in_support, payload.target, -1)
+                targets = self.adjacency.get(payload.source)
+                if targets is not None:
+                    targets.pop(payload.target, None)
+
+    # -- the RuleContext protocol ---------------------------------------
+
+    def node_type(self, identifier: str) -> NodeType:
+        return self.types[identifier]
+
+    def cites_support(self, identifier: str) -> bool:
+        return identifier in self.out_support
+
+    def roots(self) -> list[str]:
+        return [
+            identifier
+            for identifier in self.order
+            if self.types[identifier].is_claim_like
+            and identifier not in self.in_support
+        ]
+
+    def find_cycle(self) -> "list[str] | None":
+        return _colouring_cycle(self.order, self.adjacency)
+
+    def has_support(self, source: str, target: str) -> bool:
+        return _adjacency_has(self.adjacency, source, target)
+
+    def supported_walk(self, start: str) -> Iterator[str]:
+        return _adjacency_walk(self.adjacency, start)
+
+    def argument(self) -> Argument:
+        raise TypeError(
+            "store-backed incremental checking never hydrates; legacy "
+            "whole-argument rules are not supported by "
+            "IncrementalChecker.from_store (run them via "
+            "run_rules(..., mode='full') instead)"
+        )
 
 
 # -- the engine -------------------------------------------------------------
@@ -699,6 +895,7 @@ def _stored_scan_task(
     directory: str,
     indices: list[int],
     node_rules: tuple[ScopedRule, ...],
+    ignore_torn_tail: bool = False,
 ) -> tuple[
     list[list[Violation]],
     dict[str, NodeType],
@@ -721,7 +918,7 @@ def _stored_scan_task(
     # Runtime import: repro.store imports this module transitively.
     from ..store.reader import StoredArgument
 
-    stored = StoredArgument(directory)
+    stored = StoredArgument(directory, ignore_torn_tail=ignore_torn_tail)
     out_support: set[str] = set()
     in_support: set[str] = set()
     adjacency: dict[str, list[str]] = {}
@@ -752,6 +949,7 @@ def _stored_link_rules_task(
     indices: list[int],
     link_rules: tuple[ScopedRule, ...],
     types: dict[str, NodeType],
+    ignore_torn_tail: bool = False,
 ) -> list[list[Violation]]:
     """Phase-2 worker: re-parse own link shards, run link rules.
 
@@ -760,7 +958,7 @@ def _stored_link_rules_task(
     """
     from ..store.reader import StoredArgument
 
-    stored = StoredArgument(directory)
+    stored = StoredArgument(directory, ignore_torn_tail=ignore_torn_tail)
     ctx = _ChunkContext(types, frozenset())
     buckets: list[list[Violation]] = [[] for _ in link_rules]
     dispatch = _link_dispatch(list(enumerate(link_rules)))
@@ -798,6 +996,9 @@ def _run_parallel_stored(
     node_fns = tuple(rule for _, rule in node_rules)
     link_fns = tuple(rule for _, rule in link_rules)
     directory = str(stored.path)
+    # Workers reopen the store themselves; a torn-tail-recovered parent
+    # handle must hand its recovery decision down or the workers raise.
+    torn_tail = bool(getattr(stored, "ignore_torn_tail", False))
     groups = _shard_groups(stored.shard_count, workers)
     buckets: list[list[Violation]] = [[] for _ in rules]
     ctx = _StreamContext(stored.name, stored)
@@ -805,7 +1006,9 @@ def _run_parallel_stored(
         max_workers=workers, mp_context=_mp_context()
     ) as pool:
         scans = [
-            pool.submit(_stored_scan_task, directory, group, node_fns)
+            pool.submit(
+                _stored_scan_task, directory, group, node_fns, torn_tail
+            )
             for group in groups
         ]
         for job in scans:
@@ -822,7 +1025,7 @@ def _run_parallel_stored(
         link_jobs = [
             pool.submit(
                 _stored_link_rules_task, directory, group, link_fns,
-                ctx.types,
+                ctx.types, torn_tail,
             )
             for group in groups
         ] if link_fns else []
@@ -902,6 +1105,12 @@ class IncrementalChecker:
     Global rules re-run on every :meth:`check` (they are whole-graph by
     declaration), and a rotated delta log forces a full recompute, so
     the result always equals a fresh full check.
+
+    :meth:`from_store` attaches the same machinery to a **persisted**
+    case instead of a live argument: the delta source becomes the
+    store's append journal, the context becomes a
+    :class:`_StoreContext` sidecar patched per journal record, and the
+    case is never hydrated.
     """
 
     def __init__(
@@ -910,13 +1119,15 @@ class IncrementalChecker:
         if not isinstance(argument, Argument):
             raise TypeError(
                 "IncrementalChecker needs a live Argument, got "
-                f"{type(argument).__name__}"
+                f"{type(argument).__name__} (for a StoredArgument use "
+                "IncrementalChecker.from_store)"
             )
-        self._argument = argument
+        self._argument: "Argument | None" = argument
+        self._stored: Any = None
         self._rules = tuple(rules)
         self._node_rules, self._link_rules, self._global_rules = \
             _split_rules(self._rules)
-        self._ctx = _LiveContext(argument)
+        self._ctx: RuleContext = _LiveContext(argument)
         self._node_hits: list[dict[str, tuple[Violation, ...]]] = [
             {} for _ in self._node_rules
         ]
@@ -929,9 +1140,70 @@ class IncrementalChecker:
         self._seq = -1
         self._rebuild()
 
+    @classmethod
+    def from_store(
+        cls, stored: Any, rules: Iterable[ScopedRule]
+    ) -> "IncrementalChecker":
+        """A checker over a persisted case — no hydration, ever.
+
+        Builds the violation maps with one streaming pass over the
+        store's shards (journal replayed), then each :meth:`check`
+        consumes only the journal records appended since — the deltas
+        ``Argument.save(journal=True)`` persists — re-evaluating exactly
+        the touched subjects.  ``stored.hydrated`` stays ``False``: the
+        context is a type/support/adjacency sidecar, and single-node
+        re-evaluation uses lazy per-shard lookups.  A compaction or
+        full rewrite of the store (a new base-shard generation) triggers
+        one streaming rebuild; legacy whole-argument rules are rejected
+        because they would require hydration.
+        """
+        if not is_stored_argument(stored):
+            raise TypeError(
+                "from_store needs a StoredArgument, got "
+                f"{type(stored).__name__}"
+            )
+        checker = cls.__new__(cls)
+        checker._argument = None
+        checker._stored = stored
+        checker._rules = tuple(rules)
+        checker._node_rules, checker._link_rules, checker._global_rules = \
+            _split_rules(checker._rules)
+        checker._ctx = _StoreContext(stored)
+        checker._node_hits = [{} for _ in checker._node_rules]
+        checker._link_hits = [{} for _ in checker._link_rules]
+        checker._global_hits = [() for _ in checker._global_rules]
+        checker._seq = -1
+        checker._rebuild_store()
+        return checker
+
     @property
-    def argument(self) -> Argument:
+    def argument(self) -> "Argument | None":
+        """The live argument, or ``None`` for a store-backed checker."""
         return self._argument
+
+    # -- graph accessors (live argument or store sidecar) -----------------
+
+    def _graph_node(self, identifier: str) -> Node:
+        if self._stored is None:
+            return self._argument.node(identifier)
+        return self._stored.node(identifier)
+
+    def _graph_contains(self, identifier: str) -> bool:
+        if self._stored is None:
+            return identifier in self._argument
+        return identifier in self._ctx.types
+
+    def _graph_has_link(self, link: Link) -> bool:
+        if self._stored is None:
+            return self._argument.has_link(link)
+        return link in self._ctx.links
+
+    def _graph_links_of(self, identifier: str) -> list[Link]:
+        if self._stored is None:
+            return self._argument.links_of(identifier)
+        return list(self._ctx.out_links.get(identifier, ())) + list(
+            self._ctx.in_links.get(identifier, ())
+        )
 
     def _rebuild(self) -> None:
         for hits in self._node_hits:
@@ -945,6 +1217,36 @@ class IncrementalChecker:
         for slot, (_, rule) in enumerate(self._global_rules):
             self._global_hits[slot] = tuple(rule.fn(self._ctx))
         self._seq = self._argument.mutation_seq
+
+    def _rebuild_store(self) -> None:
+        """One streaming pass over the store: sidecar + violation maps.
+
+        Links stream first (the sidecar aggregates node rules read),
+        then nodes (evaluating node rules as records parse — node
+        payloads are not retained), then link rules over the link index
+        and the global rules over the completed sidecar.  No hydration:
+        this is the streaming check's cost, paid once at attach and
+        again only if the base shards are replaced underneath us.
+        """
+        ctx: _StoreContext = self._ctx
+        ctx.reset()
+        for hits in self._node_hits:
+            hits.clear()
+        for hits in self._link_hits:
+            hits.clear()
+        for link in self._stored.iter_links():
+            ctx.apply_op("add_link", link)
+        for node in self._stored.iter_nodes():
+            ctx.types[node.identifier] = node.node_type
+            ctx.order[node.identifier] = None
+            self._refresh_node(node)
+        for link in ctx.links:
+            self._refresh_link(link)
+        for slot, (_, rule) in enumerate(self._global_rules):
+            self._global_hits[slot] = tuple(rule.fn(ctx))
+        self._seq = len(self._stored.journal_ops())
+        self._base_key = self._stored.base_key()
+        self._journal_key = tuple(self._stored.journal_segments)
 
     def _refresh_node(self, node: Node) -> None:
         identifier = node.identifier
@@ -981,7 +1283,6 @@ class IncrementalChecker:
             hits.pop(link, None)
 
     def _apply(self, records: tuple[tuple[str, Any], ...]) -> None:
-        argument = self._argument
         touched_nodes: set[str] = set()
         touched_links: set[Link] = set()
         for op, payload in records:
@@ -995,11 +1296,13 @@ class IncrementalChecker:
                 touched_nodes.add(new.identifier)
                 if (
                     old.node_type is not new.node_type
-                    and new.identifier in argument
+                    and self._graph_contains(new.identifier)
                 ):
                     # A retype can flip link-rule verdicts on every link
                     # touching the node.
-                    touched_links.update(argument.links_of(new.identifier))
+                    touched_links.update(
+                        self._graph_links_of(new.identifier)
+                    )
             elif op == "add_link":
                 touched_links.add(payload)
                 touched_nodes.add(payload.source)
@@ -1010,12 +1313,12 @@ class IncrementalChecker:
                 touched_nodes.add(payload.source)
                 touched_nodes.add(payload.target)
         for identifier in touched_nodes:
-            if identifier in argument:
-                self._refresh_node(argument.node(identifier))
+            if self._graph_contains(identifier):
+                self._refresh_node(self._graph_node(identifier))
             else:
                 self._drop_node(identifier)
         for link in touched_links:
-            if argument.has_link(link):
+            if self._graph_has_link(link):
                 self._refresh_link(link)
             else:
                 self._drop_link(link)
@@ -1034,15 +1337,56 @@ class IncrementalChecker:
                 found = rule.fn(self._ctx)
             self._global_hits[slot] = tuple(found)
 
+    def _sync_store(self) -> None:
+        """Catch up with the persisted journal before assembling.
+
+        ``refresh()`` re-reads the manifest; anything but a pure journal
+        extension forces one streaming rebuild, otherwise only the
+        records appended since the last check patch the sidecar and
+        re-evaluate their touched subjects.  A pure extension means the
+        base shards are unchanged *and* the consumed segment names are
+        a prefix of the current journal — position alone is not enough,
+        because a compaction can reproduce identical base shards (the
+        names are content-addressed) while resetting the journal, after
+        which a regrown journal of the same length holds different
+        records.
+        """
+        self._stored.refresh()
+        segments = tuple(self._stored.journal_segments)
+        if (
+            self._stored.base_key() != self._base_key
+            or segments[:len(self._journal_key)] != self._journal_key
+        ):
+            self._rebuild_store()
+            return
+        ops = self._stored.journal_ops()
+        if len(ops) < self._seq:  # torn-tail recovery shrank the journal
+            self._rebuild_store()
+            return
+        if len(ops) == self._seq:
+            self._journal_key = segments
+            return
+        records = tuple(ops[self._seq:])
+        for op, payload in records:
+            self._ctx.apply_op(op, payload)
+        self._apply(records)
+        self._update_globals(records)
+        self._seq = len(ops)
+        self._journal_key = segments
+
     def check(self) -> list[Violation]:
         """Current violations; output identical to a fresh full check.
 
         With no mutations since the last call this is pure cache
         assembly; after mutations only touched subjects re-evaluate,
         global rules refresh through their incremental hooks (falling
-        back to full evaluation), and a rotated delta log forces a
-        complete rebuild.
+        back to full evaluation), and a rotated delta log (or, for a
+        store-backed checker, a replaced base-shard generation) forces
+        a complete rebuild.
         """
+        if self._stored is not None:
+            self._sync_store()
+            return self._assemble_hits()
         delta = self._argument.delta_since(self._seq)
         if delta is None:
             self._rebuild()  # the bounded log rotated past us
@@ -1050,6 +1394,9 @@ class IncrementalChecker:
             self._apply(delta.records)
             self._update_globals(delta.records)
             self._seq = self._argument.mutation_seq
+        return self._assemble_hits()
+
+    def _assemble_hits(self) -> list[Violation]:
         buckets: list[list[Violation]] = [[] for _ in self._rules]
         for slot, (index, _) in enumerate(self._node_rules):
             for found in self._node_hits[slot].values():

@@ -101,6 +101,14 @@ Derived structures that survive invalidation (unlike :meth:`cached`
 values, which are cleared on every mutation) live in a separate
 per-argument slot via :meth:`get_derived` / :meth:`set_derived`; they are
 responsible for their own staleness checks against ``mutation_seq``.
+
+The delta log is also the **persistence export**: :meth:`mark_persisted`
+records the sequence number at which a store directory last matched this
+argument, :meth:`persisted_delta` returns the mutations since, and
+``save(journal=True)`` appends exactly that delta to the store's journal
+(see :mod:`repro.store.journal`) instead of rewriting every shard —
+falling back to a full rewrite whenever the delta is unavailable (no
+prior save, a rotated log, or a store someone else rewrote).
 """
 
 from __future__ import annotations
@@ -263,6 +271,10 @@ class Argument:
         )
         # Derived structures that survive invalidation (see get_derived).
         self._derived: dict[str, Any] = {}
+        # Per-store persistence baselines for journal appends:
+        # resolved directory -> (mutation_seq, manifest CRC-32) at the
+        # moment the store last matched this argument.
+        self._persisted: dict[str, tuple[int, "int | None"]] = {}
         self._batch_depth = 0
         self._batch_dirty = False
 
@@ -341,6 +353,51 @@ class Argument:
         return MutationDelta(tuple(
             (op, payload) for _, op, payload in tail
         ))
+
+    # -- persistence baselines (journal delta export) ---------------------
+
+    @staticmethod
+    def _store_key(directory: Any) -> str:
+        import os
+
+        return os.path.abspath(os.fspath(directory))
+
+    def mark_persisted(self, directory: Any) -> None:
+        """Record that the store at ``directory`` matches this argument.
+
+        Called by ``save()`` and by ``StoredArgument.load``; from here
+        on, :meth:`persisted_delta` can hand ``save(journal=True)`` the
+        exact mutations to append.  The baseline carries the manifest's
+        CRC-32, so an append only happens onto the exact store
+        generation this argument last saw — any external change falls
+        back to a full rewrite.  One argument may hold baselines for
+        several stores at once.
+        """
+        import os
+        from zlib import crc32
+
+        from ..store.format import MANIFEST_NAME  # local: import cycle
+
+        key = self._store_key(directory)
+        try:
+            with open(os.path.join(key, MANIFEST_NAME), "rb") as handle:
+                fingerprint: "int | None" = crc32(handle.read())
+        except OSError:
+            fingerprint = None
+        self._persisted[key] = (self._mutation_seq, fingerprint)
+
+    def persisted_delta(self, directory: Any) -> MutationDelta | None:
+        """The mutations since the store at ``directory`` last matched.
+
+        ``None`` when no delta can be produced — this argument was never
+        saved to or loaded from the directory, or the bounded mutation
+        log rotated past the baseline — in which case the caller must
+        fall back to a full rewrite.
+        """
+        baseline = self._persisted.get(self._store_key(directory))
+        if baseline is None:
+            return None
+        return self.delta_since(baseline[0])
 
     def get_derived(self, key: str) -> Any:
         """A derived structure that survives invalidation, or ``None``.
@@ -1038,6 +1095,7 @@ class Argument:
         *,
         shard_count: int | None = None,
         compression: str | None = None,
+        journal: bool = False,
     ) -> Any:
         """Write this argument to a sharded store directory.
 
@@ -1046,25 +1104,138 @@ class Argument:
         the manifest.  ``compression="gzip"`` gzips the shards
         (transparent on read).  Reload with :meth:`load`, or open lazily
         with :class:`repro.store.StoredArgument` for partial hydration.
+
+        ``journal=True`` makes an editing session cheap: when the store
+        already holds a state this argument was saved to (or loaded
+        from), only the mutations since — the persisted delta — are
+        appended to the store's journal, O(delta) writes instead of an
+        O(store) rewrite.  Whenever no safe delta exists (first save, a
+        rotated mutation log, a store rewritten behind our back, or a
+        journal recovered from a torn tail), it falls back to the full
+        rewrite transparently — inheriting the existing store's
+        ``shard_count``/``compression`` unless overridden here, so a
+        session never silently converts the on-disk format; either way
+        the on-disk state equals this argument afterwards.  One loud
+        exception: if the directory holds a *case* store, the fallback
+        raises instead of rewriting — an argument-only rewrite would
+        destroy the case's evidence and citations (appends are fine:
+        they preserve them).
         """
         from ..store import save_argument  # local: store imports this module
 
-        return save_argument(
+        if journal:
+            manifest = self._append_journal(
+                directory, shard_count=shard_count, compression=compression
+            )
+            if manifest is not None:
+                return manifest
+            existing = self._existing_manifest(directory)
+            if existing is not None:
+                if existing.get("kind") == "case":
+                    from ..store import StoreError
+
+                    raise StoreError(
+                        f"store at {directory} holds a case; rewriting it "
+                        "as a bare argument would drop its evidence and "
+                        "citations — save through the AssuranceCase "
+                        "instead (journal appends had been preserving "
+                        "them)"
+                    )
+                if shard_count is None and isinstance(
+                    existing.get("shard_count"), int
+                ):
+                    shard_count = existing["shard_count"]
+                if compression is None:
+                    compression = existing.get("compression")
+        manifest = save_argument(
             self, directory, shard_count=shard_count,
             compression=compression,
         )
+        self.mark_persisted(directory)
+        return manifest
+
+    def _existing_manifest(self, directory: Any) -> Any:
+        """The manifest already in ``directory``, or ``None``.
+
+        Tolerant: an absent or unreadable manifest simply means the
+        fallback rewrite proceeds with the caller's (or default)
+        settings, replacing whatever is there.
+        """
+        import json
+        import os
+
+        from ..store.format import MANIFEST_NAME  # local: import cycle
+
+        path = os.path.join(self._store_key(directory), MANIFEST_NAME)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        return manifest if isinstance(manifest, dict) else None
+
+    def _append_journal(
+        self,
+        directory: Any,
+        *,
+        shard_count: int | None = None,
+        compression: str | None = None,
+    ) -> Any:
+        """Append the persisted delta to the store's journal, if safe.
+
+        Returns the committed manifest, or ``None`` when the caller must
+        fall back to a full rewrite.  Safety checks: a baseline delta
+        must exist, the store must be openable, its manifest must be
+        byte-identical to the one this argument last saved or loaded —
+        any edit by another handle (even a count-neutral one) means our
+        delta would append onto state we never saw — and an explicitly
+        requested ``shard_count``/``compression`` must match the store's
+        (a format change needs the rewrite to take effect).
+        """
+        from ..store import StoreError, StoredArgument
+
+        delta = self.persisted_delta(directory)
+        if delta is None:
+            return None
+        _, fingerprint = self._persisted[self._store_key(directory)]
+        if fingerprint is None:
+            return None
+        try:
+            stored = StoredArgument(directory)
+            if shard_count is not None and shard_count != stored.shard_count:
+                return None
+            if compression is not None and compression != stored.compression:
+                return None
+            # The fingerprint pins the exact store generation; the tail
+            # segment's integrity is verified inside append_delta (a
+            # torn tail raises and falls through to the repairing
+            # rewrite), so the common path never re-parses the journal.
+            if stored.manifest_fingerprint != fingerprint:
+                return None
+            manifest = stored.append_delta(delta)
+        except StoreError:
+            return None
+        self.mark_persisted(directory)
+        return manifest
 
     @classmethod
-    def load(cls, directory: Any) -> "Argument":
+    def load(
+        cls, directory: Any, *, ignore_torn_tail: bool = False
+    ) -> "Argument":
         """Fully hydrate an argument from a store directory.
 
         The load replays through the batch-mutation layer: one version
-        bump for the whole hydration, insertion order exactly as saved.
-        Called on a subclass, returns an instance of that subclass.
+        bump for the whole hydration, insertion order exactly as saved
+        (journal included).  Called on a subclass, returns an instance
+        of that subclass.  ``ignore_torn_tail=True`` recovers from a
+        torn final journal segment — a crash mid-append — by dropping
+        exactly that segment (see :mod:`repro.store.journal`).
         """
         from ..store import load_argument  # local: store imports this module
 
-        return load_argument(directory, into=cls)
+        return load_argument(
+            directory, into=cls, ignore_torn_tail=ignore_torn_tail
+        )
 
     def __str__(self) -> str:
         lines = [f"Argument {self.name!r}:"]

@@ -148,6 +148,15 @@ class RuleSet:
         """A stateful checker that re-checks only what mutations touch."""
         return IncrementalChecker(argument, self.rules)
 
+    def incremental_from_store(self, stored: Any) -> IncrementalChecker:
+        """A stateful checker over a persisted case — never hydrates.
+
+        Consumes the store's append-journal deltas (written by
+        ``Argument.save(journal=True)``); see
+        :meth:`~repro.core.analysis.IncrementalChecker.from_store`.
+        """
+        return IncrementalChecker.from_store(stored, self.rules)
+
 
 # -- individual rules ------------------------------------------------------
 #
@@ -301,7 +310,11 @@ def _rule_acyclic_delta(
     added edge (O(reachable subtree), tiny on tree-shaped arguments)
     replace the whole-graph DFS.  A previously cyclic argument declines
     to the full rule — removals may or may not have fixed it, and the
-    canonical cycle rendering needs the full search anyway.
+    canonical cycle rendering needs the full search anyway.  The probes
+    go through the context's support surface (``has_support`` /
+    ``supported_walk``), so the hook works identically for a live
+    argument and for the no-hydration store-backed checker
+    (:meth:`~repro.core.analysis.IncrementalChecker.from_store`).
     """
     if previous:
         return None
@@ -312,12 +325,11 @@ def _rule_acyclic_delta(
     ]
     if not added:
         return []
-    argument = ctx.argument()
     for link in added:
-        if not argument.has_link(link):
+        if not ctx.has_support(link.source, link.target):
             continue  # removed again within the same delta
-        for node in argument.walk(link.target, LinkKind.SUPPORTED_BY):
-            if node.identifier == link.source:
+        for identifier in ctx.supported_walk(link.target):
+            if identifier == link.source:
                 return None  # a cycle appeared: render it canonically
     return []
 

@@ -13,30 +13,42 @@ incrementally-reloadable on-disk form:
   streaming records out shard by shard without materialising a document;
 * :mod:`~repro.store.reader` — :class:`StoredArgument` (streaming
   iteration, lazy per-shard loading, partial ``subtree`` hydration) and
-  the :func:`load_argument` / :func:`load_case` full loaders.
+  the :func:`load_argument` / :func:`load_case` full loaders;
+* :mod:`~repro.store.journal` — the append-only edit journal:
+  ``StoredArgument.append_delta`` persists one mutation delta in
+  O(delta) writes, readers replay the journal transparently,
+  ``compact()`` folds it back into byte-stable shards, and ``gc()``
+  sweeps orphaned files; ``ignore_torn_tail=True`` recovers from a
+  crash mid-append.
 
-``Argument.save/load`` and ``AssuranceCase.save/load`` are the
-convenience entry points built on these;
-:func:`repro.core.query.select` and :func:`repro.core.wellformed.check`
-accept a :class:`StoredArgument` directly.
+``Argument.save/load`` (including ``save(journal=True)``) and
+``AssuranceCase.save/load`` are the convenience entry points built on
+these; :func:`repro.core.query.select` and
+:func:`repro.core.wellformed.check` accept a :class:`StoredArgument`
+directly, and :meth:`repro.core.analysis.IncrementalChecker.from_store`
+re-checks a journalled store incrementally without hydrating it.
 """
 
 from .format import (
     DEFAULT_SHARD_COUNT,
+    JOURNAL_SCHEMA_VERSION,
     STORE_SCHEMA_VERSION,
     StoreCorruptionError,
     StoreError,
     shard_of,
 )
+from .journal import JournalOverlay
 from .reader import StoredArgument, load_argument, load_case
 from .writer import save_argument, save_case
 
 __all__ = [
     "DEFAULT_SHARD_COUNT",
+    "JOURNAL_SCHEMA_VERSION",
     "STORE_SCHEMA_VERSION",
     "StoreCorruptionError",
     "StoreError",
     "shard_of",
+    "JournalOverlay",
     "StoredArgument",
     "load_argument",
     "load_case",

@@ -49,6 +49,33 @@ content-addressed names are always computed over the *decompressed*
 JSONL lines, and the gzip stream is written deterministically (fixed
 mtime, no embedded filename), so byte-stability — save → load → save
 producing identical files — holds for compressed stores too.
+
+The append journal
+==================
+
+An editing session must not pay an O(store) rewrite per save.  A store
+may therefore carry an **append-only edit journal** beside its shards::
+
+    case.store/
+        manifest.json               # + "journal": [segment names, in
+                                    #   order], "journal_schema": 1
+        journal-0000-7f8e9dab.jsonl # one serialised mutation per line
+        journal-0001-2c3d4e5f.jsonl
+
+Each segment holds the serialised :class:`~repro.core.argument.
+MutationDelta` records of one ``save(journal=True)`` — ``add_node`` /
+``remove_node`` / ``replace_node`` / ``add_link`` / ``remove_link``
+payloads in application order.  Segments get the same durability story
+as shards: streamed to a ``.tmp`` file, sealed under a content-addressed
+name (CRC-32 of the decompressed lines), entered into the manifest's
+``shards`` map for count/checksum verification, and committed by the
+atomic manifest rename — so one append is all-or-nothing, and a crash
+mid-append leaves the previous state fully loadable.  Readers replay
+the journal transparently: journal entries shadow shard records by
+identifier, appended records order after the base records, and
+``compact()`` folds the whole journal back into fresh content-addressed
+shards (byte-identical to a clean save of the same argument) in one
+manifest swap.
 """
 
 from __future__ import annotations
@@ -59,6 +86,7 @@ from typing import Any
 
 __all__ = [
     "STORE_SCHEMA_VERSION",
+    "JOURNAL_SCHEMA_VERSION",
     "MANIFEST_NAME",
     "DEFAULT_SHARD_COUNT",
     "ID_HASH",
@@ -69,12 +97,17 @@ __all__ = [
     "shard_of",
     "shard_base",
     "shard_filename",
+    "journal_base",
     "validate_compression",
     "encode_record",
 ]
 
 #: Bumped on any incompatible layout or record change.
 STORE_SCHEMA_VERSION = 1
+
+#: Bumped on any incompatible journal record change (recorded in the
+#: manifest as ``journal_schema`` whenever a journal is present).
+JOURNAL_SCHEMA_VERSION = 1
 
 MANIFEST_NAME = "manifest.json"
 
@@ -127,6 +160,15 @@ def shard_of(identifier: str, shard_count: int) -> int:
 def shard_base(kind: str, index: int) -> str:
     """The kind+index stem of a shard filename (``nodes-0003``)."""
     return f"{kind}-{index:04d}"
+
+
+def journal_base(ordinal: int) -> str:
+    """The stem of a journal segment filename (``journal-0007``).
+
+    Ordinals count sealed segments in manifest order; the final name is
+    content-addressed via :func:`shard_filename` like any shard.
+    """
+    return f"journal-{ordinal:04d}"
 
 
 def shard_filename(

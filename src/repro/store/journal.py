@@ -1,0 +1,505 @@
+"""The append-only edit journal of the persistent sharded store.
+
+A tool-generated case is not written once and frozen: an editing session
+applies hundreds of small mutations, and re-sharding the whole store per
+save would cost O(store) where the change is O(delta).  This module
+gives :class:`~repro.store.reader.StoredArgument` three operations that
+keep an on-disk case cheap to maintain:
+
+* :func:`append_delta` — serialise one
+  :class:`~repro.core.argument.MutationDelta` as a sealed JSONL journal
+  segment (same durability story as shards: streamed to ``.tmp``,
+  content-addressed rename, count + CRC-32 in the manifest, atomic
+  manifest swap as the commit point), so a save after an edit costs
+  O(delta) writes;
+* :func:`compact` — fold every journal segment back into fresh
+  content-addressed node/link shards in one atomic manifest swap.  The
+  compacted store is **byte-identical** to a clean ``save()`` of the
+  same live argument: replay reproduces exact insertion order (removed
+  identifiers vanish, re-added ones order last, replacements keep their
+  position) and the writer re-canonicalises every record;
+* :func:`gc` — remove shard/segment files in the store directory that
+  the live manifest no longer references (failed saves and appends,
+  superseded shards under live readers).  Only files matching the
+  store's own naming scheme are ever touched.
+
+Readers consume the journal through :class:`JournalOverlay`: one parse
+of the (small) segments yields the shadow/tombstone/append maps that
+:class:`~repro.store.reader.StoredArgument` layers over its base shards
+for every access path — ``load``, ``node``, ``subtree``, streaming and
+per-shard iteration.  The decoded operation list doubles as the
+persisted delta stream that
+:meth:`repro.core.analysis.IncrementalChecker.from_store` consumes to
+re-check a stored case without hydrating it.
+
+Crash semantics: a sealed segment enters the manifest atomically, so an
+interrupted append leaves the previous state loadable (at worst an
+orphaned segment file for :func:`gc`).  A *final* segment whose content
+fails verification — a torn write at the filesystem level — raises
+:class:`~repro.store.format.StoreCorruptionError` naming the segment
+and the ``ignore_torn_tail`` recovery; opening the store with
+``StoredArgument(path, ignore_torn_tail=True)`` drops exactly that last
+segment (one whole append, the journal's atomicity unit) and surfaces
+the previous consistent state.  A damaged *non-final* segment is real
+corruption and always raises.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import TYPE_CHECKING, Any, Iterable
+
+from ..core.argument import Link, LinkKind, MutationDelta
+from ..core.nodes import Node, NodeType
+from ..notation.json_io import node_from_payload
+from .format import (
+    JOURNAL_SCHEMA_VERSION,
+    MANIFEST_NAME,
+    StoreCorruptionError,
+    StoreError,
+    journal_base,
+)
+from .writer import (
+    _commit,
+    _node_record,
+    _ShardWriter,
+    _write_graph,
+    _write_sharded,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (reader imports us)
+    from .reader import StoredArgument
+
+__all__ = [
+    "JournalOverlay",
+    "append_delta",
+    "compact",
+    "gc",
+    "encode_op",
+    "decode_op",
+]
+
+
+#: Mutation op codes a journal record may carry (the delta protocol's).
+_NODE_OPS = ("add_node", "remove_node")
+_LINK_OPS = ("add_link", "remove_link")
+_OPS = _NODE_OPS + _LINK_OPS + ("replace_node",)
+
+
+def _link_payload(link: Link) -> dict[str, str]:
+    return {
+        "source": link.source, "target": link.target, "kind": link.kind.value,
+    }
+
+
+def _canonical_node_payload(node: Node) -> dict[str, Any]:
+    # The same canonical metadata form the shard writer produces, so a
+    # replayed node re-serialises byte-identically under compaction.
+    payload = _node_record(0, node)
+    del payload["seq"]
+    return payload
+
+
+def encode_op(op: str, payload: Any) -> dict[str, Any]:
+    """One journal record: a mutation op plus its serialised payload."""
+    if op == "replace_node":
+        old, new = payload
+        return {
+            "op": op,
+            "old": _canonical_node_payload(old),
+            "new": _canonical_node_payload(new),
+        }
+    if op in _NODE_OPS:
+        return {"op": op, "node": _canonical_node_payload(payload)}
+    if op in _LINK_OPS:
+        return {"op": op, "link": _link_payload(payload)}
+    raise StoreError(f"unknown mutation op {op!r} cannot be journalled")
+
+
+def _link_from_payload(payload: dict[str, Any]) -> Link:
+    return Link(
+        payload["source"], payload["target"], LinkKind(payload["kind"])
+    )
+
+
+def decode_op(record: dict[str, Any], segment: str) -> tuple[str, Any]:
+    """Rebuild the ``(op, payload)`` mutation a journal record encodes."""
+    op = record.get("op")
+    try:
+        if op == "replace_node":
+            return op, (
+                node_from_payload(record["old"]),
+                node_from_payload(record["new"]),
+            )
+        if op in _NODE_OPS:
+            return op, node_from_payload(record["node"])
+        if op in _LINK_OPS:
+            return op, _link_from_payload(record["link"])
+    except (KeyError, TypeError, ValueError) as error:
+        raise StoreCorruptionError(
+            segment, f"malformed {op!r} journal record ({error})"
+        ) from None
+    raise StoreCorruptionError(segment, f"unknown journal op {op!r}")
+
+
+class JournalOverlay:
+    """The parsed journal: what shadows, what vanished, what appended.
+
+    Replaying the decoded operation list in order reproduces exactly the
+    live argument's insertion-order semantics:
+
+    * a **replaced** identifier keeps its base position (``node_shadow``
+      maps it to the replacement);
+    * a **removed** base identifier leaves a tombstone (``node_shadow``
+      maps it to ``None``) — and if later re-added, the new node orders
+      *after* every base record (``appended_nodes``), exactly where a
+      live argument's insertion-ordered dict puts a re-added key;
+    * links behave the same way (``link_tombstones`` /
+      ``appended_links``), keyed by the full ``(source, target, kind)``
+      triple, which an argument keeps unique.
+
+    Appended records carry synthetic sequence numbers continuing the
+    base numbering (``base_total + position``), so every seq-ordered
+    consumer — heap merges, streaming sidecars, subtree assembly — sees
+    the same global order a fresh save would produce.
+    """
+
+    __slots__ = (
+        "ops", "node_shadow", "appended_nodes", "appended_node_positions",
+        "link_tombstones", "appended_links", "appended_out", "torn_segment",
+    )
+
+    def __init__(
+        self,
+        ops: "Iterable[tuple[str, Any]]",
+        torn_segment: str | None = None,
+    ) -> None:
+        #: Decoded mutations, oldest first.  A list extended in place —
+        #: consumers (``journal_ops()``) read/slice it, never mutate.
+        self.ops: list[tuple[str, Any]] = []
+        self.torn_segment = torn_segment
+        self.node_shadow: dict[str, Node | None] = {}
+        self.appended_nodes: dict[str, Node] = {}
+        #: id -> position among appended nodes (filled by finalise).
+        self.appended_node_positions: dict[str, int] = {}
+        self.link_tombstones: set[Link] = set()
+        self.appended_links: dict[Link, None] = {}
+        #: Appended links grouped by source id (subtree traversal reads
+        #: a node's out-links; positions are filled by finalise).
+        self.appended_out: dict[str, list[tuple[int, Link]]] = {}
+        self.extend(ops)
+
+    def extend(self, ops: "Iterable[tuple[str, Any]]") -> None:
+        """Apply further mutation records on top of the current state.
+
+        This is how a long-lived handle keeps up with a growing journal
+        without re-decoding old segments: ``refresh()`` feeds only the
+        newly appended segments' ops here.  The caller re-runs
+        :meth:`finalise` afterwards.
+        """
+        ops = tuple(ops)
+        self.ops.extend(ops)
+        for op, payload in ops:
+            if op == "add_node":
+                # A fresh id, or a tombstoned base id re-added: either
+                # way the live argument appends it at the end.  Any base
+                # tombstone stays, suppressing the base record.
+                self.appended_nodes[payload.identifier] = payload
+            elif op == "remove_node":
+                identifier = payload.identifier
+                if identifier in self.appended_nodes:
+                    del self.appended_nodes[identifier]
+                else:
+                    self.node_shadow[identifier] = None
+            elif op == "replace_node":
+                _, new = payload
+                if new.identifier in self.appended_nodes:
+                    self.appended_nodes[new.identifier] = new
+                else:
+                    self.node_shadow[new.identifier] = new
+            elif op == "add_link":
+                self.appended_links[payload] = None
+            else:  # remove_link
+                if payload in self.appended_links:
+                    del self.appended_links[payload]
+                else:
+                    self.link_tombstones.add(payload)
+
+    def finalise(self, base_link_total: int) -> None:
+        """Assign appended records their post-base positions."""
+        self.appended_node_positions = {
+            identifier: position
+            for position, identifier in enumerate(self.appended_nodes)
+        }
+        self.appended_out.clear()
+        for position, link in enumerate(self.appended_links):
+            self.appended_out.setdefault(link.source, []).append(
+                (base_link_total + position, link)
+            )
+
+    @property
+    def node_delta(self) -> int:
+        """Net node-count change the journal applies to the base."""
+        tombstones = sum(
+            1 for node in self.node_shadow.values() if node is None
+        )
+        return len(self.appended_nodes) - tombstones
+
+    @property
+    def link_delta(self) -> int:
+        """Net link-count change the journal applies to the base."""
+        return len(self.appended_links) - len(self.link_tombstones)
+
+
+def load_overlay(
+    stored: "StoredArgument",
+    base: JournalOverlay | None = None,
+    start: int = 0,
+) -> JournalOverlay:
+    """Parse and verify journal segments of an open store handle.
+
+    Segments verify like shards (count + CRC-32 + per-line decode).  A
+    verification failure in the *final* segment is torn-write shaped: it
+    raises :class:`StoreCorruptionError` naming the segment and the
+    ``ignore_torn_tail=True`` recovery, or — when the handle was opened
+    with that flag — drops exactly that segment (one whole append) and
+    records it in :attr:`JournalOverlay.torn_segment`.  A damaged
+    non-final segment always raises.
+
+    ``base``/``start`` are the incremental path: an overlay already
+    covering the first ``start`` segments is *extended* with just the
+    newer ones, so a long editing session's Nth refresh decodes one new
+    segment, not all N.
+    """
+    ops: list[tuple[str, Any]] = []
+    names = stored.journal_segments
+    torn: str | None = None
+    for position in range(start, len(names)):
+        name = names[position]
+        final = position == len(names) - 1
+        try:
+            # Decode the whole segment before keeping any of it: a
+            # mid-segment failure under ignore_torn_tail must drop the
+            # entire append (the journal's atomicity unit), never a
+            # prefix of it.
+            segment_ops = [
+                decode_op(record, name)
+                for record in stored._stream_shard(name, ("op",))
+            ]
+            ops.extend(segment_ops)
+        except StoreCorruptionError as error:
+            if not final:
+                raise
+            if stored.ignore_torn_tail:
+                torn = name
+                break
+            raise StoreCorruptionError(
+                name,
+                f"{error.detail}; the final journal segment looks like a "
+                "torn append — reopen with StoredArgument(..., "
+                "ignore_torn_tail=True) to recover the last consistent "
+                "state",
+            ) from None
+    if base is None:
+        overlay = JournalOverlay(tuple(ops), torn_segment=torn)
+    else:
+        overlay = base
+        overlay.extend(ops)
+        overlay.torn_segment = torn
+    overlay.finalise(stored.base_link_total)
+    return overlay
+
+
+def _delta_counts(records: Iterable[tuple[str, Any]]) -> tuple[int, int]:
+    """Net (node, link) count change a record sequence applies."""
+    nodes = links = 0
+    for op, _ in records:
+        if op == "add_node":
+            nodes += 1
+        elif op == "remove_node":
+            nodes -= 1
+        elif op == "add_link":
+            links += 1
+        elif op == "remove_link":
+            links -= 1
+    return nodes, links
+
+
+def append_delta(stored: "StoredArgument", delta: MutationDelta) -> dict:
+    """Seal one delta as a journal segment; returns the new manifest.
+
+    O(delta) writes plus one manifest rewrite: the segment streams to a
+    ``.tmp`` file, seals under its content-addressed name (gzipped when
+    the store is), and the atomic manifest rename commits it — the same
+    interrupted-save guarantee shards have, so a crash at any point
+    leaves the previous state loadable.  The caller (normally
+    ``Argument.save(journal=True)``) is responsible for the delta
+    actually continuing the stored state; an empty delta is a no-op.
+    """
+    if (
+        stored._overlay is not None
+        and stored._overlay.torn_segment is not None
+    ):
+        raise StoreError(
+            "cannot append to a journal recovered from a torn tail; "
+            "compact() (or a full save) must reconcile the store first"
+        )
+    if stored.journal_segments:
+        # Building on top of a torn tail would strand the damage in the
+        # *middle* of the journal, beyond ignore_torn_tail's reach — so
+        # verify the sealed tail segment (count + CRC + decode) before
+        # appending (and before the empty-delta no-op below: a no-op
+        # save must not report a damaged store healthy).  O(one delta),
+        # not O(journal): earlier segments were each the tail of a
+        # previous successful append.
+        final = stored.journal_segments[-1]
+        if final not in stored.shards_read:
+            for record in stored._stream_shard(final, ("op",)):
+                decode_op(record, final)
+    if not delta.records:
+        return stored.manifest
+    writer = _ShardWriter(
+        stored.path,
+        journal_base(len(stored.journal_segments)),
+        stored.compression,
+    )
+    try:
+        for op, payload in delta.records:
+            writer.write(encode_op(op, payload))
+    finally:
+        writer.close()
+    name = writer.finish()
+    manifest = dict(stored.manifest)
+    manifest["journal"] = list(stored.journal_segments) + [name]
+    manifest["journal_schema"] = JOURNAL_SCHEMA_VERSION
+    manifest["shards"] = {**manifest["shards"], name: writer.entry}
+    node_delta, link_delta = _delta_counts(delta.records)
+    manifest["node_count"] += node_delta
+    manifest["link_count"] += link_delta
+    _commit(stored.path, manifest)
+    return manifest
+
+
+def compact(stored: "StoredArgument") -> dict:
+    """Fold the journal back into fresh shards; returns the new manifest.
+
+    Streams the journal-replayed node and link sequences straight into
+    new content-addressed shards — no hydration, memory O(shard handles
+    + overlay) — and swaps the manifest atomically; the old shards and
+    every journal segment are swept only after the commit point.  The
+    result is byte-identical to a clean ``save()`` of the same live
+    argument.  Compacting a journal-less store is a no-op returning the
+    current manifest.
+    """
+    if not stored.journal_segments:
+        return stored.manifest
+    node_types: dict[str, NodeType] = {}
+
+    def noted_nodes() -> "Iterable[Node]":
+        for node in stored.iter_nodes():
+            node_types[node.identifier] = node.node_type
+            yield node
+
+    node_shards, link_shards, shards, node_total, link_total = _write_graph(
+        noted_nodes(),
+        stored.iter_links(),
+        stored.path,
+        stored.shard_count,
+        stored.compression,
+    )
+    manifest = dict(stored.manifest)
+    manifest.pop("journal", None)
+    manifest.pop("journal_schema", None)
+    manifest["node_shards"] = node_shards
+    manifest["link_shards"] = link_shards
+    manifest["node_count"] = node_total
+    manifest["link_count"] = link_total
+    replaced = set(stored.manifest["node_shards"]) \
+        | set(stored.manifest["link_shards"]) \
+        | set(stored.journal_segments)
+    if stored.kind == "case":
+        # Journal edits may have removed or retyped cited solutions; the
+        # loader drops their citations only while the journal documents
+        # why, so compaction must reconcile the citations shard or the
+        # folded store would stop loading as a case.  Evidence carries
+        # verbatim (argument journals never touch it).
+        old_citations = stored.manifest["citations_shard"]
+        live = [
+            record
+            for record in stored._stream_shard(
+                old_citations, ("seq", "solution", "evidence")
+            )
+            if node_types.get(record["solution"]) is NodeType.SOLUTION
+        ]
+        (citations_shard,), citations_meta = _write_sharded(
+            stored.path,
+            ["citations"],
+            (
+                (0, {
+                    "seq": seq,
+                    "solution": record["solution"],
+                    "evidence": record["evidence"],
+                })
+                for seq, record in enumerate(live)
+            ),
+            stored.compression,
+        )
+        manifest["citations_shard"] = citations_shard
+        shards = {**shards, **citations_meta}
+        replaced.add(old_citations)
+    carried = {
+        name: entry
+        for name, entry in stored.manifest["shards"].items()
+        if name not in replaced
+    }
+    manifest["shards"] = {**carried, **shards}
+    _commit(stored.path, manifest)
+    return manifest
+
+
+#: Filenames :func:`gc` is allowed to consider: exactly the shapes the
+#: writer and this module produce (sealed shards/segments and their
+#: in-flight ``.tmp`` forms).  Anything else in the directory is not
+#: ours and is never deleted.
+_STORE_FILE = re.compile(
+    r"^(?:"
+    r"(?:nodes|links|journal)-\d{4}"          # nodes-0003-1a2b3c4d.jsonl
+    r"(?:-[0-9a-f]{8}\.jsonl(?:\.gz)?|\.tmp)"  # / nodes-0003.tmp
+    r"|(?:evidence|citations)"                 # evidence-9c0d1e2f.jsonl
+    r"(?:-[0-9a-f]{8}\.jsonl(?:\.gz)?|\.tmp)"  # / evidence.tmp
+    r")$"
+)
+
+
+def gc(stored: "StoredArgument") -> list[str]:
+    """Remove store files the live manifest does not reference.
+
+    Orphans accumulate from interrupted saves and appends (sealed files
+    whose manifest commit never happened) and from full rewrites under
+    live readers (the old shards are swept opportunistically at commit,
+    but a reader holding them open on some platforms, or a crash between
+    commit and sweep, leaves them behind).  Only files matching the
+    store's own naming scheme are candidates; the manifest itself and
+    everything it references survive.  Returns the removed names,
+    sorted.
+
+    **No live writers.**  A save, append, or compaction in flight in
+    another process has sealed files its manifest commit has not yet
+    referenced; gc would see them as orphans and destroy the commit.
+    Run it from the single editing process, between operations — the
+    same discipline journal appends already assume.  Readers of the
+    *live* generation are safe; a reader still lazily streaming a
+    superseded generation can hit missing-file errors and should
+    ``refresh()``.
+    """
+    referenced = set(stored.manifest["shards"]) | {MANIFEST_NAME}
+    removed: list[str] = []
+    for path in stored.path.iterdir():
+        name = path.name
+        if name in referenced:
+            continue
+        if not _STORE_FILE.match(name) and name != MANIFEST_NAME + ".tmp":
+            continue
+        path.unlink()
+        removed.append(name)
+    return sorted(removed)

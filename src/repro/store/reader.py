@@ -20,6 +20,18 @@ three access patterns, cheapest first:
   and the mutation delta log carries the entire load as one delta for
   incremental index consumers.
 
+When the store carries an **append journal** (see
+:mod:`repro.store.journal`), every access path replays it transparently:
+journal entries shadow shard records by identifier, removed records
+vanish, appended ones order after the base records with continuing
+sequence numbers — so streaming, per-shard iteration, ``node``,
+``subtree``, and ``load`` all see the post-edit argument without the
+store ever being rewritten.  ``ignore_torn_tail=True`` recovers from a
+torn final journal segment (a crash mid-append at the filesystem level)
+by dropping exactly that segment; :meth:`StoredArgument.append_delta`,
+:meth:`~StoredArgument.compact`, and :meth:`~StoredArgument.gc` are the
+journal's write-side entry points.
+
 Every shard is verified as it streams — CRC-32 and record count against
 the manifest, JSON decode per line — and any mismatch raises
 :class:`~repro.store.format.StoreCorruptionError` naming the shard.
@@ -36,12 +48,13 @@ from zlib import crc32, error as zlib_error
 
 from ..core.argument import Argument, Link, LinkKind
 from ..core.case import AssuranceCase, SafetyCriterion
-from ..core.nodes import Node
+from ..core.nodes import Node, NodeType
 from ..notation.json_io import evidence_from_payload, node_from_payload
 from .format import (
     COMPRESSIONS,
     GZIP_COMPRESSION,
     ID_HASH,
+    JOURNAL_SCHEMA_VERSION,
     MANIFEST_NAME,
     STORE_SCHEMA_VERSION,
     StoreCorruptionError,
@@ -64,25 +77,61 @@ _EVIDENCE_KEYS = ("seq", "id", "kind", "description")
 _CITATION_KEYS = ("seq", "solution", "evidence")
 
 
+#: Sentinel distinguishing "no shadow entry" from a ``None`` tombstone.
+_MISSING = object()
+
+
 class StoredArgument:
     """A lazily-loaded view of one store directory.
 
     Opening the handle reads only the manifest.  Shards hydrate on
     demand and stay cached on the handle; :attr:`shards_read` records
-    which shard files have been read (and verified) so far.
+    which shard files have been read (and verified) so far.  The append
+    journal, if any, parses lazily on the first access that needs it
+    and shadows base records everywhere; ``ignore_torn_tail=True``
+    drops a torn final journal segment instead of raising (recovering
+    the last consistent state after a crash mid-append).
     """
 
-    def __init__(self, directory: Path | str) -> None:
+    def __init__(
+        self, directory: Path | str, *, ignore_torn_tail: bool = False
+    ) -> None:
         self.path = Path(directory)
+        #: Tolerate (drop) a torn final journal segment instead of
+        #: raising :class:`StoreCorruptionError` — crash recovery.
+        self.ignore_torn_tail = ignore_torn_tail
+        #: Shard files fully read (and checksum-verified) so far.
+        self.shards_read: set[str] = set()
+        #: True once :meth:`load` has rebuilt a full in-memory argument —
+        #: the no-hydration assertions of the streaming well-formedness
+        #: path key off this flag.
+        self.hydrated = False
+        # Lazy caches: shard index -> {node id: (seq, Node)} and
+        # shard index -> {source id: [(seq, Link), ...]} in seq order.
+        self._node_shards: dict[int, dict[str, tuple[int, Node]]] = {}
+        self._link_shards: dict[int, dict[str, list[tuple[int, Link]]]] = {}
+        self._overlay: Any = None
+        self._read_manifest()
+
+    def _read_manifest(self) -> None:
+        """Parse and validate the manifest; (re)set the handle's view."""
         manifest_path = self.path / MANIFEST_NAME
         if not manifest_path.exists():
             raise StoreError(f"no store manifest at {manifest_path}")
+        raw = manifest_path.read_bytes()
         try:
-            manifest = json.loads(manifest_path.read_text())
-        except json.JSONDecodeError as error:
+            manifest = json.loads(raw.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
             raise StoreCorruptionError(
                 MANIFEST_NAME, f"manifest is not valid JSON ({error})"
             ) from None
+        #: CRC-32 of the manifest bytes — the store generation's
+        #: identity.  ``Argument.save(journal=True)`` compares it
+        #: against the baseline recorded at the last save/load, so any
+        #: external change to the store (appends by another handle,
+        #: rewrites, compaction) falls back to a full rewrite instead of
+        #: appending a delta onto state it never saw.
+        self.manifest_fingerprint = crc32(raw)
         if manifest.get("schema") != STORE_SCHEMA_VERSION:
             raise StoreError(
                 f"unsupported store schema {manifest.get('schema')!r} "
@@ -119,6 +168,20 @@ class StoredArgument:
                 f"unsupported shard compression {compression!r} "
                 f"(this reader speaks gzip or none)"
             )
+        journal = manifest.get("journal", [])
+        if journal:
+            if not isinstance(journal, list) or not all(
+                isinstance(name, str) for name in journal
+            ):
+                raise StoreCorruptionError(
+                    MANIFEST_NAME, "journal segment list is malformed"
+                )
+            if manifest.get("journal_schema") != JOURNAL_SCHEMA_VERSION:
+                raise StoreError(
+                    "unsupported journal schema "
+                    f"{manifest.get('journal_schema')!r} (this reader "
+                    f"speaks {JOURNAL_SCHEMA_VERSION})"
+                )
         self.manifest = manifest
         self.name: str = manifest["name"]
         self.kind: str = manifest["kind"]
@@ -127,21 +190,164 @@ class StoredArgument:
         self.compression: str | None = compression
         self._node_shard_names: list[str] = node_shards
         self._link_shard_names: list[str] = link_shards
-        #: Shard files fully read (and checksum-verified) so far.
-        self.shards_read: set[str] = set()
-        #: True once :meth:`load` has rebuilt a full in-memory argument —
-        #: the no-hydration assertions of the streaming well-formedness
-        #: path key off this flag.
-        self.hydrated = False
-        # Lazy caches: shard index -> {node id: (seq, Node)} and
-        # shard index -> {source id: [(seq, Link), ...]} in seq order.
-        self._node_shards: dict[int, dict[str, tuple[int, Node]]] = {}
-        self._link_shards: dict[int, dict[str, list[tuple[int, Link]]]] = {}
+        #: Journal segment names, oldest first (empty: no journal).
+        self.journal_segments: list[str] = journal
+        try:
+            #: Record totals of the base shards alone — the seq domain
+            #: journal-appended records continue from.
+            self.base_node_total: int = sum(
+                manifest["shards"][name]["records"] for name in node_shards
+            )
+            self.base_link_total: int = sum(
+                manifest["shards"][name]["records"] for name in link_shards
+            )
+        except (KeyError, TypeError):
+            raise StoreCorruptionError(
+                MANIFEST_NAME,
+                "shard map is missing entries for listed shards",
+            ) from None
+        self._overlay = None
+
+    # -- journal plumbing ---------------------------------------------------
+
+    def journal_overlay(self) -> Any:
+        """The parsed journal overlay (parsing segments on first use)."""
+        if self._overlay is None:
+            from .journal import JournalOverlay, load_overlay
+
+            if self.journal_segments:
+                self._overlay = load_overlay(self)
+            else:
+                self._overlay = JournalOverlay(())
+        return self._overlay
+
+    def _overlay_or_none(self) -> Any:
+        """The overlay, or ``None`` when the store has no journal."""
+        if not self.journal_segments:
+            return None
+        return self.journal_overlay()
+
+    def journal_ops(self) -> "list[tuple[str, Any]]":
+        """The decoded journal mutations, oldest first — the persisted
+        delta stream :meth:`repro.core.analysis.IncrementalChecker.
+        from_store` consumes.  Read-only: the overlay owns the list."""
+        return self.journal_overlay().ops
+
+    def base_key(self) -> tuple:
+        """Identity of the base shard generation (changes on any full
+        rewrite or compaction, never on a journal append)."""
+        return tuple(self._node_shard_names) + tuple(self._link_shard_names)
+
+    def refresh(self) -> str:
+        """Re-read the manifest; resync the handle to the store on disk.
+
+        Returns ``"unchanged"``, ``"journal"`` (same base shards, new
+        journal segments — base caches stay valid), or ``"rewritten"``
+        (a full save or compaction replaced the base: every cache
+        drops).  The incremental store checker polls this before each
+        re-check.
+        """
+        previous = self.manifest
+        previous_base = self.base_key()
+        previous_journal = list(self.journal_segments)
+        previous_overlay = self._overlay
+        self._read_manifest()
+        if self.manifest == previous:
+            self._overlay = previous_overlay
+            return "unchanged"
+        if (
+            self.base_key() == previous_base
+            and self.journal_segments[:len(previous_journal)]
+            == previous_journal
+        ):
+            # Same base generation, journal only grew: extend the
+            # already-parsed overlay with just the new segments instead
+            # of re-decoding the whole journal (keeps a long editing
+            # session's refresh cost O(delta)).
+            if (
+                previous_overlay is not None
+                and previous_overlay.torn_segment is None
+            ):
+                from .journal import load_overlay
+
+                self._overlay = load_overlay(
+                    self, base=previous_overlay,
+                    start=len(previous_journal),
+                )
+            return "journal"
+        self._node_shards.clear()
+        self._link_shards.clear()
+        self.shards_read.clear()
+        return "rewritten"
+
+    def append_delta(self, delta: Any) -> dict[str, Any]:
+        """Seal one mutation delta as a journal segment (O(delta) writes).
+
+        See :func:`repro.store.journal.append_delta`; the handle resyncs
+        to the committed manifest before returning.
+        """
+        from .journal import append_delta
+
+        manifest = append_delta(self, delta)
+        self.refresh()
+        return manifest
+
+    def compact(self) -> dict[str, Any]:
+        """Fold the journal into fresh shards (atomic manifest swap).
+
+        See :func:`repro.store.journal.compact`; the handle resyncs to
+        the compacted store before returning.
+        """
+        from .journal import compact
+
+        manifest = compact(self)
+        self.refresh()
+        return manifest
+
+    def gc(self) -> list[str]:
+        """Remove store files the live manifest no longer references.
+
+        Resyncs to the manifest on disk first — sweeping against a
+        stale in-memory view would delete a newer generation's shards.
+        See :func:`repro.store.journal.gc` for the safety contract (no
+        concurrent writers).
+        """
+        from .journal import gc
+
+        self.refresh()
+        return gc(self)
+
+    # -- effective (post-journal) totals ------------------------------------
+
+    @property
+    def node_count(self) -> int:
+        """Node count after journal replay (== manifest for clean tails)."""
+        overlay = self._overlay_or_none()
+        if overlay is None:
+            return self.manifest["node_count"]
+        return self.base_node_total + overlay.node_delta
+
+    @property
+    def link_count(self) -> int:
+        """Link count after journal replay (== manifest for clean tails)."""
+        overlay = self._overlay_or_none()
+        if overlay is None:
+            return self.manifest["link_count"]
+        return self.base_link_total + overlay.link_delta
 
     def __len__(self) -> int:
-        return self.manifest["node_count"]
+        return self.node_count
 
     def __contains__(self, identifier: str) -> bool:
+        overlay = self._overlay_or_none()
+        if overlay is not None:
+            if identifier in overlay.appended_nodes:
+                return True
+            shadow = overlay.node_shadow.get(identifier, _MISSING)
+            if shadow is None:
+                return False
+            if shadow is not _MISSING:
+                return True
         shard = self._node_shard(shard_of(identifier, self.shard_count))
         return identifier in shard
 
@@ -224,7 +430,8 @@ class StoredArgument:
         self.shards_read.add(filename)
 
     def iter_node_records(self) -> Iterator[dict[str, Any]]:
-        """All node records, merged across shards into ``seq`` order."""
+        """All *base* node records, merged across shards into ``seq``
+        order — pre-journal; :meth:`iter_nodes` applies the overlay."""
         return heapq.merge(
             *(
                 self._stream_shard(name, _NODE_KEYS)
@@ -233,13 +440,32 @@ class StoredArgument:
             key=_record_seq,
         )
 
+    def _shadowed_node(
+        self, overlay: Any, record: dict[str, Any]
+    ) -> Node | None:
+        """The node a base record contributes under the overlay, if any."""
+        identifier = record["id"]
+        shadow = overlay.node_shadow.get(identifier, _MISSING)
+        if shadow is _MISSING:
+            return node_from_payload(record)
+        return shadow  # replacement Node, or None for a tombstone
+
     def iter_nodes(self) -> Iterator[Node]:
-        """Stream every node in original insertion order."""
+        """Stream every node in insertion order (journal replayed)."""
+        overlay = self._overlay_or_none()
+        if overlay is None:
+            for record in self.iter_node_records():
+                yield node_from_payload(record)
+            return
         for record in self.iter_node_records():
-            yield node_from_payload(record)
+            node = self._shadowed_node(overlay, record)
+            if node is not None:
+                yield node
+        yield from overlay.appended_nodes.values()
 
     def iter_links(self) -> Iterator[Link]:
-        """Stream every link in original insertion order."""
+        """Stream every link in insertion order (journal replayed)."""
+        overlay = self._overlay_or_none()
         for record in heapq.merge(
             *(
                 self._stream_shard(name, _LINK_KEYS)
@@ -247,35 +473,66 @@ class StoredArgument:
             ),
             key=_record_seq,
         ):
-            yield Link(
+            link = Link(
                 record["source"], record["target"], LinkKind(record["kind"])
             )
+            if overlay is not None and link in overlay.link_tombstones:
+                continue
+            yield link
+        if overlay is not None:
+            yield from overlay.appended_links
 
     def iter_shard_nodes(self, index: int) -> Iterator[tuple[int, Node]]:
         """Stream one node shard's ``(seq, node)`` pairs, seq-ascending.
 
         The per-shard work unit of the parallel well-formedness engine:
         shard ``index`` holds exactly the nodes whose identifiers hash
-        there, verified as they stream.
+        there, verified as they stream.  Journal entries replay in
+        place: shadowed records substitute, tombstoned ones vanish, and
+        appended nodes hashing to this shard follow with their
+        post-base seqs — the id-hash partition survives the journal.
         """
+        overlay = self._overlay_or_none()
         for record in self._stream_shard(
             self._node_shard_names[index], _NODE_KEYS
         ):
-            yield record["seq"], node_from_payload(record)
+            if overlay is None:
+                yield record["seq"], node_from_payload(record)
+                continue
+            node = self._shadowed_node(overlay, record)
+            if node is not None:
+                yield record["seq"], node
+        if overlay is not None:
+            base_total = self.base_node_total
+            for position, node in enumerate(
+                overlay.appended_nodes.values()
+            ):
+                if shard_of(node.identifier, self.shard_count) == index:
+                    yield base_total + position, node
 
     def iter_shard_links(self, index: int) -> Iterator[tuple[int, Link]]:
         """Stream one link shard's ``(seq, link)`` pairs, seq-ascending.
 
         Links shard by *source* id, so a node's outgoing links live in
         the shard its identifier hashes to — per-source order within a
-        shard equals global insertion order.
+        shard equals global insertion order.  The journal replays in
+        place exactly as in :meth:`iter_shard_nodes`.
         """
+        overlay = self._overlay_or_none()
         for record in self._stream_shard(
             self._link_shard_names[index], _LINK_KEYS
         ):
-            yield record["seq"], Link(
+            link = Link(
                 record["source"], record["target"], LinkKind(record["kind"])
             )
+            if overlay is not None and link in overlay.link_tombstones:
+                continue
+            yield record["seq"], link
+        if overlay is not None:
+            base_total = self.base_link_total
+            for position, link in enumerate(overlay.appended_links):
+                if shard_of(link.source, self.shard_count) == index:
+                    yield base_total + position, link
 
     # -- lazy per-shard access ---------------------------------------------
 
@@ -308,15 +565,55 @@ class StoredArgument:
             self._link_shards[index] = shard
         return shard
 
-    def node(self, identifier: str) -> Node:
-        """Fetch one node, hydrating only its shard."""
+    def _node_entry(self, identifier: str) -> tuple[int, Node]:
+        """One node's ``(seq, node)`` under the overlay (KeyError if
+        absent), hydrating at most its base shard."""
+        overlay = self._overlay_or_none()
+        if overlay is not None:
+            position = overlay.appended_node_positions.get(identifier)
+            if position is not None:
+                return (
+                    self.base_node_total + position,
+                    overlay.appended_nodes[identifier],
+                )
+            shadow = overlay.node_shadow.get(identifier, _MISSING)
+            if shadow is None:
+                raise KeyError(identifier)
+            if shadow is not _MISSING:
+                shard = self._node_shard(
+                    shard_of(identifier, self.shard_count)
+                )
+                return shard[identifier][0], shadow
         shard = self._node_shard(shard_of(identifier, self.shard_count))
+        return shard[identifier]
+
+    def node(self, identifier: str) -> Node:
+        """Fetch one node, hydrating at most its shard (journal replayed)."""
         try:
-            return shard[identifier][1]
+            return self._node_entry(identifier)[1]
         except KeyError:
             raise StoreError(
                 f"unknown node {identifier!r} in store {self.name!r}"
             ) from None
+
+    def _outgoing(self, identifier: str) -> list[tuple[int, Link]]:
+        """A node's outgoing ``(seq, link)`` pairs under the overlay,
+        hydrating only the one link shard its identifier hashes to."""
+        overlay = self._overlay_or_none()
+        outgoing = list(
+            self._link_shard(
+                shard_of(identifier, self.shard_count)
+            ).get(identifier, ())
+        )
+        if overlay is not None:
+            if overlay.link_tombstones:
+                outgoing = [
+                    (seq, link)
+                    for seq, link in outgoing
+                    if link not in overlay.link_tombstones
+                ]
+            outgoing.extend(overlay.appended_out.get(identifier, ()))
+        return outgoing
 
     def subtree(self, root_id: str) -> Argument:
         """Hydrate only the region reachable from ``root_id``.
@@ -326,6 +623,7 @@ class StoredArgument:
         but reads only the link shards of frontier nodes and the node
         shards of members, so a localised sub-argument of a huge store
         touches a strict subset of the shards a full load would.
+        Journal entries replay transparently.
         """
         self.node(root_id)
         members: set[str] = set()
@@ -336,17 +634,12 @@ class StoredArgument:
             if identifier in members:
                 continue
             members.add(identifier)
-            outgoing = self._link_shard(
-                shard_of(identifier, self.shard_count)
-            ).get(identifier, ())
-            for seq, link in outgoing:
+            for seq, link in self._outgoing(identifier):
                 gathered.append((seq, link))
                 if link.target not in members:
                     stack.append(link.target)
         ordered_nodes = sorted(
-            self._node_shard(shard_of(identifier, self.shard_count))
-            [identifier]
-            for identifier in members
+            self._node_entry(identifier) for identifier in members
         )
         gathered.sort()
         fragment = Argument(name=f"{self.name}/{root_id}")
@@ -377,33 +670,48 @@ class StoredArgument:
                 (link.source, link.target, link.kind)
                 for link in self.iter_links()
             )
-        # Cross-check the manifest's totals: every shard verified
-        # individually, but a tampered manifest could still understate
-        # the shard list coherently — loudness beats silent data loss.
+        # Cross-check the totals (journal replay included): every shard
+        # verified individually, but a tampered manifest could still
+        # understate the shard list coherently — loudness beats silent
+        # data loss.
         if (
-            len(argument) != self.manifest["node_count"]
-            or len(argument.links) != self.manifest["link_count"]
+            len(argument) != self.node_count
+            or len(argument.links) != self.link_count
         ):
             raise StoreCorruptionError(
                 MANIFEST_NAME,
                 f"loaded {len(argument)} nodes / "
                 f"{len(argument.links)} links, manifest claims "
-                f"{self.manifest['node_count']} / "
-                f"{self.manifest['link_count']}",
+                f"{self.node_count} / {self.link_count}",
             )
         self.hydrated = True
+        # The loaded argument continues the stored state: record the
+        # baseline so its next save(journal=True) appends a delta.
+        argument.mark_persisted(self.path)
         return argument
 
 
 def load_argument(
-    directory: Path | str, *, into: type[Argument] | None = None
+    directory: Path | str,
+    *,
+    into: type[Argument] | None = None,
+    ignore_torn_tail: bool = False,
 ) -> Argument:
-    """Fully hydrate the argument stored in a directory."""
-    return StoredArgument(directory).load(into=into)
+    """Fully hydrate the argument stored in a directory.
+
+    ``ignore_torn_tail=True`` recovers from a torn final journal
+    segment (see :mod:`repro.store.journal`) instead of raising.
+    """
+    return StoredArgument(
+        directory, ignore_torn_tail=ignore_torn_tail
+    ).load(into=into)
 
 
 def load_case(
-    directory: Path | str, *, into: type[AssuranceCase] | None = None
+    directory: Path | str,
+    *,
+    into: type[AssuranceCase] | None = None,
+    ignore_torn_tail: bool = False,
 ) -> AssuranceCase:
     """Fully hydrate an assurance case stored by
     :func:`~repro.store.writer.save_case`.
@@ -413,7 +721,7 @@ def load_case(
     re-serialises byte-identically.  ``into`` names the
     :class:`AssuranceCase` subclass to instantiate.
     """
-    stored = StoredArgument(directory)
+    stored = StoredArgument(directory, ignore_torn_tail=ignore_torn_tail)
     if stored.kind != "case":
         raise StoreError(
             f"store at {stored.path} holds an argument, not a case"
@@ -439,9 +747,23 @@ def load_case(
         manifest["evidence_shard"], _EVIDENCE_KEYS
     ):
         case.evidence.add(evidence_from_payload(record))
+    journaled = bool(stored.journal_segments)
     for record in stored._stream_shard(
         manifest["citations_shard"], _CITATION_KEYS
     ):
+        solution = record["solution"]
+        # Journal edits can orphan a base citations record — its
+        # solution removed, or retyped away from SOLUTION, after the
+        # shard was written.  Those citations are gone with the node,
+        # not corruption: drop them instead of failing the load.  Only
+        # a journal can explain such an orphan (compaction reconciles
+        # the shard), so on journal-less stores a dangling citation
+        # stays what it always was — a loud corruption error.
+        if journaled and (
+            solution not in argument
+            or argument.node(solution).node_type is not NodeType.SOLUTION
+        ):
+            continue
         for evidence_id in record["evidence"]:
-            case.cite(record["solution"], evidence_id)
+            case.cite(solution, evidence_id)
     return case

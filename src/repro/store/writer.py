@@ -165,32 +165,50 @@ def _write_sharded(
 
 
 def _write_graph(
-    argument: Argument,
+    nodes: Iterable[Node],
+    links: Iterable[Link],
     directory: Path,
     shard_count: int,
     compression: str | None = None,
-) -> tuple[list[str], list[str], dict[str, dict[str, int]]]:
-    """Stream an argument's nodes and links into their shards."""
+) -> tuple[list[str], list[str], dict[str, dict[str, int]], int, int]:
+    """Stream nodes and links into their shards; seqs are re-enumerated.
+
+    Takes plain iterables — a live argument's node/link lists or a
+    stored argument's journal-replayed streams (compaction) — so memory
+    stays O(shard handles) either way.  Returns the sealed node and link
+    shard names, their manifest entries, and the record totals.
+    """
+    node_total = 0
+    link_total = 0
+
+    def _node_records() -> Iterable[tuple[int, dict[str, Any]]]:
+        nonlocal node_total
+        for seq, node in enumerate(nodes):
+            node_total += 1
+            yield shard_of(node.identifier, shard_count), \
+                _node_record(seq, node)
+
+    def _link_records() -> Iterable[tuple[int, dict[str, Any]]]:
+        nonlocal link_total
+        for seq, link in enumerate(links):
+            link_total += 1
+            yield shard_of(link.source, shard_count), \
+                _link_record(seq, link)
+
     node_names, shards = _write_sharded(
         directory,
         [shard_base("nodes", i) for i in range(shard_count)],
-        (
-            (shard_of(node.identifier, shard_count), _node_record(seq, node))
-            for seq, node in enumerate(argument.nodes)
-        ),
+        _node_records(),
         compression,
     )
     link_names, link_shards = _write_sharded(
         directory,
         [shard_base("links", i) for i in range(shard_count)],
-        (
-            (shard_of(link.source, shard_count), _link_record(seq, link))
-            for seq, link in enumerate(argument.links)
-        ),
+        _link_records(),
         compression,
     )
     shards.update(link_shards)
-    return node_names, link_names, shards
+    return node_names, link_names, shards, node_total, link_total
 
 
 def _previous_shards(directory: Path) -> set[str]:
@@ -251,8 +269,8 @@ def save_argument(
     """
     directory, shard_count = _prepare(directory, shard_count)
     compression = validate_compression(compression)
-    node_shards, link_shards, shards = _write_graph(
-        argument, directory, shard_count, compression
+    node_shards, link_shards, shards, _, _ = _write_graph(
+        argument.nodes, argument.links, directory, shard_count, compression
     )
     manifest: dict[str, Any] = {
         "schema": STORE_SCHEMA_VERSION,
@@ -294,8 +312,9 @@ def save_case(
     """
     directory, shard_count = _prepare(directory, shard_count)
     compression = validate_compression(compression)
-    node_shards, link_shards, shards = _write_graph(
-        case.argument, directory, shard_count, compression
+    node_shards, link_shards, shards, _, _ = _write_graph(
+        case.argument.nodes, case.argument.links, directory, shard_count,
+        compression,
     )
     (evidence_shard,), evidence_meta = _write_sharded(
         directory,
@@ -349,4 +368,8 @@ def save_case(
     if compression is not None:
         manifest["compression"] = compression
     _commit(directory, manifest)
+    # The natural case editing loop is save() then edit then
+    # argument.save(journal=True): record the baseline here, exactly as
+    # Argument.save and StoredArgument.load do, so that append works.
+    case.argument.mark_persisted(directory)
     return manifest

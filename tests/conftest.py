@@ -106,6 +106,15 @@ def random_argument(
     return argument
 
 
+def store_files(directory) -> dict[str, bytes]:
+    """Every file in a store directory, by name — the byte-stability
+    oracle shared by the round-trip, journal, and invariant suites."""
+    return {
+        path.name: path.read_bytes()
+        for path in sorted(Path(directory).iterdir())
+    }
+
+
 def load_benchmark_module(name: str):
     """Import a benchmark script by file path (benchmarks/ is no package)."""
     spec = importlib.util.spec_from_file_location(

@@ -44,6 +44,16 @@ def test_bench_graph_scale_smoke(graph_scale_bench, tmp_path):
         assert wellformed[key] >= 0.0, key
     assert wellformed["edit_rounds"] >= 10
 
+    # And the journal workload: appends must beat rewrites even at
+    # smoke sizes, compaction must be byte-stable, and the store-backed
+    # incremental recheck must never have hydrated.  (The workload
+    # itself asserts replay equality and checker agreement.)
+    journal = on_disk["journal_workload"]
+    assert journal["journal_segments"] == journal["edit_rounds"]
+    assert journal["compaction_byte_stable"] is True
+    assert journal["from_store_hydrated"] is False
+    assert journal["speedup_journal_vs_rewrite"] >= 1.5
+
     for shape, data in report["shapes"].items():
         assert data["nodes"] >= SMOKE_NODES * 0.9, shape
         for key in ("construct_s", "statistics_s", "find_cycle_s",

@@ -21,7 +21,15 @@ random mutation steps and after **every** step asserts:
     mutation delta log, including the delta-aware acyclic hook) reports
     exactly the violations of a fresh full check after *every* step, and
     periodically both equal a *streaming* check over the argument saved
-    to a sharded store (which must not hydrate it).
+    to a sharded store (which must not hydrate it);
+(f) the **journal persistence oracle**: a store maintained across the
+    whole run purely by ``save(journal=True)`` appends — every Nth step
+    the journal-replayed store loads canonically equal to the live
+    argument, a long-lived store-backed checker
+    (:meth:`~repro.core.analysis.IncrementalChecker.from_store`,
+    consuming the *persisted* journal deltas, never hydrating) agrees
+    with the fresh check, and periodically ``compact()`` folds the
+    journal away byte-identically to a clean save of the same argument.
 
 Graphs stay acyclic by construction (links only run from older to newer
 nodes), matching the only shape well-formedness accepts; cyclic-graph
@@ -203,6 +211,14 @@ class Harness:
         self.store_dir = store_dir
         # Long-lived: consumes the delta log across the whole run.
         self.wellformed = GSN_STANDARD_RULES.incremental(self.argument)
+        # Long-lived journal session: the store under journal_store is
+        # only ever updated through save(journal=True) appends (plus
+        # periodic compaction), and stored_wellformed re-checks it from
+        # the persisted deltas without hydration.
+        self.journal_store = (
+            None if store_dir is None else store_dir / "journal.store"
+        )
+        self.stored_wellformed = None
 
     # Operations consult the live argument, then mirror onto the shadow.
 
@@ -339,6 +355,53 @@ class Harness:
             assert not stored.hydrated, (
                 "the streaming check must not hydrate the store"
             )
+        # (f) journal persistence: appends-only store ≡ live argument ≡
+        # store-backed incremental checker; periodic compaction is
+        # byte-stable against a clean save.
+        if self.store_dir is not None and step_number % 15 == 0:
+            from conftest import canonical_argument
+            from repro.store import StoredArgument
+
+            argument.save(self.journal_store, journal=True)
+            stored = StoredArgument(self.journal_store)
+            if step_number > 15:
+                assert stored.journal_segments or step_number % 75 == 15, (
+                    f"step {step_number}: the session should be appending"
+                )
+            replayed = stored.load()
+            assert canonical_argument(replayed) == \
+                canonical_argument(argument), (
+                    f"step {step_number}: journal replay diverged from "
+                    "the live argument"
+                )
+            if self.stored_wellformed is None:
+                self.checker_store = StoredArgument(self.journal_store)
+                self.stored_wellformed = \
+                    GSN_STANDARD_RULES.incremental_from_store(
+                        self.checker_store
+                    )
+            assert self.stored_wellformed.check() == fresh_violations, (
+                f"step {step_number}: store-backed incremental check "
+                "diverged from a fresh full check"
+            )
+            assert not self.checker_store.hydrated, (
+                "from_store re-checking must never hydrate"
+            )
+            if step_number % 75 == 0:
+                from conftest import store_files
+
+                StoredArgument(self.journal_store).compact()
+                fresh_dir = self.store_dir / "compaction-reference.store"
+                argument.save(fresh_dir)
+                assert store_files(self.journal_store) == \
+                    store_files(fresh_dir), (
+                        f"step {step_number}: compaction is not byte-stable"
+                    )
+                assert self.stored_wellformed.check() == \
+                    fresh_violations, (
+                        f"step {step_number}: checker lost sync across "
+                        "compaction"
+                    )
         # (d) planner-backed selects == naive predicate scans
         if step_number % 10 == 0:
             worst = attribute_param("hazard", 1, "remote") \

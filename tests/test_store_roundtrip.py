@@ -39,11 +39,7 @@ from repro.store import StoredArgument, save_argument
 pytestmark = pytest.mark.store
 
 
-def _store_bytes(directory) -> dict[str, bytes]:
-    """Every file in a store directory, for byte-level comparison."""
-    return {
-        path.name: path.read_bytes() for path in sorted(directory.iterdir())
-    }
+from conftest import store_files as _store_bytes  # the shared oracle
 
 
 def _query_battery():
