@@ -101,6 +101,62 @@ All modes produce the same violation list: rules in rule-set order, and
 within one rule the violations in canonical ``(subject, detail)`` order —
 so results are directly comparable across modes, processes, and storage.
 
+The rule-authoring contract (statically enforced)
+=================================================
+
+Everything above holds **only if rules keep their scope promises** — the
+serial/streaming/parallel/incremental equivalence is a theorem about
+rules that read nothing beyond their declared context slice.  The
+contract a rule author signs, and that the rule-scope auditor
+(:mod:`repro.analysis_static`) verifies from the rule's AST at
+definition time:
+
+*What a scoped rule may read.*  A rule may read **its subject** (the
+one node or link it was handed — any attribute) and **its context
+surface** — exactly the :class:`RuleContext` attributes
+:data:`SCOPE_SURFACE` lists for its scope:
+
+========  ==========================================================
+scope     stream-safe ``RuleContext`` surface
+========  ==========================================================
+node      ``name``, ``cites_support`` (about the subject node only)
+link      ``name``, ``node_type`` (of the link's own endpoints only)
+global    ``name``, ``node_type``, ``cites_support``, ``roots``,
+          ``find_cycle``, ``has_support``, ``supported_walk``
+========  ==========================================================
+
+Everything on that table is *stream-safe*: each concrete context
+answers it from sidecar aggregates without hydrating a stored case.
+The shared module-level helpers :func:`iter_subject_nodes` /
+:func:`iter_subject_links` are likewise stream-safe for whole-argument
+scans.  :meth:`RuleContext.argument` is **not** — it is the documented
+hydration fallback for legacy whole-argument rules, and the auditor
+flags any other use as hydration-forcing.
+
+*What a scoped rule may not do.*  Rules are pure functions of
+``(subject, permitted context)``:
+
+* **no undeclared context access** — asking the context anything
+  outside the scope's surface breaks partitioning (a parallel worker's
+  :class:`_ChunkContext` simply does not carry the answer);
+* **no mutation** — assigning to, deleting from, or calling mutators on
+  the subject or the context corrupts the shared sidecars other rules
+  read;
+* **no nondeterminism** — ``time``/``random``/``id()`` reads or
+  iteration over sets feeding the violation output make the four modes
+  (and journal replays) disagree.
+
+*How to interpret auditor findings.*  The auditor emits structured
+findings (``kind``, ``severity``, rule name, ``file:line``):
+``undeclared-context-access`` and ``mutation`` are always errors;
+``hydration-forcing`` is an error for node/link rules and a warning for
+global rules (the documented legacy fallback); ``nondeterminism`` is an
+error; ``unreadable-source`` is a warning (the auditor could not obtain
+the callable's AST — C functions, interactively defined rules).
+``RuleSet.audit()`` runs the auditor over a whole rule set, and
+:mod:`repro.analysis_static.gate` re-audits everything the repo ships
+at import time.
+
 This module is also the home of the shared storage duck-typing helpers
 (:func:`is_stored_argument`, :func:`ensure_argument`,
 :func:`iter_subject_nodes`, :func:`iter_subject_links`) that
@@ -124,6 +180,8 @@ __all__ = [
     "Violation",
     "Scope",
     "ScopedRule",
+    "SCOPE_SURFACE",
+    "HYDRATING_CONTEXT",
     "per_node",
     "per_link",
     "global_rule",
@@ -155,6 +213,26 @@ class Scope(enum.Enum):
     NODE = "node"
     LINK = "link"
     GLOBAL = "global"
+
+
+#: The stream-safe :class:`RuleContext` surface per scope — the
+#: rule-authoring contract's single source of truth, shared between this
+#: module's documentation and the static rule-scope auditor
+#: (:mod:`repro.analysis_static.auditor`).  Every attribute listed here
+#: is answered from sidecar aggregates without hydrating a stored case.
+SCOPE_SURFACE: "dict[Scope, frozenset[str]]" = {
+    Scope.NODE: frozenset({"name", "cites_support"}),
+    Scope.LINK: frozenset({"name", "node_type"}),
+    Scope.GLOBAL: frozenset({
+        "name", "node_type", "cites_support", "roots", "find_cycle",
+        "has_support", "supported_walk",
+    }),
+}
+
+#: :class:`RuleContext` attributes that force hydration of a stored
+#: case — the documented legacy fallback, flagged by the auditor
+#: everywhere except (as a warning) in global rules.
+HYDRATING_CONTEXT: "frozenset[str]" = frozenset({"argument"})
 
 
 @dataclass(frozen=True)
@@ -881,7 +959,7 @@ def _slices(items: list, pieces: int) -> list[list]:
     return [items[i:i + size] for i in range(0, len(items), size)]
 
 
-def _mp_context():
+def _mp_context() -> Any:
     import multiprocessing
 
     try:

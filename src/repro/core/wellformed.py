@@ -157,6 +157,24 @@ class RuleSet:
         """
         return IncrementalChecker.from_store(stored, self.rules)
 
+    def audit(self) -> "list[Any]":
+        """Statically audit every rule against the authoring contract.
+
+        Runs the rule-scope auditor (see
+        :mod:`repro.analysis_static.auditor`) over each rule's callable
+        — AST analysis, closures and helpers resolved one level deep —
+        and returns the :class:`~repro.analysis_static.auditor.
+        AuditFinding` list: undeclared context access, hydration-forcing
+        calls, mutation, and nondeterminism sources, each with severity
+        and source location.  An empty list means the set keeps the
+        locality contract that makes the four execution modes agree.
+        """
+        # Imported here: analysis_static imports this module's shipped
+        # rule sets for its gate, so a top-level import would cycle.
+        from ..analysis_static.auditor import audit_rule_set
+
+        return audit_rule_set(self)
+
 
 # -- individual rules ------------------------------------------------------
 #

@@ -18,6 +18,7 @@ from .formal_detector import (
     detect_syllogism,
 )
 from .informal import (
+    PER_NODE_HEURISTICS,
     EquivocationWitness,
     HeuristicFlag,
     desert_bank_equivocation,
@@ -60,6 +61,7 @@ __all__ = [
     "homonym_heuristic",
     "ignorance_heuristic",
     "wrong_reasons_check",
+    "PER_NODE_HEURISTICS",
     "InjectionRecord",
     "SeededFormalArgument",
     "inject_formal",

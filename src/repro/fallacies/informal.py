@@ -42,6 +42,7 @@ __all__ = [
     "ignorance_heuristic",
     "wrong_reasons_check",
     "KNOWN_HOMONYMS",
+    "PER_NODE_HEURISTICS",
 ]
 
 
@@ -215,6 +216,15 @@ def ignorance_heuristic(argument: Argument) -> list[HeuristicFlag]:
                 f"absence-of-evidence phrasing: {node.text[:60]!r}",
             ))
     return flags
+
+
+#: The stream-safe per-node scans: each walks ``iter_subject_nodes``
+#: and nothing else, so the rule-scope auditor
+#: (:mod:`repro.analysis_static`) holds them to the same no-hydration
+#: contract as scoped rules.  ``hasty_generalisation_heuristic`` is
+#: deliberately absent — it needs link structure and documents its
+#: ``ensure_argument`` fallback.
+PER_NODE_HEURISTICS = (homonym_heuristic, ignorance_heuristic)
 
 
 def wrong_reasons_check(

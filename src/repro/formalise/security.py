@@ -35,6 +35,7 @@ from ..core.toulmin import (
 from ..logic.entailment import entails
 from ..logic.natural_deduction import (
     Proof,
+    ProofError,
     Rule,
     check_proof,
     haley_outer_proof,
@@ -135,7 +136,11 @@ class SatisfactionArgument:
         """Full framework check: proof, requirement, inner coverage."""
         try:
             proof_ok = check_proof(self.outer)
-        except Exception:
+        except ProofError:
+            # An invalid proof is a *negative check result*, not a
+            # crash.  Anything else (a genuine bug in the checker, a
+            # malformed Proof object) must propagate — swallowing it
+            # here would report a broken checker as "proof fails".
             proof_ok = False
         requirement_ok = proof_ok and (
             self.outer.conclusion == self.requirement

@@ -19,7 +19,13 @@ incrementally-reloadable on-disk form:
   O(delta) writes, readers replay the journal transparently,
   ``compact()`` folds it back into byte-stable shards, and ``gc()``
   sweeps orphaned files; ``ignore_torn_tail=True`` recovers from a
-  crash mid-append.
+  crash mid-append;
+* :mod:`~repro.store.fsck` — the ``python -m repro.store.fsck`` CLI:
+  offline verification of a store directory (manifest, shard seals and
+  content-addresses, id-hash partition, journal torn-tail
+  classification, orphan inventory) without loading it into the
+  engine; the checking machinery lives in
+  :mod:`repro.analysis_static.fsck`.
 
 ``Argument.save/load`` (including ``save(journal=True)``) and
 ``AssuranceCase.save/load`` are the convenience entry points built on

@@ -144,7 +144,7 @@ class StoreCorruptionError(StoreError):
         self.shard = shard
         self.detail = detail
 
-    def __reduce__(self):
+    def __reduce__(self) -> "tuple[type, tuple[str, str]]":
         # Default exception pickling would replay the *formatted*
         # message into the two-argument constructor; corruption raised
         # inside a parallel-check worker must cross the process

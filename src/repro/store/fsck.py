@@ -1,0 +1,50 @@
+"""``python -m repro.store.fsck`` — offline store verification CLI.
+
+Runs :func:`repro.analysis_static.fsck.fsck_store` over one or more
+store directories and prints each report.  Exit status is the worst
+outcome over all stores: nonzero iff any store has a fatal finding, or
+— with ``--strict`` — any recoverable one (a torn journal tail).
+
+::
+
+    $ python -m repro.store.fsck case.store other.store
+    $ python -m repro.store.fsck --strict nightly/*.store
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional, Sequence
+
+from ..analysis_static.fsck import FsckReport, fsck_store
+
+__all__ = ["main"]
+
+
+def main(argv: "Optional[Sequence[str]]" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.store.fsck",
+        description=(
+            "Statically cross-check store directories against their "
+            "manifests without loading them into the engine."
+        ),
+    )
+    parser.add_argument(
+        "stores", nargs="+", metavar="STORE",
+        help="store directory (the one holding manifest.json)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="treat recoverable findings (torn journal tail) as failures",
+    )
+    options = parser.parse_args(argv)
+    worst = 0
+    for store in options.stores:
+        report: FsckReport = fsck_store(store)
+        print(report.render())
+        worst = max(worst, report.exit_code(strict=options.strict))
+    return worst
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main()
+    raise SystemExit(main())

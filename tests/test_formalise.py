@@ -293,6 +293,43 @@ class TestSecurity:
                 claim=Statement("C", "bogus")
             ))
 
+    def test_invalid_proof_reports_failure_not_crash(self):
+        """A ProofError is a negative check result: proof_checks False."""
+        import repro.formalise.security as security_module
+        from repro.logic.natural_deduction import ProofError
+
+        example = haley_example()
+
+        def rejecting(proof):
+            raise ProofError(proof.lines[0], "deliberately rejected")
+
+        original = security_module.check_proof
+        security_module.check_proof = rejecting
+        try:
+            result = example.check()
+        finally:
+            security_module.check_proof = original
+        assert not result.proof_checks
+        assert not result.requirement_proved
+
+    def test_unexpected_checker_error_propagates(self):
+        """Only ProofError means 'proof fails'; a crashed checker must
+        surface, not be silently reported as a failing proof."""
+        import repro.formalise.security as security_module
+
+        example = haley_example()
+
+        def broken(proof):
+            raise RuntimeError("checker bug")
+
+        original = security_module.check_proof
+        security_module.check_proof = broken
+        try:
+            with pytest.raises(RuntimeError, match="checker bug"):
+                example.check()
+        finally:
+            security_module.check_proof = original
+
 
 class TestPolicy:
     @pytest.fixture
