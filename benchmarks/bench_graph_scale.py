@@ -1199,6 +1199,9 @@ def bench_journal_workload(
         # to a clean save of the same live argument.
         compact_handle = StoredArgument(journal_dir)
         compact_s, _ = timed(compact_handle.compact)
+        # Compaction defers its sweep so pinned snapshot readers stay
+        # valid; gc() reclaims the superseded generation's files.
+        compact_handle.gc()
         journal_argument.save(fresh_dir)
         compacted_files = {
             path.name: path.read_bytes() for path in journal_dir.iterdir()
@@ -1310,6 +1313,147 @@ def bench_store_workload(
             shutil.rmtree(base, ignore_errors=True)
 
 
+def bench_service_mixed(
+    n: int,
+    writers: int = 2,
+    readers: int = 4,
+    appends_per_writer: int = 12,
+    reads_per_reader: int = 24,
+) -> dict[str, Any]:
+    """Mixed editor traffic through the asyncio argument service.
+
+    Serves the wide-fan store over a real socket, then drives it the
+    way a maintained case is actually used: writer clients landing
+    optimistic appends (``expect_generation`` + retry-on-409) while
+    reader clients query, fetch summaries, and pull node payloads off
+    whatever snapshot is current.  Reports append/read throughput under
+    contention and verifies no append was lost.
+    """
+    import asyncio
+
+    from repro.service import ArgumentService, ServiceClient
+    from repro.service.client import ServiceClientError
+    from repro.store import StoredArgument
+
+    spec = wide_fan(n)
+    argument = build(Argument, spec, "service-fan")
+    base = Path(tempfile.mkdtemp(prefix="bench-service-"))
+    store_dir = base / "service-fan.store"
+    argument.save(store_dir)
+
+    loop = asyncio.new_event_loop()
+    service = ArgumentService(base)
+    bound: dict[str, Any] = {}
+    ready = threading.Event()
+
+    def serve() -> None:
+        asyncio.set_event_loop(loop)
+        bound["address"] = loop.run_until_complete(service.start())
+        ready.set()
+        loop.run_forever()
+
+    server_thread = threading.Thread(target=serve, daemon=True)
+    server_thread.start()
+    assert ready.wait(30), "service failed to start"
+    host, port = bound["address"]
+    store_name = store_dir.name
+
+    conflicts = [0] * writers
+    append_times: list[list[float]] = [[] for _ in range(writers)]
+    read_times: list[list[float]] = [[] for _ in range(readers)]
+    failures: list[BaseException] = []
+
+    def run_writer(worker: int) -> None:
+        client = ServiceClient(host, port)
+        try:
+            for round_index in range(appends_per_writer):
+                ops = [{"op": "add_node", "node": {
+                    "id": f"SVC-W{worker}R{round_index}",
+                    "type": "context",
+                    "text": f"Service edit {worker}/{round_index}",
+                }}]
+                start = time.perf_counter()
+                while True:
+                    generation = client.store(store_name)["generation"]
+                    try:
+                        client.append(
+                            store_name, ops, expect_generation=generation
+                        )
+                        break
+                    except ServiceClientError as error:
+                        if error.status != 409:
+                            raise
+                        conflicts[worker] += 1
+                append_times[worker].append(time.perf_counter() - start)
+        except BaseException as error:  # pragma: no cover - surfaced below
+            failures.append(error)
+        finally:
+            client.close()
+
+    def run_reader(worker: int) -> None:
+        client = ServiceClient(host, port)
+        try:
+            for round_index in range(reads_per_reader):
+                start = time.perf_counter()
+                if round_index % 3 == 0:
+                    payload = client.query(
+                        store_name, {"type": "goal"}
+                    )
+                    assert payload["nodes"], "query lost the fan's goals"
+                elif round_index % 3 == 1:
+                    client.store(store_name)
+                else:
+                    client.node(store_name, "G1")
+                read_times[worker].append(time.perf_counter() - start)
+        except BaseException as error:  # pragma: no cover - surfaced below
+            failures.append(error)
+        finally:
+            client.close()
+
+    threads = (
+        [threading.Thread(target=run_writer, args=(w,))
+         for w in range(writers)]
+        + [threading.Thread(target=run_reader, args=(r,))
+           for r in range(readers)]
+    )
+    try:
+        mixed_s, _ = timed(lambda: [
+            [t.start() for t in threads], [t.join() for t in threads],
+        ])
+        assert not failures, f"service traffic failed: {failures[:3]}"
+
+        final = StoredArgument(store_dir)
+        expected = {
+            f"SVC-W{worker}R{round_index}"
+            for worker in range(writers)
+            for round_index in range(appends_per_writer)
+        }
+        missing = {name for name in expected if name not in final}
+        assert not missing, f"service lost appends: {sorted(missing)[:5]}"
+
+        all_appends = [s for per in append_times for s in per]
+        all_reads = [s for per in read_times for s in per]
+        return {
+            "nodes": len(argument),
+            "writers": writers,
+            "readers": readers,
+            "appends": len(all_appends),
+            "reads": len(all_reads),
+            "conflict_retries": sum(conflicts),
+            "mixed_wall_s": mixed_s,
+            "appends_per_s": len(all_appends) / mixed_s,
+            "reads_per_s": len(all_reads) / mixed_s,
+            "mean_append_ms": 1e3 * sum(all_appends) / len(all_appends),
+            "mean_read_ms": 1e3 * sum(all_reads) / len(all_reads),
+            "final_journal_segments": len(final.journal_segments),
+        }
+    finally:
+        asyncio.run_coroutine_threadsafe(service.close(), loop).result(10)
+        loop.call_soon_threadsafe(loop.stop)
+        server_thread.join(10)
+        shutil.rmtree(base, ignore_errors=True)
+
+
 def run_bench(
     n: int = 10_000,
     max_paths: int = 1_000,
@@ -1336,6 +1480,7 @@ def run_bench(
         10 * n if wellformed_nodes is None else wellformed_nodes
     )
     journal = bench_journal_workload(n)
+    service = bench_service_mixed(n)
     report = {
         "benchmark": "graph_scale",
         "nodes_requested": n,
@@ -1357,6 +1502,8 @@ def run_bench(
         ],
         "journal_workload": journal,
         "speedup_journal_appends": journal["speedup_journal_vs_rewrite"],
+        "service_workload": service,
+        "service_reads_per_s": service["reads_per_s"],
         "note": (
             "seed comparison covers deep_chain and wide_fan; the seed's "
             "exponential depth() cannot finish on dense_dag at all; "
@@ -1377,7 +1524,13 @@ def run_bench(
             "rewrite per round, folds the journal back into byte-stable "
             "shards via compact(), and re-checks the persisted case "
             "from its journal deltas (IncrementalChecker.from_store) "
-            "without hydration vs a full streaming recheck per round"
+            "without hydration vs a full streaming recheck per round; "
+            "service_workload drives the asyncio HTTP front end with "
+            "concurrent writer clients (optimistic expect_generation "
+            "appends, retry on 409) and reader clients (planned "
+            "queries, summaries, node fetches) over one shared store — "
+            "no append lost, reads served from pinned snapshots "
+            "throughout"
         ),
     }
     if out is not None:
@@ -1466,6 +1619,18 @@ def main(argv: list[str] | None = None) -> int:
         f" ms vs streaming {journal['streaming_recheck_s'] * 1e3:.1f} ms "
         f"({journal['speedup_from_store_vs_streaming']:.1f}x, "
         "hydrated=False)"
+    )
+    service = report["service_workload"]
+    print(
+        f"    service: {service['nodes']} nodes, {service['writers']} "
+        f"writers x {service['readers']} readers: "
+        f"{service['appends']} appends ({service['conflict_retries']} "
+        f"409 retries) + {service['reads']} reads in "
+        f"{service['mixed_wall_s'] * 1e3:.0f} ms "
+        f"({service['appends_per_s']:.0f} appends/s, "
+        f"{service['reads_per_s']:.0f} reads/s; mean append "
+        f"{service['mean_append_ms']:.1f} ms, mean read "
+        f"{service['mean_read_ms']:.1f} ms)"
     )
     print(
         "min construct+statistics speedup vs seed: "

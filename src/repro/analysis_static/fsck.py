@@ -35,7 +35,11 @@ What gets checked, file by file:
   (the loader documents and drops it there);
 * **orphans**: files matching the store's own naming scheme that the
   manifest does not reference — exactly the inventory
-  :func:`repro.store.journal.gc` would sweep — reported as notes.
+  :func:`repro.store.journal.gc` would sweep — reported as notes;
+* the **writer lease**: a live ``writer.lease`` means a writer holds
+  the store right now (fsck may be racing its commit), a stale one
+  means a writer crashed mid-operation; both are notes naming the
+  holder, never orphans — the lease protocol itself retires them.
 
 Findings carry a severity (:data:`FSCK_FATAL` / :data:`FSCK_RECOVERABLE`
 / :data:`FSCK_NOTE`) and *name the damaged artifact*.  The CLI lives at
@@ -59,11 +63,13 @@ from ..store.format import (
     GZIP_COMPRESSION,
     ID_HASH,
     JOURNAL_SCHEMA_VERSION,
+    LEASE_NAME,
     MANIFEST_NAME,
     STORE_SCHEMA_VERSION,
     shard_of,
 )
-from ..store.journal import _STORE_FILE
+from ..store.journal import _MANIFEST_TMP, _STORE_FILE
+from ..store.lease import lease_is_stale, read_lease
 
 __all__ = [
     "FsckFinding",
@@ -703,14 +709,36 @@ class _Fsck:
             name = entry.name
             if name in referenced:
                 continue
-            if not _STORE_FILE.match(name) and \
-                    name != MANIFEST_NAME + ".tmp":
+            if name == LEASE_NAME:
+                self._note_lease()
+                continue
+            if not _STORE_FILE.match(name) and not _MANIFEST_TMP.match(name):
                 continue
             self.report.orphans.append(name)
             self.note(
                 name,
                 "orphaned store file the manifest does not reference "
                 "(gc() would remove it)",
+            )
+
+    def _note_lease(self) -> None:
+        """A ``writer.lease`` is protocol state, not an orphan."""
+        payload = read_lease(self.path)
+        if payload is None:  # released between iterdir and the read
+            return
+        holder = payload.get("holder", "an unknown holder")
+        if lease_is_stale(payload):
+            self.note(
+                LEASE_NAME,
+                f"stale writer lease held by {holder!r} — a writer "
+                "crashed mid-operation; the next writer takes it over",
+            )
+        else:
+            self.note(
+                LEASE_NAME,
+                f"live writer lease held by {holder!r} — this store is "
+                "being written right now; findings may be racing the "
+                "commit",
             )
 
 

@@ -1096,6 +1096,7 @@ class Argument:
         shard_count: int | None = None,
         compression: str | None = None,
         journal: bool = False,
+        force: bool = False,
     ) -> Any:
         """Write this argument to a sharded store directory.
 
@@ -1110,43 +1111,67 @@ class Argument:
         from), only the mutations since — the persisted delta — are
         appended to the store's journal, O(delta) writes instead of an
         O(store) rewrite.  Whenever no safe delta exists (first save, a
-        rotated mutation log, a store rewritten behind our back, or a
-        journal recovered from a torn tail), it falls back to the full
-        rewrite transparently — inheriting the existing store's
-        ``shard_count``/``compression`` unless overridden here, so a
-        session never silently converts the on-disk format; either way
-        the on-disk state equals this argument afterwards.  One loud
-        exception: if the directory holds a *case* store, the fallback
-        raises instead of rewriting — an argument-only rewrite would
-        destroy the case's evidence and citations (appends are fine:
-        they preserve them).
+        rotated mutation log, or a journal recovered from a torn tail),
+        it falls back to the full rewrite transparently — inheriting the
+        existing store's ``shard_count``/``compression`` unless
+        overridden here, so a session never silently converts the
+        on-disk format; either way the on-disk state equals this
+        argument afterwards.  One loud exception: if the directory holds
+        a *case* store, the fallback raises instead of rewriting — an
+        argument-only rewrite would destroy the case's evidence and
+        citations (appends are fine: they preserve them).
+
+        **Concurrency.**  A journalled save holds the store's writer
+        lease across its conflict check *and* whichever commit it
+        decides on, so two processes cannot interleave their
+        check-then-write windows.  When the store on disk has moved past
+        the generation this argument last saw — another writer
+        committed — the save raises
+        :class:`~repro.store.StoreConflictError` instead of silently
+        rewriting over the other writer's work (the historical lost
+        update); reload, reconcile, and retry.  ``force=True`` is the
+        explicit escape hatch: it rewrites the store to exactly this
+        argument's state regardless of what landed in between.
         """
         from ..store import save_argument  # local: store imports this module
 
         if journal:
-            manifest = self._append_journal(
-                directory, shard_count=shard_count, compression=compression
-            )
-            if manifest is not None:
-                return manifest
-            existing = self._existing_manifest(directory)
-            if existing is not None:
-                if existing.get("kind") == "case":
-                    from ..store import StoreError
+            from ..store.lease import writer_lease
 
-                    raise StoreError(
-                        f"store at {directory} holds a case; rewriting it "
-                        "as a bare argument would drop its evidence and "
-                        "citations — save through the AssuranceCase "
-                        "instead (journal appends had been preserving "
-                        "them)"
-                    )
-                if shard_count is None and isinstance(
-                    existing.get("shard_count"), int
-                ):
-                    shard_count = existing["shard_count"]
-                if compression is None:
-                    compression = existing.get("compression")
+            # One lease spans the append attempt, the conflict check,
+            # and the fallback rewrite: the decision "no other writer
+            # intervened" stays true through the commit it justifies.
+            with writer_lease(self._store_key(directory)):
+                manifest = self._append_journal(
+                    directory, shard_count=shard_count,
+                    compression=compression, force=force,
+                )
+                if manifest is not None:
+                    return manifest
+                existing = self._existing_manifest(directory)
+                if existing is not None:
+                    if existing.get("kind") == "case":
+                        from ..store import StoreError
+
+                        raise StoreError(
+                            f"store at {directory} holds a case; "
+                            "rewriting it as a bare argument would drop "
+                            "its evidence and citations — save through "
+                            "the AssuranceCase instead (journal appends "
+                            "had been preserving them)"
+                        )
+                    if shard_count is None and isinstance(
+                        existing.get("shard_count"), int
+                    ):
+                        shard_count = existing["shard_count"]
+                    if compression is None:
+                        compression = existing.get("compression")
+                manifest = save_argument(
+                    self, directory, shard_count=shard_count,
+                    compression=compression,
+                )
+                self.mark_persisted(directory)
+                return manifest
         manifest = save_argument(
             self, directory, shard_count=shard_count,
             compression=compression,
@@ -1180,19 +1205,26 @@ class Argument:
         *,
         shard_count: int | None = None,
         compression: str | None = None,
+        force: bool = False,
     ) -> Any:
         """Append the persisted delta to the store's journal, if safe.
 
         Returns the committed manifest, or ``None`` when the caller must
         fall back to a full rewrite.  Safety checks: a baseline delta
-        must exist, the store must be openable, its manifest must be
-        byte-identical to the one this argument last saved or loaded —
-        any edit by another handle (even a count-neutral one) means our
-        delta would append onto state we never saw — and an explicitly
+        must exist, the store must be openable, and an explicitly
         requested ``shard_count``/``compression`` must match the store's
         (a format change needs the rewrite to take effect).
+
+        The manifest on disk must further be byte-identical to the one
+        this argument last saved or loaded — any edit by another handle
+        (even a count-neutral one) means our delta would append onto
+        state we never saw.  That divergence is a *conflict*, not a
+        fallback: it raises :class:`StoreConflictError` so the caller's
+        work and the other writer's both survive.  ``force=True``
+        downgrades it to ``None`` (the caller's rewrite overwrites
+        deliberately).  Runs under the caller's writer lease.
         """
-        from ..store import StoreError, StoredArgument
+        from ..store import StoreConflictError, StoreError, StoredArgument
 
         delta = self.persisted_delta(directory)
         if delta is None:
@@ -1202,17 +1234,31 @@ class Argument:
             return None
         try:
             stored = StoredArgument(directory)
-            if shard_count is not None and shard_count != stored.shard_count:
+        except StoreError:
+            return None  # store vanished or unreadable: rewrite repairs
+        if shard_count is not None and shard_count != stored.shard_count:
+            return None
+        if compression is not None and compression != stored.compression:
+            return None
+        # The fingerprint pins the exact store generation; the tail
+        # segment's integrity is verified inside append_delta (a torn
+        # tail raises StoreError and falls through to the repairing
+        # rewrite), so the common path never re-parses the journal.
+        if stored.manifest_fingerprint != fingerprint:
+            if force:
                 return None
-            if compression is not None and compression != stored.compression:
-                return None
-            # The fingerprint pins the exact store generation; the tail
-            # segment's integrity is verified inside append_delta (a
-            # torn tail raises and falls through to the repairing
-            # rewrite), so the common path never re-parses the journal.
-            if stored.manifest_fingerprint != fingerprint:
-                return None
+            raise StoreConflictError(
+                f"store at {directory} changed since this argument last "
+                "saw it (manifest fingerprint "
+                f"{stored.manifest_fingerprint:08x} != recorded "
+                f"{fingerprint:08x}): appending or rewriting would lose "
+                "another writer's committed work — reload and reconcile, "
+                "or save(..., force=True) to overwrite deliberately"
+            )
+        try:
             manifest = stored.append_delta(delta)
+        except StoreConflictError:
+            raise  # never downgrade a conflict to a silent rewrite
         except StoreError:
             return None
         self.mark_persisted(directory)

@@ -1,0 +1,33 @@
+"""``python -m repro.service ROOT [--host H] [--port P]``.
+
+Serves every store directory under ROOT (see
+:class:`repro.service.ArgumentService`).  Port 0 picks a free port and
+prints it.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from .server import run
+
+
+def main(argv: "list[str] | None" = None) -> None:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Serve argument stores under a root directory "
+        "over HTTP/JSON.",
+    )
+    parser.add_argument(
+        "root", type=Path,
+        help="directory whose store subdirectories are served",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8873)
+    arguments = parser.parse_args(argv)
+    run(arguments.root, arguments.host, arguments.port)
+
+
+if __name__ == "__main__":
+    main()

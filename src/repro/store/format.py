@@ -81,6 +81,7 @@ manifest swap.
 from __future__ import annotations
 
 import json
+import os
 import zlib
 from typing import Any
 
@@ -88,18 +89,26 @@ __all__ = [
     "STORE_SCHEMA_VERSION",
     "JOURNAL_SCHEMA_VERSION",
     "MANIFEST_NAME",
+    "LEASE_NAME",
     "DEFAULT_SHARD_COUNT",
     "ID_HASH",
     "GZIP_COMPRESSION",
     "COMPRESSIONS",
     "StoreError",
     "StoreCorruptionError",
+    "StoreConflictError",
     "shard_of",
     "shard_base",
     "shard_filename",
     "journal_base",
+    "tmp_name",
     "validate_compression",
     "encode_record",
+    "durable",
+    "set_durability",
+    "fsync_fileobj",
+    "fsync_path",
+    "fsync_directory",
 ]
 
 #: Bumped on any incompatible layout or record change.
@@ -110,6 +119,10 @@ STORE_SCHEMA_VERSION = 1
 JOURNAL_SCHEMA_VERSION = 1
 
 MANIFEST_NAME = "manifest.json"
+
+#: The writer-lease file (see :mod:`repro.store.lease`): holder identity
+#: and expiry of the one process allowed to mutate the store right now.
+LEASE_NAME = "writer.lease"
 
 #: Default number of shards per record kind.  Small enough that a full
 #: load opens a handful of files, large enough that a subtree load over
@@ -152,6 +165,19 @@ class StoreCorruptionError(StoreError):
         return (type(self), (self.shard, self.detail))
 
 
+class StoreConflictError(StoreError):
+    """Another writer got there first.
+
+    Raised when the writer lease cannot be acquired (a live holder has
+    it and the acquisition deadline passed) and when
+    ``Argument.save(journal=True)`` finds the store diverged from the
+    generation this argument last saw — committing would overwrite
+    another writer's appends (a lost update).  The caller should reload
+    the store, reconcile, and retry; ``save(..., force=True)`` is the
+    explicit overwrite escape hatch.
+    """
+
+
 def shard_of(identifier: str, shard_count: int) -> int:
     """The shard index an identifier hashes to (stable across runs)."""
     return zlib.crc32(identifier.encode("utf-8")) % shard_count
@@ -181,6 +207,84 @@ def shard_filename(
     """
     suffix = ".jsonl.gz" if compression == GZIP_COMPRESSION else ".jsonl"
     return f"{base}-{checksum:08x}{suffix}"
+
+
+def tmp_name(base: str) -> str:
+    """A collision-free in-flight filename for a streaming write.
+
+    Deterministic ``<base>.tmp`` names let two processes saving into one
+    directory overwrite each other's half-written files mid-stream; the
+    pid + random infix makes every in-flight file private to its writer.
+    The sealed content-addressed rename still decides what a store *is*;
+    these names only have to never collide while open.  :data:`gc`'s
+    ``_STORE_FILE`` pattern (and fsck's orphan inventory) matches both
+    the unique and the legacy deterministic form.
+    """
+    return f"{base}.{os.getpid():x}-{os.urandom(4).hex()}.tmp"
+
+
+#: Process-wide durability switch (see :func:`set_durability`).  On by
+#: default; ``REPRO_STORE_FSYNC=0`` in the environment starts it off —
+#: the test-suite escape hatch for hosts where fsync dominates runtime.
+_DURABLE = os.environ.get("REPRO_STORE_FSYNC", "1") != "0"
+
+
+def durable() -> bool:
+    """Whether commits fsync (files before rename, directory after)."""
+    return _DURABLE
+
+
+def set_durability(enabled: bool) -> bool:
+    """Turn commit fsyncs on or off process-wide; returns the old value.
+
+    The atomic-rename commit protocol is only crash-safe when sealed
+    files are fsynced before the rename and the directory after the
+    manifest swap — otherwise the "commit point" can vanish or tear on
+    power loss.  Leave durability on anywhere real; the opt-out exists
+    for tests and throwaway scratch stores.
+    """
+    global _DURABLE
+    previous = _DURABLE
+    _DURABLE = enabled
+    return previous
+
+
+def fsync_fileobj(handle: Any) -> None:
+    """Flush and fsync an open file object (no-op when durability is off)."""
+    if _DURABLE:
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def fsync_path(path: Any) -> None:
+    """fsync a closed file by path (no-op when durability is off)."""
+    if _DURABLE:
+        fd = os.open(os.fspath(path), os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+
+def fsync_directory(path: Any) -> None:
+    """fsync a directory so completed renames survive power loss.
+
+    No-op when durability is off; platforms whose directory handles
+    refuse fsync (some network filesystems, Windows) are tolerated —
+    the rename itself is still ordered after the file fsyncs.
+    """
+    if not _DURABLE:
+        return
+    try:
+        fd = os.open(os.fspath(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
 
 
 def validate_compression(compression: "str | None") -> "str | None":

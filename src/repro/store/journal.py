@@ -15,13 +15,25 @@ keep an on-disk case cheap to maintain:
 * :func:`compact` — fold every journal segment back into fresh
   content-addressed node/link shards in one atomic manifest swap.  The
   compacted store is **byte-identical** to a clean ``save()`` of the
-  same live argument: replay reproduces exact insertion order (removed
-  identifiers vanish, re-added ones order last, replacements keep their
-  position) and the writer re-canonicalises every record;
+  same live argument (once :func:`gc` sweeps the superseded files):
+  replay reproduces exact insertion order (removed identifiers vanish,
+  re-added ones order last, replacements keep their position) and the
+  writer re-canonicalises every record;
+* :func:`coalesce` — merge all journal segments into one without
+  touching the shards: same op stream, bounded manifest, so a
+  months-long editing session cannot grow the segment list without
+  bound (``append_delta`` triggers it automatically at
+  :data:`COALESCE_AFTER` segments);
 * :func:`gc` — remove shard/segment files in the store directory that
   the live manifest no longer references (failed saves and appends,
-  superseded shards under live readers).  Only files matching the
-  store's own naming scheme are ever touched.
+  superseded generations left behind for pinned snapshot readers).
+  Only files matching the store's own naming scheme are ever touched.
+
+Every one of these runs under the store's **writer lease**
+(:mod:`repro.store.lease`), and the journal write paths
+compare-and-append: a handle whose manifest view went stale raises
+:class:`~repro.store.format.StoreConflictError` instead of silently
+committing over another writer's generation.
 
 Readers consume the journal through :class:`JournalOverlay`: one parse
 of the (small) segments yields the shadow/tombstone/append maps that
@@ -54,11 +66,13 @@ from ..core.nodes import Node, NodeType
 from ..notation.json_io import node_from_payload
 from .format import (
     JOURNAL_SCHEMA_VERSION,
+    LEASE_NAME,
     MANIFEST_NAME,
     StoreCorruptionError,
     StoreError,
     journal_base,
 )
+from .lease import writer_lease
 from .writer import (
     _commit,
     _node_record,
@@ -73,11 +87,17 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (reader imports us)
 __all__ = [
     "JournalOverlay",
     "append_delta",
+    "coalesce",
     "compact",
     "gc",
     "encode_op",
     "decode_op",
 ]
+
+#: Journal length at which ``append_delta`` coalesces the segments into
+#: one before appending — the manifest (and every fresh reader's replay
+#: cost) stays bounded however long the editing session runs.
+COALESCE_AFTER = 64
 
 
 #: Mutation op codes a journal record may carry (the delta protocol's).
@@ -325,6 +345,44 @@ def _delta_counts(records: Iterable[tuple[str, Any]]) -> tuple[int, int]:
     return nodes, links
 
 
+def _check_not_torn(stored: "StoredArgument") -> None:
+    if (
+        stored._overlay is not None
+        and stored._overlay.torn_segment is not None
+    ):
+        raise StoreError(
+            "cannot append to a journal recovered from a torn tail; "
+            "compact() (or a full save) must reconcile the store first"
+        )
+
+
+def _check_handle_current(stored: "StoredArgument") -> None:
+    """Under the lease: the handle's view must match the disk manifest.
+
+    A handle whose manifest went stale (another writer committed since
+    it last refreshed) would commit a manifest derived from the old
+    generation — silently dropping the other writer's journal entry, the
+    exact lost update the lease exists to prevent.  Raising
+    :class:`StoreConflictError` forces the caller to ``refresh()`` (or
+    reload) and re-derive its delta.
+    """
+    from zlib import crc32
+
+    from .format import StoreConflictError
+
+    try:
+        raw = (stored.path / MANIFEST_NAME).read_bytes()
+    except OSError:
+        raise StoreConflictError(
+            f"store at {stored.path} vanished under this handle"
+        ) from None
+    if crc32(raw) != stored.manifest_fingerprint:
+        raise StoreConflictError(
+            f"store at {stored.path} changed since this handle last "
+            "read it (another writer committed); refresh() and retry"
+        )
+
+
 def append_delta(stored: "StoredArgument", delta: MutationDelta) -> dict:
     """Seal one delta as a journal segment; returns the new manifest.
 
@@ -335,48 +393,92 @@ def append_delta(stored: "StoredArgument", delta: MutationDelta) -> dict:
     leaves the previous state loadable.  The caller (normally
     ``Argument.save(journal=True)``) is responsible for the delta
     actually continuing the stored state; an empty delta is a no-op.
+
+    Runs under the store's writer lease, and refuses (with
+    :class:`~repro.store.format.StoreConflictError`) if the manifest on
+    disk is no longer the one this handle saw — the compare-and-append
+    that makes concurrent editors lose loudly instead of silently.  Once
+    the journal reaches :data:`COALESCE_AFTER` segments they are first
+    coalesced into one, so the manifest stays bounded over arbitrarily
+    long editing sessions.
     """
-    if (
-        stored._overlay is not None
-        and stored._overlay.torn_segment is not None
-    ):
-        raise StoreError(
-            "cannot append to a journal recovered from a torn tail; "
-            "compact() (or a full save) must reconcile the store first"
+    with writer_lease(stored.path):
+        _check_not_torn(stored)
+        _check_handle_current(stored)
+        if stored.journal_segments:
+            # Building on top of a torn tail would strand the damage in
+            # the *middle* of the journal, beyond ignore_torn_tail's
+            # reach — so verify the sealed tail segment (count + CRC +
+            # decode) before appending (and before the empty-delta no-op
+            # below: a no-op save must not report a damaged store
+            # healthy).  O(one delta), not O(journal): earlier segments
+            # were each the tail of a previous successful append.
+            final = stored.journal_segments[-1]
+            if final not in stored.shards_read:
+                for record in stored._stream_shard(final, ("op",)):
+                    decode_op(record, final)
+        if not delta.records:
+            return stored.manifest
+        if len(stored.journal_segments) >= COALESCE_AFTER:
+            coalesce(stored)
+            stored.refresh()
+        writer = _ShardWriter(
+            stored.path,
+            journal_base(len(stored.journal_segments)),
+            stored.compression,
         )
-    if stored.journal_segments:
-        # Building on top of a torn tail would strand the damage in the
-        # *middle* of the journal, beyond ignore_torn_tail's reach — so
-        # verify the sealed tail segment (count + CRC + decode) before
-        # appending (and before the empty-delta no-op below: a no-op
-        # save must not report a damaged store healthy).  O(one delta),
-        # not O(journal): earlier segments were each the tail of a
-        # previous successful append.
-        final = stored.journal_segments[-1]
-        if final not in stored.shards_read:
-            for record in stored._stream_shard(final, ("op",)):
-                decode_op(record, final)
-    if not delta.records:
-        return stored.manifest
-    writer = _ShardWriter(
-        stored.path,
-        journal_base(len(stored.journal_segments)),
-        stored.compression,
-    )
-    try:
-        for op, payload in delta.records:
-            writer.write(encode_op(op, payload))
-    finally:
-        writer.close()
-    name = writer.finish()
-    manifest = dict(stored.manifest)
-    manifest["journal"] = list(stored.journal_segments) + [name]
-    manifest["journal_schema"] = JOURNAL_SCHEMA_VERSION
-    manifest["shards"] = {**manifest["shards"], name: writer.entry}
-    node_delta, link_delta = _delta_counts(delta.records)
-    manifest["node_count"] += node_delta
-    manifest["link_count"] += link_delta
-    _commit(stored.path, manifest)
+        try:
+            for op, payload in delta.records:
+                writer.write(encode_op(op, payload))
+        finally:
+            writer.close()
+        name = writer.finish()
+        manifest = dict(stored.manifest)
+        manifest["journal"] = list(stored.journal_segments) + [name]
+        manifest["journal_schema"] = JOURNAL_SCHEMA_VERSION
+        manifest["shards"] = {**manifest["shards"], name: writer.entry}
+        node_delta, link_delta = _delta_counts(delta.records)
+        manifest["node_count"] += node_delta
+        manifest["link_count"] += link_delta
+        _commit(stored.path, manifest, sweep=False)
+    return manifest
+
+
+def coalesce(stored: "StoredArgument") -> dict:
+    """Merge every journal segment into one; returns the new manifest.
+
+    Pure manifest hygiene: the op sequence — and therefore every
+    reader's replay — is unchanged; only the segment boundaries vanish.
+    O(journal) work, no shard rewriting (that is :func:`compact`), one
+    atomic manifest swap.  The superseded segments stay on disk for
+    pinned snapshot readers until :func:`gc`.  A no-op below two
+    segments.
+    """
+    with writer_lease(stored.path):
+        _check_not_torn(stored)
+        _check_handle_current(stored)
+        if len(stored.journal_segments) < 2:
+            return stored.manifest
+        ops = stored.journal_ops()
+        writer = _ShardWriter(
+            stored.path, journal_base(0), stored.compression
+        )
+        try:
+            for op, payload in ops:
+                writer.write(encode_op(op, payload))
+        finally:
+            writer.close()
+        name = writer.finish()
+        manifest = dict(stored.manifest)
+        carried = {
+            shard: entry
+            for shard, entry in manifest["shards"].items()
+            if shard not in set(stored.journal_segments)
+        }
+        manifest["journal"] = [name]
+        manifest["journal_schema"] = JOURNAL_SCHEMA_VERSION
+        manifest["shards"] = {**carried, name: writer.entry}
+        _commit(stored.path, manifest, sweep=False)
     return manifest
 
 
@@ -388,11 +490,19 @@ def compact(stored: "StoredArgument") -> dict:
     + overlay) — and swaps the manifest atomically; the old shards and
     every journal segment are swept only after the commit point.  The
     result is byte-identical to a clean ``save()`` of the same live
-    argument.  Compacting a journal-less store is a no-op returning the
-    current manifest.
+    argument — after a :func:`gc` has swept the superseded generation's
+    files, which stay on disk for pinned snapshot readers (the commit
+    itself never deletes).  Runs under the writer lease.  Compacting a
+    journal-less store is a no-op returning the current manifest.
     """
+    with writer_lease(stored.path):
+        return _compact_locked(stored)
+
+
+def _compact_locked(stored: "StoredArgument") -> dict:
     if not stored.journal_segments:
         return stored.manifest
+    _check_handle_current(stored)
     node_types: dict[str, NodeType] = {}
 
     def noted_nodes() -> "Iterable[Node]":
@@ -453,53 +563,81 @@ def compact(stored: "StoredArgument") -> dict:
         if name not in replaced
     }
     manifest["shards"] = {**carried, **shards}
-    _commit(stored.path, manifest)
+    _commit(stored.path, manifest, sweep=False)
     return manifest
 
 
+#: The in-flight suffix shapes a store write can leave behind: the
+#: per-writer unique form (``.<pid-hex>-<rand8>.tmp``) and the legacy
+#: deterministic ``.tmp``.
+_TMP_FORMS = r"(?:\.[0-9a-f]+-[0-9a-f]{8})?\.tmp"
+
 #: Filenames :func:`gc` is allowed to consider: exactly the shapes the
-#: writer and this module produce (sealed shards/segments and their
-#: in-flight ``.tmp`` forms).  Anything else in the directory is not
-#: ours and is never deleted.
+#: writer, this module, and the lease protocol produce (sealed
+#: shards/segments, their in-flight ``.tmp`` forms, and broken-lease
+#: leftovers).  Anything else in the directory — including the live
+#: ``writer.lease`` itself — is never deleted.
 _STORE_FILE = re.compile(
     r"^(?:"
-    r"(?:nodes|links|journal)-\d{4}"          # nodes-0003-1a2b3c4d.jsonl
-    r"(?:-[0-9a-f]{8}\.jsonl(?:\.gz)?|\.tmp)"  # / nodes-0003.tmp
+    r"(?:nodes|links|journal)-\d{4}"           # nodes-0003-1a2b3c4d.jsonl
+    rf"(?:-[0-9a-f]{{8}}\.jsonl(?:\.gz)?|{_TMP_FORMS})"
     r"|(?:evidence|citations)"                 # evidence-9c0d1e2f.jsonl
-    r"(?:-[0-9a-f]{8}\.jsonl(?:\.gz)?|\.tmp)"  # / evidence.tmp
+    rf"(?:-[0-9a-f]{{8}}\.jsonl(?:\.gz)?|{_TMP_FORMS})"
+    rf"|{re.escape(LEASE_NAME)}\.(?:stale|renew)-[0-9a-f-]+"
     r")$"
 )
 
+#: In-flight manifest names (``manifest.json.tmp`` and the unique form)
+#: — recognised by gc and fsck but never the manifest itself.
+_MANIFEST_TMP = re.compile(
+    rf"^{re.escape(MANIFEST_NAME)}{_TMP_FORMS}$"
+)
 
-def gc(stored: "StoredArgument") -> list[str]:
+
+def gc(
+    stored: "StoredArgument", *, timeout: "float | None" = None
+) -> list[str]:
     """Remove store files the live manifest does not reference.
 
     Orphans accumulate from interrupted saves and appends (sealed files
-    whose manifest commit never happened) and from full rewrites under
-    live readers (the old shards are swept opportunistically at commit,
-    but a reader holding them open on some platforms, or a crash between
-    commit and sweep, leaves them behind).  Only files matching the
-    store's own naming scheme are candidates; the manifest itself and
-    everything it references survive.  Returns the removed names,
-    sorted.
+    whose manifest commit never happened) and — by design — from
+    compaction and journal coalescing, whose commits deliberately leave
+    the superseded generation's files on disk so snapshot readers
+    pinned to it keep streaming.  Only files matching the store's own
+    naming scheme are candidates; the manifest itself, the live writer
+    lease, and everything the manifest references survive.  Returns the
+    removed names, sorted.
 
-    **No live writers.**  A save, append, or compaction in flight in
-    another process has sealed files its manifest commit has not yet
-    referenced; gc would see them as orphans and destroy the commit.
-    Run it from the single editing process, between operations — the
-    same discipline journal appends already assume.  Readers of the
-    *live* generation are safe; a reader still lazily streaming a
-    superseded generation can hit missing-file errors and should
-    ``refresh()``.
+    **Single-writer, lease-enforced.**  gc takes the store's writer
+    lease, so a save, append, or compaction in flight in another
+    process (whose sealed files a gc would see as orphans and destroy)
+    is excluded by construction — the doc-contract of PR 5 is now
+    machine-checked.  Readers of the *live* generation are safe; a
+    reader still pinned to a superseded generation can hit missing-file
+    errors after a gc and should ``refresh()`` — run gc when snapshot
+    readers have had time to drain.
+
+    ``timeout`` overrides the lease-acquisition deadline; gc is the one
+    operation routinely scheduled *around* live writers, so callers may
+    prefer to give up fast and retry later rather than queue.
     """
-    referenced = set(stored.manifest["shards"]) | {MANIFEST_NAME}
-    removed: list[str] = []
-    for path in stored.path.iterdir():
-        name = path.name
-        if name in referenced:
-            continue
-        if not _STORE_FILE.match(name) and name != MANIFEST_NAME + ".tmp":
-            continue
-        path.unlink()
-        removed.append(name)
+    from .lease import DEFAULT_ACQUIRE_TIMEOUT
+
+    if timeout is None:
+        timeout = DEFAULT_ACQUIRE_TIMEOUT
+    with writer_lease(stored.path, timeout=timeout):
+        # Resync *inside* the lease: a commit that landed between the
+        # caller's last refresh and our acquisition must not have its
+        # freshly referenced files swept as orphans.
+        stored.refresh()
+        referenced = set(stored.manifest["shards"]) | {MANIFEST_NAME}
+        removed: list[str] = []
+        for path in stored.path.iterdir():
+            name = path.name
+            if name in referenced:
+                continue
+            if not _STORE_FILE.match(name) and not _MANIFEST_TMP.match(name):
+                continue
+            path.unlink()
+            removed.append(name)
     return sorted(removed)

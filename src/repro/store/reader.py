@@ -42,6 +42,7 @@ from __future__ import annotations
 import gzip
 import heapq
 import json
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Iterator
 from zlib import crc32, error as zlib_error
@@ -62,7 +63,28 @@ from .format import (
     shard_of,
 )
 
-__all__ = ["StoredArgument", "load_argument", "load_case"]
+__all__ = [
+    "StoredArgument", "StoreGeneration", "load_argument", "load_case",
+]
+
+
+@dataclass(frozen=True)
+class StoreGeneration:
+    """An opaque token naming one committed store generation.
+
+    Two handles (or two moments of one handle) see the same store state
+    iff their tokens compare equal.  ``fingerprint`` is the CRC-32 of
+    the manifest bytes — the same identity ``save(journal=True)`` pins
+    its compare-and-append on; ``base`` and ``segments`` distinguish a
+    journal growth (same base) from a rewrite for consumers that care.
+    """
+
+    fingerprint: int
+    base: "tuple[str, ...]"
+    segments: "tuple[str, ...]"
+
+    def __str__(self) -> str:
+        return f"{self.fingerprint:08x}+{len(self.segments)}"
 
 
 def _record_seq(record: dict[str, Any]) -> int:
@@ -238,14 +260,45 @@ class StoredArgument:
         rewrite or compaction, never on a journal append)."""
         return tuple(self._node_shard_names) + tuple(self._link_shard_names)
 
+    def pin(self) -> StoreGeneration:
+        """The generation this handle is currently serving.
+
+        A :class:`StoredArgument` **is** a snapshot reader: nothing it
+        does implicitly resyncs to the store on disk, and the files its
+        manifest references are content-addressed and never overwritten
+        — later commits land under fresh names, and even the sweep of
+        superseded files is deferred to an explicit lease-guarded
+        ``gc()``.  So the handle keeps serving exactly this generation,
+        however many writers commit behind it, until the owner *opts in*
+        to :meth:`refresh`.  The token supports optimistic concurrency:
+        capture it, do slow read work, compare against a fresh handle's
+        token (or send it to the service's append endpoint) to detect
+        that the world moved.
+        """
+        return StoreGeneration(
+            fingerprint=self.manifest_fingerprint,
+            base=tuple(self._node_shard_names)
+            + tuple(self._link_shard_names),
+            segments=tuple(self.journal_segments),
+        )
+
+    #: ``pin()`` as a property, for log lines and service payloads.
+    @property
+    def generation(self) -> StoreGeneration:
+        return self.pin()
+
     def refresh(self) -> str:
         """Re-read the manifest; resync the handle to the store on disk.
 
-        Returns ``"unchanged"``, ``"journal"`` (same base shards, new
-        journal segments — base caches stay valid), or ``"rewritten"``
-        (a full save or compaction replaced the base: every cache
-        drops).  The incremental store checker polls this before each
-        re-check.
+        **Opt-in per reader**: no read path calls this implicitly, so a
+        handle that never refreshes is a stable snapshot of the
+        generation it opened (see :meth:`pin`).  Returns
+        ``"unchanged"``, ``"journal"`` (same base shards, new journal
+        segments — base caches stay valid), ``"coalesced"`` (same base
+        shards, journal segments merged — base caches stay valid, the
+        overlay re-parses), or ``"rewritten"`` (a full save or
+        compaction replaced the base: every cache drops).  The
+        incremental store checker polls this before each re-check.
         """
         previous = self.manifest
         previous_base = self.base_key()
@@ -253,32 +306,70 @@ class StoredArgument:
         previous_overlay = self._overlay
         self._read_manifest()
         if self.manifest == previous:
-            self._overlay = previous_overlay
-            return "unchanged"
-        if (
-            self.base_key() == previous_base
-            and self.journal_segments[:len(previous_journal)]
-            == previous_journal
-        ):
-            # Same base generation, journal only grew: extend the
-            # already-parsed overlay with just the new segments instead
-            # of re-decoding the whole journal (keeps a long editing
-            # session's refresh cost O(delta)).
             if (
                 previous_overlay is not None
-                and previous_overlay.torn_segment is None
+                and previous_overlay.torn_segment is not None
             ):
-                from .journal import load_overlay
+                # Never carry a torn-tail overlay across a refresh: the
+                # damaged segment may have been repaired in place (same
+                # manifest, content restored), and serving the recovered
+                # pre-append state would be silently stale.  Dropping
+                # the overlay re-verifies the journal from disk on the
+                # next access.
+                return "unchanged"
+            self._overlay = previous_overlay
+            return "unchanged"
+        if self.base_key() == previous_base:
+            if (
+                self.journal_segments[:len(previous_journal)]
+                == previous_journal
+            ):
+                # Same base generation, journal only grew: extend the
+                # already-parsed overlay with just the new segments
+                # instead of re-decoding the whole journal (keeps a long
+                # editing session's refresh cost O(delta)).  A previous
+                # overlay that dropped a torn tail is *rebuilt* instead
+                # — extending it would keep serving the recovered state
+                # while the on-disk journal has moved past it.
+                if (
+                    previous_overlay is not None
+                    and previous_overlay.torn_segment is None
+                ):
+                    from .journal import load_overlay
 
-                self._overlay = load_overlay(
-                    self, base=previous_overlay,
-                    start=len(previous_journal),
-                )
-            return "journal"
+                    self._overlay = load_overlay(
+                        self, base=previous_overlay,
+                        start=len(previous_journal),
+                    )
+                return "journal"
+            # Same base shards but a different segment list: a
+            # coalesce merged the journal.  The op stream is unchanged,
+            # so the base shard caches stay valid; only the overlay
+            # re-parses (lazily) from the merged segment.
+            return "coalesced"
         self._node_shards.clear()
         self._link_shards.clear()
         self.shards_read.clear()
         return "rewritten"
+
+    def adopt_base_caches(self, other: "StoredArgument") -> bool:
+        """Share another handle's base-shard caches, if generations align.
+
+        The service's serving chain opens a fresh pinned handle per
+        committed write; base shards are immutable content-addressed
+        files, so when both handles reference the same base generation
+        their per-shard caches are interchangeable — sharing them makes
+        a new snapshot O(journal delta) instead of O(read shards again).
+        Returns whether adoption happened.
+        """
+        if other.base_key() != self.base_key() or other is self:
+            return False
+        self._node_shards = other._node_shards
+        self._link_shards = other._link_shards
+        self.shards_read |= other.shards_read & set(
+            self._node_shard_names
+        ) | other.shards_read & set(self._link_shard_names)
+        return True
 
     def append_delta(self, delta: Any) -> dict[str, Any]:
         """Seal one mutation delta as a journal segment (O(delta) writes).
@@ -301,6 +392,19 @@ class StoredArgument:
         from .journal import compact
 
         manifest = compact(self)
+        self.refresh()
+        return manifest
+
+    def coalesce(self) -> dict[str, Any]:
+        """Merge all journal segments into one (atomic manifest swap).
+
+        Same op stream, bounded manifest — see
+        :func:`repro.store.journal.coalesce`; the handle resyncs to the
+        coalesced store before returning.
+        """
+        from .journal import coalesce
+
+        manifest = coalesce(self)
         self.refresh()
         return manifest
 

@@ -12,12 +12,24 @@ field recording insertion order; node metadata is written in canonical
 form (duplicate attribute names collapsed, sorted by name — exactly what
 a JSON round-trip produces) so save → load → save is byte-stable.
 
-Crash safety: shards stream to ``.tmp`` files and finish under
+Crash safety: shards stream to per-writer unique ``.tmp`` files (pid +
+random infix, so two processes saving into one directory can never
+scribble over each other's in-flight data) and finish under
 content-addressed names (``nodes-0003-<crc>.jsonl``) that never collide
 with a previous store's files; renaming the new manifest into place is
-the single atomic commit point.  An interrupted save therefore leaves
-the previous store fully loadable — at worst with some orphaned files no
-manifest references — and files the store never wrote are never touched.
+the single atomic commit point.  Sealed files are fsynced before their
+rename and the directory after the manifest swap (see
+:func:`repro.store.format.set_durability` for the test opt-out), so the
+commit point survives power loss instead of merely process death.  An
+interrupted save therefore leaves the previous store fully loadable — at
+worst with some orphaned files no manifest references — and files the
+store never wrote are never touched.
+
+Concurrency: every mutating entry point takes the store's **writer
+lease** (:mod:`repro.store.lease`) for the duration of the operation, so
+two processes saving into one directory serialise instead of racing;
+contention past the acquire deadline raises
+:class:`~repro.store.format.StoreConflictError`.
 """
 
 from __future__ import annotations
@@ -41,17 +53,17 @@ from .format import (
     STORE_SCHEMA_VERSION,
     StoreError,
     encode_record,
+    fsync_directory,
+    fsync_fileobj,
     shard_base,
     shard_filename,
     shard_of,
+    tmp_name,
     validate_compression,
 )
+from .lease import writer_lease
 
 __all__ = ["save_argument", "save_case"]
-
-#: Suffix for in-flight files; a save streams everything under these
-#: names and only renames finished files over the final ones.
-_TMP_SUFFIX = ".tmp"
 
 
 class _ShardWriter:
@@ -67,7 +79,7 @@ class _ShardWriter:
     """
 
     __slots__ = (
-        "base", "compression", "_directory", "_raw", "_handle",
+        "base", "compression", "_directory", "_tmp", "_raw", "_handle",
         "records", "crc",
     )
 
@@ -77,7 +89,8 @@ class _ShardWriter:
         self.base = base
         self.compression = compression
         self._directory = directory
-        self._raw = (directory / (base + _TMP_SUFFIX)).open("wb")
+        self._tmp = directory / tmp_name(base)
+        self._raw = self._tmp.open("wb")
         if compression == GZIP_COMPRESSION:
             self._handle: Any = gzip.GzipFile(
                 filename="", mode="wb", fileobj=self._raw, mtime=0
@@ -96,6 +109,10 @@ class _ShardWriter:
     def close(self) -> None:
         if self._handle is not self._raw:
             self._handle.close()
+        # Durability: the content must be on the platters *before* the
+        # content-addressed rename publishes the name — a post-crash
+        # store must never contain a sealed name with torn content.
+        fsync_fileobj(self._raw)
         self._raw.close()
 
     def finish(self) -> str:
@@ -106,9 +123,7 @@ class _ShardWriter:
         identical file.
         """
         name = shard_filename(self.base, self.crc, self.compression)
-        (self._directory / (self.base + _TMP_SUFFIX)).replace(
-            self._directory / name
-        )
+        self._tmp.replace(self._directory / name)
         return name
 
     @property
@@ -223,19 +238,36 @@ def _previous_shards(directory: Path) -> set[str]:
         return set()  # unreadable old store: leave its files alone
 
 
-def _commit(directory: Path, manifest: dict[str, Any]) -> None:
-    """Atomically swap the new manifest in, then sweep the old shards.
+def _commit(
+    directory: Path, manifest: dict[str, Any], *, sweep: bool = True
+) -> None:
+    """Atomically swap the new manifest in; optionally sweep old shards.
 
     Every shard already sits sealed under a content-addressed name, so
     the manifest rename is the commit point: before it, the old store is
-    untouched; after it, the new one is complete.  Shards the old
-    manifest listed that the new one does not are removed only after the
-    commit; files the store never wrote are never deleted.
+    untouched; after it, the new one is complete.  The manifest tmp is
+    fsynced before the rename and the directory after it, making the
+    swap itself power-loss-safe.
+
+    ``sweep=True`` (full rewrites — the caller deliberately replaces
+    the store) removes shards the old manifest listed that the new one
+    does not, right after the commit; files the store never wrote are
+    never deleted.  ``sweep=False`` (journal appends, coalescing,
+    compaction — routine maintenance under live traffic) leaves the
+    superseded generation's files on disk so snapshot readers pinned to
+    it keep streaming; a later lease-guarded :func:`~repro.store.
+    journal.gc` reclaims them.
     """
-    stale = _previous_shards(directory) - set(manifest["shards"])
-    tmp = directory / (MANIFEST_NAME + _TMP_SUFFIX)
-    tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    stale = (
+        _previous_shards(directory) - set(manifest["shards"])
+        if sweep else set()
+    )
+    tmp = directory / tmp_name(MANIFEST_NAME)
+    with tmp.open("w", encoding="utf-8") as handle:
+        handle.write(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+        fsync_fileobj(handle)
     tmp.replace(directory / MANIFEST_NAME)
+    fsync_directory(directory)
     for name in stale:
         path = directory / name
         if path.exists():
@@ -269,24 +301,26 @@ def save_argument(
     """
     directory, shard_count = _prepare(directory, shard_count)
     compression = validate_compression(compression)
-    node_shards, link_shards, shards, _, _ = _write_graph(
-        argument.nodes, argument.links, directory, shard_count, compression
-    )
-    manifest: dict[str, Any] = {
-        "schema": STORE_SCHEMA_VERSION,
-        "kind": "argument",
-        "name": argument.name,
-        "id_hash": ID_HASH,
-        "shard_count": shard_count,
-        "node_count": len(argument),
-        "link_count": len(argument.links),
-        "node_shards": node_shards,
-        "link_shards": link_shards,
-        "shards": shards,
-    }
-    if compression is not None:
-        manifest["compression"] = compression
-    _commit(directory, manifest)
+    with writer_lease(directory):
+        node_shards, link_shards, shards, _, _ = _write_graph(
+            argument.nodes, argument.links, directory, shard_count,
+            compression,
+        )
+        manifest: dict[str, Any] = {
+            "schema": STORE_SCHEMA_VERSION,
+            "kind": "argument",
+            "name": argument.name,
+            "id_hash": ID_HASH,
+            "shard_count": shard_count,
+            "node_count": len(argument),
+            "link_count": len(argument.links),
+            "node_shards": node_shards,
+            "link_shards": link_shards,
+            "shards": shards,
+        }
+        if compression is not None:
+            manifest["compression"] = compression
+        _commit(directory, manifest)
     return manifest
 
 
@@ -312,6 +346,18 @@ def save_case(
     """
     directory, shard_count = _prepare(directory, shard_count)
     compression = validate_compression(compression)
+    with writer_lease(directory):
+        return _save_case_locked(
+            case, directory, shard_count, compression
+        )
+
+
+def _save_case_locked(
+    case: AssuranceCase,
+    directory: Path,
+    shard_count: int,
+    compression: str | None,
+) -> dict[str, Any]:
     node_shards, link_shards, shards, _, _ = _write_graph(
         case.argument.nodes, case.argument.links, directory, shard_count,
         compression,

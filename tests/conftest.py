@@ -125,6 +125,30 @@ def load_benchmark_module(name: str):
     return module
 
 
+@pytest.fixture(autouse=True)
+def _fast_scratch_stores():
+    """Run the suite with commit fsyncs off (scratch stores, tmpfs CI).
+
+    The durability discipline itself is exercised explicitly by
+    ``test_store_concurrency.py``, which flips the switch back on and
+    asserts the fsync ordering; everything else just wants fast commits.
+    ``REPRO_STORE_FSYNC=1`` in the environment forces the full-durability
+    run suite-wide.
+    """
+    import os
+
+    from repro.store import set_durability
+
+    if os.environ.get("REPRO_STORE_FSYNC") == "1":
+        yield
+        return
+    previous = set_durability(False)
+    try:
+        yield
+    finally:
+        set_durability(previous)
+
+
 @pytest.fixture(scope="session")
 def graph_scale_bench():
     """The graph-scale benchmark module (seed reference + generators)."""

@@ -390,7 +390,12 @@ class Harness:
             if step_number % 75 == 0:
                 from conftest import store_files
 
-                StoredArgument(self.journal_store).compact()
+                compact_handle = StoredArgument(self.journal_store)
+                compact_handle.compact()
+                compact_handle.gc()  # deferred sweep -> byte-stable dir
+                # Compaction moved the manifest past the save baseline;
+                # the argument still equals the store, so re-pin it.
+                argument.mark_persisted(self.journal_store)
                 fresh_dir = self.store_dir / "compaction-reference.store"
                 argument.save(fresh_dir)
                 assert store_files(self.journal_store) == \

@@ -1,0 +1,369 @@
+"""The asyncio HTTP/JSON argument service, end to end.
+
+Every endpoint through a real socket (server on a background event-loop
+thread, :class:`~repro.service.ServiceClient` over ``http.client``),
+the error contract (400/404/405/409), the optimistic-concurrency append
+protocol with ``expect_generation``, the offline-edit bridge
+(``ops_for_delta``), lazy store discovery, and — the point of the
+subsystem — concurrent mixed traffic: reader threads hammering query /
+node / check while writer threads append, with every response naming a
+coherent generation and no request ever failing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import Any
+
+import pytest
+
+from repro.core import ArgumentBuilder
+from repro.core.argument import Argument, LinkKind
+from repro.core.nodes import Node, NodeType
+from repro.service import ArgumentService, ServiceClient, ServiceClientError
+from repro.service.client import ops_for_delta
+from repro.store import StoredArgument
+
+pytestmark = pytest.mark.service
+
+STORE = "braking.store"
+
+
+def build_case() -> Argument:
+    builder = ArgumentBuilder("braking-system")
+    top = builder.goal("The braking system is acceptably safe")
+    strategy = builder.strategy(
+        "Argument over each identified hazard", under=top
+    )
+    for index in (1, 2):
+        hazard = builder.goal(
+            f"Hazard H{index} is acceptably managed", under=strategy
+        )
+        builder.solution(f"Mitigation record MR-{index}", under=hazard)
+    return builder.build()
+
+
+class ServiceFixture:
+    """A served root directory: background loop, bound port, clients."""
+
+    def __init__(self, root) -> None:
+        self.root = root
+        self.loop = asyncio.new_event_loop()
+        self.service = ArgumentService(root)
+        bound: "dict[str, tuple[str, int]]" = {}
+        ready = threading.Event()
+
+        def serve() -> None:
+            asyncio.set_event_loop(self.loop)
+            bound["address"] = self.loop.run_until_complete(
+                self.service.start()
+            )
+            ready.set()
+            self.loop.run_forever()
+
+        self.thread = threading.Thread(target=serve, daemon=True)
+        self.thread.start()
+        assert ready.wait(10), "service failed to start"
+        self.host, self.port = bound["address"]
+        self._clients: "list[ServiceClient]" = []
+
+    def client(self) -> ServiceClient:
+        client = ServiceClient(self.host, self.port)
+        self._clients.append(client)
+        return client
+
+    def stop(self) -> None:
+        for client in self._clients:
+            client.close()
+        future = asyncio.run_coroutine_threadsafe(
+            self.service.close(), self.loop
+        )
+        future.result(10)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(10)
+
+
+@pytest.fixture()
+def served(tmp_path):
+    build_case().save(tmp_path / STORE)
+    fixture = ServiceFixture(tmp_path)
+    try:
+        yield fixture
+    finally:
+        fixture.stop()
+
+
+class TestReadEndpoints:
+    def test_health_counts_stores(self, served):
+        payload = served.client().health()
+        assert payload == {"status": "ok", "stores": 1}
+
+    def test_stores_lists_summaries(self, served):
+        (summary,) = served.client().stores()
+        assert summary["name"] == STORE
+        assert summary["argument"] == "braking-system"
+        assert summary["nodes"] == 6
+        assert summary["journal_segments"] == 0
+        assert "+" in summary["generation"]
+
+    def test_store_summary_and_node(self, served):
+        client = served.client()
+        summary = client.store(STORE)
+        assert summary["links"] == 5
+        top = client.node(STORE, "G1")
+        assert top["node"]["type"] == "goal"
+        assert top["generation"] == summary["generation"]
+
+    def test_subtree_is_closed_over_links(self, served):
+        subtree = served.client().subtree(STORE, "S1")
+        identifiers = {node["id"] for node in subtree["nodes"]}
+        for link in subtree["links"]:
+            assert link["source"] in identifiers
+            assert link["target"] in identifiers
+        assert len(identifiers) == 5, "strategy + 2 hazards + 2 solutions"
+
+    def test_query_json_mirrors_the_combinators(self, served):
+        client = served.client()
+        goals = client.query(STORE, {"type": "goal"})
+        assert len(goals["nodes"]) == 3
+        hazard_goals = client.query(STORE, {"all": [
+            {"type": "goal"}, {"text_contains": "hazard"},
+        ]})
+        assert len(hazard_goals["nodes"]) == 2
+        non_goals = client.query(STORE, {"not": {"type": "goal"}})
+        assert len(non_goals["nodes"]) == 3
+        either = client.query(STORE, {"any": [
+            {"type": "solution"}, {"type": "strategy"},
+        ]})
+        assert len(either["nodes"]) == 3
+        case_sensitive = client.query(STORE, {"text_contains": {
+            "needle": "Hazard", "case_sensitive": True,
+        }})
+        assert len(case_sensitive["nodes"]) == 2
+
+    def test_check_streams_the_rules(self, served):
+        verdict = served.client().check(STORE)
+        assert verdict["well_formed"] is True
+        assert verdict["violations"] == []
+
+    def test_check_reports_violations_with_rule_names(self, served, tmp_path):
+        broken = Argument("broken")
+        broken.add_node(Node("G0", NodeType.GOAL, "An unsupported claim"))
+        broken.save(tmp_path / "broken.store")
+        verdict = served.client().check("broken.store")
+        assert verdict["well_formed"] is False
+        assert any(v["subject"] == "G0" for v in verdict["violations"])
+
+    def test_lazy_discovery_of_new_stores(self, served, tmp_path):
+        client = served.client()
+        assert client.health()["stores"] == 1
+        build_case().save(tmp_path / "late.store")
+        assert client.health()["stores"] == 2
+        assert client.store("late.store")["argument"] == "braking-system"
+
+
+class TestErrorContract:
+    def test_unknown_store_and_node_are_404(self, served):
+        client = served.client()
+        with pytest.raises(ServiceClientError) as excinfo:
+            client.store("nope.store")
+        assert excinfo.value.status == 404
+        with pytest.raises(ServiceClientError) as excinfo:
+            client.node(STORE, "NOPE")
+        assert excinfo.value.status == 404
+
+    def test_unknown_route_is_404_and_wrong_method_405(self, served):
+        client = served.client()
+        with pytest.raises(ServiceClientError) as excinfo:
+            client._request("GET", "/frobnicate")
+        assert excinfo.value.status == 404
+        with pytest.raises(ServiceClientError) as excinfo:
+            client._request("POST", "/health")
+        assert excinfo.value.status == 405
+
+    def test_store_names_cannot_escape_the_root(self, served):
+        with pytest.raises(ServiceClientError) as excinfo:
+            served.client()._request("GET", "/stores/..%2f..%2fetc")
+        assert excinfo.value.status == 404
+
+    def test_malformed_queries_are_400_with_guidance(self, served):
+        client = served.client()
+        for bad in (
+            {"type": "gaol"},
+            {"frobnicate": 1},
+            {"all": []},
+            {"type": "goal", "extra": 1},
+            "not an object",
+        ):
+            with pytest.raises(ServiceClientError) as excinfo:
+                client.query(STORE, bad)  # type: ignore[arg-type]
+            assert excinfo.value.status == 400, bad
+            assert excinfo.value.detail, "errors must explain themselves"
+
+    def test_malformed_append_bodies_are_400(self, served):
+        client = served.client()
+        for bad_body in (
+            {"not_ops": []},
+            {"ops": ["a string"]},
+            {"ops": [{"op": "frobnicate"}]},
+            {"ops": [{"op": "add_node"}]},
+        ):
+            with pytest.raises(ServiceClientError) as excinfo:
+                client._request("POST", f"/stores/{STORE}/append", bad_body)
+            assert excinfo.value.status == 400, bad_body
+
+    def test_non_json_body_is_400(self, served):
+        import http.client
+
+        connection = http.client.HTTPConnection(
+            served.host, served.port, timeout=10
+        )
+        try:
+            connection.request(
+                "POST", f"/stores/{STORE}/query", b"{not json",
+                {"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            assert response.status == 400
+            assert b"JSON" in response.read()
+        finally:
+            connection.close()
+
+
+class TestAppendProtocol:
+    HAZARD_OPS = [
+        {"op": "add_node", "node": {
+            "id": "G-H3", "type": "goal",
+            "text": "Hazard H3 is acceptably managed",
+        }},
+        {"op": "add_link", "link": {
+            "source": "S1", "target": "G-H3", "kind": "supported_by",
+        }},
+    ]
+
+    def test_append_advances_the_generation(self, served):
+        client = served.client()
+        before = client.store(STORE)["generation"]
+        result = client.append(STORE, self.HAZARD_OPS)
+        assert result["applied"] == 2
+        assert result["nodes"] == 7
+        assert result["generation"] != before
+        assert client.node(STORE, "G-H3")["node"]["type"] == "goal"
+
+    def test_expect_generation_matching_lands(self, served):
+        client = served.client()
+        generation = client.store(STORE)["generation"]
+        result = client.append(
+            STORE, self.HAZARD_OPS, expect_generation=generation
+        )
+        assert result["applied"] == 2
+
+    def test_stale_expect_generation_is_409_then_rebases(self, served):
+        first = served.client()
+        second = served.client()
+        generation = first.store(STORE)["generation"]
+        first.append(STORE, self.HAZARD_OPS, expect_generation=generation)
+        evidence = [{"op": "add_node", "node": {
+            "id": "Sn-H3", "type": "solution", "text": "Report DR-3",
+        }}]
+        with pytest.raises(ServiceClientError) as excinfo:
+            second.append(STORE, evidence, expect_generation=generation)
+        assert excinfo.value.status == 409
+        assert "rebase" in excinfo.value.detail
+        current = second.store(STORE)["generation"]
+        result = second.append(
+            STORE, evidence, expect_generation=current
+        )
+        assert result["nodes"] == 8, "both editors' nodes present"
+
+    def test_append_is_durable_not_just_in_memory(self, served, tmp_path):
+        served.client().append(STORE, self.HAZARD_OPS)
+        reloaded = StoredArgument(tmp_path / STORE)
+        assert "G-H3" in reloaded, "append must hit the store directory"
+        assert reloaded.journal_segments, "service appends journal"
+
+    def test_ops_for_delta_bridges_offline_edits(self, served, tmp_path):
+        store = tmp_path / STORE
+        argument = Argument.load(store)
+        argument.add_node(Node(
+            "C1", NodeType.CONTEXT, "Operating on public roads",
+        ))
+        argument.add_link("G1", "C1", LinkKind.IN_CONTEXT_OF)
+        delta = argument.persisted_delta(store)
+        assert delta is not None
+        client = served.client()
+        result = client.append(STORE, delta)
+        assert result["applied"] == len(delta)
+        assert client.node(STORE, "C1")["node"]["type"] == "context"
+
+    def test_compact_and_gc_fold_the_journal(self, served, tmp_path):
+        client = served.client()
+        client.append(STORE, self.HAZARD_OPS)
+        assert client.store(STORE)["journal_segments"] == 1
+        compacted = client.compact(STORE)
+        assert client.store(STORE)["journal_segments"] == 0
+        swept = client.gc(STORE)
+        assert swept["generation"] == compacted["generation"]
+        assert swept["removed"], "superseded journal files reclaimed"
+        assert "G-H3" in StoredArgument(tmp_path / STORE)
+
+
+class TestConcurrentTraffic:
+    def test_mixed_readers_and_writers_never_fail(self, served):
+        """8 threads × mixed traffic: every response coherent, no 5xx."""
+        rounds = 12
+        errors: "list[BaseException]" = []
+        generations: "list[str]" = []
+
+        def writer(worker: int) -> None:
+            client = served.client()
+            try:
+                for round_index in range(rounds):
+                    while True:
+                        generation = client.store(STORE)["generation"]
+                        ops = [{"op": "add_node", "node": {
+                            "id": f"W{worker}R{round_index}",
+                            "type": "context",
+                            "text": f"Edit {worker}/{round_index}",
+                        }}]
+                        try:
+                            result = client.append(
+                                STORE, ops, expect_generation=generation
+                            )
+                            generations.append(result["generation"])
+                            break
+                        except ServiceClientError as error:
+                            if error.status != 409:
+                                raise
+            except BaseException as error:  # pragma: no cover
+                errors.append(error)
+
+        def reader() -> None:
+            client = served.client()
+            try:
+                for _ in range(rounds * 2):
+                    payload = client.query(STORE, {"type": "goal"})
+                    assert len(payload["nodes"]) >= 3
+                    summary = client.store(STORE)
+                    assert summary["nodes"] >= 6
+                    client.node(STORE, "G1")
+            except BaseException as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = (
+            [threading.Thread(target=writer, args=(w,)) for w in range(2)]
+            + [threading.Thread(target=reader) for _ in range(6)]
+        )
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(120)
+        assert not errors, errors
+        assert len(generations) == 2 * rounds
+        assert len(set(generations)) == len(generations), (
+            "every committed append must mint a distinct generation"
+        )
+        final = served.client().store(STORE)
+        assert final["nodes"] == 6 + 2 * rounds, "a service append was lost"

@@ -1,0 +1,236 @@
+"""The writer lease: enforcement of the store's single-writer contract.
+
+Covers the protocol from :mod:`repro.store.lease` directly — acquire /
+release, contention timeout, stale-lease takeover (single winner),
+per-thread reentrancy, renewal, payload recovery for torn lease files —
+and its integration: every mutating store operation drops a lease while
+it runs and cleans it up afterwards, and two *threads* contending over
+one directory serialize their commits.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.core.argument import Argument, LinkKind
+from repro.core.nodes import Node, NodeType
+from repro.store import (
+    StoreConflictError,
+    StoredArgument,
+    acquire_lease,
+    lease_is_stale,
+    read_lease,
+    writer_lease,
+)
+from repro.store.format import LEASE_NAME
+from repro.store.lease import WriterLease, _break_stale
+
+pytestmark = pytest.mark.service
+
+
+def small_argument(name: str = "lease-case") -> Argument:
+    argument = Argument(name)
+    argument.add_node(Node("G0", NodeType.GOAL, "The claim holds"))
+    argument.add_node(Node("Sn0", NodeType.SOLUTION, "Evidence record"))
+    argument.add_link("G0", "Sn0", LinkKind.SUPPORTED_BY)
+    return argument
+
+
+class TestAcquireRelease:
+    def test_acquire_writes_payload_and_release_removes_it(self, tmp_path):
+        with writer_lease(tmp_path) as lease:
+            payload = read_lease(tmp_path)
+            assert payload is not None
+            assert payload["holder"] == lease.holder
+            assert payload["expires"] > time.time()
+            assert not lease_is_stale(payload)
+        assert read_lease(tmp_path) is None
+        assert not (tmp_path / LEASE_NAME).exists()
+
+    def test_contention_times_out_naming_the_holder(self, tmp_path):
+        foreign = WriterLease(tmp_path, holder="someone-else", ttl=60.0)
+        (tmp_path / LEASE_NAME).write_text(json.dumps(foreign._payload()))
+        # A *different thread* of this process must contend like a
+        # foreign process (the registry is per-thread, and the file
+        # belongs to nobody in our registry anyway).
+        with pytest.raises(StoreConflictError, match="someone-else"):
+            acquire_lease(tmp_path, timeout=0.2)
+
+    def test_release_is_not_fooled_by_a_takeover(self, tmp_path):
+        lease = acquire_lease(tmp_path, timeout=0.2)
+        # Simulate a takeover while we stalled: someone else's lease
+        # file now sits at our path.
+        (tmp_path / LEASE_NAME).write_text(
+            json.dumps({"holder": "usurper", "expires": time.time() + 60})
+        )
+        lease.release()
+        payload = read_lease(tmp_path)
+        assert payload is not None and payload["holder"] == "usurper", (
+            "release must not unlink a lease it no longer holds"
+        )
+        (tmp_path / LEASE_NAME).unlink()
+
+
+class TestStaleTakeover:
+    def _plant_stale(self, tmp_path, *, holder: str = "crashed") -> None:
+        (tmp_path / LEASE_NAME).write_text(json.dumps({
+            "holder": holder, "expires": time.time() - 5.0,
+        }))
+
+    def test_expired_lease_is_taken_over_immediately(self, tmp_path):
+        self._plant_stale(tmp_path)
+        start = time.monotonic()
+        with writer_lease(tmp_path, timeout=5.0) as lease:
+            assert read_lease(tmp_path)["holder"] == lease.holder
+        assert time.monotonic() - start < 2.0, "takeover must not wait TTL"
+
+    def test_break_stale_has_one_winner(self, tmp_path):
+        self._plant_stale(tmp_path)
+        results = [_break_stale(tmp_path) for _ in range(3)]
+        assert results.count(True) == 1, (
+            "rename arbitration must elect exactly one breaker"
+        )
+
+    def test_unreadable_lease_is_live_until_mtime_grace(self, tmp_path):
+        (tmp_path / LEASE_NAME).write_bytes(b"\x00garbage{{{")
+        payload = read_lease(tmp_path)
+        assert payload is not None and "mtime" in payload
+        assert not lease_is_stale(payload), (
+            "a torn lease gets the default TTL from its mtime"
+        )
+        assert lease_is_stale(payload, now=time.time() + 3600)
+
+    def test_renew_extends_and_detects_takeover(self, tmp_path):
+        lease = acquire_lease(tmp_path, timeout=1.0)
+        first_expiry = lease.expires
+        time.sleep(0.01)
+        lease.renew()
+        assert lease.expires > first_expiry
+        (tmp_path / LEASE_NAME).write_text(
+            json.dumps({"holder": "usurper", "expires": time.time() + 60})
+        )
+        with pytest.raises(StoreConflictError, match="taken over"):
+            lease.renew()
+        (tmp_path / LEASE_NAME).unlink()
+
+
+class TestReentrancy:
+    def test_same_thread_reenters_one_file(self, tmp_path):
+        with writer_lease(tmp_path) as outer:
+            with writer_lease(tmp_path) as inner:
+                assert inner is outer
+                assert read_lease(tmp_path)["holder"] == outer.holder
+            # Inner exit must not drop the file out from under outer.
+            assert read_lease(tmp_path)["holder"] == outer.holder
+        assert read_lease(tmp_path) is None
+
+    def test_other_thread_contends(self, tmp_path):
+        outcome: "dict[str, object]" = {}
+
+        def contender() -> None:
+            try:
+                acquire_lease(tmp_path, timeout=0.2)
+                outcome["acquired"] = True
+            except StoreConflictError as error:
+                outcome["error"] = error
+
+        with writer_lease(tmp_path):
+            thread = threading.Thread(target=contender)
+            thread.start()
+            thread.join(10)
+        assert "acquired" not in outcome, (
+            "a second thread must not share the first thread's lease"
+        )
+        assert isinstance(outcome["error"], StoreConflictError)
+
+
+class TestStoreIntegration:
+    def test_save_runs_under_lease_and_cleans_up(self, tmp_path, monkeypatch):
+        """A save must hold the lease at commit time and release after."""
+        from repro.store import writer as writer_module
+
+        store = tmp_path / "case.store"
+        seen: "list[object]" = []
+        original_commit = writer_module._commit
+
+        def spying_commit(directory, manifest, **kwargs):
+            seen.append(read_lease(directory))
+            return original_commit(directory, manifest, **kwargs)
+
+        monkeypatch.setattr(writer_module, "_commit", spying_commit)
+        small_argument().save(store)
+        assert seen and seen[0] is not None, (
+            "the manifest swap must happen while the lease is held"
+        )
+        assert read_lease(store) is None, "lease must be released after save"
+
+    def test_mutating_operations_leave_no_lease_behind(self, tmp_path):
+        store = tmp_path / "case.store"
+        argument = small_argument()
+        argument.save(store)
+        argument.add_node(Node("X1", NodeType.GOAL, "A late claim holds"))
+        argument.save(store, journal=True)
+        handle = StoredArgument(store)
+        handle.coalesce()
+        handle.compact()
+        handle.gc()
+        assert not (store / LEASE_NAME).exists()
+        assert StoredArgument(store).load() == argument
+
+    def test_two_threads_appending_serialize_without_loss(self, tmp_path):
+        """N threads × M appends through one directory: all land."""
+        store = tmp_path / "case.store"
+        base = small_argument()
+        base.save(store)
+        errors: "list[BaseException]" = []
+
+        def editor(worker: int) -> None:
+            try:
+                for round_index in range(4):
+                    while True:
+                        argument = Argument.load(store)
+                        argument.add_node(Node(
+                            f"W{worker}R{round_index}", NodeType.GOAL,
+                            f"Claim {worker}/{round_index} holds",
+                        ))
+                        try:
+                            argument.save(store, journal=True)
+                            break
+                        except StoreConflictError:
+                            continue  # another thread landed first: rebase
+            except BaseException as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=editor, args=(worker,))
+            for worker in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(60)
+        assert not errors, errors
+        final = StoredArgument(store).load()
+        expected = {
+            f"W{worker}R{round_index}"
+            for worker in range(3) for round_index in range(4)
+        }
+        assert expected <= {node.identifier for node in final.nodes}, (
+            "a concurrent append was lost"
+        )
+
+    def test_gc_refuses_while_another_writer_holds_the_lease(self, tmp_path):
+        store = tmp_path / "case.store"
+        small_argument().save(store)
+        foreign = WriterLease(store, holder="busy-writer", ttl=60.0)
+        (store / LEASE_NAME).write_text(json.dumps(foreign._payload()))
+        handle = StoredArgument(store)
+        with pytest.raises(StoreConflictError, match="busy-writer"):
+            from repro.store.journal import gc
+
+            gc(handle, timeout=0.2)
+        (store / LEASE_NAME).unlink()
