@@ -56,21 +56,39 @@ Execution modes (:func:`run_rules`)
     arguments evaluate against their own indices in a single pass each.
 
 ``parallel``
-    The node and link streams are partitioned into work units and
-    evaluated by ``concurrent.futures`` worker processes, each given
-    exactly the context slice the contract above permits (the support
-    bits of the unit's nodes; the endpoint types of the unit's links).
-    For a live argument the units are list slices shipped from the
-    parent.  For a stored argument the units are **shard groups and the
-    workers parse their own shards**: links shard by source id with the
-    same hash as nodes, so a phase-1 worker derives its nodes' support
-    bits from its own link shards while running node rules and
-    returning sidecar fragments; phase-2 workers re-read link shards
-    with the merged type sidecar for the link rules — nothing parses
-    serially in the parent.  Global rules overlap in the parent either
-    way.  Output is identical to serial mode.  With fewer than two
-    effective workers the engine degrades gracefully to the streaming
-    path.
+    A **self-balancing work queue** over ``concurrent.futures`` worker
+    processes, each given exactly the context slice the contract above
+    permits (the support bits of a unit's nodes; the endpoint types of
+    a unit's links).  For a stored argument the unit of work is **one
+    node shard**: the parent pins its handle's
+    :class:`~repro.store.StoreGeneration` and ships the token to every
+    worker, which reopens the store *at that generation* (journal
+    segments appended mid-check are rewound away; a base rotated by a
+    concurrent compaction or a coalesced journal raises
+    ``StoreConflictError`` naming both generations — never a silent
+    mix of snapshots).  Each task parses its link shard — links shard
+    by source id with the same hash as nodes, so one link shard yields
+    exactly its node shard's support bits — then its node shard,
+    running node rules as records parse, and ships both fragments back
+    as flat value rows (far cheaper to pickle than Node/Link objects).
+    The parent parses nothing: it rebuilds types, seq order, and the
+    SupportedBy aggregates from the rows in completion order.  Shards
+    are pulled from the pool's queue on demand, so one fat shard no
+    longer idles every other worker.  Link rules run in the parent,
+    grouped by (source shard, target shard) and judged the moment both
+    endpoint type fragments land — link work overlaps the remaining
+    shard scans, in the otherwise-idle parent.  Global rules run in
+    the parent after the type merge.  For a live argument the
+    units are list slices shipped from the parent, finer than the
+    worker count so the queue balances, collected as completed.  A worker exception
+    cancels every not-yet-started unit immediately
+    (``cancel_futures``) and re-raises with the failing shard noted on
+    the exception.  Worker start method: ``fork`` only while the
+    parent is single-threaded, otherwise ``forkserver``/``spawn``
+    (forking a threaded parent is undefined behaviour); the
+    ``REPRO_MP_START`` environment variable overrides the choice.
+    Output is identical to serial mode.  With fewer than two effective
+    workers the engine degrades gracefully to the streaming path.
 
 ``full``
     Hydrate first, then run serially over the live argument — the
@@ -169,7 +187,8 @@ from __future__ import annotations
 
 import enum
 import os
-from concurrent.futures import ProcessPoolExecutor
+import threading
+from concurrent.futures import Future, ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
@@ -821,10 +840,12 @@ def run_rules(
 
     ``mode`` is one of ``auto`` (streaming for stored arguments, serial
     for live ones), ``serial``/``streaming`` (synonyms — one process, no
-    hydration), ``parallel`` (process workers; ``workers`` defaults to
-    the CPU count, and fewer than two effective workers degrades to the
-    streaming path), or ``full`` (hydrate first — the legacy baseline).
-    Every mode returns the identical violation list.
+    hydration), ``parallel`` (a work queue over process workers;
+    ``workers`` defaults to the CPU count, fewer than two effective
+    workers degrades to the streaming path, stored subjects are checked
+    at the handle's pinned generation, and ``REPRO_MP_START`` overrides
+    the worker start method), or ``full`` (hydrate first — the legacy
+    baseline).  Every mode returns the identical violation list.
     """
     if mode not in _MODES:
         raise ValueError(f"unknown analysis mode {mode!r} (not in {_MODES})")
@@ -960,205 +981,388 @@ def _slices(items: list, pieces: int) -> list[list]:
 
 
 def _mp_context() -> Any:
+    """Pick the worker-pool start method the parent can afford.
+
+    ``fork`` keeps worker start cheap and inherits ``sys.path`` and
+    imports — but forking a multi-threaded parent is undefined
+    behaviour (the child may inherit held locks mid-operation), and the
+    asyncio service checks stores from executor threads.  So ``fork``
+    is used only while the parent is single-threaded; any live helper
+    thread switches to ``forkserver`` (POSIX) or ``spawn``.  Every
+    worker task function and every shipped rule callable is
+    module-level precisely so the spawn path can import them by
+    qualified name.  The ``REPRO_MP_START`` environment variable
+    overrides the selection (``fork`` / ``forkserver`` / ``spawn``; CI
+    pins it to exercise each path) — an unknown name raises
+    ``ValueError`` loudly rather than falling back.
+    """
     import multiprocessing
 
-    try:
-        # fork keeps worker start cheap and inherits sys.path/imports.
+    override = os.environ.get("REPRO_MP_START")
+    if override:
+        return multiprocessing.get_context(override)
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods and _foreign_thread_count() == 1:
         return multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - non-POSIX platforms
-        return None
+    for method in ("forkserver", "spawn"):
+        if method in methods:
+            return multiprocessing.get_context(method)
+    return None  # pragma: no cover - no known platform lands here
+
+
+#: Thread-name prefixes of the pool machinery this engine (and the
+#: stdlib executor underneath it) runs itself.  ``ProcessPoolExecutor``
+#: forks additional workers while its own manager and queue-feeder
+#: threads are live, so these do not disqualify ``fork``; any *other*
+#: live thread does.
+_POOL_THREAD_PREFIXES = (
+    "ExecutorManagerThread", "QueueFeederThread", "QueueManagerThread",
+)
+
+
+def _foreign_thread_count() -> int:
+    """Live threads that are not the engine's own pool machinery."""
+    return sum(
+        1
+        for thread in threading.enumerate()
+        if not thread.name.startswith(_POOL_THREAD_PREFIXES)
+    )
+
+
+#: Idle worker pools kept warm between parallel checks, keyed by
+#: ``(start method, max workers)``.  Spinning a pool up costs more than
+#: checking a mid-sized store, so the engine checks a pool *out* for
+#: the duration of one run and returns it afterwards — a "persistent"
+#: pool in the work-queue sense: the same worker processes pull shard
+#: tasks across however many checks the parent issues.  A pool that
+#: saw a failure is shut down instead of returned (its queue was
+#: cancelled mid-flight), and concurrent checks simply build a second
+#: pool rather than share one.
+_IDLE_POOLS: "dict[tuple[str, int], ProcessPoolExecutor]" = {}
+_IDLE_POOLS_LOCK = threading.Lock()
+
+
+def _acquire_pool(
+    workers: int,
+) -> "tuple[tuple[str, int], ProcessPoolExecutor]":
+    context = _mp_context()
+    method = context.get_start_method() if context is not None else "default"
+    key = (method, workers)
+    with _IDLE_POOLS_LOCK:
+        pool = _IDLE_POOLS.pop(key, None)
+    if pool is None:
+        pool = ProcessPoolExecutor(max_workers=workers, mp_context=context)
+    return key, pool
+
+
+def _release_pool(key: "tuple[str, int]", pool: ProcessPoolExecutor) -> None:
+    with _IDLE_POOLS_LOCK:
+        if key not in _IDLE_POOLS:
+            _IDLE_POOLS[key] = pool
+            return
+    # A concurrent check already parked a pool under this key: let the
+    # spare wind down (idle workers exit; nothing is waited on).
+    pool.shutdown(wait=False)
+
+
+def shutdown_parallel_pools() -> None:
+    """Shut down every cached idle worker pool (tests, service exit)."""
+    with _IDLE_POOLS_LOCK:
+        pools = list(_IDLE_POOLS.values())
+        _IDLE_POOLS.clear()
+    for pool in pools:
+        pool.shutdown(wait=False)
+
+
+def _note_failure(error: BaseException, detail: str) -> None:
+    """Attach the failing work unit to the error (``add_note``, 3.11+)."""
+    note = getattr(error, "add_note", None)
+    if note is not None:
+        note(detail)
+
+
+#: Enum members keyed by wire value, for rebuilding shipped rows.
+_NODE_TYPE_BY_VALUE = {member.value: member for member in NodeType}
+_LINK_KIND_BY_VALUE = {member.value: member for member in LinkKind}
+
+#: What one shard-scan task returns to the parent: node-rule buckets,
+#: the node fragment as ``(seqs, ids, type values)`` columns, and the
+#: link shard as ``(sources, targets, kind values)`` columns.  Flat
+#: str/int columns pickle far cheaper than Node/Link objects (or even
+#: per-record tuples), and the parent rebuilds its sidecar (types,
+#: order, support aggregates, link-rule groups) from them while
+#: workers keep scanning.
+_ScanResult = tuple[
+    "list[list[Violation]]",
+    "tuple[list[int], list[str], list[Any]]",
+    "tuple[list[str], list[str], list[Any]]",
+]
+
+
+#: The worker-process handle cache: one open ``StoredArgument`` keyed
+#: by (directory, generation, torn-tail decision).  Pool workers are
+#: persistent, so every scan task of a run — and of later runs over
+#: the same snapshot — reuses one verified handle instead of re-reading
+#: the manifest and re-parsing the journal overlay per task.  A cache
+#: hit is a pinned reader that already verified its generation at open
+#: time; content-addressed files keep serving it until an explicit gc,
+#: exactly the PR 7 pinned-reader contract.
+_SCAN_HANDLE: "tuple[tuple[str, str, bool], Any] | None" = None
+
+
+def _scan_handle(
+    directory: str, generation: Any, ignore_torn_tail: bool
+) -> Any:
+    global _SCAN_HANDLE
+    # Runtime import: repro.store imports this module transitively.
+    from ..store.reader import StoredArgument
+
+    key = (directory, str(generation), ignore_torn_tail)
+    if _SCAN_HANDLE is not None and _SCAN_HANDLE[0] == key:
+        return _SCAN_HANDLE[1]
+    handle = StoredArgument(
+        directory, ignore_torn_tail=ignore_torn_tail, generation=generation
+    )
+    _SCAN_HANDLE = (key, handle)
+    return handle
 
 
 def _stored_scan_task(
     directory: str,
-    indices: list[int],
+    index: int,
     node_rules: tuple[ScopedRule, ...],
+    generation: Any = None,
     ignore_torn_tail: bool = False,
-) -> tuple[
-    list[list[Violation]],
-    dict[str, NodeType],
-    list[tuple[int, str]],
-    set[str],
-    dict[str, list[str]],
-]:
-    """Phase-1 worker: parse own shards, run node rules, return aggregates.
+) -> _ScanResult:
+    """One shard's scan — the work-queue unit of the parallel path.
 
-    Each worker opens the (immutable, content-addressed) store itself
-    and parses only its assigned node and link shards — the dominant
-    cost of checking a stored case, now spread across processes.  Links
-    shard by *source* id with the same hash as nodes, so link shard
-    ``i`` holds exactly the out-links of node shard ``i``'s nodes: the
-    support bits node rules need are complete shard-locally.  Returned
-    aggregates (type map fragment, seq order, incoming-support ids,
-    SupportedBy adjacency) let the parent assemble the global-rule
-    sidecar without parsing anything itself.
+    The worker opens the store **at the parent's pinned generation**
+    (``generation`` is the parent's
+    :class:`~repro.store.StoreGeneration`; opening verifies the token
+    and rewinds any journal segments appended mid-check, so every
+    worker parses the one committed snapshot the parent pinned — a
+    rotated base raises ``StoreConflictError`` instead of silently
+    mixing generations).  It then parses only shard ``index``: the
+    link shard first — links shard by *source* id with the same hash
+    as nodes, so the shard's outgoing-SupportedBy set covers exactly
+    its own nodes' support bits — then the node shard, running node
+    rules as records parse.  Node and link fragments return as flat
+    value rows; the parent owns every cross-shard judgement.
     """
-    # Runtime import: repro.store imports this module transitively.
-    from ..store.reader import StoredArgument
-
-    stored = StoredArgument(directory, ignore_torn_tail=ignore_torn_tail)
+    stored = _scan_handle(directory, generation, ignore_torn_tail)
     out_support: set[str] = set()
-    in_support: set[str] = set()
-    adjacency: dict[str, list[str]] = {}
-    for index in indices:
-        for _, link in stored.iter_shard_links(index):
-            if link.kind is LinkKind.SUPPORTED_BY:
-                out_support.add(link.source)
-                in_support.add(link.target)
-                adjacency.setdefault(link.source, []).append(link.target)
-    ctx = _ChunkContext({}, frozenset(out_support))
-    buckets: list[list[Violation]] = [[] for _ in node_rules]
+    sources: list[str] = []
+    targets: list[str] = []
+    kinds: list[Any] = []
+    supported_by = LinkKind.SUPPORTED_BY
+    for _, link in stored.iter_shard_links(index):
+        if link.kind is supported_by:
+            out_support.add(link.source)
+        sources.append(link.source)
+        targets.append(link.target)
+        kinds.append(link.kind.value)
+    node_ctx = _ChunkContext({}, frozenset(out_support))
+    node_buckets: list[list[Violation]] = [[] for _ in node_rules]
     dispatch = _node_dispatch(list(enumerate(node_rules)))
-    types: dict[str, NodeType] = {}
-    order: list[tuple[int, str]] = []
-    for index in indices:
-        for seq, node in stored.iter_shard_nodes(index):
-            types[node.identifier] = node.node_type
-            order.append((seq, node.identifier))
-            for rule_index, rule in dispatch[node.node_type]:
-                found = rule.fn(node, ctx)
-                if found:
-                    buckets[rule_index].extend(found)
-    return buckets, types, order, in_support, adjacency
-
-
-def _stored_link_rules_task(
-    directory: str,
-    indices: list[int],
-    link_rules: tuple[ScopedRule, ...],
-    types: dict[str, NodeType],
-    ignore_torn_tail: bool = False,
-) -> list[list[Violation]]:
-    """Phase-2 worker: re-parse own link shards, run link rules.
-
-    Needs the complete node-type sidecar (merged from every phase-1
-    fragment), shipped once per worker-sized shard group.
-    """
-    from ..store.reader import StoredArgument
-
-    stored = StoredArgument(directory, ignore_torn_tail=ignore_torn_tail)
-    ctx = _ChunkContext(types, frozenset())
-    buckets: list[list[Violation]] = [[] for _ in link_rules]
-    dispatch = _link_dispatch(list(enumerate(link_rules)))
-    for index in indices:
-        for _, link in stored.iter_shard_links(index):
-            for rule_index, rule in dispatch[link.kind]:
-                found = rule.fn(link, ctx)
-                if found:
-                    buckets[rule_index].extend(found)
-    return buckets
-
-
-def _shard_groups(shard_count: int, workers: int) -> list[list[int]]:
-    """Shard indices dealt round-robin into at most ``workers`` groups."""
-    groups: list[list[int]] = [[] for _ in range(min(workers, shard_count))]
-    for index in range(shard_count):
-        groups[index % len(groups)].append(index)
-    return [group for group in groups if group]
+    seqs: list[int] = []
+    identifiers: list[str] = []
+    type_values: list[Any] = []
+    for seq, node in stored.iter_shard_nodes(index):
+        seqs.append(seq)
+        identifiers.append(node.identifier)
+        type_values.append(node.node_type.value)
+        for rule_index, rule in dispatch[node.node_type]:
+            found = rule.fn(node, node_ctx)
+            if found:
+                node_buckets[rule_index].extend(found)
+    return (
+        node_buckets,
+        (seqs, identifiers, type_values),
+        (sources, targets, kinds),
+    )
 
 
 def _run_parallel_stored(
     stored: Any, rules: tuple[ScopedRule, ...], workers: int
 ) -> list[Violation]:
-    """Per-shard work units; workers parse their own shards.
+    """Work-queue parallel check of a stored argument.
 
-    Phase 1 fans node-rule evaluation plus sidecar aggregation out
-    across shard groups; the parent merely merges fragments.  Phase 2
-    fans link-rule evaluation out with the merged type sidecar, while
-    the global rules overlap in the parent.  Link shards parse twice
-    (once per phase) — in exchange nothing parses serially, so on a
-    multi-core host wall-clock tracks the slowest shard group, not the
-    store size, and the parent never materialises the node stream.
+    One scan task per shard, pulled from the pool's queue on demand —
+    a skewed shard occupies one worker while the rest keep draining
+    the queue, instead of idling behind the old round-robin shard
+    groups.  The parent pins the handle's generation and ships
+    the token to every worker (snapshot isolation: concurrent appends
+    rewind, concurrent compaction raises ``StoreConflictError``).
+
+    The parent parses nothing.  Workers ship their node and link
+    fragments back as flat value rows (cheap to pickle), and the
+    parent rebuilds its sidecar from them in completion order: types,
+    seq order, the SupportedBy aggregates, and link-rule groups keyed
+    by (source shard, target shard).  A group is judged the moment
+    both its endpoint shards' type fragments have arrived — link work
+    overlaps the remaining shard scans, in the otherwise-idle parent.
+    Global rules run in the parent after the type merge.  The first
+    worker failure cancels every not-yet-started task and re-raises
+    with the failing shard noted on the exception.
     """
+    # Runtime import: repro.store imports this module transitively.
+    from ..store.format import shard_of
+
     node_rules, link_rules, global_rules = _split_rules(rules)
     node_fns = tuple(rule for _, rule in node_rules)
     link_fns = tuple(rule for _, rule in link_rules)
     directory = str(stored.path)
-    # Workers reopen the store themselves; a torn-tail-recovered parent
-    # handle must hand its recovery decision down or the workers raise.
+    # Workers reopen the store themselves at the parent's pinned
+    # generation; a torn-tail-recovered parent handle must also hand
+    # its recovery decision down or the workers raise.
     torn_tail = bool(getattr(stored, "ignore_torn_tail", False))
-    groups = _shard_groups(stored.shard_count, workers)
+    generation = stored.pin()
+    shard_count = stored.shard_count
     buckets: list[list[Violation]] = [[] for _ in rules]
     ctx = _StreamContext(stored.name, stored)
-    with ProcessPoolExecutor(
-        max_workers=workers, mp_context=_mp_context()
-    ) as pool:
-        scans = [
-            pool.submit(
-                _stored_scan_task, directory, group, node_fns, torn_tail
+    arrived: set[int] = set()
+    #: Links grouped by (source shard, target shard); judgeable once
+    #: both shards' type fragments have merged.
+    pending: dict[tuple[int, int], list[Link]] = {}
+    supported_by = LinkKind.SUPPORTED_BY
+
+    def _judge(links: "list[Link]", pair: "tuple[int, int]") -> None:
+        try:
+            link_parts = _link_unit_task(link_fns, links, ctx.types)
+        except BaseException as error:
+            _note_failure(
+                error,
+                f"parallel check: link rules over shard {pair[0]} -> "
+                f"shard {pair[1]} links failed (store {directory})",
             )
-            for group in groups
-        ]
-        for job in scans:
-            parts, types, order, in_support, adjacency = job.result()
-            for (rule_index, _), part in zip(node_rules, parts):
+            raise
+        for (rule_index, _), part in zip(link_rules, link_parts):
+            buckets[rule_index].extend(part)
+
+    pool_key, pool = _acquire_pool(workers)
+    try:
+        scans: "dict[Future[_ScanResult], int]" = {
+            pool.submit(
+                _stored_scan_task, directory, index, node_fns,
+                generation, torn_tail,
+            ): index
+            for index in range(shard_count)
+        }
+        for job in as_completed(scans):
+            index = scans[job]
+            try:
+                node_parts, node_cols, link_cols = job.result()
+            except BaseException as error:
+                _note_failure(
+                    error,
+                    f"parallel check: scan of shard {index} failed "
+                    f"(store {directory})",
+                )
+                raise
+            for (rule_index, _), part in zip(node_rules, node_parts):
                 buckets[rule_index].extend(part)
-            ctx.types.update(types)
-            ctx._order.extend(order)
-            ctx.in_support |= in_support
+            for seq, identifier, type_value in zip(*node_cols):
+                ctx.types[identifier] = _NODE_TYPE_BY_VALUE[type_value]
+                ctx._order.append((seq, identifier))
             # Sources are disjoint across link shards (sharded by
-            # source id), so a plain merge keeps per-source seq order.
-            ctx.adjacency.update(adjacency)
+            # source id) and columns keep shard seq order, so appending
+            # preserves per-source adjacency order.
+            for source, target, kind_value in zip(*link_cols):
+                kind = _LINK_KIND_BY_VALUE[kind_value]
+                if kind is supported_by:
+                    ctx.in_support.add(target)
+                    ctx.adjacency.setdefault(source, []).append(target)
+                if link_fns:
+                    pending.setdefault(
+                        (index, shard_of(target, shard_count)), []
+                    ).append(Link(source, target, kind))
+            arrived.add(index)
+            # Link groups become judgeable the moment both endpoint
+            # type fragments land: judge them now, in the parent,
+            # overlapping the remaining shard scans.
+            ready = [
+                pair for pair in pending
+                if pair[0] in arrived and pair[1] in arrived
+            ]
+            for pair in ready:
+                _judge(pending.pop(pair), pair)
+        for pair in sorted(pending):
+            # Unreachable for in-range shards (every scan arrived);
+            # kept so an out-of-contract store fails loudly here rather
+            # than silently dropping links.
+            _judge(pending.pop(pair), pair)
         ctx.finalise()
-        link_jobs = [
-            pool.submit(
-                _stored_link_rules_task, directory, group, link_fns,
-                ctx.types, torn_tail,
-            )
-            for group in groups
-        ] if link_fns else []
-        # Global rules overlap with the phase-2 workers.
-        for index, rule in global_rules:
-            buckets[index].extend(rule.fn(ctx))
-        for job in link_jobs:
-            for (rule_index, _), part in zip(link_rules, job.result()):
-                buckets[rule_index].extend(part)
+        for rule_index, rule in global_rules:
+            buckets[rule_index].extend(rule.fn(ctx))
+    except BaseException:
+        # Surface the failure immediately: cancel every queued task and
+        # retire this pool (its workers may still be draining cancelled
+        # state) instead of running the backlog to completion.
+        pool.shutdown(wait=False, cancel_futures=True)
+        raise
+    _release_pool(pool_key, pool)
     return _assemble(rules, buckets)
 
 
 def _run_parallel(
     subject: Any, rules: tuple[ScopedRule, ...], workers: int
 ) -> list[Violation]:
+    """Work-queue parallel check of a live argument (or stored: above).
+
+    Units are list slices finer than the worker count, so the pool's
+    queue self-balances; results merge in completion order (canonical
+    output order makes collection order irrelevant).  Failure semantics
+    match the stored path: first error cancels the queue and re-raises
+    with the failing unit noted.
+    """
     if is_stored_argument(subject):
         return _run_parallel_stored(subject, rules, workers)
     node_rules, link_rules, global_rules = _split_rules(rules)
     ctx = _LiveContext(subject)
-    node_units = _slices(subject.nodes, workers * 2)
-    link_units = _slices(subject.links, workers * 2)
+    node_units = _slices(subject.nodes, workers * 4)
+    link_units = _slices(subject.links, workers * 4)
     buckets: list[list[Violation]] = [[] for _ in rules]
     node_fns = tuple(rule for _, rule in node_rules)
     link_fns = tuple(rule for _, rule in link_rules)
-    with ProcessPoolExecutor(
-        max_workers=workers, mp_context=_mp_context()
-    ) as pool:
-        jobs = []
+    pool_key, pool = _acquire_pool(workers)
+    try:
+        jobs: "dict[Future[list[list[Violation]]], tuple[_IndexedRules, str]]"
+        jobs = {}
         if node_fns:
-            for unit in node_units:
+            for unit_index, unit in enumerate(node_units):
                 support = frozenset(
                     node.identifier
                     for node in unit
                     if ctx.cites_support(node.identifier)
                 )
-                jobs.append((
-                    node_rules,
-                    pool.submit(_node_unit_task, node_fns, unit, support),
-                ))
+                jobs[
+                    pool.submit(_node_unit_task, node_fns, unit, support)
+                ] = (node_rules, f"node unit {unit_index}")
         if link_fns:
-            for unit in link_units:
+            for unit_index, unit in enumerate(link_units):
                 types: dict[str, NodeType] = {}
                 for link in unit:
                     types[link.source] = ctx.node_type(link.source)
                     types[link.target] = ctx.node_type(link.target)
-                jobs.append((
-                    link_rules,
-                    pool.submit(_link_unit_task, link_fns, unit, types),
-                ))
+                jobs[
+                    pool.submit(_link_unit_task, link_fns, unit, types)
+                ] = (link_rules, f"link unit {unit_index}")
         # Global rules overlap with the workers.
         for index, rule in global_rules:
             buckets[index].extend(rule.fn(ctx))
-        for indexed, job in jobs:
-            for (index, _), part in zip(indexed, job.result()):
+        for job in as_completed(jobs):
+            indexed, label = jobs[job]
+            try:
+                parts = job.result()
+            except BaseException as error:
+                _note_failure(error, f"parallel check: {label} failed")
+                raise
+            for (index, _), part in zip(indexed, parts):
                 buckets[index].extend(part)
+    except BaseException:
+        pool.shutdown(wait=False, cancel_futures=True)
+        raise
+    _release_pool(pool_key, pool)
     return _assemble(rules, buckets)
 
 

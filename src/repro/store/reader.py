@@ -58,6 +58,7 @@ from .format import (
     JOURNAL_SCHEMA_VERSION,
     MANIFEST_NAME,
     STORE_SCHEMA_VERSION,
+    StoreConflictError,
     StoreCorruptionError,
     StoreError,
     shard_of,
@@ -113,10 +114,22 @@ class StoredArgument:
     and shadows base records everywhere; ``ignore_torn_tail=True``
     drops a torn final journal segment instead of raising (recovering
     the last consistent state after a crash mid-append).
+
+    ``generation`` opens the handle *at* a previously captured
+    :class:`StoreGeneration` instead of whatever HEAD the manifest names
+    (see :meth:`_pin_to`): the parallel well-formedness workers open
+    with their parent's token so every process checks the one committed
+    snapshot the parent pinned, and a base rotated out from under the
+    token raises :class:`~repro.store.StoreConflictError` instead of
+    silently mixing generations.
     """
 
     def __init__(
-        self, directory: Path | str, *, ignore_torn_tail: bool = False
+        self,
+        directory: Path | str,
+        *,
+        ignore_torn_tail: bool = False,
+        generation: StoreGeneration | None = None,
     ) -> None:
         self.path = Path(directory)
         #: Tolerate (drop) a torn final journal segment instead of
@@ -134,6 +147,8 @@ class StoredArgument:
         self._link_shards: dict[int, dict[str, list[tuple[int, Link]]]] = {}
         self._overlay: Any = None
         self._read_manifest()
+        if generation is not None:
+            self._pin_to(generation)
 
     def _read_manifest(self) -> None:
         """Parse and validate the manifest; (re)set the handle's view."""
@@ -286,6 +301,62 @@ class StoredArgument:
     @property
     def generation(self) -> StoreGeneration:
         return self.pin()
+
+    def _pin_to(self, generation: StoreGeneration) -> None:
+        """Rewind a freshly-opened handle to serve ``generation`` exactly.
+
+        The snapshot contract of :meth:`pin` makes this possible: base
+        shards and journal segments are content-addressed, never
+        overwritten, and never swept while a pinned reader may hold
+        them (the sweep is an explicit lease-guarded ``gc()``).  So
+        when the store has only *grown* since the token was captured —
+        journal segments appended behind it — the pinned generation is
+        still fully on disk, and this handle serves it by truncating
+        its segment list back to the pinned prefix.  That is how a
+        parallel check's worker processes see their parent's snapshot:
+        they open with the parent's token, however many appends another
+        editor lands mid-check.
+
+        What cannot be rewound raises
+        :class:`~repro.store.StoreConflictError` naming both
+        generations: a replaced base (a compaction or full rewrite
+        rotated the shard files) or a reshaped journal (a coalesce
+        merged the pinned segments away).
+        """
+        current = self.pin()
+        if current == generation:
+            return
+        if current.base != generation.base:
+            raise StoreConflictError(
+                f"store at {self.path} no longer serves generation "
+                f"{generation}: the base shards rotated (a compaction "
+                f"or full rewrite committed mid-read) and this handle "
+                f"opened generation {current}"
+            )
+        pinned = generation.segments
+        if tuple(current.segments[:len(pinned)]) != pinned:
+            raise StoreConflictError(
+                f"store at {self.path} no longer serves generation "
+                f"{generation}: the journal segments were coalesced or "
+                f"replaced mid-read and this handle opened generation "
+                f"{current}"
+            )
+        # Pinned prefix intact: rewind to it.  The manifest copy is
+        # patched to stay self-consistent with the truncated journal
+        # (the count fields reflect the newer journal's deltas; with no
+        # segments left the overlay no longer corrects them).
+        manifest = dict(self.manifest)
+        self.journal_segments = list(pinned)
+        if pinned:
+            manifest["journal"] = list(pinned)
+        else:
+            manifest.pop("journal", None)
+            manifest.pop("journal_schema", None)
+            manifest["node_count"] = self.base_node_total
+            manifest["link_count"] = self.base_link_total
+        self.manifest = manifest
+        self.manifest_fingerprint = generation.fingerprint
+        self._overlay = None
 
     def refresh(self) -> str:
         """Re-read the manifest; resync the handle to the store on disk.

@@ -1,0 +1,353 @@
+"""Work-queue parallel checking: snapshot isolation, start methods, cleanup.
+
+The forced-2-worker suite of the parallel engine rebuild — every test
+here pins ``workers=2`` explicitly so the degradation path
+(``effective < 2`` falls back to streaming) is never what gets tested,
+whatever ``os.cpu_count()`` says about the host.  Covered contracts:
+
+* parallel ≡ serial ≡ streaming on a **skew-sharded journaled** store
+  (most identifiers mined to hash into one shard, so the old
+  round-robin dealing would have idled every other worker);
+* **snapshot isolation** — workers open the store at the parent's
+  pinned :class:`~repro.store.StoreGeneration`: journal segments
+  appended mid-check are rewound away, while a compacted (rotated)
+  base raises :class:`~repro.store.StoreConflictError` naming both
+  generations, and a compaction that *crashes at the manifest rename*
+  (the PR 7 crash-window idiom) leaves the pinned check untouched;
+* **fork safety** — :func:`repro.core.analysis._mp_context` picks
+  ``fork`` only for a single-threaded parent, switches to
+  ``forkserver``/``spawn`` when helper threads are alive, and honours
+  the ``REPRO_MP_START`` override (the CI ``parallel`` job pins it to
+  ``fork`` and ``spawn`` in turn; tests that do not set it themselves
+  run under whichever method the job selected);
+* **failure cleanup** — the first worker exception cancels the queued
+  tasks and re-raises with the failing shard noted on the exception
+  (``add_note``, Python 3.11+).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+import threading
+from zlib import crc32
+
+import pytest
+
+from repro.core.analysis import _mp_context, per_node, run_rules
+from repro.core.argument import Argument, Link, LinkKind
+from repro.core.nodes import Node, NodeType
+from repro.core.wellformed import GSN_STANDARD_RULES
+from repro.store import StoreConflictError, StoredArgument
+
+pytestmark = pytest.mark.parallel
+
+_METHODS = multiprocessing.get_all_start_methods()
+
+
+def _skewed_identifier(prefix: str, counter: int, shard: int,
+                       shard_count: int = 8) -> str:
+    """Mine an identifier that hashes to ``shard`` (the store's id-hash
+    is ``crc32(id) % shard_count`` — see ``repro.store.format``)."""
+    nonce = 0
+    while True:
+        candidate = f"{prefix}{counter}x{nonce}"
+        if crc32(candidate.encode("utf-8")) % shard_count == shard:
+            return candidate
+        nonce += 1
+
+
+def skewed_case(hazards: int = 60, skew_every: int = 2) -> Argument:
+    """A GSN case with deliberate shard skew and real violations.
+
+    Every ``skew_every``-th hazard pair is mined into shard 0, so one
+    shard carries far more than 1/8 of the store.  A handful of
+    violations (unsupported goals, a solution citing support, a context
+    link to a solution, a second root) keep the checkers honest.
+    """
+    argument = Argument("parallel-skew-fixture")
+    argument.add_nodes([
+        Node("G0", NodeType.GOAL, "The system is acceptably safe"),
+        Node("S0", NodeType.STRATEGY, "Argument over each hazard"),
+    ])
+    argument.add_links([("G0", "S0", LinkKind.SUPPORTED_BY)])
+    for index in range(1, hazards + 1):
+        if index % skew_every == 0:
+            goal = _skewed_identifier("G", index, shard=0)
+            solution = _skewed_identifier("Sn", index, shard=0)
+        else:
+            goal = f"G{index}"
+            solution = f"Sn{index}"
+        argument.add_node(Node(
+            goal, NodeType.GOAL, f"Hazard {index} is acceptably managed"
+        ))
+        argument.add_link("S0", goal, LinkKind.SUPPORTED_BY)
+        argument.add_node(Node(
+            solution, NodeType.SOLUTION, f"Verification record VR-{index}"
+        ))
+        if index % 9 == 0:
+            continue  # dangling solution: solution-unreferenced fires
+        argument.add_link(goal, solution, LinkKind.SUPPORTED_BY)
+    # Cross-cutting violations.
+    argument.add_node(Node("G_lone", NodeType.GOAL,
+                           "A second root claim stands alone"))
+    argument.add_node(Node("Sn_ctx", NodeType.SOLUTION, "Report used as context"))
+    argument.add_link("G1", "Sn_ctx", LinkKind.IN_CONTEXT_OF)
+    argument.add_link("Sn1", "Sn3", LinkKind.SUPPORTED_BY)
+    return argument
+
+
+def _journal_rounds(argument: Argument, store_dir, rounds: int = 6) -> None:
+    """Append ``rounds`` journaled edit sessions (replace/remove/add)."""
+    for round_index in range(rounds):
+        # Only odd hazard indices keep their plain G{i}/Sn{i} names
+        # (even ones were mined into shard 0 under other identifiers).
+        target = f"G{1 + 6 * round_index}"
+        node = argument.node(target)
+        argument.replace_node(node.with_text(
+            f"{node.text} (revalidated r{round_index})"
+        ))
+        fresh = _skewed_identifier("X", round_index, shard=0)
+        argument.add_node(Node(
+            fresh, NodeType.GOAL, f"Late-added claim {round_index} holds"
+        ))
+        if round_index % 2 == 0:
+            churn = 5 + 6 * round_index
+            argument.remove_link(
+                Link(f"G{churn}", f"Sn{churn}", LinkKind.SUPPORTED_BY)
+            )
+        argument.save(store_dir, journal=True)
+
+
+@pytest.fixture
+def skewed_store(tmp_path):
+    argument = skewed_case()
+    store_dir = tmp_path / "skewed.store"
+    argument.save(store_dir)
+    _journal_rounds(argument, store_dir)
+    return argument, store_dir
+
+
+class TestForcedTwoWorkerEquivalence:
+    def test_parallel_equals_serial_equals_streaming(self, skewed_store):
+        argument, store_dir = skewed_store
+        serial = GSN_STANDARD_RULES.check(argument)
+        assert serial, "fixture must actually violate rules"
+        streaming = GSN_STANDARD_RULES.check(
+            StoredArgument(store_dir), mode="streaming"
+        )
+        handle = StoredArgument(store_dir)
+        parallel = GSN_STANDARD_RULES.check(
+            handle, mode="parallel", workers=2
+        )
+        assert serial == streaming == parallel
+
+    def test_parent_parses_nothing(self, skewed_store):
+        # The work-queue design's no-serial-parsing guarantee: workers
+        # parse every shard; the parent only rebuilds its sidecar from
+        # the shipped fragment rows.
+        _, store_dir = skewed_store
+        handle = StoredArgument(store_dir)
+        GSN_STANDARD_RULES.check(handle, mode="parallel", workers=2)
+        assert not handle.hydrated
+        assert handle.shards_read == set()
+
+    def test_live_argument_parallel_equivalence(self, skewed_store):
+        argument, _ = skewed_store
+        assert GSN_STANDARD_RULES.check(
+            argument, mode="parallel", workers=2
+        ) == GSN_STANDARD_RULES.check(argument)
+
+    @pytest.mark.parametrize("method", ["fork", "spawn"])
+    def test_equivalence_under_pinned_start_method(
+        self, skewed_store, monkeypatch, method
+    ):
+        if method not in _METHODS:
+            pytest.skip(f"start method {method!r} unavailable here")
+        monkeypatch.setenv("REPRO_MP_START", method)
+        argument, store_dir = skewed_store
+        assert GSN_STANDARD_RULES.check(
+            StoredArgument(store_dir), mode="parallel", workers=2
+        ) == GSN_STANDARD_RULES.check(argument)
+
+
+class TestSnapshotIsolation:
+    def test_pinned_open_serves_older_generation_after_append(
+        self, skewed_store, tmp_path
+    ):
+        _, store_dir = skewed_store
+        reader = StoredArgument(store_dir)
+        token = reader.pin()
+        nodes_before = reader.node_count
+        editor = StoredArgument(store_dir).load()
+        editor.add_node(Node("Z_late", NodeType.GOAL, "Appended behind pin"))
+        editor.save(store_dir, journal=True)
+        reopened = StoredArgument(store_dir, generation=token)
+        assert reopened.pin() == token
+        assert reopened.node_count == nodes_before
+        assert "Z_late" not in reopened
+        assert "Z_late" in StoredArgument(store_dir)
+
+    def test_pinned_open_to_journal_free_base(self, tmp_path):
+        # Rewinding to a generation with *no* segments must patch the
+        # counts back to the base totals (the manifest's counts already
+        # include the newer journal's deltas).
+        argument = skewed_case(hazards=8)
+        store_dir = tmp_path / "base.store"
+        argument.save(store_dir)
+        token = StoredArgument(store_dir).pin()
+        total = len(argument)
+        argument.add_node(Node("Z1", NodeType.GOAL, "Post-pin claim"))
+        argument.save(store_dir, journal=True)
+        reopened = StoredArgument(store_dir, generation=token)
+        assert reopened.node_count == total
+        assert reopened.pin() == token
+
+    def test_pinned_open_conflicts_after_compact(self, skewed_store):
+        _, store_dir = skewed_store
+        token = StoredArgument(store_dir).pin()
+        StoredArgument(store_dir).compact()
+        with pytest.raises(StoreConflictError) as excinfo:
+            StoredArgument(store_dir, generation=token)
+        message = str(excinfo.value)
+        assert str(token) in message, "conflict must name the pinned generation"
+        assert str(StoredArgument(store_dir).pin()) in message, \
+            "conflict must name the generation found on disk"
+
+    def test_pinned_open_conflicts_after_coalesce(self, skewed_store):
+        _, store_dir = skewed_store
+        token = StoredArgument(store_dir).pin()
+        assert len(token.segments) > 1
+        StoredArgument(store_dir).coalesce()
+        with pytest.raises(StoreConflictError):
+            StoredArgument(store_dir, generation=token)
+
+    def test_parallel_check_sees_pinned_snapshot_despite_append(
+        self, skewed_store
+    ):
+        _, store_dir = skewed_store
+        reader = StoredArgument(store_dir)
+        pinned_view = GSN_STANDARD_RULES.check(reader, mode="streaming")
+        editor = StoredArgument(store_dir).load()
+        editor.add_node(Node("Z_mid", NodeType.GOAL,
+                             "Appended while the check ran"))
+        editor.save(store_dir, journal=True)
+        # The stale reader's parallel check must equal its own snapshot,
+        # not the moved HEAD (which now has one more unsupported goal).
+        parallel = GSN_STANDARD_RULES.check(reader, mode="parallel", workers=2)
+        assert parallel == pinned_view
+        head = GSN_STANDARD_RULES.check(
+            StoredArgument(store_dir), mode="streaming"
+        )
+        assert parallel != head
+
+    def test_parallel_check_conflicts_when_base_rotates(self, skewed_store):
+        # The generation-rotation regression: pre-rebuild, workers
+        # opened whatever HEAD they found and silently checked a store
+        # the parent never pinned.
+        _, store_dir = skewed_store
+        reader = StoredArgument(store_dir)
+        StoredArgument(store_dir).compact()
+        with pytest.raises(StoreConflictError) as excinfo:
+            GSN_STANDARD_RULES.check(reader, mode="parallel", workers=2)
+        assert str(reader.pin()) in str(excinfo.value)
+
+    def test_crashed_compaction_leaves_pinned_check_untouched(
+        self, skewed_store, monkeypatch
+    ):
+        # The PR 7 crash-window idiom: the compaction dies at the
+        # manifest rename, so the swap never commits — the pinned
+        # generation is still HEAD and the parallel check must succeed.
+        _, store_dir = skewed_store
+        reader = StoredArgument(store_dir)
+        expected = GSN_STANDARD_RULES.check(reader, mode="streaming")
+        real_replace = os.replace
+
+        def exploding_replace(src, dst, **kwargs):
+            if str(dst).endswith("manifest.json"):
+                raise OSError(28, "simulated crash at the rename window")
+            return real_replace(src, dst, **kwargs)
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(OSError):
+            StoredArgument(store_dir).compact()
+        monkeypatch.undo()
+        assert GSN_STANDARD_RULES.check(
+            reader, mode="parallel", workers=2
+        ) == expected
+
+
+class TestStartMethodSelection:
+    @pytest.mark.skipif("fork" not in _METHODS,
+                        reason="no fork on this platform")
+    def test_single_threaded_parent_prefers_fork(self, monkeypatch):
+        from repro.core.analysis import _foreign_thread_count
+
+        monkeypatch.delenv("REPRO_MP_START", raising=False)
+        if _foreign_thread_count() > 1:
+            pytest.skip("test runner already has foreign helper threads")
+        # A cached idle pool's manager threads must NOT disqualify fork
+        # (the stdlib forks new workers while they run).
+        assert _mp_context().get_start_method() == "fork"
+
+    def test_threaded_parent_never_forks(self, monkeypatch):
+        monkeypatch.delenv("REPRO_MP_START", raising=False)
+        release = threading.Event()
+        helper = threading.Thread(target=release.wait)
+        helper.start()
+        try:
+            assert _mp_context().get_start_method() in (
+                "forkserver", "spawn"
+            )
+        finally:
+            release.set()
+            helper.join()
+
+    def test_env_override_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MP_START", "spawn")
+        assert _mp_context().get_start_method() == "spawn"
+
+    def test_unknown_override_is_loud(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MP_START", "vfork")
+        with pytest.raises(ValueError):
+            _mp_context()
+
+
+def _exploding_rule(node, ctx):
+    """Module-level (spawn-picklable) rule that fails on one node."""
+    if node.identifier == "G1":
+        raise RuntimeError("rule exploded in a worker")
+    return []
+
+
+class TestFailureCleanup:
+    def test_stored_failure_surfaces_and_names_the_shard(self, skewed_store):
+        _, store_dir = skewed_store
+        rules = (per_node("boom", "explodes on G1", _exploding_rule),)
+        with pytest.raises(RuntimeError, match="rule exploded") as excinfo:
+            run_rules(StoredArgument(store_dir), rules,
+                      mode="parallel", workers=2)
+        if sys.version_info >= (3, 11):
+            notes = getattr(excinfo.value, "__notes__", [])
+            assert any("shard" in note for note in notes), notes
+
+    def test_live_failure_surfaces_and_names_the_unit(self, skewed_store):
+        argument, _ = skewed_store
+        rules = (per_node("boom", "explodes on G1", _exploding_rule),)
+        with pytest.raises(RuntimeError, match="rule exploded") as excinfo:
+            run_rules(argument, rules, mode="parallel", workers=2)
+        if sys.version_info >= (3, 11):
+            notes = getattr(excinfo.value, "__notes__", [])
+            assert any("unit" in note for note in notes), notes
+
+    def test_corruption_still_pickles_across_the_pool(self, skewed_store):
+        from repro.store import StoreCorruptionError
+
+        _, store_dir = skewed_store
+        handle = StoredArgument(store_dir)
+        shard_name = handle.manifest["node_shards"][0]
+        shard_path = store_dir / shard_name
+        shard_path.write_bytes(shard_path.read_bytes() + b"garbage\n")
+        with pytest.raises(StoreCorruptionError):
+            GSN_STANDARD_RULES.check(handle, mode="parallel", workers=2)

@@ -1,0 +1,92 @@
+"""Tier-1 smoke check for ``benchmarks/results.py``.
+
+The results pipeline is the one artifact every PR's perf claims land
+in (``BENCH_trajectory.json`` + rendered report); this smoke keeps the
+runner healthy: the saturation matrix executes at tiny sizes, every
+cell asserts parallel == streaming == serial before recording, runs
+append (never rewrite), and the trajectory report renders a comparison
+row per recorded run.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.analysis
+
+_BENCHMARKS = Path(__file__).resolve().parent.parent / "benchmarks"
+
+
+@pytest.fixture(scope="module")
+def results_module():
+    sys.path.insert(0, str(_BENCHMARKS))
+    try:
+        import results
+
+        yield results
+    finally:
+        sys.path.remove(str(_BENCHMARKS))
+
+
+@pytest.fixture(scope="module")
+def trajectory(results_module, tmp_path_factory):
+    out = tmp_path_factory.mktemp("trajectory") / "BENCH_trajectory.json"
+    report = out.with_suffix(".md")
+    argv = [
+        "--smoke", "--label", "smoke-a", "--repeats", "1",
+        "--sizes", "400", "--out", str(out), "--report", str(report),
+    ]
+    assert results_module.main(argv) == 0
+    assert results_module.main(
+        argv[:2] + ["smoke-b"] + argv[3:]
+    ) == 0
+    return json.loads(out.read_text()), report.read_text()
+
+
+def test_runs_append_with_schema(trajectory):
+    data, _ = trajectory
+    assert data["schema"] == 1
+    assert [run["label"] for run in data["runs"]] == [
+        "smoke-a", "smoke-b",
+    ]
+
+
+def test_cells_cover_matrix_and_assert_equivalence(trajectory):
+    data, _ = trajectory
+    for run in data["runs"]:
+        assert run["workers_tested"] == [2]
+        skews = {cell["skew"] for cell in run["cells"]}
+        assert skews == {"uniform", "skewed"}
+        for cell in run["cells"]:
+            assert cell["equivalent"] is True
+            assert cell["violations"] > 0  # gsn_case smoke still checks
+            assert cell["parallel_s"]["2"]["min_s"] > 0
+            assert cell["streaming_s"]["min_s"] > 0
+            assert cell["journal_rounds"] > 0
+
+
+def test_skewed_cells_actually_skew(trajectory):
+    data, _ = trajectory
+    cells = {
+        cell["skew"]: cell for cell in data["runs"][-1]["cells"]
+    }
+    assert cells["skewed"]["max_shard_fraction"] >= 0.4
+    assert cells["uniform"]["max_shard_fraction"] <= 0.3
+
+
+def test_report_renders_latest_and_trajectory(trajectory):
+    _, report = trajectory
+    assert "## Latest run: `smoke-b`" in report
+    assert "`smoke-a`" in report  # trajectory table includes prior runs
+    assert "speedup" in report
+
+
+def test_schema_mismatch_fails_loudly(results_module, tmp_path):
+    out = tmp_path / "BENCH_trajectory.json"
+    out.write_text(json.dumps({"schema": 99, "runs": []}))
+    with pytest.raises(SystemExit, match="schema"):
+        results_module.load_trajectory(out)
