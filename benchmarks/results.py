@@ -328,8 +328,34 @@ def _cell_key(cell: dict[str, Any]) -> tuple[Any, ...]:
     return (cell["nodes"], cell["skew"])
 
 
+def run_kind(run: dict[str, Any]) -> str:
+    """The benchmark family a recorded run belongs to.
+
+    Rows predate the ``kind`` field (PR 8 wrote saturation rows only),
+    so its absence means saturation.
+    """
+    return str(run.get("kind", "saturation"))
+
+
 def render_report(trajectory: dict[str, Any]) -> str:
+    """Render every benchmark family recorded in the trajectory.
+
+    The JSON file is shared append-only ground truth; each runner
+    appends rows of its own ``kind`` and the report renders one section
+    per family so saturation and search numbers stay side by side.
+    """
     runs = trajectory["runs"]
+    sections: list[str] = []
+    saturation = [r for r in runs if run_kind(r) == "saturation"]
+    if saturation:
+        sections.append(_render_saturation(saturation))
+    search = [r for r in runs if run_kind(r) == "search"]
+    if search:
+        sections.append(_render_search(search))
+    return "\n\n".join(sections) + "\n" if sections else "\n"
+
+
+def _render_saturation(runs: "list[dict[str, Any]]") -> str:
     latest = runs[-1]
     lines = [
         "# Saturation trajectory — parallel checking vs streaming",
@@ -399,7 +425,62 @@ def render_report(trajectory: dict[str, Any]) -> str:
             "A dash means that run did not execute the cell (different "
             "sizes or smoke mode).",
         ]
-    lines.append("")
+    return "\n".join(lines)
+
+
+def _render_search(runs: "list[dict[str, Any]]") -> str:
+    latest = runs[-1]
+    lines = [
+        "# Search trajectory — persisted index vs substring scan",
+        "",
+        "Generated by `benchmarks/bench_search.py`; data in "
+        "`BENCH_trajectory.json` (`kind: \"search\"` rows). Each query "
+        "ran over the full case corpus both ways — warm "
+        "`CaseCorpus` resolving candidates from the persisted sidecar "
+        "postings, and a fresh-handle streaming substring scan (the "
+        "workflow an unindexed library forces) — with the result sets "
+        "asserted identical before recording.",
+        "",
+        f"## Latest run: `{latest['label']}` ({latest['timestamp']})",
+        "",
+        f"Python {latest['python']}, {latest['cpu_count']} CPU(s), "
+        f"{latest['stores']} stores / {latest['total_nodes']} nodes "
+        f"({latest['journaled_stores']} journal-patched), "
+        f"{latest['repeats']} repeats"
+        + (", **smoke sizes**" if latest["smoke"] else "")
+        + ".",
+        "",
+        "| query | hits | scan min | indexed min | speedup (min) "
+        "| speedup (median) |",
+        "|:---|---:|---:|---:|---:|---:|",
+    ]
+    for cell in latest["queries"]:
+        lines.append(
+            f"| `{cell['q']}` | {cell['hits']} "
+            f"| {cell['scan_s']['min_s'] * 1e3:.1f} ms "
+            f"| {cell['indexed_s']['min_s'] * 1e3:.2f} ms "
+            f"| **{cell['speedup_min']:.1f}x** "
+            f"| {cell['speedup_median']:.1f}x |"
+        )
+    lines += [
+        "",
+        f"Overall speedup (total scan time / total indexed time, min): "
+        f"**{latest['speedup_overall_min']:.1f}x**.",
+    ]
+    if len(runs) > 1:
+        lines += [
+            "",
+            "## Trajectory (overall speedup by min, across runs)",
+            "",
+            "| run | stores | nodes | overall speedup |",
+            "|:---|---:|---:|---:|",
+        ]
+        for run in runs:
+            lines.append(
+                f"| `{run['label']}` ({run['timestamp'][:10]}) "
+                f"| {run['stores']} | {run['total_nodes']} "
+                f"| {run['speedup_overall_min']:.1f}x |"
+            )
     return "\n".join(lines)
 
 

@@ -33,9 +33,16 @@ What gets checked, file by file:
 * **citations** (cases): a citation naming an absent or non-solution
   node is fatal in a journal-less store and a note in a journaled one
   (the loader documents and drops it there);
+* the **search sidecar** (when the manifest references one): the same
+  seal / content-address / CRC checks as shards, header and posting
+  record shapes — damage is ``recoverable`` (the index is derived data;
+  rebuild it) — and *staleness* (a previous base generation, an unknown
+  tokenizer version, a journal watermark past the current journal) is a
+  ``note``, never a failure: readers simply fall back to the scan;
 * **orphans**: files matching the store's own naming scheme that the
   manifest does not reference — exactly the inventory
-  :func:`repro.store.journal.gc` would sweep — reported as notes;
+  :func:`repro.store.journal.gc` would sweep (superseded search
+  sidecars included) — reported as notes;
 * the **writer lease**: a live ``writer.lease`` means a writer holds
   the store right now (fsck may be racing its commit), a stale one
   means a writer crashed mid-operation; both are notes naming the
@@ -206,6 +213,7 @@ class _Fsck:
         assert self.manifest is not None
         self._check_base_shards()
         self._check_journal()
+        self._check_search_index()
         self._check_counts()
         if self.manifest.get("kind") == "case":
             self._check_case()
@@ -612,6 +620,121 @@ class _Fsck:
                 self._journal_links -= 1
         self.report.segments_checked += 1
         return True
+
+    # -- the search sidecar ----------------------------------------------------
+
+    def _check_search_index(self) -> None:
+        """Verify the search sidecar, if the manifest references one.
+
+        The sidecar is **derived data** — every reader falls back to the
+        streaming scan without it — so nothing here is ever fatal:
+        damage (bad seal, tampered content-address, malformed records)
+        is ``recoverable`` with a rebuild hint, and a *stale* index
+        (previous base generation, unknown tokenizer version, watermark
+        past the journal) is only a ``note``.
+        """
+        assert self.manifest is not None
+        from ..core.search import TOKENIZER_VERSION
+        from ..store.search import SEARCH_SCHEMA_VERSION, base_names_crc
+
+        name = self.manifest.get("search_index")
+        if name is None:
+            return
+        rebuild = (
+            "the search index is derived data — rebuild it with "
+            "StoredArgument(...).build_search_index()"
+        )
+        if not isinstance(name, str):
+            self.recoverable(
+                MANIFEST_NAME,
+                f"malformed search_index reference {name!r}; {rebuild}",
+            )
+            return
+        shards = self.manifest.get("shards")
+        meta = shards.get(name) if isinstance(shards, dict) else None
+        if (
+            not isinstance(meta, dict)
+            or not isinstance(meta.get("records"), int)
+            or not isinstance(meta.get("crc32"), int)
+        ):
+            self.recoverable(
+                MANIFEST_NAME,
+                f"search sidecar {name!r} referenced without "
+                f"records/crc32 metadata; {rebuild}",
+            )
+            return
+        lines = self._read_lines(name)
+        records = (
+            None if lines is None
+            else self._decode_records(name, lines, ("seq", "kind"))
+        )
+        if records is None:
+            for artifact, detail in self._shard_failures:
+                self.recoverable(artifact, f"{detail}; {rebuild}")
+            self._shard_failures.clear()
+            return
+        self.report.shards_checked += 1
+        header = records[0] if records else None
+        if not isinstance(header, dict) or header.get("kind") != "header":
+            self.recoverable(
+                name, f"first record is not the sidecar header; {rebuild}"
+            )
+            return
+        if header.get("search_schema") != SEARCH_SCHEMA_VERSION:
+            self.recoverable(
+                name,
+                f"unsupported search schema "
+                f"{header.get('search_schema')!r} (this checker knows "
+                f"{SEARCH_SCHEMA_VERSION}); {rebuild}",
+            )
+            return
+        for lineno, record in enumerate(records[1:], start=2):
+            if (
+                record.get("kind") not in ("token", "gram")
+                or not isinstance(record.get("term"), str)
+                or not isinstance(record.get("ids"), list)
+                or not all(
+                    isinstance(entry, str) for entry in record["ids"]
+                )
+            ):
+                self.recoverable(
+                    name,
+                    f"line {lineno}: malformed "
+                    f"{record.get('kind')!r} posting record; {rebuild}",
+                )
+                return
+        stale: "list[str]" = []
+        if header.get("tokenizer") != TOKENIZER_VERSION:
+            stale.append(
+                f"tokenizer version {header.get('tokenizer')!r} "
+                f"(readers speak {TOKENIZER_VERSION})"
+            )
+        base = list(self.manifest["node_shards"]) + list(
+            self.manifest["link_shards"]
+        )
+        if header.get("base_crc32") != base_names_crc(base):
+            stale.append("it indexes a previous base shard generation")
+        ops = header.get("ops")
+        journal = self.manifest.get("journal", [])
+        segment_counts = [
+            self.manifest["shards"].get(segment, {}).get("records")
+            for segment in (journal if isinstance(journal, list) else [])
+        ]
+        if not isinstance(ops, int) or isinstance(ops, bool) or ops < 0:
+            stale.append(f"its journal watermark {ops!r} is malformed")
+        elif not self._torn and all(
+            isinstance(count, int) for count in segment_counts
+        ) and ops > sum(segment_counts):
+            stale.append(
+                f"its journal watermark ({ops}) is past the journal's "
+                f"{sum(segment_counts)} op(s)"
+            )
+        if stale:
+            self.note(
+                name,
+                "stale search index (" + "; ".join(stale) + ") — "
+                "readers fall back to the streaming scan; " + rebuild,
+            )
 
     # -- counts ----------------------------------------------------------------
 

@@ -1097,6 +1097,7 @@ class Argument:
         compression: str | None = None,
         journal: bool = False,
         force: bool = False,
+        search_index: bool | None = None,
     ) -> Any:
         """Write this argument to a sharded store directory.
 
@@ -1105,6 +1106,11 @@ class Argument:
         the manifest.  ``compression="gzip"`` gzips the shards
         (transparent on read).  Reload with :meth:`load`, or open lazily
         with :class:`repro.store.StoredArgument` for partial hydration.
+        ``search_index=True`` seals the token/trigram search sidecar
+        (:mod:`repro.store.search`) into the same commit; the default
+        (``None``) keeps whatever the store already has — a journal
+        fallback rewrite of an indexed store stays indexed, like
+        ``shard_count``/``compression``.
 
         ``journal=True`` makes an editing session cheap: when the store
         already holds a state this argument was saved to (or loaded
@@ -1166,15 +1172,20 @@ class Argument:
                         shard_count = existing["shard_count"]
                     if compression is None:
                         compression = existing.get("compression")
+                    if search_index is None:
+                        search_index = isinstance(
+                            existing.get("search_index"), str
+                        )
                 manifest = save_argument(
                     self, directory, shard_count=shard_count,
                     compression=compression,
+                    search_index=bool(search_index),
                 )
                 self.mark_persisted(directory)
                 return manifest
         manifest = save_argument(
             self, directory, shard_count=shard_count,
-            compression=compression,
+            compression=compression, search_index=bool(search_index),
         )
         self.mark_persisted(directory)
         return manifest

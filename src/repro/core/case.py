@@ -261,6 +261,7 @@ class AssuranceCase:
         *,
         shard_count: int | None = None,
         compression: str | None = None,
+        search_index: bool = False,
     ):
         """Write this case to a sharded store directory.
 
@@ -276,7 +277,7 @@ class AssuranceCase:
 
         return save_case(
             self, directory, shard_count=shard_count,
-            compression=compression,
+            compression=compression, search_index=search_index,
         )
 
     @classmethod

@@ -42,9 +42,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable
 
-from .analysis import iter_subject_nodes
+from .analysis import is_stored_argument, iter_subject_nodes
 from .argument import Argument, LinkKind, MutationDelta
 from .nodes import Node, NodeType
+from .search import tokenize, trigrams
 
 __all__ = [
     "Query",
@@ -59,6 +60,34 @@ __all__ = [
     "text_search",
     "traceability_view",
 ]
+
+
+class _TextPostings:
+    """Token + trigram inverted postings over lowered node text.
+
+    The in-memory twin of the persisted store sidecar
+    (:mod:`repro.store.search`): both are built by the one canonical
+    tokenizer in :mod:`repro.core.search`, so a planner answer and a
+    sidecar answer for the same argument state are identical.
+    """
+
+    __slots__ = ("tokens", "grams")
+
+    def __init__(self) -> None:
+        self.tokens: dict[str, set[str]] = {}
+        self.grams: dict[str, set[str]] = {}
+
+    def index(self, identifier: str, lowered: str) -> None:
+        for token in set(tokenize(lowered)):
+            self.tokens.setdefault(token, set()).add(identifier)
+        for gram in trigrams(lowered):
+            self.grams.setdefault(gram, set()).add(identifier)
+
+    def unindex(self, identifier: str, lowered: str) -> None:
+        for token in set(tokenize(lowered)):
+            ArgumentIndex._discard(self.tokens, token, identifier)
+        for gram in trigrams(lowered):
+            ArgumentIndex._discard(self.grams, gram, identifier)
 
 
 class ArgumentIndex:
@@ -80,6 +109,7 @@ class ArgumentIndex:
         self.by_param: dict[tuple[str, int, Any], set[str]] = {}
         self.by_type: dict[NodeType, set[str]] = {}
         self.lowered_text: dict[str, str] = {}
+        self._text: _TextPostings | None = None
         self._next_order = 0
         for node in argument.nodes:
             self._index_node(node, self._next_order)
@@ -89,7 +119,10 @@ class ArgumentIndex:
         identifier = node.identifier
         self.order[identifier] = position
         self.by_type.setdefault(node.node_type, set()).add(identifier)
-        self.lowered_text[identifier] = node.text.lower()
+        lowered = node.text.lower()
+        self.lowered_text[identifier] = lowered
+        if self._text is not None:
+            self._text.index(identifier, lowered)
         # Index metadata_dict(), not the raw pairs: the query predicates
         # read metadata_dict(), where a duplicated attribute name keeps
         # only its last entry — an exact plan must agree with them.
@@ -114,6 +147,8 @@ class ArgumentIndex:
         identifier = node.identifier
         del self.order[identifier]
         self._discard(self.by_type, node.node_type, identifier)
+        if self._text is not None:
+            self._text.unindex(identifier, self.lowered_text[identifier])
         del self.lowered_text[identifier]
         for name, params in node.metadata_dict().items():
             self._discard(self.by_attribute, name, identifier)
@@ -162,6 +197,68 @@ class ArgumentIndex:
                 self._unindex_node(old)
                 self._index_node(new, position)
         return True
+
+    def text_postings(self) -> _TextPostings:
+        """Token + trigram postings, built lazily, then patched in step.
+
+        Non-text workloads never pay for text postings: the maps are
+        built on the first text-planned query and from then on
+        maintained incrementally by :meth:`_index_node` /
+        :meth:`_unindex_node` alongside the other indices.
+        """
+        if self._text is None:
+            postings = _TextPostings()
+            for identifier, lowered in self.lowered_text.items():
+                postings.index(identifier, lowered)
+            self._text = postings
+        return self._text
+
+    def contains_candidates(self, lowered: str) -> set[str]:
+        """Exactly the nodes whose folded text contains ``lowered``.
+
+        Trigram intersection narrows to a candidate superset, then each
+        candidate is verified against its lowered text — the returned
+        set is exact, so folded ``text_contains`` plans keep their
+        ``exact=True`` contract.  Needles shorter than a trigram scan
+        ``lowered_text`` directly (still O(V), but no false narrowing).
+        """
+        if len(lowered) < 3:
+            return {
+                identifier
+                for identifier, text in self.lowered_text.items()
+                if lowered in text
+            }
+        candidates = self.grams_superset(lowered)
+        if candidates is None:
+            return set()
+        return {
+            identifier
+            for identifier in candidates
+            if lowered in self.lowered_text[identifier]
+        }
+
+    def grams_superset(self, lowered: str) -> set[str] | None:
+        """Unverified trigram candidates for a lowered needle.
+
+        A guaranteed superset of every node whose text contains the
+        needle under *either* case discipline (folding is monotonic:
+        a case-sensitive occurrence survives lowering), so this is the
+        planner hook for the case-sensitive branch — the predicate
+        does the verification.  ``None`` means the needle is too short
+        to narrow.
+        """
+        if len(lowered) < 3:
+            return None
+        postings = self.text_postings().grams
+        candidates: set[str] | None = None
+        for gram in trigrams(lowered):
+            ids = postings.get(gram)
+            if not ids:
+                return set()
+            candidates = set(ids) if candidates is None else candidates & ids
+            if not candidates:
+                return set()
+        return set() if candidates is None else candidates
 
 
 def argument_index(
@@ -337,21 +434,27 @@ def node_type_is(node_type: NodeType) -> Query:
 
 
 def text_contains(needle: str, case_sensitive: bool = False) -> Query:
-    """Plain substring match on node text."""
+    """Plain substring match on node text.
+
+    Both branches are planned.  The folded branch resolves *exact*
+    candidates from the trigram postings (verified against the lowered
+    text, so the predicate is skipped).  The sensitive branch narrows
+    through the same lowered postings — folding is monotonic, so the
+    lowered-needle candidates are a superset of the case-sensitive
+    matches — and leaves the predicate to arbitrate case, hence
+    ``exact=False``.
+    """
+    lowered = needle.lower()
     if case_sensitive:
         return Query(
             f"text contains {needle!r}",
             lambda node: needle in node.text,
+            lambda index: index.grams_superset(lowered),
         )
-    lowered = needle.lower()
     return Query(
         f"text icontains {needle!r}",
         lambda node: lowered in node.text.lower(),
-        lambda index: {
-            identifier
-            for identifier, text in index.lowered_text.items()
-            if lowered in text
-        },
+        lambda index: index.contains_candidates(lowered),
         exact=True,
     )
 
@@ -373,6 +476,10 @@ def select(argument: Argument, query: Query) -> list[Node]:
     transitively.
     """
     if not isinstance(argument, Argument):
+        if query.plan is not None and is_stored_argument(argument):
+            planned = _select_stored(argument, query)
+            if planned is not None:
+                return planned
         # iter_subject_nodes raises the canonical TypeError for
         # non-argument subjects (e.g. an AssuranceCase).
         return [node for node in iter_subject_nodes(argument) if query(node)]
@@ -391,6 +498,40 @@ def select(argument: Argument, query: Query) -> list[Node]:
         for node in (argument.node(identifier) for identifier in ordered)
         if query(node)
     ]
+
+
+def _select_stored(stored: Any, query: Query) -> list[Node] | None:
+    """Resolve a planned query through a store's persisted search index.
+
+    Returns ``None`` whenever the streaming scan must run instead: no
+    (current) sidecar, a plan needing live-index capabilities the
+    sidecar lacks (attribute/type postings — those plans raise
+    ``AttributeError`` against the narrower index object), or a plan
+    that itself declines.  The sidecar only ever *narrows*; the
+    predicate still arbitrates non-exact plans, so a fallback can never
+    change the result, only its cost.
+    """
+    from ..store.search import load_search_index
+
+    index = load_search_index(stored)
+    if index is None:
+        return None
+    try:
+        candidates = query.candidates(index)
+    except AttributeError:
+        return None
+    if candidates is None:
+        return None
+    entries = []
+    for identifier in candidates:
+        try:
+            entries.append(stored._node_entry(identifier))
+        except KeyError:
+            return None  # index out of step with the store: scan instead
+    entries.sort(key=lambda entry: entry[0])
+    if query.exact:
+        return [node for _, node in entries]
+    return [node for _, node in entries if query(node)]
 
 
 def text_search(argument: Argument, needle: str) -> list[Node]:

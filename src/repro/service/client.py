@@ -121,6 +121,14 @@ class ServiceClient:
             "POST", f"/stores/{name}/query", {"query": query}
         )
 
+    def search(
+        self, name: str, q: str, *, limit: "int | None" = None
+    ) -> Any:
+        body: "dict[str, Any]" = {"q": q}
+        if limit is not None:
+            body["limit"] = limit
+        return self._request("POST", f"/stores/{name}/search", body)
+
     def check(self, name: str) -> Any:
         return self._request("POST", f"/stores/{name}/check")
 

@@ -25,6 +25,7 @@ Endpoints (all payloads JSON)::
     GET  /stores/{name}/nodes/{id}
     GET  /stores/{name}/subtree/{id}
     POST /stores/{name}/query    {"type": ..., "all": [...], ...}
+    POST /stores/{name}/search   {"q": "...", "limit": 10}
     POST /stores/{name}/check
     POST /stores/{name}/append   {"ops": [...], "expect_generation": ...}
     POST /stores/{name}/compact
@@ -401,6 +402,8 @@ class ArgumentService:
             return await self._get_subtree(state, rest[1])
         if method == "POST" and rest == ["query"]:
             return await self._post_query(state, body)
+        if method == "POST" and rest == ["search"]:
+            return await self._post_search(state, body)
         if method == "POST" and rest == ["check"]:
             return await self._post_check(state)
         if method == "POST" and rest == ["append"]:
@@ -477,6 +480,44 @@ class ArgumentService:
         return 200, {
             "generation": str(snapshot.generation),
             "nodes": [node_payload(node) for node in matches],
+        }
+
+    async def _post_search(
+        self, state: _StoreState, body: Any
+    ) -> tuple[int, Any]:
+        from ..core.search import search
+
+        if not isinstance(body, dict):
+            raise ServiceError(400, 'a search body is {"q": "..."}')
+        q = body.get("q")
+        if not isinstance(q, str) or not q.strip():
+            raise ServiceError(400, "'q' must be a non-empty string")
+        limit = body.get("limit", 10)
+        if (
+            not isinstance(limit, int)
+            or isinstance(limit, bool)
+            or limit < 1
+        ):
+            raise ServiceError(400, "'limit' must be a positive integer")
+        snapshot = state.snapshot
+        hits = await self._in_thread(
+            lambda: search(snapshot, q, limit=limit)
+        )
+        return 200, {
+            "generation": str(snapshot.generation),
+            "q": q,
+            "hits": [
+                {
+                    "id": hit.identifier,
+                    "score": hit.score,
+                    "type": hit.node_type,
+                    "snippet": hit.snippet,
+                    "matched_terms": list(hit.matched_terms),
+                    "neighbourhood": list(hit.neighbourhood),
+                    "summary": hit.summary,
+                }
+                for hit in hits
+            ],
         }
 
     async def _post_check(self, state: _StoreState) -> tuple[int, Any]:

@@ -22,6 +22,12 @@ incrementally-reloadable on-disk form:
   folds the journal back into byte-stable shards, and ``gc()`` sweeps
   orphaned files; ``ignore_torn_tail=True`` recovers from a crash
   mid-append;
+* :mod:`~repro.store.search` — the persisted token/trigram search index
+  sidecar: sealed and checksummed like a shard, referenced from the
+  manifest, journal-patched in O(delta) per edit, rebuilt by
+  ``compact()``, swept by ``gc()``; :class:`CaseCorpus` drives ranked
+  query-biased search (:func:`repro.core.search.search`) over a
+  directory of stores;
 * :mod:`~repro.store.lease` — the writer lease enforcing the
   single-writer contract: every mutating operation holds the store's
   ``writer.lease`` file, contenders back off and raise
@@ -84,6 +90,13 @@ from .lease import (
     writer_lease,
 )
 from .reader import StoredArgument, StoreGeneration, load_argument, load_case
+from .search import (
+    SEARCH_SCHEMA_VERSION,
+    CaseCorpus,
+    StoreSearchIndex,
+    build_search_index,
+    load_search_index,
+)
 from .writer import save_argument, save_case
 
 __all__ = [
@@ -111,6 +124,11 @@ __all__ = [
     "StoreGeneration",
     "load_argument",
     "load_case",
+    "SEARCH_SCHEMA_VERSION",
+    "CaseCorpus",
+    "StoreSearchIndex",
+    "build_search_index",
+    "load_search_index",
     "save_argument",
     "save_case",
 ]

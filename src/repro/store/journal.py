@@ -503,11 +503,22 @@ def _compact_locked(stored: "StoredArgument") -> dict:
     if not stored.journal_segments:
         return stored.manifest
     _check_handle_current(stored)
+    from .search import SEARCH_INDEX_KEY, _PostingsBuilder, write_sidecar
+
     node_types: dict[str, NodeType] = {}
+    old_sidecar = stored.manifest.get(SEARCH_INDEX_KEY)
+    # An indexed store stays indexed through compaction: collect the
+    # postings in the same streaming pass that folds the shards, so the
+    # rebuild costs no extra read of the store.
+    postings = (
+        _PostingsBuilder() if isinstance(old_sidecar, str) else None
+    )
 
     def noted_nodes() -> "Iterable[Node]":
         for node in stored.iter_nodes():
             node_types[node.identifier] = node.node_type
+            if postings is not None:
+                postings.add(node.identifier, node.text)
             yield node
 
     node_shards, link_shards, shards, node_total, link_total = _write_graph(
@@ -527,6 +538,20 @@ def _compact_locked(stored: "StoredArgument") -> dict:
     replaced = set(stored.manifest["node_shards"]) \
         | set(stored.manifest["link_shards"]) \
         | set(stored.journal_segments)
+    if postings is not None:
+        # Watermark zero over the fresh base: byte-identical to the
+        # sidecar a clean ``save(search_index=True)`` of the same
+        # argument would seal, preserving compaction's byte-stability.
+        sidecar, sidecar_entry = write_sidecar(
+            stored.path,
+            postings,
+            node_shards + link_shards,
+            0,
+            stored.compression,
+        )
+        manifest[SEARCH_INDEX_KEY] = sidecar
+        shards = {**shards, sidecar: sidecar_entry}
+        replaced.add(old_sidecar)
     if stored.kind == "case":
         # Journal edits may have removed or retyped cited solutions; the
         # loader drops their citations only while the journal documents
@@ -581,7 +606,7 @@ _STORE_FILE = re.compile(
     r"^(?:"
     r"(?:nodes|links|journal)-\d{4}"           # nodes-0003-1a2b3c4d.jsonl
     rf"(?:-[0-9a-f]{{8}}\.jsonl(?:\.gz)?|{_TMP_FORMS})"
-    r"|(?:evidence|citations)"                 # evidence-9c0d1e2f.jsonl
+    r"|(?:evidence|citations|search)"          # evidence-9c0d1e2f.jsonl
     rf"(?:-[0-9a-f]{{8}}\.jsonl(?:\.gz)?|{_TMP_FORMS})"
     rf"|{re.escape(LEASE_NAME)}\.(?:stale|renew)-[0-9a-f-]+"
     r")$"

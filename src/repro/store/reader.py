@@ -146,6 +146,10 @@ class StoredArgument:
         self._node_shards: dict[int, dict[str, tuple[int, Node]]] = {}
         self._link_shards: dict[int, dict[str, list[tuple[int, Link]]]] = {}
         self._overlay: Any = None
+        # Loaded (and journal-patched) search sidecar; survives journal
+        # refreshes like the base shard caches do, so each append only
+        # patches the delta — see repro.store.search.load_search_index.
+        self._search_index: Any = None
         self._read_manifest()
         if generation is not None:
             self._pin_to(generation)
@@ -357,6 +361,9 @@ class StoredArgument:
         self.manifest = manifest
         self.manifest_fingerprint = generation.fingerprint
         self._overlay = None
+        # A patched index cannot be *unwound* to the pinned prefix;
+        # drop it and let the sidecar re-verify against the rewound ops.
+        self._search_index = None
 
     def refresh(self) -> str:
         """Re-read the manifest; resync the handle to the store on disk.
@@ -421,6 +428,7 @@ class StoredArgument:
         self._node_shards.clear()
         self._link_shards.clear()
         self.shards_read.clear()
+        self._search_index = None
         return "rewritten"
 
     def adopt_base_caches(self, other: "StoredArgument") -> bool:
@@ -491,6 +499,36 @@ class StoredArgument:
 
         self.refresh()
         return gc(self)
+
+    # -- search sidecar ------------------------------------------------------
+
+    def search_index(self) -> Any:
+        """The store's search index, journal-patched to this handle's
+        generation, or ``None`` when no current sidecar exists.  See
+        :func:`repro.store.search.load_search_index`."""
+        from .search import load_search_index
+
+        return load_search_index(self)
+
+    def build_search_index(self) -> dict[str, Any]:
+        """Build (or rebuild) the persisted search sidecar and commit it.
+
+        A lease-guarded manifest swap like any other write — see
+        :func:`repro.store.search.build_search_index`; the handle
+        resyncs to the committed manifest before returning.
+        """
+        from .search import build_search_index
+
+        manifest = build_search_index(self)
+        self.refresh()
+        return manifest
+
+    def search(self, query_text: str, **kwargs: Any) -> list:
+        """Ranked query-biased search over this store — see
+        :func:`repro.core.search.search`."""
+        from ..core.search import search
+
+        return search(self, query_text, **kwargs)
 
     # -- effective (post-journal) totals ------------------------------------
 

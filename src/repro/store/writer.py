@@ -283,12 +283,43 @@ def _prepare(directory: Path | str, shard_count: int | None) -> tuple[Path, int]
     return directory, shard_count
 
 
+def _index_into(
+    manifest: dict[str, Any],
+    nodes: Iterable[Node],
+    directory: Path,
+    compression: str | None,
+) -> None:
+    """Fold a search sidecar for ``nodes`` into an uncommitted manifest.
+
+    Runs between sealing the graph shards and the manifest commit, so
+    the sidecar is part of the *same* atomic generation as the shards it
+    indexes — which is what keeps the saved argument's
+    ``save(journal=True)`` fingerprint baseline valid (a separate
+    sidecar commit would change the manifest out from under it).
+    """
+    from .search import SEARCH_INDEX_KEY, _PostingsBuilder, write_sidecar
+
+    builder = _PostingsBuilder()
+    for node in nodes:
+        builder.add(node.identifier, node.text)
+    name, entry = write_sidecar(
+        directory,
+        builder,
+        list(manifest["node_shards"]) + list(manifest["link_shards"]),
+        0,
+        compression,
+    )
+    manifest[SEARCH_INDEX_KEY] = name
+    manifest["shards"][name] = entry
+
+
 def save_argument(
     argument: Argument,
     directory: Path | str,
     *,
     shard_count: int | None = None,
     compression: str | None = None,
+    search_index: bool = False,
 ) -> dict[str, Any]:
     """Write an argument to a store directory; returns the manifest.
 
@@ -297,7 +328,9 @@ def save_argument(
     atomic commit, so an interrupted save leaves the previous store
     loadable.  ``compression="gzip"`` gzips every shard (recorded in the
     manifest, transparent on read; counts/checksums stay those of the
-    decompressed records).
+    decompressed records).  ``search_index=True`` additionally seals the
+    token/trigram search sidecar (:mod:`repro.store.search`) into the
+    same commit.
     """
     directory, shard_count = _prepare(directory, shard_count)
     compression = validate_compression(compression)
@@ -320,6 +353,10 @@ def save_argument(
         }
         if compression is not None:
             manifest["compression"] = compression
+        if search_index:
+            _index_into(
+                manifest, argument.nodes, directory, compression
+            )
         _commit(directory, manifest)
     return manifest
 
@@ -334,6 +371,7 @@ def save_case(
     *,
     shard_count: int | None = None,
     compression: str | None = None,
+    search_index: bool = False,
 ) -> dict[str, Any]:
     """Write a whole assurance case to a store directory.
 
@@ -343,12 +381,15 @@ def save_case(
     is intentionally not persisted (matching
     :func:`~repro.notation.json_io.case_from_json`): history belongs to
     the live case, and a loaded case starts a fresh log.
+    ``search_index=True`` seals the argument's search sidecar into the
+    same commit, exactly as in :func:`save_argument`.
     """
     directory, shard_count = _prepare(directory, shard_count)
     compression = validate_compression(compression)
     with writer_lease(directory):
         return _save_case_locked(
-            case, directory, shard_count, compression
+            case, directory, shard_count, compression,
+            search_index=search_index,
         )
 
 
@@ -357,6 +398,8 @@ def _save_case_locked(
     directory: Path,
     shard_count: int,
     compression: str | None,
+    *,
+    search_index: bool = False,
 ) -> dict[str, Any]:
     node_shards, link_shards, shards, _, _ = _write_graph(
         case.argument.nodes, case.argument.links, directory, shard_count,
@@ -413,6 +456,10 @@ def _save_case_locked(
     }
     if compression is not None:
         manifest["compression"] = compression
+    if search_index:
+        _index_into(
+            manifest, case.argument.nodes, directory, compression
+        )
     _commit(directory, manifest)
     # The natural case editing loop is save() then edit then
     # argument.save(journal=True): record the baseline here, exactly as

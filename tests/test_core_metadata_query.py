@@ -228,6 +228,7 @@ class TestQueryPlanner:
         lambda: attribute_equals("hazard", ("H2", "frequent", "minor")),
         lambda: node_type_is(NodeType.GOAL),
         lambda: text_contains("HAZARD"),
+        lambda: text_contains("Hazard", case_sensitive=True),
         lambda: attribute_param("hazard", 1, "remote")
         & attribute_param("hazard", 2, "catastrophic"),
         lambda: attribute_param("hazard", 1, "remote")
@@ -243,9 +244,12 @@ class TestQueryPlanner:
     def test_factory_queries_carry_plans(self):
         assert has_attribute("hazard").plan is not None
         assert node_type_is(NodeType.GOAL).plan is not None
-        assert text_contains("x").plan is not None
-        # Case-sensitive text search cannot use the lowered-text index.
-        assert text_contains("x", case_sensitive=True).plan is None
+        folded = text_contains("x")
+        assert folded.plan is not None and folded.exact
+        # Case-sensitive text search plans a trigram superset; the
+        # predicate arbitrates case, so the plan is not exact.
+        sensitive = text_contains("x", case_sensitive=True)
+        assert sensitive.plan is not None and not sensitive.exact
 
     def test_index_invalidated_on_mutation(self, annotated_argument):
         from repro.core.nodes import Node

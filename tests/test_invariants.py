@@ -29,7 +29,17 @@ random mutation steps and after **every** step asserts:
     (:meth:`~repro.core.analysis.IncrementalChecker.from_store`,
     consuming the *persisted* journal deltas, never hydrating) agrees
     with the fresh check, and periodically ``compact()`` folds the
-    journal away byte-identically to a clean save of the same argument.
+    journal away byte-identically to a clean save of the same argument;
+(g) the **search oracle**: a second store saved once with
+    ``search_index=True`` and then maintained by journal appends —
+    every Nth step the journal-patched sidecar postings equal a
+    freshly-rebuilt :class:`~repro.store.search.StoreSearchIndex`,
+    planner-backed ``text_contains`` selects over the stored argument
+    (exact folded plans and case-sensitive candidate plans alike)
+    agree with a naive predicate scan of the live argument, and ranked
+    :func:`repro.core.search.search` returns exactly the nodes a naive
+    re-implementation of its term semantics (token hit, else substring
+    fallback) predicts, in descending score order.
 
 Graphs stay acyclic by construction (links only run from older to newer
 nodes), matching the only shape well-formedness accepts; cyclic-graph
@@ -219,6 +229,12 @@ class Harness:
             None if store_dir is None else store_dir / "journal.store"
         )
         self.stored_wellformed = None
+        # Search session: saved indexed once, then journal appends only,
+        # so the sidecar is always read through the O(delta) patch path.
+        self.search_store = (
+            None if store_dir is None else store_dir / "search.store"
+        )
+        self.search_saved = False
 
     # Operations consult the live argument, then mirror onto the shadow.
 
@@ -407,6 +423,12 @@ class Harness:
                         f"step {step_number}: checker lost sync across "
                         "compaction"
                     )
+        # (g) search: journal-patched sidecar == fresh rebuild; stored
+        # planner selects == naive scans; ranked search == its oracle.
+        # Offset from (f)'s %15==0 so the byte-stability checks there
+        # never see this store's extra saves.
+        if self.store_dir is not None and step_number % 15 == 5:
+            self._check_search(step_number)
         # (d) planner-backed selects == naive predicate scans
         if step_number % 10 == 0:
             worst = attribute_param("hazard", 1, "remote") \
@@ -430,6 +452,80 @@ class Harness:
                 assert planned == naive, (
                     f"step {step_number}: {query.description}"
                 )
+
+    _NEEDLES = (
+        ("hazard", False),            # common token, exact folded plan
+        ("Hazard", True),             # case-sensitive: grams + predicate
+        ("acceptably managed", False),  # substring spanning tokens
+        ("analysis record", False),
+        ("zzz absent", False),        # must plan to the empty set
+    )
+
+    def _check_search(self, step_number: int) -> None:
+        from repro.core.search import search as ranked_search
+        from repro.core.search import tokenize
+        from repro.store import StoredArgument
+        from repro.store.search import StoreSearchIndex, load_search_index
+
+        argument = self.argument
+        if not self.search_saved:
+            argument.save(self.search_store, search_index=True)
+            self.search_saved = True
+        else:
+            # The journal append leaves the sidecar file untouched;
+            # readers must patch it forward from the delta log (or, on
+            # a log-rotation fallback, the full save re-indexes because
+            # the manifest already carries a sidecar).
+            argument.save(self.search_store, journal=True)
+        stored = StoredArgument(self.search_store)
+        patched = load_search_index(stored)
+        assert patched is not None, (
+            f"step {step_number}: sidecar failed to load"
+        )
+        rebuilt = StoreSearchIndex.build(StoredArgument(self.search_store))
+        assert patched.canonical() == rebuilt.canonical(), (
+            f"step {step_number}: journal-patched sidecar diverged from "
+            "a fresh rebuild"
+        )
+        for needle, case_sensitive in self._NEEDLES:
+            query = text_contains(needle, case_sensitive)
+            planned = sorted(
+                node.identifier for node in select(stored, query)
+            )
+            naive = sorted(
+                node.identifier
+                for node in argument.nodes
+                if query(node)
+            )
+            assert planned == naive, (
+                f"step {step_number}: stored text_contains({needle!r}, "
+                f"case_sensitive={case_sensitive}) diverged"
+            )
+        # Ranked search: exactly the term-semantics oracle, ranked.
+        for query_text in ("hazard analysis", "acceptably", "braking claim"):
+            hits = ranked_search(
+                stored, query_text, limit=10 ** 6, neighbourhood=0
+            )
+            expected: set[str] = set()
+            for term in dict.fromkeys(tokenize(query_text)):
+                token_ids = {
+                    node.identifier
+                    for node in argument.nodes
+                    if term in tokenize(node.text)
+                }
+                if not token_ids and len(term) >= 3:
+                    token_ids = {
+                        node.identifier
+                        for node in argument.nodes
+                        if term in node.text.lower()
+                    }
+                expected |= token_ids
+            assert {hit.identifier for hit in hits} == expected, (
+                f"step {step_number}: ranked search({query_text!r}) "
+                "diverged from the term-semantics oracle"
+            )
+            scores = [hit.score for hit in hits]
+            assert scores == sorted(scores, reverse=True)
 
 
 @pytest.mark.parametrize("seed", [0xA11CE, 0xB0B, 0xC0FFEE])

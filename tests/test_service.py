@@ -164,6 +164,68 @@ class TestReadEndpoints:
         assert client.store("late.store")["argument"] == "braking-system"
 
 
+class TestSearchEndpoint:
+    def test_search_ranks_marks_and_renders_neighbourhoods(self, served):
+        payload = served.client().search(STORE, "hazard mitigation")
+        assert payload["q"] == "hazard mitigation"
+        assert "+" in payload["generation"]
+        hits = payload["hits"]
+        assert hits, "both hazard goals and the strategy match"
+        assert {hit["id"] for hit in hits} >= {"G2", "G3", "S1"}
+        top = hits[0]
+        assert any(
+            "[hazard]" in hit["snippet"].lower() for hit in hits
+        ), "matched terms must be marked in the snippets"
+        assert top["matched_terms"]
+        assert isinstance(top["score"], float)
+        strategy = next(hit for hit in hits if hit["id"] == "S1")
+        assert strategy["neighbourhood"], (
+            "the strategy's supporting goals must render"
+        )
+        assert "└─" in strategy["summary"]
+        scores = [hit["score"] for hit in hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_search_limit_caps_the_hits(self, served):
+        payload = served.client().search(STORE, "hazard", limit=1)
+        assert len(payload["hits"]) == 1
+
+    def test_search_agrees_between_indexed_and_unindexed_stores(
+        self, served, tmp_path
+    ):
+        build_case().save(tmp_path / "indexed.store", search_index=True)
+        client = served.client()
+        plain = client.search(STORE, "mitigation record")
+        indexed = client.search("indexed.store", "mitigation record")
+        assert [
+            (hit["id"], hit["score"]) for hit in plain["hits"]
+        ] == [(hit["id"], hit["score"]) for hit in indexed["hits"]]
+
+    def test_malformed_search_bodies_are_400(self, served):
+        client = served.client()
+        for bad_body in (
+            {},
+            {"q": ""},
+            {"q": "   "},
+            {"q": 7},
+            {"q": "hazard", "limit": 0},
+            {"q": "hazard", "limit": True},
+            {"q": "hazard", "limit": "ten"},
+            "not an object",
+        ):
+            with pytest.raises(ServiceClientError) as excinfo:
+                client._request(
+                    "POST", f"/stores/{STORE}/search", bad_body
+                )
+            assert excinfo.value.status == 400, bad_body
+            assert excinfo.value.detail
+
+    def test_search_on_unknown_store_is_404(self, served):
+        with pytest.raises(ServiceClientError) as excinfo:
+            served.client().search("nope.store", "hazard")
+        assert excinfo.value.status == 404
+
+
 class TestErrorContract:
     def test_unknown_store_and_node_are_404(self, served):
         client = served.client()

@@ -425,6 +425,143 @@ def test_orphans_match_gc_view(journaled_dir, tmp_path) -> None:
     assert "NOTES.txt" not in report.orphans
 
 
+# -- the search sidecar: derived data, recoverable at worst ------------------
+
+
+@pytest.fixture
+def indexed_dir(tmp_path):
+    directory = tmp_path / "indexed.store"
+    _argument().save(directory, search_index=True)
+    return directory
+
+
+def _sidecar_name(store_dir) -> str:
+    return _manifest(store_dir)["search_index"]
+
+
+def _reseal_sidecar(store_dir, name: str) -> str:
+    """``_reseal`` plus the ``search_index`` manifest reference."""
+    fresh = _reseal(store_dir, name)
+    manifest = _manifest(store_dir)
+    manifest["search_index"] = fresh
+    (store_dir / "manifest.json").write_text(json.dumps(manifest))
+    return fresh
+
+
+def test_indexed_store_passes(indexed_dir) -> None:
+    report = fsck_store(indexed_dir)
+    assert report.ok and not report.findings
+    # Base shards + the sidecar are all seal-checked.
+    assert report.shards_checked > len(
+        _manifest(indexed_dir)["node_shards"]
+    ) + len(_manifest(indexed_dir)["link_shards"])
+
+
+def test_torn_sidecar_is_recoverable_never_fatal(indexed_dir) -> None:
+    name = _sidecar_name(indexed_dir)
+    data = (indexed_dir / name).read_bytes()
+    (indexed_dir / name).write_bytes(data[: len(data) // 2])
+    report = fsck_store(indexed_dir)
+    assert report.ok, "a damaged sidecar is derived data, never fatal"
+    assert report.exit_code() == 0
+    assert report.exit_code(strict=True) == 1
+    damaged = [
+        f for f in report.findings if f.severity == FSCK_RECOVERABLE
+    ]
+    assert damaged and damaged[0].artifact == name
+    assert "build_search_index" in damaged[0].detail
+
+
+def test_missing_sidecar_file_is_recoverable(indexed_dir) -> None:
+    name = _sidecar_name(indexed_dir)
+    (indexed_dir / name).unlink()
+    report = fsck_store(indexed_dir)
+    assert report.ok
+    assert any(
+        f.severity == FSCK_RECOVERABLE and f.artifact == name
+        for f in report.findings
+    )
+
+
+def test_malformed_posting_record_is_recoverable(indexed_dir) -> None:
+    name = _sidecar_name(indexed_dir)
+    path = indexed_dir / name
+    lines = path.read_bytes().splitlines(keepends=True)
+    lines[1] = b'{"seq": 1, "kind": "token", "term": 7, "ids": ["G1"]}\n'
+    path.write_bytes(b"".join(lines))
+    fresh = _reseal_sidecar(indexed_dir, name)
+    report = fsck_store(indexed_dir)
+    assert report.ok
+    assert any(
+        f.severity == FSCK_RECOVERABLE
+        and f.artifact == fresh
+        and "malformed" in f.detail
+        for f in report.findings
+    )
+
+
+def test_stale_watermark_is_a_note(indexed_dir) -> None:
+    name = _sidecar_name(indexed_dir)
+    path = indexed_dir / name
+    lines = path.read_bytes().splitlines(keepends=True)
+    header = json.loads(lines[0])
+    header["ops"] = 999  # far past a journal-less store's 0 ops
+    lines[0] = json.dumps(
+        header, separators=(",", ":"), sort_keys=True
+    ).encode() + b"\n"
+    path.write_bytes(b"".join(lines))
+    _reseal_sidecar(indexed_dir, name)
+    report = fsck_store(indexed_dir)
+    assert report.ok
+    assert report.exit_code() == 0
+    stale = [f for f in report.findings if f.severity == FSCK_NOTE]
+    assert stale and "stale search index" in stale[0].detail
+    assert "watermark" in stale[0].detail
+
+
+def test_stale_base_generation_is_a_note(indexed_dir) -> None:
+    name = _sidecar_name(indexed_dir)
+    path = indexed_dir / name
+    lines = path.read_bytes().splitlines(keepends=True)
+    header = json.loads(lines[0])
+    header["base_crc32"] = 1
+    lines[0] = json.dumps(
+        header, separators=(",", ":"), sort_keys=True
+    ).encode() + b"\n"
+    path.write_bytes(b"".join(lines))
+    _reseal_sidecar(indexed_dir, name)
+    report = fsck_store(indexed_dir)
+    assert report.ok
+    assert any(
+        f.severity == FSCK_NOTE
+        and "previous base shard generation" in f.detail
+        for f in report.findings
+    )
+
+
+def test_superseded_sidecar_is_orphan_swept_by_gc(
+    indexed_dir, tmp_path
+) -> None:
+    """Rebuilding the index defers the old sidecar to gc, and fsck's
+    orphan inventory must agree with gc's sweep exactly."""
+    old = _sidecar_name(indexed_dir)
+    loaded = Argument.load(indexed_dir)
+    loaded.add_node(Node("G20", NodeType.GOAL, "An appended claim"))
+    loaded.add_link("G1", "G20", LinkKind.SUPPORTED_BY)
+    loaded.save(indexed_dir, journal=True)
+    StoredArgument(indexed_dir).build_search_index()
+    fresh = _sidecar_name(indexed_dir)
+    assert fresh != old
+    assert (indexed_dir / old).exists(), "sweep is deferred to gc"
+    report = fsck_store(indexed_dir)
+    assert report.ok
+    assert old in report.orphans
+    mirror = tmp_path / "mirror.store"
+    shutil.copytree(indexed_dir, mirror)
+    removed = StoredArgument(mirror).gc()
+    assert sorted(report.orphans) == removed
+
+
 # -- the CLI -----------------------------------------------------------------------
 
 
