@@ -352,6 +352,9 @@ def render_report(trajectory: dict[str, Any]) -> str:
     search = [r for r in runs if run_kind(r) == "search"]
     if search:
         sections.append(_render_search(search))
+    claims = [r for r in runs if run_kind(r) == "claims"]
+    if claims:
+        sections.append(_render_claims(claims))
     return "\n\n".join(sections) + "\n" if sections else "\n"
 
 
@@ -481,6 +484,64 @@ def _render_search(runs: "list[dict[str, Any]]") -> str:
                 f"| {run['stores']} | {run['total_nodes']} "
                 f"| {run['speedup_overall_min']:.1f}x |"
             )
+    return "\n".join(lines)
+
+
+def _render_claims(runs: "list[dict[str, Any]]") -> str:
+    latest = runs[-1]
+    lines = [
+        "# Claims trajectory — full re-proof vs incremental re-proof",
+        "",
+        "Generated by `benchmarks/bench_claims.py`; data in "
+        "`BENCH_trajectory.json` (`kind: \"claims\"` rows). Each row "
+        "compiles a generated claim module, stamps its evidence "
+        "obligations onto a matching argument, and compares a "
+        "cold-cache full check (every obligation proved) against a "
+        "single-claim edit re-checked through `repro.check(..., "
+        "mode=\"incremental\")`. Every timed edit asserted exactly one "
+        "new proof and result-equality with a fresh full check.",
+        "",
+        f"## Latest run: `{latest['label']}` ({latest['timestamp']})",
+        "",
+        f"Python {latest['python']}, {latest['cpu_count']} CPU(s), "
+        f"{latest['repeats']} repeats, {latest['edits']} timed edits"
+        + (", **smoke sizes**" if latest["smoke"] else "")
+        + ".",
+        "",
+        "| claims | obligations | compile | full min | warm min "
+        "| incr min | store incr min | full/incr (min) |",
+        "|---:|---:|---:|---:|---:|---:|---:|---:|",
+    ]
+    for cell in latest["cells"]:
+        lines.append(
+            f"| {cell['claims']} | {cell['obligations']} "
+            f"| {cell['compile_s'] * 1e3:.0f} ms "
+            f"| {cell['full_s']['min_s'] * 1e3:.1f} ms "
+            f"| {cell['warm_s']['min_s'] * 1e3:.1f} ms "
+            f"| {cell['incremental_s']['min_s'] * 1e3:.2f} ms "
+            f"| {cell['store_incremental_s']['min_s'] * 1e3:.2f} ms "
+            f"| **{cell['ratio_full_vs_incremental_min']:.1f}x** |"
+        )
+    if len(runs) > 1:
+        lines += [
+            "",
+            "## Trajectory (full/incremental by min, across runs)",
+            "",
+            "| run | " + " | ".join(
+                f"n={cell['claims']}" for cell in latest["cells"]
+            ) + " |",
+            "|:---|" + "---:|" * len(latest["cells"]),
+        ]
+        for run in runs:
+            by_n = {cell["claims"]: cell for cell in run["cells"]}
+            row = [f"`{run['label']}` ({run['timestamp'][:10]})"]
+            for cell in latest["cells"]:
+                match = by_n.get(cell["claims"])
+                row.append(
+                    f"{match['ratio_full_vs_incremental_min']:.1f}x"
+                    if match is not None else "—"
+                )
+            lines.append("| " + " | ".join(row) + " |")
     return "\n".join(lines)
 
 

@@ -10,6 +10,9 @@ without ever rebuilding the in-memory graph it was saved from:
 * **incremental** — after edits, only the touched subjects re-check via
   the mutation delta log.
 
+All three run through the one ``repro.check`` facade; the returned
+``CheckReport`` records the engine actually used.
+
 Run from the repository root::
 
     PYTHONPATH=src python examples/wellformed_streaming.py
@@ -22,11 +25,9 @@ import tempfile
 import time
 from pathlib import Path
 
-from repro.core.builder import ArgumentBuilder
-from repro.core.nodes import Node, NodeType
-from repro.core.argument import LinkKind
-from repro.core.wellformed import GSN_STANDARD_RULES
-from repro.store import StoredArgument
+import repro
+from repro import ArgumentBuilder, LinkKind, Node, NodeType, \
+    StoredArgument
 
 NODES = 10_000
 
@@ -59,14 +60,16 @@ def main() -> int:
         size = sum(p.stat().st_size for p in store_dir.iterdir())
         print(f"saved to a gzip store ({size / 1024:.0f} KiB)")
 
-        # Streaming: rules run over the shards themselves.
+        # Streaming: rules run over the shards themselves.  Every
+        # engine sits behind the one repro.check facade; the report
+        # records the mode actually used.
         stored = StoredArgument(store_dir)
         start = time.perf_counter()
-        violations = GSN_STANDARD_RULES.check(stored, mode="streaming")
+        report = repro.check(stored, mode="streaming")
         elapsed = time.perf_counter() - start
         assert not stored.hydrated, "streaming must not hydrate"
         print(
-            f"streaming check: {len(violations)} violations in "
+            f"streaming check: {len(report)} violations in "
             f"{elapsed * 1e3:.0f} ms over {len(stored.shards_read)} "
             "shards, hydrated=False"
         )
@@ -75,33 +78,34 @@ def main() -> int:
         workers = os.cpu_count() or 1
         parallel_store = StoredArgument(store_dir)
         start = time.perf_counter()
-        parallel = GSN_STANDARD_RULES.check(
+        parallel = repro.check(
             parallel_store, mode="parallel", workers=workers
         )
         elapsed = time.perf_counter() - start
-        assert parallel == violations
+        assert tuple(parallel) == tuple(report)
         print(
-            f"parallel check ({workers} worker(s)): identical "
-            f"violations in {elapsed * 1e3:.0f} ms, hydrated="
-            f"{parallel_store.hydrated}"
+            f"parallel check ({workers} worker(s), used mode "
+            f"{parallel.mode!r}): identical violations in "
+            f"{elapsed * 1e3:.0f} ms, hydrated={parallel_store.hydrated}"
         )
 
     # Incremental: edit the live argument, re-check only what changed.
-    checker = GSN_STANDARD_RULES.incremental(argument)
-    checker.check()
+    # mode="incremental" keeps the delta-log checker alive between
+    # calls behind the facade.
+    repro.check(argument, mode="incremental")
     argument.add_node(Node(
         "LATE", NodeType.GOAL, "A late claim awaits its evidence"
     ))
     argument.add_link("S1", "LATE", LinkKind.SUPPORTED_BY)
     start = time.perf_counter()
-    found = checker.check()
+    found = repro.check(argument, mode="incremental")
     elapsed = time.perf_counter() - start
     print(
         f"incremental re-check after an edit: {len(found)} violation(s) "
         f"in {elapsed * 1e3:.1f} ms "
         f"({[v.rule for v in found]})"
     )
-    assert found == GSN_STANDARD_RULES.check(argument)
+    assert tuple(found) == tuple(repro.check(argument, mode="serial"))
     print("incremental result equals a fresh full check")
     return 0
 

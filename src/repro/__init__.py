@@ -5,6 +5,9 @@ The library implements every system the paper reasons about:
 
 * :mod:`repro.core` — the assurance-case model (GSN, CAE via
   :mod:`repro.notation`, Toulmin, evidence, patterns, views, queries);
+* :mod:`repro.claims` — the declarative claim language: modules of
+  claims, rules, and evidence obligations compiled onto the scoped
+  rule engine, with SAT/FOL/LTL proofs discharged at check time;
 * :mod:`repro.logic` — the formal substrates (propositional + SAT,
   natural deduction, sequents, resolution, mini-Prolog, multi-sorted FOL,
   LTL, Event Calculus, BBN confidence, syllogisms);
@@ -17,13 +20,24 @@ The library implements every system the paper reasons about:
   regenerates Table I;
 * :mod:`repro.experiments` — the five §VI studies on simulated subjects;
 * :mod:`repro.store` — the persistent sharded argument store (JSONL
-  shards + checksummed manifest, streaming save, lazy/partial load).
+  shards + checksummed manifest, streaming save, lazy/partial load,
+  append-journal edits, persisted search sidecar);
+* :mod:`repro.service` — the asyncio multi-editor HTTP front end.
+
+This module is the **stable public surface**: build with
+:class:`ArgumentBuilder`, check with :func:`check` (one facade over
+the serial / streaming / parallel / incremental engines, returning a
+:class:`~repro.checking.CheckReport`), persist with
+:meth:`Argument.save` + :func:`load_argument` / :func:`load_case`,
+query with :func:`select`, rank with :func:`search`, and declare with
+:class:`ClaimModule`.  Deep module paths stay importable, but new
+code and the examples import from here.
 
 Quickstart::
 
-    from repro import ArgumentBuilder, desert_bank_program
+    import repro
 
-    builder = ArgumentBuilder("demo")
+    builder = repro.ArgumentBuilder("demo")
     top = builder.goal("The system is acceptably safe")
     strategy = builder.strategy("Argument over identified hazards",
                                 under=top)
@@ -31,12 +45,17 @@ Quickstart::
     builder.solution("Fault tree analysis FTA-1", under=hazard)
     argument = builder.build()
 
+    report = repro.check(argument)        # typed CheckReport
+    assert report.well_formed
+
     # ... and the paper's Figure 1:
-    program = desert_bank_program()
+    program = repro.desert_bank_program()
     assert program.provable("adjacent(desert_bank, river)")   # formally valid
     # ... yet false in the world: 'bank' equivocates.  (§IV.C)
 """
 
+from .checking import CheckReport, ObligationOutcome, check
+from .claims import ClaimModule, CompiledClaims, compile_module
 from .core import (
     Argument,
     ArgumentBuilder,
@@ -48,11 +67,17 @@ from .core import (
     Node,
     NodeType,
     SafetyCriterion,
-    check,
     is_well_formed,
     run_rules,
 )
-from .paper import ReproductionReport, verify_reproduction
+from .core.query import select
+from .core.search import search
+from .core.wellformed import (
+    DENNEY_PAI_RULES,
+    GSN_STANDARD_RULES,
+    RuleSet,
+    Violation,
+)
 from .logic import (
     ProofBuilder,
     check_proof,
@@ -60,10 +85,16 @@ from .logic import (
     entails,
     haley_outer_proof,
 )
+from .paper import ReproductionReport, verify_reproduction
+from .store import StoredArgument, load_argument, load_case
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
+# The documented public API, grouped by workflow.  Everything here is
+# covered by the examples and kept stable across PRs; import deeper
+# paths only for internals.
 __all__ = [
+    # model
     "Argument",
     "ArgumentBuilder",
     "AssuranceCase",
@@ -73,15 +104,35 @@ __all__ = [
     "Node",
     "NodeType",
     "SafetyCriterion",
-    "IncrementalChecker",
+    # checking (one facade over four engines)
     "check",
+    "CheckReport",
+    "ObligationOutcome",
+    "RuleSet",
+    "Violation",
+    "GSN_STANDARD_RULES",
+    "DENNEY_PAI_RULES",
+    "IncrementalChecker",
     "is_well_formed",
     "run_rules",
+    # claim language
+    "ClaimModule",
+    "CompiledClaims",
+    "compile_module",
+    # persistence
+    "StoredArgument",
+    "load_argument",
+    "load_case",
+    # query + search
+    "select",
+    "search",
+    # logic layer highlights
     "ProofBuilder",
     "check_proof",
     "desert_bank_program",
     "entails",
     "haley_outer_proof",
+    # paper reproduction
     "ReproductionReport",
     "verify_reproduction",
     "__version__",

@@ -37,6 +37,7 @@ location (line numbers are rebased onto the defining file).
 from __future__ import annotations
 
 import ast
+import functools
 import inspect
 import textwrap
 from dataclasses import dataclass
@@ -127,6 +128,23 @@ def errors_only(findings: Iterable[AuditFinding]) -> "list[AuditFinding]":
 
 
 # -- source retrieval ---------------------------------------------------------
+
+
+def _unwrap_callable(fn: Callable[..., Any]) -> Callable[..., Any]:
+    """Follow ``functools.partial`` wrappers down to the real function.
+
+    The claim-language compiler parameterises module-level rule
+    templates with ``functools.partial`` (the bound arguments are the
+    compiled declaration's constants).  ``inspect.signature`` already
+    reports only the *remaining* parameters of a partial, so role
+    inference needs no adjustment — but ``inspect.getsource`` refuses
+    partials outright, which would demote every compiled rule to an
+    unreadable-source warning.  Unwrapping restores full audit
+    coverage of the template body.
+    """
+    while isinstance(fn, functools.partial):
+        fn = fn.func
+    return fn
 
 
 def _load_function_tree(
@@ -590,6 +608,7 @@ class _Auditor:
         hydration_severity: str,
         depth: int,
     ) -> None:
+        fn = _unwrap_callable(fn)
         key = (id(fn), rule_name, frozenset(roles.items()))
         if key in self._seen:
             return

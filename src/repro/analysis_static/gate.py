@@ -1,7 +1,11 @@
 """The audit gate: every shipped rule passes the auditor, at import.
 
 Importing this module runs the rule-scope auditor over everything the
-repo ships — ``GSN_STANDARD_RULES``, ``DENNEY_PAI_RULES``, and the
+repo ships — ``GSN_STANDARD_RULES``, ``DENNEY_PAI_RULES``, the claim
+language's shipped rule sets (the obligation-discharge rule and the
+compiled claims kernel, whose rules are ``functools.partial``
+instantiations of the :mod:`repro.claims.templates` bodies — the
+auditor unwraps and audits the templates themselves), and the
 stream-safe fallacy per-node heuristics — and records the findings in
 :data:`SHIPPED_FINDINGS`.  :func:`assert_shipped_clean` turns any
 finding into an :class:`AuditGateError` listing every violation with
@@ -19,6 +23,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterable, Tuple
 
+from ..claims.exemplar import GSN_OBLIGATION_RULES, KERNEL_CLAIMS_RULES
 from ..core.wellformed import DENNEY_PAI_RULES, GSN_STANDARD_RULES
 from ..fallacies.informal import PER_NODE_HEURISTICS
 from .auditor import (
@@ -46,6 +51,8 @@ class AuditGateError(AssertionError):
 SHIPPED_RULE_SETS: "Tuple[Any, ...]" = (
     GSN_STANDARD_RULES,
     DENNEY_PAI_RULES,
+    GSN_OBLIGATION_RULES,
+    KERNEL_CLAIMS_RULES,
 )
 
 #: Stream-safe per-node scans shipped outside the rule engine proper.

@@ -1,0 +1,270 @@
+"""The unified checking facade: one entry point, four engines.
+
+Before this module, callers picked among four surfaces —
+``wellformed.check`` (live arguments), ``RuleSet.check`` (mode
+keyword), ``RuleSet.incremental`` / ``IncrementalChecker`` (delta-log
+re-checking), and ``IncrementalChecker.from_store`` (journaled
+stores).  :func:`check` subsumes them:
+
+``repro.check(subject, rules=..., mode=...)``
+    *subject* is a live :class:`~repro.core.argument.Argument` or a
+    stored handle (anything satisfying
+    :func:`~repro.core.analysis.is_stored_argument`).  ``mode`` is
+    ``"auto"`` (default), ``"serial"``, ``"streaming"``,
+    ``"parallel"``, ``"full"``, or ``"incremental"`` — the last keeps
+    a delta-log checker alive per (subject, rules) behind the scenes,
+    so repeated incremental checks of the same subject re-run only
+    what changed (including re-proving only the formal obligations an
+    edit touched; see :mod:`repro.claims.obligations`).
+
+The result is a typed :class:`CheckReport`: the violations (in the
+engine's canonical order), the **mode actually used** (``auto`` and
+degraded ``parallel`` resolve to a concrete engine), and the
+obligation outcomes — discharged and failed — when the subject or a
+:class:`~repro.claims.compiler.CompiledClaims` carries bindings.  The
+report is list-like over its violations, so existing call sites that
+truth-test or iterate the old ``list[Violation]`` return value keep
+working through the delegating shims.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Optional, Sequence
+
+from .claims.compiler import CompiledClaims
+from .claims.obligations import (
+    CACHE,
+    ObligationSyntaxError,
+    obligation_specs,
+    parse_obligation,
+)
+from .core.analysis import (
+    IncrementalChecker,
+    ScopedRule,
+    Violation,
+    is_stored_argument,
+    run_rules,
+)
+from .core.argument import Argument
+from .core.wellformed import GSN_STANDARD_RULES, RuleSet
+
+__all__ = [
+    "CHECK_MODES",
+    "CheckReport",
+    "ObligationOutcome",
+    "check",
+]
+
+#: Modes accepted by :func:`check`; the first five mirror
+#: :func:`~repro.core.analysis.run_rules`.
+CHECK_MODES = (
+    "auto", "serial", "streaming", "parallel", "full", "incremental",
+)
+
+
+@dataclass(frozen=True)
+class ObligationOutcome:
+    """One formal obligation's fate during a check."""
+
+    evidence: str
+    spec: str
+    discharged: bool
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class CheckReport:
+    """A typed checking result: violations + obligations + mode used.
+
+    List-like over its violations (``len``, iteration, indexing,
+    truthiness), so it drops into code written against the legacy
+    ``list[Violation]`` surface; ``well_formed`` and the obligation
+    partitions carry the richer story.
+    """
+
+    subject: str
+    mode: str
+    violations: "tuple[Violation, ...]"
+    obligations: "tuple[ObligationOutcome, ...]" = ()
+
+    @property
+    def well_formed(self) -> bool:
+        """True when the check found no violations at all."""
+        return not self.violations
+
+    @property
+    def discharged(self) -> "tuple[ObligationOutcome, ...]":
+        return tuple(o for o in self.obligations if o.discharged)
+
+    @property
+    def failed(self) -> "tuple[ObligationOutcome, ...]":
+        return tuple(o for o in self.obligations if not o.discharged)
+
+    def __len__(self) -> int:
+        return len(self.violations)
+
+    def __iter__(self) -> "Iterator[Violation]":
+        return iter(self.violations)
+
+    def __getitem__(self, index: int) -> Violation:
+        return self.violations[index]
+
+    def __contains__(self, item: object) -> bool:
+        return item in self.violations
+
+
+# -- incremental checker registry --------------------------------------------
+#
+# ``mode="incremental"`` needs a long-lived IncrementalChecker per
+# (subject, rules) pair: the checker owns the delta-log cursor, so a
+# fresh one per call would be a full recompute every time.  Arguments
+# are deliberately unhashable (mutable identity), so the registry keys
+# by id().  Each checker holds its subject strongly — that is what
+# keeps the id valid while the entry exists — so the registry is a
+# bounded LRU rather than weakref-evicted: beyond
+# :data:`_MAX_INCREMENTAL_SUBJECTS` distinct subjects, the least
+# recently checked one is dropped (its next incremental check simply
+# pays one fresh full check again).
+
+_MAX_INCREMENTAL_SUBJECTS = 8
+
+_CHECKERS: "OrderedDict[int, list[tuple[tuple[ScopedRule, ...], IncrementalChecker]]]" = OrderedDict()
+
+
+def _incremental_checker(
+    subject: Any, scoped: "tuple[ScopedRule, ...]"
+) -> IncrementalChecker:
+    key = id(subject)
+    entries = _CHECKERS.get(key)
+    if entries is None:
+        entries = []
+        _CHECKERS[key] = entries
+    _CHECKERS.move_to_end(key)
+    while len(_CHECKERS) > _MAX_INCREMENTAL_SUBJECTS:
+        _CHECKERS.popitem(last=False)
+    for cached_rules, checker in entries:
+        if cached_rules == scoped:
+            return checker
+    if is_stored_argument(subject):
+        checker = IncrementalChecker.from_store(subject, scoped)
+    else:
+        checker = IncrementalChecker(subject, scoped)
+    entries.append((scoped, checker))
+    return checker
+
+
+# -- mode resolution ----------------------------------------------------------
+
+
+def _resolved_mode(subject: Any, mode: str, workers: Optional[int]) -> str:
+    """The engine :func:`~repro.core.analysis.run_rules` actually used.
+
+    Mirrors its dispatch: ``auto`` picks streaming for stored subjects
+    and serial for live ones; ``parallel`` degrades the same way when
+    fewer than two effective workers are available.
+    """
+    stored = is_stored_argument(subject)
+    if mode == "parallel":
+        effective = workers if workers is not None else (os.cpu_count() or 1)
+        if effective >= 2:
+            return "parallel"
+        mode = "streaming"  # the engine's one-core degradation
+    if mode in ("auto", "serial", "streaming"):
+        return "streaming" if stored else "serial"
+    return mode
+
+
+# -- obligation outcomes ------------------------------------------------------
+
+
+def _iter_bindings(
+    subject: Any, claims: Optional[CompiledClaims]
+) -> "Iterable[tuple[str, str]]":
+    """(evidence id, spec) pairs to report outcomes for."""
+    if claims is not None:
+        for identifier, specs in claims.bindings.items():
+            for spec in specs:
+                yield identifier, spec
+        return
+    if isinstance(subject, Argument):
+        for node in subject.nodes:
+            for spec in obligation_specs(node):
+                yield node.identifier, spec
+    # Stored subjects without a compiled module are not scanned here:
+    # enumerating their bindings would stream every shard a second
+    # time.  Their failed obligations still appear as violations.
+
+
+def _outcomes(
+    subject: Any, claims: Optional[CompiledClaims]
+) -> "tuple[ObligationOutcome, ...]":
+    out: "list[ObligationOutcome]" = []
+    for identifier, spec in _iter_bindings(subject, claims):
+        try:
+            obligation = parse_obligation(spec)
+        except ObligationSyntaxError as exc:
+            out.append(ObligationOutcome(
+                identifier, spec, False, f"malformed obligation: {exc}",
+            ))
+            continue
+        detail = CACHE.result(identifier, obligation)
+        out.append(ObligationOutcome(
+            identifier, obligation.spec, detail is None, detail or "",
+        ))
+    return tuple(out)
+
+
+# -- the facade ---------------------------------------------------------------
+
+
+def check(
+    subject: Any,
+    rules: "RuleSet | CompiledClaims | Sequence[ScopedRule]" = GSN_STANDARD_RULES,
+    *,
+    mode: str = "auto",
+    workers: Optional[int] = None,
+    claims: Optional[CompiledClaims] = None,
+) -> CheckReport:
+    """Check *subject* against *rules* and report the result.
+
+    *subject* — a live :class:`~repro.core.argument.Argument` or a
+    stored handle.  *rules* — a :class:`~repro.core.wellformed
+    .RuleSet`, a :class:`~repro.claims.compiler.CompiledClaims` rule
+    set, or a plain sequence of scoped rules.  *claims* — optionally
+    the compiled claim module whose evidence bindings should be
+    reported as typed obligation outcomes (live arguments report
+    their metadata-bound obligations automatically).
+
+    ``mode="incremental"`` reuses a cached delta-log checker per
+    (subject, rules): the first call pays a full check, later calls
+    re-run only the rules the intervening mutations touched.
+    """
+    if mode not in CHECK_MODES:
+        raise ValueError(
+            f"mode must be one of {', '.join(CHECK_MODES)}; got {mode!r}"
+        )
+    if isinstance(rules, CompiledClaims):
+        if claims is None:
+            claims = rules
+        rules = rules.rule_set
+    scoped = tuple(rules.rules) if isinstance(rules, RuleSet) \
+        else tuple(rules)
+    if mode == "incremental":
+        checker = _incremental_checker(subject, scoped)
+        violations = tuple(checker.check())
+        used = "incremental"
+    else:
+        violations = tuple(
+            run_rules(subject, scoped, mode=mode, workers=workers)
+        )
+        used = _resolved_mode(subject, mode, workers)
+    name = getattr(subject, "name", None)
+    return CheckReport(
+        subject=str(name) if name is not None else type(subject).__name__,
+        mode=used,
+        violations=violations,
+        obligations=_outcomes(subject, claims),
+    )

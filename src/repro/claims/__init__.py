@@ -1,0 +1,81 @@
+"""Declarative claim language with machine-checked evidence bindings.
+
+The paper asks whether formal assurance arguments pay their way; this
+package makes the question measurable.  A **claim module**
+(:mod:`repro.claims.lang`) declares claims, structural rules, and
+evidence obligations in a small Resolute-style text language; the
+compiler (:mod:`repro.claims.compiler`) lowers it onto the PR 4
+scoped-rule engine (audited by the PR 6 static gate); and the
+obligation layer (:mod:`repro.claims.obligations`) binds evidence
+nodes to SAT / propositional-entailment / finite-domain-FOL / LTL
+problems discharged by :mod:`repro.logic` in every execution mode —
+with per-(evidence, fingerprint) caching so the incremental checker
+re-proves exactly what an edit touched.
+
+Typical use::
+
+    import repro
+
+    module = repro.ClaimModule.parse(source_text)
+    compiled = module.compile()
+    compiled.apply(argument)            # stamp obligation bindings
+    report = repro.check(argument, rules=compiled.rule_set)
+"""
+
+from .compiler import ClaimCompileError, CompiledClaims, compile_module
+from .exemplar import (
+    EXEMPLAR_SOURCE,
+    GSN_OBLIGATION_RULES,
+    KERNEL_CLAIMS_RULES,
+    exemplar_argument,
+    exemplar_claims,
+    exemplar_module,
+)
+from .lang import (
+    ClaimDecl,
+    ClaimModule,
+    ClaimSyntaxError,
+    EvidenceDecl,
+    parse_module,
+)
+from .obligations import (
+    OBLIGATION_KEY,
+    OBLIGATION_RULE,
+    OBLIGATION_RULE_NAME,
+    Obligation,
+    ObligationSyntaxError,
+    discharge,
+    obligation_counters,
+    obligation_specs,
+    parse_obligation,
+    reset_obligation_cache,
+    validate_obligation,
+)
+
+__all__ = [
+    "ClaimModule",
+    "ClaimDecl",
+    "EvidenceDecl",
+    "ClaimSyntaxError",
+    "parse_module",
+    "CompiledClaims",
+    "ClaimCompileError",
+    "compile_module",
+    "Obligation",
+    "ObligationSyntaxError",
+    "parse_obligation",
+    "validate_obligation",
+    "discharge",
+    "obligation_counters",
+    "obligation_specs",
+    "reset_obligation_cache",
+    "OBLIGATION_KEY",
+    "OBLIGATION_RULE",
+    "OBLIGATION_RULE_NAME",
+    "EXEMPLAR_SOURCE",
+    "exemplar_module",
+    "exemplar_claims",
+    "exemplar_argument",
+    "GSN_OBLIGATION_RULES",
+    "KERNEL_CLAIMS_RULES",
+]

@@ -1,0 +1,118 @@
+"""The shipped exemplar claim module (the claims kernel).
+
+One small braking-system module exercising every construct of the
+language — each rule template, each claim flag, and all five
+obligation kinds — plus a matching argument.  It serves three
+masters: the import-time audit gate registers its compiled rule set
+(:data:`KERNEL_CLAIMS_RULES`), the tests use it as a known-clean
+fixture, and ``examples/claims_demo.py`` walks it through an edit →
+selective re-proof cycle.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..core.argument import Argument, LinkKind
+from ..core.nodes import Node, NodeType
+from ..core.wellformed import GSN_STANDARD_RULES, RuleSet
+from .compiler import CompiledClaims
+from .lang import ClaimModule, parse_module
+from .obligations import OBLIGATION_RULE
+
+__all__ = [
+    "EXEMPLAR_SOURCE",
+    "exemplar_module",
+    "exemplar_claims",
+    "exemplar_argument",
+    "GSN_OBLIGATION_RULES",
+    "KERNEL_CLAIMS_RULES",
+]
+
+EXEMPLAR_SOURCE = '''\
+# The claims kernel: a braking-system module exercising the whole
+# language.  Kept deliberately small; see repro.claims.lang for the
+# grammar.
+module braking-kernel
+
+claim G1 "The braking system is acceptably safe" supported
+claim G2 "Residual braking hazards are acceptable" supported
+claim G3 "Future braking modes are covered" undeveloped
+
+rule goals-cite-support require supported goal
+rule no-undev-strategy  forbid undeveloped strategy
+rule evidence-is-leaf   forbid link supported_by solution -> goal
+rule names-the-system   require mention goal "braking"
+rule no-cycles          require acyclic
+rule one-root           require single_root
+
+evidence Sn1 sat     "wheel_sensor & (wheel_sensor -> brake_cmd)"
+evidence Sn1 valid   "brake_cmd -> brake_cmd"
+evidence Sn2 entails "brake_cmd -> decel ; brake_cmd |- decel"
+evidence Sn2 fol     "sort Hazard = h_skid, h_fade ; pred Mitigated(Hazard) ; axiom forall h:Hazard. Mitigated(h) |- Mitigated(h_skid)"
+evidence Sn3 ltl     "G (brake -> F stopped) @ brake ; brake stopped ; stopped"
+'''
+
+
+@lru_cache(maxsize=1)
+def exemplar_module() -> ClaimModule:
+    """The parsed kernel module (cached)."""
+    return parse_module(EXEMPLAR_SOURCE)
+
+
+@lru_cache(maxsize=1)
+def exemplar_claims() -> CompiledClaims:
+    """The compiled kernel (cached).
+
+    Compiled with ``audit=False`` to keep ``import repro`` light; the
+    same rule set is registered in the PR 6 import-time gate
+    (:mod:`repro.analysis_static.gate`), which audits it for real.
+    """
+    return exemplar_module().compile(audit=False)
+
+
+def exemplar_argument(*, apply_bindings: bool = True) -> Argument:
+    """A fresh argument satisfying the kernel module.
+
+    ``apply_bindings=False`` leaves the obligation metadata off, for
+    tests that want to stamp (or corrupt) it themselves.
+    """
+    argument = Argument("braking-kernel")
+    argument.add_nodes([
+        Node("G1", NodeType.GOAL,
+             "The braking system is acceptably safe"),
+        Node("S1", NodeType.STRATEGY,
+             "Argue over residual hazards and future modes"),
+        Node("G2", NodeType.GOAL,
+             "Residual braking hazards are acceptable"),
+        Node("G3", NodeType.GOAL,
+             "Future braking modes are covered", undeveloped=True),
+        Node("Sn1", NodeType.SOLUTION, "Wheel-sensor bench report"),
+        Node("Sn2", NodeType.SOLUTION, "Deceleration analysis AN-12"),
+        Node("Sn3", NodeType.SOLUTION, "Braking trace review TR-7"),
+        Node("C1", NodeType.CONTEXT, "Operating on paved roads"),
+    ])
+    argument.add_links([
+        ("G1", "S1", LinkKind.SUPPORTED_BY),
+        ("S1", "G2", LinkKind.SUPPORTED_BY),
+        ("S1", "G3", LinkKind.SUPPORTED_BY),
+        ("G2", "Sn1", LinkKind.SUPPORTED_BY),
+        ("G2", "Sn2", LinkKind.SUPPORTED_BY),
+        ("G1", "Sn3", LinkKind.SUPPORTED_BY),
+        ("G1", "C1", LinkKind.IN_CONTEXT_OF),
+    ])
+    if apply_bindings:
+        exemplar_claims().apply(argument)
+    return argument
+
+
+#: GSN standard well-formedness plus obligation discharge — the
+#: default rule set wherever obligations should be live (the service,
+#: the invariant harness) without compiling a claim module.
+GSN_OBLIGATION_RULES = RuleSet(
+    "gsn-standard+obligations",
+    GSN_STANDARD_RULES.rules + (OBLIGATION_RULE,),
+)
+
+#: The compiled kernel's rule set, registered in the import-time gate.
+KERNEL_CLAIMS_RULES = exemplar_claims().rule_set

@@ -1,0 +1,377 @@
+"""The declarative claim language: surface syntax and typed AST.
+
+Following Resolute (Gacek et al.), a **claim module** is a small text
+artifact declaring what the assurance argument must say (claims), what
+shape it must have (rules), and which formal problems its evidence
+must discharge (evidence obligations).  The compiler
+(:mod:`repro.claims.compiler`) lowers a parsed module onto the scoped
+rule engine, so a module is checked by the same four execution modes
+as any hand-written rule set.
+
+Surface syntax — line-oriented, ``#`` comments, double-quoted strings::
+
+    module braking-system
+
+    claim G1 "The braking system is acceptably safe" supported
+    claim G2 "Software commands braking correctly" undeveloped
+
+    rule no-free-goals      require supported goal
+    rule no-undev-strategy  forbid undeveloped strategy
+    rule evidence-is-leaf   forbid link supported_by solution -> goal
+    rule names-the-hazard   require mention goal "braking"
+    rule no-cycles          require acyclic
+    rule one-root           require single_root
+
+    evidence Sn1 sat "wheel_speed & (wheel_speed -> brake_ok)"
+    evidence Sn2 ltl "G (brake -> F stopped) @ brake ; brake stopped ; stopped"
+
+``claim`` flags: ``supported`` (must cite support) and ``undeveloped``
+(must carry the undeveloped marker).  Node types and link kinds use
+their :class:`~repro.core.nodes.NodeType` /
+:class:`~repro.core.argument.LinkKind` value spelling (``goal``,
+``strategy``, ``solution``, ``supported_by``, ...).  Evidence kinds
+are the obligation kinds of :mod:`repro.claims.obligations`.
+"""
+
+from __future__ import annotations
+
+import shlex
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Union
+
+from ..core.argument import LinkKind
+from ..core.nodes import NodeType
+from .obligations import OBLIGATION_KINDS
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .compiler import CompiledClaims
+
+__all__ = [
+    "ClaimSyntaxError",
+    "ClaimDecl",
+    "EvidenceDecl",
+    "ForbidUndeveloped",
+    "RequireSupported",
+    "ForbidLink",
+    "RequireMention",
+    "RequireAcyclic",
+    "RequireSingleRoot",
+    "RuleDecl",
+    "ClaimModule",
+    "parse_module",
+]
+
+
+class ClaimSyntaxError(ValueError):
+    """A claim module that cannot be parsed; carries the line number."""
+
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+@dataclass(frozen=True)
+class ClaimDecl:
+    """``claim <id> "<text>" [supported] [undeveloped]``"""
+
+    identifier: str
+    text: str
+    supported: bool = False
+    undeveloped: bool = False
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class EvidenceDecl:
+    """``evidence <id> <kind> "<spec body>"`` — one bound obligation."""
+
+    identifier: str
+    kind: str
+    body: str
+    line: int = 0
+
+    @property
+    def spec(self) -> str:
+        """The obligation spec string this declaration binds."""
+        return f"{self.kind}: {self.body}"
+
+
+@dataclass(frozen=True)
+class ForbidUndeveloped:
+    """``rule <name> forbid undeveloped <type>``"""
+
+    name: str
+    node_type: NodeType
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class RequireSupported:
+    """``rule <name> require supported <type>``"""
+
+    name: str
+    node_type: NodeType
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class ForbidLink:
+    """``rule <name> forbid link <kind> <src-type> -> <dst-type>``"""
+
+    name: str
+    kind: LinkKind
+    source_type: NodeType
+    target_type: NodeType
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class RequireMention:
+    """``rule <name> require mention <type> "<needle>"``"""
+
+    name: str
+    node_type: NodeType
+    needle: str
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class RequireAcyclic:
+    """``rule <name> require acyclic``"""
+
+    name: str
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class RequireSingleRoot:
+    """``rule <name> require single_root``"""
+
+    name: str
+    line: int = 0
+
+
+RuleDecl = Union[
+    ForbidUndeveloped,
+    RequireSupported,
+    ForbidLink,
+    RequireMention,
+    RequireAcyclic,
+    RequireSingleRoot,
+]
+
+
+@dataclass(frozen=True)
+class ClaimModule:
+    """One parsed claim module: claims, rules, evidence bindings."""
+
+    name: str
+    claims: "tuple[ClaimDecl, ...]" = ()
+    rules: "tuple[RuleDecl, ...]" = ()
+    evidence: "tuple[EvidenceDecl, ...]" = ()
+
+    @classmethod
+    def parse(cls, text: str) -> "ClaimModule":
+        """Parse claim-language source text into a module."""
+        return parse_module(text)
+
+    def compile(self, *, audit: bool = True) -> "CompiledClaims":
+        """Lower to scoped rules; see :func:`repro.claims.compiler
+        .compile_module`."""
+        from .compiler import compile_module
+
+        return compile_module(self, audit=audit)
+
+    def claim(self, identifier: str) -> ClaimDecl:
+        """The claim declared under *identifier* (KeyError if absent)."""
+        for decl in self.claims:
+            if decl.identifier == identifier:
+                return decl
+        raise KeyError(identifier)
+
+
+def _node_type(token: str, line: int) -> NodeType:
+    try:
+        return NodeType(token)
+    except ValueError:
+        values = ", ".join(t.value for t in NodeType)
+        raise ClaimSyntaxError(
+            f"unknown node type {token!r} (expected one of {values})",
+            line,
+        ) from None
+
+
+def _link_kind(token: str, line: int) -> LinkKind:
+    try:
+        return LinkKind(token)
+    except ValueError:
+        values = ", ".join(k.value for k in LinkKind)
+        raise ClaimSyntaxError(
+            f"unknown link kind {token!r} (expected one of {values})",
+            line,
+        ) from None
+
+
+def _split(raw: str, line: int) -> "list[str]":
+    lexer = shlex.shlex(raw, posix=True)
+    lexer.whitespace_split = True
+    lexer.commenters = "#"
+    try:
+        return list(lexer)
+    except ValueError as exc:
+        raise ClaimSyntaxError(str(exc), line) from None
+
+
+@dataclass
+class _Parser:
+    claims: "list[ClaimDecl]" = field(default_factory=list)
+    rules: "list[RuleDecl]" = field(default_factory=list)
+    evidence: "list[EvidenceDecl]" = field(default_factory=list)
+    module_name: "str | None" = None
+
+    def parse(self, text: str) -> ClaimModule:
+        for lineno, raw in enumerate(text.splitlines(), start=1):
+            tokens = _split(raw, lineno)
+            if not tokens:
+                continue
+            keyword, rest = tokens[0], tokens[1:]
+            if keyword == "module":
+                self._module(rest, lineno)
+            elif keyword == "claim":
+                self._claim(rest, lineno)
+            elif keyword == "rule":
+                self._rule(rest, lineno)
+            elif keyword == "evidence":
+                self._evidence(rest, lineno)
+            else:
+                raise ClaimSyntaxError(
+                    f"expected 'module', 'claim', 'rule', or "
+                    f"'evidence', got {keyword!r}", lineno,
+                )
+        if self.module_name is None:
+            raise ClaimSyntaxError(
+                "a claim module must open with 'module <name>'", 0,
+            )
+        return ClaimModule(
+            self.module_name,
+            tuple(self.claims),
+            tuple(self.rules),
+            tuple(self.evidence),
+        )
+
+    def _module(self, rest: "list[str]", line: int) -> None:
+        if self.module_name is not None:
+            raise ClaimSyntaxError("duplicate 'module' line", line)
+        if len(rest) != 1:
+            raise ClaimSyntaxError("usage: module <name>", line)
+        self.module_name = rest[0]
+
+    def _require_header(self, line: int) -> None:
+        if self.module_name is None:
+            raise ClaimSyntaxError(
+                "the 'module <name>' line must come first", line,
+            )
+
+    def _claim(self, rest: "list[str]", line: int) -> None:
+        self._require_header(line)
+        if len(rest) < 2:
+            raise ClaimSyntaxError(
+                'usage: claim <id> "<text>" [supported] [undeveloped]',
+                line,
+            )
+        identifier, text, flags = rest[0], rest[1], rest[2:]
+        if any(c.identifier == identifier for c in self.claims):
+            raise ClaimSyntaxError(
+                f"duplicate claim {identifier!r}", line,
+            )
+        supported = undeveloped = False
+        for flag in flags:
+            if flag == "supported":
+                supported = True
+            elif flag == "undeveloped":
+                undeveloped = True
+            else:
+                raise ClaimSyntaxError(
+                    f"unknown claim flag {flag!r} (expected "
+                    f"'supported' or 'undeveloped')", line,
+                )
+        self.claims.append(
+            ClaimDecl(identifier, text, supported, undeveloped, line)
+        )
+
+    def _rule(self, rest: "list[str]", line: int) -> None:
+        self._require_header(line)
+        if len(rest) < 2:
+            raise ClaimSyntaxError(
+                "usage: rule <name> require|forbid ...", line,
+            )
+        name, verb, args = rest[0], rest[1], rest[2:]
+        if any(r.name == name for r in self.rules):
+            raise ClaimSyntaxError(f"duplicate rule {name!r}", line)
+        if verb == "forbid":
+            self._forbid(name, args, line)
+        elif verb == "require":
+            self._require(name, args, line)
+        else:
+            raise ClaimSyntaxError(
+                f"expected 'require' or 'forbid', got {verb!r}", line,
+            )
+
+    def _forbid(self, name: str, args: "list[str]", line: int) -> None:
+        if len(args) == 2 and args[0] == "undeveloped":
+            self.rules.append(ForbidUndeveloped(
+                name, _node_type(args[1], line), line,
+            ))
+        elif len(args) == 5 and args[0] == "link" and args[3] == "->":
+            self.rules.append(ForbidLink(
+                name,
+                _link_kind(args[1], line),
+                _node_type(args[2], line),
+                _node_type(args[4], line),
+                line,
+            ))
+        else:
+            raise ClaimSyntaxError(
+                "usage: rule <name> forbid undeveloped <type> | "
+                "forbid link <kind> <type> -> <type>", line,
+            )
+
+    def _require(self, name: str, args: "list[str]", line: int) -> None:
+        if len(args) == 2 and args[0] == "supported":
+            self.rules.append(RequireSupported(
+                name, _node_type(args[1], line), line,
+            ))
+        elif len(args) == 3 and args[0] == "mention":
+            self.rules.append(RequireMention(
+                name, _node_type(args[1], line), args[2], line,
+            ))
+        elif args == ["acyclic"]:
+            self.rules.append(RequireAcyclic(name, line))
+        elif args == ["single_root"]:
+            self.rules.append(RequireSingleRoot(name, line))
+        else:
+            raise ClaimSyntaxError(
+                "usage: rule <name> require supported <type> | "
+                'require mention <type> "<needle>" | require acyclic '
+                "| require single_root", line,
+            )
+
+    def _evidence(self, rest: "list[str]", line: int) -> None:
+        self._require_header(line)
+        if len(rest) != 3:
+            raise ClaimSyntaxError(
+                'usage: evidence <id> <kind> "<spec body>"', line,
+            )
+        identifier, kind, body = rest
+        if kind not in OBLIGATION_KINDS:
+            kinds = ", ".join(OBLIGATION_KINDS)
+            raise ClaimSyntaxError(
+                f"unknown evidence kind {kind!r} (expected one of "
+                f"{kinds})", line,
+            )
+        self.evidence.append(EvidenceDecl(identifier, kind, body, line))
+
+
+def parse_module(text: str) -> ClaimModule:
+    """Parse claim-language source text into a :class:`ClaimModule`."""
+    return _Parser().parse(text)

@@ -175,6 +175,23 @@ the callable's AST — C functions, interactively defined rules).
 :mod:`repro.analysis_static.gate` re-audits everything the repo ships
 at import time.
 
+*Formal obligations.*  A rule may carry **formal proof work** — the
+claim language (:mod:`repro.claims`) binds evidence nodes to SAT /
+propositional-entailment / finite-domain-FOL / LTL problems — but only
+inside the contract: obligations ride on the subject node's
+``metadata`` (under :data:`repro.claims.obligations.OBLIGATION_KEY`),
+so the shipped discharge rule is an ordinary **per-node** rule reading
+nothing but its subject.  Discharge must be a *pure, total,
+deterministic* function of the spec text: a malformed spec becomes a
+deterministic violation, never an exception, and proof results may be
+cached only under a content fingerprint of the spec (sha256 — never
+:func:`hash`, which varies per process) so that parallel workers,
+journal replays, and fresh processes agree byte-for-byte.  Under those
+terms every execution mode discharges identically, and the incremental
+checker's touched-node refresh re-proves exactly the obligations an
+edit reached — the selective-re-proof property the claims benchmarks
+measure.
+
 This module is also the home of the shared storage duck-typing helpers
 (:func:`is_stored_argument`, :func:`ensure_argument`,
 :func:`iter_subject_nodes`, :func:`iter_subject_links`) that

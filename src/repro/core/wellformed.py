@@ -132,6 +132,11 @@ class RuleSet:
         processes), or ``full`` (hydrate first — the legacy behaviour);
         every mode produces the identical list, so loading never changes
         which violations a case has.
+
+        .. deprecated::
+            Prefer :func:`repro.check` — ``repro.check(argument,
+            rules=this_set, mode=...)`` runs the same engine and
+            returns a typed report instead of a bare list.
         """
         return run_rules(argument, self.rules, mode=mode, workers=workers)
 
@@ -145,7 +150,13 @@ class RuleSet:
         return not self.check(argument, mode=mode, workers=workers)
 
     def incremental(self, argument: Argument) -> IncrementalChecker:
-        """A stateful checker that re-checks only what mutations touch."""
+        """A stateful checker that re-checks only what mutations touch.
+
+        .. deprecated::
+            Prefer ``repro.check(argument, rules=this_set,
+            mode="incremental")`` — the facade keeps the stateful
+            checker alive per (subject, rules) for you.
+        """
         return IncrementalChecker(argument, self.rules)
 
     def incremental_from_store(self, stored: Any) -> IncrementalChecker:
@@ -154,6 +165,11 @@ class RuleSet:
         Consumes the store's append-journal deltas (written by
         ``Argument.save(journal=True)``); see
         :meth:`~repro.core.analysis.IncrementalChecker.from_store`.
+
+        .. deprecated::
+            Prefer ``repro.check(stored, rules=this_set,
+            mode="incremental")`` — the facade detects stored handles
+            and routes through ``from_store`` itself.
         """
         return IncrementalChecker.from_store(stored, self.rules)
 
@@ -494,8 +510,23 @@ def check(
     mode: str = "auto",
     workers: int | None = None,
 ) -> list[Violation]:
-    """All violations of the given rule set (default: GSN standard)."""
-    return rules.check(argument, mode=mode, workers=workers)
+    """All violations of the given rule set (default: GSN standard).
+
+    .. deprecated::
+        Thin shim over the unified facade — prefer
+        :func:`repro.check`, which accepts the same subjects and modes
+        (plus ``"incremental"``) and returns a typed
+        :class:`~repro.checking.CheckReport` carrying obligation
+        outcomes and the mode actually used.  This wrapper keeps the
+        legacy ``list[Violation]`` return type.
+    """
+    # Imported here: repro.checking imports this module's rule sets,
+    # so a top-level import would cycle.
+    from ..checking import check as _check
+
+    return list(
+        _check(argument, rules, mode=mode, workers=workers).violations
+    )
 
 
 def is_well_formed(
@@ -505,5 +536,11 @@ def is_well_formed(
     mode: str = "auto",
     workers: int | None = None,
 ) -> bool:
-    """True when the argument violates no rule of the set."""
-    return rules.is_well_formed(argument, mode=mode, workers=workers)
+    """True when the argument violates no rule of the set.
+
+    .. deprecated::
+        Prefer ``repro.check(...).well_formed`` — note that the
+        facade's notion also reflects failed formal obligations, which
+        surface as ``evidence-obligation`` violations here too.
+    """
+    return not check(argument, rules, mode=mode, workers=workers)

@@ -129,8 +129,25 @@ class ServiceClient:
             body["limit"] = limit
         return self._request("POST", f"/stores/{name}/search", body)
 
-    def check(self, name: str) -> Any:
-        return self._request("POST", f"/stores/{name}/check")
+    def check(
+        self,
+        name: str,
+        *,
+        mode: "str | None" = None,
+        workers: "int | None" = None,
+    ) -> Any:
+        """Check the store; ``mode`` selects the engine (server default:
+        streaming).  The response carries ``mode`` (the engine actually
+        used) and ``obligations.failed`` (formal obligations that did
+        not discharge) alongside the violations."""
+        body: "dict[str, Any]" = {}
+        if mode is not None:
+            body["mode"] = mode
+        if workers is not None:
+            body["workers"] = workers
+        return self._request(
+            "POST", f"/stores/{name}/check", body or None
+        )
 
     def append(
         self,

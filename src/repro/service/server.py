@@ -57,7 +57,9 @@ from ..core.query import (
     node_type_is,
     text_contains,
 )
-from ..core.wellformed import GSN_STANDARD_RULES, RuleSet
+from ..checking import check as run_check
+from ..claims import GSN_OBLIGATION_RULES
+from ..core.wellformed import RuleSet
 from ..notation.json_io import node_payload
 from ..store import (
     StoreConflictError,
@@ -206,7 +208,7 @@ class ArgumentService:
     """
 
     def __init__(
-        self, root: Path | str, *, rules: RuleSet = GSN_STANDARD_RULES
+        self, root: Path | str, *, rules: RuleSet = GSN_OBLIGATION_RULES
     ) -> None:
         self.root = Path(root)
         self.rules = rules
@@ -405,7 +407,7 @@ class ArgumentService:
         if method == "POST" and rest == ["search"]:
             return await self._post_search(state, body)
         if method == "POST" and rest == ["check"]:
-            return await self._post_check(state)
+            return await self._post_check(state, body)
         if method == "POST" and rest == ["append"]:
             return await self._post_append(state, body)
         if method == "POST" and rest == ["compact"]:
@@ -520,22 +522,50 @@ class ArgumentService:
             ],
         }
 
-    async def _post_check(self, state: _StoreState) -> tuple[int, Any]:
+    _CHECK_MODES = ("auto", "serial", "streaming", "parallel", "full")
+
+    async def _post_check(
+        self, state: _StoreState, body: Any
+    ) -> tuple[int, Any]:
+        mode = "streaming"
+        workers = None
+        if isinstance(body, dict):
+            mode = body.get("mode", "streaming")
+            workers = body.get("workers")
+        if mode not in self._CHECK_MODES:
+            raise ServiceError(
+                400,
+                f"'mode' must be one of {', '.join(self._CHECK_MODES)}",
+            )
+        if workers is not None and (
+            isinstance(workers, bool)
+            or not isinstance(workers, int)
+            or workers < 1
+        ):
+            raise ServiceError(400, "'workers' must be a positive integer")
         snapshot = state.snapshot
-        violations = await self._in_thread(
-            lambda: self.rules.check(snapshot, mode="streaming")
+        report = await self._in_thread(
+            lambda: run_check(
+                snapshot, self.rules, mode=mode, workers=workers
+            )
         )
+        failed = [
+            v for v in report.violations
+            if v.rule == "evidence-obligation"
+        ]
         return 200, {
             "generation": str(snapshot.generation),
-            "well_formed": not violations,
+            "well_formed": report.well_formed,
+            "mode": report.mode,
             "violations": [
                 {
                     "rule": violation.rule,
                     "subject": violation.subject,
                     "detail": violation.detail,
                 }
-                for violation in violations
+                for violation in report.violations
             ],
+            "obligations": {"failed": len(failed)},
         }
 
     # -- writes: one at a time per store, snapshot swap on commit -----------

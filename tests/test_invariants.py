@@ -39,7 +39,14 @@ random mutation steps and after **every** step asserts:
     agree with a naive predicate scan of the live argument, and ranked
     :func:`repro.core.search.search` returns exactly the nodes a naive
     re-implementation of its term semantics (token hit, else substring
-    fallback) predicts, in descending score order.
+    fallback) predicts, in descending score order;
+(h) the **obligation oracle**: a share of random nodes carry formal
+    evidence obligations (passing, failing, and malformed specs from a
+    deterministic pool) in their metadata, and a second long-lived
+    incremental checker over ``GSN_OBLIGATION_RULES`` — the standard
+    rules plus the obligation-discharge rule — must agree with a fresh
+    full check every few steps, so cached proof results stay coherent
+    under arbitrary edit interleavings.
 
 Graphs stay acyclic by construction (links only run from older to newer
 nodes), matching the only shape well-formedness accepts; cyclic-graph
@@ -52,6 +59,8 @@ import random
 
 import pytest
 
+from repro.claims import GSN_OBLIGATION_RULES, obligation_counters
+from repro.claims.obligations import OBLIGATION_KEY
 from repro.core.argument import Argument, LinkKind
 from repro.core.nodes import Node, NodeType
 from repro.core.wellformed import GSN_STANDARD_RULES
@@ -84,22 +93,39 @@ _TEXTS = (
 )
 
 
+# Deterministic obligation pool: discharging, failing, and malformed
+# specs, so the obligation oracle exercises every discharge outcome.
+# The pool is fixed — each spec proves once per process, then caches.
+_OBLIGATIONS = (
+    "sat: brake & (brake -> stop)",               # discharges
+    "valid: stop -> stop",                        # discharges
+    "entails: brake -> stop ; brake |- stop",     # discharges
+    "valid: brake -> stop",                       # fails: not a tautology
+    "ltl: G brake @ brake ; .",                   # fails on the trace
+    "sat: brake &",                               # malformed body
+)
+
+
 def _random_metadata(rng: random.Random):
     roll = rng.random()
     if roll < 0.5:
-        return ()
-    if roll < 0.75:
+        base = ()
+    elif roll < 0.75:
         likelihood = rng.choice(("remote", "frequent"))
         severity = rng.choice(("catastrophic", "minor"))
-        return (("hazard", (f"H{rng.randrange(6)}", likelihood, severity)),)
-    if roll < 0.9:
-        return (("owner", (rng.choice(("alice", "bob")),)),)
-    # Duplicated attribute name: metadata_dict() keeps the last entry,
-    # and exact query plans must agree with that (regression).
-    return (
-        ("hazard", ("H0", "remote", "minor")),
-        ("hazard", (f"H{rng.randrange(6)}", "remote", "catastrophic")),
-    )
+        base = (("hazard", (f"H{rng.randrange(6)}", likelihood, severity)),)
+    elif roll < 0.9:
+        base = (("owner", (rng.choice(("alice", "bob")),)),)
+    else:
+        # Duplicated attribute name: metadata_dict() keeps the last
+        # entry, and exact query plans must agree with that (regression).
+        base = (
+            ("hazard", ("H0", "remote", "minor")),
+            ("hazard", (f"H{rng.randrange(6)}", "remote", "catastrophic")),
+        )
+    if rng.random() < 0.1:
+        base = base + ((OBLIGATION_KEY, (rng.choice(_OBLIGATIONS),)),)
+    return base
 
 
 def _random_node(rng: random.Random, identifier: str) -> Node:
@@ -221,6 +247,10 @@ class Harness:
         self.store_dir = store_dir
         # Long-lived: consumes the delta log across the whole run.
         self.wellformed = GSN_STANDARD_RULES.incremental(self.argument)
+        # Long-lived obligation checker: standard rules + the formal
+        # evidence-discharge rule over the randomly stamped obligations.
+        self.obligation_wellformed = \
+            GSN_OBLIGATION_RULES.incremental(self.argument)
         # Long-lived journal session: the store under journal_store is
         # only ever updated through save(journal=True) appends (plus
         # periodic compaction), and stored_wellformed re-checks it from
@@ -355,6 +385,17 @@ class Harness:
             f"step {step_number}: incremental well-formedness diverged "
             "from a fresh full check"
         )
+        # (h) obligation oracle: the incremental checker over the
+        # obligation-extended rule set equals a fresh full check —
+        # proof-result caching must never change an answer.  Every 3rd
+        # step bounds the extra full-check cost.
+        if step_number % 3 == 0:
+            incremental_obligations = self.obligation_wellformed.check()
+            fresh_obligations = GSN_OBLIGATION_RULES.check(argument)
+            assert incremental_obligations == fresh_obligations, (
+                f"step {step_number}: incremental obligation check "
+                "diverged from a fresh full check"
+            )
         # ... and periodically both equal a streaming check over the
         # argument saved to a sharded store, without hydration.
         if self.store_dir is not None and step_number % 10 == 0:
@@ -561,6 +602,54 @@ def test_log_rotation_forces_correct_rebuild() -> None:
     assert refreshed is not first, "a rotated log cannot be patched over"
     assert canonical_index(refreshed) == \
         canonical_index(ArgumentIndex(argument))
+
+
+@pytest.mark.claims
+def test_incremental_reproves_only_touched_obligations() -> None:
+    """Editing one claim's evidence re-proves exactly that obligation.
+
+    Counter-instrumented: after a warm incremental check, a single
+    node's obligation edit must cost one proof and zero cache
+    consultations — untouched claims are not even looked at.  Atom
+    names are process-unique so earlier tests' cached proofs cannot
+    flatter the counters.
+    """
+    import uuid
+
+    def atom() -> str:
+        return f"inv_{uuid.uuid4().hex[:10]}"
+
+    argument = Argument("selective-reproof")
+    argument.add_node(Node("g0", NodeType.GOAL, "The system is safe"))
+    for index in range(12):
+        name = atom()
+        argument.add_node(Node(
+            f"sn{index}", NodeType.SOLUTION, f"Evidence record {index}",
+            metadata=(
+                (OBLIGATION_KEY, (f"valid: {name} -> {name}",)),
+            ),
+        ))
+        argument.add_link("g0", f"sn{index}", LinkKind.SUPPORTED_BY)
+
+    checker = GSN_OBLIGATION_RULES.incremental(argument)
+    baseline = checker.check()
+    assert [v.rule for v in baseline] == []
+
+    edited = atom()
+    argument.replace_node(argument.node("sn7").with_metadata({
+        OBLIGATION_KEY: (f"sat: {edited} | ~{edited}",),
+    }))
+    proofs_before, hits_before = obligation_counters()
+    violations = checker.check()
+    proofs_after, hits_after = obligation_counters()
+    assert violations == []
+    assert proofs_after - proofs_before == 1, (
+        "one edited obligation must cost exactly one new proof"
+    )
+    assert hits_after == hits_before, (
+        "untouched claims' cached proofs must not even be consulted"
+    )
+    assert violations == GSN_OBLIGATION_RULES.check(argument)
 
 
 def test_oversized_delta_declined_in_favour_of_rebuild() -> None:
